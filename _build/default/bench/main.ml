@@ -1,0 +1,333 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see the experiment index in DESIGN.md) and, for each,
+   registers a Bechamel measurement of the machinery behind it.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, default sizes
+     dune exec bench/main.exe -- table1       -- one experiment
+     dune exec bench/main.exe -- --full all   -- paper-sized inputs
+     dune exec bench/main.exe -- bechamel     -- only the Bechamel suite
+
+   Cycle counts are deterministic, so the tables need a single run; the
+   Bechamel suite measures wall-clock throughput of the toolchain +
+   simulator on small instances (one Test per table/figure). *)
+
+module E = Epic.Experiments
+module Config = Epic.Config
+module Area = Epic.Area
+
+(* Paper reference points (Section 5.2).  The prose fixes the derived
+   ratios we compare against: same-clock speedups of the 4-ALU design of
+   3.8x (SHA), 12.3x (DCT) and 1.7x (Dijkstra); wall-clock advantages of
+   60% (SHA) and 515% (DCT); and the SA-110 winning AES and Dijkstra
+   outright. *)
+let paper_same_clock = [ ("sha", 3.8); ("dct", 12.3); ("dijkstra", 1.7) ]
+let paper_wall_clock = [ ("sha", 1.6); ("dct", 6.15) ]
+
+let hr title =
+  Printf.printf "\n=== %s %s\n" title (String.make (max 0 (66 - String.length title)) '=')
+
+let print_table1 rows =
+  hr "E1 / Table 1: clock cycles (SA-110 vs EPIC with 1-4 ALUs)";
+  Printf.printf "%-10s %12s %12s %12s %12s %12s\n" "" "SA-110" "1 ALU" "2 ALUs"
+    "3 ALUs" "4 ALUs";
+  List.iter
+    (fun (r : E.table1_row) ->
+      Printf.printf "%-10s %12d" r.E.t1_name r.E.t1_sa110;
+      List.iter (fun (_, c) -> Printf.printf " %12d" c) r.E.t1_epic;
+      print_newline ())
+    rows;
+  hr "D1: derived claims vs paper";
+  Printf.printf "%-10s %22s %22s\n" "" "same-clock (paper)" "wall-clock (paper)";
+  List.iter
+    (fun (r : E.table1_row) ->
+      let sp = E.speedups r in
+      let ref_str table =
+        match List.assoc_opt r.E.t1_name table with
+        | Some v -> Printf.sprintf "%.2f" v
+        | None -> "SA-110 wins"
+      in
+      Printf.printf "%-10s %10.2fx %10s %10.2fx %10s\n" r.E.t1_name
+        sp.E.sp_same_clock
+        (ref_str paper_same_clock)
+        sp.E.sp_wall_clock
+        (ref_str paper_wall_clock))
+    rows
+
+let print_fig n title rows name =
+  hr (Printf.sprintf "E%d / Figure %d: %s execution time" n (n + 1) title);
+  match List.find_opt (fun (r : E.table1_row) -> r.E.t1_name = name) rows with
+  | None -> ()
+  | Some row ->
+    let pts = E.fig_times row in
+    let maxs = List.fold_left (fun m (p : E.fig_point) -> max m p.E.fp_seconds) 0.0 pts in
+    List.iter
+      (fun (p : E.fig_point) ->
+        let bar = int_of_float (48.0 *. p.E.fp_seconds /. maxs) in
+        Printf.printf "%-8s %10.6f s  %s\n" p.E.fp_label p.E.fp_seconds
+          (String.make (max 1 bar) '#'))
+      pts
+
+let print_resources () =
+  hr "E5 / Section 5.1: FPGA resource usage";
+  Printf.printf "%6s %10s %14s %8s %8s %8s\n" "ALUs" "slices" "paper slices"
+    "delta" "BRAMs" "MHz";
+  List.iter
+    (fun (r : E.resource_row) ->
+      let paper = List.assoc_opt r.E.rr_alus E.paper_slices in
+      let ps = match paper with Some v -> string_of_int v | None -> "-" in
+      let delta =
+        match paper with
+        | Some v ->
+          Printf.sprintf "%+.2f%%"
+            (100.0 *. float_of_int (r.E.rr.Area.slices - v) /. float_of_int v)
+        | None -> "-"
+      in
+      Printf.printf "%6d %10d %14s %8s %8d %8.1f\n" r.E.rr_alus
+        r.E.rr.Area.slices ps delta r.E.rr.Area.brams r.E.rr.Area.clock_mhz)
+    (E.resources ());
+  Printf.printf "\nper-ALU increment ~2600 slices (paper: \"around 2600\"); \
+                 register file maps to block RAM.\n"
+
+let print_ablate_ports sizes =
+  hr "A1: register-file port budget and forwarding (SHA, 4 ALUs)";
+  Printf.printf "%8s %12s %10s %12s\n" "ports" "forwarding" "cycles" "port stalls";
+  List.iter
+    (fun (p : E.port_point) ->
+      Printf.printf "%8d %12b %10d %12d\n" p.E.pp_budget p.E.pp_forwarding
+        p.E.pp_cycles p.E.pp_port_stalls)
+    (E.ablate_ports ~sizes ())
+
+let print_ablate_custom sizes =
+  hr "A2: ROTR custom instruction (SHA, 4 ALUs)";
+  Printf.printf "%-12s %10s %10s\n" "" "cycles" "slices";
+  let pts = E.ablate_custom ~sizes () in
+  List.iter
+    (fun (c : E.custom_point) ->
+      Printf.printf "%-12s %10d %10d\n" c.E.cp_label c.E.cp_cycles c.E.cp_slices)
+    pts;
+  match pts with
+  | [ base; rotr ] ->
+    Printf.printf "speedup %.2fx for %+d slices\n"
+      (float_of_int base.E.cp_cycles /. float_of_int rotr.E.cp_cycles)
+      (rotr.E.cp_slices - base.E.cp_slices)
+  | _ -> ()
+
+let print_ablate_issue sizes =
+  hr "A3: instructions per issue (DCT, 4 ALUs)";
+  Printf.printf "%8s %10s %12s\n" "issue" "cycles" "nop slots";
+  List.iter
+    (fun (p : E.issue_point) ->
+      Printf.printf "%8d %10d %12d\n" p.E.ip_issue p.E.ip_cycles p.E.ip_nops)
+    (E.ablate_issue ~sizes ())
+
+let print_ablate_pred sizes =
+  hr "A4: predication (if-conversion) on/off (4 ALUs)";
+  Printf.printf "%-10s %14s %14s %10s\n" "" "predicated" "branches" "speedup";
+  List.iter
+    (fun (p : E.pred_point) ->
+      Printf.printf "%-10s %14d %14d %9.2fx\n" p.E.dp_name p.E.dp_with
+        p.E.dp_without
+        (float_of_int p.E.dp_without /. float_of_int p.E.dp_with))
+    (E.ablate_predication ~sizes ())
+
+let print_ablate_pipeline sizes =
+  hr "A5: pipeline depth (future work: parameterised pipelining)";
+  Printf.printf "%-10s %8s %10s %10s %8s %12s\n" "" "stages" "cycles"
+    "bubbles" "MHz" "time (us)";
+  List.iter
+    (fun (p : E.pipe_point) ->
+      Printf.printf "%-10s %8d %10d %10d %8.1f %12.1f\n" p.E.pl_name
+        p.E.pl_stages p.E.pl_cycles p.E.pl_bubbles p.E.pl_mhz p.E.pl_micros)
+    (E.ablate_pipeline ~sizes ())
+
+let print_ablate_power sizes =
+  hr "A6: power/performance across the ALU sweep (DCT)";
+  Printf.printf "%6s %10s %12s %12s %12s %12s\n" "ALUs" "cycles" "time (us)"
+    "dyn (mW)" "total (mW)" "energy (uJ)";
+  List.iter
+    (fun (p : E.power_point) ->
+      Printf.printf "%6d %10d %12.1f %12.1f %12.1f %12.2f\n" p.E.po_alus
+        p.E.po_cycles p.E.po_micros p.E.po_power.Area.pw_dynamic_mw
+        p.E.po_power.Area.pw_total_mw p.E.po_power.Area.pw_energy_uj)
+    (E.ablate_power ~sizes ())
+
+let print_ablate_autogen sizes =
+  hr "A7: automatic custom-instruction generation (SHA)";
+  Printf.printf "%6s %12s %14s %9s %10s %12s\n" "ALUs" "base cyc"
+    "specialised" "speedup" "slices" "(+custom)";
+  let pts = E.ablate_autogen ~sizes () in
+  List.iter
+    (fun (p : E.autogen_point) ->
+      Printf.printf "%6d %12d %14d %8.2fx %10d %12d\n" p.E.ag_alus
+        p.E.ag_base_cycles p.E.ag_spec_cycles
+        (float_of_int p.E.ag_base_cycles /. float_of_int p.E.ag_spec_cycles)
+        p.E.ag_base_slices p.E.ag_spec_slices)
+    pts;
+  (match pts with
+   | p :: _ ->
+     Printf.printf "generated: %s\n" (String.concat ", " p.E.ag_generated)
+   | [] -> ())
+
+let print_ablate_unroll sizes =
+  hr "A8: loop unrolling factor (4 ALUs)";
+  Printf.printf "%-10s %8s %10s\n" "" "unroll" "cycles";
+  List.iter
+    (fun (p : E.unroll_point) ->
+      Printf.printf "%-10s %8d %10d\n" p.E.un_name p.E.un_factor p.E.un_cycles)
+    (E.ablate_unroll ~sizes ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel suite: one Test per table/figure, measuring the toolchain +
+   simulator machinery on small instances. *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let module Sources = Epic.Workloads.Sources in
+  let run_epic cfg (bm : Sources.benchmark) () =
+    let st =
+      Epic.Toolchain.epic_cycles cfg ~source:bm.Sources.bm_source
+        ~expected:bm.Sources.bm_expected ()
+    in
+    ignore st
+  in
+  let run_arm (bm : Sources.benchmark) () =
+    ignore
+      (Epic.Toolchain.arm_cycles ~source:bm.Sources.bm_source
+         ~expected:bm.Sources.bm_expected ())
+  in
+  let sha = Sources.sha_benchmark ~bytes:128 () in
+  let aes = Sources.aes_benchmark ~iters:2 () in
+  let dct = Sources.dct_benchmark ~width:8 ~height:8 () in
+  let dij = Sources.dijkstra_benchmark ~nodes:8 () in
+  let cfg4 = Config.with_alus 4 in
+  let t1 =
+    Test.make_grouped ~name:"table1(E1)"
+      [
+        Test.make ~name:"sha/epic4" (Staged.stage (run_epic cfg4 sha));
+        Test.make ~name:"aes/epic4" (Staged.stage (run_epic cfg4 aes));
+        Test.make ~name:"dct/epic4" (Staged.stage (run_epic cfg4 dct));
+        Test.make ~name:"dijkstra/epic4" (Staged.stage (run_epic cfg4 dij));
+        Test.make ~name:"sha/sa110" (Staged.stage (run_arm sha));
+      ]
+  in
+  let fig3 =
+    Test.make ~name:"fig3(E2):sha-sweep"
+      (Staged.stage (fun () ->
+           List.iter (fun n -> run_epic (Config.with_alus n) sha ()) [ 1; 4 ]))
+  in
+  let fig4 =
+    Test.make ~name:"fig4(E3):dct-sweep"
+      (Staged.stage (fun () ->
+           List.iter (fun n -> run_epic (Config.with_alus n) dct ()) [ 1; 4 ]))
+  in
+  let fig5 =
+    Test.make ~name:"fig5(E4):dijkstra-sweep"
+      (Staged.stage (fun () ->
+           List.iter (fun n -> run_epic (Config.with_alus n) dij ()) [ 1; 4 ]))
+  in
+  let resources =
+    Test.make ~name:"resources(E5):area-model"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun n -> ignore (Area.estimate (Config.with_alus n)))
+             [ 1; 2; 3; 4 ]))
+  in
+  let ablations =
+    Test.make_grouped ~name:"ablations"
+      [
+        Test.make ~name:"A1:ports"
+          (Staged.stage (fun () ->
+               run_epic { cfg4 with Config.rf_port_budget = 4 } sha ()));
+        Test.make ~name:"A2:custom-rotr"
+          (Staged.stage
+             (let cfg = Config.add_custom cfg4 "ROTR" in
+              let bm = Sources.sha_benchmark ~use_rotr_custom:true ~bytes:128 () in
+              run_epic cfg bm));
+        Test.make ~name:"A3:issue1"
+          (Staged.stage (fun () ->
+               run_epic { cfg4 with Config.issue_width = 1 } dct ()));
+        Test.make ~name:"A4:no-predication"
+          (Staged.stage (fun () ->
+               let a =
+                 Epic.Toolchain.compile_epic ~predication:false cfg4
+                   ~source:dij.Sources.bm_source ()
+               in
+               ignore (Epic.Toolchain.run_epic a)));
+      ]
+  in
+  let tests = Test.make_grouped ~name:"epic" [ t1; fig3; fig4; fig5; resources; ablations ] in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  hr "Bechamel: toolchain + simulator throughput (small instances)";
+  Printf.printf "%-40s %16s\n" "test" "time/run";
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) ->
+            let pretty =
+              if est > 1e9 then Printf.sprintf "%8.2f s" (est /. 1e9)
+              else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+              else Printf.sprintf "%8.2f us" (est /. 1e3)
+            in
+            Printf.printf "%-40s %16s\n" name pretty
+          | _ -> Printf.printf "%-40s %16s\n" name "n/a")
+        (List.sort compare rows))
+    merged
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let quick = List.mem "--quick" args in
+  let sizes =
+    if full then E.paper_sizes
+    else if quick then
+      { E.sha_bytes = 256; aes_iters = 4; dct_size = (16, 16); dijkstra_nodes = 12 }
+    else E.default_sizes
+  in
+  let selected =
+    List.filteri (fun i a -> i > 0 && a <> "--full" && a <> "--quick") args
+  in
+  let want what = selected = [] || List.mem what selected || List.mem "all" selected in
+  Printf.printf
+    "EPIC benchmark harness (sizes: sha=%dB aes=%d dct=%dx%d dijkstra=%d)\n"
+    sizes.E.sha_bytes sizes.E.aes_iters (fst sizes.E.dct_size)
+    (snd sizes.E.dct_size) sizes.E.dijkstra_nodes;
+  let rows =
+    if want "table1" || want "fig3" || want "fig4" || want "fig5" then begin
+      let t0 = Unix.gettimeofday () in
+      let rows = E.table1 ~sizes () in
+      Printf.printf "(table 1 computed in %.1fs; all checksums verified)\n"
+        (Unix.gettimeofday () -. t0);
+      Some rows
+    end
+    else None
+  in
+  (match rows with
+   | Some rows ->
+     if want "table1" then print_table1 rows;
+     if want "fig3" then print_fig 2 "SHA" rows "sha";
+     if want "fig4" then print_fig 3 "DCT" rows "dct";
+     if want "fig5" then print_fig 4 "Dijkstra" rows "dijkstra"
+   | None -> ());
+  if want "resources" then print_resources ();
+  if want "ablate-ports" then print_ablate_ports sizes;
+  if want "ablate-custom" then print_ablate_custom sizes;
+  if want "ablate-issue" then print_ablate_issue sizes;
+  if want "ablate-pred" then print_ablate_pred sizes;
+  if want "ablate-pipeline" then print_ablate_pipeline sizes;
+  if want "ablate-power" then print_ablate_power sizes;
+  if want "ablate-autogen" then print_ablate_autogen sizes;
+  if want "ablate-unroll" then print_ablate_unroll sizes;
+  if want "bechamel" then bechamel_suite ()

@@ -1,0 +1,1 @@
+bin/epic_explore.ml: Arg Cli_common Cmd Cmdliner Epic List Printf Term

@@ -1,0 +1,1 @@
+bin/epic_explore.mli:

@@ -1,0 +1,1 @@
+bin/epicasm.ml: Arg Array Bytes Cli_common Cmd Cmdliner Epic Format List Printf Term

@@ -1,0 +1,1 @@
+bin/epicc.ml: Arg Array Cli_common Cmd Cmdliner Epic Format Printf Term

@@ -1,0 +1,1 @@
+bin/epicsim.ml: Arg Cli_common Cmd Cmdliner Epic Format Printf Term

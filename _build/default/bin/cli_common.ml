@@ -1,0 +1,97 @@
+(* Shared command-line handling for the EPIC tools: every architectural
+   parameter of the configuration header is a flag, so the whole
+   customisation space of the paper is reachable from the shell. *)
+
+open Cmdliner
+
+let config_term =
+  let alus =
+    Arg.(value & opt int 4 & info [ "alus" ] ~docv:"N" ~doc:"Number of ALUs.")
+  in
+  let gprs =
+    Arg.(value & opt int 64 & info [ "gprs" ] ~docv:"N" ~doc:"General-purpose registers.")
+  in
+  let preds =
+    Arg.(value & opt int 32 & info [ "preds" ] ~docv:"N" ~doc:"Predicate registers.")
+  in
+  let btrs =
+    Arg.(value & opt int 16 & info [ "btrs" ] ~docv:"N" ~doc:"Branch target registers.")
+  in
+  let issue =
+    Arg.(value & opt int 4 & info [ "issue" ] ~docv:"N" ~doc:"Instructions per issue (1-4).")
+  in
+  let width =
+    Arg.(value & opt int 32 & info [ "width" ] ~docv:"BITS" ~doc:"Datapath width.")
+  in
+  let ports =
+    Arg.(value & opt int 8 & info [ "rf-ports" ] ~docv:"N"
+         ~doc:"Register-file operations per cycle.")
+  in
+  let no_forwarding =
+    Arg.(value & flag & info [ "no-forwarding" ] ~doc:"Disable result forwarding.")
+  in
+  let customs =
+    Arg.(value & opt_all string [] & info [ "custom" ] ~docv:"NAME"
+         ~doc:"Include a custom instruction from the registry (e.g. ROTR).")
+  in
+  let omits =
+    Arg.(value & opt_all string [] & info [ "omit" ] ~docv:"OP"
+         ~doc:"Remove an ALU operation from the datapath (e.g. DIV).")
+  in
+  let build alus gprs preds btrs issue width ports no_forwarding customs omits =
+    let cfg =
+      { Epic.Config.default with
+        Epic.Config.n_alus = alus; n_gprs = gprs; n_preds = preds;
+        n_btrs = btrs; issue_width = issue; width; rf_port_budget = ports;
+        forwarding = not no_forwarding }
+    in
+    let cfg =
+      List.fold_left
+        (fun cfg o ->
+          match Epic.Isa.opcode_of_string (String.uppercase_ascii o) with
+          | Some op -> { cfg with Epic.Config.alu_omit = op :: cfg.Epic.Config.alu_omit }
+          | None -> failwith (Printf.sprintf "unknown operation %s" o))
+        cfg omits
+    in
+    let cfg =
+      List.fold_left
+        (fun cfg c -> Epic.Config.add_custom cfg (String.uppercase_ascii c))
+        cfg customs
+    in
+    match Epic.Config.validate cfg with
+    | Ok () -> cfg
+    | Error m -> failwith ("invalid configuration: " ^ m)
+  in
+  Term.(const build $ alus $ gprs $ preds $ btrs $ issue $ width $ ports
+        $ no_forwarding $ customs $ omits)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let input_term =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input file.")
+
+let handle_errors f =
+  try f () with
+  | Failure m | Sys_error m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 1
+  | Epic.Cfront.Error m ->
+    Printf.eprintf "compile error: %s\n" m;
+    exit 1
+  | Epic.Asm.Asm_error m ->
+    Printf.eprintf "assembler error: %s\n" m;
+    exit 1
+  | Epic.Sched.Codegen.Codegen_error m ->
+    Printf.eprintf "code generation error: %s\n" m;
+    exit 1
+  | Epic.Sim.Sim_error m ->
+    Printf.eprintf "simulation error: %s\n" m;
+    exit 1
+  | Invalid_argument m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 1

@@ -1,0 +1,66 @@
+(* epic_explore: design-space exploration.  Sweeps ALU count (and
+   optionally issue width) for a given EPIC-C program and prints the
+   performance/area trade-off table the paper advocates exploring
+   ("a platform for designers to explore performance/area trade-offs"). *)
+
+open Cmdliner
+
+let run input max_alus sweep_issue =
+  Cli_common.handle_errors @@ fun () ->
+  let source = Cli_common.read_file input in
+  let issues = if sweep_issue then [ 1; 2; 4 ] else [ 4 ] in
+  Printf.printf "%5s %6s %8s %8s %8s %10s %12s\n" "ALUs" "issue" "cycles"
+    "slices" "BRAMs" "MHz" "time (ms)";
+  let points = ref [] in
+  List.iter
+    (fun issue ->
+      List.iter
+        (fun alus ->
+          let cfg =
+            { Epic.Config.default with Epic.Config.n_alus = alus; issue_width = issue }
+          in
+          match Epic.Config.validate cfg with
+          | Error _ -> ()
+          | Ok () ->
+            let a = Epic.Toolchain.compile_epic cfg ~source () in
+            let r = Epic.Toolchain.run_epic a in
+            let area = Epic.Area.estimate cfg in
+            let ms =
+              float_of_int r.Epic.Sim.stats.Epic.Sim.cycles
+              /. (area.Epic.Area.clock_mhz *. 1e3)
+            in
+            points := (alus, issue, r.Epic.Sim.stats.Epic.Sim.cycles, area.Epic.Area.slices, ms) :: !points;
+            Printf.printf "%5d %6d %8d %8d %8d %10.1f %12.3f\n" alus issue
+              r.Epic.Sim.stats.Epic.Sim.cycles area.Epic.Area.slices
+              area.Epic.Area.brams area.Epic.Area.clock_mhz ms)
+        (List.init max_alus (fun k -> k + 1)))
+    issues;
+  (* Pareto frontier on (slices, time). *)
+  let pts = List.rev !points in
+  let pareto =
+    List.filter
+      (fun (_, _, _, s, t) ->
+        not
+          (List.exists
+             (fun (_, _, _, s', t') -> (s' < s && t' <= t) || (s' <= s && t' < t))
+             pts))
+      pts
+  in
+  Printf.printf "\nPareto-optimal designs (slices vs time):\n";
+  List.iter
+    (fun (alus, issue, _, s, t) ->
+      Printf.printf "  %d ALU(s), %d-issue: %d slices, %.3f ms\n" alus issue s t)
+    pareto
+
+let cmd =
+  let max_alus =
+    Arg.(value & opt int 4 & info [ "max-alus" ] ~docv:"N" ~doc:"Sweep 1..N ALUs.")
+  in
+  let sweep_issue =
+    Arg.(value & flag & info [ "sweep-issue" ] ~doc:"Also sweep issue widths 1, 2, 4.")
+  in
+  Cmd.v
+    (Cmd.info "epic_explore" ~doc:"Explore performance/area trade-offs of EPIC designs")
+    Term.(const run $ Cli_common.input_term $ max_alus $ sweep_issue)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,65 @@
+(* epicasm: the standalone assembler.  Reads textual EPIC assembly,
+   resolves labels, pads bundles with no-ops, validates every operation
+   against the configuration header and emits encoded 64-bit words —
+   optionally disassembling them back as a self-check (--roundtrip), or
+   executing the image directly (--run). *)
+
+open Cmdliner
+
+let run input cfg roundtrip execute listing =
+  Cli_common.handle_errors @@ fun () ->
+  let text = Cli_common.read_file input in
+  let image, words = Epic.Asm.assemble_text cfg text in
+  Printf.eprintf "%d bundles, %d slots, %d no-op pads, %d symbols\n"
+    (Array.length words / cfg.Epic.Config.issue_width)
+    (Array.length words)
+    (Epic.Asm.Aunit.nop_count image)
+    (List.length image.Epic.Asm.Aunit.im_symbols);
+  if roundtrip then begin
+    let table = Epic.Encoding.make_table cfg in
+    let decoded = Epic.Asm.Aunit.decode_image cfg table words in
+    Array.iteri
+      (fun k i ->
+        if not (Epic.Isa.equal_inst i image.Epic.Asm.Aunit.im_insts.(k)) then
+          failwith (Printf.sprintf "decode mismatch at slot %d" k))
+      decoded;
+    Printf.eprintf "binary round-trip OK\n"
+  end;
+  if listing then begin
+    (* Disassembly listing: bundle address, slot, operation. *)
+    let w = cfg.Epic.Config.issue_width in
+    Array.iteri
+      (fun k (i : Epic.Isa.inst) ->
+        if k mod w = 0 then begin
+          List.iter
+            (fun (l, a) -> if a = k / w then Printf.printf "%s:\n" l)
+            image.Epic.Asm.Aunit.im_symbols;
+          Printf.printf "%5d:" (k / w)
+        end;
+        Format.printf "  %-28s" (Format.asprintf "%a" Epic.Isa.pp_inst i);
+        if k mod w = w - 1 then print_newline ())
+      image.Epic.Asm.Aunit.im_insts
+  end;
+  if execute then begin
+    let mem = Bytes.make (1 lsl 20) '\000' in
+    let entry =
+      match List.assoc_opt "_start" image.Epic.Asm.Aunit.im_symbols with
+      | Some e -> e
+      | None -> 0
+    in
+    let r = Epic.Sim.run cfg ~image ~mem ~entry () in
+    Printf.printf "returned %d (0x%08x)\n" r.Epic.Sim.ret r.Epic.Sim.ret;
+    Format.printf "%a@." Epic.Sim.pp_stats r.Epic.Sim.stats
+  end
+  else if not listing then Array.iter (fun w -> Printf.printf "%016Lx\n" w) words
+
+let cmd =
+  let roundtrip = Arg.(value & flag & info [ "roundtrip" ] ~doc:"Verify decode(encode(x)) = x.") in
+  let execute = Arg.(value & flag & info [ "run" ] ~doc:"Execute the image instead of dumping hex.") in
+  let listing = Arg.(value & flag & info [ "list" ] ~doc:"Print a disassembly listing instead of hex.") in
+  Cmd.v
+    (Cmd.info "epicasm" ~doc:"Assemble EPIC assembly against a configuration header")
+    Term.(const run $ Cli_common.input_term $ Cli_common.config_term $ roundtrip
+          $ execute $ listing)
+
+let () = exit (Cmd.eval cmd)

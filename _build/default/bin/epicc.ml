@@ -1,0 +1,43 @@
+(* epicc: the EPIC compiler driver.  Compiles EPIC-C to scheduled EPIC
+   assembly (default), an encoded binary hex dump (--hex), or dumps the
+   machine description the scheduler used (--mdes). *)
+
+open Cmdliner
+
+let run input cfg emit_hex emit_mdes no_opt no_pred stats =
+  Cli_common.handle_errors @@ fun () ->
+  let source = Cli_common.read_file input in
+  if emit_mdes then
+    print_string (Epic.Mdes.to_string (Epic.Mdes.of_config cfg))
+  else begin
+    let a =
+      Epic.Toolchain.compile_epic cfg ~source
+        ~opt:(if no_opt then Epic.Toolchain.O0 else Epic.Toolchain.O1)
+        ~predication:(not no_pred) ()
+    in
+    if emit_hex then
+      Array.iter (fun w -> Printf.printf "%016Lx\n" w) a.Epic.Toolchain.ea_words
+    else print_string (Epic.Asm.Text.to_string a.Epic.Toolchain.ea_unit);
+    if stats then begin
+      let s = a.Epic.Toolchain.ea_sched in
+      Printf.eprintf "blocks %d, operations %d, bundles %d, nop slots %d\n"
+        s.Epic.Sched.Sched.st_blocks s.Epic.Sched.Sched.st_insts
+        s.Epic.Sched.Sched.st_bundles
+        (Epic.Asm.Aunit.nop_count a.Epic.Toolchain.ea_image);
+      let area = Epic.Area.estimate cfg in
+      Format.eprintf "%a@." Epic.Area.pp area
+    end
+  end
+
+let cmd =
+  let emit_hex = Arg.(value & flag & info [ "hex" ] ~doc:"Emit the encoded binary as hex words.") in
+  let emit_mdes = Arg.(value & flag & info [ "mdes" ] ~doc:"Dump the machine description and exit.") in
+  let no_opt = Arg.(value & flag & info [ "O0" ] ~doc:"Disable the optimiser.") in
+  let no_pred = Arg.(value & flag & info [ "no-predication" ] ~doc:"Disable if-conversion.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print scheduling and area statistics to stderr.") in
+  Cmd.v
+    (Cmd.info "epicc" ~doc:"Compile EPIC-C for the customisable EPIC processor")
+    Term.(const run $ Cli_common.input_term $ Cli_common.config_term $ emit_hex
+          $ emit_mdes $ no_opt $ no_pred $ stats)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,49 @@
+(* epicsim: compile an EPIC-C program and run it on the cycle-level
+   simulator of the configured processor (and optionally on the SA-110
+   baseline for comparison). *)
+
+open Cmdliner
+
+let run input cfg no_pred compare_arm verbose trace =
+  Cli_common.handle_errors @@ fun () ->
+  let source = Cli_common.read_file input in
+  let a = Epic.Toolchain.compile_epic cfg ~source ~predication:(not no_pred) () in
+  let r =
+    Epic.Toolchain.run_epic
+      ?trace:(if trace then Some Format.err_formatter else None) a
+  in
+  Printf.printf "EPIC (%d ALUs, %d-issue, %.1f MHz): returned %d (0x%08x)\n"
+    cfg.Epic.Config.n_alus cfg.Epic.Config.issue_width
+    (Epic.Area.estimate cfg).Epic.Area.clock_mhz r.Epic.Sim.ret r.Epic.Sim.ret;
+  if verbose then Format.printf "%a@." Epic.Sim.pp_stats r.Epic.Sim.stats
+  else Printf.printf "cycles: %d\n" r.Epic.Sim.stats.Epic.Sim.cycles;
+  if compare_arm then begin
+    let aa = Epic.Toolchain.compile_arm ~source () in
+    let ra = Epic.Toolchain.run_arm aa in
+    Printf.printf "SA-110 (100 MHz): returned %d (0x%08x)\n" ra.Epic.Arm.Sim.ret
+      ra.Epic.Arm.Sim.ret;
+    if verbose then Format.printf "%a@." Epic.Arm.Sim.pp_stats ra.Epic.Arm.Sim.stats
+    else Printf.printf "cycles: %d\n" ra.Epic.Arm.Sim.stats.Epic.Arm.Sim.cycles;
+    let ec = float_of_int r.Epic.Sim.stats.Epic.Sim.cycles in
+    let ac = float_of_int ra.Epic.Arm.Sim.stats.Epic.Arm.Sim.cycles in
+    let eclk = (Epic.Area.estimate cfg).Epic.Area.clock_mhz *. 1e6 in
+    Printf.printf "same-clock speedup: %.2fx;  wall-clock speedup: %.2fx\n"
+      (ac /. ec)
+      (ac /. 100e6 /. (ec /. eclk))
+  end
+
+let cmd =
+  let no_pred = Arg.(value & flag & info [ "no-predication" ] ~doc:"Disable if-conversion.") in
+  let compare_arm =
+    Arg.(value & flag & info [ "compare-sa110" ] ~doc:"Also run the StrongARM SA-110 baseline.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full statistics.") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print every issued bundle to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "epicsim" ~doc:"Run EPIC-C programs on the cycle-level EPIC simulator")
+    Term.(const run $ Cli_common.input_term $ Cli_common.config_term $ no_pred
+          $ compare_arm $ verbose $ trace)
+
+let () = exit (Cmd.eval cmd)

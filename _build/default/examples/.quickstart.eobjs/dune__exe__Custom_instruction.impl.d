@@ -1,0 +1,1 @@
+examples/custom_instruction.ml: Epic List Printf

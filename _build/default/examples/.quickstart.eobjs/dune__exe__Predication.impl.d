@@ -1,0 +1,1 @@
+examples/predication.ml: Array Epic List Printf String

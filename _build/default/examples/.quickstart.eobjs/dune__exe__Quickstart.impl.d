@@ -1,0 +1,1 @@
+examples/quickstart.ml: Epic Format List Printf String

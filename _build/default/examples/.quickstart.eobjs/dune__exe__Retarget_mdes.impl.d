@@ -1,0 +1,1 @@
+examples/retarget_mdes.ml: Epic Printf

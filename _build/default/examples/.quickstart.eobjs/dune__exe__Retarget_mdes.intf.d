@@ -1,0 +1,1 @@
+examples/retarget_mdes.mli:

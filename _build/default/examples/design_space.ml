@@ -1,0 +1,77 @@
+(* Design-space exploration (paper Section 1: customisable designs
+   "provide a platform for designers to explore performance/area
+   trade-offs for a specific application using different
+   implementations").
+
+   This example sweeps ALU count and issue width for the DCT workload,
+   prints the full grid, and reports the Pareto frontier in the
+   (slices, execution time) plane.
+
+   Run with: dune exec examples/design_space.exe *)
+
+module Sources = Epic.Workloads.Sources
+
+type point = {
+  alus : int;
+  issue : int;
+  cycles : int;
+  slices : int;
+  micros : float;
+}
+
+let () =
+  let bm = Sources.dct_benchmark ~width:16 ~height:16 () in
+  let points = ref [] in
+  Printf.printf "DCT encode+decode of a 16x16 image:\n\n";
+  Printf.printf "%5s %6s %9s %8s %8s %10s\n" "ALUs" "issue" "cycles" "slices"
+    "MHz" "time (us)";
+  List.iter
+    (fun issue ->
+      List.iter
+        (fun alus ->
+          let cfg =
+            { Epic.Config.default with Epic.Config.n_alus = alus; issue_width = issue }
+          in
+          match Epic.Config.validate cfg with
+          | Error _ -> ()
+          | Ok () ->
+            let st =
+              Epic.Toolchain.epic_cycles cfg ~source:bm.Sources.bm_source
+                ~expected:bm.Sources.bm_expected ()
+            in
+            let area = Epic.Area.estimate cfg in
+            let micros =
+              float_of_int st.Epic.Sim.cycles /. area.Epic.Area.clock_mhz
+            in
+            points :=
+              { alus; issue; cycles = st.Epic.Sim.cycles;
+                slices = area.Epic.Area.slices; micros }
+              :: !points;
+            Printf.printf "%5d %6d %9d %8d %8.1f %10.1f\n" alus issue
+              st.Epic.Sim.cycles area.Epic.Area.slices area.Epic.Area.clock_mhz
+              micros)
+        [ 1; 2; 3; 4 ])
+    [ 1; 2; 4 ];
+  let pts = List.rev !points in
+  let dominated p =
+    List.exists
+      (fun q ->
+        (q.slices < p.slices && q.micros <= p.micros)
+        || (q.slices <= p.slices && q.micros < p.micros))
+      pts
+  in
+  print_endline "\nPareto-optimal designs:";
+  List.iter
+    (fun p ->
+      if not (dominated p) then
+        Printf.printf "  %d ALU(s) x %d-issue: %5d slices, %7.1f us\n" p.alus
+          p.issue p.slices p.micros)
+    pts;
+  (* The headline trade-off the paper draws: parallel ALUs pay off on
+     arithmetic-dense kernels. *)
+  let find a i = List.find (fun p -> p.alus = a && p.issue = i) pts in
+  let small = find 1 4 and big = find 4 4 in
+  Printf.printf
+    "\n4 ALUs vs 1 ALU at 4-issue: %.2fx faster for %.2fx the area\n"
+    (float_of_int small.cycles /. float_of_int big.cycles)
+    (float_of_int big.slices /. float_of_int small.slices)

@@ -1,0 +1,170 @@
+(** Analytical FPGA resource and clock model, calibrated against the
+    paper's Virtex-II results (Section 5.1):
+
+    - 1/2/3/4-ALU designs take 4181/6779/9367/11988 slices, i.e. about
+      2600 slices per ALU over a ~1580-slice base (least-squares fit:
+      2601 slices/ALU + 1577);
+    - the prototype clocks at 41.8 MHz, and "varying the number of ALUs
+      has little impact on the critical path; so is the case of enlarging
+      the register file";
+    - the register file lives in SelectRAM block RAM (negligible slices);
+    - multiplication uses the on-chip block multipliers.
+
+    The model extends those anchors along the paper's customisation axes:
+    datapath width scales the per-unit costs, omitted ALU operations
+    return their slices (removing the iterative divider is the big win),
+    and custom operations add their registry cost to every ALU. *)
+
+module Isa = Epic_isa
+module Config = Epic_config
+
+type report = {
+  slices : int;
+  brams : int;           (* 18 Kb block RAMs for the register files *)
+  multipliers : int;     (* 18x18 block multipliers *)
+  clock_mhz : float;
+  breakdown : (string * int) list;  (* component -> slices *)
+}
+
+(* Calibrated anchors (32-bit datapath, 4-issue). *)
+let base_slices_4issue = 1481  (* so that base + preds + btrs = 1577 at the default config *)
+let alu_slices_32 = 2601
+
+(* Slice cost of individual ALU operations, used when alu_omit removes
+   them.  The iterative divider dominates. *)
+let op_slices (op : Isa.opcode) =
+  match op with
+  | Isa.DIV -> 1050
+  | Isa.REM -> 350   (* shares the divider datapath with DIV *)
+  | Isa.MPY -> 60    (* wiring to the block multiplier *)
+  | Isa.MIN | Isa.MAX -> 40
+  | Isa.ABS -> 30
+  | Isa.SHL | Isa.SHR | Isa.SHRA -> 90
+  | Isa.ADD | Isa.SUB -> 50
+  | Isa.AND | Isa.OR | Isa.XOR | Isa.ANDCM | Isa.NAND | Isa.NOR -> 20
+  | Isa.MOV -> 10
+  | Isa.CUSTOM _ | Isa.LD _ | Isa.LDU _ | Isa.ST _ | Isa.CMPP _ | Isa.PBRR
+  | Isa.BRU_ | Isa.BRCT | Isa.BRCF | Isa.BRL | Isa.HALT | Isa.NOP -> 0
+
+let scale_width (cfg : Config.t) v =
+  (* Datapath logic scales roughly linearly in width. *)
+  v * cfg.Config.width / 32
+
+let estimate (cfg : Config.t) =
+  let issue_factor num = num * (2 + cfg.Config.issue_width) / 6 in
+  (* Fetch/decode/issue, write-back and the memory controller grow with
+     issue width; at the paper's 4-issue the factor is 1. *)
+  let control = issue_factor (scale_width cfg base_slices_4issue) in
+  let omit_savings =
+    List.fold_left (fun acc op -> acc + scale_width cfg (op_slices op)) 0 cfg.Config.alu_omit
+  in
+  let custom_cost =
+    List.fold_left (fun acc c -> acc + scale_width cfg c.Config.cop_slices) 0
+      cfg.Config.custom_ops
+  in
+  let per_alu = max 200 (scale_width cfg alu_slices_32 - omit_savings + custom_cost) in
+  let alus = cfg.Config.n_alus * per_alu in
+  (* Predicate and branch-target registers are distributed flip-flops. *)
+  let preds = cfg.Config.n_preds in
+  let btrs = cfg.Config.n_btrs * cfg.Config.width / 8 in
+  let slices = control + alus + preds + btrs in
+  (* Register file: dual-port block RAM, quad-pumped; one BRAM pair per
+     18 Kb of storage ("increasing the size of the register file has
+     negligible effects on number of slices"). *)
+  let rf_bits = cfg.Config.n_gprs * cfg.Config.width in
+  let brams = max 2 (2 * ((rf_bits + 18431) / 18432)) in
+  let multipliers =
+    if Config.op_supported cfg Isa.MPY then
+      cfg.Config.n_alus * ((cfg.Config.width + 17) / 18)
+    else 0
+  in
+  (* The ALUs sit in parallel, so the clock is flat in their number; a
+     wider issue window lengthens the issue-select path slightly, and
+     deeper pipelining shortens the critical path substantially (the
+     paper: "with further optimisations in the design of the datapath, a
+     speedup in clock rate should be possible"). *)
+  let clock_mhz =
+    41.8
+    *. (1.0 +. (0.015 *. float_of_int (4 - cfg.Config.issue_width)))
+    *. (1.0 +. (0.32 *. float_of_int (cfg.Config.pipeline_stages - 2)))
+  in
+  (* Extra pipeline registers cost a little area. *)
+  let slices =
+    slices + (slices * 4 * (cfg.Config.pipeline_stages - 2) / 100)
+  in
+  {
+    slices;
+    brams;
+    multipliers;
+    clock_mhz;
+    breakdown =
+      [ ("control+issue+memctl", control);
+        (Printf.sprintf "%d ALU(s)" cfg.Config.n_alus, alus);
+        ("predicate regs", preds);
+        ("branch target regs", btrs) ];
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>slices       %d@,block RAMs   %d@,multipliers  %d@,clock        %.1f MHz"
+    r.slices r.brams r.multipliers r.clock_mhz;
+  List.iter (fun (name, s) -> Format.fprintf ppf "@,  %-22s %6d" name s) r.breakdown;
+  Format.fprintf ppf "@]"
+
+
+(* ------------------------------------------------------------------ *)
+(* Power model (the paper's future work: "characterising the trade-offs
+   in performance, size and power consumption", citing Vermeulen et al.).
+   Dynamic energy is charged per operation by unit class, plus a fetch
+   cost per issued bundle slot; static power is proportional to the
+   occupied slices.  Constants are plausible Virtex-II-era values (nJ per
+   operation, mW per slice) — the model is for comparing configurations,
+   not for absolute accuracy. *)
+
+type activity = {
+  ac_cycles : int;
+  ac_alu_ops : int;
+  ac_lsu_ops : int;
+  ac_cmpu_ops : int;
+  ac_bru_ops : int;
+  ac_nops : int;
+}
+
+type power_report = {
+  pw_dynamic_mw : float;
+  pw_static_mw : float;
+  pw_total_mw : float;
+  pw_energy_uj : float;   (* total energy for the run *)
+}
+
+let nj_alu = 1.1
+let nj_lsu = 2.3
+let nj_cmpu = 0.4
+let nj_bru = 0.6
+let nj_fetch_slot = 0.15  (* per fetched slot, NOPs included *)
+let mw_per_slice = 0.012
+
+let power (cfg : Config.t) (a : activity) =
+  let r = estimate cfg in
+  let seconds = float_of_int a.ac_cycles /. (r.clock_mhz *. 1e6) in
+  let slots = a.ac_cycles * cfg.Config.issue_width in
+  let dyn_nj =
+    (float_of_int a.ac_alu_ops *. nj_alu)
+    +. (float_of_int a.ac_lsu_ops *. nj_lsu)
+    +. (float_of_int a.ac_cmpu_ops *. nj_cmpu)
+    +. (float_of_int a.ac_bru_ops *. nj_bru)
+    +. (float_of_int slots *. nj_fetch_slot)
+  in
+  let dynamic_mw = if seconds = 0.0 then 0.0 else dyn_nj *. 1e-9 /. seconds *. 1e3 in
+  let static_mw = float_of_int r.slices *. mw_per_slice in
+  let static_nj = static_mw *. 1e-3 *. seconds *. 1e9 in
+  {
+    pw_dynamic_mw = dynamic_mw;
+    pw_static_mw = static_mw;
+    pw_total_mw = dynamic_mw +. static_mw;
+    pw_energy_uj = (dyn_nj +. static_nj) /. 1e3;
+  }
+
+let pp_power ppf p =
+  Format.fprintf ppf
+    "dynamic %.1f mW + static %.1f mW = %.1f mW; energy %.2f uJ"
+    p.pw_dynamic_mw p.pw_static_mw p.pw_total_mw p.pw_energy_uj

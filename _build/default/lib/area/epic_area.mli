@@ -1,0 +1,52 @@
+(** Analytical FPGA resource, clock and power model for the customisable
+    EPIC processor, calibrated to the paper's Virtex-II results
+    (Section 5.1: 4181/6779/9367/11988 slices for 1-4 ALUs at 41.8 MHz,
+    ~2600 slices per ALU, register file in block RAM, multiplication in
+    the block multipliers) and extended along every customisation axis:
+    datapath width, issue width, omitted ALU operations, custom
+    instructions and pipeline depth.
+
+    The power model (the paper's stated future work of characterising
+    performance/size/power trade-offs) charges dynamic energy per executed
+    operation by unit class plus a per-fetch-slot cost, and static power
+    proportional to occupied slices. *)
+
+type report = {
+  slices : int;          (** Virtex-II logic slices. *)
+  brams : int;           (** 18 Kb block RAMs for the register file. *)
+  multipliers : int;     (** 18x18 block multipliers. *)
+  clock_mhz : float;     (** Estimated clock after customisation. *)
+  breakdown : (string * int) list;  (** Component name -> slices; sums to [slices]. *)
+}
+
+val estimate : Epic_config.t -> report
+(** Resource estimate for a configuration.  Calibrated within 0.2 % of the
+    paper's four published design points (asserted by the test suite). *)
+
+val pp : Format.formatter -> report -> unit
+
+(** {1 Power} *)
+
+type activity = {
+  ac_cycles : int;
+  ac_alu_ops : int;
+  ac_lsu_ops : int;
+  ac_cmpu_ops : int;
+  ac_bru_ops : int;
+  ac_nops : int;
+}
+(** Dynamic activity of a run, as counted by the cycle-level simulator
+    (see [Epic.Experiments.activity_of_stats]). *)
+
+type power_report = {
+  pw_dynamic_mw : float;  (** Average dynamic power over the run. *)
+  pw_static_mw : float;   (** Leakage, proportional to occupied slices. *)
+  pw_total_mw : float;
+  pw_energy_uj : float;   (** Total energy consumed by the run. *)
+}
+
+val power : Epic_config.t -> activity -> power_report
+(** Plausible Virtex-II-era constants; intended for *comparing*
+    configurations, not absolute accuracy. *)
+
+val pp_power : Format.formatter -> power_report -> unit

@@ -1,0 +1,1 @@
+lib/arm/epic_arm.ml: Arm_codegen Arm_isa Arm_sim Epic_mir Runtime

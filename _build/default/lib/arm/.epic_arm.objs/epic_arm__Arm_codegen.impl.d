@@ -1,0 +1,1 @@
+lib/arm/arm_codegen.ml: Arm_isa Epic_mir Epic_regalloc Format List Printf

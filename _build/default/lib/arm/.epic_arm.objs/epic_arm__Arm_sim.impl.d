@@ -1,0 +1,1 @@
+lib/arm/arm_sim.ml: Arm_isa Array Bytes Epic_isa Epic_mir Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/arm/runtime.ml: Epic_cfront Epic_mir List

@@ -1,0 +1,296 @@
+(* MIR -> ARM-like code generation for the SA-110 baseline.
+
+   Convention (AAPCS-flavoured): r0-r3 arguments and return value, r4-r11
+   allocatable (callee-saved by our prologue), r12 scratch, r13 sp,
+   r14 lr.  Functions with more than 4 arguments are rejected (none of
+   the benchmarks needs them). *)
+
+module Ir = Epic_mir.Ir
+module Memmap = Epic_mir.Memmap
+module Regalloc = Epic_regalloc
+module I = Arm_isa
+
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+type ctx = { layout : Memmap.t; mutable out : I.item list (* reversed *) }
+
+let emit ctx i = ctx.out <- I.Inst i :: ctx.out
+
+(* Materialise a 32-bit constant with MOV/LSL/ORR chains (standing in for
+   ARMv4 literal pools; see Arm_isa). *)
+let emit_const ctx rd v =
+  let v32 = v land 0xFFFFFFFF in
+  let signed = if v32 land 0x80000000 <> 0 then v32 - 0x100000000 else v32 in
+  if I.imm_fits signed then emit ctx (I.Mov (rd, I.Iop signed))
+  else begin
+    let c0 = v32 land 0x1FFF in
+    let c1 = (v32 lsr 13) land 0x1FFF in
+    let c2 = v32 lsr 26 in
+    if c2 <> 0 then begin
+      emit ctx (I.Mov (rd, I.Iop c2));
+      emit ctx (I.Alu (I.Alsl, rd, rd, I.Iop 13));
+      emit ctx (I.Alu (I.Aorr, rd, rd, I.Iop c1))
+    end
+    else emit ctx (I.Mov (rd, I.Iop c1));
+    emit ctx (I.Alu (I.Alsl, rd, rd, I.Iop 13));
+    emit ctx (I.Alu (I.Aorr, rd, rd, I.Iop c0))
+  end
+
+(* Operand conversion; big immediates go through a scratch register. *)
+let op2_of ctx ~scratch (o : Ir.operand) =
+  match o with
+  | Ir.Reg r -> I.Rop r
+  | Ir.Imm v ->
+    let v32 = v land 0xFFFFFFFF in
+    let signed = if v32 land 0x80000000 <> 0 then v32 - 0x100000000 else v32 in
+    if I.imm_fits signed then I.Iop signed
+    else begin
+      match !scratch with
+      | s :: rest ->
+        scratch := rest;
+        emit_const ctx s v;
+        I.Rop s
+      | [] -> fail "out of scratch registers materialising %d" v
+    end
+
+(* A register holding the operand (ALU rn and MUL operands must be
+   registers). *)
+let reg_of ctx ~scratch o =
+  match op2_of ctx ~scratch o with
+  | I.Rop r -> r
+  | I.Iop v ->
+    (match !scratch with
+     | s :: rest ->
+       scratch := rest;
+       emit ctx (I.Mov (s, I.Iop v));
+       s
+     | [] -> fail "out of scratch registers for %d" v)
+
+let cond_of_relop = function
+  | Ir.Req -> I.Ceq | Ir.Rne -> I.Cne | Ir.Rlt -> I.Clt | Ir.Rle -> I.Cle
+  | Ir.Rgt -> I.Cgt | Ir.Rge -> I.Cge | Ir.Rltu -> I.Cltu | Ir.Rleu -> I.Cleu
+  | Ir.Rgtu -> I.Cgtu | Ir.Rgeu -> I.Cgeu
+
+let size_of = function Ir.I8 -> I.S8 | Ir.I16 -> I.S16 | Ir.I32 -> I.S32
+
+let scratches ?dst ~reads () =
+  match dst with
+  | Some d when (not (List.mem d reads)) && d <> I.reg_scratch -> [ d; I.reg_scratch ]
+  | _ -> [ I.reg_scratch ]
+
+let operand_reads ops =
+  List.filter_map (function Ir.Reg r -> Some r | Ir.Imm _ -> None) ops
+
+let emit_inst ctx (i : Ir.inst) =
+  if i.Ir.guard <> None then
+    fail "the scalar baseline pipeline must not see guarded instructions";
+  match i.Ir.kind with
+  | Ir.Bin (op, d, a, b) ->
+    let scratch = ref (scratches ~dst:d ~reads:(operand_reads [ a; b ]) ()) in
+    (match op with
+     | Ir.Add | Ir.Sub | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Shr | Ir.Shra ->
+       let rn = reg_of ctx ~scratch a in
+       let o2 = op2_of ctx ~scratch b in
+       let aop = match op with
+         | Ir.Add -> I.Aadd | Ir.Sub -> I.Asub | Ir.And -> I.Aand
+         | Ir.Or -> I.Aorr | Ir.Xor -> I.Aeor | Ir.Shl -> I.Alsl
+         | Ir.Shr -> I.Alsr | Ir.Shra -> I.Aasr
+         | _ -> assert false
+       in
+       emit ctx (I.Alu (aop, d, rn, o2))
+     | Ir.Mul ->
+       let rn = reg_of ctx ~scratch a in
+       let rm = reg_of ctx ~scratch b in
+       emit ctx (I.Alu (I.Amul, d, rn, I.Rop rm))
+     | Ir.Min | Ir.Max ->
+       let ra = reg_of ctx ~scratch a in
+       let o2 = op2_of ctx ~scratch b in
+       emit ctx (I.Cmp (ra, o2));
+       (match o2 with
+        | I.Rop r when r = d ->
+          (* b already lives in d: overwrite d with a only when a wins. *)
+          emit ctx
+            (I.CondMov ((if op = Ir.Min then I.Cle else I.Cge), d, I.Rop ra))
+        | _ ->
+          (* CMP precedes the writes, so d aliasing a is harmless. *)
+          if d <> ra then emit ctx (I.Mov (d, I.Rop ra));
+          emit ctx (I.CondMov ((if op = Ir.Min then I.Cgt else I.Clt), d, o2)))
+     | Ir.Div | Ir.Rem ->
+       fail "Div/Rem must be lowered to runtime calls before ARM codegen")
+  | Ir.Mov (d, Ir.Imm v) -> emit_const ctx d v
+  | Ir.Mov (d, Ir.Reg r) -> emit ctx (I.Mov (d, I.Rop r))
+  | Ir.Cmp (rel, d, a, b) ->
+    (* CMP first: d may alias an operand register, and MOV does not
+       disturb the flags. *)
+    let scratch = ref (scratches ~reads:(operand_reads [ a; b ]) ()) in
+    let ra = reg_of ctx ~scratch a in
+    let o2 = op2_of ctx ~scratch b in
+    emit ctx (I.Cmp (ra, o2));
+    emit ctx (I.Mov (d, I.Iop 0));
+    emit ctx (I.CondMov (cond_of_relop rel, d, I.Iop 1))
+  | Ir.Setp _ -> fail "the scalar baseline has no predicate registers"
+  | Ir.Custom (name, _, _, _) ->
+    fail "custom operation %s has no scalar equivalent; compile without it" name
+  | Ir.Load (sz, e, d, base, off) ->
+    let scratch = ref (scratches ~dst:d ~reads:(operand_reads [ base; off ]) ()) in
+    let rn = reg_of ctx ~scratch base in
+    let o2 = op2_of ctx ~scratch off in
+    emit ctx (I.Ldr (size_of sz, (match e with Ir.Sx -> I.Xs | Ir.Zx -> I.Xz), d, rn, o2))
+  | Ir.Store (sz, addr, v) ->
+    let scratch = ref [ I.reg_scratch ] in
+    let rn = reg_of ctx ~scratch addr in
+    let rs =
+      match v with
+      | Ir.Reg r -> r
+      | Ir.Imm value ->
+        (match !scratch with
+         | s :: rest -> scratch := rest; emit_const ctx s value; s
+         | [] -> fail "out of scratch registers for store value")
+    in
+    emit ctx (I.Str (size_of sz, rs, rn, I.Iop 0))
+  | Ir.Call (d, fname, args) ->
+    if List.length args > I.max_args then
+      fail "%s passes %d arguments; the ARM convention here supports %d" fname
+        (List.length args) I.max_args;
+    List.iteri
+      (fun k (arg : Ir.operand) ->
+        let dst = I.reg_arg0 + k in
+        match arg with
+        | Ir.Reg r -> emit ctx (I.Mov (dst, I.Rop r))
+        | Ir.Imm v -> emit_const ctx dst v)
+      args;
+    emit ctx (I.Bl fname);
+    (match d with
+     | Some d when d <> I.reg_rv -> emit ctx (I.Mov (d, I.Rop I.reg_rv))
+     | Some _ | None -> ())
+  | Ir.AddrOf (d, g) -> emit_const ctx d (Memmap.addr_of ctx.layout g)
+  | Ir.FrameAddr (d, off) ->
+    if I.imm_fits off then emit ctx (I.Alu (I.Aadd, d, I.reg_sp, I.Iop off))
+    else begin
+      emit_const ctx d off;
+      emit ctx (I.Alu (I.Aadd, d, I.reg_sp, I.Rop d))
+    end
+  | Ir.LoadFrame (d, off) ->
+    if not (I.imm_fits off) then fail "frame offset %d too large" off;
+    emit ctx (I.Ldr (I.S32, I.Xz, d, I.reg_sp, I.Iop off))
+  | Ir.StoreFrame (off, r) ->
+    if not (I.imm_fits off) then fail "frame offset %d too large" off;
+    emit ctx (I.Str (I.S32, r, I.reg_sp, I.Iop off))
+
+let block_label fname id = Printf.sprintf ".A%s_%d" fname id
+
+let align8 v = (v + 7) land lnot 7
+
+let rebase_frame_offsets (f : Ir.func) delta =
+  if delta <> 0 then
+    List.iter
+      (fun (b : Ir.block) ->
+        b.Ir.b_insts <-
+          List.map
+            (fun (i : Ir.inst) ->
+              let kind =
+                match i.Ir.kind with
+                | Ir.FrameAddr (d, off) -> Ir.FrameAddr (d, off + delta)
+                | Ir.LoadFrame (d, off) -> Ir.LoadFrame (d, off + delta)
+                | Ir.StoreFrame (off, r) -> Ir.StoreFrame (off + delta, r)
+                | k -> k
+              in
+              { i with Ir.kind })
+            b.Ir.b_insts)
+      f.Ir.f_blocks
+
+let gen_func layout (f : Ir.func) : I.item list =
+  if List.length f.Ir.f_params > I.max_args then
+    fail "%s takes %d parameters; the ARM convention here supports %d" f.Ir.f_name
+      (List.length f.Ir.f_params) I.max_args;
+  let pool = [ 4; 5; 6; 7; 8; 9; 10; 11 ] in
+  let ra = Regalloc.allocate f ~pool in
+  let body = ra.Regalloc.fn in
+  let makes_calls =
+    List.exists
+      (fun (b : Ir.block) ->
+        List.exists
+          (fun (i : Ir.inst) -> match i.Ir.kind with Ir.Call _ -> true | _ -> false)
+          b.Ir.b_insts)
+      body.Ir.f_blocks
+  in
+  let saves = (if makes_calls then [ I.reg_lr ] else []) @ ra.Regalloc.used_regs in
+  let save_bytes = 4 * List.length saves in
+  rebase_frame_offsets body save_bytes;
+  let frame_total = align8 (save_bytes + body.Ir.f_frame_bytes) in
+  if not (I.imm_fits frame_total) then fail "%s frame too large" f.Ir.f_name;
+  let ctx = { layout; out = [] } in
+  ctx.out <- [ I.Label f.Ir.f_name ];
+  if frame_total > 0 then emit ctx (I.Alu (I.Asub, I.reg_sp, I.reg_sp, I.Iop frame_total));
+  List.iteri (fun k r -> emit ctx (I.Str (I.S32, r, I.reg_sp, I.Iop (4 * k)))) saves;
+  List.iteri
+    (fun k loc ->
+      let arg = I.reg_arg0 + k in
+      match (loc : Regalloc.location option) with
+      | Some (Regalloc.Lreg p) -> if p <> arg then emit ctx (I.Mov (p, I.Rop arg))
+      | Some (Regalloc.Lslot off) ->
+        emit ctx (I.Str (I.S32, arg, I.reg_sp, I.Iop (off + save_bytes)))
+      | None -> ())
+    ra.Regalloc.param_locs;
+  let epilogue () =
+    List.iteri (fun k r -> emit ctx (I.Ldr (I.S32, I.Xz, r, I.reg_sp, I.Iop (4 * k)))) saves;
+    if frame_total > 0 then emit ctx (I.Alu (I.Aadd, I.reg_sp, I.reg_sp, I.Iop frame_total));
+    emit ctx (I.Bx I.reg_lr)
+  in
+  let order = List.map (fun (b : Ir.block) -> b.Ir.b_id) body.Ir.f_blocks in
+  let next_of =
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> (a, Some b) :: pairs rest
+      | [ a ] -> [ (a, None) ]
+      | [] -> []
+    in
+    pairs order
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      ctx.out <- I.Label (block_label f.Ir.f_name b.Ir.b_id) :: ctx.out;
+      List.iter (emit_inst ctx) b.Ir.b_insts;
+      let next = List.assoc b.Ir.b_id next_of in
+      match b.Ir.b_term with
+      | Ir.Ret o ->
+        (match o with
+         | Some (Ir.Reg r) -> if r <> I.reg_rv then emit ctx (I.Mov (I.reg_rv, I.Rop r))
+         | Some (Ir.Imm v) -> emit_const ctx I.reg_rv v
+         | None -> emit ctx (I.Mov (I.reg_rv, I.Iop 0)));
+        epilogue ()
+      | Ir.Jmp l ->
+        if next <> Some l then emit ctx (I.B (block_label f.Ir.f_name l))
+      | Ir.Br (rel, x, y, lt, lf) ->
+        let scratch = ref [ I.reg_scratch ] in
+        let rx = reg_of ctx ~scratch x in
+        let o2 = op2_of ctx ~scratch y in
+        emit ctx (I.Cmp (rx, o2));
+        if next = Some lf then emit ctx (I.Bc (cond_of_relop rel, block_label f.Ir.f_name lt))
+        else if next = Some lt then begin
+          let neg = function
+            | I.Ceq -> I.Cne | I.Cne -> I.Ceq | I.Clt -> I.Cge | I.Cle -> I.Cgt
+            | I.Cgt -> I.Cle | I.Cge -> I.Clt | I.Cltu -> I.Cgeu
+            | I.Cleu -> I.Cgtu | I.Cgtu -> I.Cleu | I.Cgeu -> I.Cltu
+          in
+          emit ctx (I.Bc (neg (cond_of_relop rel), block_label f.Ir.f_name lf))
+        end
+        else begin
+          emit ctx (I.Bc (cond_of_relop rel, block_label f.Ir.f_name lt));
+          emit ctx (I.B (block_label f.Ir.f_name lf))
+        end)
+    body.Ir.f_blocks;
+  List.rev ctx.out
+
+let gen_start layout : I.item list =
+  let ctx = { layout; out = [] } in
+  ctx.out <- [ I.Label "_start" ];
+  emit_const ctx I.reg_sp layout.Memmap.stack_top;
+  emit ctx (I.Bl "main");
+  emit ctx I.Halt;
+  List.rev ctx.out
+
+let gen_program layout (p : Ir.program) : I.program =
+  if Ir.find_func p "main" = None then fail "program has no main function";
+  gen_start layout @ List.concat_map (gen_func layout) p.Ir.p_funcs

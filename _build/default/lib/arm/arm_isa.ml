@@ -1,0 +1,93 @@
+(* ARM-like scalar instruction set standing in for the StrongARM SA-110
+   (the paper's hardcore baseline, measured with SimIt-ARM).  This is an
+   abstraction of ARMv4: 16 registers (r13 = sp, r14 = lr), a flags
+   register modelled as the operands of the last CMP, conditional moves
+   (ARM conditional execution restricted to the MOV we need), and no
+   divide instruction — division is a software routine, as on the real
+   part.  Immediates are 16-bit signed (a simplification of ARM's rotated
+   8-bit immediates plus literal pools; both targets materialise larger
+   constants with short instruction chains, keeping the comparison fair). *)
+
+type reg = int
+
+let reg_rv = 0        (* r0: first argument and return value *)
+let reg_arg0 = 0
+let max_args = 4
+let reg_scratch = 12
+let reg_sp = 13
+let reg_lr = 14
+let n_regs = 16
+
+type cond = Ceq | Cne | Clt | Cle | Cgt | Cge | Cltu | Cleu | Cgtu | Cgeu
+
+type aluop = Aadd | Asub | Arsb | Amul | Aand | Aorr | Aeor | Abic
+           | Alsl | Alsr | Aasr
+
+type op2 = Rop of reg | Iop of int
+
+type size = S8 | S16 | S32
+type ext = Xs | Xz
+
+type inst =
+  | Alu of aluop * reg * reg * op2          (* rd <- rn OP op2 *)
+  | Mov of reg * op2
+  | Mvn of reg * op2                        (* rd <- lnot op2 *)
+  | Cmp of reg * op2                        (* set flags *)
+  | CondMov of cond * reg * op2             (* MOVcc *)
+  | Ldr of size * ext * reg * reg * op2     (* rd <- mem[rn + op2] *)
+  | Str of size * reg * reg * op2           (* mem[rn + op2] <- rs *)
+  | B of string
+  | Bc of cond * string
+  | Bl of string
+  | Bx of reg                               (* branch to register (return) *)
+  | Halt
+
+let imm_min = -32768
+let imm_max = 32767
+let imm_fits v = v >= imm_min && v <= imm_max
+
+let string_of_cond = function
+  | Ceq -> "EQ" | Cne -> "NE" | Clt -> "LT" | Cle -> "LE" | Cgt -> "GT"
+  | Cge -> "GE" | Cltu -> "CC" | Cleu -> "LS" | Cgtu -> "HI" | Cgeu -> "CS"
+
+let string_of_aluop = function
+  | Aadd -> "ADD" | Asub -> "SUB" | Arsb -> "RSB" | Amul -> "MUL"
+  | Aand -> "AND" | Aorr -> "ORR" | Aeor -> "EOR" | Abic -> "BIC"
+  | Alsl -> "LSL" | Alsr -> "LSR" | Aasr -> "ASR"
+
+let pp_op2 ppf = function
+  | Rop r -> Format.fprintf ppf "r%d" r
+  | Iop v -> Format.fprintf ppf "#%d" v
+
+let size_suffix = function S8 -> "B" | S16 -> "H" | S32 -> ""
+
+let pp_inst ppf = function
+  | Alu (op, rd, rn, o) ->
+    Format.fprintf ppf "%s r%d, r%d, %a" (string_of_aluop op) rd rn pp_op2 o
+  | Mov (rd, o) -> Format.fprintf ppf "MOV r%d, %a" rd pp_op2 o
+  | Mvn (rd, o) -> Format.fprintf ppf "MVN r%d, %a" rd pp_op2 o
+  | Cmp (rn, o) -> Format.fprintf ppf "CMP r%d, %a" rn pp_op2 o
+  | CondMov (c, rd, o) ->
+    Format.fprintf ppf "MOV%s r%d, %a" (string_of_cond c) rd pp_op2 o
+  | Ldr (sz, ext, rd, rn, o) ->
+    Format.fprintf ppf "LDR%s%s r%d, [r%d, %a]"
+      (match ext with Xs when sz <> S32 -> "S" | _ -> "")
+      (size_suffix sz) rd rn pp_op2 o
+  | Str (sz, rs, rn, o) ->
+    Format.fprintf ppf "STR%s r%d, [r%d, %a]" (size_suffix sz) rs rn pp_op2 o
+  | B l -> Format.fprintf ppf "B %s" l
+  | Bc (c, l) -> Format.fprintf ppf "B%s %s" (string_of_cond c) l
+  | Bl l -> Format.fprintf ppf "BL %s" l
+  | Bx r -> Format.fprintf ppf "BX r%d" r
+  | Halt -> Format.fprintf ppf "HALT"
+
+type item = Label of string | Inst of inst
+
+type program = item list
+
+let pp_program ppf items =
+  List.iter
+    (function
+      | Label l -> Format.fprintf ppf "%s:@." l
+      | Inst i -> Format.fprintf ppf "        %a@." pp_inst i)
+    items

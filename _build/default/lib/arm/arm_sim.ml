@@ -1,0 +1,193 @@
+(* Cycle-approximate simulator for the ARM-like baseline, standing in for
+   SimIt-ARM's model of the StrongARM SA-110 (5-stage, single-issue,
+   in-order):
+
+   - 1 cycle per instruction issued;
+   - MUL: 2 extra cycles (the SA-110 multiplier takes 1-3 depending on
+     the operand; we charge the middle);
+   - loads: the result is available one cycle later; a consumer in the
+     next cycle stalls one cycle (load-use interlock);
+   - taken branches (including BL/BX): 2 refill cycles (the SA-110
+     fetches straight-line speculatively);
+   - caches are assumed to always hit, which is GENEROUS to the baseline:
+     the EPIC prototype runs without caches from banked memory.
+
+   Flags are modelled as the operand pair of the last CMP. *)
+
+module I = Arm_isa
+module Memmap = Epic_mir.Memmap
+module Word = Epic_isa.Word
+
+exception Sim_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type stats = {
+  mutable cycles : int;
+  mutable insts : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable taken_branches : int;
+  mutable load_use_stalls : int;
+  mutable muls : int;
+}
+
+type result = { ret : int; stats : stats; mem : Bytes.t }
+
+let m32 v = v land 0xFFFFFFFF
+
+let mul_extra_cycles = 2
+let taken_branch_penalty = 2
+
+let run ?(fuel = 2_000_000_000) (prog : I.program) ~(mem : Bytes.t) () =
+  let items = Array.of_list prog in
+  (* Flatten: labels -> instruction index. *)
+  let labels = Hashtbl.create 64 in
+  let insts = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (function
+      | I.Label l ->
+        if Hashtbl.mem labels l then fail "duplicate label %s" l;
+        Hashtbl.replace labels l !count
+      | I.Inst i ->
+        insts := i :: !insts;
+        incr count)
+    items;
+  let insts = Array.of_list (List.rev !insts) in
+  let target l =
+    match Hashtbl.find_opt labels l with
+    | Some t -> t
+    | None -> fail "undefined label %s" l
+  in
+  let entry = target "_start" in
+  let regs = Array.make I.n_regs 0 in
+  let ready = Array.make I.n_regs 0 in
+  let flags = ref (0, 0) in
+  let st = { cycles = 0; insts = 0; loads = 0; stores = 0; branches = 0;
+             taken_branches = 0; load_use_stalls = 0; muls = 0 } in
+  let mem_len = Bytes.length mem in
+  let check_addr a n = if a < 0 || a + n > mem_len then fail "address %#x out of bounds" a in
+  let pc = ref entry in
+  let halted = ref false in
+  let ret = ref 0 in
+  let cond_holds c =
+    let a, b = !flags in
+    let sa = Word.to_signed 32 a and sb = Word.to_signed 32 b in
+    match (c : I.cond) with
+    | I.Ceq -> a = b
+    | I.Cne -> a <> b
+    | I.Clt -> sa < sb
+    | I.Cle -> sa <= sb
+    | I.Cgt -> sa > sb
+    | I.Cge -> sa >= sb
+    | I.Cltu -> a < b
+    | I.Cleu -> a <= b
+    | I.Cgtu -> a > b
+    | I.Cgeu -> a >= b
+  in
+  while not !halted do
+    if st.cycles > fuel then fail "out of fuel after %d cycles" st.cycles;
+    if !pc < 0 || !pc >= Array.length insts then fail "PC %d outside code" !pc;
+    let i = insts.(!pc) in
+    let now = st.cycles in
+    (* Load-use interlock: reading a register before its load completes. *)
+    let read r =
+      if ready.(r) > now then begin
+        let stall = ready.(r) - now in
+        st.load_use_stalls <- st.load_use_stalls + stall;
+        st.cycles <- st.cycles + stall
+      end;
+      regs.(r)
+    in
+    let op2v = function I.Rop r -> read r | I.Iop v -> m32 v in
+    let write r v = regs.(r) <- m32 v; ready.(r) <- 0 in
+    st.insts <- st.insts + 1;
+    let next = ref (!pc + 1) in
+    (match i with
+     | I.Alu (op, rd, rn, o2) ->
+       let a = read rn in
+       let b = op2v o2 in
+       let v =
+         let sa = Word.to_signed 32 a in
+         match op with
+         | I.Aadd -> a + b
+         | I.Asub -> a - b
+         | I.Arsb -> b - a
+         | I.Amul ->
+           st.muls <- st.muls + 1;
+           st.cycles <- st.cycles + mul_extra_cycles;
+           a * b
+         | I.Aand -> a land b
+         | I.Aorr -> a lor b
+         | I.Aeor -> a lxor b
+         | I.Abic -> a land lnot b
+         | I.Alsl -> if b >= 32 then 0 else a lsl b
+         | I.Alsr -> if b >= 32 then 0 else a lsr b
+         | I.Aasr -> Word.of_signed 32 (sa asr min b 31)
+       in
+       write rd v
+     | I.Mov (rd, o2) -> write rd (op2v o2)
+     | I.Mvn (rd, o2) -> write rd (lnot (op2v o2))
+     | I.Cmp (rn, o2) ->
+       let a = read rn in
+       let b = op2v o2 in
+       flags := (a, b)
+     | I.CondMov (c, rd, o2) ->
+       let v = op2v o2 in
+       if cond_holds c then write rd v
+     | I.Ldr (sz, ext, rd, rn, o2) ->
+       let a = m32 (read rn + op2v o2) in
+       let size = match sz with I.S8 -> Epic_mir.Ir.I8 | I.S16 -> Epic_mir.Ir.I16 | I.S32 -> Epic_mir.Ir.I32 in
+       check_addr a (match sz with I.S8 -> 1 | I.S16 -> 2 | I.S32 -> 4);
+       st.loads <- st.loads + 1;
+       let v = Memmap.read ~size
+           ~ext:(match ext with I.Xs -> Epic_mir.Ir.Sx | I.Xz -> Epic_mir.Ir.Zx) mem a
+       in
+       regs.(rd) <- m32 v;
+       (* Result usable the cycle after next (1-cycle load-use penalty). *)
+       ready.(rd) <- st.cycles + 2
+     | I.Str (sz, rs, rn, o2) ->
+       let a = m32 (read rn + op2v o2) in
+       check_addr a (match sz with I.S8 -> 1 | I.S16 -> 2 | I.S32 -> 4);
+       st.stores <- st.stores + 1;
+       let size = match sz with I.S8 -> Epic_mir.Ir.I8 | I.S16 -> Epic_mir.Ir.I16 | I.S32 -> Epic_mir.Ir.I32 in
+       Memmap.write ~size mem a (read rs)
+     | I.B l ->
+       st.branches <- st.branches + 1;
+       st.taken_branches <- st.taken_branches + 1;
+       st.cycles <- st.cycles + taken_branch_penalty;
+       next := target l
+     | I.Bc (c, l) ->
+       st.branches <- st.branches + 1;
+       if cond_holds c then begin
+         st.taken_branches <- st.taken_branches + 1;
+         st.cycles <- st.cycles + taken_branch_penalty;
+         next := target l
+       end
+     | I.Bl l ->
+       st.branches <- st.branches + 1;
+       st.taken_branches <- st.taken_branches + 1;
+       st.cycles <- st.cycles + taken_branch_penalty;
+       write I.reg_lr (!pc + 1);
+       next := target l
+     | I.Bx r ->
+       st.branches <- st.branches + 1;
+       st.taken_branches <- st.taken_branches + 1;
+       st.cycles <- st.cycles + taken_branch_penalty;
+       next := read r
+     | I.Halt ->
+       halted := true;
+       ret := regs.(I.reg_rv));
+    st.cycles <- st.cycles + 1;
+    pc := !next
+  done;
+  { ret = !ret; stats = st; mem }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "@[<v>cycles          %d@,instructions    %d@,loads/stores    %d/%d@,\
+     branches        %d (%d taken)@,load-use stalls %d@,multiplies      %d@]"
+    st.cycles st.insts st.loads st.stores st.branches st.taken_branches
+    st.load_use_stalls st.muls

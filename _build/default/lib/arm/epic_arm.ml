@@ -1,0 +1,22 @@
+(** The StrongARM SA-110 baseline (the paper compares against it using the
+    SimIt-ARM simulator; this library is our substitute, fed from the same
+    front-end and optimiser so the comparison isolates the architectures).
+
+    - {!Arm_isa}: the ARM-like scalar instruction set.
+    - {!Runtime}: software division (ARMv4 has no divide instruction) and
+      the Div/Rem call rewrite.
+    - {!Arm_codegen}: MIR -> ARM code generation.
+    - {!Arm_sim}: the SA-110 cycle model. *)
+
+module Isa = Arm_isa
+module Runtime = Runtime
+module Codegen = Arm_codegen
+module Sim = Arm_sim
+
+(** Compile an optimised MIR program (no guards) for the baseline.  The
+    runtime is linked first, so the memory layout is computed here (the
+    runtime adds globals) and returned along with the code. *)
+let compile_program ?mem_bytes p =
+  let p = Runtime.link_and_rewrite p in
+  let layout = Epic_mir.Memmap.layout ?mem_bytes p in
+  (Arm_codegen.gen_program layout p, layout, p)

@@ -1,0 +1,74 @@
+(* Software integer division for the ARM baseline: the SA-110, like all
+   ARMv4 parts, has no divide instruction, so compilers emit calls to a
+   runtime routine.  The routine is written in the same C subset as the
+   benchmarks and compiled by the same front-end; the semantics for
+   division by zero match the EPIC datapath's divider (0 for quotient,
+   dividend for remainder) so both targets agree. *)
+
+let source =
+  "int __udivmod_q;\n\
+   int __udivmod_r;\n\
+   void __udivmod(int a, int b) {\n\
+   \  int q = 0;\n\
+   \  int r = 0;\n\
+   \  int i;\n\
+   \  for (i = 31; i >= 0; i--) {\n\
+   \    r = (r << 1) | (__lsr(a, i) & 1);\n\
+   \    if (!__ltu(r, b)) { r = r - b; q = q | (1 << i); }\n\
+   \  }\n\
+   \  __udivmod_q = q;\n\
+   \  __udivmod_r = r;\n\
+   }\n\
+   int __sdiv(int a, int b) {\n\
+   \  int neg = 0;\n\
+   \  if (b == 0) return 0;\n\
+   \  if (a < 0) { a = 0 - a; neg = neg ^ 1; }\n\
+   \  if (b < 0) { b = 0 - b; neg = neg ^ 1; }\n\
+   \  __udivmod(a, b);\n\
+   \  if (neg) return 0 - __udivmod_q;\n\
+   \  return __udivmod_q;\n\
+   }\n\
+   int __srem(int a, int b) {\n\
+   \  int neg = 0;\n\
+   \  if (b == 0) return a;\n\
+   \  if (a < 0) { a = 0 - a; neg = 1; }\n\
+   \  if (b < 0) b = 0 - b;\n\
+   \  __udivmod(a, b);\n\
+   \  if (neg) return 0 - __udivmod_r;\n\
+   \  return __udivmod_r;\n\
+   }\n"
+
+let function_names = [ "__udivmod"; "__sdiv"; "__srem" ]
+
+module Ir = Epic_mir.Ir
+
+(* Append the runtime to a program and rewrite Div/Rem into calls.  The
+   runtime itself is division-free, so rewriting everything is safe. *)
+let link_and_rewrite (p : Ir.program) =
+  if List.exists (fun (f : Ir.func) -> List.mem f.Ir.f_name function_names) p.Ir.p_funcs
+  then invalid_arg "Runtime.link_and_rewrite: runtime symbols already defined";
+  let rt = Epic_cfront.compile source in
+  let merged =
+    {
+      Ir.p_globals = p.Ir.p_globals @ rt.Ir.p_globals;
+      p_funcs = p.Ir.p_funcs @ rt.Ir.p_funcs;
+    }
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      if not (List.mem f.Ir.f_name function_names) then
+        List.iter
+          (fun (b : Ir.block) ->
+            b.Ir.b_insts <-
+              List.map
+                (fun (i : Ir.inst) ->
+                  match i.Ir.kind with
+                  | Ir.Bin (Ir.Div, d, a, b') ->
+                    { i with Ir.kind = Ir.Call (Some d, "__sdiv", [ a; b' ]) }
+                  | Ir.Bin (Ir.Rem, d, a, b') ->
+                    { i with Ir.kind = Ir.Call (Some d, "__srem", [ a; b' ]) }
+                  | _ -> i)
+                b.Ir.b_insts)
+          f.Ir.f_blocks)
+    merged.Ir.p_funcs;
+  merged

@@ -1,0 +1,1 @@
+lib/asm/epic_asm.ml: Aunit Text

@@ -1,0 +1,1 @@
+lib/asm/aunit.ml: Array Epic_config Epic_encoding Epic_isa Format List

@@ -1,0 +1,1 @@
+lib/asm/text.ml: Aunit Epic_isa Format List String

@@ -1,0 +1,136 @@
+(* Symbolic assembly units: the representation handed from the code
+   generator/scheduler to the assembler.  Instructions are EPIC operations
+   whose source fields may still reference code labels; the assembler
+   resolves labels to instruction addresses, pads bundles with NOPs to the
+   configured issue width (exactly what the paper's assembler does with
+   Trimaran output, Section 4.2) and encodes the instruction stream. *)
+
+module Isa = Epic_isa
+module Config = Epic_config
+module Enc = Epic_encoding
+
+exception Asm_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Asm_error s)) fmt
+
+type src = Reg of int | Imm of int | Lab of string
+
+type inst = {
+  op : Isa.opcode;
+  dst1 : int;
+  dst2 : int;
+  src1 : src;
+  src2 : src;
+  guard : int;
+}
+
+let nop = { op = Isa.NOP; dst1 = 0; dst2 = 0; src1 = Imm 0; src2 = Imm 0; guard = 0 }
+
+let simple op ?(d1 = 0) ?(d2 = 0) ?(s1 = Imm 0) ?(s2 = Imm 0) ?(g = 0) () =
+  { op; dst1 = d1; dst2 = d2; src1 = s1; src2 = s2; guard = g }
+
+(* Approximate an unresolved instruction as a concrete one (labels become
+   literal 0) so that the ISA's reads/writes/port metadata applies. *)
+let to_isa_approx i =
+  let conv = function Reg r -> Isa.Sreg r | Imm v -> Isa.Simm v | Lab _ -> Isa.Simm 0 in
+  { Isa.op = i.op; dst1 = i.dst1; dst2 = i.dst2; src1 = conv i.src1;
+    src2 = conv i.src2; guard = i.guard }
+
+type item =
+  | Ilabel of string
+  | Ibundle of inst list  (* at most issue_width operations *)
+  | Idirective of string  (* filtered, like Trimaran simulator directives *)
+
+type t = { items : item list }
+
+(* ------------------------------------------------------------------ *)
+(* Resolution: labels -> instruction addresses; bundles -> padded rows. *)
+
+(* Code addresses are BUNDLE indices: branch targets are always bundle-
+   aligned (the fetch unit fetches whole issue packets), so BTRs hold
+   bundle numbers and the literal field covers 2^14 - 1 bundles. *)
+type image = {
+  im_insts : Isa.inst array;   (* concrete stream, length = bundles * width *)
+  im_symbols : (string * int) list;  (* label -> bundle index *)
+  im_issue_width : int;
+}
+
+let resolve (cfg : Config.t) (u : t) =
+  let w = cfg.Config.issue_width in
+  (* First pass: labels bind to the next bundle's index. *)
+  let addr = ref 0 in
+  let symbols = ref [] in
+  List.iter
+    (function
+      | Ilabel l ->
+        if List.mem_assoc l !symbols then fail "duplicate label %s" l;
+        symbols := (l, !addr) :: !symbols
+      | Ibundle insts ->
+        if List.length insts > w then
+          fail "bundle of %d operations exceeds issue width %d" (List.length insts) w;
+        if insts = [] then fail "empty bundle";
+        incr addr
+      | Idirective _ -> ())
+    u.items;
+  let symbols = List.rev !symbols in
+  let lookup l =
+    match List.assoc_opt l symbols with
+    | Some a -> a
+    | None -> fail "undefined label %s" l
+  in
+  let conv_src = function
+    | Reg r -> Isa.Sreg r
+    | Imm v -> Isa.Simm v
+    | Lab l ->
+      let a = lookup l in
+      if not (Enc.literal_fits cfg a) then
+        fail "label %s resolves to %d, outside the literal range" l a;
+      Isa.Simm a
+  in
+  let out = ref [] in
+  List.iter
+    (function
+      | Ilabel _ | Idirective _ -> ()
+      | Ibundle insts ->
+        let concrete =
+          List.map
+            (fun i ->
+              { Isa.op = i.op; dst1 = i.dst1; dst2 = i.dst2;
+                src1 = conv_src i.src1; src2 = conv_src i.src2; guard = i.guard })
+            insts
+        in
+        let padded =
+          concrete @ List.init (w - List.length concrete) (fun _ -> Isa.nop)
+        in
+        out := List.rev_append padded !out)
+    u.items;
+  { im_insts = Array.of_list (List.rev !out); im_symbols = symbols; im_issue_width = w }
+
+(* Count the no-ops inserted by padding (paper: "no-op instructions are
+   used to make up the difference"). *)
+let nop_count image =
+  Array.fold_left
+    (fun acc (i : Isa.inst) -> if i.Isa.op = Isa.NOP then acc + 1 else acc)
+    0 image.im_insts
+
+(* Static checks the assembler performs against the configuration header:
+   every operation must be implemented and every operand encodable. *)
+let check_image (cfg : Config.t) table image =
+  Array.iteri
+    (fun k inst ->
+      try ignore (Enc.encode table cfg inst) with
+      | Enc.Encode_error m -> fail "instruction %d (%s): %s" k (Isa.string_of_opcode inst.Isa.op) m)
+    image.im_insts;
+  image
+
+let encode_image (cfg : Config.t) table image =
+  Array.map (fun i -> Enc.encode table cfg i) image.im_insts
+
+let decode_image (cfg : Config.t) table words =
+  Array.map (fun w -> Enc.decode table cfg w) words
+
+(* Full assembly entry point: resolve, validate, encode. *)
+let assemble (cfg : Config.t) (u : t) =
+  let table = Enc.make_table cfg in
+  let image = check_image cfg table (resolve cfg u) in
+  (image, encode_image cfg table image)

@@ -1,0 +1,21 @@
+(** Assembler for the customisable EPIC processor (paper Section 4.2).
+
+    - {!Aunit}: symbolic assembly units (labels + issue bundles), label
+      resolution to bundle addresses, NOP padding to the configured issue
+      width, validation against the configuration header, and encoding.
+    - {!Text}: the concrete assembly syntax (parser and printer),
+      including directive filtering.
+
+    Like the paper's assembler, retargeting needs no recompilation: every
+    width, register count and the custom-operation set come from the
+    {!Epic_config.t} value (the "configuration header file"). *)
+
+module Aunit = Aunit
+module Text = Text
+
+exception Asm_error = Aunit.Asm_error
+
+let assemble = Aunit.assemble
+
+(** Assemble from source text. *)
+let assemble_text cfg text = Aunit.assemble cfg (Text.of_string text)

@@ -1,0 +1,195 @@
+(* Textual assembly syntax.  One bundle per line inside braces, operations
+   separated by ';'; labels end with ':'; lines starting with '.' are
+   directives (the paper's assembler filters Trimaran simulator
+   directives; ours are kept in the unit but ignored by resolution).
+
+     ; comment
+     .trimaran sim_trace on     ; filtered directive
+     main:
+     { MOV r1, #1048576 ; NOP }
+     { PBRR b0, @loop ; ADD r5, r4, #-1 (p3) }
+     { STW r1, #2, r6 ; BRCT #0, #3 }
+
+   Operand syntax: rN (GPR), pN (predicate), bN (BTR), #imm (literal),
+   @label (code label).  A trailing "(pN)" guards the operation. *)
+
+module Isa = Epic_isa
+
+exception Text_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Text_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let pp_src ppf = function
+  | Aunit.Reg r -> Format.fprintf ppf "r%d" r
+  | Aunit.Imm v -> Format.fprintf ppf "#%d" v
+  | Aunit.Lab l -> Format.fprintf ppf "@@%s" l
+
+let pp_inst ppf (i : Aunit.inst) =
+  let pp_guard ppf g = if g <> 0 then Format.fprintf ppf " (p%d)" g in
+  let op = Isa.string_of_opcode i.Aunit.op in
+  (match i.Aunit.op with
+   | Isa.NOP -> Format.fprintf ppf "NOP"
+   | Isa.HALT -> Format.fprintf ppf "HALT"
+   | Isa.ABS | Isa.MOV ->
+     Format.fprintf ppf "%s r%d, %a" op i.Aunit.dst1 pp_src i.Aunit.src1
+   | Isa.ST _ ->
+     Format.fprintf ppf "%s %a, #%d, %a" op pp_src i.Aunit.src1 i.Aunit.dst1
+       pp_src i.Aunit.src2
+   | Isa.CMPP _ ->
+     Format.fprintf ppf "%s p%d, p%d, %a, %a" op i.Aunit.dst1 i.Aunit.dst2
+       pp_src i.Aunit.src1 pp_src i.Aunit.src2
+   | Isa.PBRR ->
+     Format.fprintf ppf "%s b%d, %a" op i.Aunit.dst1 pp_src i.Aunit.src1
+   | Isa.BRU_ -> Format.fprintf ppf "%s %a" op pp_src i.Aunit.src1
+   | Isa.BRCT | Isa.BRCF ->
+     Format.fprintf ppf "%s %a, %a" op pp_src i.Aunit.src1 pp_src i.Aunit.src2
+   | Isa.BRL ->
+     Format.fprintf ppf "%s r%d, %a" op i.Aunit.dst1 pp_src i.Aunit.src1
+   | Isa.ADD | Isa.SUB | Isa.MPY | Isa.DIV | Isa.REM | Isa.MIN | Isa.MAX
+   | Isa.AND | Isa.OR | Isa.XOR | Isa.ANDCM | Isa.NAND | Isa.NOR
+   | Isa.SHL | Isa.SHR | Isa.SHRA | Isa.CUSTOM _ | Isa.LD _ | Isa.LDU _ ->
+     Format.fprintf ppf "%s r%d, %a, %a" op i.Aunit.dst1 pp_src i.Aunit.src1
+       pp_src i.Aunit.src2);
+  pp_guard ppf i.Aunit.guard
+
+let pp_unit ppf (u : Aunit.t) =
+  List.iter
+    (function
+      | Aunit.Ilabel l -> Format.fprintf ppf "%s:@." l
+      | Aunit.Idirective d -> Format.fprintf ppf ".%s@." d
+      | Aunit.Ibundle insts ->
+        Format.fprintf ppf "{ ";
+        List.iteri
+          (fun k i ->
+            if k > 0 then Format.fprintf ppf " ; ";
+            pp_inst ppf i)
+          insts;
+        Format.fprintf ppf " }@.")
+    u.Aunit.items
+
+let to_string u = Format.asprintf "%a" pp_unit u
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+(* ';' inside a bundle separates instructions, so comments use ";;". *)
+let trim = String.trim
+
+let parse_src tok =
+  if tok = "" then fail "empty operand";
+  match tok.[0] with
+  | 'r' -> (try Aunit.Reg (int_of_string (String.sub tok 1 (String.length tok - 1)))
+            with _ -> fail "bad register %s" tok)
+  | '#' -> (try Aunit.Imm (int_of_string (String.sub tok 1 (String.length tok - 1)))
+            with _ -> fail "bad literal %s" tok)
+  | '@' -> Aunit.Lab (String.sub tok 1 (String.length tok - 1))
+  | _ -> fail "bad operand %s" tok
+
+let parse_indexed prefix tok =
+  if String.length tok > 1 && tok.[0] = prefix then
+    try int_of_string (String.sub tok 1 (String.length tok - 1))
+    with _ -> fail "bad %c-operand %s" prefix tok
+  else fail "expected %c-operand, got %s" prefix tok
+
+let parse_imm tok =
+  if String.length tok > 1 && tok.[0] = '#' then
+    try int_of_string (String.sub tok 1 (String.length tok - 1))
+    with _ -> fail "bad immediate %s" tok
+  else fail "expected immediate, got %s" tok
+
+(* Parse one operation: "OPC operands... [(pN)]". *)
+let parse_inst text =
+  let text = trim text in
+  (* Extract trailing guard. *)
+  let text, guard =
+    match String.rindex_opt text '(' with
+    | Some i when String.length text > i + 2 && text.[i + 1] = 'p'
+                  && text.[String.length text - 1] = ')' ->
+      let inner = String.sub text (i + 2) (String.length text - i - 3) in
+      (match int_of_string_opt inner with
+       | Some g -> (trim (String.sub text 0 i), g)
+       | None -> (text, 0))
+    | _ -> (text, 0)
+  in
+  let mnemonic, rest =
+    match String.index_opt text ' ' with
+    | Some i -> (String.sub text 0 i, String.sub text i (String.length text - i))
+    | None -> (text, "")
+  in
+  let op =
+    match Isa.opcode_of_string mnemonic with
+    | Some op -> op
+    | None -> fail "unknown mnemonic %s" mnemonic
+  in
+  let operands =
+    String.split_on_char ',' rest
+    |> List.map trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let mk = Aunit.simple in
+  match (op, operands) with
+  | Isa.NOP, [] -> mk Isa.NOP ~g:guard ()
+  | Isa.HALT, [] -> mk Isa.HALT ~g:guard ()
+  | (Isa.ABS | Isa.MOV), [ d; s ] ->
+    mk op ~d1:(parse_indexed 'r' d) ~s1:(parse_src s) ~g:guard ()
+  | Isa.ST _, [ base; off; v ] ->
+    mk op ~d1:(parse_imm off) ~s1:(parse_src base) ~s2:(parse_src v) ~g:guard ()
+  | Isa.CMPP _, [ d1; d2; a; b ] ->
+    mk op ~d1:(parse_indexed 'p' d1) ~d2:(parse_indexed 'p' d2)
+      ~s1:(parse_src a) ~s2:(parse_src b) ~g:guard ()
+  | Isa.PBRR, [ d; s ] ->
+    mk op ~d1:(parse_indexed 'b' d) ~s1:(parse_src s) ~g:guard ()
+  | Isa.BRU_, [ s ] -> mk op ~s1:(parse_src s) ~g:guard ()
+  | (Isa.BRCT | Isa.BRCF), [ b; p ] ->
+    mk op ~s1:(parse_src b) ~s2:(parse_src p) ~g:guard ()
+  | Isa.BRL, [ d; s ] ->
+    mk op ~d1:(parse_indexed 'r' d) ~s1:(parse_src s) ~g:guard ()
+  | ( Isa.ADD | Isa.SUB | Isa.MPY | Isa.DIV | Isa.REM | Isa.MIN | Isa.MAX
+    | Isa.AND | Isa.OR | Isa.XOR | Isa.ANDCM | Isa.NAND | Isa.NOR
+    | Isa.SHL | Isa.SHR | Isa.SHRA | Isa.CUSTOM _ | Isa.LD _ | Isa.LDU _ ),
+    [ d; a; b ] ->
+    mk op ~d1:(parse_indexed 'r' d) ~s1:(parse_src a) ~s2:(parse_src b) ~g:guard ()
+  | _, _ ->
+    fail "wrong operand count for %s (got %d)" (Isa.string_of_opcode op)
+      (List.length operands)
+
+let parse_bundle line =
+  (* line without braces; instructions separated by ';' *)
+  let parts = String.split_on_char ';' line |> List.map trim |> List.filter (( <> ) "") in
+  if parts = [] then fail "empty bundle";
+  Aunit.Ibundle (List.map parse_inst parts)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let items = ref [] in
+  List.iteri
+    (fun lineno line ->
+      let line =
+        (* ";;" starts a comment. *)
+        let rec find i =
+          if i + 1 >= String.length line then line
+          else if line.[i] = ';' && line.[i + 1] = ';' then String.sub line 0 i
+          else find (i + 1)
+        in
+        trim (find 0)
+      in
+      if line = "" then ()
+      else
+        try
+          (* Labels may start with '.' (compiler-local ones do), so the
+             trailing ':' takes precedence over the directive prefix. *)
+          if line.[String.length line - 1] = ':' then
+            items := Aunit.Ilabel (String.sub line 0 (String.length line - 1)) :: !items
+          else if line.[0] = '.' then
+            items := Aunit.Idirective (String.sub line 1 (String.length line - 1)) :: !items
+          else if line.[0] = '{' then begin
+            if line.[String.length line - 1] <> '}' then fail "bundle must close on the same line";
+            items := parse_bundle (String.sub line 1 (String.length line - 2)) :: !items
+          end
+          else fail "cannot parse line"
+        with Text_error m -> fail "line %d: %s" (lineno + 1) m)
+    lines;
+  { Aunit.items = List.rev !items }

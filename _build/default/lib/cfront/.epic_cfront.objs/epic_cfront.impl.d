@@ -1,0 +1,1 @@
+lib/cfront/epic_cfront.ml: Ast Lexer Lower Parser Printf

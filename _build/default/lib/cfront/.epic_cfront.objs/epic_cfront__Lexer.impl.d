@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Ast Char List Printf String

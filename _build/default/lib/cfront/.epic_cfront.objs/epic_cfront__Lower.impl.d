@@ -1,0 +1,1 @@
+lib/cfront/lower.ml: Array Ast Epic_mir Format List String

@@ -1,0 +1,71 @@
+(* Abstract syntax of EPIC-C, the C subset accepted by the front-end.
+
+   The language is deliberately small but complete enough for the paper's
+   four benchmarks: a single 32-bit [int] type, global and local scalars
+   and arrays, functions, full C expression syntax (including short-circuit
+   operators and the conditional operator), and the usual statement forms.
+   Arrays decay to addresses; array parameters are written [int a[]]. *)
+
+type pos = { line : int; col : int }
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Brem
+  | Band | Bor | Bxor
+  | Bshl | Bshr  (* >> is arithmetic: int is signed *)
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Bland | Blor  (* short-circuit && and || *)
+
+type unop = Uneg | Unot (* ~ *) | Ulnot (* ! *)
+
+type expr =
+  | Eint of int * pos
+  | Evar of string * pos
+  | Eindex of string * expr * pos        (* a[i] *)
+  | Ebin of binop * expr * expr * pos
+  | Eun of unop * expr * pos
+  | Ecall of string * expr list * pos
+  | Econd of expr * expr * expr * pos    (* c ? a : b *)
+
+type lvalue = Lvar of string * pos | Lindex of string * expr * pos
+
+(* Compound assignment carries the operator ([None] is plain [=]). *)
+type stmt =
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt option * pos
+  | Swhile of expr * stmt * pos
+  | Sdo of stmt * expr * pos             (* do s while (e); *)
+  | Sfor of stmt option * expr option * stmt option * stmt * pos
+  | Sreturn of expr option * pos
+  | Sbreak of pos
+  | Scontinue of pos
+  | Sexpr of expr * pos
+  | Sassign of lvalue * binop option * expr * pos
+  | Sdecl of string * int option * expr option * pos
+      (* int x; / int x = e; / int a[N]; — array size must be constant *)
+  | Snop
+
+type param = { p_name : string; p_array : bool; p_pos : pos }
+
+type func = {
+  fn_name : string;
+  fn_params : param list;
+  fn_body : stmt list;
+  fn_pos : pos;
+}
+
+type global = {
+  gl_name : string;
+  gl_array : int option;        (* Some n: array of n ints *)
+  gl_init : int list;           (* word initialisers (may be empty) *)
+  gl_pos : pos;
+}
+
+type decl = Dglobal of global | Dfunc of func
+
+type program = decl list
+
+let pos_of_expr = function
+  | Eint (_, p) | Evar (_, p) | Eindex (_, _, p) | Ebin (_, _, _, p)
+  | Eun (_, _, p) | Ecall (_, _, p) | Econd (_, _, _, p) -> p
+
+let string_of_pos p = Printf.sprintf "line %d, col %d" p.line p.col

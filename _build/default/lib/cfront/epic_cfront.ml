@@ -1,0 +1,29 @@
+(** EPIC-C front-end: the machine-independent entry to the toolchain (the
+    IMPACT role in the paper's Trimaran-based flow).
+
+    - {!Lexer}, {!Parser}: concrete syntax of the C subset.
+    - {!Ast}: abstract syntax.
+    - {!Lower}: AST to MIR translation.
+
+    The usual entry point is {!compile}. *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Lower = Lower
+
+exception Error of string
+(** Any front-end failure (lexical, syntactic or semantic), with a
+    position-annotated message. *)
+
+(** [compile ?unroll source] parses and lowers EPIC-C.  [unroll] fully
+    unrolls counted [for] loops with at most that many iterations
+    (default 1 = off); the toolchain drivers enable it. *)
+let compile ?unroll source =
+  try Lower.lower_program ?unroll (Parser.parse_program source) with
+  | Lexer.Lex_error (m, p) ->
+    raise (Error (Printf.sprintf "lexical error: %s (%s)" m (Ast.string_of_pos p)))
+  | Parser.Parse_error (m, p) ->
+    raise (Error (Printf.sprintf "syntax error: %s (%s)" m (Ast.string_of_pos p)))
+  | Lower.Sema_error (m, p) ->
+    raise (Error (Printf.sprintf "semantic error: %s (%s)" m (Ast.string_of_pos p)))

@@ -1,0 +1,155 @@
+(* Hand-written lexer for EPIC-C. *)
+
+exception Lex_error of string * Ast.pos
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string          (* int void if else while do for return break continue *)
+  | PUNCT of string       (* operators and delimiters *)
+  | EOF
+
+type ltoken = { tok : token; pos : Ast.pos }
+
+let keywords = [ "int"; "void"; "if"; "else"; "while"; "do"; "for"; "return";
+                 "break"; "continue" ]
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let make src = { src; off = 0; line = 1; bol = 0 }
+
+let pos s = { Ast.line = s.line; col = s.off - s.bol + 1 }
+
+let error s msg = raise (Lex_error (msg, pos s))
+
+let peek s = if s.off < String.length s.src then Some s.src.[s.off] else None
+let peek2 s = if s.off + 1 < String.length s.src then Some s.src.[s.off + 1] else None
+
+let advance s =
+  (match peek s with
+   | Some '\n' ->
+     s.line <- s.line + 1;
+     s.bol <- s.off + 1
+   | _ -> ());
+  s.off <- s.off + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments s =
+  match peek s with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance s;
+    skip_ws_and_comments s
+  | Some '/' when peek2 s = Some '/' ->
+    while peek s <> None && peek s <> Some '\n' do advance s done;
+    skip_ws_and_comments s
+  | Some '/' when peek2 s = Some '*' ->
+    advance s; advance s;
+    let rec go () =
+      match peek s with
+      | None -> error s "unterminated comment"
+      | Some '*' when peek2 s = Some '/' -> advance s; advance s
+      | Some _ -> advance s; go ()
+    in
+    go ();
+    skip_ws_and_comments s
+  | Some _ | None -> ()
+
+let lex_number s =
+  let start = s.off in
+  if peek s = Some '0' && (peek2 s = Some 'x' || peek2 s = Some 'X') then begin
+    advance s; advance s;
+    while (match peek s with Some c -> is_hex c | None -> false) do advance s done;
+    let text = String.sub s.src start (s.off - start) in
+    int_of_string text
+  end
+  else begin
+    while (match peek s with Some c -> is_digit c | None -> false) do advance s done;
+    int_of_string (String.sub s.src start (s.off - start))
+  end
+
+let lex_char_literal s =
+  advance s; (* opening quote *)
+  let v =
+    match peek s with
+    | Some '\\' ->
+      advance s;
+      let c =
+        match peek s with
+        | Some 'n' -> 10 | Some 't' -> 9 | Some 'r' -> 13 | Some '0' -> 0
+        | Some '\\' -> 92 | Some '\'' -> 39
+        | Some c -> error s (Printf.sprintf "unknown escape \\%c" c)
+        | None -> error s "unterminated character literal"
+      in
+      advance s; c
+    | Some c -> advance s; Char.code c
+    | None -> error s "unterminated character literal"
+  in
+  (match peek s with
+   | Some '\'' -> advance s
+   | _ -> error s "unterminated character literal");
+  v
+
+(* Multi-character punctuators, longest first. *)
+let puncts3 = [ "<<="; ">>=" ]
+let puncts2 = [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-=";
+                "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--" ]
+
+let next s =
+  skip_ws_and_comments s;
+  let p = pos s in
+  match peek s with
+  | None -> { tok = EOF; pos = p }
+  | Some c when is_digit c -> { tok = INT (lex_number s); pos = p }
+  | Some '\'' -> { tok = INT (lex_char_literal s); pos = p }
+  | Some c when is_ident_start c ->
+    let start = s.off in
+    while (match peek s with Some c -> is_ident c | None -> false) do advance s done;
+    let text = String.sub s.src start (s.off - start) in
+    if List.mem text keywords then { tok = KW text; pos = p }
+    else { tok = IDENT text; pos = p }
+  | Some _ ->
+    let take n =
+      let t = String.sub s.src s.off n in
+      for _ = 1 to n do advance s done;
+      t
+    in
+    let remaining = String.length s.src - s.off in
+    let try_list n cands =
+      if remaining >= n && List.mem (String.sub s.src s.off n) cands then
+        Some (take n)
+      else None
+    in
+    (match try_list 3 puncts3 with
+     | Some t -> { tok = PUNCT t; pos = p }
+     | None ->
+       match try_list 2 puncts2 with
+       | Some t -> { tok = PUNCT t; pos = p }
+       | None ->
+         let c = take 1 in
+         if String.contains "+-*/%<>=!&|^~(){}[];,?:" c.[0] then
+           { tok = PUNCT c; pos = p }
+         else error s (Printf.sprintf "unexpected character %C" c.[0]))
+
+let tokenize src =
+  let s = make src in
+  let rec go acc =
+    let t = next s in
+    match t.tok with EOF -> List.rev (t :: acc) | _ -> go (t :: acc)
+  in
+  go []
+
+let string_of_token = function
+  | INT v -> string_of_int v
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "%S" s
+  | EOF -> "<eof>"

@@ -1,0 +1,637 @@
+(* Lowering from the EPIC-C AST to MIR.  Performs name resolution, the
+   (minimal) semantic checks the single-type language needs, and the
+   translation of structured control flow to a CFG with fused
+   compare-and-branch terminators.
+
+   Intrinsics understood here (the front-end's escape hatches):
+   - [__lsr(a, b)]    logical shift right ([>>] is arithmetic, int is signed)
+   - [__asr(a, b)]    explicit arithmetic shift right
+   - [__min(a, b)], [__max(a, b)]
+   - [__ltu/__leu/__gtu/__geu(a, b)]  unsigned comparisons (0/1)
+   - [__x_NAME(a, b)] custom ALU operation NAME (upper-cased), which the
+     EPIC backend emits as an [X.NAME] instruction and other targets expand
+     or reject.
+
+   The lowering also performs counted-loop unrolling when requested (see
+   [unrollable_for] below): [for (i = C0; i < C1; i++)] bodies without
+   break/continue or writes to [i] are replicated [C1 - C0] times. *)
+
+exception Sema_error of string * Ast.pos
+
+let err pos fmt = Format.kasprintf (fun s -> raise (Sema_error (s, pos))) fmt
+
+module Ir = Epic_mir.Ir
+
+type binding =
+  | Bscalar of Ir.vreg          (* local or parameter scalar *)
+  | Barray_addr of Ir.vreg      (* array parameter: register holds address *)
+  | Blocal_array of int * int   (* frame offset, length in words *)
+
+type genv = {
+  globals : (string * [ `Scalar | `Array of int ]) list;
+  funcs : (string * int) list;  (* name -> arity *)
+}
+
+type env = {
+  g : genv;
+  b : Ir.Builder.t;
+  unroll : int;  (* fully unroll counted loops with trip count <= this *)
+  mutable scopes : (string * binding) list list;
+  mutable break_labels : Ir.label list;
+  continue_labels : Ir.label list ref;
+}
+
+let lookup_local env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest ->
+      (match List.assoc_opt name scope with Some b -> Some b | None -> go rest)
+  in
+  go env.scopes
+
+let bind env name binding =
+  match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, binding) :: scope) :: rest
+  | [] -> assert false
+
+let relop_of_binop = function
+  | Ast.Beq -> Some Ir.Req | Ast.Bne -> Some Ir.Rne | Ast.Blt -> Some Ir.Rlt
+  | Ast.Ble -> Some Ir.Rle | Ast.Bgt -> Some Ir.Rgt | Ast.Bge -> Some Ir.Rge
+  | Ast.Badd | Ast.Bsub | Ast.Bmul | Ast.Bdiv | Ast.Brem | Ast.Band
+  | Ast.Bor | Ast.Bxor | Ast.Bshl | Ast.Bshr | Ast.Bland | Ast.Blor -> None
+
+let arith_of_binop = function
+  | Ast.Badd -> Some Ir.Add | Ast.Bsub -> Some Ir.Sub | Ast.Bmul -> Some Ir.Mul
+  | Ast.Bdiv -> Some Ir.Div | Ast.Brem -> Some Ir.Rem | Ast.Band -> Some Ir.And
+  | Ast.Bor -> Some Ir.Or | Ast.Bxor -> Some Ir.Xor | Ast.Bshl -> Some Ir.Shl
+  | Ast.Bshr -> Some Ir.Shra  (* int is signed: >> is arithmetic *)
+  | Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge
+  | Ast.Bland | Ast.Blor -> None
+
+let intrinsic_relop = function
+  | "__ltu" -> Some Ir.Rltu
+  | "__leu" -> Some Ir.Rleu
+  | "__gtu" -> Some Ir.Rgtu
+  | "__geu" -> Some Ir.Rgeu
+  | _ -> None
+
+let intrinsic_binop = function
+  | "__lsr" -> Some Ir.Shr
+  | "__asr" -> Some Ir.Shra
+  | "__min" -> Some Ir.Min
+  | "__max" -> Some Ir.Max
+  | _ -> None
+
+let custom_of_name name =
+  let prefix = "__x_" in
+  let lp = String.length prefix in
+  if String.length name > lp && String.sub name 0 lp = prefix then
+    Some (String.uppercase_ascii (String.sub name lp (String.length name - lp)))
+  else None
+
+(* Address of the value denoted by [name] when it is an array. *)
+let array_base env pos name =
+  match lookup_local env name with
+  | Some (Barray_addr r) -> Some (Ir.Reg r)
+  | Some (Blocal_array (off, _)) ->
+    let d = Ir.Builder.fresh_vreg env.b in
+    Ir.Builder.emit env.b (Ir.FrameAddr (d, off));
+    Some (Ir.Reg d)
+  | Some (Bscalar _) -> None
+  | None ->
+    (match List.assoc_opt name env.g.globals with
+     | Some (`Array _) ->
+       let d = Ir.Builder.fresh_vreg env.b in
+       Ir.Builder.emit env.b (Ir.AddrOf (d, name));
+       Some (Ir.Reg d)
+     | Some `Scalar | None ->
+       ignore pos;
+       None)
+
+let rec lower_expr env (e : Ast.expr) : Ir.operand =
+  match e with
+  | Ast.Eint (v, _) -> Ir.Imm v
+  | Ast.Evar (name, pos) ->
+    (match lookup_local env name with
+     | Some (Bscalar r) -> Ir.Reg r
+     | Some (Barray_addr _) | Some (Blocal_array _) ->
+       (match array_base env pos name with Some o -> o | None -> assert false)
+     | None ->
+       (match List.assoc_opt name env.g.globals with
+        | Some `Scalar ->
+          let a = Ir.Builder.fresh_vreg env.b in
+          Ir.Builder.emit env.b (Ir.AddrOf (a, name));
+          let d = Ir.Builder.fresh_vreg env.b in
+          Ir.Builder.emit env.b (Ir.Load (Ir.I32, Ir.Sx, d, Ir.Reg a, Ir.Imm 0));
+          Ir.Reg d
+        | Some (`Array _) ->
+          (match array_base env pos name with Some o -> o | None -> assert false)
+        | None -> err pos "undefined variable %s" name))
+  | Ast.Eindex (name, idx, pos) ->
+    let base, off = lower_index_addr env name idx pos in
+    let d = Ir.Builder.fresh_vreg env.b in
+    Ir.Builder.emit env.b (Ir.Load (Ir.I32, Ir.Sx, d, base, off));
+    Ir.Reg d
+  | Ast.Ebin ((Ast.Bland | Ast.Blor), _, _, _)
+  | Ast.Ebin ((Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge), _, _, _)
+    -> lower_bool_value env e
+  | Ast.Ebin (op, a, b, _) ->
+    let ra = lower_expr env a in
+    let rb = lower_expr env b in
+    let d = Ir.Builder.fresh_vreg env.b in
+    (match arith_of_binop op with
+     | Some o -> Ir.Builder.emit env.b (Ir.Bin (o, d, ra, rb))
+     | None -> assert false);
+    Ir.Reg d
+  | Ast.Eun (Ast.Uneg, a, _) ->
+    let ra = lower_expr env a in
+    let d = Ir.Builder.fresh_vreg env.b in
+    Ir.Builder.emit env.b (Ir.Bin (Ir.Sub, d, Ir.Imm 0, ra));
+    Ir.Reg d
+  | Ast.Eun (Ast.Unot, a, _) ->
+    let ra = lower_expr env a in
+    let d = Ir.Builder.fresh_vreg env.b in
+    Ir.Builder.emit env.b (Ir.Bin (Ir.Xor, d, ra, Ir.Imm (-1)));
+    Ir.Reg d
+  | Ast.Eun (Ast.Ulnot, _, _) -> lower_bool_value env e
+  | Ast.Ecall (name, args, pos) -> lower_call env name args pos ~want_value:true
+  | Ast.Econd (c, a, b, _) ->
+    let d = Ir.Builder.fresh_vreg env.b in
+    let lt = Ir.Builder.fresh_label env.b in
+    let lf = Ir.Builder.fresh_label env.b in
+    let join = Ir.Builder.fresh_label env.b in
+    lower_cond env c ~ltrue:lt ~lfalse:lf;
+    Ir.Builder.start_block env.b lt;
+    let ra = lower_expr env a in
+    Ir.Builder.emit env.b (Ir.Mov (d, ra));
+    Ir.Builder.seal env.b (Ir.Jmp join);
+    Ir.Builder.start_block env.b lf;
+    let rb = lower_expr env b in
+    Ir.Builder.emit env.b (Ir.Mov (d, rb));
+    Ir.Builder.seal env.b (Ir.Jmp join);
+    Ir.Builder.start_block env.b join;
+    Ir.Reg d
+
+(* Comparison / logical expression used for its 0-1 value. *)
+and lower_bool_value env e =
+  match e with
+  | Ast.Ebin (op, a, b, _) when relop_of_binop op <> None ->
+    let ra = lower_expr env a in
+    let rb = lower_expr env b in
+    let d = Ir.Builder.fresh_vreg env.b in
+    (match relop_of_binop op with
+     | Some r -> Ir.Builder.emit env.b (Ir.Cmp (r, d, ra, rb))
+     | None -> assert false);
+    Ir.Reg d
+  | Ast.Eun (Ast.Ulnot, a, _) ->
+    let ra = lower_expr env a in
+    let d = Ir.Builder.fresh_vreg env.b in
+    Ir.Builder.emit env.b (Ir.Cmp (Ir.Req, d, ra, Ir.Imm 0));
+    Ir.Reg d
+  | _ ->
+    (* Short-circuit operators: materialise through control flow. *)
+    let d = Ir.Builder.fresh_vreg env.b in
+    let lt = Ir.Builder.fresh_label env.b in
+    let lf = Ir.Builder.fresh_label env.b in
+    let join = Ir.Builder.fresh_label env.b in
+    lower_cond env e ~ltrue:lt ~lfalse:lf;
+    Ir.Builder.start_block env.b lt;
+    Ir.Builder.emit env.b (Ir.Mov (d, Ir.Imm 1));
+    Ir.Builder.seal env.b (Ir.Jmp join);
+    Ir.Builder.start_block env.b lf;
+    Ir.Builder.emit env.b (Ir.Mov (d, Ir.Imm 0));
+    Ir.Builder.seal env.b (Ir.Jmp join);
+    Ir.Builder.start_block env.b join;
+    Ir.Reg d
+
+and lower_index_addr env name idx pos =
+  match array_base env pos name with
+  | None -> err pos "%s is not an array" name
+  | Some base ->
+    (match idx with
+     | Ast.Eint (v, _) -> (base, Ir.Imm (4 * v))
+     | _ ->
+       let ri = lower_expr env idx in
+       let off = Ir.Builder.fresh_vreg env.b in
+       Ir.Builder.emit env.b (Ir.Bin (Ir.Shl, off, ri, Ir.Imm 2));
+       (base, Ir.Reg off))
+
+and lower_call env name args pos ~want_value =
+  let lower_args () = List.map (lower_expr env) args in
+  match intrinsic_binop name with
+  | Some op ->
+    (match lower_args () with
+     | [ a; b ] ->
+       let d = Ir.Builder.fresh_vreg env.b in
+       Ir.Builder.emit env.b (Ir.Bin (op, d, a, b));
+       Ir.Reg d
+     | _ -> err pos "%s expects 2 arguments" name)
+  | None ->
+  match intrinsic_relop name with
+  | Some r ->
+    (match lower_args () with
+     | [ a; b ] ->
+       let d = Ir.Builder.fresh_vreg env.b in
+       Ir.Builder.emit env.b (Ir.Cmp (r, d, a, b));
+       Ir.Reg d
+     | _ -> err pos "%s expects 2 arguments" name)
+  | None ->
+    (match custom_of_name name with
+     | Some cname ->
+       (match lower_args () with
+        | [ a; b ] ->
+          let d = Ir.Builder.fresh_vreg env.b in
+          Ir.Builder.emit env.b (Ir.Custom (cname, d, a, b));
+          Ir.Reg d
+        | _ -> err pos "custom operation %s expects 2 arguments" name)
+     | None ->
+       (match List.assoc_opt name env.g.funcs with
+        | None -> err pos "call to undefined function %s" name
+        | Some arity ->
+          if List.length args <> arity then
+            err pos "%s expects %d arguments, got %d" name arity (List.length args);
+          let ras = lower_args () in
+          let d = if want_value then Some (Ir.Builder.fresh_vreg env.b) else None in
+          Ir.Builder.emit env.b (Ir.Call (d, name, ras));
+          (match d with Some d -> Ir.Reg d | None -> Ir.Imm 0)))
+
+and lower_cond env (e : Ast.expr) ~ltrue ~lfalse =
+  match e with
+  | Ast.Eint (v, _) -> Ir.Builder.seal env.b (Ir.Jmp (if v <> 0 then ltrue else lfalse))
+  | Ast.Ebin (Ast.Bland, a, b, _) ->
+    let mid = Ir.Builder.fresh_label env.b in
+    lower_cond env a ~ltrue:mid ~lfalse;
+    Ir.Builder.start_block env.b mid;
+    lower_cond env b ~ltrue ~lfalse
+  | Ast.Ebin (Ast.Blor, a, b, _) ->
+    let mid = Ir.Builder.fresh_label env.b in
+    lower_cond env a ~ltrue ~lfalse:mid;
+    Ir.Builder.start_block env.b mid;
+    lower_cond env b ~ltrue ~lfalse
+  | Ast.Ebin (op, a, b, _) when relop_of_binop op <> None ->
+    let ra = lower_expr env a in
+    let rb = lower_expr env b in
+    (match relop_of_binop op with
+     | Some r -> Ir.Builder.seal env.b (Ir.Br (r, ra, rb, ltrue, lfalse))
+     | None -> assert false)
+  | Ast.Eun (Ast.Ulnot, a, _) -> lower_cond env a ~ltrue:lfalse ~lfalse:ltrue
+  | _ ->
+    let r = lower_expr env e in
+    Ir.Builder.seal env.b (Ir.Br (Ir.Rne, r, Ir.Imm 0, ltrue, lfalse))
+
+(* ------------------------------------------------------------------ *)
+(* Loop unrolling (the IMPACT-style transformation, done where the loop
+   structure is still syntactic): a [for] whose bounds and step are
+   literal constants, whose induction variable is never written inside
+   the body, and which contains no break/continue is emitted as [trip]
+   copies of its body.  This widens basic blocks for the EPIC scheduler
+   and removes branch bubbles on both targets. *)
+
+let rec stmt_mentions_flow (s : Ast.stmt) =
+  match s with
+  | Ast.Sbreak _ | Ast.Scontinue _ -> true
+  | Ast.Sblock ss -> List.exists stmt_mentions_flow ss
+  | Ast.Sif (_, a, b, _) ->
+    stmt_mentions_flow a || (match b with Some b -> stmt_mentions_flow b | None -> false)
+  (* break/continue inside a nested loop bind to that loop: opaque here. *)
+  | Ast.Swhile _ | Ast.Sdo _ | Ast.Sfor _ -> false
+  | Ast.Sreturn _ | Ast.Sexpr _ | Ast.Sassign _ | Ast.Sdecl _ | Ast.Snop -> false
+
+let rec stmt_touches_var name (s : Ast.stmt) =
+  match s with
+  | Ast.Sassign (Ast.Lvar (n, _), _, _, _) when n = name -> true
+  | Ast.Sassign (_, _, _, _) -> false
+  | Ast.Sdecl (n, _, _, _) when n = name -> true  (* shadowing: be safe *)
+  | Ast.Sdecl _ -> false
+  | Ast.Sblock ss -> List.exists (stmt_touches_var name) ss
+  | Ast.Sif (_, a, b, _) ->
+    stmt_touches_var name a
+    || (match b with Some b -> stmt_touches_var name b | None -> false)
+  | Ast.Swhile (_, b, _) -> stmt_touches_var name b
+  | Ast.Sdo (b, _, _) -> stmt_touches_var name b
+  | Ast.Sfor (i, _, st, b, _) ->
+    (match i with Some i -> stmt_touches_var name i | None -> false)
+    || (match st with Some st -> stmt_touches_var name st | None -> false)
+    || stmt_touches_var name b
+  | Ast.Sreturn _ | Ast.Sbreak _ | Ast.Scontinue _ | Ast.Sexpr _ | Ast.Snop -> false
+
+let rec expr_size (e : Ast.expr) =
+  match e with
+  | Ast.Eint _ | Ast.Evar _ -> 1
+  | Ast.Eindex (_, i, _) -> 2 + expr_size i
+  | Ast.Ebin (_, a, b, _) -> 1 + expr_size a + expr_size b
+  | Ast.Eun (_, a, _) -> 1 + expr_size a
+  | Ast.Ecall (_, args, _) -> 3 + List.fold_left (fun a e -> a + expr_size e) 0 args
+  | Ast.Econd (c, a, b, _) -> 2 + expr_size c + expr_size a + expr_size b
+
+(* Approximate generated-code size, counting expression nodes: unrolling
+   must not blow up blocks whose statements carry huge expressions (the
+   hand-unrolled DCT kernels). *)
+let rec stmt_size (s : Ast.stmt) =
+  match s with
+  | Ast.Sblock ss -> List.fold_left (fun a s -> a + stmt_size s) 0 ss
+  | Ast.Sif (c, a, b, _) ->
+    1 + expr_size c + stmt_size a + (match b with Some b -> stmt_size b | None -> 0)
+  | Ast.Swhile (c, b, _) | Ast.Sdo (b, c, _) -> 2 + expr_size c + stmt_size b
+  | Ast.Sfor (_, _, _, b, _) -> 5 + stmt_size b
+  | Ast.Sreturn (Some e, _) -> 1 + expr_size e
+  | Ast.Sreturn (None, _) -> 1
+  | Ast.Sexpr (e, _) -> expr_size e
+  | Ast.Sassign (Ast.Lvar _, _, e, _) -> 1 + expr_size e
+  | Ast.Sassign (Ast.Lindex (_, i, _), _, e, _) -> 2 + expr_size i + expr_size e
+  | Ast.Sdecl (_, _, Some e, _) -> 1 + expr_size e
+  | Ast.Sdecl (_, _, None, _) -> 1
+  | Ast.Sbreak _ | Ast.Scontinue _ | Ast.Snop -> 1
+
+(* Recognise: for (i = C0; i < C1; i++) body / for (int i = C0; ...). *)
+let unrollable_for env init cond step body =
+  if env.unroll <= 1 then None
+  else
+    let var_and_start =
+      match init with
+      | Some (Ast.Sdecl (n, None, Some (Ast.Eint (c0, _)), _)) -> Some (n, c0, true)
+      | Some (Ast.Sassign (Ast.Lvar (n, _), None, Ast.Eint (c0, _), _)) ->
+        Some (n, c0, false)
+      | _ -> None
+    in
+    match (var_and_start, cond, step) with
+    | ( Some (n, c0, fresh),
+        Some (Ast.Ebin (Ast.Blt, Ast.Evar (n', _), Ast.Eint (c1, _), _)),
+        Some (Ast.Sassign (Ast.Lvar (n'', _), Some Ast.Badd, Ast.Eint (1, _), _)) )
+      when n = n' && n = n'' ->
+      let trip = c1 - c0 in
+      if trip > 0 && trip <= env.unroll
+         && (not (stmt_mentions_flow body))
+         && (not (stmt_touches_var n body))
+         && trip * stmt_size body <= 320
+      then Some (n, c0, trip, fresh)
+      else None
+    | _ -> None
+
+(* After a statement that sealed the current block (return/break/continue),
+   any trailing code needs a fresh (unreachable) block; CFG simplification
+   removes it later. *)
+let ensure_block env =
+  if not (Ir.Builder.in_block env.b) then
+    Ir.Builder.start_block env.b (Ir.Builder.fresh_label env.b)
+
+let rec lower_stmt env (s : Ast.stmt) =
+  ensure_block env;
+  match s with
+  | Ast.Snop -> ()
+  | Ast.Sblock stmts ->
+    env.scopes <- [] :: env.scopes;
+    List.iter (lower_stmt env) stmts;
+    env.scopes <- List.tl env.scopes
+  | Ast.Sexpr (Ast.Ecall (name, args, pos), _) ->
+    ignore (lower_call env name args pos ~want_value:false)
+  | Ast.Sexpr (e, _) -> ignore (lower_expr env e)
+  | Ast.Sdecl (name, None, init, _) ->
+    let r = Ir.Builder.fresh_vreg env.b in
+    (match init with
+     | Some e ->
+       let v = lower_expr env e in
+       Ir.Builder.emit env.b (Ir.Mov (r, v))
+     | None -> ());
+    bind env name (Bscalar r)
+  | Ast.Sdecl (name, Some n, init, pos) ->
+    if n <= 0 then err pos "array %s must have positive size" name;
+    (match init with
+     | Some _ -> err pos "local array initialisers are not supported"
+     | None -> ());
+    let fn = Ir.Builder.func env.b in
+    let off = fn.Ir.f_frame_bytes in
+    fn.Ir.f_frame_bytes <- off + (4 * n);
+    bind env name (Blocal_array (off, n))
+  | Ast.Sassign (lv, op, e, pos) -> lower_assign env lv op e pos
+  | Ast.Sreturn (e, _) ->
+    let v = match e with Some e -> lower_expr env e | None -> Ir.Imm 0 in
+    Ir.Builder.seal env.b (Ir.Ret (Some v))
+  | Ast.Sbreak pos ->
+    (match env.break_labels with
+     | l :: _ -> Ir.Builder.seal env.b (Ir.Jmp l)
+     | [] -> err pos "break outside a loop")
+  | Ast.Scontinue pos ->
+    (match !(env.continue_labels) with
+     | l :: _ -> Ir.Builder.seal env.b (Ir.Jmp l)
+     | [] -> err pos "continue outside a loop")
+  | Ast.Sif (c, then_, else_, _) ->
+    let lt = Ir.Builder.fresh_label env.b in
+    let join = Ir.Builder.fresh_label env.b in
+    (match else_ with
+     | None ->
+       lower_cond env c ~ltrue:lt ~lfalse:join;
+       Ir.Builder.start_block env.b lt;
+       lower_stmt env then_;
+       if Ir.Builder.in_block env.b then Ir.Builder.seal env.b (Ir.Jmp join)
+     | Some else_ ->
+       let lf = Ir.Builder.fresh_label env.b in
+       lower_cond env c ~ltrue:lt ~lfalse:lf;
+       Ir.Builder.start_block env.b lt;
+       lower_stmt env then_;
+       if Ir.Builder.in_block env.b then Ir.Builder.seal env.b (Ir.Jmp join);
+       Ir.Builder.start_block env.b lf;
+       lower_stmt env else_;
+       if Ir.Builder.in_block env.b then Ir.Builder.seal env.b (Ir.Jmp join));
+    Ir.Builder.start_block env.b join
+  | Ast.Swhile (c, body, _) ->
+    let head = Ir.Builder.fresh_label env.b in
+    let lbody = Ir.Builder.fresh_label env.b in
+    let exit_ = Ir.Builder.fresh_label env.b in
+    Ir.Builder.seal env.b (Ir.Jmp head);
+    Ir.Builder.start_block env.b head;
+    lower_cond env c ~ltrue:lbody ~lfalse:exit_;
+    Ir.Builder.start_block env.b lbody;
+    env.break_labels <- exit_ :: env.break_labels;
+    env.continue_labels := head :: !(env.continue_labels);
+    lower_stmt env body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels := List.tl !(env.continue_labels);
+    if Ir.Builder.in_block env.b then Ir.Builder.seal env.b (Ir.Jmp head);
+    Ir.Builder.start_block env.b exit_
+  | Ast.Sdo (body, c, _) ->
+    let lbody = Ir.Builder.fresh_label env.b in
+    let lcond = Ir.Builder.fresh_label env.b in
+    let exit_ = Ir.Builder.fresh_label env.b in
+    Ir.Builder.seal env.b (Ir.Jmp lbody);
+    Ir.Builder.start_block env.b lbody;
+    env.break_labels <- exit_ :: env.break_labels;
+    env.continue_labels := lcond :: !(env.continue_labels);
+    lower_stmt env body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels := List.tl !(env.continue_labels);
+    if Ir.Builder.in_block env.b then Ir.Builder.seal env.b (Ir.Jmp lcond);
+    Ir.Builder.start_block env.b lcond;
+    lower_cond env c ~ltrue:lbody ~lfalse:exit_;
+    Ir.Builder.start_block env.b exit_
+  | Ast.Sfor (init, cond, step, body, _) when unrollable_for env init cond step body <> None ->
+    (match unrollable_for env init cond step body with
+     | Some (n, c0, trip, fresh) ->
+       env.scopes <- [] :: env.scopes;
+       (* Bind (or assign) the induction variable, then replicate. *)
+       let iv =
+         if fresh then begin
+           let r = Ir.Builder.fresh_vreg env.b in
+           bind env n (Bscalar r);
+           r
+         end
+         else
+           (match lookup_local env n with
+            | Some (Bscalar r) -> r
+            | _ ->
+              (* Global or array induction variables are not unrolled. *)
+              err (Ast.pos_of_expr (Ast.Evar (n, { Ast.line = 0; col = 0 })))
+                "internal: unrollable loop over non-scalar %s" n)
+       in
+       for k = 0 to trip - 1 do
+         ensure_block env;
+         Ir.Builder.emit env.b (Ir.Mov (iv, Ir.Imm (c0 + k)));
+         lower_stmt env body
+       done;
+       ensure_block env;
+       Ir.Builder.emit env.b (Ir.Mov (iv, Ir.Imm (c0 + trip)));
+       env.scopes <- List.tl env.scopes
+     | None -> assert false)
+  | Ast.Sfor (init, cond, step, body, _) ->
+    env.scopes <- [] :: env.scopes;
+    (match init with Some s -> lower_stmt env s | None -> ());
+    let head = Ir.Builder.fresh_label env.b in
+    let lbody = Ir.Builder.fresh_label env.b in
+    let lstep = Ir.Builder.fresh_label env.b in
+    let exit_ = Ir.Builder.fresh_label env.b in
+    Ir.Builder.seal env.b (Ir.Jmp head);
+    Ir.Builder.start_block env.b head;
+    (match cond with
+     | Some c -> lower_cond env c ~ltrue:lbody ~lfalse:exit_
+     | None -> Ir.Builder.seal env.b (Ir.Jmp lbody));
+    Ir.Builder.start_block env.b lbody;
+    env.break_labels <- exit_ :: env.break_labels;
+    env.continue_labels := lstep :: !(env.continue_labels);
+    lower_stmt env body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels := List.tl !(env.continue_labels);
+    if Ir.Builder.in_block env.b then Ir.Builder.seal env.b (Ir.Jmp lstep);
+    Ir.Builder.start_block env.b lstep;
+    (match step with Some s -> lower_stmt env s | None -> ());
+    if Ir.Builder.in_block env.b then Ir.Builder.seal env.b (Ir.Jmp head);
+    Ir.Builder.start_block env.b exit_;
+    env.scopes <- List.tl env.scopes
+
+and lower_assign env lv op e pos =
+  match lv with
+  | Ast.Lvar (name, pos) ->
+    (match lookup_local env name with
+     | Some (Bscalar r) ->
+       (match op with
+        | None ->
+          let v = lower_expr env e in
+          Ir.Builder.emit env.b (Ir.Mov (r, v))
+        | Some aop ->
+          let v = lower_expr env e in
+          (match arith_of_binop aop with
+           | Some o -> Ir.Builder.emit env.b (Ir.Bin (o, r, Ir.Reg r, v))
+           | None -> err pos "invalid compound assignment operator"))
+     | Some (Barray_addr _) | Some (Blocal_array _) ->
+       err pos "cannot assign to array %s" name
+     | None ->
+       (match List.assoc_opt name env.g.globals with
+        | Some `Scalar ->
+          let a = Ir.Builder.fresh_vreg env.b in
+          Ir.Builder.emit env.b (Ir.AddrOf (a, name));
+          let v =
+            match op with
+            | None -> lower_expr env e
+            | Some aop ->
+              let old = Ir.Builder.fresh_vreg env.b in
+              Ir.Builder.emit env.b (Ir.Load (Ir.I32, Ir.Sx, old, Ir.Reg a, Ir.Imm 0));
+              let v = lower_expr env e in
+              let d = Ir.Builder.fresh_vreg env.b in
+              (match arith_of_binop aop with
+               | Some o -> Ir.Builder.emit env.b (Ir.Bin (o, d, Ir.Reg old, v))
+               | None -> err pos "invalid compound assignment operator");
+              Ir.Reg d
+          in
+          Ir.Builder.emit env.b (Ir.Store (Ir.I32, Ir.Reg a, v))
+        | Some (`Array _) -> err pos "cannot assign to array %s" name
+        | None -> err pos "undefined variable %s" name))
+  | Ast.Lindex (name, idx, _) ->
+    let base, off = lower_index_addr env name idx pos in
+    let addr = Ir.Builder.fresh_vreg env.b in
+    Ir.Builder.emit env.b (Ir.Bin (Ir.Add, addr, base, off));
+    let v =
+      match op with
+      | None -> lower_expr env e
+      | Some aop ->
+        let old = Ir.Builder.fresh_vreg env.b in
+        Ir.Builder.emit env.b (Ir.Load (Ir.I32, Ir.Sx, old, Ir.Reg addr, Ir.Imm 0));
+        let v = lower_expr env e in
+        let d = Ir.Builder.fresh_vreg env.b in
+        (match arith_of_binop aop with
+         | Some o -> Ir.Builder.emit env.b (Ir.Bin (o, d, Ir.Reg old, v))
+         | None -> err pos "invalid compound assignment operator");
+        Ir.Reg d
+    in
+    Ir.Builder.emit env.b (Ir.Store (Ir.I32, Ir.Reg addr, v))
+
+let lower_func ?(unroll = 1) genv (f : Ast.func) =
+  let params = List.mapi (fun k _ -> k) f.Ast.fn_params in
+  let b = Ir.Builder.create ~name:f.Ast.fn_name ~params in
+  let env =
+    { g = genv; b; unroll; scopes = [ [] ]; break_labels = [];
+      continue_labels = ref [] }
+  in
+  List.iteri
+    (fun k (p : Ast.param) ->
+      if List.exists (fun (q : Ast.param) -> q.Ast.p_name = p.Ast.p_name && q != p) f.Ast.fn_params
+      then err p.Ast.p_pos "duplicate parameter %s" p.Ast.p_name;
+      bind env p.Ast.p_name
+        (if p.Ast.p_array then Barray_addr (List.nth params k)
+         else Bscalar (List.nth params k)))
+    f.Ast.fn_params;
+  Ir.Builder.start_block b (Ir.Builder.fresh_label b);
+  List.iter (lower_stmt env) f.Ast.fn_body;
+  if Ir.Builder.in_block b then Ir.Builder.seal b (Ir.Ret (Some (Ir.Imm 0)));
+  Ir.Builder.func b
+
+let lower_program ?unroll (decls : Ast.program) : Ir.program =
+  let globals =
+    List.filter_map (function Ast.Dglobal g -> Some g | Ast.Dfunc _ -> None) decls
+  in
+  let funcs =
+    List.filter_map (function Ast.Dfunc f -> Some f | Ast.Dglobal _ -> None) decls
+  in
+  List.iter
+    (fun (g : Ast.global) ->
+      if List.length (List.filter (fun (h : Ast.global) -> h.Ast.gl_name = g.Ast.gl_name) globals) > 1
+      then err g.Ast.gl_pos "duplicate global %s" g.Ast.gl_name;
+      match g.Ast.gl_array with
+      | Some n when n <= 0 -> err g.Ast.gl_pos "array %s must have positive size" g.Ast.gl_name
+      | Some n when List.length g.Ast.gl_init > n ->
+        err g.Ast.gl_pos "too many initialisers for %s[%d]" g.Ast.gl_name n
+      | _ -> ())
+    globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      if List.length (List.filter (fun (h : Ast.func) -> h.Ast.fn_name = f.Ast.fn_name) funcs) > 1
+      then err f.Ast.fn_pos "duplicate function %s" f.Ast.fn_name)
+    funcs;
+  let genv =
+    {
+      globals =
+        List.map
+          (fun (g : Ast.global) ->
+            ( g.Ast.gl_name,
+              match g.Ast.gl_array with Some n -> `Array n | None -> `Scalar ))
+          globals;
+      funcs = List.map (fun (f : Ast.func) -> (f.Ast.fn_name, List.length f.Ast.fn_params)) funcs;
+    }
+  in
+  let p_globals =
+    List.map
+      (fun (g : Ast.global) ->
+        let words = match g.Ast.gl_array with Some n -> n | None -> 1 in
+        { Ir.g_name = g.Ast.gl_name; g_bytes = 4 * words;
+          g_init = Array.of_list g.Ast.gl_init })
+      globals
+  in
+  { Ir.p_globals; p_funcs = List.map (lower_func ?unroll genv) funcs }

@@ -1,0 +1,395 @@
+(* Recursive-descent parser for EPIC-C with standard C operator
+   precedence.  Assignment (including compound assignment and ++/--) is a
+   statement form, not an expression, which keeps evaluation order
+   explicit. *)
+
+exception Parse_error of string * Ast.pos
+
+type state = { toks : Lexer.ltoken array; mutable k : int }
+
+let error st msg = raise (Parse_error (msg, st.toks.(st.k).Lexer.pos))
+
+let cur st = st.toks.(st.k).Lexer.tok
+let cur_pos st = st.toks.(st.k).Lexer.pos
+let advance st = if st.k < Array.length st.toks - 1 then st.k <- st.k + 1
+
+let expect_punct st p =
+  match cur st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | t -> error st (Printf.sprintf "expected %S, found %s" p (Lexer.string_of_token t))
+
+let expect_kw st kw =
+  match cur st with
+  | Lexer.KW q when q = kw -> advance st
+  | t -> error st (Printf.sprintf "expected %S, found %s" kw (Lexer.string_of_token t))
+
+let expect_ident st =
+  match cur st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> error st (Printf.sprintf "expected identifier, found %s" (Lexer.string_of_token t))
+
+let eat_punct st p =
+  match cur st with
+  | Lexer.PUNCT q when q = p -> advance st; true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let binop_of_punct = function
+  | "+" -> Some Ast.Badd | "-" -> Some Ast.Bsub | "*" -> Some Ast.Bmul
+  | "/" -> Some Ast.Bdiv | "%" -> Some Ast.Brem | "&" -> Some Ast.Band
+  | "|" -> Some Ast.Bor | "^" -> Some Ast.Bxor | "<<" -> Some Ast.Bshl
+  | ">>" -> Some Ast.Bshr | "==" -> Some Ast.Beq | "!=" -> Some Ast.Bne
+  | "<" -> Some Ast.Blt | "<=" -> Some Ast.Ble | ">" -> Some Ast.Bgt
+  | ">=" -> Some Ast.Bge | "&&" -> Some Ast.Bland | "||" -> Some Ast.Blor
+  | _ -> None
+
+(* Precedence levels, loosest first; ternary handled separately above. *)
+let levels =
+  [ [ "||" ]; [ "&&" ]; [ "|" ]; [ "^" ]; [ "&" ]; [ "=="; "!=" ];
+    [ "<"; "<="; ">"; ">=" ]; [ "<<"; ">>" ]; [ "+"; "-" ]; [ "*"; "/"; "%" ] ]
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let p = cur_pos st in
+  let c = parse_binary st levels in
+  if eat_punct st "?" then begin
+    let a = parse_ternary st in
+    expect_punct st ":";
+    let b = parse_ternary st in
+    Ast.Econd (c, a, b, p)
+  end
+  else c
+
+and parse_binary st = function
+  | [] -> parse_unary st
+  | ops :: tighter ->
+    let rec loop lhs =
+      match cur st with
+      | Lexer.PUNCT p when List.mem p ops ->
+        let pos = cur_pos st in
+        advance st;
+        let rhs = parse_binary st tighter in
+        let op = match binop_of_punct p with Some o -> o | None -> assert false in
+        loop (Ast.Ebin (op, lhs, rhs, pos))
+      | _ -> lhs
+    in
+    loop (parse_binary st tighter)
+
+and parse_unary st =
+  let p = cur_pos st in
+  match cur st with
+  | Lexer.PUNCT "-" -> advance st; Ast.Eun (Ast.Uneg, parse_unary st, p)
+  | Lexer.PUNCT "~" -> advance st; Ast.Eun (Ast.Unot, parse_unary st, p)
+  | Lexer.PUNCT "!" -> advance st; Ast.Eun (Ast.Ulnot, parse_unary st, p)
+  | Lexer.PUNCT "+" -> advance st; parse_unary st
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let p = cur_pos st in
+  match cur st with
+  | Lexer.INT v -> advance st; Ast.Eint (v, p)
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | Lexer.IDENT name ->
+    advance st;
+    (match cur st with
+     | Lexer.PUNCT "(" ->
+       advance st;
+       let args =
+         if eat_punct st ")" then []
+         else begin
+           let rec go acc =
+             let a = parse_expr st in
+             if eat_punct st "," then go (a :: acc) else (expect_punct st ")"; List.rev (a :: acc))
+           in
+           go []
+         end
+       in
+       Ast.Ecall (name, args, p)
+     | Lexer.PUNCT "[" ->
+       advance st;
+       let idx = parse_expr st in
+       expect_punct st "]";
+       Ast.Eindex (name, idx, p)
+     | _ -> Ast.Evar (name, p))
+  | t -> error st (Printf.sprintf "expected expression, found %s" (Lexer.string_of_token t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let compound_ops =
+  [ ("+=", Ast.Badd); ("-=", Ast.Bsub); ("*=", Ast.Bmul); ("/=", Ast.Bdiv);
+    ("%=", Ast.Brem); ("&=", Ast.Band); ("|=", Ast.Bor); ("^=", Ast.Bxor);
+    ("<<=", Ast.Bshl); (">>=", Ast.Bshr) ]
+
+(* A "simple statement": assignment, ++/--, or a bare expression (call). *)
+let parse_simple st =
+  let p = cur_pos st in
+  let lvalue_and_assign name =
+    let lv =
+      if eat_punct st "[" then begin
+        let idx = parse_expr st in
+        expect_punct st "]";
+        Ast.Lindex (name, idx, p)
+      end
+      else Ast.Lvar (name, p)
+    in
+    match cur st with
+    | Lexer.PUNCT "=" ->
+      advance st;
+      let e = parse_expr st in
+      Ast.Sassign (lv, None, e, p)
+    | Lexer.PUNCT "++" -> advance st; Ast.Sassign (lv, Some Ast.Badd, Ast.Eint (1, p), p)
+    | Lexer.PUNCT "--" -> advance st; Ast.Sassign (lv, Some Ast.Bsub, Ast.Eint (1, p), p)
+    | Lexer.PUNCT q when List.mem_assoc q compound_ops ->
+      advance st;
+      let e = parse_expr st in
+      Ast.Sassign (lv, Some (List.assoc q compound_ops), e, p)
+    | _ ->
+      (* Not an assignment after all: re-parse as an expression statement.
+         The only legal form is a call, checked during lowering. *)
+      (match lv with
+       | Ast.Lvar (n, _) -> Ast.Sexpr (Ast.Evar (n, p), p)
+       | Ast.Lindex (n, i, _) -> Ast.Sexpr (Ast.Eindex (n, i, p), p))
+  in
+  match cur st with
+  | Lexer.PUNCT "++" ->
+    advance st;
+    let name = expect_ident st in
+    Ast.Sassign (Ast.Lvar (name, p), Some Ast.Badd, Ast.Eint (1, p), p)
+  | Lexer.PUNCT "--" ->
+    advance st;
+    let name = expect_ident st in
+    Ast.Sassign (Ast.Lvar (name, p), Some Ast.Bsub, Ast.Eint (1, p), p)
+  | Lexer.IDENT name ->
+    advance st;
+    (match cur st with
+     | Lexer.PUNCT "(" ->
+       st.k <- st.k - 1;
+       let e = parse_expr st in
+       Ast.Sexpr (e, p)
+     | _ -> lvalue_and_assign name)
+  | _ ->
+    let e = parse_expr st in
+    Ast.Sexpr (e, p)
+
+let parse_const_expr st =
+  (* Constant expressions for array sizes: allow a literal, possibly
+     parenthesised or negated (checked positive during lowering). *)
+  let e = parse_expr st in
+  let rec eval = function
+    | Ast.Eint (v, _) -> v
+    | Ast.Eun (Ast.Uneg, e, _) -> -eval e
+    | Ast.Ebin (op, a, b, _) ->
+      let a = eval a and b = eval b in
+      (match op with
+       | Ast.Badd -> a + b | Ast.Bsub -> a - b | Ast.Bmul -> a * b
+       | Ast.Bdiv -> a / b | Ast.Bshl -> a lsl b
+       | _ -> error st "unsupported constant expression")
+    | _ -> error st "array size must be a constant expression"
+  in
+  eval e
+
+let rec parse_stmt st =
+  let p = cur_pos st in
+  match cur st with
+  | Lexer.PUNCT "{" ->
+    advance st;
+    let rec go acc =
+      if eat_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+    in
+    Ast.Sblock (go [])
+  | Lexer.PUNCT ";" -> advance st; Ast.Snop
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_stmt st in
+    let else_ =
+      match cur st with
+      | Lexer.KW "else" -> advance st; Some (parse_stmt st)
+      | _ -> None
+    in
+    Ast.Sif (c, then_, else_, p)
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    Ast.Swhile (c, parse_stmt st, p)
+  | Lexer.KW "do" ->
+    advance st;
+    let body = parse_stmt st in
+    expect_kw st "while";
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    expect_punct st ";";
+    Ast.Sdo (body, c, p)
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init = if eat_punct st ";" then None else begin
+      let s =
+        match cur st with
+        | Lexer.KW "int" -> parse_local_decl st
+        | _ -> parse_simple st
+      in
+      expect_punct st ";"; Some s
+    end in
+    let cond = if eat_punct st ";" then None else begin
+      let e = parse_expr st in expect_punct st ";"; Some e
+    end in
+    let step =
+      match cur st with
+      | Lexer.PUNCT ")" -> advance st; None
+      | _ ->
+        let s = parse_simple st in
+        expect_punct st ")";
+        Some s
+    in
+    Ast.Sfor (init, cond, step, parse_stmt st, p)
+  | Lexer.KW "return" ->
+    advance st;
+    if eat_punct st ";" then Ast.Sreturn (None, p)
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Ast.Sreturn (Some e, p)
+    end
+  | Lexer.KW "break" -> advance st; expect_punct st ";"; Ast.Sbreak p
+  | Lexer.KW "continue" -> advance st; expect_punct st ";"; Ast.Scontinue p
+  | Lexer.KW "int" ->
+    let s = parse_local_decl st in
+    expect_punct st ";";
+    s
+  | _ ->
+    let s = parse_simple st in
+    expect_punct st ";";
+    s
+
+and parse_local_decl st =
+  let p = cur_pos st in
+  expect_kw st "int";
+  let name = expect_ident st in
+  if eat_punct st "[" then begin
+    let n = parse_const_expr st in
+    expect_punct st "]";
+    Ast.Sdecl (name, Some n, None, p)
+  end
+  else if eat_punct st "=" then Ast.Sdecl (name, None, Some (parse_expr st), p)
+  else Ast.Sdecl (name, None, None, p)
+
+(* ------------------------------------------------------------------ *)
+(* Top level *)
+
+let parse_params st =
+  expect_punct st "(";
+  if eat_punct st ")" then []
+  else begin
+    let rec go acc =
+      let p = cur_pos st in
+      (match cur st with
+       | Lexer.KW "int" -> advance st
+       | Lexer.KW "void" when acc = [] && cur_pos st = p ->
+         (* f(void) *)
+         advance st;
+         expect_punct st ")";
+         raise Exit
+       | t -> error st (Printf.sprintf "expected parameter type, found %s" (Lexer.string_of_token t)));
+      let name = expect_ident st in
+      let arr =
+        if eat_punct st "[" then begin expect_punct st "]"; true end else false
+      in
+      let prm = { Ast.p_name = name; p_array = arr; p_pos = p } in
+      if eat_punct st "," then go (prm :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (prm :: acc)
+      end
+    in
+    try go [] with Exit -> []
+  end
+
+let parse_decl st =
+  let p = cur_pos st in
+  (match cur st with
+   | Lexer.KW "int" | Lexer.KW "void" -> advance st
+   | t -> error st (Printf.sprintf "expected declaration, found %s" (Lexer.string_of_token t)));
+  let name = expect_ident st in
+  match cur st with
+  | Lexer.PUNCT "(" ->
+    let params = parse_params st in
+    (match cur st with
+     | Lexer.PUNCT "{" ->
+       let body =
+         match parse_stmt st with
+         | Ast.Sblock b -> b
+         | _ -> assert false
+       in
+       Ast.Dfunc { Ast.fn_name = name; fn_params = params; fn_body = body; fn_pos = p }
+     | t -> error st (Printf.sprintf "expected function body, found %s" (Lexer.string_of_token t)))
+  | Lexer.PUNCT "[" ->
+    advance st;
+    let n = parse_const_expr st in
+    expect_punct st "]";
+    let init =
+      if eat_punct st "=" then begin
+        expect_punct st "{";
+        let rec go acc =
+          let v =
+            match cur st with
+            | Lexer.PUNCT "-" ->
+              advance st;
+              (match cur st with
+               | Lexer.INT v -> advance st; -v
+               | t -> error st (Printf.sprintf "expected integer, found %s" (Lexer.string_of_token t)))
+            | Lexer.INT v -> advance st; v
+            | t -> error st (Printf.sprintf "expected integer, found %s" (Lexer.string_of_token t))
+          in
+          if eat_punct st "," then
+            if cur st = Lexer.PUNCT "}" then begin advance st; List.rev (v :: acc) end
+            else go (v :: acc)
+          else begin
+            expect_punct st "}";
+            List.rev (v :: acc)
+          end
+        in
+        go []
+      end
+      else []
+    in
+    expect_punct st ";";
+    Ast.Dglobal { Ast.gl_name = name; gl_array = Some n; gl_init = init; gl_pos = p }
+  | _ ->
+    let init =
+      if eat_punct st "=" then begin
+        match cur st with
+        | Lexer.INT v -> advance st; [ v ]
+        | Lexer.PUNCT "-" ->
+          advance st;
+          (match cur st with
+           | Lexer.INT v -> advance st; [ -v ]
+           | t -> error st (Printf.sprintf "expected integer, found %s" (Lexer.string_of_token t)))
+        | t -> error st (Printf.sprintf "expected integer initialiser, found %s" (Lexer.string_of_token t))
+      end
+      else []
+    in
+    expect_punct st ";";
+    Ast.Dglobal { Ast.gl_name = name; gl_array = None; gl_init = init; gl_pos = p }
+
+let parse_program src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); k = 0 } in
+  let rec go acc =
+    match cur st with
+    | Lexer.EOF -> List.rev acc
+    | _ -> go (parse_decl st :: acc)
+  in
+  go []

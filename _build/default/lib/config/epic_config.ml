@@ -1,0 +1,228 @@
+module Isa = Epic_isa
+
+type custom_op = {
+  cop_name : string;
+  cop_semantics : width:int -> int -> int -> int;
+  cop_latency : int;
+  cop_slices : int;
+  cop_description : string;
+}
+
+type t = {
+  n_alus : int;
+  n_gprs : int;
+  n_preds : int;
+  n_btrs : int;
+  regs_per_inst : int;
+  issue_width : int;
+  width : int;
+  alu_omit : Isa.opcode list;
+  custom_ops : custom_op list;
+  opcode_bits : int;
+  dst_bits : int;
+  src_bits : int;
+  pred_bits : int;
+  rf_port_budget : int;
+  forwarding : bool;
+  mem_banks : int;
+  pipeline_stages : int;
+  clock_mhz : float;
+  lat_overrides : (Isa.opcode * int) list;
+}
+
+let default =
+  {
+    n_alus = 4;
+    n_gprs = 64;
+    n_preds = 32;
+    n_btrs = 16;
+    regs_per_inst = 4;
+    issue_width = 4;
+    width = 32;
+    alu_omit = [];
+    custom_ops = [];
+    opcode_bits = 15;
+    dst_bits = 6;
+    src_bits = 16;
+    pred_bits = 5;
+    rf_port_budget = 8;
+    forwarding = true;
+    mem_banks = 4;
+    pipeline_stages = 2;
+    clock_mhz = 41.8;
+    lat_overrides = [];
+  }
+
+let with_alus n = { default with n_alus = n }
+
+let inst_bits c = c.opcode_bits + (2 * c.dst_bits) + (2 * c.src_bits) + c.pred_bits
+
+let validate c =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let pow2 b = 1 lsl b in
+  if c.n_alus < 1 then err "n_alus must be >= 1 (got %d)" c.n_alus
+  else if c.width < 8 || c.width > Isa.Word.max_width then
+    err "width must be within 8..%d (got %d)" Isa.Word.max_width c.width
+  else if c.n_gprs < 16 then err "n_gprs must be >= 16 for the calling convention (got %d)" c.n_gprs
+  else if c.n_gprs > pow2 c.dst_bits then
+    err "n_gprs = %d exceeds the 2^%d = %d registers addressable by the \
+         destination field; re-design the instruction format (enlarge dst_bits)"
+      c.n_gprs c.dst_bits (pow2 c.dst_bits)
+  else if c.n_gprs > pow2 (c.src_bits - 1) then
+    err "n_gprs = %d exceeds the %d registers addressable by a source field \
+         (one bit is the literal flag)" c.n_gprs (pow2 (c.src_bits - 1))
+  else if c.n_preds < 1 then err "n_preds must be >= 1"
+  else if c.n_preds > pow2 c.pred_bits then
+    err "n_preds = %d exceeds 2^%d addressable by the predicate field"
+      c.n_preds c.pred_bits
+  else if c.n_preds > pow2 c.dst_bits then
+    err "n_preds = %d exceeds the destination field range" c.n_preds
+  else if c.n_btrs < 1 then err "n_btrs must be >= 1"
+  else if c.n_btrs > pow2 c.dst_bits then
+    err "n_btrs = %d exceeds the destination field range" c.n_btrs
+  else if c.regs_per_inst < 2 || c.regs_per_inst > 4 then
+    err "regs_per_inst must be within 2..4 (got %d)" c.regs_per_inst
+  else if c.issue_width < 1 then err "issue_width must be >= 1"
+  else if c.issue_width * inst_bits c > c.mem_banks * 32 * 2 then
+    err "issue_width %d needs %d fetch bits/cycle but %d banks at double \
+         rate provide only %d (paper: issue constrained between one and four)"
+      c.issue_width
+      (c.issue_width * inst_bits c)
+      c.mem_banks (c.mem_banks * 32 * 2)
+  else if c.rf_port_budget < 2 then err "rf_port_budget must be >= 2"
+  else if c.pipeline_stages < 2 || c.pipeline_stages > 4 then
+    err "pipeline_stages must be within 2..4 (got %d)" c.pipeline_stages
+  else if List.exists (fun (_, l) -> l < 1) c.lat_overrides then
+    err "operation latencies must be >= 1"
+  else if c.opcode_bits < 8 then
+    err "opcode_bits must be >= 8 to number the base instruction set"
+  else if List.exists (fun op -> Isa.unit_of op <> Isa.U_alu) c.alu_omit then
+    Error "alu_omit may only list ALU-class operations"
+  else
+    let dup =
+      List.exists
+        (fun c' -> List.length (List.filter (fun o -> o.cop_name = c'.cop_name) c.custom_ops) > 1)
+        c.custom_ops
+    in
+    if dup then Error "duplicate custom operation name" else Ok ()
+
+let validate_exn c =
+  match validate c with Ok () -> c | Error m -> invalid_arg ("Epic_config: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Custom-operation registry                                           *)
+
+let rotr ~width a b =
+  let n = b mod width in
+  if n = 0 then a else Isa.Word.mask width ((a lsr n) lor (a lsl (width - n)))
+
+let rotl ~width a b =
+  let n = b mod width in
+  if n = 0 then a else Isa.Word.mask width ((a lsl n) lor (a lsr (width - n)))
+
+let bswap ~width a _b =
+  let nbytes = width / 8 in
+  let rec go i acc =
+    if i = nbytes then acc
+    else go (i + 1) ((acc lsl 8) lor ((a lsr (8 * i)) land 0xFF))
+  in
+  Isa.Word.mask width (go 0 0)
+
+let popcnt ~width a _b =
+  let rec go i acc = if i = width then acc else go (i + 1) (acc + ((a lsr i) land 1)) in
+  go 0 0
+
+let clz ~width a _b =
+  let rec go i = if i = width then width else if (a lsr (width - 1 - i)) land 1 = 1 then i else go (i + 1) in
+  go 0
+
+let satadd ~width a b =
+  let s = Isa.Word.to_signed width a + Isa.Word.to_signed width b in
+  let s = max (Isa.Word.min_signed width) (min (Isa.Word.max_signed width) s) in
+  Isa.Word.of_signed width s
+
+let registry =
+  [
+    { cop_name = "ROTR"; cop_semantics = rotr; cop_latency = 1; cop_slices = 180;
+      cop_description = "rotate right (SHA-256 sigma functions)" };
+    { cop_name = "ROTL"; cop_semantics = rotl; cop_latency = 1; cop_slices = 180;
+      cop_description = "rotate left" };
+    { cop_name = "BSWAP"; cop_semantics = bswap; cop_latency = 1; cop_slices = 40;
+      cop_description = "byte reversal (endianness conversion)" };
+    { cop_name = "POPCNT"; cop_semantics = popcnt; cop_latency = 1; cop_slices = 90;
+      cop_description = "population count" };
+    { cop_name = "CLZ"; cop_semantics = clz; cop_latency = 1; cop_slices = 110;
+      cop_description = "count leading zeros" };
+    { cop_name = "SATADD"; cop_semantics = satadd; cop_latency = 1; cop_slices = 70;
+      cop_description = "signed saturating add (DSP kernels)" };
+  ]
+
+let registry_find name = List.find_opt (fun c -> c.cop_name = name) registry
+
+(* Include an arbitrary (e.g. automatically generated) custom operation. *)
+let add_custom_op cfg cop =
+  if List.exists (fun c -> c.cop_name = cop.cop_name) cfg.custom_ops then cfg
+  else { cfg with custom_ops = cfg.custom_ops @ [ cop ] }
+
+let add_custom cfg name =
+  match registry_find name with
+  | None -> invalid_arg (Printf.sprintf "Epic_config.add_custom: unknown custom op %s" name)
+  | Some cop ->
+    if List.exists (fun c -> c.cop_name = name) cfg.custom_ops then cfg
+    else { cfg with custom_ops = cfg.custom_ops @ [ cop ] }
+
+let find_custom cfg name = List.find_opt (fun c -> c.cop_name = name) cfg.custom_ops
+
+let custom_eval cfg name a b =
+  match find_custom cfg name with
+  | Some cop -> cop.cop_semantics ~width:cfg.width a b
+  | None ->
+    invalid_arg
+      (Printf.sprintf "custom operation %s is not in this configuration" name)
+
+let op_supported cfg (op : Isa.opcode) =
+  match op with
+  | Isa.CUSTOM name -> find_custom cfg name <> None
+  | _ -> not (List.exists (fun o -> Isa.equal_opcode o op) cfg.alu_omit)
+
+let latency cfg (op : Isa.opcode) =
+  match List.find_opt (fun (o, _) -> Isa.equal_opcode o op) cfg.lat_overrides with
+  | Some (_, l) -> l
+  | None ->
+    (match op with
+     | Isa.CUSTOM name ->
+       (match find_custom cfg name with
+        | Some cop -> cop.cop_latency
+        | None -> Isa.default_latency op)
+     | _ -> Isa.default_latency op)
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>// EPIC configuration header@,\
+     ALUS            = %d@,\
+     GPRS            = %d@,\
+     PREDS           = %d@,\
+     BTRS            = %d@,\
+     REGS_PER_INST   = %d@,\
+     ISSUE_WIDTH     = %d@,\
+     WIDTH           = %d@,\
+     OPCODE_BITS     = %d@,\
+     DST_BITS        = %d@,\
+     SRC_BITS        = %d@,\
+     PRED_BITS       = %d@,\
+     RF_PORT_BUDGET  = %d@,\
+     FORWARDING      = %b@,\
+     MEM_BANKS       = %d@,\
+     PIPELINE_STAGES = %d@,\
+     CLOCK_MHZ       = %.1f@,\
+     ALU_OMIT        = %s@,\
+     CUSTOM_OPS      = %s@]"
+    c.n_alus c.n_gprs c.n_preds c.n_btrs c.regs_per_inst c.issue_width c.width
+    c.opcode_bits c.dst_bits c.src_bits c.pred_bits c.rf_port_budget
+    c.forwarding c.mem_banks c.pipeline_stages c.clock_mhz
+    (String.concat "," (List.map Isa.string_of_opcode c.alu_omit))
+    (String.concat "," (List.map (fun o -> o.cop_name) c.custom_ops))
+
+let equal a b =
+  let names c = List.map (fun o -> o.cop_name) c.custom_ops in
+  { a with custom_ops = [] } = { b with custom_ops = [] } && names a = names b

@@ -1,0 +1,120 @@
+(** Compile-time configuration of the customisable EPIC processor.
+
+    This is the "configuration header file" of the paper (Section 3.3): it
+    carries every architectural parameter the paper lists — number of ALUs,
+    general-purpose / predicate / branch-target registers, registers per
+    instruction, instructions per issue, datapath and register width, ALU
+    functionality (omitted operations and custom instructions) — plus the
+    instruction-format field widths that constrain them, and the
+    microarchitectural constants of the prototype (register-file port
+    budget, forwarding, memory banks). *)
+
+type custom_op = {
+  cop_name : string;  (** Mnemonic (assembly syntax [X.NAME]). *)
+  cop_semantics : width:int -> int -> int -> int;
+      (** Combinational function on canonical [width]-bit operands; the
+          result is masked to [width] bits by the evaluator. *)
+  cop_latency : int;       (** Producer-to-consumer latency in cycles. *)
+  cop_slices : int;        (** Area cost added per ALU (Virtex-II slices). *)
+  cop_description : string;
+}
+(** A custom ALU instruction (paper Section 3.3: "inclusion of a custom
+    instruction only requires modifications of the concerned functional
+    unit"). *)
+
+type t = {
+  n_alus : int;            (** Number of ALUs (default 4). *)
+  n_gprs : int;            (** General-purpose registers (default 64). *)
+  n_preds : int;           (** Predicate registers (default 32). *)
+  n_btrs : int;            (** Branch-target registers (default 16). *)
+  regs_per_inst : int;     (** Max GPR operands one instruction may name (default 4). *)
+  issue_width : int;       (** Instructions issued per cycle, 1-4 (default 4). *)
+  width : int;             (** Datapath and register width in bits (default 32). *)
+  alu_omit : Epic_isa.opcode list;
+      (** ALU-class base operations removed from the datapath ("ALUs do not
+          need to support division if this operation is not required"). *)
+  custom_ops : custom_op list;  (** Custom instructions included. *)
+  opcode_bits : int;       (** Instruction-format field widths; defaults *)
+  dst_bits : int;          (** 15/6/16/5 as in paper Fig. 1, all          *)
+  src_bits : int;          (** parameterisable because exceeding a limit  *)
+  pred_bits : int;         (** "requires a re-design of the format".      *)
+  rf_port_budget : int;
+      (** Register-file operations (reads + writes) available per processor
+          cycle: dual-port BRAM quad-pumped = 8 (paper Section 3.2). *)
+  forwarding : bool;       (** Forwarding of just-computed results by the
+                               register-file controller. *)
+  mem_banks : int;         (** External 32-bit memory banks (default 4). *)
+  pipeline_stages : int;
+      (** Pipeline depth, 2-4.  The paper's prototype is the 2-stage
+          Fetch/Decode/Issue | Execute/Write-back split; deeper pipelines
+          (its stated future work, "parameterising the level of
+          pipelining") raise the clock but pay more refill cycles on
+          taken branches. *)
+  clock_mhz : float;       (** Achieved clock of the 2-stage prototype (41.8). *)
+  lat_overrides : (Epic_isa.opcode * int) list;
+      (** Per-operation latency overrides (e.g. an area-reduced iterative
+          multiplier): the machine description inherits them, so the
+          scheduler and the simulator stay consistent. *)
+}
+
+val default : t
+(** The paper's default instantiation: 4 ALUs, 64 GPRs, 32 predicate
+    registers, 16 BTRs, 4-issue, 32-bit datapath, 41.8 MHz. *)
+
+val with_alus : int -> t
+(** [with_alus n] is {!default} with [n] ALUs (the paper's 1-4 ALU sweep). *)
+
+val inst_bits : t -> int
+(** Total encoded instruction width: opcode + 2 destinations + 2 sources +
+    predicate (64 with default field widths). *)
+
+val validate : t -> (unit, string) result
+(** Check every parameter against the instruction format and the memory
+    bandwidth constraint (paper: "the number of instructions per issue is
+    constrained between one and four" because issue fetch may not exceed
+    [mem_banks * 32 * 2] bits per cycle). *)
+
+val validate_exn : t -> t
+(** Like {!validate} but returns the config or raises [Invalid_argument]. *)
+
+(** {1 Custom-operation registry}
+
+    Known custom instructions that a configuration may include by name.
+    Semantics live here so that machine descriptions remain serialisable:
+    an mdes refers to custom operations by name only. *)
+
+val registry : custom_op list
+(** ROTR, ROTL, BSWAP, POPCNT, CLZ, SATADD. *)
+
+val registry_find : string -> custom_op option
+
+val add_custom : t -> string -> t
+(** [add_custom cfg name] includes the registry operation [name].
+    @raise Invalid_argument if the name is unknown. *)
+
+val add_custom_op : t -> custom_op -> t
+(** Include an arbitrary custom operation — the hook used by automatic
+    custom-instruction generation (a registry entry is not required;
+    idempotent on the name). *)
+
+val find_custom : t -> string -> custom_op option
+(** Look up a custom operation included in this configuration. *)
+
+val custom_eval : t -> string -> int -> int -> int
+(** Semantics resolver for {!Epic_isa.eval_alu}'s [~custom] argument.
+    @raise Invalid_argument for operations not in the configuration. *)
+
+val op_supported : t -> Epic_isa.opcode -> bool
+(** Whether the configured datapath implements the opcode (checks
+    [alu_omit] and the custom-op list). *)
+
+val latency : t -> Epic_isa.opcode -> int
+(** Operation latency under this configuration: [lat_overrides] first,
+    then the custom-op registry entry, then {!Epic_isa.default_latency}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the configuration header (readable key/value form). *)
+
+val equal : t -> t -> bool
+(** Structural equality ignoring custom-op semantics closures (compares
+    custom operations by name). *)

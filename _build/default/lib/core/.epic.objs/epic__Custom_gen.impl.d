@@ -1,0 +1,1 @@
+lib/core/custom_gen.ml: Array Epic_config Epic_isa Epic_mir Epic_opt Format Hashtbl List Option Printf

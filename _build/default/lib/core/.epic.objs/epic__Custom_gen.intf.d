@@ -1,0 +1,1 @@
+lib/core/custom_gen.mli: Epic_config Epic_mir Format

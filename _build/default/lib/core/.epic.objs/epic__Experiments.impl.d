@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Custom_gen Epic_area Epic_arm Epic_asm Epic_cfront Epic_config Epic_mir Epic_opt Epic_sched Epic_sim Epic_workloads List Printf Toolchain

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Epic_area Epic_sim

@@ -1,0 +1,1 @@
+lib/core/toolchain.ml: Epic_arm Epic_asm Epic_cfront Epic_config Epic_mir Epic_opt Epic_sched Epic_sim List Printf

@@ -1,0 +1,1 @@
+lib/core/toolchain.mli: Epic_arm Epic_asm Epic_config Epic_mir Epic_sched Epic_sim Format

@@ -1,0 +1,345 @@
+(* Automatic custom-instruction generation — the paper's stated next step
+   ("current and future work includes ... supporting automatic generation
+   of custom instructions", Section 6; the group's later work, e.g. Atasu
+   et al., formalised the approach).
+
+   Flow:
+   1. profile the program with the MIR reference interpreter (dynamic
+      block execution counts);
+   2. enumerate connected dataflow expressions inside basic blocks —
+      trees of ALU operations whose intermediate values have a single use
+      — under the hardware I/O constraint of the EPIC custom-operation
+      slot: at most TWO external register inputs and one output (embedded
+      constants are free: they become part of the functional unit);
+   3. rank candidate patterns by estimated dynamic cycle savings
+      (operations fused minus the one issue slot the custom op costs);
+   4. materialise a winner: synthesise its combinational semantics as a
+      {!Epic_config.custom_op} and rewrite every occurrence in the program
+      into an [X.<name>] operation (dead intermediate computations are
+      swept by the optimiser's DCE).
+
+   The SHA-256 rotations (SHR/SHL/OR with embedded shift counts) are the
+   canonical catch — running this on the SHA benchmark discovers rotate
+   instructions automatically. *)
+
+module Ir = Epic_mir.Ir
+module Config = Epic_config
+module Interp = Epic_mir.Interp
+module Word = Epic_isa.Word
+
+(* A candidate pattern: a little expression tree over at most two external
+   inputs [X 0], [X 1] and embedded constants. *)
+type expr =
+  | X of int                       (* external input (0 or 1) *)
+  | C of int                       (* embedded constant *)
+  | Op of Ir.binop * expr * expr
+
+type candidate = {
+  cg_name : string;        (* generated mnemonic, e.g. GEN_4F2A1C *)
+  cg_expr : expr;
+  cg_inputs : int;         (* 1 or 2 external inputs *)
+  cg_ops : int;            (* base operations fused *)
+  cg_static : int;         (* static occurrences in the program *)
+  cg_dynamic : int;        (* dynamic occurrences (profile-weighted) *)
+  cg_saved_ops : int;      (* dynamic operations eliminated *)
+}
+
+let rec pp_expr ppf = function
+  | X k -> Format.fprintf ppf "x%d" k
+  | C v -> Format.fprintf ppf "%d" v
+  | Op (op, a, b) ->
+    Format.fprintf ppf "%s(%a, %a)" (Ir.string_of_binop op) pp_expr a pp_expr b
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+let rec count_ops = function
+  | X _ | C _ -> 0
+  | Op (_, a, b) -> 1 + count_ops a + count_ops b
+
+(* Synthesised combinational semantics (width-parametric, like every
+   custom operation).  Division never appears in candidates, so the
+   evaluation is total. *)
+let rec eval_expr ~width env = function
+  | X k -> env.(k)
+  | C v -> Word.mask width v
+  | Op (op, a, b) ->
+    let a = eval_expr ~width env a and b = eval_expr ~width env b in
+    let sa = Word.to_signed width a and sb = Word.to_signed width b in
+    (match op with
+     | Ir.Add -> Word.mask width (a + b)
+     | Ir.Sub -> Word.mask width (a - b)
+     | Ir.Mul -> Word.mask width (a * b)
+     | Ir.And -> a land b
+     | Ir.Or -> a lor b
+     | Ir.Xor -> a lxor b
+     | Ir.Shl -> if b >= width then 0 else Word.mask width (a lsl b)
+     | Ir.Shr -> if b >= width then 0 else a lsr b
+     | Ir.Shra -> Word.of_signed width (sa asr min b (width - 1))
+     | Ir.Min -> if sa <= sb then a else b
+     | Ir.Max -> if sa >= sb then a else b
+     | Ir.Div | Ir.Rem -> invalid_arg "Custom_gen: division in pattern")
+
+let name_of_expr e =
+  let s = expr_to_string e in
+  Printf.sprintf "GEN_%06X" (Hashtbl.hash s land 0xFFFFFF)
+
+(* Which operations may be fused: single-cycle combinational ALU work.
+   Multiplies and divides keep their own latency; Min/Max are allowed. *)
+let fusable = function
+  | Ir.Add | Ir.Sub | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Shr | Ir.Shra
+  | Ir.Min | Ir.Max -> true
+  | Ir.Mul | Ir.Div | Ir.Rem -> false
+
+(* ------------------------------------------------------------------ *)
+(* Occurrence discovery inside one block.
+
+   For the consumer instruction at index [k], expand register operands
+   whose defining Bin is earlier in the same block, feeds only this
+   consumer (single use in the whole function), and is not invalidated by
+   an intervening redefinition of its own operands. *)
+
+type occurrence = {
+  oc_expr : expr;
+  oc_consumer : int;              (* index of the root instruction *)
+  oc_covered : int list;          (* indices of all fused instructions *)
+  oc_args : Ir.operand array;     (* bindings for X 0 / X 1 *)
+}
+
+let block_occurrences ~use_counts (b : Ir.block) ~max_ops =
+  let insts = Array.of_list b.Ir.b_insts in
+  let n = Array.length insts in
+  (* def_site.(v) = Some k if vreg v is defined exactly once in this block,
+     by an unguarded Bin at index k. *)
+  let def_site = Hashtbl.create 16 in
+  Array.iteri
+    (fun k (i : Ir.inst) ->
+      List.iter
+        (fun (cls, v) ->
+          if cls = Ir.Cgpr then
+            if Hashtbl.mem def_site v then Hashtbl.replace def_site v None
+            else
+              Hashtbl.replace def_site v
+                (match (i.Ir.kind, i.Ir.guard) with
+                 | Ir.Bin (op, _, _, _), None when fusable op -> Some k
+                 | _ -> None))
+        (Ir.defs_of_inst i))
+    insts;
+  (* redefined v between (i, k) exclusive-inclusive start, exclusive end *)
+  let redefined v lo hi =
+    let r = ref false in
+    for k = lo + 1 to hi - 1 do
+      if List.exists (fun (cls, v') -> cls = Ir.Cgpr && v' = v) (Ir.defs_of_inst insts.(k))
+      then r := true
+    done;
+    !r
+  in
+  let occs = ref [] in
+  for k = 0 to n - 1 do
+    match (insts.(k).Ir.kind, insts.(k).Ir.guard) with
+    | Ir.Bin (root_op, _, _, _), None when fusable root_op ->
+      (* Expand greedily: externals accumulate in [args]. *)
+      let args = ref [] in
+      let covered = ref [] in
+      let ops = ref 0 in
+      let exception Too_big in
+      let bind_external (o : Ir.operand) =
+        match o with
+        | Ir.Imm v -> C v
+        | Ir.Reg r ->
+          (match List.assoc_opt (`R r) !args with
+           | Some idx -> X idx
+           | None ->
+             let idx = List.length !args in
+             if idx >= 2 then raise Too_big;
+             args := !args @ [ (`R r, idx) ];
+             X idx)
+      in
+      let rec expand at (o : Ir.operand) =
+        match o with
+        | Ir.Imm v -> C v
+        | Ir.Reg r ->
+          (match Hashtbl.find_opt def_site r with
+           | Some (Some d)
+             when d < at
+                  && Hashtbl.find_opt use_counts r = Some 1
+                  && !ops < max_ops
+                  && not (redefined r d at) ->
+             (* The producer feeds only this consumer: fuse it, provided
+                its own operands are stable between producer and root. *)
+             (match insts.(d).Ir.kind with
+              | Ir.Bin (op, _, a, b') ->
+                let stable (oo : Ir.operand) =
+                  match oo with Ir.Imm _ -> true | Ir.Reg rr -> not (redefined rr d k)
+                in
+                if stable a && stable b' then begin
+                  incr ops;
+                  covered := d :: !covered;
+                  let ea = expand d a in
+                  let eb = expand d b' in
+                  Op (op, ea, eb)
+                end
+                else bind_external o
+              | _ -> bind_external o)
+           | _ -> bind_external o)
+      in
+      (try
+         match insts.(k).Ir.kind with
+         | Ir.Bin (op, _, a, b') ->
+           incr ops;
+           let ea = expand k a in
+           let eb = expand k b' in
+           if !ops >= 2 then
+             occs :=
+               {
+                 oc_expr = Op (op, ea, eb);
+                 oc_consumer = k;
+                 oc_covered = k :: !covered;
+                 oc_args =
+                   (let arr = Array.make 2 (Ir.Imm 0) in
+                    List.iter (fun (`R r, idx) -> arr.(idx) <- Ir.Reg r) !args;
+                    arr);
+               }
+               :: !occs
+         | _ -> ()
+       with Too_big -> ())
+    | _ -> ()
+  done;
+  !occs
+
+let function_use_counts (f : Ir.func) =
+  let counts = Hashtbl.create 64 in
+  let bump (cls, v) =
+    if cls = Ir.Cgpr then
+      Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter (fun i -> List.iter bump (Ir.uses_of_inst i)) b.Ir.b_insts;
+      List.iter bump (Ir.uses_of_term b.Ir.b_term))
+    f.Ir.f_blocks;
+  counts
+
+(* ------------------------------------------------------------------ *)
+(* Identification across the whole program. *)
+
+let identify ?(max_ops = 3) ?(top = 5) ?(entry = "main") ?custom (p : Ir.program) =
+  let profile = (Interp.run ?custom p ~entry).Interp.block_counts in
+  let weight fname bid =
+    Option.value ~default:0 (Hashtbl.find_opt profile (fname, bid))
+  in
+  let table : (string, expr * int * int * int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Ir.func) ->
+      let use_counts = function_use_counts f in
+      List.iter
+        (fun (b : Ir.block) ->
+          let w = weight f.Ir.f_name b.Ir.b_id in
+          List.iter
+            (fun occ ->
+              let key = expr_to_string occ.oc_expr in
+              let expr = occ.oc_expr in
+              let saved = count_ops expr - 1 in
+              let prev =
+                Option.value ~default:(expr, 0, 0, 0) (Hashtbl.find_opt table key)
+              in
+              let _, st, dy, sv = prev in
+              Hashtbl.replace table key (expr, st + 1, dy + w, sv + (saved * w)))
+            (block_occurrences ~use_counts b ~max_ops))
+        f.Ir.f_blocks)
+    p.Ir.p_funcs;
+  Hashtbl.fold
+    (fun _key (expr, st, dy, sv) acc ->
+      let inputs =
+        let rec go = function
+          | X k -> k + 1
+          | C _ -> 0
+          | Op (_, a, b) -> max (go a) (go b)
+        in
+        go expr
+      in
+      {
+        cg_name = name_of_expr expr;
+        cg_expr = expr;
+        cg_inputs = max 1 inputs;
+        cg_ops = count_ops expr;
+        cg_static = st;
+        cg_dynamic = dy;
+        cg_saved_ops = sv;
+      }
+      :: acc)
+    table []
+  |> List.sort (fun a b -> compare b.cg_saved_ops a.cg_saved_ops)
+  |> List.filteri (fun i _ -> i < top)
+
+(* ------------------------------------------------------------------ *)
+(* Materialisation: a Config custom op + program rewrite. *)
+
+let to_custom_op c =
+  {
+    Config.cop_name = c.cg_name;
+    cop_semantics =
+      (fun ~width a b -> eval_expr ~width [| a; b |] c.cg_expr);
+    (* A 2-op chain still fits a cycle; deeper trees take two. *)
+    cop_latency = (if c.cg_ops <= 2 then 1 else 2);
+    cop_slices = 90 * c.cg_ops;
+    cop_description = Printf.sprintf "generated: %s" (expr_to_string c.cg_expr);
+  }
+
+(* Rewrite every occurrence of the candidate's pattern: the consumer
+   becomes [Custom (name, d, in0, in1)]; fused producers become dead and
+   fall to DCE. *)
+let apply (p : Ir.program) (c : candidate) =
+  let rewritten = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      let use_counts = function_use_counts f in
+      List.iter
+        (fun (b : Ir.block) ->
+          let occs = block_occurrences ~use_counts b ~max_ops:c.cg_ops in
+          let matching =
+            List.filter (fun o -> expr_to_string o.oc_expr = expr_to_string c.cg_expr) occs
+          in
+          if matching <> [] then begin
+            let insts = Array.of_list b.Ir.b_insts in
+            List.iter
+              (fun occ ->
+                match insts.(occ.oc_consumer).Ir.kind with
+                | Ir.Bin (_, d, _, _) ->
+                  insts.(occ.oc_consumer) <-
+                    Ir.no_guard
+                      (Ir.Custom (c.cg_name, d, occ.oc_args.(0), occ.oc_args.(1)));
+                  incr rewritten
+                | _ -> ())
+              matching;
+            b.Ir.b_insts <- Array.to_list insts
+          end)
+        f.Ir.f_blocks)
+    p.Ir.p_funcs;
+  (p, !rewritten)
+
+(* End-to-end convenience: repeatedly identify the best remaining
+   candidate on the (already optimised) program, rewrite its occurrences,
+   sweep dead producers, and extend the configuration — up to [rounds]
+   generated instructions or until nothing worthwhile remains. *)
+let specialise ?(max_ops = 3) ?(rounds = 4) ?(min_saved = 1) (cfg : Config.t)
+    (p : Ir.program) =
+  let p = ref (Epic_opt.Common.copy_program p) in
+  let cfg = ref cfg in
+  let chosen = ref [] in
+  let continue_ = ref true in
+  while !continue_ && List.length !chosen < rounds do
+    continue_ := false;
+    (* Profiling must understand the custom operations added so far. *)
+    let custom name a b = Config.custom_eval !cfg name a b in
+    match identify ~max_ops ~top:1 ~custom !p with
+    | c :: _ when c.cg_saved_ops >= min_saved ->
+      let p', rewritten = apply !p c in
+      if rewritten > 0 then begin
+        p := Epic_opt.Dce.run p';
+        cfg := Config.add_custom_op !cfg (to_custom_op c);
+        chosen := (c, rewritten) :: !chosen;
+        continue_ := true
+      end
+    | _ -> ()
+  done;
+  if !chosen = [] then None else Some (!cfg, !p, List.rev !chosen)

@@ -1,0 +1,68 @@
+(** Automatic custom-instruction generation — the paper's stated future
+    work ("supporting automatic generation of custom instructions",
+    Section 6), implemented as a profile-guided flow:
+
+    + profile the program with the MIR reference interpreter (dynamic
+      block execution counts);
+    + enumerate connected dataflow trees inside basic blocks — fusable
+      ALU operations whose intermediate values have a single use — under
+      the hardware I/O constraint of the custom-operation slot: at most
+      two external register inputs and one output, with constants
+      embedded into the functional unit;
+    + rank patterns by estimated dynamic savings;
+    + materialise winners: synthesise combinational semantics as a
+      {!Epic_config.custom_op}, rewrite every occurrence into an
+      [X.GEN_xxxxxx] instruction, and extend the configuration.
+
+    Running this on the SHA-256 benchmark rediscovers the rotate
+    instructions (OR of SHR and SHL with embedded shift counts) without
+    being told about them. *)
+
+(** A candidate pattern: an expression tree over external inputs [X 0],
+    [X 1] and embedded constants. *)
+type expr =
+  | X of int
+  | C of int
+  | Op of Epic_mir.Ir.binop * expr * expr
+
+type candidate = {
+  cg_name : string;     (** Generated mnemonic, e.g. [GEN_0DA185]. *)
+  cg_expr : expr;
+  cg_inputs : int;      (** External inputs used (1 or 2). *)
+  cg_ops : int;         (** Base operations fused. *)
+  cg_static : int;      (** Static occurrences in the program. *)
+  cg_dynamic : int;     (** Dynamic occurrences (profile-weighted). *)
+  cg_saved_ops : int;   (** Dynamic operations eliminated if applied. *)
+}
+
+val expr_to_string : expr -> string
+val pp_expr : Format.formatter -> expr -> unit
+
+val identify :
+  ?max_ops:int -> ?top:int -> ?entry:string ->
+  ?custom:(string -> int -> int -> int) ->
+  Epic_mir.Ir.program -> candidate list
+(** Profile [entry] (default ["main"]; [custom] resolves custom operations
+    already present) and return the [top] candidates (default 5) of at
+    most [max_ops] fused operations (default 3), best first. *)
+
+val to_custom_op : candidate -> Epic_config.custom_op
+(** Synthesised combinational semantics, latency (1 for 2-op chains, 2 for
+    deeper trees) and an area estimate. *)
+
+val apply : Epic_mir.Ir.program -> candidate -> Epic_mir.Ir.program * int
+(** Rewrite every occurrence of the candidate's pattern (the fused
+    producers become dead and fall to DCE); returns the rewrite count.
+    Mutates and returns its argument. *)
+
+val specialise :
+  ?max_ops:int -> ?rounds:int -> ?min_saved:int ->
+  Epic_config.t -> Epic_mir.Ir.program ->
+  (Epic_config.t * Epic_mir.Ir.program * (candidate * int) list) option
+(** The whole flow, iterated: repeatedly identify the best remaining
+    candidate, rewrite, sweep dead code, and extend the configuration —
+    up to [rounds] generated instructions (default 4) or until estimated
+    savings fall below [min_saved].  Returns the extended configuration,
+    the rewritten program (the input is copied, not mutated) and the
+    chosen candidates with their rewrite counts; [None] when nothing
+    profitable exists. *)

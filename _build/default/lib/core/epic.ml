@@ -1,0 +1,27 @@
+(** Umbrella module of the EPIC toolchain: the customisable processor's
+    ISA, configuration, encoding, machine description, compiler (front-end,
+    optimiser, register allocator, scheduler), assembler, cycle-level
+    simulator, the SA-110 baseline, the FPGA area model, the paper's
+    benchmarks, and the end-to-end drivers and experiment harness. *)
+
+module Isa = Epic_isa
+module Config = Epic_config
+module Encoding = Epic_encoding
+module Mdes = Epic_mdes
+module Ir = Epic_mir.Ir
+module Liveness = Epic_mir.Liveness
+module Dominators = Epic_mir.Dominators
+module Memmap = Epic_mir.Memmap
+module Interp = Epic_mir.Interp
+module Cfront = Epic_cfront
+module Opt = Epic_opt
+module Regalloc = Epic_regalloc
+module Sched = Epic_sched
+module Asm = Epic_asm
+module Sim = Epic_sim
+module Arm = Epic_arm
+module Area = Epic_area
+module Workloads = Epic_workloads
+module Toolchain = Toolchain
+module Experiments = Experiments
+module Custom_gen = Custom_gen

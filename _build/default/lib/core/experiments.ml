@@ -1,0 +1,331 @@
+(* Experiment harness regenerating every table and figure of the paper's
+   evaluation (Section 5); see DESIGN.md for the experiment index. *)
+
+module Config = Epic_config
+module Sources = Epic_workloads.Sources
+module Area = Epic_area
+module T = Toolchain
+
+(* Benchmark sizes.  [default] keeps a full sweep fast; [paper] matches
+   the paper's inputs (256x256 images, a large graph). *)
+type sizes = {
+  sha_bytes : int;
+  aes_iters : int;
+  dct_size : int * int;
+  dijkstra_nodes : int;
+}
+
+let default_sizes =
+  { sha_bytes = Sources.default_sha_bytes;
+    aes_iters = Sources.default_aes_iters;
+    dct_size = (Sources.default_dct_width, Sources.default_dct_height);
+    dijkstra_nodes = Sources.default_dijkstra_nodes }
+
+let paper_sizes =
+  { sha_bytes = 256 * 256 * 3; aes_iters = 1000; dct_size = (256, 256);
+    dijkstra_nodes = 100 }
+
+let benchmarks sizes =
+  let w, h = sizes.dct_size in
+  [ Sources.sha_benchmark ~bytes:sizes.sha_bytes ();
+    Sources.aes_benchmark ~iters:sizes.aes_iters ();
+    Sources.dct_benchmark ~width:w ~height:h ();
+    Sources.dijkstra_benchmark ~nodes:sizes.dijkstra_nodes () ]
+
+(* ------------------------------------------------------------------ *)
+(* E1 / Table 1: cycle counts on the SA-110 and on EPIC with 1-4 ALUs. *)
+
+type table1_row = {
+  t1_name : string;
+  t1_sa110 : int;
+  t1_epic : (int * int) list;  (* (#ALUs, cycles) *)
+}
+
+let alu_sweep = [ 1; 2; 3; 4 ]
+
+let table1 ?(sizes = default_sizes) ?(alus = alu_sweep) () =
+  List.map
+    (fun (bm : Sources.benchmark) ->
+      let source = bm.Sources.bm_source and expected = bm.Sources.bm_expected in
+      let sa110 = (T.arm_cycles ~source ~expected ()).Epic_arm.Sim.cycles in
+      let epic =
+        List.map
+          (fun n ->
+            let st = T.epic_cycles (Config.with_alus n) ~source ~expected () in
+            (n, st.Epic_sim.cycles))
+          alus
+      in
+      { t1_name = bm.Sources.bm_name; t1_sa110 = sa110; t1_epic = epic })
+    (benchmarks sizes)
+
+(* ------------------------------------------------------------------ *)
+(* E2-E4 / Figures 3-5: execution time = cycles x clock period.  The
+   SA-110 runs at 100 MHz (paper Section 5.2), the EPIC prototype at the
+   area model's clock (41.8 MHz for the default format). *)
+
+let sa110_mhz = 100.0
+
+type fig_point = { fp_label : string; fp_seconds : float }
+
+let fig_times (row : table1_row) =
+  { fp_label = "SA110"; fp_seconds = float_of_int row.t1_sa110 /. (sa110_mhz *. 1e6) }
+  :: List.map
+       (fun (n, cycles) ->
+         let clock = (Area.estimate (Config.with_alus n)).Area.clock_mhz in
+         { fp_label = Printf.sprintf "%d ALU%s" n (if n = 1 then "" else "s");
+           fp_seconds = float_of_int cycles /. (clock *. 1e6) })
+       row.t1_epic
+
+(* Derived claims (paper Section 5.2): same-clock speedup of the 4-ALU
+   design over the SA-110, and the wall-clock ratio. *)
+type speedup = { sp_same_clock : float; sp_wall_clock : float }
+
+let speedups (row : table1_row) =
+  let epic4 = List.assoc 4 row.t1_epic in
+  let clock4 = (Area.estimate (Config.with_alus 4)).Area.clock_mhz in
+  {
+    sp_same_clock = float_of_int row.t1_sa110 /. float_of_int epic4;
+    sp_wall_clock =
+      float_of_int row.t1_sa110 /. (sa110_mhz *. 1e6)
+      /. (float_of_int epic4 /. (clock4 *. 1e6));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E5 / Section 5.1: resource usage for the 1-4 ALU designs. *)
+
+type resource_row = { rr_alus : int; rr : Area.report }
+
+let resources ?(alus = alu_sweep) () =
+  List.map (fun n -> { rr_alus = n; rr = Area.estimate (Config.with_alus n) }) alus
+
+let paper_slices = [ (1, 4181); (2, 6779); (3, 9367); (4, 11988) ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: register-file port budget and forwarding (paper Section 3.2). *)
+
+type port_point = { pp_budget : int; pp_forwarding : bool; pp_cycles : int; pp_port_stalls : int }
+
+let ablate_ports ?(sizes = default_sizes) ?(budgets = [ 4; 8; 16 ]) () =
+  let bm = Sources.sha_benchmark ~bytes:sizes.sha_bytes () in
+  List.concat_map
+    (fun budget ->
+      List.map
+        (fun forwarding ->
+          let cfg = { (Config.with_alus 4) with Config.rf_port_budget = budget; forwarding } in
+          let st =
+            T.epic_cycles cfg ~source:bm.Sources.bm_source
+              ~expected:bm.Sources.bm_expected ()
+          in
+          { pp_budget = budget; pp_forwarding = forwarding;
+            pp_cycles = st.Epic_sim.cycles; pp_port_stalls = st.Epic_sim.port_stalls })
+        [ true; false ])
+    budgets
+
+(* A2: the ROTR custom instruction for SHA (paper Section 3.3). *)
+
+type custom_point = { cp_label : string; cp_cycles : int; cp_slices : int }
+
+let ablate_custom ?(sizes = default_sizes) () =
+  let base = Config.with_alus 4 in
+  let with_rotr = Config.add_custom base "ROTR" in
+  let bm = Sources.sha_benchmark ~bytes:sizes.sha_bytes () in
+  let bm_rotr = Sources.sha_benchmark ~use_rotr_custom:true ~bytes:sizes.sha_bytes () in
+  [
+    { cp_label = "base ISA";
+      cp_cycles =
+        (T.epic_cycles base ~source:bm.Sources.bm_source
+           ~expected:bm.Sources.bm_expected ()).Epic_sim.cycles;
+      cp_slices = (Area.estimate base).Area.slices };
+    { cp_label = "+ROTR";
+      cp_cycles =
+        (T.epic_cycles with_rotr ~source:bm_rotr.Sources.bm_source
+           ~expected:bm_rotr.Sources.bm_expected ()).Epic_sim.cycles;
+      cp_slices = (Area.estimate with_rotr).Area.slices };
+  ]
+
+(* A3: instructions per issue (paper Section 3.3 lists it as a parameter;
+   bandwidth constrains it to 1..4). *)
+
+type issue_point = { ip_issue : int; ip_cycles : int; ip_nops : int }
+
+let ablate_issue ?(sizes = default_sizes) () =
+  let w, h = sizes.dct_size in
+  let bm = Sources.dct_benchmark ~width:w ~height:h () in
+  List.map
+    (fun iw ->
+      let cfg = { (Config.with_alus 4) with Config.issue_width = iw } in
+      let a = T.compile_epic cfg ~source:bm.Sources.bm_source () in
+      let r = T.run_epic a in
+      assert (r.Epic_sim.ret = bm.Sources.bm_expected);
+      { ip_issue = iw; ip_cycles = r.Epic_sim.stats.Epic_sim.cycles;
+        ip_nops = Epic_asm.Aunit.nop_count a.T.ea_image })
+    [ 1; 2; 3; 4 ]
+
+(* A4: predication (if-conversion) on/off. *)
+
+type pred_point = { dp_name : string; dp_with : int; dp_without : int }
+
+let ablate_predication ?(sizes = default_sizes) () =
+  let run bm predication =
+    (T.epic_cycles ~predication (Config.with_alus 4)
+       ~source:bm.Sources.bm_source ~expected:bm.Sources.bm_expected ())
+      .Epic_sim.cycles
+  in
+  List.map
+    (fun bm ->
+      { dp_name = bm.Sources.bm_name;
+        dp_with = run bm true;
+        dp_without = run bm false })
+    [ Sources.dijkstra_benchmark ~nodes:sizes.dijkstra_nodes ();
+      Sources.dct_benchmark () ]
+
+(* A5: pipeline depth (paper future work: "parameterising the level of
+   pipelining").  Deeper pipelines raise the clock but pay more refill
+   bubbles on taken branches — branchy code gains less. *)
+
+type pipe_point = {
+  pl_stages : int;
+  pl_name : string;
+  pl_cycles : int;
+  pl_bubbles : int;
+  pl_mhz : float;
+  pl_micros : float;
+}
+
+let ablate_pipeline ?(sizes = default_sizes) () =
+  let w, h = sizes.dct_size in
+  let bms =
+    [ Sources.dct_benchmark ~width:w ~height:h ();
+      Sources.dijkstra_benchmark ~nodes:sizes.dijkstra_nodes () ]
+  in
+  List.concat_map
+    (fun (bm : Sources.benchmark) ->
+      List.map
+        (fun stages ->
+          let cfg = { (Config.with_alus 4) with Config.pipeline_stages = stages } in
+          let st =
+            T.epic_cycles cfg ~source:bm.Sources.bm_source
+              ~expected:bm.Sources.bm_expected ()
+          in
+          let mhz = (Area.estimate cfg).Area.clock_mhz in
+          {
+            pl_stages = stages;
+            pl_name = bm.Sources.bm_name;
+            pl_cycles = st.Epic_sim.cycles;
+            pl_bubbles = st.Epic_sim.branch_bubbles;
+            pl_mhz = mhz;
+            pl_micros = float_of_int st.Epic_sim.cycles /. mhz;
+          })
+        [ 2; 3; 4 ])
+    bms
+
+(* A6: power/performance across the ALU sweep (paper future work:
+   "characterising the trade-offs in performance, size and power"). *)
+
+let activity_of_stats (st : Epic_sim.stats) =
+  {
+    Area.ac_cycles = st.Epic_sim.cycles;
+    ac_alu_ops = st.Epic_sim.alu_ops;
+    ac_lsu_ops = st.Epic_sim.lsu_ops;
+    ac_cmpu_ops = st.Epic_sim.cmpu_ops;
+    ac_bru_ops = st.Epic_sim.bru_ops;
+    ac_nops = st.Epic_sim.nops;
+  }
+
+type power_point = {
+  po_alus : int;
+  po_cycles : int;
+  po_power : Area.power_report;
+  po_micros : float;
+}
+
+let ablate_power ?(sizes = default_sizes) () =
+  let w, h = sizes.dct_size in
+  let bm = Sources.dct_benchmark ~width:w ~height:h () in
+  List.map
+    (fun alus ->
+      let cfg = Config.with_alus alus in
+      let st =
+        T.epic_cycles cfg ~source:bm.Sources.bm_source
+          ~expected:bm.Sources.bm_expected ()
+      in
+      let power = Area.power cfg (activity_of_stats st) in
+      {
+        po_alus = alus;
+        po_cycles = st.Epic_sim.cycles;
+        po_power = power;
+        po_micros =
+          float_of_int st.Epic_sim.cycles /. (Area.estimate cfg).Area.clock_mhz;
+      })
+    alu_sweep
+
+(* A7: automatic custom-instruction generation (paper future work:
+   "supporting automatic generation of custom instructions"). *)
+
+type autogen_point = {
+  ag_alus : int;
+  ag_base_cycles : int;
+  ag_spec_cycles : int;
+  ag_generated : string list;
+  ag_base_slices : int;
+  ag_spec_slices : int;
+}
+
+let ablate_autogen ?(sizes = default_sizes) () =
+  let bm = Sources.sha_benchmark ~bytes:sizes.sha_bytes () in
+  let program = Epic_opt.for_epic (Epic_cfront.compile bm.Sources.bm_source) in
+  List.filter_map
+    (fun alus ->
+      let cfg = Config.with_alus alus in
+      let base =
+        (T.epic_cycles cfg ~source:bm.Sources.bm_source
+           ~expected:bm.Sources.bm_expected ())
+          .Epic_sim.cycles
+      in
+      match Custom_gen.specialise ~rounds:6 cfg program with
+      | None -> None
+      | Some (cfg', program', chosen) ->
+        let layout = Epic_mir.Memmap.layout program' in
+        let unit_, _ = Epic_sched.compile_program cfg' layout program' in
+        let image, _ = Epic_asm.assemble cfg' unit_ in
+        let mem = Epic_mir.Memmap.init_memory layout program' in
+        let r = Epic_sim.run cfg' ~image ~mem () in
+        assert (r.Epic_sim.ret = bm.Sources.bm_expected);
+        Some
+          {
+            ag_alus = alus;
+            ag_base_cycles = base;
+            ag_spec_cycles = r.Epic_sim.stats.Epic_sim.cycles;
+            ag_generated =
+              List.map
+                (fun ((c : Custom_gen.candidate), _) ->
+                  Custom_gen.expr_to_string c.Custom_gen.cg_expr)
+                chosen;
+            ag_base_slices = (Area.estimate cfg).Area.slices;
+            ag_spec_slices = (Area.estimate cfg').Area.slices;
+          })
+    [ 1; 2; 4 ]
+
+(* A8: loop unrolling (the remaining IMPACT-style knob).  AES's short
+   fixed-trip loops benefit; the DCT (already hand-unrolled kernels)
+   does not — unrolling is a per-application choice. *)
+
+type unroll_point = { un_factor : int; un_name : string; un_cycles : int }
+
+let ablate_unroll ?(sizes = default_sizes) () =
+  let bms =
+    [ Sources.aes_benchmark ~iters:(max 2 (sizes.aes_iters / 4)) ();
+      Sources.dct_benchmark ~width:16 ~height:16 () ]
+  in
+  List.concat_map
+    (fun (bm : Sources.benchmark) ->
+      List.map
+        (fun factor ->
+          let st =
+            T.epic_cycles ~unroll:factor (Config.with_alus 4)
+              ~source:bm.Sources.bm_source ~expected:bm.Sources.bm_expected ()
+          in
+          { un_factor = factor; un_name = bm.Sources.bm_name;
+            un_cycles = st.Epic_sim.cycles })
+        [ 1; 4; 8 ])
+    bms

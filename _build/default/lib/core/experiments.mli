@@ -1,0 +1,129 @@
+(** Experiment harness regenerating every table and figure of the paper's
+    evaluation (Section 5), plus the ablations listed in DESIGN.md's
+    experiment index.  Every run verifies the benchmark checksum against
+    the OCaml reference implementation before any cycle count escapes. *)
+
+type sizes = {
+  sha_bytes : int;
+  aes_iters : int;
+  dct_size : int * int;
+  dijkstra_nodes : int;
+}
+(** Benchmark input sizes. *)
+
+val default_sizes : sizes
+(** Fast defaults preserving the paper's cycle-count shape
+    (sha 768 B, aes 40, dct 32x32, dijkstra 24). *)
+
+val paper_sizes : sizes
+(** The paper's inputs: 256x256x3-byte image, 1000 AES iterations,
+    256x256 DCT, a 100-node graph. *)
+
+(** {1 E1 / Table 1} *)
+
+type table1_row = {
+  t1_name : string;
+  t1_sa110 : int;              (** SA-110 baseline cycles. *)
+  t1_epic : (int * int) list;  (** (ALU count, EPIC cycles). *)
+}
+
+val alu_sweep : int list
+(** The paper's 1-4 ALU sweep. *)
+
+val table1 : ?sizes:sizes -> ?alus:int list -> unit -> table1_row list
+
+(** {1 E2-E4 / Figures 3-5} *)
+
+val sa110_mhz : float
+(** 100 MHz (paper Section 5.2). *)
+
+type fig_point = { fp_label : string; fp_seconds : float }
+
+val fig_times : table1_row -> fig_point list
+(** Execution times: SA-110 at 100 MHz, each EPIC design at the area
+    model's clock. *)
+
+type speedup = {
+  sp_same_clock : float;  (** 4-ALU cycle ratio (paper: 3.8x SHA, 12.3x DCT, 1.7x Dijkstra). *)
+  sp_wall_clock : float;  (** Time ratio at the real clocks (paper: 1.6x SHA, 6.15x DCT). *)
+}
+
+val speedups : table1_row -> speedup
+
+(** {1 E5 / resources} *)
+
+type resource_row = { rr_alus : int; rr : Epic_area.report }
+
+val resources : ?alus:int list -> unit -> resource_row list
+
+val paper_slices : (int * int) list
+(** The published slice counts: 4181/6779/9367/11988 for 1-4 ALUs. *)
+
+(** {1 Ablations} *)
+
+type port_point = {
+  pp_budget : int;
+  pp_forwarding : bool;
+  pp_cycles : int;
+  pp_port_stalls : int;
+}
+
+val ablate_ports : ?sizes:sizes -> ?budgets:int list -> unit -> port_point list
+(** A1: register-file port budget x forwarding (SHA, 4 ALUs). *)
+
+type custom_point = { cp_label : string; cp_cycles : int; cp_slices : int }
+
+val ablate_custom : ?sizes:sizes -> unit -> custom_point list
+(** A2: the ROTR custom instruction for SHA (include/exclude). *)
+
+type issue_point = { ip_issue : int; ip_cycles : int; ip_nops : int }
+
+val ablate_issue : ?sizes:sizes -> unit -> issue_point list
+(** A3: instructions per issue 1-4 (DCT, 4 ALUs), with NOP padding cost. *)
+
+type pred_point = { dp_name : string; dp_with : int; dp_without : int }
+
+val ablate_predication : ?sizes:sizes -> unit -> pred_point list
+(** A4: if-conversion on/off (Dijkstra and DCT). *)
+
+type pipe_point = {
+  pl_stages : int;
+  pl_name : string;
+  pl_cycles : int;
+  pl_bubbles : int;
+  pl_mhz : float;
+  pl_micros : float;
+}
+
+val ablate_pipeline : ?sizes:sizes -> unit -> pipe_point list
+(** A5 (future work): pipeline depth 2-4. *)
+
+val activity_of_stats : Epic_sim.stats -> Epic_area.activity
+(** Bridge from simulator statistics to the power model. *)
+
+type power_point = {
+  po_alus : int;
+  po_cycles : int;
+  po_power : Epic_area.power_report;
+  po_micros : float;
+}
+
+val ablate_power : ?sizes:sizes -> unit -> power_point list
+(** A6 (future work): power/performance across the ALU sweep (DCT). *)
+
+type autogen_point = {
+  ag_alus : int;
+  ag_base_cycles : int;
+  ag_spec_cycles : int;
+  ag_generated : string list;
+  ag_base_slices : int;
+  ag_spec_slices : int;
+}
+
+val ablate_autogen : ?sizes:sizes -> unit -> autogen_point list
+(** A7 (future work): automatic custom-instruction generation on SHA. *)
+
+type unroll_point = { un_factor : int; un_name : string; un_cycles : int }
+
+val ablate_unroll : ?sizes:sizes -> unit -> unroll_point list
+(** A8: loop unrolling factor (AES and a 16x16 DCT). *)

@@ -1,0 +1,68 @@
+(** End-to-end drivers: EPIC-C source through the full toolchain to a
+    cycle-level simulation, for both the customisable EPIC processor and
+    the SA-110 baseline.  This is the narrow waist shared by the command
+    line tools ([bin/]), the examples and the experiment harness. *)
+
+type epic_artifacts = {
+  ea_config : Epic_config.t;
+  ea_mir : Epic_mir.Ir.program;        (** After optimisation. *)
+  ea_layout : Epic_mir.Memmap.t;       (** Global/stack placement. *)
+  ea_unit : Epic_asm.Aunit.t;          (** Scheduled symbolic assembly. *)
+  ea_image : Epic_asm.Aunit.image;     (** Resolved instruction stream. *)
+  ea_words : int64 array;              (** Encoded binary. *)
+  ea_sched : Epic_sched.Sched.stats;   (** Static scheduling statistics. *)
+}
+
+type opt_level =
+  | O0  (** Straight lowering, no optimisation. *)
+  | O1  (** The full machine-independent pipeline (default). *)
+
+val default_unroll : int
+(** Counted-loop unrolling threshold used when [?unroll] is omitted
+    (1 = off: on these workloads the hand-unrolled kernels already expose
+    the ILP and flattening the outer loops mostly bloats code; see the A8
+    ablation). *)
+
+val compile_epic :
+  ?opt:opt_level -> ?predication:bool -> ?unroll:int -> ?mem_bytes:int ->
+  Epic_config.t -> source:string -> unit -> epic_artifacts
+(** Compile EPIC-C for a configuration: front-end (with optional loop
+    unrolling) -> optimiser (if-conversion unless [predication:false]) ->
+    code generation + register allocation -> list scheduling -> assembly.
+    Validates the configuration first.
+    @raise Epic_cfront.Error, @raise Epic_sched.Codegen.Codegen_error,
+    @raise Epic_asm.Asm_error, @raise Invalid_argument as appropriate. *)
+
+val run_epic :
+  ?fuel:int -> ?trace:Format.formatter -> epic_artifacts -> Epic_sim.result
+(** Initialise data memory from the program's globals and simulate from
+    [_start]. *)
+
+type arm_artifacts = {
+  aa_mir : Epic_mir.Ir.program;  (** Optimised, software-divide runtime linked. *)
+  aa_layout : Epic_mir.Memmap.t;
+  aa_prog : Epic_arm.Isa.program;
+}
+
+val compile_arm :
+  ?opt:opt_level -> ?unroll:int -> ?mem_bytes:int -> source:string -> unit ->
+  arm_artifacts
+(** Compile the same source for the SA-110 baseline (shared front-end and
+    optimiser, pressure-aware inlining, no predication). *)
+
+val run_arm : ?fuel:int -> arm_artifacts -> Epic_arm.Sim.result
+
+(** {1 Checked convenience wrappers}
+
+    Compile, run, and compare the result against an expected checksum —
+    the harness never reports cycles for a wrong answer. *)
+
+val epic_cycles :
+  ?opt:opt_level -> ?predication:bool -> ?unroll:int ->
+  Epic_config.t -> source:string -> expected:int -> unit -> Epic_sim.stats
+(** @raise Failure when the run returns anything but [expected]. *)
+
+val arm_cycles :
+  ?opt:opt_level -> ?unroll:int -> source:string -> expected:int -> unit ->
+  Epic_arm.Sim.stats
+(** @raise Failure when the run returns anything but [expected]. *)

@@ -1,0 +1,225 @@
+module Isa = Epic_isa
+module Config = Epic_config
+
+exception Encode_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encode_error s)) fmt
+
+type table = {
+  forward : (Isa.opcode * int) list;
+  backward : (int, Isa.opcode) Hashtbl.t;
+}
+
+(* Class tags placed in the top two bits of the opcode field.  NOP shares
+   the ALU tag with in-class index 0 so that the all-zero word is a NOP. *)
+let class_tag (op : Isa.opcode) =
+  match Isa.unit_of op with
+  | Isa.U_none | Isa.U_alu -> 0
+  | Isa.U_lsu -> 1
+  | Isa.U_cmpu -> 2
+  | Isa.U_bru -> 3
+
+let make_table (cfg : Config.t) =
+  let ops =
+    Isa.NOP
+    :: List.filter (fun o -> not (Isa.equal_opcode o Isa.NOP)) Isa.all_base_opcodes
+    @ List.map (fun c -> Isa.CUSTOM c.Config.cop_name) cfg.Config.custom_ops
+  in
+  let shift = cfg.Config.opcode_bits - 2 in
+  let counters = Array.make 4 0 in
+  let forward =
+    List.map
+      (fun op ->
+        let tag = class_tag op in
+        let index = counters.(tag) in
+        counters.(tag) <- index + 1;
+        if index >= 1 lsl shift then fail "opcode field too narrow for instruction set";
+        (op, (tag lsl shift) lor index))
+      ops
+  in
+  let backward = Hashtbl.create 64 in
+  List.iter (fun (op, code) -> Hashtbl.replace backward code op) forward;
+  { forward; backward }
+
+let code_of_opcode t op =
+  List.find_map (fun (o, c) -> if Isa.equal_opcode o op then Some c else None) t.forward
+
+let opcode_of_code t code = Hashtbl.find_opt t.backward code
+
+let all_codes t = t.forward
+
+let literal_fits (cfg : Config.t) v =
+  let payload = cfg.Config.src_bits - 1 in
+  v >= -(1 lsl (payload - 1)) && v < 1 lsl (payload - 1)
+
+(* Which fields are architecturally meaningful for an opcode.  [Dimm] is
+   a destination field reused as a small immediate (the store offset). *)
+type dst_usage = Dreg of Isa.regfile | Dimm | Dnone
+
+type field_usage = {
+  u_dst1 : dst_usage;
+  u_dst2 : dst_usage;
+  u_src1 : bool;
+  u_src2 : bool;
+}
+
+let usage (op : Isa.opcode) =
+  let d1, d2 =
+    match op with
+    | Isa.ADD | Isa.SUB | Isa.MPY | Isa.DIV | Isa.REM | Isa.MIN | Isa.MAX
+    | Isa.ABS | Isa.AND | Isa.OR | Isa.XOR | Isa.ANDCM | Isa.NAND | Isa.NOR
+    | Isa.SHL | Isa.SHR | Isa.SHRA | Isa.MOV | Isa.CUSTOM _
+    | Isa.LD _ | Isa.LDU _ | Isa.BRL -> (Dreg Isa.R_gpr, Dnone)
+    | Isa.CMPP _ -> (Dreg Isa.R_pred, Dreg Isa.R_pred)
+    | Isa.PBRR -> (Dreg Isa.R_btr, Dnone)
+    | Isa.ST _ -> (Dimm, Dnone)
+    | Isa.BRU_ | Isa.BRCT | Isa.BRCF | Isa.HALT | Isa.NOP -> (Dnone, Dnone)
+  in
+  let s1, s2 =
+    match op with
+    | Isa.ABS | Isa.MOV | Isa.PBRR | Isa.BRU_ | Isa.BRL -> (true, false)
+    | Isa.HALT | Isa.NOP -> (false, false)
+    | Isa.ADD | Isa.SUB | Isa.MPY | Isa.DIV | Isa.REM | Isa.MIN | Isa.MAX
+    | Isa.AND | Isa.OR | Isa.XOR | Isa.ANDCM | Isa.NAND | Isa.NOR
+    | Isa.SHL | Isa.SHR | Isa.SHRA | Isa.CUSTOM _
+    | Isa.LD _ | Isa.LDU _ | Isa.ST _ | Isa.CMPP _ | Isa.BRCT | Isa.BRCF ->
+      (true, true)
+  in
+  { u_dst1 = d1; u_dst2 = d2; u_src1 = s1; u_src2 = s2 }
+
+let check_dst (cfg : Config.t) file idx =
+  let limit, name =
+    match file with
+    | Isa.R_gpr -> (cfg.Config.n_gprs, "GPR")
+    | Isa.R_pred -> (cfg.Config.n_preds, "predicate register")
+    | Isa.R_btr -> (cfg.Config.n_btrs, "branch target register")
+  in
+  if idx < 0 || idx >= limit then fail "%s index %d out of range 0..%d" name idx (limit - 1);
+  if idx >= 1 lsl cfg.Config.dst_bits then
+    fail "destination index %d exceeds the %d-bit field" idx cfg.Config.dst_bits
+
+let encode_src (cfg : Config.t) (s : Isa.src) =
+  let payload = cfg.Config.src_bits - 1 in
+  match s with
+  | Isa.Sreg r ->
+    if r < 0 || r >= cfg.Config.n_gprs then fail "source register r%d out of range" r;
+    if r >= 1 lsl payload then fail "register r%d exceeds the source field" r;
+    r
+  | Isa.Simm v ->
+    if not (literal_fits cfg v) then
+      fail "literal %d does not fit the %d-bit source payload" v payload;
+    (1 lsl payload) lor (v land ((1 lsl payload) - 1))
+
+let decode_src (cfg : Config.t) bits =
+  let payload = cfg.Config.src_bits - 1 in
+  if bits land (1 lsl payload) <> 0 then begin
+    let v = bits land ((1 lsl payload) - 1) in
+    let v = if v land (1 lsl (payload - 1)) <> 0 then v - (1 lsl payload) else v in
+    Isa.Simm v
+  end
+  else Isa.Sreg bits
+
+let count_distinct_gprs (i : Isa.inst) =
+  let u = usage i.Isa.op in
+  let add acc r = if List.mem r acc then acc else r :: acc in
+  let acc = [] in
+  let acc = match u.u_dst1 with Dreg Isa.R_gpr -> add acc i.Isa.dst1 | _ -> acc in
+  let acc = match u.u_dst2 with Dreg Isa.R_gpr -> add acc i.Isa.dst2 | _ -> acc in
+  let acc =
+    if u.u_src1 then match i.Isa.src1 with Isa.Sreg r -> add acc r | Isa.Simm _ -> acc
+    else acc
+  in
+  let acc =
+    if u.u_src2 then match i.Isa.src2 with Isa.Sreg r -> add acc r | Isa.Simm _ -> acc
+    else acc
+  in
+  List.length acc
+
+let encode t (cfg : Config.t) (i : Isa.inst) =
+  if Config.inst_bits cfg > 64 then fail "instruction width %d exceeds 64 bits" (Config.inst_bits cfg);
+  if not (Config.op_supported cfg i.Isa.op) then
+    fail "operation %s is not implemented by this configuration"
+      (Isa.string_of_opcode i.Isa.op);
+  let code =
+    match code_of_opcode t i.Isa.op with
+    | Some c -> c
+    | None -> fail "operation %s has no opcode in this configuration" (Isa.string_of_opcode i.Isa.op)
+  in
+  let u = usage i.Isa.op in
+  let check_imm v =
+    if v < 0 || v >= 1 lsl cfg.Config.dst_bits then
+      fail "destination-field immediate %d exceeds the %d-bit field" v cfg.Config.dst_bits;
+    v
+  in
+  let d1 =
+    match u.u_dst1 with
+    | Dreg file -> check_dst cfg file i.Isa.dst1; i.Isa.dst1
+    | Dimm -> check_imm i.Isa.dst1
+    | Dnone -> 0
+  in
+  let d2 =
+    match u.u_dst2 with
+    | Dreg file -> check_dst cfg file i.Isa.dst2; i.Isa.dst2
+    | Dimm -> check_imm i.Isa.dst2
+    | Dnone -> 0
+  in
+  let s1 = if u.u_src1 then encode_src cfg i.Isa.src1 else 0 in
+  let s2 = if u.u_src2 then encode_src cfg i.Isa.src2 else 0 in
+  if i.Isa.guard < 0 || i.Isa.guard >= cfg.Config.n_preds then
+    fail "guard predicate p%d out of range" i.Isa.guard;
+  if count_distinct_gprs i > cfg.Config.regs_per_inst then
+    fail "instruction names %d distinct GPRs but regs_per_inst = %d"
+      (count_distinct_gprs i) cfg.Config.regs_per_inst;
+  let ( ||| ) = Int64.logor in
+  let field v shift = Int64.shift_left (Int64.of_int v) shift in
+  let pb = cfg.Config.pred_bits and sb = cfg.Config.src_bits and db = cfg.Config.dst_bits in
+  field i.Isa.guard 0
+  ||| field s2 pb
+  ||| field s1 (pb + sb)
+  ||| field d2 (pb + (2 * sb))
+  ||| field d1 (pb + (2 * sb) + db)
+  ||| field code (pb + (2 * sb) + (2 * db))
+
+let extract word shift bits =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical word shift) (Int64.sub (Int64.shift_left 1L bits) 1L))
+
+let decode t (cfg : Config.t) word =
+  let pb = cfg.Config.pred_bits and sb = cfg.Config.src_bits and db = cfg.Config.dst_bits in
+  let guard = extract word 0 pb in
+  let s2 = extract word pb sb in
+  let s1 = extract word (pb + sb) sb in
+  let d2 = extract word (pb + (2 * sb)) db in
+  let d1 = extract word (pb + (2 * sb) + db) db in
+  let code = extract word (pb + (2 * sb) + (2 * db)) cfg.Config.opcode_bits in
+  match opcode_of_code t code with
+  | None -> fail "unknown opcode %#x" code
+  | Some op ->
+    let u = usage op in
+    {
+      Isa.op;
+      dst1 = (match u.u_dst1 with Dreg _ | Dimm -> d1 | Dnone -> 0);
+      dst2 = (match u.u_dst2 with Dreg _ | Dimm -> d2 | Dnone -> 0);
+      src1 = (if u.u_src1 then decode_src cfg s1 else Isa.Simm 0);
+      src2 = (if u.u_src2 then decode_src cfg s2 else Isa.Simm 0);
+      guard;
+    }
+
+let word_to_bytes (cfg : Config.t) word =
+  let nbytes = (Config.inst_bits cfg + 7) / 8 in
+  let b = Bytes.create nbytes in
+  for k = 0 to nbytes - 1 do
+    (* Big-endian: most significant byte first. *)
+    let shift = 8 * (nbytes - 1 - k) in
+    Bytes.set b k (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical word shift) 0xFFL)))
+  done;
+  b
+
+let word_of_bytes (cfg : Config.t) b off =
+  let nbytes = (Config.inst_bits cfg + 7) / 8 in
+  let rec go k acc =
+    if k = nbytes then acc
+    else
+      go (k + 1)
+        (Int64.logor (Int64.shift_left acc 8) (Int64.of_int (Char.code (Bytes.get b (off + k)))))
+  in
+  go 0 0L

@@ -1,0 +1,52 @@
+(** Binary instruction encoding for the customisable EPIC processor.
+
+    Implements the paper's fixed-width format (Fig. 1):
+    [OPCODE | DEST1 | DEST2 | SRC1 | SRC2 | PRED], 64 bits with the default
+    field widths (15/6/6/16/16/5), all widths taken from the configuration
+    because "the instruction width and the width of each individual field
+    [are] made parameterisable".
+
+    Each source field spends its top bit as a literal flag: 1 means the
+    remaining [src_bits - 1] bits are a sign-extended literal, 0 a register
+    index.  The machine is big-endian (paper Section 3.1), so the memory
+    image serialises words most-significant byte first. *)
+
+exception Encode_error of string
+(** Raised when an instruction does not fit the configured format (register
+    index out of range, literal too wide, unsupported operation, more
+    distinct GPR operands than [regs_per_inst] allows). *)
+
+(** Opcode numbering table.  Codes place the functional-unit class in the
+    top bits and enumerate operations within the class in the low bits, so
+    that two instructions executed by the same unit type have minimal
+    Hamming distance (paper Section 3.1); the all-zero code is NOP, making
+    zeroed instruction memory safe. *)
+type table
+
+val make_table : Epic_config.t -> table
+(** Build the numbering for a configuration: base operations first, then
+    that configuration's custom operations (in ALU code space). *)
+
+val code_of_opcode : table -> Epic_isa.opcode -> int option
+val opcode_of_code : table -> int -> Epic_isa.opcode option
+
+val all_codes : table -> (Epic_isa.opcode * int) list
+(** The complete numbering, for documentation dumps and tests. *)
+
+val encode : table -> Epic_config.t -> Epic_isa.inst -> int64
+(** Encode one instruction. @raise Encode_error when it does not fit. *)
+
+val decode : table -> Epic_config.t -> int64 -> Epic_isa.inst
+(** Decode one instruction word. @raise Encode_error on an unknown opcode. *)
+
+val word_to_bytes : Epic_config.t -> int64 -> bytes
+(** Big-endian memory image of one instruction word
+    ([inst_bits / 8] bytes). *)
+
+val word_of_bytes : Epic_config.t -> bytes -> int -> int64
+(** [word_of_bytes cfg b off] reads an instruction word back from a
+    big-endian memory image at byte offset [off]. *)
+
+val literal_fits : Epic_config.t -> int -> bool
+(** Whether a literal value fits the sign-extended [src_bits - 1]-bit
+    source-field payload. *)

@@ -1,0 +1,324 @@
+module Word = struct
+  let max_width = 32
+
+  let check w =
+    if w < 1 || w > max_width then
+      invalid_arg (Printf.sprintf "Epic_isa.Word: unsupported width %d" w)
+
+  let mask w v =
+    check w;
+    v land ((1 lsl w) - 1)
+
+  let to_signed w v =
+    let v = mask w v in
+    if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w) else v
+
+  let of_signed w v = mask w v
+  let min_signed w = check w; - (1 lsl (w - 1))
+  let max_signed w = check w; (1 lsl (w - 1)) - 1
+  let max_unsigned w = check w; (1 lsl w) - 1
+end
+
+type cmp_cond =
+  | C_eq
+  | C_ne
+  | C_lt
+  | C_le
+  | C_gt
+  | C_ge
+  | C_ltu
+  | C_leu
+  | C_gtu
+  | C_geu
+
+type mem_width = M_byte | M_half | M_word
+
+type opcode =
+  | ADD
+  | SUB
+  | MPY
+  | DIV
+  | REM
+  | MIN
+  | MAX
+  | ABS
+  | AND
+  | OR
+  | XOR
+  | ANDCM
+  | NAND
+  | NOR
+  | SHL
+  | SHR
+  | SHRA
+  | MOV
+  | CUSTOM of string
+  | LD of mem_width
+  | LDU of mem_width
+  | ST of mem_width
+  | CMPP of cmp_cond
+  | PBRR
+  | BRU_
+  | BRCT
+  | BRCF
+  | BRL
+  | HALT
+  | NOP
+
+type src = Sreg of int | Simm of int
+
+type inst = {
+  op : opcode;
+  dst1 : int;
+  dst2 : int;
+  src1 : src;
+  src2 : src;
+  guard : int;
+}
+
+let nop = { op = NOP; dst1 = 0; dst2 = 0; src1 = Simm 0; src2 = Simm 0; guard = 0 }
+
+type unit_class = U_alu | U_lsu | U_cmpu | U_bru | U_none
+
+type regfile = R_gpr | R_pred | R_btr
+
+let unit_of = function
+  | ADD | SUB | MPY | DIV | REM | MIN | MAX | ABS
+  | AND | OR | XOR | ANDCM | NAND | NOR
+  | SHL | SHR | SHRA | MOV | CUSTOM _ -> U_alu
+  | LD _ | LDU _ | ST _ -> U_lsu
+  | CMPP _ -> U_cmpu
+  | PBRR | BRU_ | BRCT | BRCF | BRL | HALT -> U_bru
+  | NOP -> U_none
+
+let is_branch = function
+  | BRU_ | BRCT | BRCF | BRL -> true
+  | ADD | SUB | MPY | DIV | REM | MIN | MAX | ABS
+  | AND | OR | XOR | ANDCM | NAND | NOR | SHL | SHR | SHRA | MOV
+  | CUSTOM _ | LD _ | LDU _ | ST _ | CMPP _ | PBRR | HALT | NOP -> false
+
+let is_store = function ST _ -> true | _ -> false
+let is_load = function LD _ | LDU _ -> true | _ -> false
+
+(* Destination register files used by each field.  [None] means the field
+   is unused by the operation. *)
+let dst_files op =
+  match op with
+  | ADD | SUB | MPY | DIV | REM | MIN | MAX | ABS
+  | AND | OR | XOR | ANDCM | NAND | NOR | SHL | SHR | SHRA | MOV
+  | CUSTOM _ | LD _ | LDU _ -> (Some R_gpr, None)
+  | CMPP _ -> (Some R_pred, Some R_pred)
+  | PBRR -> (Some R_btr, None)
+  | BRL -> (Some R_gpr, None)
+  | ST _ | BRU_ | BRCT | BRCF | HALT | NOP -> (None, None)
+
+let writes i =
+  let keep file idx acc =
+    (* GPR 0 and predicate 0 are hardwired; writes are discarded. *)
+    match file with
+    | R_gpr | R_pred -> if idx = 0 then acc else (file, idx) :: acc
+    | R_btr -> (file, idx) :: acc
+  in
+  let d1, d2 = dst_files i.op in
+  let acc = match d2 with Some f -> keep f i.dst2 [] | None -> [] in
+  match d1 with Some f -> keep f i.dst1 acc | None -> acc
+
+let reads i =
+  let src_read acc = function Sreg r when r <> 0 -> (R_gpr, r) :: acc | Sreg _ | Simm _ -> acc in
+  let base =
+    match i.op with
+    | ADD | SUB | MPY | DIV | REM | MIN | MAX
+    | AND | OR | XOR | ANDCM | NAND | NOR | SHL | SHR | SHRA
+    | CUSTOM _ | LD _ | LDU _ | CMPP _ ->
+      src_read (src_read [] i.src2) i.src1
+    | ABS | MOV -> src_read [] i.src1
+    | ST _ -> src_read (src_read [] i.src2) i.src1
+    | PBRR -> src_read [] i.src1
+    | BRU_ | BRL ->
+      (* src1 is a BTR index, encoded as a literal field. *)
+      (match i.src1 with Simm b -> [ (R_btr, b) ] | Sreg _ -> [])
+    | BRCT | BRCF ->
+      let btr = match i.src1 with Simm b -> [ (R_btr, b) ] | Sreg _ -> [] in
+      let p = match i.src2 with Simm p when p <> 0 -> [ (R_pred, p) ] | Simm _ | Sreg _ -> [] in
+      btr @ p
+    | HALT | NOP -> []
+  in
+  if i.guard <> 0 then (R_pred, i.guard) :: base else base
+
+let gpr_port_ops i =
+  let count f = List.length (List.filter (fun (file, _) -> file = f) (writes i))
+              + List.length (List.filter (fun (file, _) -> file = f) (reads i))
+  in
+  count R_gpr
+
+let default_latency = function
+  | ADD | SUB | MIN | MAX | ABS
+  | AND | OR | XOR | ANDCM | NAND | NOR | SHL | SHR | SHRA | MOV -> 1
+  | MPY -> 3
+  | DIV | REM -> 12
+  | CUSTOM _ -> 1
+  | LD _ | LDU _ -> 2
+  | ST _ -> 1
+  | CMPP _ -> 1
+  | PBRR -> 1
+  | BRL -> 1
+  | BRU_ | BRCT | BRCF | HALT | NOP -> 1
+
+let eval_cmp ~width c a b =
+  let sa = Word.to_signed width a and sb = Word.to_signed width b in
+  let ua = Word.mask width a and ub = Word.mask width b in
+  match c with
+  | C_eq -> ua = ub
+  | C_ne -> ua <> ub
+  | C_lt -> sa < sb
+  | C_le -> sa <= sb
+  | C_gt -> sa > sb
+  | C_ge -> sa >= sb
+  | C_ltu -> ua < ub
+  | C_leu -> ua <= ub
+  | C_gtu -> ua > ub
+  | C_geu -> ua >= ub
+
+let eval_alu ~width ~custom op a b =
+  let m = Word.mask width in
+  let a = m a and b = m b in
+  let sa () = Word.to_signed width a and sb () = Word.to_signed width b in
+  let shift_amount = b land (Word.max_unsigned width) in
+  match op with
+  | ADD -> m (a + b)
+  | SUB -> m (a - b)
+  | MPY -> m (a * b)
+  | DIV ->
+    let d = sb () in
+    if d = 0 then 0 else Word.of_signed width (sa () / d)
+  | REM ->
+    let d = sb () in
+    if d = 0 then a else Word.of_signed width (sa () mod d)
+  | MIN -> if sa () <= sb () then a else b
+  | MAX -> if sa () >= sb () then a else b
+  | ABS -> Word.of_signed width (abs (sa ()))
+  | AND -> a land b
+  | OR -> a lor b
+  | XOR -> a lxor b
+  | ANDCM -> a land m (lnot b)
+  | NAND -> m (lnot (a land b))
+  | NOR -> m (lnot (a lor b))
+  | SHL -> if shift_amount >= width then 0 else m (a lsl shift_amount)
+  | SHR -> if shift_amount >= width then 0 else a lsr shift_amount
+  | SHRA ->
+    let n = if shift_amount >= width then width - 1 else shift_amount in
+    Word.of_signed width (sa () asr n)
+  | MOV -> a
+  | CUSTOM name -> m (custom name a b)
+  | LD _ | LDU _ | ST _ | CMPP _ | PBRR | BRU_ | BRCT | BRCF | BRL | HALT | NOP ->
+    invalid_arg "Epic_isa.eval_alu: not an ALU operation"
+
+let bytes_of_mem_width = function M_byte -> 1 | M_half -> 2 | M_word -> 4
+
+let string_of_cond = function
+  | C_eq -> "EQ" | C_ne -> "NE" | C_lt -> "LT" | C_le -> "LE"
+  | C_gt -> "GT" | C_ge -> "GE" | C_ltu -> "LTU" | C_leu -> "LEU"
+  | C_gtu -> "GTU" | C_geu -> "GEU"
+
+let cond_of_string = function
+  | "EQ" -> Some C_eq | "NE" -> Some C_ne | "LT" -> Some C_lt
+  | "LE" -> Some C_le | "GT" -> Some C_gt | "GE" -> Some C_ge
+  | "LTU" -> Some C_ltu | "LEU" -> Some C_leu | "GTU" -> Some C_gtu
+  | "GEU" -> Some C_geu | _ -> None
+
+let mem_suffix = function M_byte -> "B" | M_half -> "H" | M_word -> "W"
+
+let mem_of_suffix = function
+  | "B" -> Some M_byte | "H" -> Some M_half | "W" -> Some M_word | _ -> None
+
+let string_of_opcode = function
+  | ADD -> "ADD" | SUB -> "SUB" | MPY -> "MPY" | DIV -> "DIV" | REM -> "REM"
+  | MIN -> "MIN" | MAX -> "MAX" | ABS -> "ABS"
+  | AND -> "AND" | OR -> "OR" | XOR -> "XOR" | ANDCM -> "ANDCM"
+  | NAND -> "NAND" | NOR -> "NOR"
+  | SHL -> "SHL" | SHR -> "SHR" | SHRA -> "SHRA" | MOV -> "MOV"
+  | CUSTOM name -> "X." ^ name
+  | LD w -> "LD" ^ mem_suffix w
+  | LDU w -> "LDU" ^ mem_suffix w
+  | ST w -> "ST" ^ mem_suffix w
+  | CMPP c -> "CMPP." ^ string_of_cond c
+  | PBRR -> "PBRR" | BRU_ -> "BRU" | BRCT -> "BRCT" | BRCF -> "BRCF"
+  | BRL -> "BRL" | HALT -> "HALT" | NOP -> "NOP"
+
+let opcode_of_string s =
+  match s with
+  | "ADD" -> Some ADD | "SUB" -> Some SUB | "MPY" -> Some MPY
+  | "DIV" -> Some DIV | "REM" -> Some REM | "MIN" -> Some MIN
+  | "MAX" -> Some MAX | "ABS" -> Some ABS | "AND" -> Some AND
+  | "OR" -> Some OR | "XOR" -> Some XOR | "ANDCM" -> Some ANDCM
+  | "NAND" -> Some NAND | "NOR" -> Some NOR | "SHL" -> Some SHL
+  | "SHR" -> Some SHR | "SHRA" -> Some SHRA | "MOV" -> Some MOV
+  | "PBRR" -> Some PBRR | "BRU" -> Some BRU_ | "BRCT" -> Some BRCT
+  | "BRCF" -> Some BRCF | "BRL" -> Some BRL | "HALT" -> Some HALT
+  | "NOP" -> Some NOP
+  | _ ->
+    let with_prefix prefix k =
+      if String.length s > String.length prefix
+         && String.sub s 0 (String.length prefix) = prefix
+      then k (String.sub s (String.length prefix) (String.length s - String.length prefix))
+      else None
+    in
+    (match with_prefix "X." (fun name -> Some (CUSTOM name)) with
+     | Some _ as r -> r
+     | None ->
+       match with_prefix "CMPP." (fun c -> Option.map (fun c -> CMPP c) (cond_of_string c)) with
+       | Some _ as r -> r
+       | None ->
+         match with_prefix "LDU" (fun w -> Option.map (fun w -> LDU w) (mem_of_suffix w)) with
+         | Some _ as r -> r
+         | None ->
+           match with_prefix "LD" (fun w -> Option.map (fun w -> LD w) (mem_of_suffix w)) with
+           | Some _ as r -> r
+           | None ->
+             with_prefix "ST" (fun w -> Option.map (fun w -> ST w) (mem_of_suffix w)))
+
+let pp_src ppf = function
+  | Sreg r -> Format.fprintf ppf "r%d" r
+  | Simm v -> Format.fprintf ppf "#%d" v
+
+let pp_inst ppf i =
+  let pp_guard ppf g = if g <> 0 then Format.fprintf ppf " (p%d)" g in
+  let op = string_of_opcode i.op in
+  match i.op with
+  | NOP -> Format.fprintf ppf "NOP"
+  | ADD | SUB | MPY | DIV | REM | MIN | MAX
+  | AND | OR | XOR | ANDCM | NAND | NOR | SHL | SHR | SHRA | CUSTOM _ ->
+    Format.fprintf ppf "%s r%d, %a, %a%a" op i.dst1 pp_src i.src1 pp_src i.src2
+      pp_guard i.guard
+  | ABS | MOV ->
+    Format.fprintf ppf "%s r%d, %a%a" op i.dst1 pp_src i.src1 pp_guard i.guard
+  | LD _ | LDU _ ->
+    Format.fprintf ppf "%s r%d, %a, %a%a" op i.dst1 pp_src i.src1 pp_src i.src2
+      pp_guard i.guard
+  | ST _ ->
+    Format.fprintf ppf "%s %a, #%d, %a%a" op pp_src i.src1 i.dst1 pp_src i.src2
+      pp_guard i.guard
+  | CMPP _ ->
+    Format.fprintf ppf "%s p%d, p%d, %a, %a%a" op i.dst1 i.dst2 pp_src i.src1
+      pp_src i.src2 pp_guard i.guard
+  | PBRR ->
+    Format.fprintf ppf "%s b%d, %a%a" op i.dst1 pp_src i.src1 pp_guard i.guard
+  | BRU_ ->
+    Format.fprintf ppf "%s %a%a" op pp_src i.src1 pp_guard i.guard
+  | BRCT | BRCF ->
+    Format.fprintf ppf "%s %a, %a%a" op pp_src i.src1 pp_src i.src2 pp_guard i.guard
+  | BRL ->
+    Format.fprintf ppf "%s r%d, %a%a" op i.dst1 pp_src i.src1 pp_guard i.guard
+  | HALT -> Format.fprintf ppf "HALT%a" pp_guard i.guard
+
+let equal_opcode (a : opcode) (b : opcode) = a = b
+let equal_inst (a : inst) (b : inst) = a = b
+
+let all_base_opcodes =
+  [ ADD; SUB; MPY; DIV; REM; MIN; MAX; ABS; AND; OR; XOR; ANDCM; NAND; NOR;
+    SHL; SHR; SHRA; MOV;
+    LD M_byte; LD M_half; LD M_word; LDU M_byte; LDU M_half; LDU M_word;
+    ST M_byte; ST M_half; ST M_word;
+    CMPP C_eq; CMPP C_ne; CMPP C_lt; CMPP C_le; CMPP C_gt; CMPP C_ge;
+    CMPP C_ltu; CMPP C_leu; CMPP C_gtu; CMPP C_geu;
+    PBRR; BRU_; BRCT; BRCF; BRL; HALT; NOP ]

@@ -1,0 +1,174 @@
+(** Instruction-set architecture of the customisable EPIC processor.
+
+    The instruction set is a proper subset of the HPL-PD meta-architecture
+    (Kathail, Schlansker, Rau: HPL-93-80), restricted to the integer
+    operations the paper implements on FPGA, plus a registry-driven custom
+    operation extension point (paper Section 3.3). *)
+
+(** Fixed-width two's-complement arithmetic helpers.
+
+    Values are stored as OCaml [int]s in canonical unsigned form
+    [0 .. 2^w - 1].  Because [2^w] divides [2^63] for all supported widths,
+    native wrap-around arithmetic followed by masking is exact. *)
+module Word : sig
+  val max_width : int
+  (** Largest supported datapath width (32). *)
+
+  val mask : int -> int -> int
+  (** [mask w v] is [v] reduced to [w] bits (canonical unsigned form). *)
+
+  val to_signed : int -> int -> int
+  (** [to_signed w v] interprets canonical [v] as a signed [w]-bit value. *)
+
+  val of_signed : int -> int -> int
+  (** [of_signed w v] is the canonical form of the signed value [v]. *)
+
+  val min_signed : int -> int
+  (** Smallest signed value representable in [w] bits. *)
+
+  val max_signed : int -> int
+  (** Largest signed value representable in [w] bits. *)
+
+  val max_unsigned : int -> int
+  (** Largest unsigned value representable in [w] bits. *)
+end
+
+(** {1 Instruction set} *)
+
+type cmp_cond =
+  | C_eq
+  | C_ne
+  | C_lt
+  | C_le
+  | C_gt
+  | C_ge
+  | C_ltu
+  | C_leu
+  | C_gtu
+  | C_geu
+      (** Comparison conditions for CMPP (signed and unsigned variants). *)
+
+type mem_width = M_byte | M_half | M_word
+    (** Access widths for loads and stores. *)
+
+type opcode =
+  | ADD
+  | SUB
+  | MPY
+  | DIV  (** Signed division; division by zero yields 0 (FPGA divider). *)
+  | REM  (** Signed remainder; remainder by zero yields the dividend. *)
+  | MIN
+  | MAX
+  | ABS  (** Unary; src2 ignored. *)
+  | AND
+  | OR
+  | XOR
+  | ANDCM  (** [a land (lnot b)], HPL-PD and-complement. *)
+  | NAND
+  | NOR
+  | SHL
+  | SHR   (** Logical right shift. *)
+  | SHRA  (** Arithmetic right shift. *)
+  | MOV   (** [dst1 <- src1]; doubles as load-immediate. src2 ignored. *)
+  | CUSTOM of string
+      (** Custom ALU operation resolved through the configuration's
+          custom-operation registry (paper Section 3.3). *)
+  | LD of mem_width   (** Sign-extending load; address is src1 + src2. *)
+  | LDU of mem_width  (** Zero-extending load. *)
+  | ST of mem_width
+      (** Store: memory[src1 + dst1 * size] <- src2.  The value occupies
+          the second source field, so the otherwise-unused DEST1 field is
+          repurposed as a small unsigned offset in units of the access
+          size (it indexes nothing, hence costs no register port). *)
+  | CMPP of cmp_cond
+      (** Compare-to-predicate: dst1 (pred) <- cond, dst2 (pred) <- not cond.
+          Predicate register 0 is hardwired true; writes to it are dropped. *)
+  | PBRR
+      (** Prepare-to-branch: BTR dst1 <- src1 (literal address or GPR),
+          covering both direct targets and indirect/return targets. *)
+  | BRU_  (** Unconditional branch through BTR src1. *)
+  | BRCT  (** Branch through BTR src1 if predicate [src2] is true. *)
+  | BRCF  (** Branch through BTR src1 if predicate [src2] is false. *)
+  | BRL   (** Branch and link through BTR src1; GPR dst1 <- return address. *)
+  | HALT  (** Stop the processor (prototype testbench control). *)
+  | NOP
+
+type src = Sreg of int | Simm of int
+    (** A source field: general-purpose register index or literal. *)
+
+type inst = {
+  op : opcode;
+  dst1 : int;  (** GPR, predicate or BTR index depending on [op]; 0 unused. *)
+  dst2 : int;  (** Second destination (CMPP complement predicate). *)
+  src1 : src;
+  src2 : src;
+  guard : int; (** Guarding predicate register; 0 means always execute. *)
+}
+(** One EPIC operation, the unit the 64-bit format encodes (paper Fig. 1). *)
+
+val nop : inst
+
+(** Functional unit classes of the datapath (paper Fig. 2). *)
+type unit_class = U_alu | U_lsu | U_cmpu | U_bru | U_none
+
+type regfile = R_gpr | R_pred | R_btr
+    (** The three architectural register files. *)
+
+val unit_of : opcode -> unit_class
+
+val is_branch : opcode -> bool
+(** True for operations executed by the branch unit that change control
+    flow (BRU_, BRCT, BRCF, BRL — not PBRR). *)
+
+val is_store : opcode -> bool
+
+val is_load : opcode -> bool
+
+val writes : inst -> (regfile * int) list
+(** Architectural registers written by the instruction (register file and
+    index), with hardwired sinks (GPR 0, predicate 0) removed. *)
+
+val reads : inst -> (regfile * int) list
+(** Architectural registers read, including the guard predicate (when
+    non-zero) and the predicate operand of conditional branches. *)
+
+val gpr_port_ops : inst -> int
+(** Number of general-purpose register-file accesses (reads + writes) the
+    instruction makes, for the 8-ops-per-cycle port budget of the
+    quad-pumped register-file controller (paper Section 3.2). *)
+
+val default_latency : opcode -> int
+(** Producer-to-consumer latency in cycles assumed by the default machine
+    description; custom operations default to 1 and may be overridden. *)
+
+(** {1 Semantics} *)
+
+val eval_alu :
+  width:int -> custom:(string -> int -> int -> int) -> opcode -> int -> int
+  -> int
+(** [eval_alu ~width ~custom op a b] evaluates an ALU-class operation on
+    canonical [width]-bit operands.  [custom] resolves CUSTOM semantics.
+    @raise Invalid_argument on non-ALU opcodes. *)
+
+val eval_cmp : width:int -> cmp_cond -> int -> int -> bool
+(** Evaluate a comparison condition on canonical operands. *)
+
+val bytes_of_mem_width : mem_width -> int
+
+(** {1 Printing and parsing} *)
+
+val string_of_cond : cmp_cond -> string
+val cond_of_string : string -> cmp_cond option
+val string_of_opcode : opcode -> string
+val opcode_of_string : string -> opcode option
+(** Opcode mnemonics are bijective: [opcode_of_string (string_of_opcode o)
+    = Some o] for every opcode, including [CUSTOM]. *)
+
+val pp_src : Format.formatter -> src -> unit
+val pp_inst : Format.formatter -> inst -> unit
+val equal_opcode : opcode -> opcode -> bool
+val equal_inst : inst -> inst -> bool
+
+val all_base_opcodes : opcode list
+(** Every non-custom opcode, for enumeration in tests and opcode-table
+    construction. *)

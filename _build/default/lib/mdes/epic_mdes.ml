@@ -1,0 +1,249 @@
+(** Machine description (the HMDES role in the paper's Trimaran flow).
+
+    The scheduler never looks at the configuration directly: it consumes a
+    machine description derived from it — "processor organisation
+    information, including number of functional units, instruction issues
+    per cycle and functionality of each module, is captured in the machine
+    description language HMDES and serves as an input to elcor" (paper
+    Section 4.1).  Retargeting the compiler to a customised processor
+    therefore only means regenerating this description.
+
+    A textual form (HMDES-flavoured sections) can be printed and parsed
+    back, so descriptions can be stored next to a design. *)
+
+module Isa = Epic_isa
+module Config = Epic_config
+
+type op_entry = {
+  oe_op : Isa.opcode;
+  oe_unit : Isa.unit_class;
+  oe_latency : int;
+}
+
+type t = {
+  md_name : string;
+  md_alus : int;
+  md_lsus : int;
+  md_cmpus : int;
+  md_brus : int;
+  md_issue_width : int;
+  md_rf_port_budget : int;
+  md_forwarding : bool;
+      (** Whether the register-file controller forwards results that are
+          consumed the cycle they become available (paper Section 3.2);
+          the scheduler then stops charging ports for such reads. *)
+  md_ops : op_entry list;  (** Operations the datapath implements. *)
+}
+
+let unit_count md = function
+  | Isa.U_alu -> md.md_alus
+  | Isa.U_lsu -> md.md_lsus
+  | Isa.U_cmpu -> md.md_cmpus
+  | Isa.U_bru -> md.md_brus
+  | Isa.U_none -> max_int
+
+let find_op md op =
+  List.find_opt (fun e -> Isa.equal_opcode e.oe_op op) md.md_ops
+
+let latency md op =
+  match find_op md op with
+  | Some e -> e.oe_latency
+  | None -> Isa.default_latency op
+
+let op_supported md op = find_op md op <> None
+
+let of_config ?(name = "epic") (cfg : Config.t) =
+  let base =
+    List.filter (Config.op_supported cfg) Isa.all_base_opcodes
+  in
+  let customs = List.map (fun c -> Isa.CUSTOM c.Config.cop_name) cfg.Config.custom_ops in
+  {
+    md_name = name;
+    md_alus = cfg.Config.n_alus;
+    md_lsus = 1;
+    md_cmpus = 1;
+    md_brus = 1;
+    md_issue_width = cfg.Config.issue_width;
+    md_rf_port_budget = cfg.Config.rf_port_budget;
+    md_forwarding = cfg.Config.forwarding;
+    md_ops =
+      List.map
+        (fun op -> { oe_op = op; oe_unit = Isa.unit_of op; oe_latency = Config.latency cfg op })
+        (base @ customs);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Textual form *)
+
+let string_of_unit = function
+  | Isa.U_alu -> "ALU"
+  | Isa.U_lsu -> "LSU"
+  | Isa.U_cmpu -> "CMPU"
+  | Isa.U_bru -> "BRU"
+  | Isa.U_none -> "NONE"
+
+let unit_of_string = function
+  | "ALU" -> Some Isa.U_alu
+  | "LSU" -> Some Isa.U_lsu
+  | "CMPU" -> Some Isa.U_cmpu
+  | "BRU" -> Some Isa.U_bru
+  | "NONE" -> Some Isa.U_none
+  | _ -> None
+
+let pp ppf md =
+  Format.fprintf ppf "// HMDES-style machine description: %s@." md.md_name;
+  Format.fprintf ppf "SECTION Resource {@.";
+  Format.fprintf ppf "  ALU(count(%d));@." md.md_alus;
+  Format.fprintf ppf "  LSU(count(%d));@." md.md_lsus;
+  Format.fprintf ppf "  CMPU(count(%d));@." md.md_cmpus;
+  Format.fprintf ppf "  BRU(count(%d));@." md.md_brus;
+  Format.fprintf ppf "  ISSUE(count(%d));@." md.md_issue_width;
+  Format.fprintf ppf "  RFPORT(count(%d));@." md.md_rf_port_budget;
+  Format.fprintf ppf "  FORWARD(count(%d));@." (if md.md_forwarding then 1 else 0);
+  Format.fprintf ppf "}@.";
+  Format.fprintf ppf "SECTION Operation {@.";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %s(unit(%s) latency(%d));@."
+        (Isa.string_of_opcode e.oe_op) (string_of_unit e.oe_unit) e.oe_latency)
+    md.md_ops;
+  Format.fprintf ppf "}@."
+
+let to_string md = Format.asprintf "%a" pp md
+
+(* A small recursive-descent parser for the section syntax above. *)
+exception Parse_error of string
+
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | Some '/' when !pos + 1 < n && text.[!pos + 1] = '/' ->
+      while peek () <> None && peek () <> Some '\n' do advance () done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let ident () =
+    skip_ws ();
+    let start = !pos in
+    let is_ident c =
+      (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+      || c = '_' || c = '.'
+    in
+    while (match peek () with Some c -> is_ident c | None -> false) do advance () done;
+    if !pos = start then raise (Parse_error (Printf.sprintf "expected identifier at %d" start));
+    String.sub text start (!pos - start)
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise (Parse_error (Printf.sprintf "expected %c at %d" c !pos))
+  in
+  let number () =
+    skip_ws ();
+    let start = !pos in
+    while (match peek () with Some c -> c >= '0' && c <= '9' | None -> false) do advance () done;
+    if !pos = start then raise (Parse_error "expected number");
+    int_of_string (String.sub text start (!pos - start))
+  in
+  let resources = Hashtbl.create 8 in
+  let ops = ref [] in
+  let parse_resource_entry () =
+    let name = ident () in
+    expect '('; let _ = ident () (* count *) in
+    expect '('; let v = number () in expect ')'; expect ')'; expect ';';
+    Hashtbl.replace resources name v
+  in
+  let parse_op_entry () =
+    let name = ident () in
+    let op =
+      match Isa.opcode_of_string name with
+      | Some op -> op
+      | None -> raise (Parse_error (Printf.sprintf "unknown operation %s" name))
+    in
+    expect '(';
+    let u = ref Isa.U_alu and l = ref 1 in
+    let rec attrs () =
+      skip_ws ();
+      match peek () with
+      | Some ')' -> advance ()
+      | _ ->
+        let key = ident () in
+        expect '(';
+        (match key with
+         | "unit" ->
+           let uname = ident () in
+           (match unit_of_string uname with
+            | Some uc -> u := uc
+            | None -> raise (Parse_error (Printf.sprintf "unknown unit %s" uname)))
+         | "latency" -> l := number ()
+         | _ -> raise (Parse_error (Printf.sprintf "unknown attribute %s" key)));
+        expect ')';
+        attrs ()
+    in
+    attrs ();
+    expect ';';
+    ops := { oe_op = op; oe_unit = !u; oe_latency = !l } :: !ops
+  in
+  let name = ref "parsed" in
+  (* Optional leading comment carries the name; comments are skipped, so
+     parse sections directly. *)
+  let rec sections () =
+    skip_ws ();
+    if !pos >= n then ()
+    else begin
+      let kw = ident () in
+      if kw <> "SECTION" then raise (Parse_error (Printf.sprintf "expected SECTION, got %s" kw));
+      let sname = ident () in
+      expect '{';
+      let rec entries () =
+        skip_ws ();
+        match peek () with
+        | Some '}' -> advance ()
+        | None -> raise (Parse_error "unterminated section")
+        | Some _ ->
+          (match sname with
+           | "Resource" -> parse_resource_entry ()
+           | "Operation" -> parse_op_entry ()
+           | _ -> raise (Parse_error (Printf.sprintf "unknown section %s" sname)));
+          entries ()
+      in
+      entries ();
+      sections ()
+    end
+  in
+  (try sections () with Parse_error _ as e -> raise e);
+  let res name default = try Hashtbl.find resources name with Not_found -> default in
+  {
+    md_name = !name;
+    md_alus = res "ALU" 1;
+    md_lsus = res "LSU" 1;
+    md_cmpus = res "CMPU" 1;
+    md_brus = res "BRU" 1;
+    md_issue_width = res "ISSUE" 1;
+    md_rf_port_budget = res "RFPORT" 8;
+    md_forwarding = res "FORWARD" 1 <> 0;
+    md_ops = List.rev !ops;
+  }
+
+let of_string text =
+  match parse text with
+  | md -> Ok md
+  | exception Parse_error m -> Error m
+
+let equal a b =
+  a.md_alus = b.md_alus && a.md_lsus = b.md_lsus && a.md_cmpus = b.md_cmpus
+  && a.md_brus = b.md_brus && a.md_issue_width = b.md_issue_width
+  && a.md_rf_port_budget = b.md_rf_port_budget
+  && a.md_forwarding = b.md_forwarding
+  && List.length a.md_ops = List.length b.md_ops
+  && List.for_all2
+       (fun x y ->
+         Isa.equal_opcode x.oe_op y.oe_op && x.oe_unit = y.oe_unit
+         && x.oe_latency = y.oe_latency)
+       a.md_ops b.md_ops

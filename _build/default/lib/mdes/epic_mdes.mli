@@ -1,0 +1,71 @@
+(** Machine description — the HMDES role in the paper's Trimaran flow.
+
+    The scheduler never reads the configuration directly: it consumes a
+    machine description derived from it ("processor organisation
+    information, including number of functional units, instruction issues
+    per cycle and functionality of each module, is captured in the machine
+    description language HMDES and serves as an input to elcor", paper
+    Section 4.1).  Retargeting the compiler to a customised processor
+    therefore only means regenerating this value; no tool is recompiled.
+
+    The textual form (HMDES-flavoured [SECTION] syntax) prints and parses
+    back losslessly, so descriptions can be stored beside a design:
+
+    {v
+    SECTION Resource {
+      ALU(count(4)); LSU(count(1)); CMPU(count(1)); BRU(count(1));
+      ISSUE(count(4)); RFPORT(count(8)); FORWARD(count(1));
+    }
+    SECTION Operation {
+      ADD(unit(ALU) latency(1));
+      MPY(unit(ALU) latency(3));
+      ...
+    }
+    v} *)
+
+type op_entry = {
+  oe_op : Epic_isa.opcode;
+  oe_unit : Epic_isa.unit_class;
+  oe_latency : int;  (** Producer-to-consumer distance in cycles. *)
+}
+
+type t = {
+  md_name : string;
+  md_alus : int;
+  md_lsus : int;
+  md_cmpus : int;
+  md_brus : int;
+  md_issue_width : int;
+  md_rf_port_budget : int;
+  md_forwarding : bool;
+      (** Whether the register-file controller forwards results consumed
+          the cycle they become available; the scheduler then stops
+          charging ports for such reads. *)
+  md_ops : op_entry list;  (** The operations this datapath implements. *)
+}
+
+val of_config : ?name:string -> Epic_config.t -> t
+(** Derive the description for a configuration (base operations minus
+    [alu_omit], plus its custom operations, with its latencies). *)
+
+val unit_count : t -> Epic_isa.unit_class -> int
+val find_op : t -> Epic_isa.opcode -> op_entry option
+
+val latency : t -> Epic_isa.opcode -> int
+(** Falls back to {!Epic_isa.default_latency} for unlisted operations. *)
+
+val op_supported : t -> Epic_isa.opcode -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse the textual form. @raise Parse_error on malformed input;
+    unlisted resources default (1 unit each, 8 ports, forwarding on). *)
+
+val of_string : string -> (t, string) result
+(** Exception-free wrapper around {!parse}. *)
+
+val equal : t -> t -> bool

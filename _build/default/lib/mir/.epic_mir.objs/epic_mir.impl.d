@@ -1,0 +1,1 @@
+lib/mir/epic_mir.ml: Dominators Interp Ir Liveness Memmap

@@ -1,0 +1,1 @@
+lib/mir/dominators.ml: Hashtbl Int Ir List Option Set

@@ -1,0 +1,1 @@
+lib/mir/interp.ml: Array Bytes Epic_isa Format Hashtbl Ir List Memmap Option

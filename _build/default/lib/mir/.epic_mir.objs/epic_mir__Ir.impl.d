@@ -1,0 +1,1 @@
+lib/mir/ir.ml: Format List Printf String

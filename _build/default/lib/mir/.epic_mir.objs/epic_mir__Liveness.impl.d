@@ -1,0 +1,1 @@
+lib/mir/liveness.ml: Array Hashtbl Ir List Set

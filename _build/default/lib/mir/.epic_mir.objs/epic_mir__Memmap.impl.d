@@ -1,0 +1,1 @@
+lib/mir/memmap.ml: Array Bytes Char Ir List Printf

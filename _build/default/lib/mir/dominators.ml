@@ -1,0 +1,95 @@
+(* Dominator analysis and natural-loop discovery on MIR CFGs (iterative
+   set-intersection algorithm; CFGs here are small).  Used by
+   loop-invariant code motion. *)
+
+module LSet = Set.Make (Int)
+
+type t = {
+  dom : (Ir.label, LSet.t) Hashtbl.t;          (* label -> its dominators *)
+  preds : (Ir.label, Ir.label list) Hashtbl.t;
+}
+
+let predecessors (f : Ir.func) =
+  let preds = Hashtbl.create 16 in
+  List.iter (fun (b : Ir.block) -> Hashtbl.replace preds b.Ir.b_id []) f.Ir.f_blocks;
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun s -> Hashtbl.replace preds s (b.Ir.b_id :: Hashtbl.find preds s))
+        (Ir.successors b.Ir.b_term))
+    f.Ir.f_blocks;
+  preds
+
+let analyse (f : Ir.func) =
+  let entry = (Ir.entry_block f).Ir.b_id in
+  let labels = List.map (fun (b : Ir.block) -> b.Ir.b_id) f.Ir.f_blocks in
+  let all = LSet.of_list labels in
+  let preds = predecessors f in
+  let dom = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace dom l (if l = entry then LSet.singleton entry else all))
+    labels;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> entry then begin
+          let ps = Hashtbl.find preds l in
+          let inter =
+            List.fold_left
+              (fun acc p ->
+                match acc with
+                | None -> Some (Hashtbl.find dom p)
+                | Some s -> Some (LSet.inter s (Hashtbl.find dom p)))
+              None ps
+          in
+          let next =
+            LSet.add l (match inter with Some s -> s | None -> LSet.empty)
+          in
+          if not (LSet.equal next (Hashtbl.find dom l)) then begin
+            Hashtbl.replace dom l next;
+            changed := true
+          end
+        end)
+      labels
+  done;
+  { dom; preds }
+
+let dominates t a b =
+  match Hashtbl.find_opt t.dom b with
+  | Some s -> LSet.mem a s
+  | None -> false
+
+(* Back edges: u -> h where h dominates u. *)
+let back_edges t (f : Ir.func) =
+  List.concat_map
+    (fun (b : Ir.block) ->
+      List.filter_map
+        (fun s -> if dominates t s b.Ir.b_id then Some (b.Ir.b_id, s) else None)
+        (Ir.successors b.Ir.b_term))
+    f.Ir.f_blocks
+
+(* The natural loop of back edge (u, h): h plus every node that reaches u
+   without passing through h.  Loops sharing a header are merged. *)
+type loop = { header : Ir.label; body : LSet.t }
+
+let natural_loops t (f : Ir.func) =
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (u, h) ->
+      let body = ref (LSet.of_list [ h; u ]) in
+      let rec pull n =
+        if not (LSet.mem n !body) then begin
+          body := LSet.add n !body;
+          List.iter pull (Hashtbl.find t.preds n)
+        end
+      in
+      if u <> h then List.iter pull (Hashtbl.find t.preds u);
+      let prev =
+        Option.value ~default:LSet.empty (Hashtbl.find_opt by_header h)
+      in
+      Hashtbl.replace by_header h (LSet.union prev !body))
+    (back_edges t f);
+  Hashtbl.fold (fun header body acc -> { header; body } :: acc) by_header []

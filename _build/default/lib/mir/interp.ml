@@ -1,0 +1,147 @@
+(* Reference interpreter for MIR programs.  It defines the semantics the
+   two backends must preserve, and is used by the test suite to validate
+   the front-end and every optimisation pass against the OCaml reference
+   implementations of the benchmarks. *)
+
+module Word = Epic_isa.Word
+
+exception Runtime_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type result = {
+  ret : int;                 (* canonical 32-bit return value of the entry *)
+  dyn_insts : int;           (* dynamically executed MIR instructions *)
+  mem : Bytes.t;
+  map : Memmap.t;
+  block_counts : (string * int, int) Hashtbl.t;
+      (* (function, block) -> executions; the profile driving automatic
+         custom-instruction identification *)
+}
+
+let width = 32
+let m32 v = v land 0xFFFFFFFF
+
+let eval_binop (op : Ir.binop) a b =
+  let sa () = Word.to_signed width a and sb () = Word.to_signed width b in
+  match op with
+  | Ir.Add -> m32 (a + b)
+  | Ir.Sub -> m32 (a - b)
+  | Ir.Mul -> m32 (a * b)
+  | Ir.Div ->
+    let d = sb () in
+    if d = 0 then fail "division by zero" else Word.of_signed width (sa () / d)
+  | Ir.Rem ->
+    let d = sb () in
+    if d = 0 then fail "remainder by zero" else Word.of_signed width (sa () mod d)
+  | Ir.And -> a land b
+  | Ir.Or -> a lor b
+  | Ir.Xor -> a lxor b
+  (* Shift semantics match the EPIC datapath: amounts >= width give 0
+     (sign fill for arithmetic right shifts). *)
+  | Ir.Shl -> if b >= width then 0 else m32 (a lsl b)
+  | Ir.Shr -> if b >= width then 0 else a lsr b
+  | Ir.Shra -> Word.of_signed width (sa () asr min b (width - 1))
+  | Ir.Min -> if sa () <= sb () then a else b
+  | Ir.Max -> if sa () >= sb () then a else b
+
+let eval_relop (r : Ir.relop) a b =
+  let sa = Word.to_signed width a and sb = Word.to_signed width b in
+  match r with
+  | Ir.Req -> a = b
+  | Ir.Rne -> a <> b
+  | Ir.Rlt -> sa < sb
+  | Ir.Rle -> sa <= sb
+  | Ir.Rgt -> sa > sb
+  | Ir.Rge -> sa >= sb
+  | Ir.Rltu -> a < b
+  | Ir.Rleu -> a <= b
+  | Ir.Rgtu -> a > b
+  | Ir.Rgeu -> a >= b
+
+let run ?(mem_bytes = Memmap.default_mem_bytes) ?(fuel = 2_000_000_000)
+    ?(custom = fun name _ _ -> fail "unknown custom operation %s" name)
+    ?(args = []) (p : Ir.program) ~entry =
+  let map = Memmap.layout ~mem_bytes p in
+  let mem = Memmap.init_memory map p in
+  let dyn = ref 0 in
+  let block_counts = Hashtbl.create 64 in
+  let budget = ref fuel in
+  let check_addr a n =
+    if a < 0 || a + n > map.Memmap.mem_bytes then fail "memory access at %#x out of bounds" a
+  in
+  let rec call fname sp (actuals : int list) =
+    let f =
+      match Ir.find_func p fname with
+      | Some f -> f
+      | None -> fail "call to undefined function %s" fname
+    in
+    if List.length actuals <> List.length f.Ir.f_params then
+      fail "%s expects %d arguments, got %d" fname (List.length f.Ir.f_params)
+        (List.length actuals);
+    let vregs = Array.make (max 1 f.Ir.f_nvregs) 0 in
+    let pregs = Array.make (max 1 f.Ir.f_npregs) false in
+    (* Predicate 0 is hardwired true, mirroring the hardware. *)
+    if f.Ir.f_npregs > 0 then pregs.(0) <- true;
+    List.iteri (fun k (prm : Ir.vreg) -> vregs.(prm) <- m32 (List.nth actuals k)) f.Ir.f_params;
+    let sp = (sp - f.Ir.f_frame_bytes) land lnot 7 in
+    if sp <= map.Memmap.globals_end then fail "stack overflow in %s" fname;
+    let operand = function Ir.Reg r -> vregs.(r) | Ir.Imm v -> m32 v in
+    let exec_inst (i : Ir.inst) =
+      decr budget;
+      if !budget <= 0 then fail "out of fuel (infinite loop?)";
+      incr dyn;
+      let enabled =
+        match i.Ir.guard with
+        | None -> true
+        | Some g -> pregs.(g.Ir.g_reg) = g.Ir.g_pos
+      in
+      if enabled then
+        match i.Ir.kind with
+        | Ir.Bin (op, d, a, b) -> vregs.(d) <- eval_binop op (operand a) (operand b)
+        | Ir.Mov (d, a) -> vregs.(d) <- operand a
+        | Ir.Cmp (r, d, a, b) ->
+          vregs.(d) <- (if eval_relop r (operand a) (operand b) then 1 else 0)
+        | Ir.Setp (r, q, a, b) -> if q <> 0 then pregs.(q) <- eval_relop r (operand a) (operand b)
+        | Ir.Custom (name, d, a, b) -> vregs.(d) <- m32 (custom name (operand a) (operand b))
+        | Ir.Load (size, ext, d, base, off) ->
+          let a = m32 (operand base + operand off) in
+          check_addr a (match size with Ir.I8 -> 1 | Ir.I16 -> 2 | Ir.I32 -> 4);
+          vregs.(d) <- Memmap.read ~size ~ext mem a
+        | Ir.Store (size, addr, v) ->
+          let a = operand addr in
+          check_addr a (match size with Ir.I8 -> 1 | Ir.I16 -> 2 | Ir.I32 -> 4);
+          Memmap.write ~size mem a (operand v)
+        | Ir.Call (d, g, cargs) ->
+          let r = call g sp (List.map operand cargs) in
+          (match d with Some d -> vregs.(d) <- r | None -> ())
+        | Ir.AddrOf (d, g) -> vregs.(d) <- Memmap.addr_of map g
+        | Ir.FrameAddr (d, off) -> vregs.(d) <- sp + off
+        | Ir.LoadFrame (d, off) ->
+          check_addr (sp + off) 4;
+          vregs.(d) <- Memmap.read ~size:Ir.I32 ~ext:Ir.Zx mem (sp + off)
+        | Ir.StoreFrame (off, r) ->
+          check_addr (sp + off) 4;
+          Memmap.write ~size:Ir.I32 mem (sp + off) vregs.(r)
+    in
+    let rec exec_block (b : Ir.block) =
+      (* Charge the terminator so empty infinite loops still burn fuel. *)
+      decr budget;
+      if !budget <= 0 then fail "out of fuel (infinite loop?)";
+      let key = (fname, b.Ir.b_id) in
+      Hashtbl.replace block_counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt block_counts key));
+      List.iter exec_inst b.Ir.b_insts;
+      incr dyn;
+      match b.Ir.b_term with
+      | Ir.Ret None -> 0
+      | Ir.Ret (Some o) -> operand o
+      | Ir.Jmp l -> exec_block (Ir.find_block f l)
+      | Ir.Br (r, a, b', lt, lf) ->
+        let t = eval_relop r (operand a) (operand b') in
+        exec_block (Ir.find_block f (if t then lt else lf))
+    in
+    exec_block (Ir.entry_block f)
+  in
+  let ret = call entry map.Memmap.stack_top args in
+  { ret; dyn_insts = !dyn; mem; map; block_counts }

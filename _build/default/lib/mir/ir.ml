@@ -1,0 +1,320 @@
+(* Target-independent mid-level IR: three-address code over virtual
+   registers, organised as a control-flow graph of basic blocks.  This is
+   the hand-over point between the machine-independent part of the
+   toolchain (front-end + optimiser, the IMPACT role) and the two backends
+   (EPIC and the SA-110 baseline). *)
+
+type vreg = int
+type preg = int
+type label = int
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor
+  | Shl | Shr | Shra
+  | Min | Max
+
+type relop = Req | Rne | Rlt | Rle | Rgt | Rge | Rltu | Rleu | Rgtu | Rgeu
+
+type operand = Reg of vreg | Imm of int
+
+type mem_size = I8 | I16 | I32
+type ext = Sx | Zx
+
+(* Guard: execute the instruction only if predicate [g_reg] equals
+   [g_pos].  Produced by if-conversion; absent elsewhere. *)
+type guard = { g_reg : preg; g_pos : bool }
+
+type inst_kind =
+  | Bin of binop * vreg * operand * operand
+  | Mov of vreg * operand
+  | Cmp of relop * vreg * operand * operand      (* dst <- cond ? 1 : 0 *)
+  | Setp of relop * preg * operand * operand     (* predicate define *)
+  | Custom of string * vreg * operand * operand  (* custom ALU operation *)
+  | Load of mem_size * ext * vreg * operand * operand  (* dst <- mem[base+off] *)
+  | Store of mem_size * operand * operand        (* mem[addr] <- value *)
+  | Call of vreg option * string * operand list
+  | AddrOf of vreg * string                      (* dst <- &global *)
+  | FrameAddr of vreg * int                      (* dst <- sp + byte offset *)
+  | LoadFrame of vreg * int                      (* spill reload: dst <- mem32[sp+off] *)
+  | StoreFrame of int * vreg                     (* spill store: mem32[sp+off] <- src *)
+
+type inst = { kind : inst_kind; guard : guard option }
+
+type terminator =
+  | Ret of operand option
+  | Jmp of label
+  | Br of relop * operand * operand * label * label  (* fused cmp+branch *)
+
+type block = {
+  b_id : label;
+  mutable b_insts : inst list;
+  mutable b_term : terminator;
+}
+
+type func = {
+  f_name : string;
+  f_params : vreg list;
+  mutable f_nvregs : int;
+  mutable f_npregs : int;
+  mutable f_blocks : block list;  (* entry block first; layout order *)
+  mutable f_frame_bytes : int;    (* local array storage, FrameAddr offsets *)
+}
+
+type global = {
+  g_name : string;
+  g_bytes : int;          (* size in bytes, word-aligned allocation *)
+  g_init : int array;     (* initial word values, may be shorter than size *)
+}
+
+type program = { p_globals : global list; p_funcs : func list }
+
+let no_guard kind = { kind; guard = None }
+
+let find_func p name = List.find_opt (fun f -> f.f_name = name) p.p_funcs
+
+let find_block f id =
+  match List.find_opt (fun b -> b.b_id = id) f.f_blocks with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Ir.find_block: %s has no block L%d" f.f_name id)
+
+let entry_block f =
+  match f.f_blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg (Printf.sprintf "Ir.entry_block: %s has no blocks" f.f_name)
+
+let successors = function
+  | Ret _ -> []
+  | Jmp l -> [ l ]
+  | Br (_, _, _, lt, lf) -> [ lt; lf ]
+
+(* ------------------------------------------------------------------ *)
+(* Def/use sets.  Registers are tagged with their class so that liveness
+   and allocation can treat GPR-class and predicate-class uniformly. *)
+
+type rclass = Cgpr | Cpred
+
+let op_uses acc = function Reg r -> (Cgpr, r) :: acc | Imm _ -> acc
+
+let uses_of_kind = function
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) | Custom (_, _, a, b)
+  | Load (_, _, _, a, b) | Store (_, a, b) | Setp (_, _, a, b) ->
+    op_uses (op_uses [] a) b
+  | Mov (_, a) -> op_uses [] a
+  | Call (_, _, args) -> List.fold_left op_uses [] args
+  | StoreFrame (_, r) -> [ (Cgpr, r) ]
+  | AddrOf _ | FrameAddr _ | LoadFrame _ -> []
+
+let defs_of_kind = function
+  | Bin (_, d, _, _) | Mov (d, _) | Cmp (_, d, _, _) | Custom (_, d, _, _)
+  | Load (_, _, d, _, _) | AddrOf (d, _) | FrameAddr (d, _) | LoadFrame (d, _) ->
+    [ (Cgpr, d) ]
+  | Setp (_, p, _, _) -> [ (Cpred, p) ]
+  | Store _ | StoreFrame _ -> []
+  | Call (Some d, _, _) -> [ (Cgpr, d) ]
+  | Call (None, _, _) -> []
+
+let uses_of_inst i =
+  let base = uses_of_kind i.kind in
+  match i.guard with None -> base | Some g -> (Cpred, g.g_reg) :: base
+
+let defs_of_inst i = defs_of_kind i.kind
+
+(* A guarded definition only partially defines its target: the old value
+   survives when the guard is false, so for liveness the target must also
+   be treated as used. *)
+let partial_defs i = match i.guard with None -> [] | Some _ -> defs_of_kind i.kind
+
+let uses_of_term = function
+  | Ret (Some o) -> op_uses [] o
+  | Ret None -> []
+  | Jmp _ -> []
+  | Br (_, a, b, _, _) -> op_uses (op_uses [] a) b
+
+let has_side_effect = function
+  | Store _ | Call _ | StoreFrame _ -> true
+  | Bin _ | Mov _ | Cmp _ | Setp _ | Custom _ | Load _ | AddrOf _ | FrameAddr _
+  | LoadFrame _ ->
+    false
+
+(* ------------------------------------------------------------------ *)
+(* Fresh-name builder used by the front-end and by transformation passes. *)
+
+module Builder = struct
+  type t = {
+    fn : func;
+    mutable cur : block option;
+    mutable next_label : int;
+  }
+
+  let create ~name ~params =
+    let fn =
+      { f_name = name; f_params = params; f_nvregs = List.length params;
+        f_npregs = 1; f_blocks = []; f_frame_bytes = 0 }
+    in
+    { fn; cur = None; next_label = 0 }
+
+  let fresh_vreg b =
+    let r = b.fn.f_nvregs in
+    b.fn.f_nvregs <- r + 1;
+    r
+
+  let fresh_preg b =
+    let p = b.fn.f_npregs in
+    b.fn.f_npregs <- p + 1;
+    p
+
+  let fresh_label b =
+    let l = b.next_label in
+    b.next_label <- l + 1;
+    l
+
+  (* Blocks are appended in creation order; the terminator is a
+     placeholder until sealed. *)
+  let start_block b l =
+    (match b.cur with
+     | Some _ -> invalid_arg "Builder.start_block: current block not sealed"
+     | None -> ());
+    let blk = { b_id = l; b_insts = []; b_term = Ret None } in
+    b.fn.f_blocks <- b.fn.f_blocks @ [ blk ];
+    b.cur <- Some blk
+
+  let emit b kind =
+    match b.cur with
+    | Some blk -> blk.b_insts <- blk.b_insts @ [ no_guard kind ]
+    | None -> invalid_arg "Builder.emit: no current block"
+
+  let seal b term =
+    match b.cur with
+    | Some blk ->
+      blk.b_term <- term;
+      b.cur <- None
+    | None -> invalid_arg "Builder.seal: no current block"
+
+  let in_block b = b.cur <> None
+  let func b = b.fn
+end
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr" | Shra -> "shra"
+  | Min -> "min" | Max -> "max"
+
+let string_of_relop = function
+  | Req -> "eq" | Rne -> "ne" | Rlt -> "lt" | Rle -> "le" | Rgt -> "gt"
+  | Rge -> "ge" | Rltu -> "ltu" | Rleu -> "leu" | Rgtu -> "gtu" | Rgeu -> "geu"
+
+let string_of_size = function I8 -> "8" | I16 -> "16" | I32 -> "32"
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "v%d" r
+  | Imm v -> Format.fprintf ppf "%d" v
+
+let pp_inst ppf i =
+  let pp_guard ppf = function
+    | None -> ()
+    | Some g -> Format.fprintf ppf " if %sq%d" (if g.g_pos then "" else "!") g.g_reg
+  in
+  (match i.kind with
+   | Bin (op, d, a, b) ->
+     Format.fprintf ppf "v%d = %s %a, %a" d (string_of_binop op) pp_operand a pp_operand b
+   | Mov (d, a) -> Format.fprintf ppf "v%d = %a" d pp_operand a
+   | Cmp (r, d, a, b) ->
+     Format.fprintf ppf "v%d = cmp.%s %a, %a" d (string_of_relop r) pp_operand a pp_operand b
+   | Setp (r, p, a, b) ->
+     Format.fprintf ppf "q%d = setp.%s %a, %a" p (string_of_relop r) pp_operand a pp_operand b
+   | Custom (name, d, a, b) ->
+     Format.fprintf ppf "v%d = custom.%s %a, %a" d name pp_operand a pp_operand b
+   | Load (sz, e, d, base, off) ->
+     Format.fprintf ppf "v%d = load.%s%s %a + %a" d
+       (match e with Sx -> "s" | Zx -> "u") (string_of_size sz)
+       pp_operand base pp_operand off
+   | Store (sz, addr, v) ->
+     Format.fprintf ppf "store.%s %a <- %a" (string_of_size sz) pp_operand addr pp_operand v
+   | Call (d, f, args) ->
+     (match d with
+      | Some d -> Format.fprintf ppf "v%d = call %s(" d f
+      | None -> Format.fprintf ppf "call %s(" f);
+     List.iteri
+       (fun k a -> Format.fprintf ppf "%s%a" (if k > 0 then ", " else "") pp_operand a)
+       args;
+     Format.fprintf ppf ")"
+   | AddrOf (d, g) -> Format.fprintf ppf "v%d = &%s" d g
+   | FrameAddr (d, off) -> Format.fprintf ppf "v%d = frame + %d" d off
+   | LoadFrame (d, off) -> Format.fprintf ppf "v%d = frame32[%d]" d off
+   | StoreFrame (off, r) -> Format.fprintf ppf "frame32[%d] = v%d" off r);
+  pp_guard ppf i.guard
+
+let pp_terminator ppf = function
+  | Ret None -> Format.fprintf ppf "ret"
+  | Ret (Some o) -> Format.fprintf ppf "ret %a" pp_operand o
+  | Jmp l -> Format.fprintf ppf "jmp L%d" l
+  | Br (r, a, b, lt, lf) ->
+    Format.fprintf ppf "br.%s %a, %a -> L%d, L%d" (string_of_relop r) pp_operand a
+      pp_operand b lt lf
+
+let pp_block ppf b =
+  Format.fprintf ppf "@[<v 2>L%d:" b.b_id;
+  List.iter (fun i -> Format.fprintf ppf "@,%a" pp_inst i) b.b_insts;
+  Format.fprintf ppf "@,%a@]" pp_terminator b.b_term
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v>func %s(%s) [frame %d]" f.f_name
+    (String.concat ", " (List.map (Printf.sprintf "v%d") f.f_params))
+    f.f_frame_bytes;
+  List.iter (fun b -> Format.fprintf ppf "@,%a" pp_block b) f.f_blocks;
+  Format.fprintf ppf "@]"
+
+let pp_program ppf p =
+  List.iter
+    (fun g -> Format.fprintf ppf "global %s[%d bytes]@." g.g_name g.g_bytes)
+    p.p_globals;
+  List.iter (fun f -> Format.fprintf ppf "%a@.@." pp_func f) p.p_funcs
+
+(* ------------------------------------------------------------------ *)
+(* Structural validation, used by tests and as a pass postcondition. *)
+
+let validate_func f =
+  let err fmt = Format.kasprintf (fun s -> Error (f.f_name ^ ": " ^ s)) fmt in
+  let labels = List.map (fun b -> b.b_id) f.f_blocks in
+  let distinct = List.sort_uniq compare labels in
+  if List.length distinct <> List.length labels then err "duplicate block labels"
+  else if f.f_blocks = [] then err "no blocks"
+  else
+    let check_reg acc (cls, r) =
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        let limit = match cls with Cgpr -> f.f_nvregs | Cpred -> f.f_npregs in
+        if r < 0 || r >= limit then err "register index %d out of range" r else Ok ()
+    in
+    List.fold_left
+      (fun acc b ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          let targets = successors b.b_term in
+          if List.exists (fun t -> not (List.mem t labels)) targets then
+            err "block L%d branches to a missing label" b.b_id
+          else
+            List.fold_left
+              (fun acc i ->
+                let acc = List.fold_left check_reg acc (uses_of_inst i) in
+                List.fold_left check_reg acc (defs_of_inst i))
+              acc b.b_insts)
+      (Ok ()) f.f_blocks
+
+let validate_program p =
+  let dup_glob =
+    List.length (List.sort_uniq compare (List.map (fun g -> g.g_name) p.p_globals))
+    <> List.length p.p_globals
+  in
+  if dup_glob then Error "duplicate global names"
+  else
+    List.fold_left
+      (fun acc f -> match acc with Error _ -> acc | Ok () -> validate_func f)
+      (Ok ()) p.p_funcs

@@ -1,0 +1,79 @@
+(* Data-memory layout shared by the MIR interpreter and both backends:
+   global placement, stack position, and big-endian byte access (the paper
+   adopts a big-endian architecture, Section 3.1). *)
+
+type t = {
+  mem_bytes : int;                 (* total data memory size *)
+  symbols : (string * int) list;   (* global name -> byte address *)
+  globals_end : int;
+  stack_top : int;                 (* initial SP; stack grows down *)
+}
+
+let default_mem_bytes = 1 lsl 20
+let globals_base = 0x1000
+
+let align4 v = (v + 3) land lnot 3
+
+let layout ?(mem_bytes = default_mem_bytes) (p : Ir.program) =
+  let addr = ref globals_base in
+  let symbols =
+    List.map
+      (fun (g : Ir.global) ->
+        let a = !addr in
+        addr := align4 (a + g.Ir.g_bytes);
+        (g.Ir.g_name, a))
+      p.Ir.p_globals
+  in
+  if !addr >= mem_bytes - 0x1000 then
+    invalid_arg "Memmap.layout: globals do not fit in data memory";
+  { mem_bytes; symbols; globals_end = !addr; stack_top = mem_bytes }
+
+let addr_of t name =
+  match List.assoc_opt name t.symbols with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Memmap.addr_of: unknown global %s" name)
+
+(* Big-endian byte access on a Bytes.t data memory. *)
+
+let read_u8 m a = Char.code (Bytes.get m a)
+let write_u8 m a v = Bytes.set m a (Char.chr (v land 0xFF))
+
+let read_u16 m a = (read_u8 m a lsl 8) lor read_u8 m (a + 1)
+
+let write_u16 m a v =
+  write_u8 m a (v lsr 8);
+  write_u8 m (a + 1) v
+
+let read_u32 m a = (read_u16 m a lsl 16) lor read_u16 m (a + 2)
+
+let write_u32 m a v =
+  write_u16 m a (v lsr 16);
+  write_u16 m (a + 2) v
+
+let sign_extend bits v =
+  if v land (1 lsl (bits - 1)) <> 0 then v - (1 lsl bits) else v
+
+let read ~size ~(ext : Ir.ext) m a =
+  match (size : Ir.mem_size) with
+  | Ir.I8 ->
+    let v = read_u8 m a in
+    (match ext with Ir.Zx -> v | Ir.Sx -> sign_extend 8 v land 0xFFFFFFFF)
+  | Ir.I16 ->
+    let v = read_u16 m a in
+    (match ext with Ir.Zx -> v | Ir.Sx -> sign_extend 16 v land 0xFFFFFFFF)
+  | Ir.I32 -> read_u32 m a
+
+let write ~size m a v =
+  match (size : Ir.mem_size) with
+  | Ir.I8 -> write_u8 m a v
+  | Ir.I16 -> write_u16 m a v
+  | Ir.I32 -> write_u32 m a v
+
+let init_memory t (p : Ir.program) =
+  let m = Bytes.make t.mem_bytes '\000' in
+  List.iter
+    (fun (g : Ir.global) ->
+      let base = addr_of t g.Ir.g_name in
+      Array.iteri (fun k v -> write_u32 m (base + (4 * k)) (v land 0xFFFFFFFF)) g.Ir.g_init)
+    p.Ir.p_globals;
+  m

@@ -1,0 +1,1 @@
+lib/opt/epic_opt.ml: Common Constfold Cse Dce Epic_mir Ifconvert Inline Licm List Simplify

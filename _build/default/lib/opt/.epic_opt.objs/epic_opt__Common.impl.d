@@ -1,0 +1,1 @@
+lib/opt/common.ml: Epic_isa Epic_mir List

@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Common Epic_mir Hashtbl List

@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Epic_mir Hashtbl List

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Epic_mir List

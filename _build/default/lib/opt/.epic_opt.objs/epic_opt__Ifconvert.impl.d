@@ -1,0 +1,1 @@
+lib/opt/ifconvert.ml: Epic_mir Hashtbl List Simplify

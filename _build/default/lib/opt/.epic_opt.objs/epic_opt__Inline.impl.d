@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Epic_mir Hashtbl List Option

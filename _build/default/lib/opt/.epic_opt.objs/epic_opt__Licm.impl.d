@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Epic_mir Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Common Epic_mir Hashtbl List

@@ -1,0 +1,65 @@
+(* Shared helpers for optimisation passes: deep copy (passes mutate their
+   input program) and 32-bit constant evaluation mirroring the reference
+   interpreter's semantics. *)
+
+module Ir = Epic_mir.Ir
+module Word = Epic_isa.Word
+
+let copy_block (b : Ir.block) =
+  { Ir.b_id = b.Ir.b_id; b_insts = b.Ir.b_insts; b_term = b.Ir.b_term }
+
+let copy_func (f : Ir.func) =
+  {
+    Ir.f_name = f.Ir.f_name;
+    f_params = f.Ir.f_params;
+    f_nvregs = f.Ir.f_nvregs;
+    f_npregs = f.Ir.f_npregs;
+    f_blocks = List.map copy_block f.Ir.f_blocks;
+    f_frame_bytes = f.Ir.f_frame_bytes;
+  }
+
+let copy_program (p : Ir.program) =
+  { Ir.p_globals = p.Ir.p_globals; p_funcs = List.map copy_func p.Ir.p_funcs }
+
+let m32 v = v land 0xFFFFFFFF
+
+(* Constant evaluation; [None] when the operation would trap (division by
+   zero must stay in the program and fail at run time). *)
+let eval_binop (op : Ir.binop) a b =
+  let a = m32 a and b = m32 b in
+  let sa = Word.to_signed 32 a and sb = Word.to_signed 32 b in
+  match op with
+  | Ir.Add -> Some (m32 (a + b))
+  | Ir.Sub -> Some (m32 (a - b))
+  | Ir.Mul -> Some (m32 (a * b))
+  | Ir.Div -> if sb = 0 then None else Some (Word.of_signed 32 (sa / sb))
+  | Ir.Rem -> if sb = 0 then None else Some (Word.of_signed 32 (sa mod sb))
+  | Ir.And -> Some (a land b)
+  | Ir.Or -> Some (a lor b)
+  | Ir.Xor -> Some (a lxor b)
+  | Ir.Shl -> Some (if b >= 32 then 0 else m32 (a lsl b))
+  | Ir.Shr -> Some (if b >= 32 then 0 else a lsr b)
+  | Ir.Shra -> Some (Word.of_signed 32 (sa asr min b 31))
+  | Ir.Min -> Some (if sa <= sb then a else b)
+  | Ir.Max -> Some (if sa >= sb then a else b)
+
+let eval_relop (r : Ir.relop) a b =
+  let a = m32 a and b = m32 b in
+  let sa = Word.to_signed 32 a and sb = Word.to_signed 32 b in
+  match r with
+  | Ir.Req -> a = b
+  | Ir.Rne -> a <> b
+  | Ir.Rlt -> sa < sb
+  | Ir.Rle -> sa <= sb
+  | Ir.Rgt -> sa > sb
+  | Ir.Rge -> sa >= sb
+  | Ir.Rltu -> a < b
+  | Ir.Rleu -> a <= b
+  | Ir.Rgtu -> a > b
+  | Ir.Rgeu -> a >= b
+
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let log2 v =
+  let rec go k = if 1 lsl k = v then k else go (k + 1) in
+  go 0

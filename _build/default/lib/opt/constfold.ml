@@ -1,0 +1,129 @@
+(* Block-local constant folding, constant/copy propagation, algebraic
+   simplification and strength reduction.  Operates with an empty fact set
+   at block entry, so it needs no global dataflow and is trivially sound
+   across join points. *)
+
+module Ir = Epic_mir.Ir
+
+type value = Const of int | Copy of Ir.vreg
+
+type env = (Ir.vreg, value) Hashtbl.t
+
+let resolve env (o : Ir.operand) =
+  match o with
+  | Ir.Imm _ -> o
+  | Ir.Reg r ->
+    (match Hashtbl.find_opt env r with
+     | Some (Const c) -> Ir.Imm c
+     | Some (Copy r') -> Ir.Reg r'
+     | None -> o)
+
+(* Invalidate everything that depends on [d]: its own binding and any copy
+   chains ending at it. *)
+let kill env d =
+  Hashtbl.remove env d;
+  let stale =
+    Hashtbl.fold
+      (fun v value acc -> match value with Copy r when r = d -> v :: acc | _ -> acc)
+      env []
+  in
+  List.iter (Hashtbl.remove env) stale
+
+let commutative = function
+  | Ir.Add | Ir.Mul | Ir.And | Ir.Or | Ir.Xor | Ir.Min | Ir.Max -> true
+  | Ir.Sub | Ir.Div | Ir.Rem | Ir.Shl | Ir.Shr | Ir.Shra -> false
+
+(* Simplify a binary operation with resolved operands; returns the
+   replacement kind. *)
+let simplify_bin op d a b : Ir.inst_kind =
+  let canonical_a, canonical_b =
+    match (a, b) with
+    | Ir.Imm _, Ir.Reg _ when commutative op -> (b, a)
+    | _ -> (a, b)
+  in
+  let a = canonical_a and b = canonical_b in
+  match (op, a, b) with
+  | _, Ir.Imm x, Ir.Imm y ->
+    (match Common.eval_binop op x y with
+     | Some v -> Ir.Mov (d, Ir.Imm v)
+     | None -> Ir.Bin (op, d, a, b))
+  | (Ir.Add | Ir.Sub | Ir.Or | Ir.Xor | Ir.Shl | Ir.Shr | Ir.Shra), x, Ir.Imm 0 ->
+    Ir.Mov (d, x)
+  | Ir.Mul, _, Ir.Imm 0 -> Ir.Mov (d, Ir.Imm 0)
+  | (Ir.Mul | Ir.Div), x, Ir.Imm 1 -> Ir.Mov (d, x)
+  | Ir.Rem, _, Ir.Imm 1 -> Ir.Mov (d, Ir.Imm 0)
+  | Ir.And, _, Ir.Imm 0 -> Ir.Mov (d, Ir.Imm 0)
+  | Ir.And, x, Ir.Imm m when m land 0xFFFFFFFF = 0xFFFFFFFF -> Ir.Mov (d, x)
+  | Ir.Mul, x, Ir.Imm k when Common.is_pow2 k ->
+    Ir.Bin (Ir.Shl, d, x, Ir.Imm (Common.log2 k))
+  | Ir.Sub, Ir.Reg x, Ir.Reg y when x = y -> Ir.Mov (d, Ir.Imm 0)
+  | Ir.Xor, Ir.Reg x, Ir.Reg y when x = y -> Ir.Mov (d, Ir.Imm 0)
+  | (Ir.And | Ir.Or | Ir.Min | Ir.Max), Ir.Reg x, Ir.Reg y when x = y ->
+    Ir.Mov (d, Ir.Reg x)
+  | _ -> Ir.Bin (op, d, a, b)
+
+let run_block env (b : Ir.block) =
+  Hashtbl.reset env;
+  let rewrite (i : Ir.inst) : Ir.inst =
+    let guarded = i.Ir.guard <> None in
+    let record d value = if not guarded then Hashtbl.replace env d value in
+    let kind =
+      match i.Ir.kind with
+      | Ir.Bin (op, d, a, b) ->
+        let a = resolve env a and b = resolve env b in
+        let k = simplify_bin op d a b in
+        kill env d;
+        (match k with
+         | Ir.Mov (_, Ir.Imm c) -> record d (Const c)
+         | Ir.Mov (_, Ir.Reg r) -> record d (Copy r)
+         | _ -> ());
+        k
+      | Ir.Mov (d, a) ->
+        let a = resolve env a in
+        kill env d;
+        (match a with
+         | Ir.Imm c -> record d (Const c)
+         | Ir.Reg r -> record d (Copy r));
+        Ir.Mov (d, a)
+      | Ir.Cmp (r, d, a, b) ->
+        let a = resolve env a and b = resolve env b in
+        kill env d;
+        (match (a, b) with
+         | Ir.Imm x, Ir.Imm y ->
+           let v = if Common.eval_relop r x y then 1 else 0 in
+           record d (Const v);
+           Ir.Mov (d, Ir.Imm v)
+         | _ -> Ir.Cmp (r, d, a, b))
+      | Ir.Setp (r, q, a, b) -> Ir.Setp (r, q, resolve env a, resolve env b)
+      | Ir.Custom (n, d, a, b) ->
+        let a = resolve env a and b = resolve env b in
+        kill env d;
+        Ir.Custom (n, d, a, b)
+      | Ir.Load (sz, e, d, base, off) ->
+        let base = resolve env base and off = resolve env off in
+        kill env d;
+        Ir.Load (sz, e, d, base, off)
+      | Ir.Store (sz, a, v) -> Ir.Store (sz, resolve env a, resolve env v)
+      | Ir.Call (d, f, args) ->
+        let args = List.map (resolve env) args in
+        (match d with Some d -> kill env d | None -> ());
+        Ir.Call (d, f, args)
+      | Ir.AddrOf (d, g) -> kill env d; Ir.AddrOf (d, g)
+      | Ir.FrameAddr (d, off) -> kill env d; Ir.FrameAddr (d, off)
+      | Ir.LoadFrame (d, off) -> kill env d; Ir.LoadFrame (d, off)
+      | Ir.StoreFrame (off, r) -> Ir.StoreFrame (off, r)
+    in
+    { i with Ir.kind }
+  in
+  b.Ir.b_insts <- List.map rewrite b.Ir.b_insts;
+  b.Ir.b_term <-
+    (match b.Ir.b_term with
+     | Ir.Ret (Some o) -> Ir.Ret (Some (resolve env o))
+     | Ir.Ret None -> Ir.Ret None
+     | Ir.Jmp l -> Ir.Jmp l
+     | Ir.Br (r, a, b', lt, lf) -> Ir.Br (r, resolve env a, resolve env b', lt, lf))
+
+let run (p : Ir.program) =
+  let env = Hashtbl.create 64 in
+  List.iter (fun (f : Ir.func) -> List.iter (run_block env) f.Ir.f_blocks) p.Ir.p_funcs;
+  p

@@ -1,0 +1,67 @@
+(* Local common-subexpression elimination.  Pure expressions (ALU
+   operations, comparisons, custom operations, address formation) are
+   keyed on their resolved operands; loads participate too, versioned by a
+   memory generation counter that stores and calls bump. *)
+
+module Ir = Epic_mir.Ir
+
+type key =
+  | Kbin of Ir.binop * Ir.operand * Ir.operand
+  | Kcmp of Ir.relop * Ir.operand * Ir.operand
+  | Kcustom of string * Ir.operand * Ir.operand
+  | Kaddr of string
+  | Kframe of int
+  | Kload of Ir.mem_size * Ir.ext * Ir.operand * Ir.operand * int
+
+let key_mentions r = function
+  | Kbin (_, a, b) | Kcmp (_, a, b) | Kcustom (_, a, b) | Kload (_, _, a, b, _) ->
+    a = Ir.Reg r || b = Ir.Reg r
+  | Kaddr _ | Kframe _ -> false
+
+let run_block (b : Ir.block) =
+  let avail : (key, Ir.vreg) Hashtbl.t = Hashtbl.create 32 in
+  let memgen = ref 0 in
+  let kill d =
+    let stale =
+      Hashtbl.fold
+        (fun k v acc -> if v = d || key_mentions d k then k :: acc else acc)
+        avail []
+    in
+    List.iter (Hashtbl.remove avail) stale
+  in
+  let rewrite (i : Ir.inst) : Ir.inst =
+    let guarded = i.Ir.guard <> None in
+    let try_cse d key mk =
+      match Hashtbl.find_opt avail key with
+      | Some v when v <> d -> { i with Ir.kind = Ir.Mov (d, Ir.Reg v) }
+      | Some _ | None ->
+        if not guarded then begin
+          kill d;
+          Hashtbl.replace avail key d
+        end
+        else kill d;
+        { i with Ir.kind = mk }
+    in
+    match i.Ir.kind with
+    | Ir.Bin (op, d, a, b') -> try_cse d (Kbin (op, a, b')) (Ir.Bin (op, d, a, b'))
+    | Ir.Cmp (r, d, a, b') -> try_cse d (Kcmp (r, a, b')) (Ir.Cmp (r, d, a, b'))
+    | Ir.Custom (n, d, a, b') -> try_cse d (Kcustom (n, a, b')) (Ir.Custom (n, d, a, b'))
+    | Ir.AddrOf (d, g) -> try_cse d (Kaddr g) (Ir.AddrOf (d, g))
+    | Ir.FrameAddr (d, off) -> try_cse d (Kframe off) (Ir.FrameAddr (d, off))
+    | Ir.Load (sz, e, d, base, off) ->
+      try_cse d (Kload (sz, e, base, off, !memgen)) (Ir.Load (sz, e, d, base, off))
+    | Ir.Mov (d, _) -> kill d; i
+    | Ir.Setp _ -> i
+    | Ir.LoadFrame (d, _) -> kill d; i
+    | Ir.StoreFrame _ -> incr memgen; i
+    | Ir.Store _ -> incr memgen; i
+    | Ir.Call (d, _, _) ->
+      incr memgen;
+      (match d with Some d -> kill d | None -> ());
+      i
+  in
+  b.Ir.b_insts <- List.map rewrite b.Ir.b_insts
+
+let run (p : Ir.program) =
+  List.iter (fun (f : Ir.func) -> List.iter run_block f.Ir.f_blocks) p.Ir.p_funcs;
+  p

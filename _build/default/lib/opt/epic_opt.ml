@@ -1,0 +1,72 @@
+(** Machine-independent optimiser (the IMPACT role in the paper's flow).
+
+    Passes (each takes and returns a program; they mutate their argument,
+    so the drivers below copy first):
+    - {!Simplify}: CFG cleaning — constant branches, jump threading,
+      unreachable-block removal, linear-block merging.
+    - {!Constfold}: block-local constant folding, constant/copy
+      propagation, algebraic simplification, strength reduction.
+    - {!Cse}: block-local common-subexpression elimination, including
+      loads under a memory generation counter.
+    - {!Dce}: liveness-based dead-code elimination.
+    - {!Ifconvert}: if-conversion to predicated (guarded) instructions —
+      the EPIC-specific transformation; run it only when the target
+      supports predication.
+    - {!Inline}: bottom-up function inlining (leaf callees that are small
+      or single-use), which both removes call overhead and widens block
+      scope for the scheduler.
+    - {!Licm}: loop-invariant code motion to fresh preheaders (hoists
+      global-address materialisation and invariant address arithmetic
+      that block-local CSE cannot reach). *)
+
+module Ir = Epic_mir.Ir
+module Common = Common
+module Simplify = Simplify
+module Constfold = Constfold
+module Cse = Cse
+module Dce = Dce
+module Ifconvert = Ifconvert
+module Inline = Inline
+module Licm = Licm
+
+type pass = { pass_name : string; pass_run : Ir.program -> Ir.program }
+
+let simplify = { pass_name = "simplify-cfg"; pass_run = Simplify.run }
+let inline = { pass_name = "inline"; pass_run = Inline.run ?small_threshold:None ?single_site:None }
+
+(* The scalar baseline has few registers: only tiny leaves are worth
+   inlining there (mirrors how production compilers weigh inlining against
+   register pressure). *)
+let inline_small =
+  { pass_name = "inline-small";
+    pass_run = Inline.run ~small_threshold:12 ~single_site:false }
+let constfold = { pass_name = "constfold"; pass_run = Constfold.run }
+let cse = { pass_name = "cse"; pass_run = Cse.run }
+let licm = { pass_name = "licm"; pass_run = Licm.run }
+let dce = { pass_name = "dce"; pass_run = Dce.run }
+let if_convert = { pass_name = "if-convert"; pass_run = Ifconvert.run ?max_insts:None }
+
+(* Two rounds: CSE exposes copies that constfold propagates, which exposes
+   dead code, which exposes further merges. *)
+let cleanup_passes =
+  [ simplify; constfold; cse; constfold; dce; simplify; licm;
+    constfold; cse; constfold; dce; simplify ]
+
+let standard_passes = (simplify :: inline_small :: cleanup_passes)
+
+let epic_passes =
+  (simplify :: inline :: cleanup_passes) @ [ if_convert; constfold; dce; simplify ]
+
+let apply passes p = List.fold_left (fun p pass -> pass.pass_run p) (Common.copy_program p) passes
+
+(** Optimise for a scalar target (no predication). *)
+let standard p = apply standard_passes p
+
+(** Optimise for the EPIC target: the standard pipeline plus
+    if-conversion.  [~predication:false] disables if-conversion (the A4
+    ablation). *)
+let for_epic ?(predication = true) p =
+  if predication then apply epic_passes p else standard p
+
+(** No optimisation at all (still copies, so callers may mutate). *)
+let none p = Common.copy_program p

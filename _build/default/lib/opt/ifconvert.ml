@@ -1,0 +1,107 @@
+(* If-conversion: turn small branch diamonds and triangles into straight-
+   line predicated code.  This is the paper's central EPIC mechanism
+   ("predicated instructions transform control dependence to data
+   dependence", Section 2): instead of branching, both sides issue and the
+   predicate decides which results commit.
+
+   Pattern requirements (conservative):
+   - the candidate side blocks have exactly one predecessor,
+   - they contain no calls and no already-guarded instructions,
+   - they are small (at most [max_insts] instructions),
+   - both fall through to the same join block. *)
+
+module Ir = Epic_mir.Ir
+
+let default_max_insts = 8
+
+let convertible (b : Ir.block) max_insts =
+  List.length b.Ir.b_insts <= max_insts
+  && List.for_all
+       (fun (i : Ir.inst) ->
+         i.Ir.guard = None
+         &&
+         match i.Ir.kind with
+         (* Calls cannot be nullified; Cmp expands to predicate-guarded
+            moves whose guards cannot be conjoined with another guard. *)
+         | Ir.Call _ | Ir.Cmp _ -> false
+         | _ -> true)
+       b.Ir.b_insts
+
+let jumps_to (b : Ir.block) =
+  match b.Ir.b_term with Ir.Jmp l -> Some l | Ir.Br _ | Ir.Ret _ -> None
+
+let guard_insts insts q pos =
+  List.map (fun (i : Ir.inst) -> { i with Ir.guard = Some { Ir.g_reg = q; g_pos = pos } }) insts
+
+let run_func ?(max_insts = default_max_insts) (f : Ir.func) =
+  let changed = ref true in
+  let total = ref 0 in
+  while !changed do
+    changed := false;
+    let counts = Simplify.predecessor_counts f in
+    let try_convert (b : Ir.block) =
+      match b.Ir.b_term with
+      | Ir.Br (rel, x, y, lt, lf) when lt <> lf && lt <> b.Ir.b_id && lf <> b.Ir.b_id ->
+        let bt = Ir.find_block f lt and bf = Ir.find_block f lf in
+        let single l = Hashtbl.find counts l = 1 in
+        (* Diamond: B -> {T, F} -> J *)
+        (match (jumps_to bt, jumps_to bf) with
+         | Some jt, Some jf
+           when jt = jf && jt <> lt && jt <> lf && single lt && single lf
+                && convertible bt max_insts && convertible bf max_insts ->
+           let q = f.Ir.f_npregs in
+           f.Ir.f_npregs <- q + 1;
+           b.Ir.b_insts <-
+             b.Ir.b_insts
+             @ [ Ir.no_guard (Ir.Setp (rel, q, x, y)) ]
+             @ guard_insts bt.Ir.b_insts q true
+             @ guard_insts bf.Ir.b_insts q false;
+           b.Ir.b_term <- Ir.Jmp jt;
+           changed := true;
+           incr total;
+           true
+         | _ ->
+           (* Triangle: B -> T -> J with F = J *)
+           (match jumps_to bt with
+            | Some jt
+              when jt = lf && jt <> lt && single lt && convertible bt max_insts ->
+              let q = f.Ir.f_npregs in
+              f.Ir.f_npregs <- q + 1;
+              b.Ir.b_insts <-
+                b.Ir.b_insts
+                @ [ Ir.no_guard (Ir.Setp (rel, q, x, y)) ]
+                @ guard_insts bt.Ir.b_insts q true;
+              b.Ir.b_term <- Ir.Jmp jt;
+              changed := true;
+              incr total;
+              true
+            | _ ->
+              (* Mirror triangle: B -> F -> J with T = J *)
+              (match jumps_to bf with
+               | Some jf
+                 when jf = lt && jf <> lf && single lf && convertible bf max_insts ->
+                 let q = f.Ir.f_npregs in
+                 f.Ir.f_npregs <- q + 1;
+                 b.Ir.b_insts <-
+                   b.Ir.b_insts
+                   @ [ Ir.no_guard (Ir.Setp (rel, q, x, y)) ]
+                   @ guard_insts bf.Ir.b_insts q false;
+                 b.Ir.b_term <- Ir.Jmp jf;
+                 changed := true;
+                 incr total;
+                 true
+               | _ -> false)))
+      | Ir.Br _ | Ir.Jmp _ | Ir.Ret _ -> false
+    in
+    (* One conversion per scan: predecessor counts go stale after a change. *)
+    ignore (List.exists try_convert f.Ir.f_blocks);
+    if !changed then Simplify.run_func f
+  done;
+  !total
+
+let run ?max_insts (p : Ir.program) =
+  List.iter (fun f -> ignore (run_func ?max_insts f)) p.Ir.p_funcs;
+  p
+
+let count ?max_insts (p : Ir.program) =
+  List.fold_left (fun acc f -> acc + run_func ?max_insts f) 0 p.Ir.p_funcs

@@ -1,0 +1,194 @@
+(* Function inlining (IMPACT-style machine-independent optimisation).
+
+   Policy: in each round, inline call sites whose callee is a LEAF
+   function (no calls left in its body — rounds make call chains collapse
+   bottom-up) that is either small or has a single call site, is not
+   recursive (leaf implies that) and is not main.  Afterwards, functions
+   no longer reachable from main are dropped.
+
+   Inlining matters doubly on an EPIC target: besides removing call
+   overhead, it widens basic-block scope for the list scheduler and
+   removes the callee-save memory traffic of the calling convention. *)
+
+module Ir = Epic_mir.Ir
+
+let default_small_threshold = 48
+let max_rounds = 6
+let caller_growth_cap = 20_000
+
+let body_size (f : Ir.func) =
+  List.fold_left (fun acc (b : Ir.block) -> acc + 1 + List.length b.Ir.b_insts) 0 f.Ir.f_blocks
+
+let is_leaf (f : Ir.func) =
+  List.for_all
+    (fun (b : Ir.block) ->
+      List.for_all
+        (fun (i : Ir.inst) -> match i.Ir.kind with Ir.Call _ -> false | _ -> true)
+        b.Ir.b_insts)
+    f.Ir.f_blocks
+
+let call_sites (p : Ir.program) name =
+  List.fold_left
+    (fun acc (f : Ir.func) ->
+      List.fold_left
+        (fun acc (b : Ir.block) ->
+          List.fold_left
+            (fun acc (i : Ir.inst) ->
+              match i.Ir.kind with
+              | Ir.Call (_, g, _) when g = name -> acc + 1
+              | _ -> acc)
+            acc b.Ir.b_insts)
+        acc f.Ir.f_blocks)
+    0 p.Ir.p_funcs
+
+(* Splice [callee] at the call site [idx] in [block] of [caller]. *)
+let inline_at (caller : Ir.func) (block : Ir.block) idx (callee : Ir.func) dst args =
+  let voff = caller.Ir.f_nvregs in
+  let qoff = caller.Ir.f_npregs in
+  let frame_off = caller.Ir.f_frame_bytes in
+  caller.Ir.f_nvregs <- caller.Ir.f_nvregs + callee.Ir.f_nvregs;
+  caller.Ir.f_npregs <- caller.Ir.f_npregs + callee.Ir.f_npregs;
+  caller.Ir.f_frame_bytes <- caller.Ir.f_frame_bytes + callee.Ir.f_frame_bytes;
+  let max_label =
+    List.fold_left (fun acc (b : Ir.block) -> max acc b.Ir.b_id) 0 caller.Ir.f_blocks
+  in
+  let loff = max_label + 1 in
+  let map_label l = l + loff in
+  let tail_label = loff + List.fold_left (fun acc (b : Ir.block) -> max acc b.Ir.b_id) 0 callee.Ir.f_blocks + 1 in
+  let map_op = function Ir.Reg r -> Ir.Reg (r + voff) | Ir.Imm _ as o -> o in
+  let map_guard = function
+    | None -> None
+    | Some g -> Some { Ir.g_reg = g.Ir.g_reg + qoff; g_pos = g.Ir.g_pos }
+  in
+  let map_kind = function
+    | Ir.Bin (op, d, a, b) -> Ir.Bin (op, d + voff, map_op a, map_op b)
+    | Ir.Mov (d, a) -> Ir.Mov (d + voff, map_op a)
+    | Ir.Cmp (r, d, a, b) -> Ir.Cmp (r, d + voff, map_op a, map_op b)
+    | Ir.Setp (r, q, a, b) -> Ir.Setp (r, q + qoff, map_op a, map_op b)
+    | Ir.Custom (n, d, a, b) -> Ir.Custom (n, d + voff, map_op a, map_op b)
+    | Ir.Load (sz, e, d, base, off) -> Ir.Load (sz, e, d + voff, map_op base, map_op off)
+    | Ir.Store (sz, a, v) -> Ir.Store (sz, map_op a, map_op v)
+    | Ir.Call (d, g, cargs) ->
+      Ir.Call (Option.map (fun d -> d + voff) d, g, List.map map_op cargs)
+    | Ir.AddrOf (d, g) -> Ir.AddrOf (d + voff, g)
+    | Ir.FrameAddr (d, off) -> Ir.FrameAddr (d + voff, off + frame_off)
+    | Ir.LoadFrame (d, off) -> Ir.LoadFrame (d + voff, off + frame_off)
+    | Ir.StoreFrame (off, r) -> Ir.StoreFrame (off + frame_off, r + voff)
+  in
+  let map_inst (i : Ir.inst) = { Ir.kind = map_kind i.Ir.kind; guard = map_guard i.Ir.guard } in
+  let map_term = function
+    | Ir.Ret o ->
+      (* Return becomes: bind the destination, jump to the continuation. *)
+      let binding =
+        match dst with
+        | Some d ->
+          let v = match o with Some o -> map_op o | None -> Ir.Imm 0 in
+          [ Ir.no_guard (Ir.Mov (d, v)) ]
+        | None -> []
+      in
+      (binding, Ir.Jmp tail_label)
+    | Ir.Jmp l -> ([], Ir.Jmp (map_label l))
+    | Ir.Br (r, a, b, lt, lf) -> ([], Ir.Br (r, map_op a, map_op b, map_label lt, map_label lf))
+  in
+  let new_blocks =
+    List.map
+      (fun (b : Ir.block) ->
+        let extra, term = map_term b.Ir.b_term in
+        { Ir.b_id = map_label b.Ir.b_id;
+          b_insts = List.map map_inst b.Ir.b_insts @ extra;
+          b_term = term })
+      callee.Ir.f_blocks
+  in
+  (* Split the call block. *)
+  let before = List.filteri (fun k _ -> k < idx) block.Ir.b_insts in
+  let after = List.filteri (fun k _ -> k > idx) block.Ir.b_insts in
+  let param_moves =
+    List.map2
+      (fun prm arg -> Ir.no_guard (Ir.Mov (prm + voff, arg)))
+      callee.Ir.f_params args
+  in
+  let tail_block = { Ir.b_id = tail_label; b_insts = after; b_term = block.Ir.b_term } in
+  let entry_label = map_label (Ir.entry_block callee).Ir.b_id in
+  block.Ir.b_insts <- before @ param_moves;
+  block.Ir.b_term <- Ir.Jmp entry_label;
+  caller.Ir.f_blocks <- caller.Ir.f_blocks @ new_blocks @ [ tail_block ]
+
+(* Inline every eligible call site in [caller]; returns true on change. *)
+let inline_in_func (p : Ir.program) eligible (caller : Ir.func) =
+  let changed = ref false in
+  let rec scan_blocks () =
+    let found =
+      List.find_map
+        (fun (b : Ir.block) ->
+          let rec find k = function
+            | [] -> None
+            | ({ Ir.kind = Ir.Call (d, g, args); guard = None } : Ir.inst) :: _
+              when eligible g && g <> caller.Ir.f_name ->
+              Some (b, k, g, d, args)
+            | _ :: rest -> find (k + 1) rest
+          in
+          find 0 b.Ir.b_insts)
+        caller.Ir.f_blocks
+    in
+    match found with
+    | Some (b, k, g, d, args) when body_size caller < caller_growth_cap ->
+      (match Ir.find_func p g with
+       | Some callee ->
+         inline_at caller b k callee d args;
+         changed := true;
+         scan_blocks ()
+       | None -> ())
+    | Some _ | None -> ()
+  in
+  scan_blocks ();
+  !changed
+
+let reachable_funcs (p : Ir.program) =
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      match Ir.find_func p name with
+      | Some f ->
+        List.iter
+          (fun (b : Ir.block) ->
+            List.iter
+              (fun (i : Ir.inst) ->
+                match i.Ir.kind with Ir.Call (_, g, _) -> visit g | _ -> ())
+              b.Ir.b_insts)
+          f.Ir.f_blocks
+      | None -> ()
+    end
+  in
+  visit "main";
+  seen
+
+(* [single_site] additionally inlines any leaf with exactly one call
+   site regardless of size; profitable when the target has registers to
+   spare (the EPIC configurations), counter-productive on the 16-register
+   baseline where it just creates spill traffic. *)
+let run ?(small_threshold = default_small_threshold) ?(single_site = true)
+    (p : Ir.program) =
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < max_rounds do
+    incr rounds;
+    let eligible name =
+      match Ir.find_func p name with
+      | Some callee ->
+        callee.Ir.f_name <> "main" && is_leaf callee
+        && (body_size callee <= small_threshold
+            || (single_site && call_sites p name = 1))
+      | None -> false
+    in
+    continue_ :=
+      List.fold_left
+        (fun acc f -> inline_in_func p eligible f || acc)
+        false p.Ir.p_funcs
+  done;
+  (* Drop functions that are no longer reachable from main. *)
+  (match Ir.find_func p "main" with
+   | Some _ ->
+     let keep = reachable_funcs p in
+     { p with Ir.p_funcs = List.filter (fun (f : Ir.func) -> Hashtbl.mem keep f.Ir.f_name) p.Ir.p_funcs }
+   | None -> p)

@@ -1,0 +1,106 @@
+(* Control-flow graph simplification:
+   - fold branches whose condition is constant,
+   - thread jumps through empty forwarding blocks,
+   - remove unreachable blocks,
+   - merge a block into its unique successor when it is that block's
+     unique predecessor. *)
+
+module Ir = Epic_mir.Ir
+
+let fold_constant_branches (f : Ir.func) =
+  List.iter
+    (fun (b : Ir.block) ->
+      match b.Ir.b_term with
+      | Ir.Br (r, Ir.Imm x, Ir.Imm y, lt, lf) ->
+        b.Ir.b_term <- Ir.Jmp (if Common.eval_relop r x y then lt else lf)
+      | Ir.Br (r, a, b', lt, lf) when lt = lf ->
+        ignore (r, a, b');
+        b.Ir.b_term <- Ir.Jmp lt
+      | Ir.Br _ | Ir.Jmp _ | Ir.Ret _ -> ())
+    f.Ir.f_blocks
+
+(* Blocks containing nothing but a jump forward their predecessors. *)
+let thread_jumps (f : Ir.func) =
+  let forward = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.block) ->
+      match (b.Ir.b_insts, b.Ir.b_term) with
+      | [], Ir.Jmp l when l <> b.Ir.b_id -> Hashtbl.replace forward b.Ir.b_id l
+      | _ -> ())
+    f.Ir.f_blocks;
+  (* Resolve chains, cutting cycles. *)
+  let rec resolve seen l =
+    match Hashtbl.find_opt forward l with
+    | Some l' when not (List.mem l' seen) -> resolve (l' :: seen) l'
+    | Some _ | None -> l
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      let r l = resolve [ b.Ir.b_id ] l in
+      match b.Ir.b_term with
+      | Ir.Jmp l -> b.Ir.b_term <- Ir.Jmp (r l)
+      | Ir.Br (rel, a, b', lt, lf) ->
+        let lt = r lt and lf = r lf in
+        b.Ir.b_term <- (if lt = lf then Ir.Jmp lt else Ir.Br (rel, a, b', lt, lf))
+      | Ir.Ret _ -> ())
+    f.Ir.f_blocks
+
+let remove_unreachable (f : Ir.func) =
+  let reachable = Hashtbl.create 16 in
+  let rec visit l =
+    if not (Hashtbl.mem reachable l) then begin
+      Hashtbl.replace reachable l ();
+      List.iter visit (Ir.successors (Ir.find_block f l).Ir.b_term)
+    end
+  in
+  visit (Ir.entry_block f).Ir.b_id;
+  f.Ir.f_blocks <- List.filter (fun b -> Hashtbl.mem reachable b.Ir.b_id) f.Ir.f_blocks
+
+let predecessor_counts (f : Ir.func) =
+  let counts = Hashtbl.create 16 in
+  List.iter (fun (b : Ir.block) -> Hashtbl.replace counts b.Ir.b_id 0) f.Ir.f_blocks;
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun s -> Hashtbl.replace counts s (Hashtbl.find counts s + 1))
+        (Ir.successors b.Ir.b_term))
+    f.Ir.f_blocks;
+  counts
+
+let merge_linear (f : Ir.func) =
+  (* One merge per scan: merging invalidates both the predecessor counts
+     and the iteration, so restart after each change. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let counts = predecessor_counts f in
+    let entry = (Ir.entry_block f).Ir.b_id in
+    let candidate =
+      List.find_opt
+        (fun (b : Ir.block) ->
+          match b.Ir.b_term with
+          | Ir.Jmp l -> l <> b.Ir.b_id && l <> entry && Hashtbl.find counts l = 1
+          | Ir.Br _ | Ir.Ret _ -> false)
+        f.Ir.f_blocks
+    in
+    match candidate with
+    | Some b ->
+      let l = match b.Ir.b_term with Ir.Jmp l -> l | Ir.Br _ | Ir.Ret _ -> assert false in
+      let succ = Ir.find_block f l in
+      b.Ir.b_insts <- b.Ir.b_insts @ succ.Ir.b_insts;
+      b.Ir.b_term <- succ.Ir.b_term;
+      f.Ir.f_blocks <- List.filter (fun x -> x.Ir.b_id <> l) f.Ir.f_blocks;
+      changed := true
+    | None -> ()
+  done
+
+let run_func (f : Ir.func) =
+  fold_constant_branches f;
+  thread_jumps f;
+  remove_unreachable f;
+  merge_linear f;
+  remove_unreachable f
+
+let run (p : Ir.program) =
+  List.iter run_func p.Ir.p_funcs;
+  p

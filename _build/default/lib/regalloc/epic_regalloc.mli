@@ -1,0 +1,42 @@
+(** Linear-scan register allocation on MIR (Poletto & Sarkar style),
+    shared by both backends: the EPIC target allocates from the large
+    configurable register file (paper default: 64 GPRs, 52 allocatable),
+    the SA-110 baseline from ARM's 8 allocatable registers.
+
+    The allocator is target-neutral: it maps virtual registers onto an
+    arbitrary list of physical register numbers and spills the rest to
+    frame slots ({!Epic_mir.Ir.LoadFrame} / [StoreFrame]).  Free registers
+    are handed out FIFO, drawing fresh never-touched registers while the
+    footprint stays proportional to actual pressure: eager reuse would
+    manufacture WAW/WAR dependences that throttle the downstream EPIC list
+    scheduler, while an unbounded footprint would inflate the callee-save
+    set of small functions.
+
+    Predicate virtual registers are not handled here — they are
+    block-local by construction (if-conversion) and mapped to hardware
+    predicate pairs by the EPIC code generator. *)
+
+exception Alloc_error of string
+
+type location =
+  | Lreg of int   (** Physical register number. *)
+  | Lslot of int  (** Frame byte offset of a spill slot. *)
+
+type result = {
+  fn : Epic_mir.Ir.func;
+      (** Rewritten function: every GPR-class virtual register is now a
+          physical register number from the pool; spill code is in place;
+          [f_frame_bytes] includes the spill slots. *)
+  param_locs : location option list;
+      (** Where the prologue must put each incoming parameter ([None] for
+          parameters the body never reads). *)
+  used_regs : int list;
+      (** Physical registers the body touches, for callee-saving. *)
+  spill_count : int;  (** Virtual registers assigned a frame slot. *)
+}
+
+val allocate : Epic_mir.Ir.func -> pool:int list -> result
+(** Allocate [fn] over the given physical registers.  The pool must have
+    at least 5 entries (up to 3 are reserved as spill scratch when
+    spilling becomes necessary).  The input function is not mutated.
+    @raise Alloc_error when the pool is too small. *)

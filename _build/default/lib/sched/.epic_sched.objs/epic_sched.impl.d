@@ -1,0 +1,1 @@
+lib/sched/epic_sched.ml: Codegen Epic_config Epic_mdes Epic_mir Sched

@@ -1,0 +1,1 @@
+lib/sched/codegen.ml: Epic_asm Epic_config Epic_isa Epic_mir Epic_regalloc Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Codegen Epic_asm Epic_isa Epic_mdes Format Hashtbl List

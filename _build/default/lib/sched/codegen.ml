@@ -1,0 +1,445 @@
+(* MIR -> EPIC code generation (instruction selection + calling
+   convention), producing symbolic assembly blocks that the list
+   scheduler then packs into issue bundles.
+
+   Register convention (GPRs):
+     r0          hardwired zero
+     r1          stack pointer (grows down)
+     r2          return address (written by BRL)
+     r3          return value / code-generator scratch
+     r4 .. r11   argument registers
+     r12 ..      allocatable pool (callee-saved: the prologue saves every
+                 pool register the body touches, so values are never live
+                 in clobberable registers across calls)
+
+   Predicate registers: p0 is hardwired true; each MIR predicate maps to a
+   (true, false) hardware pair allocated per block (predicates are
+   block-local by construction of if-conversion).  Branch target registers
+   are allocated round-robin per block; reuse is safe because the
+   scheduler serialises through BTR dependences. *)
+
+module Isa = Epic_isa
+module Config = Epic_config
+module Ir = Epic_mir.Ir
+module Memmap = Epic_mir.Memmap
+module Regalloc = Epic_regalloc
+module A = Epic_asm.Aunit
+
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+let reg_zero = 0
+let reg_sp = 1
+let reg_ra = 2
+let reg_rv = 3
+let reg_arg0 = 4
+let max_args = 8
+let pool_base = 12
+
+type cblock = { cb_label : string; mutable cb_insts : A.inst list }
+type cfunc = { cf_name : string; cf_blocks : cblock list }
+
+let fits_literal (cfg : Config.t) v =
+  let payload = cfg.Config.src_bits - 1 in
+  v >= -(1 lsl (payload - 1)) && v < 1 lsl (payload - 1)
+
+(* Emission context for one block. *)
+type ctx = {
+  cfg : Config.t;
+  layout : Memmap.t;
+  mutable out : A.inst list;  (* reversed *)
+  mutable next_pred : int;    (* high-water mark of pair allocation *)
+  mutable free_pairs : (int * int) list;  (* recycled pairs *)
+  mutable next_btr : int;
+  pred_map : (int, int * int) Hashtbl.t;  (* MIR preg -> (p_true, p_false) *)
+}
+
+let emit ctx i = ctx.out <- i :: ctx.out
+
+let emit_op ctx op ?(d1 = 0) ?(d2 = 0) ?(s1 = A.Imm 0) ?(s2 = A.Imm 0) ?(g = 0) () =
+  emit ctx (A.simple op ~d1 ~d2 ~s1 ~s2 ~g ())
+
+(* Predicate pairs are recycled once their MIR predicate is dead (its last
+   guarded use in the block has been emitted): long if-converted regions
+   would otherwise exhaust the predicate file.  Reuse only adds WAW/RAW
+   dependences on the predicate registers, which the scheduler honours. *)
+let alloc_pred_pair ctx =
+  match ctx.free_pairs with
+  | pair :: rest ->
+    ctx.free_pairs <- rest;
+    pair
+  | [] ->
+    let p = ctx.next_pred in
+    if p + 1 >= ctx.cfg.Config.n_preds then
+      fail "block needs more than %d predicate registers; increase n_preds"
+        ctx.cfg.Config.n_preds;
+    ctx.next_pred <- p + 2;
+    (p, p + 1)
+
+let release_pred_pair ctx pair = ctx.free_pairs <- pair :: ctx.free_pairs
+
+let pred_pair ctx q =
+  match Hashtbl.find_opt ctx.pred_map q with
+  | Some pair -> pair
+  | None ->
+    let pair = alloc_pred_pair ctx in
+    Hashtbl.replace ctx.pred_map q pair;
+    pair
+
+let release_mir_pred ctx q =
+  match Hashtbl.find_opt ctx.pred_map q with
+  | Some pair ->
+    Hashtbl.remove ctx.pred_map q;
+    release_pred_pair ctx pair
+  | None -> ()
+
+let alloc_btr ctx =
+  let b = ctx.next_btr in
+  ctx.next_btr <- b + 1;
+  b mod ctx.cfg.Config.n_btrs
+
+let guard_field ctx = function
+  | None -> 0
+  | Some g ->
+    (match Hashtbl.find_opt ctx.pred_map g.Ir.g_reg with
+     | Some (pt, pf) -> if g.Ir.g_pos then pt else pf
+     | None -> fail "guard predicate q%d used before its setp" g.Ir.g_reg)
+
+(* Build a (possibly large) constant into [dst].  13-bit chunks keep every
+   intermediate literal within the 15-bit payload. *)
+let emit_const ctx ?(g = 0) dst v =
+  let v32 = v land 0xFFFFFFFF in
+  let signed = if v32 land 0x80000000 <> 0 then v32 - 0x100000000 else v32 in
+  if fits_literal ctx.cfg signed then emit_op ctx Isa.MOV ~d1:dst ~s1:(A.Imm signed) ~g ()
+  else begin
+    let c0 = v32 land 0x1FFF in
+    let c1 = (v32 lsr 13) land 0x1FFF in
+    let c2 = v32 lsr 26 in
+    if c2 <> 0 then begin
+      emit_op ctx Isa.MOV ~d1:dst ~s1:(A.Imm c2) ~g ();
+      emit_op ctx Isa.SHL ~d1:dst ~s1:(A.Reg dst) ~s2:(A.Imm 13) ~g ();
+      emit_op ctx Isa.OR ~d1:dst ~s1:(A.Reg dst) ~s2:(A.Imm c1) ~g ()
+    end
+    else emit_op ctx Isa.MOV ~d1:dst ~s1:(A.Imm c1) ~g ();
+    emit_op ctx Isa.SHL ~d1:dst ~s1:(A.Reg dst) ~s2:(A.Imm 13) ~g ();
+    emit_op ctx Isa.OR ~d1:dst ~s1:(A.Imm c0) ~s2:(A.Reg dst) ~g ()
+  end
+
+(* Convert a MIR operand to a source field, materialising literals that do
+   not fit.  [scratch_order] lists registers usable for materialisation,
+   most preferred first. *)
+let src_of ctx ~scratch operand =
+  match (operand : Ir.operand) with
+  | Ir.Reg r -> A.Reg r
+  | Ir.Imm v ->
+    let v32 = v land 0xFFFFFFFF in
+    let signed = if v32 land 0x80000000 <> 0 then v32 - 0x100000000 else v32 in
+    if fits_literal ctx.cfg signed then A.Imm signed
+    else begin
+      match !scratch with
+      | s :: rest ->
+        scratch := rest;
+        emit_const ctx s v;
+        A.Reg s
+      | [] -> fail "ran out of scratch registers materialising %d" v
+    end
+
+let binop_op = function
+  | Ir.Add -> Isa.ADD | Ir.Sub -> Isa.SUB | Ir.Mul -> Isa.MPY
+  | Ir.Div -> Isa.DIV | Ir.Rem -> Isa.REM | Ir.And -> Isa.AND
+  | Ir.Or -> Isa.OR | Ir.Xor -> Isa.XOR | Ir.Shl -> Isa.SHL
+  | Ir.Shr -> Isa.SHR | Ir.Shra -> Isa.SHRA | Ir.Min -> Isa.MIN
+  | Ir.Max -> Isa.MAX
+
+let cond_of_relop = function
+  | Ir.Req -> Isa.C_eq | Ir.Rne -> Isa.C_ne | Ir.Rlt -> Isa.C_lt
+  | Ir.Rle -> Isa.C_le | Ir.Rgt -> Isa.C_gt | Ir.Rge -> Isa.C_ge
+  | Ir.Rltu -> Isa.C_ltu | Ir.Rleu -> Isa.C_leu | Ir.Rgtu -> Isa.C_gtu
+  | Ir.Rgeu -> Isa.C_geu
+
+let size_of = function Ir.I8 -> Isa.M_byte | Ir.I16 -> Isa.M_half | Ir.I32 -> Isa.M_word
+
+(* Scratch registers usable for an instruction: the destination register
+   first (when it is not read by any source and the instruction is
+   unguarded — a guarded instruction must not clobber its destination
+   during unconditional literal materialisation), then the codegen
+   scratch. *)
+let scratches_for ?dst ~guard ~reads () =
+  let base = [ reg_rv ] in
+  match dst with
+  | Some d
+    when guard = 0 && (not (List.exists (fun r -> r = d) reads)) && d <> reg_rv ->
+    d :: base
+  | _ -> base
+
+let operand_reads (ops : Ir.operand list) =
+  List.filter_map (function Ir.Reg r -> Some r | Ir.Imm _ -> None) ops
+
+(* The word-scaled store offset field: EA = base + dst1 * size. *)
+let store_offset_limit cfg = (1 lsl cfg.Config.dst_bits) - 1
+
+let emit_store_frame ctx off value_reg guard =
+  let g = guard in
+  if off mod 4 = 0 && off / 4 <= store_offset_limit ctx.cfg then
+    emit_op ctx (Isa.ST Isa.M_word) ~d1:(off / 4) ~s1:(A.Reg reg_sp)
+      ~s2:(A.Reg value_reg) ~g ()
+  else begin
+    if not (fits_literal ctx.cfg off) then fail "frame offset %d too large" off;
+    (* The address computation is unconditional; only the store commits
+       under the guard. *)
+    emit_op ctx Isa.ADD ~d1:reg_rv ~s1:(A.Reg reg_sp) ~s2:(A.Imm off) ();
+    emit_op ctx (Isa.ST Isa.M_word) ~s1:(A.Reg reg_rv) ~s2:(A.Reg value_reg) ~g ()
+  end
+
+let emit_inst ctx (i : Ir.inst) =
+  let g = guard_field ctx i.Ir.guard in
+  match i.Ir.kind with
+  | Ir.Bin (op, d, a, b) ->
+    let scratch = ref (scratches_for ~dst:d ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
+    let s1 = src_of ctx ~scratch a in
+    let s2 = src_of ctx ~scratch b in
+    emit_op ctx (binop_op op) ~d1:d ~s1 ~s2 ~g ()
+  | Ir.Mov (d, Ir.Imm v) -> emit_const ctx ~g d v
+  | Ir.Mov (d, Ir.Reg r) -> emit_op ctx Isa.MOV ~d1:d ~s1:(A.Reg r) ~g ()
+  | Ir.Cmp (rel, d, a, b) ->
+    (* A guarded-off Cmp would leave the scratch pair stale while the
+       value moves still fire; hardware guards cannot express the needed
+       conjunction, so if-conversion never guards Cmp. *)
+    if g <> 0 then fail "guarded compare-to-value is not supported";
+    let scratch = ref (scratches_for ~dst:d ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
+    let s1 = src_of ctx ~scratch a in
+    let s2 = src_of ctx ~scratch b in
+    let pt, pf = alloc_pred_pair ctx in
+    emit_op ctx (Isa.CMPP (cond_of_relop rel)) ~d1:pt ~d2:pf ~s1 ~s2 ();
+    emit_op ctx Isa.MOV ~d1:d ~s1:(A.Imm 0) ~g:pf ();
+    emit_op ctx Isa.MOV ~d1:d ~s1:(A.Imm 1) ~g:pt ();
+    release_pred_pair ctx (pt, pf)
+  | Ir.Setp (rel, q, a, b) ->
+    let scratch = ref (scratches_for ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
+    let s1 = src_of ctx ~scratch a in
+    let s2 = src_of ctx ~scratch b in
+    if g <> 0 then fail "guarded setp is not supported";
+    let pt, pf = pred_pair ctx q in
+    emit_op ctx (Isa.CMPP (cond_of_relop rel)) ~d1:pt ~d2:pf ~s1 ~s2 ()
+  | Ir.Custom (name, d, a, b) ->
+    let scratch = ref (scratches_for ~dst:d ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
+    let s1 = src_of ctx ~scratch a in
+    let s2 = src_of ctx ~scratch b in
+    emit_op ctx (Isa.CUSTOM name) ~d1:d ~s1 ~s2 ~g ()
+  | Ir.Load (sz, ext, d, base, off) ->
+    let scratch = ref (scratches_for ~dst:d ~guard:g ~reads:(operand_reads [ base; off ]) ()) in
+    let s1 = src_of ctx ~scratch base in
+    let s2 = src_of ctx ~scratch off in
+    let op = match ext with Ir.Sx -> Isa.LD (size_of sz) | Ir.Zx -> Isa.LDU (size_of sz) in
+    emit_op ctx op ~d1:d ~s1 ~s2 ~g ()
+  | Ir.Store (sz, addr, v) ->
+    let scratch = ref [ reg_rv ] in
+    let s1 = src_of ctx ~scratch addr in
+    let s2 = src_of ctx ~scratch v in
+    emit_op ctx (Isa.ST (size_of sz)) ~s1 ~s2 ~g ()
+  | Ir.Call (d, fname, args) ->
+    if g <> 0 then fail "guarded calls are not supported";
+    if List.length args > max_args then
+      fail "%s passes %d arguments; the convention supports %d" fname
+        (List.length args) max_args;
+    List.iteri
+      (fun k arg ->
+        let dst = reg_arg0 + k in
+        match (arg : Ir.operand) with
+        | Ir.Reg r -> emit_op ctx Isa.MOV ~d1:dst ~s1:(A.Reg r) ()
+        | Ir.Imm v -> emit_const ctx dst v)
+      args;
+    let b = alloc_btr ctx in
+    emit_op ctx Isa.PBRR ~d1:b ~s1:(A.Lab fname) ();
+    emit_op ctx Isa.BRL ~d1:reg_ra ~s1:(A.Imm b) ();
+    (match d with
+     | Some d -> emit_op ctx Isa.MOV ~d1:d ~s1:(A.Reg reg_rv) ()
+     | None -> ())
+  | Ir.AddrOf (d, gname) -> emit_const ctx ~g d (Memmap.addr_of ctx.layout gname)
+  | Ir.FrameAddr (d, off) ->
+    if fits_literal ctx.cfg off then
+      emit_op ctx Isa.ADD ~d1:d ~s1:(A.Reg reg_sp) ~s2:(A.Imm off) ~g ()
+    else begin
+      if g <> 0 then fail "guarded large frame address unsupported";
+      emit_const ctx d off;
+      emit_op ctx Isa.ADD ~d1:d ~s1:(A.Reg reg_sp) ~s2:(A.Reg d) ()
+    end
+  | Ir.LoadFrame (d, off) ->
+    if not (fits_literal ctx.cfg off) then fail "frame offset %d too large" off;
+    emit_op ctx (Isa.LDU Isa.M_word) ~d1:d ~s1:(A.Reg reg_sp) ~s2:(A.Imm off) ~g ()
+  | Ir.StoreFrame (off, r) -> emit_store_frame ctx off r g
+
+(* ------------------------------------------------------------------ *)
+(* Function assembly *)
+
+let block_label fname id = Printf.sprintf ".L%s_%d" fname id
+
+let align8 v = (v + 7) land lnot 7
+
+let rebase_frame_offsets (f : Ir.func) delta =
+  if delta <> 0 then
+    List.iter
+      (fun (b : Ir.block) ->
+        b.Ir.b_insts <-
+          List.map
+            (fun (i : Ir.inst) ->
+              let kind =
+                match i.Ir.kind with
+                | Ir.FrameAddr (d, off) -> Ir.FrameAddr (d, off + delta)
+                | Ir.LoadFrame (d, off) -> Ir.LoadFrame (d, off + delta)
+                | Ir.StoreFrame (off, r) -> Ir.StoreFrame (off + delta, r)
+                | k -> k
+              in
+              { i with Ir.kind })
+            b.Ir.b_insts)
+      f.Ir.f_blocks
+
+let gen_func (cfg : Config.t) layout (f : Ir.func) =
+  if List.length f.Ir.f_params > max_args then
+    fail "%s takes %d parameters; the convention supports %d" f.Ir.f_name
+      (List.length f.Ir.f_params) max_args;
+  let pool = List.init (cfg.Config.n_gprs - pool_base) (fun k -> pool_base + k) in
+  if List.length pool < 5 then
+    fail "configuration has too few GPRs (%d) for code generation" cfg.Config.n_gprs;
+  let ra = Regalloc.allocate f ~pool in
+  let body = ra.Regalloc.fn in
+  let makes_calls =
+    List.exists
+      (fun (b : Ir.block) ->
+        List.exists
+          (fun (i : Ir.inst) -> match i.Ir.kind with Ir.Call _ -> true | _ -> false)
+          b.Ir.b_insts)
+      body.Ir.f_blocks
+  in
+  (* Callee-save area sits at the bottom of the frame (small STW offsets);
+     locals and spill slots above it. *)
+  let saves = (if makes_calls then [ reg_ra ] else []) @ ra.Regalloc.used_regs in
+  let save_bytes = 4 * List.length saves in
+  rebase_frame_offsets body save_bytes;
+  let frame_total = align8 (save_bytes + body.Ir.f_frame_bytes) in
+  if not (fits_literal cfg frame_total) then
+    fail "%s needs a %d-byte frame, beyond the literal range" f.Ir.f_name frame_total;
+  let mkctx () =
+    { cfg; layout; out = []; next_pred = 1; free_pairs = []; next_btr = 0;
+      pred_map = Hashtbl.create 8 }
+  in
+  (* Prologue block. *)
+  let pro = mkctx () in
+  if frame_total > 0 then
+    emit_op pro Isa.SUB ~d1:reg_sp ~s1:(A.Reg reg_sp) ~s2:(A.Imm frame_total) ();
+  List.iteri
+    (fun k r ->
+      emit_op pro (Isa.ST Isa.M_word) ~d1:k ~s1:(A.Reg reg_sp) ~s2:(A.Reg r) ())
+    saves;
+  List.iteri
+    (fun k loc ->
+      let arg = reg_arg0 + k in
+      match (loc : Regalloc.location option) with
+      | Some (Regalloc.Lreg p) ->
+        if p <> arg then emit_op pro Isa.MOV ~d1:p ~s1:(A.Reg arg) ()
+      | Some (Regalloc.Lslot off) -> emit_store_frame pro (off + save_bytes) arg 0
+      | None -> ())
+    ra.Regalloc.param_locs;
+  let epilogue ctx =
+    List.iteri
+      (fun k r ->
+        emit_op ctx (Isa.LDU Isa.M_word) ~d1:r ~s1:(A.Reg reg_sp) ~s2:(A.Imm (4 * k)) ())
+      saves;
+    if frame_total > 0 then
+      emit_op ctx Isa.ADD ~d1:reg_sp ~s1:(A.Reg reg_sp) ~s2:(A.Imm frame_total) ();
+    let b = alloc_btr ctx in
+    emit_op ctx Isa.PBRR ~d1:b ~s1:(A.Reg reg_ra) ();
+    emit_op ctx Isa.BRU_ ~s1:(A.Imm b) ()
+  in
+  (* Body blocks in layout order; fall-through branches are omitted. *)
+  let order = List.map (fun (b : Ir.block) -> b.Ir.b_id) body.Ir.f_blocks in
+  let next_of =
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> (a, Some b) :: pairs rest
+      | [ a ] -> [ (a, None) ]
+      | [] -> []
+    in
+    pairs order
+  in
+  let gen_block (b : Ir.block) =
+    let ctx = mkctx () in
+    (* Last mention (definition or guard use) of each MIR predicate, for
+       pair recycling. *)
+    let last_use = Hashtbl.create 8 in
+    List.iteri
+      (fun k (i : Ir.inst) ->
+        (match i.Ir.kind with
+         | Ir.Setp (_, q, _, _) -> Hashtbl.replace last_use q k
+         | _ -> ());
+        match i.Ir.guard with
+        | Some g -> Hashtbl.replace last_use g.Ir.g_reg k
+        | None -> ())
+      b.Ir.b_insts;
+    List.iteri
+      (fun k (i : Ir.inst) ->
+        emit_inst ctx i;
+        let dead q = Hashtbl.find_opt last_use q = Some k in
+        (match i.Ir.kind with
+         | Ir.Setp (_, q, _, _) when dead q -> release_mir_pred ctx q
+         | _ -> ());
+        match i.Ir.guard with
+        | Some g when dead g.Ir.g_reg -> release_mir_pred ctx g.Ir.g_reg
+        | _ -> ())
+      b.Ir.b_insts;
+    let next = List.assoc b.Ir.b_id next_of in
+    (match b.Ir.b_term with
+     | Ir.Ret o ->
+       (match o with
+        | Some (Ir.Reg r) -> if r <> reg_rv then emit_op ctx Isa.MOV ~d1:reg_rv ~s1:(A.Reg r) ()
+        | Some (Ir.Imm v) -> emit_const ctx reg_rv v
+        | None -> emit_op ctx Isa.MOV ~d1:reg_rv ~s1:(A.Imm 0) ());
+       epilogue ctx
+     | Ir.Jmp l ->
+       if next <> Some l then begin
+         let bt = alloc_btr ctx in
+         emit_op ctx Isa.PBRR ~d1:bt ~s1:(A.Lab (block_label f.Ir.f_name l)) ();
+         emit_op ctx Isa.BRU_ ~s1:(A.Imm bt) ()
+       end
+     | Ir.Br (rel, x, y, lt, lf) ->
+       let scratch = ref [ reg_rv ] in
+       let s1 = src_of ctx ~scratch x in
+       let s2 = src_of ctx ~scratch y in
+       let pt, pf = alloc_pred_pair ctx in
+       emit_op ctx (Isa.CMPP (cond_of_relop rel)) ~d1:pt ~d2:pf ~s1 ~s2 ();
+       let branch_to cond_pred target =
+         let bt = alloc_btr ctx in
+         emit_op ctx Isa.PBRR ~d1:bt ~s1:(A.Lab (block_label f.Ir.f_name target)) ();
+         emit_op ctx Isa.BRCT ~s1:(A.Imm bt) ~s2:(A.Imm cond_pred) ()
+       in
+       if next = Some lf then branch_to pt lt
+       else if next = Some lt then branch_to pf lf
+       else begin
+         branch_to pt lt;
+         let bt = alloc_btr ctx in
+         emit_op ctx Isa.PBRR ~d1:bt ~s1:(A.Lab (block_label f.Ir.f_name lf)) ();
+         emit_op ctx Isa.BRU_ ~s1:(A.Imm bt) ()
+       end);
+    { cb_label = block_label f.Ir.f_name b.Ir.b_id; cb_insts = List.rev ctx.out }
+  in
+  (* The prologue falls through into the entry block, which keeps loops
+     whose header is the entry block from re-running it. *)
+  let pro_block = { cb_label = f.Ir.f_name; cb_insts = List.rev pro.out } in
+  { cf_name = f.Ir.f_name; cf_blocks = pro_block :: List.map gen_block body.Ir.f_blocks }
+
+(* The startup stub: set up the stack, call main, halt. *)
+let gen_start (cfg : Config.t) (layout : Memmap.t) =
+  let ctx =
+    { cfg; layout; out = []; next_pred = 1; free_pairs = []; next_btr = 0;
+      pred_map = Hashtbl.create 1 }
+  in
+  emit_const ctx reg_sp layout.Memmap.stack_top;
+  emit_op ctx Isa.PBRR ~d1:0 ~s1:(A.Lab "main") ();
+  emit_op ctx Isa.BRL ~d1:reg_ra ~s1:(A.Imm 0) ();
+  emit_op ctx Isa.HALT ();
+  { cf_name = "_start"; cf_blocks = [ { cb_label = "_start"; cb_insts = List.rev ctx.out } ] }
+
+let gen_program (cfg : Config.t) (layout : Memmap.t) (p : Ir.program) =
+  if Ir.find_func p "main" = None then fail "program has no main function";
+  gen_start cfg layout
+  :: List.map (gen_func cfg layout) p.Ir.p_funcs

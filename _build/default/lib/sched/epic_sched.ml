@@ -1,0 +1,19 @@
+(** The elcor role of the toolchain: MIR -> EPIC code generation and
+    machine-description-driven list scheduling.
+
+    - {!Codegen}: instruction selection, calling convention, prologue/
+      epilogue, predicate and branch-target register mapping.
+    - {!Sched}: dependence analysis and resource-constrained list
+      scheduling of each basic block into issue bundles.
+
+    [compile_program] runs the whole backend: it returns a symbolic
+    assembly unit ready for {!Epic_asm.Aunit.assemble}. *)
+
+module Codegen = Codegen
+module Sched = Sched
+
+let compile_program ?scheduling (cfg : Epic_config.t) (layout : Epic_mir.Memmap.t)
+    (p : Epic_mir.Ir.program) =
+  let md = Epic_mdes.of_config cfg in
+  let cfuncs = Codegen.gen_program cfg layout p in
+  Sched.schedule_program ?scheduling md cfuncs

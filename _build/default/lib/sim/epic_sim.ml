@@ -1,0 +1,313 @@
+(** Cycle-level simulator of the customisable EPIC processor (the
+    ReaCT-ILP role in the paper's flow: "the number of cycles taken by our
+    EPIC design is measured by ... a cycle-level simulator").
+
+    Modelled microarchitecture (paper Sections 3.2-3.3):
+    - 2-stage pipeline: Fetch/Decode/Issue, then Execute/Write-back; a
+      taken branch costs one refill bubble;
+    - in-order issue of one bundle (up to [issue_width] operations) per
+      cycle, whole-bundle stall on a not-yet-ready operand (scoreboard
+      interlock, so mis-scheduled code is slow rather than wrong);
+    - register-file controller: at most [rf_port_budget] GPR reads+writes
+      per processor cycle (dual-port block RAM clocked at 4x); exceeding
+      the budget stalls for the extra controller rounds; with
+      [forwarding] on, a value consumed the cycle it becomes available
+      bypasses the register file and costs no port;
+    - predication: a false guard nullifies the operation;
+    - branch-target registers written by PBRR, read by branches.
+
+    Register values are canonical [width]-bit unsigned ints; r0 and p0 are
+    hardwired.  Memory is the byte-addressable big-endian data memory
+    shared with the MIR tooling ({!Epic_mir.Memmap}). *)
+
+module Isa = Epic_isa
+module Config = Epic_config
+module A = Epic_asm.Aunit
+module Memmap = Epic_mir.Memmap
+
+exception Sim_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type stats = {
+  mutable cycles : int;
+  mutable bundles : int;       (* bundles issued (not counting stalls) *)
+  mutable ops : int;           (* non-NOP operations issued *)
+  mutable nops : int;          (* NOP slots fetched *)
+  mutable squashed : int;      (* operations nullified by a false guard *)
+  mutable operand_stalls : int;
+  mutable port_stalls : int;
+  mutable branch_bubbles : int;
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable alu_ops : int;
+  mutable lsu_ops : int;
+  mutable cmpu_ops : int;
+  mutable bru_ops : int;
+}
+
+type result = {
+  ret : int;            (* r3 at HALT *)
+  stats : stats;
+  mem : Bytes.t;
+  gprs : int array;
+}
+
+let mk_stats () =
+  { cycles = 0; bundles = 0; ops = 0; nops = 0; squashed = 0;
+    operand_stalls = 0; port_stalls = 0; branch_bubbles = 0;
+    mem_reads = 0; mem_writes = 0; alu_ops = 0; lsu_ops = 0; cmpu_ops = 0;
+    bru_ops = 0 }
+
+let ilp st = if st.cycles = 0 then 0.0 else float_of_int st.ops /. float_of_int st.cycles
+
+
+(* [trace] receives one line per issued bundle: cycle, PC and the
+   non-NOP operations (squashed ones bracketed).  Used by epicsim
+   --trace and handy when debugging schedules. *)
+let run ?(fuel = 500_000_000) ?trace (cfg : Config.t) ~(image : A.image)
+    ~(mem : Bytes.t) ?(entry = 0) () =
+  let w = image.A.im_issue_width in
+  if w <> cfg.Config.issue_width then
+    fail "image was assembled for issue width %d, configuration has %d" w
+      cfg.Config.issue_width;
+  let insts = image.A.im_insts in
+  let n_bundles = Array.length insts / w in
+  let width = cfg.Config.width in
+  let m v = Isa.Word.mask width v in
+  let gprs = Array.make cfg.Config.n_gprs 0 in
+  let preds = Array.make cfg.Config.n_preds false in
+  preds.(0) <- true;
+  let btrs = Array.make cfg.Config.n_btrs 0 in
+  (* Cycle at which each register's latest value becomes readable. *)
+  let gpr_ready = Array.make cfg.Config.n_gprs 0 in
+  let pred_ready = Array.make cfg.Config.n_preds 0 in
+  let btr_ready = Array.make cfg.Config.n_btrs 0 in
+  let st = mk_stats () in
+  let custom name a b = Config.custom_eval cfg name a b in
+  let mem_len = Bytes.length mem in
+  let check_addr a n op =
+    if a < 0 || a + n > mem_len then
+      fail "%s: address %#x out of bounds (cycle %d)" op a st.cycles
+  in
+  let halted = ref false in
+  let ret = ref 0 in
+  let pc = ref entry in
+  let now = ref 0 in
+  let latency op = Config.latency cfg op in
+  (* One fetched operation, pre-decoded operand values filled per cycle. *)
+  let bundle = Array.make w Isa.nop in
+  while not !halted do
+    if !now > fuel then fail "out of fuel after %d cycles" fuel;
+    if !pc < 0 || !pc >= n_bundles then fail "PC %d outside code (cycle %d)" !pc st.cycles;
+    for k = 0 to w - 1 do
+      bundle.(k) <- insts.((!pc * w) + k)
+    done;
+    (* ---- readiness: stall the whole bundle until every source (and
+       guard) of every operation is available. *)
+    let ready_cycle = ref 0 in
+    for k = 0 to w - 1 do
+      let i = bundle.(k) in
+      List.iter
+        (fun (file, idx) ->
+          let r =
+            match (file : Isa.regfile) with
+            | Isa.R_gpr -> gpr_ready.(idx)
+            | Isa.R_pred -> pred_ready.(idx)
+            | Isa.R_btr -> btr_ready.(idx)
+          in
+          if r > !ready_cycle then ready_cycle := r)
+        (Isa.reads i)
+    done;
+    if !ready_cycle > !now then begin
+      st.operand_stalls <- st.operand_stalls + (!ready_cycle - !now);
+      st.cycles <- st.cycles + (!ready_cycle - !now);
+      now := !ready_cycle
+    end;
+    (* ---- register-file port accounting.  A GPR read whose value became
+       ready exactly this cycle is forwarded (free) when forwarding is
+       enabled; every other GPR read and every GPR write costs one port
+       operation on the quad-pumped controller. *)
+    let port_ops = ref 0 in
+    for k = 0 to w - 1 do
+      let i = bundle.(k) in
+      List.iter
+        (fun (file, idx) ->
+          match (file : Isa.regfile) with
+          | Isa.R_gpr ->
+            let forwarded = cfg.Config.forwarding && gpr_ready.(idx) = !now && !now > 0 in
+            if not forwarded then incr port_ops
+          | Isa.R_pred | Isa.R_btr -> ())
+        (Isa.reads i);
+      List.iter
+        (fun (file, idx) ->
+          ignore idx;
+          match (file : Isa.regfile) with
+          | Isa.R_gpr -> incr port_ops
+          | Isa.R_pred | Isa.R_btr -> ())
+        (Isa.writes i)
+    done;
+    let budget = cfg.Config.rf_port_budget in
+    if !port_ops > budget then begin
+      let extra = ((!port_ops + budget - 1) / budget) - 1 in
+      st.port_stalls <- st.port_stalls + extra;
+      st.cycles <- st.cycles + extra;
+      now := !now + extra
+    end;
+    (* ---- phase 1: read all sources (register reads happen at issue). *)
+    let src_val (s : Isa.src) =
+      match s with Isa.Sreg r -> gprs.(r) | Isa.Simm v -> m v
+    in
+    let vals1 = Array.make w 0 and vals2 = Array.make w 0 in
+    let enabled = Array.make w false in
+    for k = 0 to w - 1 do
+      let i = bundle.(k) in
+      vals1.(k) <- src_val i.Isa.src1;
+      vals2.(k) <- src_val i.Isa.src2;
+      enabled.(k) <- i.Isa.guard = 0 || preds.(i.Isa.guard)
+    done;
+    (* Predicate operand of conditional branches is read at issue too. *)
+    let branch_pred = Array.make w true in
+    for k = 0 to w - 1 do
+      let i = bundle.(k) in
+      match i.Isa.op with
+      | Isa.BRCT | Isa.BRCF ->
+        (match i.Isa.src2 with
+         | Isa.Simm p -> branch_pred.(k) <- preds.(p)
+         | Isa.Sreg _ -> fail "branch predicate operand must be a literal index")
+      | _ -> ()
+    done;
+    (* ---- phase 2: execute and write back. *)
+    let cycle = !now in
+    let write_gpr r v lat =
+      if r <> 0 then begin
+        gprs.(r) <- m v;
+        gpr_ready.(r) <- cycle + lat
+      end
+    in
+    let next_pc = ref (!pc + 1) in
+    let taken = ref false in
+    (try
+       for k = 0 to w - 1 do
+         if not !taken then begin
+           let i = bundle.(k) in
+           let op = i.Isa.op in
+           if op = Isa.NOP then st.nops <- st.nops + 1
+           else if not enabled.(k) then begin
+             st.squashed <- st.squashed + 1;
+             st.ops <- st.ops + 1
+           end
+           else begin
+             st.ops <- st.ops + 1;
+             (match Isa.unit_of op with
+              | Isa.U_alu -> st.alu_ops <- st.alu_ops + 1
+              | Isa.U_lsu -> st.lsu_ops <- st.lsu_ops + 1
+              | Isa.U_cmpu -> st.cmpu_ops <- st.cmpu_ops + 1
+              | Isa.U_bru -> st.bru_ops <- st.bru_ops + 1
+              | Isa.U_none -> ());
+             match op with
+             | Isa.ADD | Isa.SUB | Isa.MPY | Isa.DIV | Isa.REM | Isa.MIN
+             | Isa.MAX | Isa.ABS | Isa.AND | Isa.OR | Isa.XOR | Isa.ANDCM
+             | Isa.NAND | Isa.NOR | Isa.SHL | Isa.SHR | Isa.SHRA | Isa.MOV
+             | Isa.CUSTOM _ ->
+               let v = Isa.eval_alu ~width ~custom op vals1.(k) vals2.(k) in
+               write_gpr i.Isa.dst1 v (latency op)
+             | Isa.LD mw | Isa.LDU mw ->
+               let ea = m (vals1.(k) + vals2.(k)) in
+               let bytes = Isa.bytes_of_mem_width mw in
+               check_addr ea bytes "load";
+               st.mem_reads <- st.mem_reads + 1;
+               let size = match mw with
+                 | Isa.M_byte -> Epic_mir.Ir.I8
+                 | Isa.M_half -> Epic_mir.Ir.I16
+                 | Isa.M_word -> Epic_mir.Ir.I32
+               in
+               let ext = match op with Isa.LD _ -> Epic_mir.Ir.Sx | _ -> Epic_mir.Ir.Zx in
+               let v = Memmap.read ~size ~ext mem ea in
+               write_gpr i.Isa.dst1 (m v) (latency op)
+             | Isa.ST mw ->
+               let bytes = Isa.bytes_of_mem_width mw in
+               let ea = m (vals1.(k) + (i.Isa.dst1 * bytes)) in
+               check_addr ea bytes "store";
+               st.mem_writes <- st.mem_writes + 1;
+               let size = match mw with
+                 | Isa.M_byte -> Epic_mir.Ir.I8
+                 | Isa.M_half -> Epic_mir.Ir.I16
+                 | Isa.M_word -> Epic_mir.Ir.I32
+               in
+               Memmap.write ~size mem ea vals2.(k)
+             | Isa.CMPP c ->
+               let t = Isa.eval_cmp ~width c vals1.(k) vals2.(k) in
+               if i.Isa.dst1 <> 0 then begin
+                 preds.(i.Isa.dst1) <- t;
+                 pred_ready.(i.Isa.dst1) <- cycle + latency op
+               end;
+               if i.Isa.dst2 <> 0 then begin
+                 preds.(i.Isa.dst2) <- not t;
+                 pred_ready.(i.Isa.dst2) <- cycle + latency op
+               end
+             | Isa.PBRR ->
+               btrs.(i.Isa.dst1) <- vals1.(k);
+               btr_ready.(i.Isa.dst1) <- cycle + latency op
+             | Isa.BRU_ ->
+               (match i.Isa.src1 with
+                | Isa.Simm b -> next_pc := btrs.(b); taken := true
+                | Isa.Sreg _ -> fail "BRU operand must be a BTR index")
+             | Isa.BRCT | Isa.BRCF ->
+               let want = op = Isa.BRCT in
+               if branch_pred.(k) = want then begin
+                 (match i.Isa.src1 with
+                  | Isa.Simm b -> next_pc := btrs.(b); taken := true
+                  | Isa.Sreg _ -> fail "branch operand must be a BTR index")
+               end
+             | Isa.BRL ->
+               (match i.Isa.src1 with
+                | Isa.Simm b ->
+                  write_gpr i.Isa.dst1 (!pc + 1) (latency op);
+                  next_pc := btrs.(b);
+                  taken := true
+                | Isa.Sreg _ -> fail "BRL operand must be a BTR index")
+             | Isa.HALT ->
+               halted := true;
+               ret := gprs.(3);
+               taken := true
+             | Isa.NOP -> ()
+           end
+         end
+       done
+     with Sim_error _ as e -> raise e);
+    (match trace with
+     | Some ppf ->
+       Format.fprintf ppf "%8d  pc=%-6d" !now !pc;
+       for k = 0 to w - 1 do
+         let i = bundle.(k) in
+         if i.Isa.op <> Isa.NOP then
+           if enabled.(k) then Format.fprintf ppf " | %a" Isa.pp_inst i
+           else Format.fprintf ppf " | [%a]" Isa.pp_inst i
+       done;
+       Format.fprintf ppf "@."
+     | None -> ());
+    st.bundles <- st.bundles + 1;
+    st.cycles <- st.cycles + 1;
+    now := !now + 1;
+    if !taken && not !halted then begin
+      (* Taken branch: refill the front of the pipeline — one bubble per
+         stage before execute (1 in the paper's 2-stage prototype). *)
+      let bubbles = cfg.Config.pipeline_stages - 1 in
+      st.branch_bubbles <- st.branch_bubbles + bubbles;
+      st.cycles <- st.cycles + bubbles;
+      now := !now + bubbles
+    end;
+    pc := !next_pc
+  done;
+  { ret = !ret; stats = st; mem; gprs }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "@[<v>cycles          %d@,bundles         %d@,operations      %d@,\
+     nop slots       %d@,squashed        %d@,operand stalls  %d@,\
+     port stalls     %d@,branch bubbles  %d@,memory reads    %d@,\
+     memory writes   %d@,ALU/LSU/CMPU/BRU %d/%d/%d/%d@,ILP             %.2f@]"
+    st.cycles st.bundles st.ops st.nops st.squashed st.operand_stalls
+    st.port_stalls st.branch_bubbles st.mem_reads st.mem_writes st.alu_ops
+    st.lsu_ops st.cmpu_ops st.bru_ops (ilp st)

@@ -1,0 +1,72 @@
+(** Cycle-level simulator of the customisable EPIC processor — the
+    ReaCT-ILP role in the paper's Trimaran flow ("the number of cycles
+    taken by our EPIC design is measured by ... a cycle-level simulator",
+    Section 5.2).
+
+    Modelled microarchitecture (paper Sections 3.2–3.3):
+    - pipeline of {!Epic_config.t.pipeline_stages} stages (the paper's
+      prototype: 2 — Fetch/Decode/Issue then Execute/Write-back); a taken
+      branch costs [stages - 1] refill bubbles;
+    - in-order issue of one bundle (up to [issue_width] operations) per
+      cycle; the whole bundle stalls until every source operand is ready
+      (scoreboard interlock, so a mis-scheduled program is slow, never
+      wrong);
+    - register-file controller: at most [rf_port_budget] GPR reads+writes
+      per processor cycle (dual-port block RAM clocked at 4x); exceeding
+      the budget stalls for the extra controller rounds; with forwarding
+      enabled, a value consumed exactly the cycle it becomes available
+      bypasses the register file and costs no port;
+    - predication: a false guard nullifies the operation (counted in
+      [squashed]);
+    - branch-target registers written by PBRR and read by branches; code
+      addresses are bundle indices;
+    - r0 and p0 hardwired; registers hold canonical [width]-bit values;
+      memory is the shared big-endian byte memory of {!Epic_mir.Memmap}. *)
+
+exception Sim_error of string
+(** Out-of-range memory access, bad PC, malformed operand, or fuel
+    exhaustion. *)
+
+type stats = {
+  mutable cycles : int;
+  mutable bundles : int;        (** Bundles issued (excludes stall cycles). *)
+  mutable ops : int;            (** Non-NOP operations issued (incl. squashed). *)
+  mutable nops : int;           (** NOP slots fetched (assembler padding). *)
+  mutable squashed : int;       (** Operations nullified by a false guard. *)
+  mutable operand_stalls : int; (** Cycles lost to scoreboard interlocks. *)
+  mutable port_stalls : int;    (** Cycles lost to the register-port budget. *)
+  mutable branch_bubbles : int; (** Pipeline refill cycles after taken branches. *)
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable alu_ops : int;
+  mutable lsu_ops : int;
+  mutable cmpu_ops : int;
+  mutable bru_ops : int;
+}
+
+type result = {
+  ret : int;          (** r3 at HALT (the calling convention's return value). *)
+  stats : stats;
+  mem : Bytes.t;      (** Final data memory (same buffer as passed in). *)
+  gprs : int array;   (** Final architectural register file. *)
+}
+
+val ilp : stats -> float
+(** Issued operations per cycle. *)
+
+val run :
+  ?fuel:int ->
+  ?trace:Format.formatter ->
+  Epic_config.t ->
+  image:Epic_asm.Aunit.image ->
+  mem:Bytes.t ->
+  ?entry:int ->
+  unit ->
+  result
+(** Execute an assembled image until HALT.  [fuel] bounds simulated cycles
+    (default 5*10^8); [trace] prints one line per issued bundle (cycle,
+    PC, live operations, squashed ones bracketed); [entry] is the starting
+    bundle index (default 0, where the toolchain places [_start]).
+    @raise Sim_error on faults. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/workloads/epic_workloads.ml: Aes_ref Dct_ref Dijkstra_ref Prng Sha256_ref Sources

@@ -1,0 +1,1 @@
+lib/workloads/dct_ref.ml: Array Float

@@ -1,0 +1,1 @@
+lib/workloads/dijkstra_ref.ml: Array Prng

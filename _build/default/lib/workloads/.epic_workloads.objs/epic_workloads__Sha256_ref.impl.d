@@ -1,0 +1,1 @@
+lib/workloads/sha256_ref.ml: Array Char Printf String

@@ -1,0 +1,1 @@
+lib/workloads/sources.ml: Aes_ref Array Buffer Char Dct_ref Dijkstra_ref List Printf Prng Sha256_ref String

@@ -1,0 +1,81 @@
+(* Reference fixed-point 8x8 DCT encode/decode (the paper's DCT benchmark
+   does "fixed-point Discrete Cosine Transform encoding and decoding" of
+   an image).  Separable 2D DCT-II with an 11-bit fixed-point cosine
+   table; the compiled benchmark embeds the very same table constants, so
+   the integer arithmetic matches bit for bit. *)
+
+let scale_bits = 11
+let round_add = 1 lsl (scale_bits - 1)
+
+(* table.(u).(x) = round(c_u / 2 * cos((2x+1) u pi / 16) * 2^11),
+   c_0 = 1/sqrt 2, otherwise 1. *)
+let table =
+  Array.init 8 (fun u ->
+      Array.init 8 (fun x ->
+          let c = if u = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+          let v =
+            c /. 2.0
+            *. cos ((((2.0 *. float_of_int x) +. 1.0) *. float_of_int u *. Float.pi) /. 16.0)
+            *. float_of_int (1 lsl scale_bits)
+          in
+          int_of_float (Float.round v)))
+
+(* Forward DCT of one 8x8 block (row-major pixels 0..255); coefficients
+   are small signed ints. *)
+let forward (px : int array) =
+  let tmp = Array.make 64 0 in
+  (* tmp.(u*8+y) = sum_x px.(x*8+y) * table.(u).(x), rescaled *)
+  for u = 0 to 7 do
+    for y = 0 to 7 do
+      let s = ref 0 in
+      for x = 0 to 7 do
+        s := !s + (px.((x * 8) + y) * table.(u).(x))
+      done;
+      tmp.((u * 8) + y) <- (!s + round_add) asr scale_bits
+    done
+  done;
+  let coeff = Array.make 64 0 in
+  for u = 0 to 7 do
+    for v = 0 to 7 do
+      let s = ref 0 in
+      for y = 0 to 7 do
+        s := !s + (tmp.((u * 8) + y) * table.(v).(y))
+      done;
+      coeff.((u * 8) + v) <- (!s + round_add) asr scale_bits
+    done
+  done;
+  coeff
+
+(* Inverse DCT; clamps the reconstruction to 0..255. *)
+let inverse (coeff : int array) =
+  let tmp = Array.make 64 0 in
+  (* tmp.(x*8+v) = sum_u coeff.(u*8+v) * table.(u).(x), rescaled *)
+  for x = 0 to 7 do
+    for v = 0 to 7 do
+      let s = ref 0 in
+      for u = 0 to 7 do
+        s := !s + (coeff.((u * 8) + v) * table.(u).(x))
+      done;
+      tmp.((x * 8) + v) <- (!s + round_add) asr scale_bits
+    done
+  done;
+  let px = Array.make 64 0 in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      let s = ref 0 in
+      for v = 0 to 7 do
+        s := !s + (tmp.((x * 8) + v) * table.(v).(y))
+      done;
+      let p = (s.contents + round_add) asr scale_bits in
+      px.((x * 8) + y) <- (if p < 0 then 0 else if p > 255 then 255 else p)
+    done
+  done;
+  px
+
+let roundtrip px = inverse (forward px)
+
+let max_error px =
+  let r = roundtrip px in
+  let e = ref 0 in
+  Array.iteri (fun i v -> e := max !e (abs (v - r.(i)))) px;
+  !e

@@ -1,0 +1,73 @@
+(* Reference Dijkstra all-pairs shortest paths on a dense adjacency
+   matrix (the paper's benchmark "finds the shortest path between every
+   pair of nodes ... using Dijkstra's algorithm").  The O(n^2) unvisited-
+   minimum scan matches the compiled benchmark's algorithm exactly, and a
+   Floyd-Warshall cross-check is used in the test suite. *)
+
+let inf = 0x3FFFFFFF
+
+(* Single-source distances. *)
+let single_source (adj : int array) n src =
+  let dist = Array.make n inf in
+  let visited = Array.make n false in
+  dist.(src) <- 0;
+  for _ = 0 to n - 1 do
+    (* Find the unvisited node with minimal distance. *)
+    let u = ref (-1) in
+    let best = ref inf in
+    for i = 0 to n - 1 do
+      if (not visited.(i)) && dist.(i) < !best then begin
+        best := dist.(i);
+        u := i
+      end
+    done;
+    if !u >= 0 then begin
+      visited.(!u) <- true;
+      for v = 0 to n - 1 do
+        let w = adj.((!u * n) + v) in
+        if w > 0 && dist.(!u) + w < dist.(v) then dist.(v) <- dist.(!u) + w
+      done
+    end
+  done;
+  dist
+
+(* Sum of all pairwise distances, the benchmark's checksum. *)
+let all_pairs_checksum (adj : int array) n =
+  let cs = ref 0 in
+  for s = 0 to n - 1 do
+    let d = single_source adj n s in
+    for t = 0 to n - 1 do
+      cs := (!cs + d.(t)) land 0xFFFFFFFF
+    done
+  done;
+  !cs
+
+(* Independent check used by tests. *)
+let floyd_warshall (adj : int array) n =
+  let d = Array.make (n * n) inf in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let w = adj.((i * n) + j) in
+      if i = j then d.((i * n) + j) <- 0
+      else if w > 0 then d.((i * n) + j) <- w
+    done
+  done;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if d.((i * n) + k) + d.((k * n) + j) < d.((i * n) + j) then
+          d.((i * n) + j) <- d.((i * n) + k) + d.((k * n) + j)
+      done
+    done
+  done;
+  d
+
+(* The benchmark's graph: dense, weights 1..64, zero diagonal. *)
+let generate_graph prng n =
+  let adj = Array.make (n * n) 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then adj.((i * n) + j) <- Prng.next_masked prng 0x3F + 1
+    done
+  done;
+  adj

@@ -1,0 +1,15 @@
+(** The paper's four benchmarks (Section 5.2) and their infrastructure.
+
+    - {!Sources}: EPIC-C sources, parameterised by input size, with
+      expected checksums ({!Sources.benchmark} descriptors).
+    - {!Prng}: the deterministic xorshift32 stream shared by the C sources
+      and the references.
+    - {!Sha256_ref}, {!Aes_ref}, {!Dct_ref}, {!Dijkstra_ref}: OCaml
+      reference implementations used to validate compiled code. *)
+
+module Prng = Prng
+module Sha256_ref = Sha256_ref
+module Aes_ref = Aes_ref
+module Dct_ref = Dct_ref
+module Dijkstra_ref = Dijkstra_ref
+module Sources = Sources

@@ -1,0 +1,44 @@
+(* Deterministic xorshift32 generator.  The benchmark C sources embed the
+   same algorithm to synthesise their inputs (the paper's 256x256 PPM
+   images and graphs are proprietary-free but unavailable; a fixed PRNG
+   stream exercises the same code paths), and the OCaml reference
+   implementations replay the identical stream through this module. *)
+
+type t = { mutable state : int }
+
+let default_seed = 0x2545F491
+
+let create ?(seed = default_seed) () =
+  if seed land 0xFFFFFFFF = 0 then invalid_arg "Prng.create: seed must be non-zero";
+  { state = seed land 0xFFFFFFFF }
+
+let m32 v = v land 0xFFFFFFFF
+
+let next t =
+  let s = t.state in
+  let s = m32 (s lxor m32 (s lsl 13)) in
+  let s = m32 (s lxor (s lsr 17)) in
+  let s = m32 (s lxor m32 (s lsl 5)) in
+  t.state <- s;
+  s
+
+let next_byte t = next t land 0xFF
+
+(* Benchmarks derive bounded values by masking, never by [mod]: the C
+   subset's remainder is signed and would disagree on values >= 2^31. *)
+let next_masked t mask = next t land mask
+
+(* The C-subset implementation of the same generator, for inclusion in
+   benchmark sources.  [seed] must match the OCaml side. *)
+let c_source ?(seed = default_seed) () =
+  Printf.sprintf
+    "int __prng_state = %d;\n\
+     int prng_next() {\n\
+     \  int s = __prng_state;\n\
+     \  s = s ^ (s << 13);\n\
+     \  s = s ^ __lsr(s, 17);\n\
+     \  s = s ^ (s << 5);\n\
+     \  __prng_state = s;\n\
+     \  return s;\n\
+     }\n"
+    seed

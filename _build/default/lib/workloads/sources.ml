@@ -1,0 +1,427 @@
+(* EPIC-C sources of the paper's four benchmarks (Section 5.2).  Inputs
+   are synthesised inside the programs with the shared xorshift32 PRNG so
+   that the OCaml reference implementations can replay them exactly; see
+   DESIGN.md for the substitution rationale (the paper's PPM images are
+   unavailable).  Sizes are parameters: the paper uses 256x256 images and
+   a "large graph"; the experiment harness defaults to smaller instances
+   that preserve the cycle-count shape and offers --full for paper-sized
+   runs. *)
+
+let pp_array name values =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "int %s[%d] = {" name (List.length values));
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string buf ",";
+      if i mod 12 = 0 then Buffer.add_string buf "\n  ";
+      Buffer.add_string buf (string_of_int v))
+    values;
+  Buffer.add_string buf "\n};\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256 *)
+
+(* [rotate] selects the inline shift/or expansion (base ISA) or the ROTR
+   custom instruction (ablation A2). *)
+let sha ?(use_rotr_custom = false) ~bytes () =
+  let padded = (bytes + 9 + 63) / 64 * 64 in
+  let rotr x n =
+    if use_rotr_custom then Printf.sprintf "__x_rotr(%s, %d)" x n
+    else Printf.sprintf "(__lsr(%s, %d) | (%s << %d))" x n x (32 - n)
+  in
+  String.concat ""
+    [
+      Prng.c_source ();
+      pp_array "K" (Array.to_list Sha256_ref.k);
+      Printf.sprintf "int data[%d];\n" padded;
+      "int H[8];\nint W[64];\n";
+      Printf.sprintf
+        "int main() {\n\
+         \  int i; int t; int blk; int bitlen;\n\
+         \  for (i = 0; i < %d; i++) data[i] = prng_next() & 255;\n\
+         \  data[%d] = 0x80;\n\
+         \  bitlen = %d;\n\
+         \  for (i = 0; i < 8; i++) data[%d - 1 - i] = __lsr(bitlen, 8 * i) & 255;\n"
+        bytes bytes (bytes * 8) padded;
+      "  H[0] = 0x6a09e667; H[1] = 0xbb67ae85; H[2] = 0x3c6ef372; H[3] = 0xa54ff53a;\n\
+       \  H[4] = 0x510e527f; H[5] = 0x9b05688c; H[6] = 0x1f83d9ab; H[7] = 0x5be0cd19;\n";
+      Printf.sprintf "  for (blk = 0; blk < %d; blk++) {\n" (padded / 64);
+      "    int base = blk * 64;\n\
+       \    for (t = 0; t < 16; t++)\n\
+       \      W[t] = (data[base + 4*t] << 24) | (data[base + 4*t + 1] << 16)\n\
+       \           | (data[base + 4*t + 2] << 8) | data[base + 4*t + 3];\n\
+       \    for (t = 16; t < 64; t++) {\n\
+       \      int x = W[t - 15];\n\
+       \      int y = W[t - 2];\n";
+      Printf.sprintf "      int s0 = %s ^ %s ^ __lsr(x, 3);\n" (rotr "x" 7) (rotr "x" 18);
+      Printf.sprintf "      int s1 = %s ^ %s ^ __lsr(y, 10);\n" (rotr "y" 17) (rotr "y" 19);
+      "      W[t] = W[t - 16] + s0 + W[t - 7] + s1;\n\
+       \    }\n\
+       \    int a = H[0]; int b = H[1]; int c = H[2]; int d = H[3];\n\
+       \    int e = H[4]; int f = H[5]; int g = H[6]; int h = H[7];\n\
+       \    for (t = 0; t < 64; t++) {\n";
+      Printf.sprintf "      int s1 = %s ^ %s ^ %s;\n" (rotr "e" 6) (rotr "e" 11) (rotr "e" 25);
+      "      int ch = (e & f) ^ (~e & g);\n\
+       \      int t1 = h + s1 + ch + K[t] + W[t];\n";
+      Printf.sprintf "      int s0 = %s ^ %s ^ %s;\n" (rotr "a" 2) (rotr "a" 13) (rotr "a" 22);
+      "      int maj = (a & b) ^ (a & c) ^ (b & c);\n\
+       \      int t2 = s0 + maj;\n\
+       \      h = g; g = f; f = e; e = d + t1; d = c; c = b; b = a; a = t1 + t2;\n\
+       \    }\n\
+       \    H[0] += a; H[1] += b; H[2] += c; H[3] += d;\n\
+       \    H[4] += e; H[5] += f; H[6] += g; H[7] += h;\n\
+       \  }\n\
+       \  return H[0] ^ H[1] ^ H[2] ^ H[3] ^ H[4] ^ H[5] ^ H[6] ^ H[7];\n\
+       }\n";
+    ]
+
+let sha_expected ~bytes =
+  let prng = Prng.create () in
+  let msg = Array.init bytes (fun _ -> Prng.next_byte prng) in
+  let h = Sha256_ref.digest msg in
+  Array.fold_left (fun acc w -> acc lxor w) 0 h
+
+(* ------------------------------------------------------------------ *)
+(* AES-128 *)
+
+let aes_key = [ 0x2b; 0x7e; 0x15; 0x16; 0x28; 0xae; 0xd2; 0xa6;
+                0xab; 0xf7; 0x15; 0x88; 0x09; 0xcf; 0x4f; 0x3c ]
+
+let aes_plaintext = "Hello AES World!"
+
+let aes ~iters () =
+  String.concat ""
+    [
+      pp_array "SBOX" (Array.to_list Aes_ref.sbox);
+      pp_array "ISBOX" (Array.to_list Aes_ref.inv_sbox);
+      pp_array "RCON" (Array.to_list Aes_ref.rcon);
+      pp_array "KEY" aes_key;
+      pp_array "PT"
+        (List.init (String.length aes_plaintext) (fun i -> Char.code aes_plaintext.[i]));
+      "int w[176];\nint state[16];\nint tmp[16];\nint CT[16];\n";
+      "int xtime(int b) {\n\
+       \  int b2 = b << 1;\n\
+       \  if (b & 0x80) b2 = b2 ^ 0x1b;\n\
+       \  return b2 & 255;\n\
+       }\n";
+      "void expand_key() {\n\
+       \  int i; int k;\n\
+       \  for (i = 0; i < 16; i++) w[i] = KEY[i];\n\
+       \  for (i = 4; i < 44; i++) {\n\
+       \    int t0 = w[4*(i-1)];  int t1 = w[4*(i-1)+1];\n\
+       \    int t2 = w[4*(i-1)+2]; int t3 = w[4*(i-1)+3];\n\
+       \    if (i % 4 == 0) {\n\
+       \      int r0 = SBOX[t1]; int r1 = SBOX[t2]; int r2 = SBOX[t3]; int r3 = SBOX[t0];\n\
+       \      t0 = r0 ^ RCON[i / 4 - 1]; t1 = r1; t2 = r2; t3 = r3;\n\
+       \    }\n\
+       \    w[4*i]   = w[4*(i-4)]   ^ t0;\n\
+       \    w[4*i+1] = w[4*(i-4)+1] ^ t1;\n\
+       \    w[4*i+2] = w[4*(i-4)+2] ^ t2;\n\
+       \    w[4*i+3] = w[4*(i-4)+3] ^ t3;\n\
+       \  }\n\
+       }\n";
+      "void add_round_key(int round) {\n\
+       \  int i;\n\
+       \  for (i = 0; i < 16; i++) state[i] = state[i] ^ w[16*round + i];\n\
+       }\n";
+      "void sub_bytes() { int i; for (i = 0; i < 16; i++) state[i] = SBOX[state[i]]; }\n";
+      "void inv_sub_bytes() { int i; for (i = 0; i < 16; i++) state[i] = ISBOX[state[i]]; }\n";
+      "void shift_rows() {\n\
+       \  int c; int r; int i;\n\
+       \  for (i = 0; i < 16; i++) tmp[i] = state[i];\n\
+       \  for (c = 0; c < 4; c++)\n\
+       \    for (r = 1; r < 4; r++)\n\
+       \      state[4*c + r] = tmp[4*((c + r) & 3) + r];\n\
+       }\n";
+      "void inv_shift_rows() {\n\
+       \  int c; int r; int i;\n\
+       \  for (i = 0; i < 16; i++) tmp[i] = state[i];\n\
+       \  for (c = 0; c < 4; c++)\n\
+       \    for (r = 1; r < 4; r++)\n\
+       \      state[4*((c + r) & 3) + r] = tmp[4*c + r];\n\
+       }\n";
+      "void mix_columns() {\n\
+       \  int c;\n\
+       \  for (c = 0; c < 4; c++) {\n\
+       \    int a0 = state[4*c]; int a1 = state[4*c+1]; int a2 = state[4*c+2]; int a3 = state[4*c+3];\n\
+       \    state[4*c]   = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;\n\
+       \    state[4*c+1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;\n\
+       \    state[4*c+2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);\n\
+       \    state[4*c+3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);\n\
+       \  }\n\
+       }\n";
+      "void inv_mix_columns() {\n\
+       \  int c;\n\
+       \  for (c = 0; c < 4; c++) {\n\
+       \    int a0 = state[4*c]; int a1 = state[4*c+1]; int a2 = state[4*c+2]; int a3 = state[4*c+3];\n\
+       \    int x20 = xtime(a0); int x40 = xtime(x20); int x80 = xtime(x40);\n\
+       \    int x21 = xtime(a1); int x41 = xtime(x21); int x81 = xtime(x41);\n\
+       \    int x22 = xtime(a2); int x42 = xtime(x22); int x82 = xtime(x42);\n\
+       \    int x23 = xtime(a3); int x43 = xtime(x23); int x83 = xtime(x43);\n\
+       \    state[4*c]   = (x80 ^ x40 ^ x20) ^ (x81 ^ x21 ^ a1) ^ (x82 ^ x42 ^ a2) ^ (x83 ^ a3);\n\
+       \    state[4*c+1] = (x80 ^ a0) ^ (x81 ^ x41 ^ x21) ^ (x82 ^ x22 ^ a2) ^ (x83 ^ x43 ^ a3);\n\
+       \    state[4*c+2] = (x80 ^ x40 ^ a0) ^ (x81 ^ a1) ^ (x82 ^ x42 ^ x22) ^ (x83 ^ x23 ^ a3);\n\
+       \    state[4*c+3] = (x80 ^ x20 ^ a0) ^ (x81 ^ x41 ^ a1) ^ (x82 ^ a2) ^ (x83 ^ x43 ^ x23);\n\
+       \  }\n\
+       }\n";
+      "void encrypt_state() {\n\
+       \  int round;\n\
+       \  add_round_key(0);\n\
+       \  for (round = 1; round < 10; round++) {\n\
+       \    sub_bytes(); shift_rows(); mix_columns(); add_round_key(round);\n\
+       \  }\n\
+       \  sub_bytes(); shift_rows(); add_round_key(10);\n\
+       }\n";
+      "void decrypt_state() {\n\
+       \  int round;\n\
+       \  add_round_key(10);\n\
+       \  for (round = 9; round >= 1; round--) {\n\
+       \    inv_shift_rows(); inv_sub_bytes(); add_round_key(round); inv_mix_columns();\n\
+       \  }\n\
+       \  inv_shift_rows(); inv_sub_bytes(); add_round_key(0);\n\
+       }\n";
+      Printf.sprintf
+        "int main() {\n\
+         \  int i; int it; int cs; int ok;\n\
+         \  expand_key();\n\
+         \  for (i = 0; i < 16; i++) state[i] = PT[i];\n\
+         \  for (it = 0; it < %d; it++) encrypt_state();\n\
+         \  for (i = 0; i < 16; i++) CT[i] = state[i];\n\
+         \  for (it = 0; it < %d; it++) decrypt_state();\n\
+         \  ok = 1;\n\
+         \  for (i = 0; i < 16; i++) if (state[i] != PT[i]) ok = 0;\n\
+         \  cs = 0;\n\
+         \  for (i = 0; i < 16; i++) cs = cs * 31 + CT[i];\n\
+         \  if (ok == 0) cs = cs ^ 0xDEADBEEF;\n\
+         \  return cs;\n\
+         }\n"
+        iters iters;
+    ]
+
+let aes_expected ~iters =
+  let w = Aes_ref.expand_key (Array.of_list aes_key) in
+  let pt = Array.init 16 (fun i -> Char.code aes_plaintext.[i]) in
+  let ct = ref (Array.copy pt) in
+  for _ = 1 to iters do
+    ct := Aes_ref.encrypt_block w !ct
+  done;
+  let back = ref (Array.copy !ct) in
+  for _ = 1 to iters do
+    back := Aes_ref.decrypt_block w !back
+  done;
+  assert (!back = pt);
+  Array.fold_left (fun acc b -> (acc * 31) + b land 0xFFFFFFFF land 0xFFFFFFFF) 0 !ct
+  land 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-point DCT *)
+
+let dct ~width ~height () =
+  if width mod 8 <> 0 || height mod 8 <> 0 then
+    invalid_arg "Sources.dct: dimensions must be multiples of 8";
+  (* The kernels are emitted fully unrolled with the fixed-point cosine
+     coefficients as literal constants (the standard shape for production
+     integer DCTs): pixels are loaded once per column/row into scalars and
+     the 8-tap dot products run entirely in registers, which is what gives
+     the DCT its ALU-bound, highly parallel profile (the paper's
+     "arithmetic-intensive" benchmark that scales with the ALU count). *)
+  let t u x = Dct_ref.table.(u).(x) in
+  let buf = Buffer.create 8192 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let dot coeff_of =
+    String.concat " + "
+      (List.init 8 (fun k -> Printf.sprintf "v%d * %d" k (coeff_of k)))
+  in
+  line "void fdct() {";
+  line "  int y; int u;";
+  line "  for (y = 0; y < 8; y++) {";
+  List.iteri (fun k () -> line "    int v%d = blk[%d + y];" k (8 * k)) (List.init 8 (fun _ -> ()));
+  for u = 0 to 7 do
+    line "    tmp[%d + y] = (%s + 1024) >> 11;" (8 * u) (dot (fun x -> t u x))
+  done;
+  line "  }";
+  line "  for (u = 0; u < 8; u++) {";
+  List.iteri (fun k () -> line "    int v%d = tmp[u * 8 + %d];" k k) (List.init 8 (fun _ -> ()));
+  for v = 0 to 7 do
+    line "    coef[u * 8 + %d] = (%s + 1024) >> 11;" v (dot (fun y -> t v y))
+  done;
+  line "  }";
+  line "}";
+  line "void idct() {";
+  line "  int x; int v;";
+  line "  for (v = 0; v < 8; v++) {";
+  List.iteri (fun k () -> line "    int v%d = coef[%d + v];" k (8 * k)) (List.init 8 (fun _ -> ()));
+  for x = 0 to 7 do
+    line "    tmp[%d + v] = (%s + 1024) >> 11;" (8 * x) (dot (fun u -> t u x))
+  done;
+  line "  }";
+  line "  for (x = 0; x < 8; x++) {";
+  List.iteri (fun k () -> line "    int v%d = tmp[x * 8 + %d];" k k) (List.init 8 (fun _ -> ()));
+  for y = 0 to 7 do
+    line "    int p%d = (%s + 1024) >> 11;" y (dot (fun v -> t v y));
+    line "    if (p%d < 0) p%d = 0;" y y;
+    line "    if (p%d > 255) p%d = 255;" y y;
+    line "    blk[x * 8 + %d] = p%d;" y y
+  done;
+  line "  }";
+  line "}";
+  String.concat ""
+    [
+      Prng.c_source ();
+      Printf.sprintf "int pix[%d];\nint blk[64];\nint coef[64];\nint tmp[64];\n"
+        (width * height);
+      Buffer.contents buf;
+      Printf.sprintf
+        "int main() {\n\
+         \  int i; int bx; int by; int r; int c; int cs;\n\
+         \  for (i = 0; i < %d; i++) pix[i] = prng_next() & 255;\n\
+         \  cs = 0;\n\
+         \  for (by = 0; by < %d; by++)\n\
+         \    for (bx = 0; bx < %d; bx++) {\n\
+         \      for (r = 0; r < 8; r++)\n\
+         \        for (c = 0; c < 8; c++)\n\
+         \          blk[r*8 + c] = pix[(by*8 + r) * %d + bx*8 + c];\n\
+         \      fdct();\n\
+         \      idct();\n\
+         \      for (r = 0; r < 8; r++)\n\
+         \        for (c = 0; c < 8; c++)\n\
+         \          cs = cs * 31 + blk[r*8 + c];\n\
+         \    }\n\
+         \  return cs;\n\
+         }\n"
+        (width * height) (height / 8) (width / 8) width;
+    ]
+
+let dct_expected ~width ~height =
+  let prng = Prng.create () in
+  let pix = Array.init (width * height) (fun _ -> Prng.next_byte prng) in
+  let cs = ref 0 in
+  for by = 0 to (height / 8) - 1 do
+    for bx = 0 to (width / 8) - 1 do
+      let blk = Array.make 64 0 in
+      for r = 0 to 7 do
+        for c = 0 to 7 do
+          blk.((r * 8) + c) <- pix.(((by * 8) + r) * width + (bx * 8) + c)
+        done
+      done;
+      let recon = Dct_ref.roundtrip blk in
+      for r = 0 to 7 do
+        for c = 0 to 7 do
+          cs := (!cs * 31) + recon.((r * 8) + c) land 0xFFFFFFFF;
+          cs := !cs land 0xFFFFFFFF
+        done
+      done
+    done
+  done;
+  !cs
+
+(* ------------------------------------------------------------------ *)
+(* Dijkstra all-pairs *)
+
+let dijkstra ~nodes () =
+  let n = nodes in
+  String.concat ""
+    [
+      Prng.c_source ();
+      Printf.sprintf "int adj[%d];\nint dist[%d];\nint visited[%d];\n" (n * n) n n;
+      Printf.sprintf
+        "int main() {\n\
+         \  int i; int j; int s; int k; int cs;\n\
+         \  for (i = 0; i < %d; i++)\n\
+         \    for (j = 0; j < %d; j++)\n\
+         \      if (i != j) adj[i * %d + j] = (prng_next() & 0x3F) + 1;\n\
+         \      else adj[i * %d + j] = 0;\n\
+         \  cs = 0;\n\
+         \  for (s = 0; s < %d; s++) {\n\
+         \    for (i = 0; i < %d; i++) { dist[i] = 0x3FFFFFFF; visited[i] = 0; }\n\
+         \    dist[s] = 0;\n\
+         \    for (k = 0; k < %d; k++) {\n\
+         \      int u = -1;\n\
+         \      int best = 0x3FFFFFFF;\n\
+         \      for (i = 0; i < %d; i++)\n\
+         \        if (!visited[i] && dist[i] < best) { best = dist[i]; u = i; }\n\
+         \      if (u >= 0) {\n\
+         \        visited[u] = 1;\n\
+         \        for (j = 0; j < %d; j++) {\n\
+         \          int w = adj[u * %d + j];\n\
+         \          if (w > 0 && dist[u] + w < dist[j]) dist[j] = dist[u] + w;\n\
+         \        }\n\
+         \      }\n\
+         \    }\n\
+         \    for (i = 0; i < %d; i++) cs = cs + dist[i];\n\
+         \  }\n\
+         \  return cs;\n\
+         }\n"
+        n n n n n n n n n n n;
+    ]
+
+let dijkstra_expected ~nodes =
+  let prng = Prng.create () in
+  let adj = Dijkstra_ref.generate_graph prng nodes in
+  Dijkstra_ref.all_pairs_checksum adj nodes
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark descriptors *)
+
+type benchmark = {
+  bm_name : string;
+  bm_source : string;
+  bm_expected : int;  (* canonical 32-bit return value of main *)
+  bm_description : string;
+}
+
+(* Default sizes keep a full toolchain + cycle simulation run fast while
+   preserving the paper's cycle-count shape; the paper-sized instances are
+   available through the size parameters. *)
+let default_sha_bytes = 16 * 16 * 3
+let default_aes_iters = 40
+let default_dct_width, default_dct_height = (32, 32)
+let default_dijkstra_nodes = 24
+
+let sha_benchmark ?(use_rotr_custom = false) ?(bytes = default_sha_bytes) () =
+  {
+    bm_name = "sha";
+    bm_source = sha ~use_rotr_custom ~bytes ();
+    bm_expected = sha_expected ~bytes;
+    bm_description =
+      Printf.sprintf "SHA-256 of a %d-byte synthetic image stream" bytes;
+  }
+
+let aes_benchmark ?(iters = default_aes_iters) () =
+  {
+    bm_name = "aes";
+    bm_source = aes ~iters ();
+    bm_expected = aes_expected ~iters;
+    bm_description =
+      Printf.sprintf "AES-128: encrypt %S %d times, then decrypt" aes_plaintext iters;
+  }
+
+let dct_benchmark ?(width = default_dct_width) ?(height = default_dct_height) () =
+  {
+    bm_name = "dct";
+    bm_source = dct ~width ~height ();
+    bm_expected = dct_expected ~width ~height;
+    bm_description =
+      Printf.sprintf "fixed-point DCT encode+decode of a %dx%d image" width height;
+  }
+
+let dijkstra_benchmark ?(nodes = default_dijkstra_nodes) () =
+  {
+    bm_name = "dijkstra";
+    bm_source = dijkstra ~nodes ();
+    bm_expected = dijkstra_expected ~nodes;
+    bm_description =
+      Printf.sprintf "Dijkstra shortest paths between every pair of %d nodes" nodes;
+  }
+
+let all ?sha_bytes ?aes_iters ?dct_size ?dijkstra_nodes () =
+  let width, height =
+    match dct_size with Some (w, h) -> (w, h) | None -> (default_dct_width, default_dct_height)
+  in
+  [
+    sha_benchmark ?bytes:sha_bytes ();
+    aes_benchmark ?iters:aes_iters ();
+    dct_benchmark ~width ~height ();
+    dijkstra_benchmark ?nodes:dijkstra_nodes ();
+  ]

@@ -1,0 +1,1 @@
+test/test_area.ml: Alcotest Epic List Printf QCheck QCheck_alcotest

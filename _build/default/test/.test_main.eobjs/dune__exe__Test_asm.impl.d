@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Epic Format Gen List Printf QCheck QCheck_alcotest Test

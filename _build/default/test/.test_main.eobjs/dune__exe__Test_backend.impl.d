@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Bytes Epic Format List Printf QCheck QCheck_alcotest Str String Test_opt

@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Array Epic List Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Epic List QCheck QCheck_alcotest String

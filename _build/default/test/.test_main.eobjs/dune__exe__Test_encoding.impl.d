@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Bytes Char Epic Format Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Epic List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_area Test_asm Test_backend Test_cfront Test_config Test_encoding Test_extensions Test_isa Test_mdes Test_mir Test_more Test_opt Test_workloads

@@ -1,0 +1,1 @@
+test/test_mdes.ml: Alcotest Epic List

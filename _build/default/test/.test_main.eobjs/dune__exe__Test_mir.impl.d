@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Bytes Epic Hashtbl List Str

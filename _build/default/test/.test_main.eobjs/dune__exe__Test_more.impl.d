@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Bytes Epic List Printf QCheck QCheck_alcotest Str Test_opt

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Epic Format List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Epic Printf String

@@ -1,0 +1,105 @@
+(* FPGA resource-model tests: calibration against the paper's published
+   numbers and monotonicity along the customisation axes. *)
+
+module Area = Epic.Area
+module Config = Epic.Config
+module Isa = Epic.Isa
+
+let within_pct label expected actual pct =
+  let err = abs_float (float_of_int actual -. float_of_int expected) /. float_of_int expected in
+  if err > pct /. 100.0 then
+    Alcotest.failf "%s: got %d, paper says %d (%.2f%% off)" label actual expected (err *. 100.0)
+
+(* Paper Section 5.1: 4181 / 6779 / 9367 / 11988 slices for 1-4 ALUs. *)
+let test_paper_calibration () =
+  List.iter
+    (fun (alus, slices) ->
+      within_pct (Printf.sprintf "%d ALUs" alus) slices
+        (Area.estimate (Config.with_alus alus)).Area.slices 0.5)
+    Epic.Experiments.paper_slices
+
+let test_per_alu_increment () =
+  (* "each individual ALU occupies around 2600 slices" *)
+  let s n = (Area.estimate (Config.with_alus n)).Area.slices in
+  List.iter
+    (fun n ->
+      let d = s (n + 1) - s n in
+      if d < 2500 || d > 2700 then Alcotest.failf "ALU increment %d out of range" d)
+    [ 1; 2; 3 ]
+
+let test_clock_flat_in_alus () =
+  (* "varying the number of ALUs has little impact on the critical path" *)
+  let c n = (Area.estimate (Config.with_alus n)).Area.clock_mhz in
+  Alcotest.(check (float 0.001)) "1 vs 4 ALUs" (c 1) (c 4);
+  Alcotest.(check (float 0.01)) "41.8 MHz" 41.8 (c 4)
+
+let test_register_file_in_bram () =
+  (* "increasing the size of the register file has negligible effects on
+     number of slices" — but it does take more block RAM. *)
+  let small = Area.estimate Config.default in
+  let big =
+    Area.estimate
+      (Config.validate_exn
+         { Config.default with Config.n_gprs = 128; dst_bits = 7; issue_width = 3 })
+  in
+  Alcotest.(check bool) "more BRAM" true (big.Area.brams >= small.Area.brams);
+  let slice_growth = abs (big.Area.slices - small.Area.slices) in
+  Alcotest.(check bool) "slices nearly flat" true
+    (float_of_int slice_growth /. float_of_int small.Area.slices < 0.15)
+
+let test_omitting_div_saves_slices () =
+  let base = Area.estimate Config.default in
+  let nodiv =
+    Area.estimate { Config.default with Config.alu_omit = [ Isa.DIV; Isa.REM ] }
+  in
+  let saved = base.Area.slices - nodiv.Area.slices in
+  Alcotest.(check bool) "saves real area" true (saved > 4 * 1000);
+  (* Four ALUs each drop the divider. *)
+  Alcotest.(check bool) "scaled by ALU count" true (saved >= 4 * 1200)
+
+let test_custom_op_costs_slices () =
+  let base = Area.estimate Config.default in
+  let rotr = Area.estimate (Config.add_custom Config.default "ROTR") in
+  Alcotest.(check bool) "ROTR adds area" true (rotr.Area.slices > base.Area.slices);
+  (* Cost applies per ALU. *)
+  Alcotest.(check int) "4 x 180 slices" (4 * 180) (rotr.Area.slices - base.Area.slices)
+
+let test_width_scaling () =
+  let w32 = Area.estimate Config.default in
+  let w16 = Area.estimate { Config.default with Config.width = 16 } in
+  Alcotest.(check bool) "narrow datapath smaller" true
+    (w16.Area.slices < w32.Area.slices);
+  Alcotest.(check bool) "roughly half" true
+    (float_of_int w16.Area.slices /. float_of_int w32.Area.slices < 0.65)
+
+let test_multipliers () =
+  Alcotest.(check int) "2 block mults per 32-bit ALU" 8
+    (Area.estimate Config.default).Area.multipliers;
+  Alcotest.(check int) "none without MPY" 0
+    (Area.estimate { Config.default with Config.alu_omit = [ Isa.MPY ] }).Area.multipliers
+
+let test_breakdown_sums () =
+  let r = Area.estimate Config.default in
+  let sum = List.fold_left (fun acc (_, s) -> acc + s) 0 r.Area.breakdown in
+  Alcotest.(check int) "breakdown adds up" r.Area.slices sum
+
+let prop_monotone_in_alus =
+  QCheck.Test.make ~name:"slices monotone in ALU count" ~count:50
+    QCheck.(int_range 1 7)
+    (fun n ->
+      (Area.estimate (Config.with_alus n)).Area.slices
+      < (Area.estimate (Config.with_alus (n + 1))).Area.slices)
+
+let suite =
+  [
+    Alcotest.test_case "paper calibration (E5)" `Quick test_paper_calibration;
+    Alcotest.test_case "~2600 slices per ALU" `Quick test_per_alu_increment;
+    Alcotest.test_case "clock flat in ALUs" `Quick test_clock_flat_in_alus;
+    Alcotest.test_case "register file in BRAM" `Quick test_register_file_in_bram;
+    Alcotest.test_case "omitting DIV saves slices" `Quick test_omitting_div_saves_slices;
+    Alcotest.test_case "custom op costs slices" `Quick test_custom_op_costs_slices;
+    Alcotest.test_case "width scaling" `Quick test_width_scaling;
+    Alcotest.test_case "block multipliers" `Quick test_multipliers;
+    Alcotest.test_case "breakdown sums" `Quick test_breakdown_sums;
+    QCheck_alcotest.to_alcotest prop_monotone_in_alus;
+  ]

@@ -1,0 +1,197 @@
+(* Assembler tests: text parse/print round-trips, label resolution to
+   bundle addresses, NOP padding, directive filtering, configuration
+   checking, and binary encode/decode of whole images. *)
+
+module Isa = Epic.Isa
+module Config = Epic.Config
+module A = Epic.Asm.Aunit
+module Text = Epic.Asm.Text
+
+let cfg = Config.default
+
+let sample_text =
+  ";; a handwritten program exercising every syntactic form\n\
+   .trimaran sim_trace on\n\
+   _start:\n\
+   { MOV r1, #4096 ; NOP }\n\
+   { PBRR b0, @main }\n\
+   { BRL r2, #0 }\n\
+   { HALT }\n\
+   main:\n\
+   { ADD r12, r4, #-7 ; CMPP.LTU p1, p2, r4, r5 ; LDW r13, r1, #8 }\n\
+   { STW r1, #2, r13 ; SUB r14, r12, r13 (p1) ; X.ROTR r15, r12, #3 }\n\
+   loop:\n\
+   { MPY r16, r14, r15 ; PBRR b1, @loop }\n\
+   { BRCT #1, #2 ; ABS r17, r16 }\n\
+   { MOV r3, r17 }\n\
+   { PBRR b2, r2 }\n\
+   { BRU #2 }\n"
+
+let test_parse_sample () =
+  let u = Text.of_string sample_text in
+  let labels = List.filter (function A.Ilabel _ -> true | _ -> false) u.A.items in
+  let bundles = List.filter (function A.Ibundle _ -> true | _ -> false) u.A.items in
+  let directives = List.filter (function A.Idirective _ -> true | _ -> false) u.A.items in
+  Alcotest.(check int) "labels" 3 (List.length labels);
+  Alcotest.(check int) "bundles" 11 (List.length bundles);
+  Alcotest.(check int) "directives" 1 (List.length directives)
+
+let test_text_roundtrip () =
+  let u = Text.of_string sample_text in
+  let printed = Text.to_string u in
+  let u' = Text.of_string printed in
+  Alcotest.(check bool) "roundtrip" true (u = u')
+
+let test_resolution () =
+  let u = Text.of_string sample_text in
+  let image = A.resolve cfg u in
+  Alcotest.(check int) "_start at bundle 0" 0 (List.assoc "_start" image.A.im_symbols);
+  Alcotest.(check int) "main at bundle 4" 4 (List.assoc "main" image.A.im_symbols);
+  Alcotest.(check int) "loop at bundle 6" 6 (List.assoc "loop" image.A.im_symbols);
+  (* PBRR b0, @main resolved to literal 4. *)
+  (match image.A.im_insts.(1 * 4) with
+   | { Isa.op = Isa.PBRR; src1 = Isa.Simm 4; _ } -> ()
+   | i -> Alcotest.failf "bad resolution: %s" (Format.asprintf "%a" Isa.pp_inst i));
+  Alcotest.(check int) "slots = bundles x width" (11 * 4)
+    (Array.length image.A.im_insts)
+
+let test_nop_padding () =
+  let u = Text.of_string "main:\n{ ADD r12, r4, r5 }\n{ NOP ; NOP ; NOP ; NOP }\n" in
+  let image = A.resolve cfg u in
+  (* 1 real op in bundle of 4 -> 3 pads; second bundle all nops. *)
+  Alcotest.(check int) "nop count" 7 (A.nop_count image)
+
+let test_errors () =
+  let expect_asm_error f =
+    match f () with
+    | exception A.Asm_error _ -> ()
+    | _ -> Alcotest.fail "expected Asm_error"
+  in
+  (* Bundle wider than the issue width. *)
+  expect_asm_error (fun () ->
+      A.resolve cfg
+        (Text.of_string "m:\n{ NOP ; NOP ; NOP ; NOP ; NOP }\n"));
+  (* Duplicate and undefined labels. *)
+  expect_asm_error (fun () ->
+      A.resolve cfg (Text.of_string "a:\n{ NOP }\na:\n{ NOP }\n"));
+  expect_asm_error (fun () ->
+      A.resolve cfg (Text.of_string "a:\n{ PBRR b0, @nowhere }\n"));
+  (* Configuration violations are caught at assembly. *)
+  expect_asm_error (fun () ->
+      ignore (Epic.Asm.assemble_text cfg "a:\n{ ADD r63, r62, r61 ; ADD r1, r1, #99999 }\n"));
+  expect_asm_error (fun () ->
+      ignore (Epic.Asm.assemble_text cfg "a:\n{ X.ROTR r12, r13, #1 }\n"))
+
+let test_text_parse_errors () =
+  let bad s =
+    match Text.of_string s with
+    | exception Text.Text_error _ -> ()
+    | _ -> Alcotest.failf "expected Text_error for %S" s
+  in
+  bad "{ FROB r1, r2, r3 }";
+  bad "{ ADD r1 }";
+  bad "{ ADD r1, r2, r3 ";
+  bad "just words";
+  bad "{ ADD rX, r2, r3 }"
+
+let test_directive_filtering () =
+  (* Directives are kept in the unit but occupy no code space — the
+     paper's assembler filters Trimaran simulator annotations. *)
+  let with_dir = Text.of_string ".sim poke 1\nm:\n{ NOP }\n" in
+  let without = Text.of_string "m:\n{ NOP }\n" in
+  let i1 = A.resolve cfg with_dir and i2 = A.resolve cfg without in
+  Alcotest.(check int) "same code size" (Array.length i2.A.im_insts)
+    (Array.length i1.A.im_insts)
+
+let test_assemble_encodes () =
+  let cfg_rotr = Config.add_custom cfg "ROTR" in
+  let image, words = Epic.Asm.assemble_text cfg_rotr sample_text in
+  Alcotest.(check int) "one word per slot" (Array.length image.A.im_insts)
+    (Array.length words);
+  (* Decoding the binary gives back exactly the resolved stream. *)
+  let table = Epic.Encoding.make_table cfg_rotr in
+  Array.iteri
+    (fun k w ->
+      let i = Epic.Encoding.decode table cfg_rotr w in
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d" k)
+        true
+        (Isa.equal_inst i image.A.im_insts.(k)))
+    words
+
+let test_issue_width_respected () =
+  let cfg2 = Config.validate_exn { cfg with Config.issue_width = 2 } in
+  let u = Text.of_string "m:\n{ ADD r12, r4, r5 ; SUB r13, r4, r5 }\n" in
+  let image = A.resolve cfg2 u in
+  Alcotest.(check int) "two slots" 2 (Array.length image.A.im_insts);
+  match A.resolve cfg2 (Text.of_string "m:\n{ NOP ; NOP ; NOP }\n") with
+  | exception A.Asm_error _ -> ()
+  | _ -> Alcotest.fail "3-op bundle must not fit issue width 2"
+
+(* Round-trip property over generated single-instruction bundles. *)
+let prop_print_parse =
+  let open QCheck in
+  let gen_inst =
+    Gen.oneof
+      [
+        Gen.map2
+          (fun (d, a) b -> A.simple Isa.ADD ~d1:(12 + d) ~s1:(A.Reg (12 + a)) ~s2:(A.Imm b) ())
+          Gen.(pair (int_bound 40) (int_bound 40))
+          Gen.(int_range (-16384) 16383);
+        Gen.map
+          (fun (d, g) ->
+            A.simple (Isa.LD Isa.M_half) ~d1:(12 + d) ~s1:(A.Reg 1) ~s2:(A.Imm 8)
+              ~g ())
+          Gen.(pair (int_bound 40) (int_bound 31));
+        Gen.map
+          (fun l -> A.simple Isa.PBRR ~d1:3 ~s1:(A.Lab (Printf.sprintf "L%d" l)) ())
+          Gen.(int_bound 99);
+        Gen.map
+          (fun (o, v) -> A.simple (Isa.ST Isa.M_word) ~d1:o ~s1:(A.Reg 1) ~s2:(A.Imm v) ())
+          Gen.(pair (int_bound 63) (int_bound 100));
+      ]
+  in
+  Test.make ~name:"assembly print/parse roundtrip" ~count:300
+    (make ~print:(fun i -> Format.asprintf "%a" Text.pp_inst i) gen_inst)
+    (fun i ->
+      let u = { A.items = [ A.Ibundle [ i ] ] } in
+      Text.of_string (Text.to_string u) = u)
+
+(* The printer/parser round-trips real compiler output, not just
+   hand-written samples: every scheduled benchmark unit survives
+   print -> parse -> resolve identically. *)
+let test_roundtrip_compiled_units () =
+  List.iter
+    (fun (bm : Epic.Workloads.Sources.benchmark) ->
+      let a =
+        Epic.Toolchain.compile_epic Config.default
+          ~source:bm.Epic.Workloads.Sources.bm_source ()
+      in
+      let u = a.Epic.Toolchain.ea_unit in
+      let u' = Text.of_string (Text.to_string u) in
+      Alcotest.(check bool)
+        (bm.Epic.Workloads.Sources.bm_name ^ " unit roundtrip")
+        true (u = u');
+      let image' = A.resolve cfg u' in
+      Alcotest.(check bool)
+        (bm.Epic.Workloads.Sources.bm_name ^ " image equal")
+        true
+        (Array.for_all2 Isa.equal_inst image'.A.im_insts
+           a.Epic.Toolchain.ea_image.A.im_insts))
+    (Epic.Workloads.Sources.all ~sha_bytes:64 ~aes_iters:1 ~dct_size:(8, 8)
+       ~dijkstra_nodes:6 ())
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "text roundtrip" `Quick test_text_roundtrip;
+    Alcotest.test_case "label resolution" `Quick test_resolution;
+    Alcotest.test_case "nop padding" `Quick test_nop_padding;
+    Alcotest.test_case "assembler errors" `Quick test_errors;
+    Alcotest.test_case "text parse errors" `Quick test_text_parse_errors;
+    Alcotest.test_case "directive filtering" `Quick test_directive_filtering;
+    Alcotest.test_case "assemble encodes faithfully" `Quick test_assemble_encodes;
+    Alcotest.test_case "issue width respected" `Quick test_issue_width_respected;
+    QCheck_alcotest.to_alcotest prop_print_parse;
+    Alcotest.test_case "compiled units roundtrip" `Quick test_roundtrip_compiled_units;
+  ]

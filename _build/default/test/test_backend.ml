@@ -1,0 +1,431 @@
+(* Backend integration tests: the EPIC pipeline (codegen -> regalloc ->
+   schedule -> assemble -> cycle simulation) and the ARM baseline, checked
+   against the MIR reference interpreter on a corpus of programs; plus
+   structural properties of the list scheduler and targeted simulator
+   unit tests driven by handwritten assembly. *)
+
+module Config = Epic.Config
+module Isa = Epic.Isa
+module T = Epic.Toolchain
+module Interp = Epic.Interp
+module Cfront = Epic.Cfront
+module A = Epic.Asm.Aunit
+module Text = Epic.Asm.Text
+
+(* Programs with interesting shapes; each returns a deterministic value. *)
+let corpus =
+  [
+    ("constant", "int main() { return 12345; }");
+    ("big constant", "int main() { return 0x12345678; }");
+    ("negative", "int main() { return -123456789; }");
+    ("arith", "int main() { return (7 * 9 - 4) / 3 % 11; }");
+    ("params", "int main(int x, int y) { return x * 10 + y; }");
+    ("loop", "int main() { int s = 0; for (int i = 0; i < 100; i++) s += i; return s; }");
+    ("nested loop",
+     "int main() { int s = 0; for (int i = 0; i < 12; i++)\n\
+      for (int j = 0; j < 12; j++) s += i * j; return s; }");
+    ("while break",
+     "int main() { int i = 0; while (1) { i += 3; if (i > 20) break; } return i; }");
+    ("diamond", "int main(int x, int y) { int r; if (x < y) r = x; else r = y; return r * 2; }");
+    ("calls",
+     "int sq(int v) { return v * v; }\n\
+      int main() { int s = 0; for (int i = 1; i <= 5; i++) s += sq(i); return s; }");
+    ("recursion",
+     "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n\
+      int main() { return fib(12); }");
+    ("deep recursion",
+     "int down(int n) { if (n == 0) return 0; return 1 + down(n - 1); }\n\
+      int main() { return down(200); }");
+    ("global array",
+     "int a[16];\n\
+      int main() { for (int i = 0; i < 16; i++) a[i] = i * i;\n\
+      int s = 0; for (int i = 0; i < 16; i++) s += a[i]; return s; }");
+    ("local array",
+     "int main() { int a[8]; for (int i = 0; i < 8; i++) a[i] = i + 1;\n\
+      int s = 0; for (int i = 0; i < 8; i++) s += a[7 - i] * i; return s; }");
+    ("byte memory",
+     "int a[4];\n\
+      int main() { a[0] = 0x11223344; a[1] = -2; return a[0] + a[1]; }");
+    ("shifts",
+     "int main(int x, int y) { return (x << 5) ^ __lsr(x, 7) ^ (x >> 3); }");
+    ("division",
+     "int main(int x, int y) { return x / y + x % y; }");
+    ("negative division",
+     "int main(int x, int y) { return (0 - x) / y + (0 - x) % y; }");
+    ("unsigned compare",
+     "int main() { return __ltu(-1, 1) * 10 + __ltu(1, -1); }");
+    ("minmax", "int main(int x, int y) { return __min(x, y) * 100 + __max(x, y); }");
+    ("short circuit",
+     "int g = 0;\n\
+      int bump() { g++; return 1; }\n\
+      int main(int x, int y) { if (x < y && bump()) g += 10; return g; }");
+    ("many args",
+     "int f(int a, int b, int c, int d) { return a + 2*b + 3*c + 4*d; }\n\
+      int main() { return f(1, 2, 3, 4); }");
+    ("spill pressure",
+     "int main(int x, int y) {\n\
+      \  int a = x + 1; int b = x + 2; int c = x + 3; int d = x + 4;\n\
+      \  int e = x + 5; int f = x + 6; int g = x + 7; int h = x + 8;\n\
+      \  int i = x + 9; int j = x + 10; int k = x + 11; int l = x + 12;\n\
+      \  int s = 0;\n\
+      \  for (int t = 0; t < 3; t++) s += a + b + c + d + e + f + g + h + i + j + k + l;\n\
+      \  return s + a * b + c * d + e * f + g * h + i * j + k * l;\n\
+      }");
+  ]
+
+let interp_ret ?(args = []) src =
+  (Interp.run ~args (Cfront.compile src) ~entry:"main").Interp.ret
+
+let epic_ret ?(cfg = Config.default) ?opt ?predication ?(args = []) src =
+  if args <> [] then Alcotest.fail "EPIC corpus runs take no args";
+  let a = T.compile_epic ?opt ?predication cfg ~source:src () in
+  (T.run_epic a).Epic.Sim.ret
+
+let arm_ret ?opt src =
+  let a = T.compile_arm ?opt ~source:src () in
+  (T.run_arm a).Epic.Arm.Sim.ret
+
+(* Parameters are baked in by wrapping main when needed. *)
+let bake src args =
+  match args with
+  | [] -> src
+  | [ x; y ] ->
+    (* rename main -> body, add a fresh main passing constants *)
+    let renamed = Str.global_replace (Str.regexp_string "int main(") "int body__(" src in
+    Printf.sprintf "%s\nint main() { return body__(%d, %d); }" renamed x y
+  | _ -> Alcotest.fail "bake supports 0 or 2 args"
+
+let arg_sets = [ []; [ 17; 5 ]; [ -9; 4 ]; [ 1000; -3 ] ]
+
+let test_epic_matches_interp () =
+  List.iter
+    (fun (name, src) ->
+      let wants_args =
+        try ignore (Str.search_forward (Str.regexp_string "int main(int") src 0); true
+        with Not_found -> false
+      in
+      let sets = if wants_args then List.filter (( <> ) []) arg_sets else [ [] ] in
+      List.iter
+        (fun args ->
+          let src = bake src args in
+          let expected = interp_ret src in
+          Alcotest.(check int) (name ^ " O1") expected (epic_ret src);
+          Alcotest.(check int) (name ^ " O0") expected (epic_ret ~opt:T.O0 src))
+        sets)
+    corpus
+
+let test_arm_matches_interp () =
+  List.iter
+    (fun (name, src) ->
+      let wants_args =
+        try ignore (Str.search_forward (Str.regexp_string "int main(int") src 0); true
+        with Not_found -> false
+      in
+      let sets = if wants_args then [ [ 17; 5 ]; [ -9; 4 ] ] else [ [] ] in
+      List.iter
+        (fun args ->
+          let src = bake src args in
+          let expected = interp_ret src in
+          Alcotest.(check int) (name ^ " ARM O1") expected (arm_ret src);
+          Alcotest.(check int) (name ^ " ARM O0") expected (arm_ret ~opt:T.O0 src))
+        sets)
+    corpus
+
+let test_epic_configs_agree () =
+  let src = bake (List.assoc "nested loop" corpus) [] in
+  let expected = interp_ret src in
+  (* ALU counts, issue widths, port budgets, predication, forwarding and
+     datapath parameters must never change results, only cycles. *)
+  let configs =
+    [ Config.with_alus 1; Config.with_alus 2; Config.with_alus 3;
+      { Config.default with Config.issue_width = 1 };
+      { Config.default with Config.issue_width = 2 };
+      { Config.default with Config.rf_port_budget = 4 };
+      { Config.default with Config.rf_port_budget = 3 };
+      { Config.default with Config.forwarding = false };
+      { Config.default with Config.n_gprs = 24 };
+      { Config.default with Config.n_preds = 8 };
+      { Config.default with Config.n_btrs = 2 };
+      { Config.default with Config.n_gprs = 32; n_preds = 4; n_btrs = 4 } ]
+  in
+  List.iter
+    (fun cfg ->
+      Alcotest.(check int) "config-independent result" expected
+        (epic_ret ~cfg:(Config.validate_exn cfg) src))
+    configs;
+  Alcotest.(check int) "no predication" expected (epic_ret ~predication:false src)
+
+let test_benchmarks_on_epic () =
+  List.iter
+    (fun (bm : Epic.Workloads.Sources.benchmark) ->
+      let st =
+        T.epic_cycles Config.default ~source:bm.Epic.Workloads.Sources.bm_source
+          ~expected:bm.Epic.Workloads.Sources.bm_expected ()
+      in
+      Alcotest.(check bool)
+        (bm.Epic.Workloads.Sources.bm_name ^ " runs")
+        true (st.Epic.Sim.cycles > 0))
+    (Epic.Workloads.Sources.all ~sha_bytes:64 ~aes_iters:1 ~dct_size:(8, 8)
+       ~dijkstra_nodes:6 ())
+
+let test_benchmarks_on_arm () =
+  List.iter
+    (fun (bm : Epic.Workloads.Sources.benchmark) ->
+      let st =
+        T.arm_cycles ~source:bm.Epic.Workloads.Sources.bm_source
+          ~expected:bm.Epic.Workloads.Sources.bm_expected ()
+      in
+      Alcotest.(check bool)
+        (bm.Epic.Workloads.Sources.bm_name ^ " runs")
+        true (st.Epic.Arm.Sim.cycles > 0))
+    (Epic.Workloads.Sources.all ~sha_bytes:64 ~aes_iters:1 ~dct_size:(8, 8)
+       ~dijkstra_nodes:6 ())
+
+let test_custom_op_end_to_end () =
+  let cfg = Config.add_custom Config.default "ROTR" in
+  let src = "int main() { return __x_rotr(0x80000001, 1); }" in
+  let a = T.compile_epic cfg ~source:src () in
+  Alcotest.(check int) "rotr" 0xC0000000 (T.run_epic a).Epic.Sim.ret
+
+let test_narrow_datapath () =
+  (* A 16-bit datapath computes modulo 2^16. *)
+  let cfg = Config.validate_exn { Config.default with Config.width = 16 } in
+  let src = "int main() { return 300 * 300; }" in
+  let a = T.compile_epic cfg ~source:src () in
+  Alcotest.(check int) "mod 2^16" (300 * 300 land 0xFFFF) (T.run_epic a).Epic.Sim.ret
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler structural properties *)
+
+let md = Epic.Mdes.of_config Config.default
+
+let reconstruct_cycles bundles =
+  List.concat (List.mapi (fun c insts -> List.map (fun i -> (c, i)) insts) bundles)
+
+let gen_block =
+  let open QCheck.Gen in
+  let reg = map (fun r -> 12 + r) (int_bound 10) in
+  let alu =
+    map2
+      (fun (d, a) b ->
+        A.simple Isa.ADD ~d1:d ~s1:(A.Reg a) ~s2:(A.Imm b) ())
+      (pair reg reg) (int_range (-100) 100)
+  in
+  let mul =
+    map2 (fun (d, a) b -> A.simple Isa.MPY ~d1:d ~s1:(A.Reg a) ~s2:(A.Reg b) ())
+      (pair reg reg) reg
+  in
+  let load =
+    map2 (fun d off -> A.simple (Isa.LD Isa.M_word) ~d1:d ~s1:(A.Reg 1) ~s2:(A.Imm (4 * off)) ())
+      reg (int_bound 20)
+  in
+  let store =
+    map2 (fun v off -> A.simple (Isa.ST Isa.M_word) ~d1:off ~s1:(A.Reg 1) ~s2:(A.Reg v) ())
+      reg (int_bound 20)
+  in
+  let cmp =
+    map2
+      (fun (a, b) () -> A.simple (Isa.CMPP Isa.C_lt) ~d1:1 ~d2:2 ~s1:(A.Reg a) ~s2:(A.Reg b) ())
+      (pair reg reg) (return ())
+  in
+  list_size (int_range 1 40) (frequency [ (5, alu); (2, mul); (2, load); (2, store); (1, cmp) ])
+
+let arb_block =
+  QCheck.make
+    ~print:(fun insts ->
+      String.concat "; " (List.map (Format.asprintf "%a" Text.pp_inst) insts))
+    gen_block
+
+let prop_schedule_preserves_instructions =
+  QCheck.Test.make ~name:"schedule preserves the instruction multiset" ~count:200
+    arb_block
+    (fun insts ->
+      let bundles = Epic.Sched.Sched.schedule_block md insts in
+      let flat = List.concat bundles in
+      List.sort compare flat = List.sort compare insts)
+
+let prop_schedule_respects_resources =
+  QCheck.Test.make ~name:"bundles respect unit counts and width" ~count:200
+    arb_block
+    (fun insts ->
+      let bundles = Epic.Sched.Sched.schedule_block md insts in
+      List.for_all
+        (fun bundle ->
+          let count u =
+            List.length
+              (List.filter (fun (i : A.inst) -> Isa.unit_of i.A.op = u) bundle)
+          in
+          List.length bundle <= 4
+          && count Isa.U_alu <= 4 && count Isa.U_lsu <= 1
+          && count Isa.U_cmpu <= 1 && count Isa.U_bru <= 1)
+        bundles)
+
+(* The scheduler compacts empty cycles (the simulator's scoreboard
+   interlock supplies any residual producer latency at the same cycle
+   cost), so the structural invariant is strict BUNDLE ordering: a RAW,
+   WAW or memory-ordered pair must never share a bundle or be reordered.
+   WAR pairs may share a bundle (register reads happen at issue). *)
+let prop_schedule_respects_dependences =
+  QCheck.Test.make ~name:"RAW/WAW/memory order respected" ~count:200
+    arb_block
+    (fun insts ->
+      let bundles = Epic.Sched.Sched.schedule_block md insts in
+      let placed = reconstruct_cycles bundles in
+      let cycle_of i = fst (List.find (fun (_, j) -> j == i) placed) in
+      let arr = Array.of_list insts in
+      let ok = ref true in
+      for x = 0 to Array.length arr - 1 do
+        for y = x + 1 to Array.length arr - 1 do
+          let a = A.to_isa_approx arr.(x) and b = A.to_isa_approx arr.(y) in
+          let ca = cycle_of arr.(x) and cb = cycle_of arr.(y) in
+          (* RAW *)
+          if List.exists (fun r -> List.mem r (Isa.reads b)) (Isa.writes a) then
+            if cb <= ca then ok := false;
+          (* WAW *)
+          if List.exists (fun r -> List.mem r (Isa.writes b)) (Isa.writes a) then
+            if cb <= ca then ok := false;
+          (* memory order: stores ordered with all memory ops *)
+          let mem i = Isa.is_load i.Isa.op || Isa.is_store i.Isa.op in
+          if (Isa.is_store a.Isa.op && mem b) || (mem a && Isa.is_store b.Isa.op)
+          then if cb <= ca then ok := false
+        done
+      done;
+      !ok)
+
+(* Differential property: random programs agree between the reference
+   interpreter, the EPIC backend and the ARM baseline. *)
+let prop_backends_agree =
+  QCheck.Test.make ~name:"EPIC and ARM agree with the interpreter" ~count:40
+    (QCheck.make
+       ~print:(fun (src, x, y) -> Printf.sprintf "x=%d y=%d\n%s" x y src)
+       QCheck.Gen.(triple Test_opt.gen_program (int_range (-500) 500) (int_range (-500) 500)))
+    (fun (src, x, y) ->
+      let baked =
+        Str.global_replace (Str.regexp_string "int main(") "int body__(" src
+        ^ Printf.sprintf "\nint main() { return body__(%d, %d); }" x y
+      in
+      let expected = interp_ret baked in
+      epic_ret baked = expected && arm_ret baked = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator unit tests via handwritten assembly *)
+
+let run_asm ?(cfg = Config.default) text =
+  let image, _words = Epic.Asm.assemble_text cfg text in
+  let mem = Bytes.make 65536 '\000' in
+  Epic.Sim.run cfg ~image ~mem ()
+
+let test_sim_halt_return () =
+  let r = run_asm "_start:\n{ MOV r3, #42 }\n{ HALT }\n" in
+  Alcotest.(check int) "returns r3" 42 r.Epic.Sim.ret;
+  Alcotest.(check int) "two bundles" 2 r.Epic.Sim.stats.Epic.Sim.bundles
+
+let test_sim_branch_and_link () =
+  let r =
+    run_asm
+      "_start:\n\
+       { PBRR b0, @f }\n\
+       { BRL r2, #0 }\n\
+       { ADD r3, r12, #1 }\n\
+       { HALT }\n\
+       f:\n\
+       { MOV r12, #10 }\n\
+       { PBRR b1, r2 }\n\
+       { BRU #1 }\n"
+  in
+  Alcotest.(check int) "call/return flow" 11 r.Epic.Sim.ret
+
+let test_sim_predication () =
+  let r =
+    run_asm
+      "_start:\n\
+       { CMPP.LT p1, p2, #3, #5 }\n\
+       { MOV r3, #100 (p2) ; MOV r12, #0 }\n\
+       { MOV r3, #7 (p1) }\n\
+       { HALT }\n"
+  in
+  Alcotest.(check int) "true-guard move wins" 7 r.Epic.Sim.ret;
+  Alcotest.(check int) "one squashed" 1 r.Epic.Sim.stats.Epic.Sim.squashed
+
+let test_sim_memory_big_endian () =
+  (* 0x11223344 does not fit a literal; build it with shifts. *)
+  let r =
+    run_asm
+      "_start:\n\
+       { MOV r12, #4096 ; MOV r13, #0x1122 }\n\
+       { SHL r13, r13, #16 }\n\
+       { OR r13, r13, #0x3344 }\n\
+       { STW r12, #0, r13 }\n\
+       { LDUB r3, r12, #0 }\n\
+       { HALT }\n"
+  in
+  Alcotest.(check int) "MSB first in memory" 0x11 r.Epic.Sim.ret
+
+let test_sim_load_latency_interlock () =
+  (* Using a load result immediately stalls one cycle (latency 2). *)
+  let r =
+    run_asm
+      "_start:\n\
+       { MOV r12, #4096 ; MOV r13, #77 }\n\
+       { STW r12, #0, r13 }\n\
+       { LDW r14, r12, #0 }\n\
+       { ADD r3, r14, #0 }\n\
+       { HALT }\n"
+  in
+  Alcotest.(check int) "value flows" 77 r.Epic.Sim.ret;
+  Alcotest.(check bool) "stalled at least once" true
+    (r.Epic.Sim.stats.Epic.Sim.operand_stalls >= 1)
+
+let test_sim_taken_branch_bubble () =
+  let r =
+    run_asm
+      "_start:\n\
+       { PBRR b0, @t }\n\
+       { BRU #0 }\n\
+       { MOV r3, #1 }\n\
+       t:\n\
+       { MOV r3, #2 }\n\
+       { HALT }\n"
+  in
+  Alcotest.(check int) "skipped fallthrough" 2 r.Epic.Sim.ret;
+  Alcotest.(check int) "one bubble" 1 r.Epic.Sim.stats.Epic.Sim.branch_bubbles
+
+let test_sim_port_budget () =
+  (* Four 3-port ALU ops in one bundle = 12 port ops > 8: one stall. *)
+  let cfg = Config.default in
+  let r =
+    run_asm ~cfg
+      "_start:\n\
+       { ADD r12, r13, r14 ; ADD r15, r16, r17 ; ADD r18, r19, r20 ; ADD r21, r22, r23 }\n\
+       { HALT }\n"
+  in
+  Alcotest.(check int) "port stall" 1 r.Epic.Sim.stats.Epic.Sim.port_stalls
+
+let test_sim_r0_hardwired () =
+  let r =
+    run_asm "_start:\n{ MOV r0, #99 }\n{ ADD r3, r0, #1 }\n{ HALT }\n"
+  in
+  Alcotest.(check int) "r0 stays zero" 1 r.Epic.Sim.ret
+
+let suite =
+  [
+    Alcotest.test_case "EPIC matches interpreter (corpus)" `Quick test_epic_matches_interp;
+    Alcotest.test_case "ARM matches interpreter (corpus)" `Quick test_arm_matches_interp;
+    Alcotest.test_case "EPIC configs agree" `Quick test_epic_configs_agree;
+    Alcotest.test_case "benchmarks on EPIC" `Quick test_benchmarks_on_epic;
+    Alcotest.test_case "benchmarks on ARM" `Quick test_benchmarks_on_arm;
+    Alcotest.test_case "custom op end-to-end" `Quick test_custom_op_end_to_end;
+    Alcotest.test_case "16-bit datapath" `Quick test_narrow_datapath;
+    QCheck_alcotest.to_alcotest prop_schedule_preserves_instructions;
+    QCheck_alcotest.to_alcotest prop_schedule_respects_resources;
+    QCheck_alcotest.to_alcotest prop_schedule_respects_dependences;
+    QCheck_alcotest.to_alcotest prop_backends_agree;
+    Alcotest.test_case "sim: halt" `Quick test_sim_halt_return;
+    Alcotest.test_case "sim: branch and link" `Quick test_sim_branch_and_link;
+    Alcotest.test_case "sim: predication" `Quick test_sim_predication;
+    Alcotest.test_case "sim: big-endian memory" `Quick test_sim_memory_big_endian;
+    Alcotest.test_case "sim: load interlock" `Quick test_sim_load_latency_interlock;
+    Alcotest.test_case "sim: branch bubble" `Quick test_sim_taken_branch_bubble;
+    Alcotest.test_case "sim: port budget" `Quick test_sim_port_budget;
+    Alcotest.test_case "sim: r0 hardwired" `Quick test_sim_r0_hardwired;
+  ]

@@ -1,0 +1,238 @@
+(* Front-end tests: EPIC-C programs are compiled to MIR and executed with
+   the reference interpreter; results are compared against the C semantics
+   computed by hand (or by OCaml). *)
+
+module Cfront = Epic.Cfront
+module Interp = Epic.Interp
+module Ir = Epic.Ir
+
+let run ?args src =
+  let p = Cfront.compile src in
+  (match Ir.validate_program p with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "invalid MIR: %s" m);
+  (Interp.run ?args p ~entry:"main").Interp.ret
+
+let check_run name expected ?args src =
+  Alcotest.(check int) name (expected land 0xFFFFFFFF) (run ?args src)
+
+let expect_error src =
+  match Cfront.compile src with
+  | exception Cfront.Error _ -> ()
+  | _ -> Alcotest.fail "expected a front-end error"
+
+let test_return_constant () =
+  check_run "42" 42 "int main() { return 42; }";
+  check_run "hex" 0xABCD "int main() { return 0xABCD; }";
+  check_run "char" 65 "int main() { return 'A'; }";
+  check_run "escape" 10 "int main() { return '\\n'; }";
+  check_run "negative" (-7) "int main() { return -7; }";
+  check_run "void return" 0 "int main() { return; }";
+  check_run "fallthrough" 0 "int main() { int x; x = 3; }"
+
+let test_arithmetic () =
+  check_run "prec" 14 "int main() { return 2 + 3 * 4; }";
+  check_run "paren" 20 "int main() { return (2 + 3) * 4; }";
+  check_run "div" 3 "int main() { return 10 / 3; }";
+  check_run "rem" 1 "int main() { return 10 % 3; }";
+  check_run "neg div" (-3) "int main() { return -10 / 3; }";
+  check_run "bitops" (0b1100 lxor 0b1010) "int main() { return 12 ^ 10; }";
+  check_run "and or" 0b1110 "int main() { return (12 & 10) | (12 ^ 10); }";
+  check_run "shl" 40 "int main() { return 5 << 3; }";
+  check_run "shr arith" (-1) "int main() { return -1 >> 4; }";
+  check_run "lsr intrinsic" 0x0FFFFFFF "int main() { return __lsr(-1, 4); }";
+  check_run "asr intrinsic" (-1) "int main() { return __asr(-1, 4); }";
+  check_run "min" 3 "int main() { return __min(7, 3); }";
+  check_run "max" 7 "int main() { return __max(7, 3); }";
+  check_run "min negative" (-7) "int main() { return __min(-7, 3); }";
+  check_run "unary not" (-13) "int main() { return ~12; }";
+  check_run "logical not" 1 "int main() { return !0; }";
+  check_run "logical not nonzero" 0 "int main() { return !42; }";
+  check_run "wrap add" 0 "int main() { return 0x7FFFFFFF + 0x7FFFFFFF + 2; }"
+
+let test_comparisons () =
+  check_run "lt" 1 "int main() { return 3 < 4; }";
+  check_run "ge" 0 "int main() { return 3 >= 4; }";
+  check_run "eq" 1 "int main() { return 5 == 5; }";
+  check_run "signed compare" 1 "int main() { return -1 < 1; }";
+  check_run "cmp in arith" 11 "int main() { return 10 + (3 < 4); }"
+
+let test_short_circuit () =
+  check_run "and both" 1 "int main() { return 1 && 2; }";
+  check_run "and first false" 0 "int main() { return 0 && 1; }";
+  check_run "or" 1 "int main() { return 0 || 3; }";
+  (* Short-circuiting must not evaluate the second operand. *)
+  check_run "no div by zero" 0
+    "int g = 0;\n\
+     int boom() { g = g / g; return 1; }\n\
+     int main() { return 0 && boom(); }";
+  check_run "ternary" 10 "int main() { return 1 ? 10 : 20; }";
+  check_run "ternary false" 20 "int main() { return 0 ? 10 : 20; }";
+  check_run "nested ternary" 3 "int main() { int x; x = 7; return x < 5 ? 1 : x < 10 ? 3 : 5; }"
+
+let test_control_flow () =
+  check_run "if" 1 "int main() { if (3 < 4) return 1; return 2; }";
+  check_run "if else" 2 "int main() { if (4 < 3) return 1; else return 2; }";
+  check_run "while sum" 55
+    "int main() { int s; int i; s = 0; i = 1; while (i <= 10) { s += i; i++; } return s; }";
+  check_run "for sum" 55 "int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }";
+  check_run "do while" 1 "int main() { int i = 0; do { i++; } while (i < 1); return i; }";
+  check_run "break" 5 "int main() { int i; for (i = 0; i < 10; i++) { if (i == 5) break; } return i; }";
+  check_run "continue" 25
+    "int main() { int s = 0; for (int i = 0; i < 10; i++) { if (i % 2 == 0) continue; s += i; } return s; }";
+  check_run "nested loops" 100
+    "int main() { int s = 0; for (int i = 0; i < 10; i++) for (int j = 0; j < 10; j++) s++; return s; }";
+  check_run "infinite for with break" 7
+    "int main() { int i = 0; for (;;) { i++; if (i == 7) break; } return i; }"
+
+let test_functions () =
+  check_run "call" 7 "int add(int a, int b) { return a + b; } int main() { return add(3, 4); }";
+  check_run "recursion" 120
+    "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }\n\
+     int main() { return fact(5); }";
+  check_run "fib" 55
+    "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+     int main() { return fib(10); }";
+  (* Mutual recursion works without prototypes: all functions are in
+     scope for the whole program. *)
+  check_run "mutual" 1
+    "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }\n\
+     int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }\n\
+     int main() { return is_odd(7); }";
+  check_run "void function" 5
+    "int g = 0;\n\
+     void bump(int n) { g += n; }\n\
+     int main() { bump(2); bump(3); return g; }"
+
+let test_globals () =
+  check_run "global scalar" 12 "int g = 5; int main() { g = g + 7; return g; }";
+  check_run "global default zero" 0 "int g; int main() { return g; }";
+  check_run "global array" 6
+    "int a[3] = { 1, 2, 3 };\n\
+     int main() { return a[0] + a[1] + a[2]; }";
+  check_run "global array write" 99
+    "int a[10];\n\
+     int main() { a[5] = 99; return a[5]; }";
+  check_run "array zero fill" 3
+    "int a[4] = { 1, 2 };\n\
+     int main() { return a[0] + a[1] + a[2] + a[3]; }";
+  check_run "negative initialiser" (-5) "int g = -5; int main() { return g; }"
+
+let test_local_arrays () =
+  check_run "local array" 10
+    "int main() { int a[4]; a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;\n\
+     return a[0] + a[1] + a[2] + a[3]; }";
+  check_run "array param" 6
+    "int sum(int a[], int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }\n\
+     int main() { int a[3]; a[0] = 1; a[1] = 2; a[2] = 3; return sum(a, 3); }";
+  check_run "two frames" 30
+    "int fill(int a[], int n, int v) { for (int i = 0; i < n; i++) a[i] = v; return 0; }\n\
+     int sum(int a[], int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }\n\
+     int main() { int x[5]; int y[5]; fill(x, 5, 2); fill(y, 5, 4); return sum(x, 5) + sum(y, 5); }"
+
+let test_compound_assign () =
+  check_run "+=" 15 "int main() { int x = 10; x += 5; return x; }";
+  check_run "<<=" 40 "int main() { int x = 5; x <<= 3; return x; }";
+  check_run "array +=" 7 "int a[2]; int main() { a[1] = 3; a[1] += 4; return a[1]; }";
+  check_run "global -=" 3 "int g = 10; int main() { g -= 7; return g; }";
+  check_run "++ stmt" 6 "int main() { int i = 5; i++; return i; }";
+  check_run "prefix ++" 6 "int main() { int i = 5; ++i; return i; }";
+  check_run "-- stmt" 4 "int main() { int i = 5; i--; return i; }"
+
+let test_scoping () =
+  check_run "shadowing" 5
+    "int main() { int x = 5; { int x = 9; x = 10; } return x; }";
+  check_run "for scope" 3
+    "int main() { int i = 3; for (int i = 0; i < 10; i++) { } return i; }"
+
+let test_args () =
+  check_run "main with args" 30 ~args:[ 10; 20 ]
+    "int main(int a, int b) { return a + b; }"
+
+let test_custom_intrinsic () =
+  let p = Cfront.compile "int main() { return __x_rotr(0x80000001, 1); }" in
+  let custom name a b =
+    Alcotest.(check string) "custom name" "ROTR" name;
+    ((a lsr b) lor (a lsl (32 - b))) land 0xFFFFFFFF
+  in
+  Alcotest.(check int) "rotr" 0xC0000000 (Interp.run ~custom p ~entry:"main").Interp.ret
+
+let test_errors () =
+  expect_error "int main() { return x; }";
+  expect_error "int main() { foo(); }";
+  expect_error "int main() { return 1 +; }";
+  expect_error "int main() { if (1) }";
+  expect_error "int f(int a, int a) { return a; }";
+  expect_error "int g; int g; int main() { return 0; }";
+  expect_error "int f() { return 0; } int f() { return 1; } int main() { return 0; }";
+  expect_error "int main() { break; }";
+  expect_error "int main() { continue; }";
+  expect_error "int a[2]; int main() { a = 3; return 0; }";
+  expect_error "int main() { int x; return x[0]; }";
+  expect_error "int f(int a) { return a; } int main() { return f(1, 2); }";
+  expect_error "int main() { return __lsr(1); }";
+  expect_error "int a[-1]; int main() { return 0; }" |> ignore;
+  expect_error "int main() { int a[0]; return 0; }";
+  expect_error "int a[2] = {1,2,3}; int main() { return 0; }";
+  expect_error "int main() { return 1 } ";
+  expect_error "int main() { /* unterminated"
+
+let test_comments_and_format () =
+  check_run "comments" 3
+    "// leading comment\n\
+     int main() { /* block\n comment */ return 3; // trailing\n }"
+
+(* Property: sum of a PRNG-filled array computed by a compiled loop matches
+   OCaml's fold. *)
+let prop_array_sum =
+  QCheck.Test.make ~name:"compiled array sum matches OCaml" ~count:30
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_range (-10000) 10000))
+    (fun xs ->
+      let n = List.length xs in
+      let inits = String.concat ", " (List.map string_of_int xs) in
+      let src =
+        Printf.sprintf
+          "int a[%d] = { %s };\n\
+           int main() { int s = 0; for (int i = 0; i < %d; i++) s += a[i]; return s; }"
+          n inits n
+      in
+      run src = List.fold_left ( + ) 0 xs land 0xFFFFFFFF)
+
+(* Property: expression evaluation matches OCaml for a random arithmetic
+   expression over two variables (restricted to total operations). *)
+let prop_expr_eval =
+  let open QCheck in
+  Test.make ~name:"expression semantics match OCaml" ~count:200
+    (triple (int_range (-1000) 1000) (int_range (-1000) 1000) (int_bound 5))
+    (fun (x, y, k) ->
+      let exprs =
+        [| ("x + y * 3", fun x y -> x + (y * 3));
+           ("(x ^ y) & 0xFF", fun x y -> (x lxor y) land 0xFF);
+           ("x - (y << 2)", fun x y -> x - (y lsl 2));
+           ("(x > y) + (x < y)", fun x y -> (if x > y then 1 else 0) + if x < y then 1 else 0);
+           ("__max(x, y) - __min(x, y)", fun x y -> max x y - min x y);
+           ("x * y + (x % 7) * (y % 5)", fun x y -> (x * y) + (x mod 7 * (y mod 5))) |]
+      in
+      let text, f = exprs.(k) in
+      let src = Printf.sprintf "int main(int x, int y) { return %s; }" text in
+      run ~args:[ x land 0xFFFFFFFF; y land 0xFFFFFFFF ] src = f x y land 0xFFFFFFFF)
+
+let suite =
+  [
+    Alcotest.test_case "return constants" `Quick test_return_constant;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "short-circuit and ternary" `Quick test_short_circuit;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "local arrays" `Quick test_local_arrays;
+    Alcotest.test_case "compound assignment" `Quick test_compound_assign;
+    Alcotest.test_case "scoping" `Quick test_scoping;
+    Alcotest.test_case "main arguments" `Quick test_args;
+    Alcotest.test_case "custom intrinsic" `Quick test_custom_intrinsic;
+    Alcotest.test_case "front-end errors" `Quick test_errors;
+    Alcotest.test_case "comments" `Quick test_comments_and_format;
+    QCheck_alcotest.to_alcotest prop_array_sum;
+    QCheck_alcotest.to_alcotest prop_expr_eval;
+  ]

@@ -1,0 +1,189 @@
+(* Tests for the configuration header: defaults, validation against the
+   instruction format, and the custom-operation registry. *)
+
+module Config = Epic.Config
+module Isa = Epic.Isa
+
+let ok cfg =
+  match Config.validate cfg with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "expected valid config, got: %s" m
+
+let bad ?substring cfg =
+  match Config.validate cfg with
+  | Ok () -> Alcotest.fail "expected invalid config"
+  | Error m ->
+    (match substring with
+     | Some s ->
+       let contains hay needle =
+         let lh = String.length hay and ln = String.length needle in
+         let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+         go 0
+       in
+       if not (contains m s) then
+         Alcotest.failf "error %S does not mention %S" m s
+     | None -> ())
+
+let test_default_matches_paper () =
+  let c = Config.default in
+  Alcotest.(check int) "4 ALUs" 4 c.Config.n_alus;
+  Alcotest.(check int) "64 GPRs" 64 c.Config.n_gprs;
+  Alcotest.(check int) "32 predicate registers" 32 c.Config.n_preds;
+  Alcotest.(check int) "16 branch target registers" 16 c.Config.n_btrs;
+  Alcotest.(check int) "4-issue" 4 c.Config.issue_width;
+  Alcotest.(check int) "32-bit datapath" 32 c.Config.width;
+  Alcotest.(check int) "64-bit instructions" 64 (Config.inst_bits c);
+  Alcotest.(check (float 0.001)) "41.8 MHz" 41.8 c.Config.clock_mhz;
+  Alcotest.(check int) "8 register-file ops per cycle" 8 c.Config.rf_port_budget;
+  ok c
+
+let test_alu_sweep_valid () = List.iter (fun n -> ok (Config.with_alus n)) [ 1; 2; 3; 4; 8 ]
+
+let test_format_limits () =
+  (* 64 registers is the maximum for a 6-bit destination field (paper
+     Section 3.3: exceeding it requires re-designing the format). *)
+  bad ~substring:"re-design" { Config.default with Config.n_gprs = 65 };
+  (* Enlarging the field makes the same register count valid, but the wider
+     instruction then costs fetch bandwidth: 4-issue no longer fits 4 banks. *)
+  bad ~substring:"issue"
+    { Config.default with Config.n_gprs = 128; dst_bits = 7 };
+  ok { Config.default with Config.n_gprs = 128; dst_bits = 7; issue_width = 3 };
+  bad { Config.default with Config.n_preds = 64 };
+  ok { Config.default with Config.n_preds = 64; pred_bits = 6; issue_width = 3 };
+  bad { Config.default with Config.n_btrs = 100 };
+  bad ~substring:"issue" { Config.default with Config.issue_width = 5 };
+  (* More banks buy more issue width (bandwidth constraint). *)
+  ok { Config.default with Config.issue_width = 5; mem_banks = 8 };
+  bad { Config.default with Config.width = 4 };
+  bad { Config.default with Config.width = 64 };
+  bad { Config.default with Config.n_alus = 0 };
+  bad { Config.default with Config.regs_per_inst = 1 };
+  bad { Config.default with Config.regs_per_inst = 5 };
+  bad ~substring:"ALU-class" { Config.default with Config.alu_omit = [ Isa.PBRR ] };
+  ok { Config.default with Config.alu_omit = [ Isa.DIV; Isa.REM ] }
+
+let test_validate_exn () =
+  ignore (Config.validate_exn Config.default);
+  Alcotest.check_raises "invalid raises"
+    (Invalid_argument "Epic_config: n_alus must be >= 1 (got 0)")
+    (fun () -> ignore (Config.validate_exn { Config.default with Config.n_alus = 0 }))
+
+let test_registry () =
+  List.iter
+    (fun name ->
+      match Config.registry_find name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "registry is missing %s" name)
+    [ "ROTR"; "ROTL"; "BSWAP"; "POPCNT"; "CLZ"; "SATADD" ];
+  Alcotest.(check bool) "unknown not found" true (Config.registry_find "FROB" = None)
+
+let test_custom_semantics () =
+  let cfg = Config.add_custom Config.default "ROTR" in
+  let cfg = Config.add_custom cfg "BSWAP" in
+  let cfg = Config.add_custom cfg "POPCNT" in
+  let cfg = Config.add_custom cfg "CLZ" in
+  let cfg = Config.add_custom cfg "SATADD" in
+  let cfg = Config.add_custom cfg "ROTL" in
+  let e name a b = Config.custom_eval cfg name a b in
+  Alcotest.(check int) "rotr" 0x80000000 (e "ROTR" 1 1);
+  Alcotest.(check int) "rotr 0" 0xDEADBEEF (e "ROTR" 0xDEADBEEF 0);
+  Alcotest.(check int) "rotr full" 0xDEADBEEF (e "ROTR" 0xDEADBEEF 32);
+  Alcotest.(check int) "rotl" 1 (e "ROTL" 0x80000000 1);
+  Alcotest.(check int) "rotl inverse of rotr" 0x12345678 (e "ROTL" (e "ROTR" 0x12345678 7) 7);
+  Alcotest.(check int) "bswap" 0x78563412 (e "BSWAP" 0x12345678 0);
+  Alcotest.(check int) "popcnt" 32 (e "POPCNT" 0xFFFFFFFF 0);
+  Alcotest.(check int) "popcnt 0" 0 (e "POPCNT" 0 0);
+  Alcotest.(check int) "clz of 1" 31 (e "CLZ" 1 0);
+  Alcotest.(check int) "clz of 0" 32 (e "CLZ" 0 0);
+  Alcotest.(check int) "clz of msb" 0 (e "CLZ" 0x80000000 0);
+  Alcotest.(check int) "satadd saturates" 0x7FFFFFFF (e "SATADD" 0x7FFFFFFF 1);
+  Alcotest.(check int) "satadd negative saturates" 0x80000000
+    (e "SATADD" 0x80000000 0xFFFFFFFF);
+  Alcotest.(check int) "satadd normal" 5 (e "SATADD" 2 3)
+
+let test_add_custom () =
+  let cfg = Config.add_custom Config.default "ROTR" in
+  Alcotest.(check bool) "present" true (Config.find_custom cfg "ROTR" <> None);
+  Alcotest.(check bool) "supported" true (Config.op_supported cfg (Isa.CUSTOM "ROTR"));
+  Alcotest.(check bool) "other not supported" false
+    (Config.op_supported cfg (Isa.CUSTOM "ROTL"));
+  (* Idempotent. *)
+  let cfg2 = Config.add_custom cfg "ROTR" in
+  Alcotest.(check int) "no duplicate" 1 (List.length cfg2.Config.custom_ops);
+  Alcotest.check_raises "unknown raises"
+    (Invalid_argument "Epic_config.add_custom: unknown custom op FROB")
+    (fun () -> ignore (Config.add_custom cfg "FROB"))
+
+let test_op_supported_omit () =
+  let cfg = { Config.default with Config.alu_omit = [ Isa.DIV; Isa.REM ] } in
+  Alcotest.(check bool) "div omitted" false (Config.op_supported cfg Isa.DIV);
+  Alcotest.(check bool) "rem omitted" false (Config.op_supported cfg Isa.REM);
+  Alcotest.(check bool) "add still there" true (Config.op_supported cfg Isa.ADD)
+
+let test_latency_override () =
+  let cfg = Config.add_custom Config.default "ROTR" in
+  Alcotest.(check int) "custom latency from registry" 1
+    (Config.latency cfg (Isa.CUSTOM "ROTR"));
+  Alcotest.(check int) "base latency" (Isa.default_latency Isa.MPY)
+    (Config.latency cfg Isa.MPY)
+
+let test_latency_overrides () =
+  let cfg =
+    Config.validate_exn
+      { Config.default with Config.lat_overrides = [ (Isa.MPY, 6); (Isa.ADD, 2) ] }
+  in
+  Alcotest.(check int) "MPY override" 6 (Config.latency cfg Isa.MPY);
+  Alcotest.(check int) "ADD override" 2 (Config.latency cfg Isa.ADD);
+  Alcotest.(check int) "others default" (Isa.default_latency Isa.SUB)
+    (Config.latency cfg Isa.SUB);
+  (* Overrides flow into the machine description and must be positive. *)
+  bad { Config.default with Config.lat_overrides = [ (Isa.MPY, 0) ] }
+
+let test_equal () =
+  Alcotest.(check bool) "reflexive" true (Config.equal Config.default Config.default);
+  Alcotest.(check bool) "alus differ" false
+    (Config.equal Config.default (Config.with_alus 2));
+  let a = Config.add_custom Config.default "ROTR" in
+  let b = Config.add_custom Config.default "ROTR" in
+  Alcotest.(check bool) "same customs equal" true (Config.equal a b);
+  Alcotest.(check bool) "custom vs none differ" false (Config.equal a Config.default)
+
+let prop_rotr_rotl_inverse =
+  QCheck.Test.make ~name:"ROTL inverts ROTR for any width" ~count:300
+    QCheck.(triple (int_range 8 32) (int_bound 0xFFFFFF) (int_bound 64))
+    (fun (w, v, n) ->
+      match (Config.registry_find "ROTR", Config.registry_find "ROTL") with
+      | Some rotr, Some rotl ->
+        let v = v land ((1 lsl w) - 1) in
+        rotl.Config.cop_semantics ~width:w
+          (rotr.Config.cop_semantics ~width:w v n)
+          n
+        = v
+      | _ -> false)
+
+let prop_popcnt_bound =
+  QCheck.Test.make ~name:"POPCNT result within width" ~count:300
+    QCheck.(pair (int_range 1 32) (int_bound max_int))
+    (fun (w, v) ->
+      match Config.registry_find "POPCNT" with
+      | Some c ->
+        let r = c.Config.cop_semantics ~width:w (v land ((1 lsl w) - 1)) 0 in
+        r >= 0 && r <= w
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "default matches paper" `Quick test_default_matches_paper;
+    Alcotest.test_case "1-4 ALU presets valid" `Quick test_alu_sweep_valid;
+    Alcotest.test_case "instruction-format limits" `Quick test_format_limits;
+    Alcotest.test_case "validate_exn" `Quick test_validate_exn;
+    Alcotest.test_case "registry contents" `Quick test_registry;
+    Alcotest.test_case "custom semantics" `Quick test_custom_semantics;
+    Alcotest.test_case "add_custom" `Quick test_add_custom;
+    Alcotest.test_case "ALU functionality omission" `Quick test_op_supported_omit;
+    Alcotest.test_case "latency lookup" `Quick test_latency_override;
+    Alcotest.test_case "latency overrides" `Quick test_latency_overrides;
+    Alcotest.test_case "config equality" `Quick test_equal;
+    QCheck_alcotest.to_alcotest prop_rotr_rotl_inverse;
+    QCheck_alcotest.to_alcotest prop_popcnt_bound;
+  ]

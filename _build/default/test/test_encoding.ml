@@ -1,0 +1,242 @@
+(* Tests for the binary instruction format: field layout, the
+   Hamming-distance opcode-numbering property, range checking, and
+   encode/decode round-trips (unit + property-based). *)
+
+module Isa = Epic.Isa
+module Config = Epic.Config
+module Enc = Epic.Encoding
+
+let cfg = Config.default
+let table = Enc.make_table cfg
+
+let test_nop_is_zero () =
+  Alcotest.(check int64) "all-zero word is NOP" 0L (Enc.encode table cfg Isa.nop);
+  Alcotest.(check bool) "decodes back" true
+    (Isa.equal_inst Isa.nop (Enc.decode table cfg 0L))
+
+let test_all_opcodes_numbered () =
+  List.iter
+    (fun op ->
+      match Enc.code_of_opcode table op with
+      | Some c ->
+        (match Enc.opcode_of_code table c with
+         | Some op' ->
+           Alcotest.(check bool) (Isa.string_of_opcode op) true (Isa.equal_opcode op op')
+         | None -> Alcotest.failf "code of %s not decodable" (Isa.string_of_opcode op))
+      | None -> Alcotest.failf "%s unnumbered" (Isa.string_of_opcode op))
+    Isa.all_base_opcodes
+
+let test_codes_distinct () =
+  let codes = List.map snd (Enc.all_codes table) in
+  Alcotest.(check int) "no duplicate codes"
+    (List.length codes)
+    (List.length (List.sort_uniq compare codes))
+
+let popcount v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+(* Paper Section 3.1: the opcode is designed to minimise the Hamming
+   distance between two instructions of the same type.  With class tags in
+   the top bits, same-unit opcodes never differ in the tag bits. *)
+let test_hamming_clustering () =
+  let tag_bits code = code lsr (cfg.Config.opcode_bits - 2) in
+  let pairs = Enc.all_codes table in
+  List.iter
+    (fun (op1, c1) ->
+      List.iter
+        (fun (op2, c2) ->
+          if Isa.unit_of op1 = Isa.unit_of op2 && Isa.unit_of op1 <> Isa.U_none then
+            Alcotest.(check int)
+              (Printf.sprintf "%s / %s same class tag" (Isa.string_of_opcode op1)
+                 (Isa.string_of_opcode op2))
+              (tag_bits c1) (tag_bits c2))
+        pairs)
+    pairs;
+  (* And intra-class distances are bounded by the bits needed to number the
+     largest class (5 for the ~19-op ALU class), not by the full 15-bit
+     opcode width. *)
+  let max_intra = ref 0 in
+  List.iter
+    (fun (op1, c1) ->
+      List.iter
+        (fun (op2, c2) ->
+          if op1 <> op2 && Isa.unit_of op1 = Isa.unit_of op2 then
+            max_intra := max !max_intra (popcount (c1 lxor c2)))
+        pairs)
+    pairs;
+  Alcotest.(check bool) "intra-class Hamming distance bounded" true (!max_intra <= 5)
+
+let mk op ?(d1 = 0) ?(d2 = 0) ?(s1 = Isa.Simm 0) ?(s2 = Isa.Simm 0) ?(g = 0) () =
+  { Isa.op; dst1 = d1; dst2 = d2; src1 = s1; src2 = s2; guard = g }
+
+let roundtrip i =
+  let w = Enc.encode table cfg i in
+  let i' = Enc.decode table cfg w in
+  Alcotest.(check bool)
+    (Format.asprintf "%a = %a" Isa.pp_inst i Isa.pp_inst i')
+    true (Isa.equal_inst i i')
+
+let test_roundtrip_samples () =
+  roundtrip (mk Isa.ADD ~d1:5 ~s1:(Isa.Sreg 3) ~s2:(Isa.Sreg 4) ());
+  roundtrip (mk Isa.ADD ~d1:5 ~s1:(Isa.Sreg 3) ~s2:(Isa.Simm (-42)) ());
+  roundtrip (mk Isa.MOV ~d1:63 ~s1:(Isa.Simm 16383) ());
+  roundtrip (mk Isa.MOV ~d1:63 ~s1:(Isa.Simm (-16384)) ());
+  roundtrip (mk (Isa.CMPP Isa.C_ltu) ~d1:3 ~d2:4 ~s1:(Isa.Sreg 1) ~s2:(Isa.Sreg 2) ~g:5 ());
+  roundtrip (mk (Isa.LD Isa.M_byte) ~d1:9 ~s1:(Isa.Sreg 8) ~s2:(Isa.Simm 12) ());
+  roundtrip (mk (Isa.ST Isa.M_word) ~s1:(Isa.Sreg 8) ~s2:(Isa.Sreg 9) ());
+  roundtrip (mk Isa.PBRR ~d1:15 ~s1:(Isa.Simm 1000) ());
+  roundtrip (mk Isa.PBRR ~d1:2 ~s1:(Isa.Sreg 2) ());
+  roundtrip (mk Isa.BRCT ~s1:(Isa.Simm 15) ~s2:(Isa.Simm 31) ());
+  roundtrip (mk Isa.BRL ~d1:2 ~s1:(Isa.Simm 0) ());
+  roundtrip (mk Isa.BRU_ ~s1:(Isa.Simm 7) ~g:3 ())
+
+let expect_fail i =
+  match Enc.encode table cfg i with
+  | exception Enc.Encode_error _ -> ()
+  | _ -> Alcotest.failf "expected Encode_error for %s" (Format.asprintf "%a" Isa.pp_inst i)
+
+let test_range_errors () =
+  expect_fail (mk Isa.ADD ~d1:64 ~s1:(Isa.Sreg 1) ~s2:(Isa.Sreg 2) ());
+  expect_fail (mk Isa.ADD ~d1:1 ~s1:(Isa.Sreg 64) ~s2:(Isa.Sreg 2) ());
+  expect_fail (mk Isa.ADD ~d1:1 ~s1:(Isa.Sreg 1) ~s2:(Isa.Simm 16384) ());
+  expect_fail (mk Isa.ADD ~d1:1 ~s1:(Isa.Sreg 1) ~s2:(Isa.Simm (-16385)) ());
+  expect_fail (mk (Isa.CMPP Isa.C_eq) ~d1:32 ~d2:0 ~s1:(Isa.Sreg 1) ~s2:(Isa.Sreg 2) ());
+  expect_fail (mk Isa.PBRR ~d1:16 ~s1:(Isa.Simm 0) ());
+  expect_fail (mk Isa.ADD ~d1:1 ~s1:(Isa.Sreg 1) ~s2:(Isa.Sreg 2) ~g:32 ());
+  (* Custom op not present in this configuration. *)
+  expect_fail (mk (Isa.CUSTOM "ROTR") ~d1:1 ~s1:(Isa.Sreg 1) ~s2:(Isa.Sreg 2) ())
+
+let test_regs_per_inst_limit () =
+  let cfg3 = Config.validate_exn { cfg with Config.regs_per_inst = 2 } in
+  let t3 = Enc.make_table cfg3 in
+  let i = mk Isa.ADD ~d1:5 ~s1:(Isa.Sreg 3) ~s2:(Isa.Sreg 4) () in
+  (match Enc.encode t3 cfg3 i with
+   | exception Enc.Encode_error _ -> ()
+   | _ -> Alcotest.fail "3 distinct GPRs should exceed regs_per_inst = 2");
+  (* Repeated registers count once. *)
+  let j = mk Isa.ADD ~d1:3 ~s1:(Isa.Sreg 3) ~s2:(Isa.Sreg 3) () in
+  ignore (Enc.encode t3 cfg3 j)
+
+let test_custom_op_encoding () =
+  let cfgc = Config.add_custom cfg "ROTR" in
+  let tc = Enc.make_table cfgc in
+  let i = mk (Isa.CUSTOM "ROTR") ~d1:4 ~s1:(Isa.Sreg 2) ~s2:(Isa.Simm 7) () in
+  let w = Enc.encode tc cfgc i in
+  Alcotest.(check bool) "roundtrip custom" true
+    (Isa.equal_inst i (Enc.decode tc cfgc w));
+  (* Custom op lives in the ALU code space. *)
+  (match Enc.code_of_opcode tc (Isa.CUSTOM "ROTR") with
+   | Some c -> Alcotest.(check int) "ALU class tag" 0 (c lsr (cfg.Config.opcode_bits - 2))
+   | None -> Alcotest.fail "custom op unnumbered")
+
+let test_bytes_roundtrip () =
+  let i = mk Isa.ADD ~d1:5 ~s1:(Isa.Sreg 3) ~s2:(Isa.Simm (-1)) ~g:7 () in
+  let w = Enc.encode table cfg i in
+  let b = Enc.word_to_bytes cfg w in
+  Alcotest.(check int) "8 bytes" 8 (Bytes.length b);
+  Alcotest.(check int64) "roundtrip" w (Enc.word_of_bytes cfg b 0)
+
+let test_big_endian_layout () =
+  (* The opcode occupies the top bits, so the first byte of the image must
+     contain opcode bits: for a non-NOP instruction it is non-zero iff the
+     code is >= 2^(64-8-15)... simpler: MOV's code has the ALU tag 0 but a
+     non-zero index; check the word's top 15 bits equal the code. *)
+  let i = mk Isa.MOV ~d1:1 ~s1:(Isa.Simm 0) () in
+  let w = Enc.encode table cfg i in
+  let code =
+    match Enc.code_of_opcode table Isa.MOV with Some c -> c | None -> assert false
+  in
+  Alcotest.(check int) "opcode in top bits" code
+    (Int64.to_int (Int64.shift_right_logical w (64 - 15)));
+  let b = Enc.word_to_bytes cfg w in
+  Alcotest.(check int) "MSB first" (code lsr 7) (Char.code (Bytes.get b 0))
+
+(* Generator for well-formed instructions under the default config. *)
+let gen_inst =
+  let open QCheck.Gen in
+  let reg = int_bound (cfg.Config.n_gprs - 1) in
+  let src =
+    oneof [ map (fun r -> Isa.Sreg r) reg; map (fun v -> Isa.Simm (v - 16384)) (int_bound 32767) ]
+  in
+  let guard = int_bound (cfg.Config.n_preds - 1) in
+  let alu_ops = [| Isa.ADD; Isa.SUB; Isa.MPY; Isa.DIV; Isa.REM; Isa.MIN; Isa.MAX;
+                   Isa.AND; Isa.OR; Isa.XOR; Isa.ANDCM; Isa.NAND; Isa.NOR;
+                   Isa.SHL; Isa.SHR; Isa.SHRA |] in
+  let conds = [| Isa.C_eq; Isa.C_ne; Isa.C_lt; Isa.C_le; Isa.C_gt; Isa.C_ge;
+                 Isa.C_ltu; Isa.C_leu; Isa.C_gtu; Isa.C_geu |] in
+  let mems = [| Isa.M_byte; Isa.M_half; Isa.M_word |] in
+  let mk op d1 d2 s1 s2 g = { Isa.op; dst1 = d1; dst2 = d2; src1 = s1; src2 = s2; guard = g } in
+  frequency
+    [
+      (6, map2 (fun (op, d1) ((s1, s2), g) -> mk op d1 0 s1 s2 g)
+         (pair (map (fun k -> alu_ops.(k)) (int_bound (Array.length alu_ops - 1))) reg)
+         (pair (pair src src) guard));
+      (2, map2 (fun (c, (d1, d2)) ((s1, s2), g) -> mk (Isa.CMPP c) d1 d2 s1 s2 g)
+         (pair (map (fun k -> conds.(k)) (int_bound 9))
+            (pair (int_bound (cfg.Config.n_preds - 1)) (int_bound (cfg.Config.n_preds - 1))))
+         (pair (pair src src) guard));
+      (2, map2 (fun (m, d1) ((s1, s2), g) -> mk (Isa.LD m) d1 0 s1 s2 g)
+         (pair (map (fun k -> mems.(k)) (int_bound 2)) reg)
+         (pair (pair src src) guard));
+      (1, map2 (fun (m, r1) (r2, g) -> mk (Isa.ST m) 0 0 (Isa.Sreg r1) (Isa.Sreg r2) g)
+         (pair (map (fun k -> mems.(k)) (int_bound 2)) reg)
+         (pair reg guard));
+      (1, map2 (fun (b, s1) g -> mk Isa.PBRR b 0 s1 (Isa.Simm 0) g)
+         (pair (int_bound (cfg.Config.n_btrs - 1)) src)
+         guard);
+      (1, map2 (fun (b, p) g -> mk Isa.BRCT 0 0 (Isa.Simm b) (Isa.Simm p) g)
+         (pair (int_bound (cfg.Config.n_btrs - 1)) (int_bound (cfg.Config.n_preds - 1)))
+         guard);
+    ]
+
+let arb_inst = QCheck.make ~print:(Format.asprintf "%a" Isa.pp_inst) gen_inst
+
+let prop_encode_decode =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:1000 arb_inst (fun i ->
+      match Enc.encode table cfg i with
+      | w -> Isa.equal_inst i (Enc.decode table cfg w)
+      | exception Enc.Encode_error _ -> QCheck.assume_fail ())
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"word_to_bytes/word_of_bytes roundtrip" ~count:500 arb_inst
+    (fun i ->
+      match Enc.encode table cfg i with
+      | w -> Enc.word_of_bytes cfg (Enc.word_to_bytes cfg w) 0 = w
+      | exception Enc.Encode_error _ -> QCheck.assume_fail ())
+
+(* A narrower format still round-trips (parameterised field widths). *)
+let prop_narrow_format =
+  let cfgn =
+    Config.validate_exn
+      { cfg with Config.n_gprs = 32; n_preds = 16; n_btrs = 8;
+        opcode_bits = 9; dst_bits = 5; src_bits = 11; pred_bits = 4;
+        issue_width = 4 }
+  in
+  let tn = Enc.make_table cfgn in
+  QCheck.Test.make ~name:"narrow 45-bit format roundtrip" ~count:500
+    QCheck.(triple (int_bound 31) (int_bound 31) (int_range (-512) 511))
+    (fun (d, r, v) ->
+      let i =
+        { Isa.op = Isa.ADD; dst1 = d; dst2 = 0; src1 = Isa.Sreg r;
+          src2 = Isa.Simm v; guard = 0 }
+      in
+      let w = Enc.encode tn cfgn i in
+      Isa.equal_inst i (Enc.decode tn cfgn w))
+
+let suite =
+  [
+    Alcotest.test_case "NOP encodes to zero" `Quick test_nop_is_zero;
+    Alcotest.test_case "all opcodes numbered" `Quick test_all_opcodes_numbered;
+    Alcotest.test_case "codes distinct" `Quick test_codes_distinct;
+    Alcotest.test_case "Hamming clustering by unit" `Quick test_hamming_clustering;
+    Alcotest.test_case "roundtrip samples" `Quick test_roundtrip_samples;
+    Alcotest.test_case "range errors" `Quick test_range_errors;
+    Alcotest.test_case "regs_per_inst limit" `Quick test_regs_per_inst_limit;
+    Alcotest.test_case "custom op encoding" `Quick test_custom_op_encoding;
+    Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+    Alcotest.test_case "big-endian layout" `Quick test_big_endian_layout;
+    QCheck_alcotest.to_alcotest prop_encode_decode;
+    QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
+    QCheck_alcotest.to_alcotest prop_narrow_format;
+  ]

@@ -1,0 +1,218 @@
+(* Tests for the future-work extensions: automatic custom-instruction
+   generation, pipeline-depth parameterisation, and the power model. *)
+
+module Config = Epic.Config
+module CG = Epic.Custom_gen
+module Area = Epic.Area
+module Ir = Epic.Ir
+module T = Epic.Toolchain
+
+(* ------------------------------------------------------------------ *)
+(* Custom-instruction generation *)
+
+let rotate_src =
+  (* A hot loop full of 32-bit rotations: the generator must fuse them. *)
+  "int main() {\n\
+   \  int x = 0x12345678;\n\
+   \  int s = 0;\n\
+   \  for (int i = 0; i < 50; i++) {\n\
+   \    x = (__lsr(x, 7) | (x << 25)) + i;\n\
+   \    s = s ^ x;\n\
+   \  }\n\
+   \  return s;\n\
+   }"
+
+let test_identify_finds_rotation () =
+  let p = Epic.Opt.standard (Epic.Cfront.compile rotate_src) in
+  let cands = CG.identify ~top:3 p in
+  Alcotest.(check bool) "found candidates" true (cands <> []);
+  let best = List.hd cands in
+  Alcotest.(check bool) "multi-op pattern" true (best.CG.cg_ops >= 2);
+  Alcotest.(check bool) "single input (a rotation)" true (best.CG.cg_inputs = 1);
+  Alcotest.(check bool) "dynamically hot" true (best.CG.cg_dynamic >= 50)
+
+let test_specialise_preserves_semantics () =
+  let p = Epic.Opt.standard (Epic.Cfront.compile rotate_src) in
+  let expected = (Epic.Interp.run p ~entry:"main").Epic.Interp.ret in
+  match CG.specialise ~rounds:3 Config.default p with
+  | None -> Alcotest.fail "expected a candidate"
+  | Some (cfg, p', chosen) ->
+    Alcotest.(check bool) "generated at least one op" true (chosen <> []);
+    (* Interpreter semantics with the synthesised custom resolver. *)
+    let custom name a b = Config.custom_eval cfg name a b in
+    Alcotest.(check int) "interp agrees" expected
+      (Epic.Interp.run ~custom p' ~entry:"main").Epic.Interp.ret;
+    (* End-to-end through the EPIC backend. *)
+    let layout = Epic.Memmap.layout p' in
+    let unit_, _ = Epic.Sched.compile_program cfg layout p' in
+    let image, _words = Epic.Asm.assemble cfg unit_ in
+    let mem = Epic.Memmap.init_memory layout p' in
+    let r = Epic.Sim.run cfg ~image ~mem () in
+    Alcotest.(check int) "simulator agrees" expected r.Epic.Sim.ret
+
+let test_specialise_reduces_ops () =
+  let p = Epic.Opt.standard (Epic.Cfront.compile rotate_src) in
+  match CG.specialise ~rounds:3 Config.default p with
+  | None -> Alcotest.fail "expected a candidate"
+  | Some (cfg, p', _) ->
+    let count prog =
+      let custom name a b = Config.custom_eval cfg name a b in
+      (Epic.Interp.run ~custom prog ~entry:"main").Epic.Interp.dyn_insts
+    in
+    Alcotest.(check bool) "fewer dynamic MIR instructions" true
+      (count p' < count p)
+
+let test_generated_op_roundtrips () =
+  (* The synthesised op must encode/decode and survive the mdes. *)
+  let p = Epic.Opt.standard (Epic.Cfront.compile rotate_src) in
+  match CG.specialise ~rounds:1 Config.default p with
+  | None -> Alcotest.fail "expected a candidate"
+  | Some (cfg, _, (c, _) :: _) ->
+    let name = c.CG.cg_name in
+    let table = Epic.Encoding.make_table cfg in
+    let i =
+      { Epic.Isa.op = Epic.Isa.CUSTOM name; dst1 = 12; dst2 = 0;
+        src1 = Epic.Isa.Sreg 13; src2 = Epic.Isa.Sreg 14; guard = 0 }
+    in
+    let w = Epic.Encoding.encode table cfg i in
+    Alcotest.(check bool) "binary roundtrip" true
+      (Epic.Isa.equal_inst i (Epic.Encoding.decode table cfg w));
+    let md = Epic.Mdes.of_config cfg in
+    Alcotest.(check bool) "in the machine description" true
+      (Epic.Mdes.op_supported md (Epic.Isa.CUSTOM name))
+  | Some (_, _, []) -> Alcotest.fail "no chosen candidate"
+
+let test_no_candidates_in_trivial_program () =
+  let p = Epic.Opt.standard (Epic.Cfront.compile "int main() { return 7; }") in
+  Alcotest.(check bool) "nothing to fuse" true (CG.identify p = [])
+
+let test_candidate_respects_io_constraint () =
+  (* Many independent inputs: candidates must never need more than 2. *)
+  let src =
+    "int main(int x, int y) {\n\
+     \  int s = 0;\n\
+     \  for (int i = 0; i < 20; i++) s += (x + y) ^ (s + i) ^ (x - i);\n\
+     \  return s;\n\
+     }"
+  in
+  let p = Epic.Opt.standard (Epic.Cfront.compile src) in
+  let p =
+    (* bake arguments so the profile run works *)
+    match Ir.find_func p "main" with
+    | Some f when List.length f.Ir.f_params = 2 ->
+      let wrapped =
+        Epic.Cfront.compile
+          (Str.global_replace (Str.regexp_string "int main(") "int body__(" src
+          ^ "\nint main() { return body__(11, 22); }")
+      in
+      Epic.Opt.standard wrapped
+    | _ -> p
+  in
+  List.iter
+    (fun (c : CG.candidate) ->
+      Alcotest.(check bool) "<= 2 inputs" true (c.CG.cg_inputs <= 2);
+      Alcotest.(check bool) "<= 3 ops" true (c.CG.cg_ops <= 3))
+    (CG.identify ~top:10 p)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline depth *)
+
+let test_pipeline_validation () =
+  (match Config.validate { Config.default with Config.pipeline_stages = 1 } with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "1-stage must be rejected");
+  (match Config.validate { Config.default with Config.pipeline_stages = 5 } with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "5-stage must be rejected");
+  ignore (Config.validate_exn { Config.default with Config.pipeline_stages = 3 })
+
+let test_pipeline_bubbles_scale () =
+  let src =
+    "int main() { int s = 0; for (int i = 0; i < 50; i++) s += i; return s; }"
+  in
+  let cycles stages bubbles_out =
+    let cfg =
+      Config.validate_exn { Config.default with Config.pipeline_stages = stages }
+    in
+    let a = T.compile_epic cfg ~source:src () in
+    let r = T.run_epic a in
+    Alcotest.(check int) "result stable" 1225 r.Epic.Sim.ret;
+    bubbles_out := r.Epic.Sim.stats.Epic.Sim.branch_bubbles;
+    r.Epic.Sim.stats.Epic.Sim.cycles
+  in
+  let b2 = ref 0 and b3 = ref 0 in
+  let c2 = cycles 2 b2 in
+  let c3 = cycles 3 b3 in
+  Alcotest.(check bool) "deeper pipeline costs cycles" true (c3 > c2);
+  Alcotest.(check int) "bubbles exactly double" (2 * !b2) !b3
+
+let test_pipeline_clock_gain () =
+  let mhz stages =
+    (Area.estimate { Config.default with Config.pipeline_stages = stages }).Area.clock_mhz
+  in
+  Alcotest.(check bool) "3-stage clocks higher" true (mhz 3 > mhz 2);
+  Alcotest.(check bool) "4-stage higher still" true (mhz 4 > mhz 3)
+
+(* ------------------------------------------------------------------ *)
+(* Power model *)
+
+let activity ~cycles ~alu =
+  { Area.ac_cycles = cycles; ac_alu_ops = alu; ac_lsu_ops = 0; ac_cmpu_ops = 0;
+    ac_bru_ops = 0; ac_nops = 0 }
+
+let test_power_monotone_in_activity () =
+  let cfg = Config.default in
+  let idle = Area.power cfg (activity ~cycles:1000 ~alu:0) in
+  let busy = Area.power cfg (activity ~cycles:1000 ~alu:4000) in
+  Alcotest.(check bool) "dynamic power grows with activity" true
+    (busy.Area.pw_dynamic_mw > idle.Area.pw_dynamic_mw);
+  Alcotest.(check bool) "static power unchanged" true
+    (abs_float (busy.Area.pw_static_mw -. idle.Area.pw_static_mw) < 1e-9)
+
+let test_power_static_tracks_area () =
+  let small = Area.power (Config.with_alus 1) (activity ~cycles:1000 ~alu:100) in
+  let large = Area.power (Config.with_alus 4) (activity ~cycles:1000 ~alu:100) in
+  Alcotest.(check bool) "bigger design leaks more" true
+    (large.Area.pw_static_mw > small.Area.pw_static_mw)
+
+let test_power_from_real_run () =
+  let bm = Epic.Workloads.Sources.dct_benchmark ~width:8 ~height:8 () in
+  let st =
+    T.epic_cycles Config.default ~source:bm.Epic.Workloads.Sources.bm_source
+      ~expected:bm.Epic.Workloads.Sources.bm_expected ()
+  in
+  let p = Area.power Config.default (Epic.Experiments.activity_of_stats st) in
+  Alcotest.(check bool) "sane range" true
+    (p.Area.pw_total_mw > 50.0 && p.Area.pw_total_mw < 2000.0);
+  Alcotest.(check bool) "energy positive" true (p.Area.pw_energy_uj > 0.0)
+
+let test_energy_sweet_spot_exists () =
+  (* The A6 story: energy is not monotone in ALU count (static power of
+     idle ALUs vs shorter runtime). *)
+  let pts = Epic.Experiments.ablate_power ~sizes:{
+      Epic.Experiments.default_sizes with
+      Epic.Experiments.dct_size = (16, 16) } ()
+  in
+  Alcotest.(check int) "four points" 4 (List.length pts);
+  List.iter
+    (fun (p : Epic.Experiments.power_point) ->
+      Alcotest.(check bool) "positive energy" true
+        (p.Epic.Experiments.po_power.Area.pw_energy_uj > 0.0))
+    pts
+
+let suite =
+  [
+    Alcotest.test_case "autogen: identifies rotations" `Quick test_identify_finds_rotation;
+    Alcotest.test_case "autogen: semantics preserved" `Quick test_specialise_preserves_semantics;
+    Alcotest.test_case "autogen: fewer dynamic ops" `Quick test_specialise_reduces_ops;
+    Alcotest.test_case "autogen: generated op roundtrips" `Quick test_generated_op_roundtrips;
+    Alcotest.test_case "autogen: trivial program" `Quick test_no_candidates_in_trivial_program;
+    Alcotest.test_case "autogen: I/O constraint" `Quick test_candidate_respects_io_constraint;
+    Alcotest.test_case "pipeline: validation" `Quick test_pipeline_validation;
+    Alcotest.test_case "pipeline: bubbles scale with depth" `Quick test_pipeline_bubbles_scale;
+    Alcotest.test_case "pipeline: clock gain" `Quick test_pipeline_clock_gain;
+    Alcotest.test_case "power: monotone in activity" `Quick test_power_monotone_in_activity;
+    Alcotest.test_case "power: static tracks area" `Quick test_power_static_tracks_area;
+    Alcotest.test_case "power: real run in range" `Quick test_power_from_real_run;
+    Alcotest.test_case "power: ALU sweep" `Quick test_energy_sweet_spot_exists;
+  ]

@@ -1,0 +1,194 @@
+(* Unit and property tests for the instruction set: word arithmetic,
+   operand metadata, ALU semantics, mnemonic round-trips. *)
+
+module Isa = Epic.Isa
+module Word = Epic.Isa.Word
+
+let check_int = Alcotest.(check int)
+
+let test_word_mask () =
+  check_int "mask 8" 0xAB (Word.mask 8 0x1AB);
+  check_int "mask 32 identity" 0xDEADBEEF (Word.mask 32 0xDEADBEEF);
+  check_int "mask negative" 0xFFFFFFFF (Word.mask 32 (-1));
+  check_int "mask 1" 1 (Word.mask 1 3)
+
+let test_word_signed () =
+  check_int "to_signed -1" (-1) (Word.to_signed 32 0xFFFFFFFF);
+  check_int "to_signed min" (-2147483648) (Word.to_signed 32 0x80000000);
+  check_int "to_signed max" 2147483647 (Word.to_signed 32 0x7FFFFFFF);
+  check_int "of_signed -1" 0xFFFFFFFF (Word.of_signed 32 (-1));
+  check_int "roundtrip" (-1234) (Word.to_signed 16 (Word.of_signed 16 (-1234)));
+  check_int "min_signed 8" (-128) (Word.min_signed 8);
+  check_int "max_signed 8" 127 (Word.max_signed 8);
+  check_int "max_unsigned 8" 255 (Word.max_unsigned 8)
+
+let test_word_invalid () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Epic_isa.Word: unsupported width 0")
+    (fun () -> ignore (Word.mask 0 1));
+  Alcotest.check_raises "width 33" (Invalid_argument "Epic_isa.Word: unsupported width 33")
+    (fun () -> ignore (Word.mask 33 1))
+
+let no_custom name _ _ = Alcotest.failf "unexpected custom op %s" name
+
+let ev op a b = Isa.eval_alu ~width:32 ~custom:no_custom op a b
+
+let test_alu_arith () =
+  check_int "add" 7 (ev Isa.ADD 3 4);
+  check_int "add wraps" 0 (ev Isa.ADD 0xFFFFFFFF 1);
+  check_int "sub wraps" 0xFFFFFFFF (ev Isa.SUB 0 1);
+  check_int "mpy" 12 (ev Isa.MPY 3 4);
+  check_int "mpy wraps" 0xFFFFFFFE (ev Isa.MPY 0xFFFFFFFF 2);
+  check_int "mpy large"
+    (Word.mask 32 (0x12345678 * 0x9ABCDEF0))
+    (ev Isa.MPY 0x12345678 0x9ABCDEF0);
+  check_int "div" 3 (ev Isa.DIV 10 3);
+  check_int "div negative" (Word.of_signed 32 (-3)) (ev Isa.DIV (Word.of_signed 32 (-10)) 3);
+  check_int "div by zero" 0 (ev Isa.DIV 10 0);
+  check_int "rem" 1 (ev Isa.REM 10 3);
+  check_int "rem by zero" 10 (ev Isa.REM 10 0);
+  check_int "min signed" (Word.of_signed 32 (-5)) (ev Isa.MIN (Word.of_signed 32 (-5)) 3);
+  check_int "max signed" 3 (ev Isa.MAX (Word.of_signed 32 (-5)) 3);
+  check_int "abs" 5 (ev Isa.ABS (Word.of_signed 32 (-5)) 0)
+
+let test_alu_logic () =
+  check_int "and" 0b1000 (ev Isa.AND 0b1100 0b1010);
+  check_int "or" 0b1110 (ev Isa.OR 0b1100 0b1010);
+  check_int "xor" 0b0110 (ev Isa.XOR 0b1100 0b1010);
+  check_int "andcm" 0b0100 (ev Isa.ANDCM 0b1100 0b1010);
+  check_int "nand" (Word.mask 32 (lnot 0b1000)) (ev Isa.NAND 0b1100 0b1010);
+  check_int "nor" (Word.mask 32 (lnot 0b1110)) (ev Isa.NOR 0b1100 0b1010)
+
+let test_alu_shift () =
+  check_int "shl" 0b1000 (ev Isa.SHL 1 3);
+  check_int "shl 31" 0x80000000 (ev Isa.SHL 1 31);
+  check_int "shl 32 gives 0" 0 (ev Isa.SHL 1 32);
+  check_int "shr" 1 (ev Isa.SHR 0x80000000 31);
+  check_int "shr 32 gives 0" 0 (ev Isa.SHR 0xFFFFFFFF 32);
+  check_int "shra sign fill" 0xFFFFFFFF (ev Isa.SHRA 0x80000000 31);
+  check_int "shra positive" 0x20000000 (ev Isa.SHRA 0x40000000 1);
+  check_int "shra 40 is sign" 0xFFFFFFFF (ev Isa.SHRA 0x80000000 40);
+  check_int "mov" 42 (ev Isa.MOV 42 0)
+
+let test_eval_cmp () =
+  let t c a b = Alcotest.(check bool) (Isa.string_of_cond c) true (Isa.eval_cmp ~width:32 c a b) in
+  let f c a b = Alcotest.(check bool) (Isa.string_of_cond c) false (Isa.eval_cmp ~width:32 c a b) in
+  t Isa.C_eq 5 5; f Isa.C_eq 5 6;
+  t Isa.C_ne 5 6; f Isa.C_ne 5 5;
+  (* -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned *)
+  t Isa.C_lt 0xFFFFFFFF 1;
+  f Isa.C_ltu 0xFFFFFFFF 1;
+  t Isa.C_gtu 0xFFFFFFFF 1;
+  t Isa.C_le 5 5; t Isa.C_ge 5 5; t Isa.C_leu 5 5; t Isa.C_geu 5 5;
+  f Isa.C_gt 5 5; f Isa.C_geu 1 2
+
+let test_mnemonic_roundtrip () =
+  List.iter
+    (fun op ->
+      let s = Isa.string_of_opcode op in
+      match Isa.opcode_of_string s with
+      | Some op' -> Alcotest.(check bool) s true (Isa.equal_opcode op op')
+      | None -> Alcotest.failf "mnemonic %s did not parse" s)
+    (Isa.all_base_opcodes @ [ Isa.CUSTOM "ROTR"; Isa.CUSTOM "BSWAP" ])
+
+let test_mnemonic_unknown () =
+  Alcotest.(check (option reject)) "FOO" None (Epic.Isa.opcode_of_string "FOO");
+  Alcotest.(check (option reject)) "CMPP.XX" None (Epic.Isa.opcode_of_string "CMPP.XX");
+  Alcotest.(check (option reject)) "LDX" None (Epic.Isa.opcode_of_string "LDX")
+
+let test_unit_classes () =
+  let check op cls = Alcotest.(check bool) (Isa.string_of_opcode op) true (Isa.unit_of op = cls) in
+  check Isa.ADD Isa.U_alu;
+  check (Isa.CUSTOM "ROTR") Isa.U_alu;
+  check (Isa.LD Isa.M_word) Isa.U_lsu;
+  check (Isa.ST Isa.M_byte) Isa.U_lsu;
+  check (Isa.CMPP Isa.C_eq) Isa.U_cmpu;
+  check Isa.PBRR Isa.U_bru;
+  check Isa.BRCT Isa.U_bru;
+  check Isa.NOP Isa.U_none
+
+let test_reads_writes () =
+  let i =
+    { Isa.op = Isa.ADD; dst1 = 5; dst2 = 0; src1 = Isa.Sreg 3; src2 = Isa.Simm 7; guard = 2 }
+  in
+  Alcotest.(check (list (pair bool int)))
+    "writes"
+    [ (true, 5) ]
+    (List.map (fun (f, r) -> (f = Isa.R_gpr, r)) (Isa.writes i));
+  let reads = Isa.reads i in
+  Alcotest.(check bool) "reads r3" true (List.mem (Isa.R_gpr, 3) reads);
+  Alcotest.(check bool) "reads guard p2" true (List.mem (Isa.R_pred, 2) reads);
+  (* Writes to GPR 0 are discarded (hardwired zero). *)
+  let z = { i with Isa.dst1 = 0 } in
+  Alcotest.(check int) "no write to r0" 0 (List.length (Isa.writes z));
+  (* Store reads both sources, writes nothing. *)
+  let st =
+    { Isa.op = Isa.ST Isa.M_word; dst1 = 0; dst2 = 0; src1 = Isa.Sreg 4;
+      src2 = Isa.Sreg 6; guard = 0 }
+  in
+  Alcotest.(check int) "store writes nothing" 0 (List.length (Isa.writes st));
+  Alcotest.(check int) "store reads 2" 2 (List.length (Isa.reads st));
+  (* Conditional branch reads its BTR and predicate. *)
+  let br =
+    { Isa.op = Isa.BRCT; dst1 = 0; dst2 = 0; src1 = Isa.Simm 3; src2 = Isa.Simm 1; guard = 0 }
+  in
+  Alcotest.(check bool) "brct reads btr" true (List.mem (Isa.R_btr, 3) (Isa.reads br));
+  Alcotest.(check bool) "brct reads pred" true (List.mem (Isa.R_pred, 1) (Isa.reads br))
+
+let test_gpr_port_ops () =
+  let mk op dst1 src1 src2 = { Isa.op; dst1; dst2 = 0; src1; src2; guard = 0 } in
+  check_int "add r,r,r = 3 ports" 3
+    (Isa.gpr_port_ops (mk Isa.ADD 5 (Isa.Sreg 1) (Isa.Sreg 2)));
+  check_int "add r,r,imm = 2 ports" 2
+    (Isa.gpr_port_ops (mk Isa.ADD 5 (Isa.Sreg 1) (Isa.Simm 2)));
+  check_int "nop = 0 ports" 0 (Isa.gpr_port_ops Isa.nop);
+  check_int "cmpp counts only gpr reads" 2
+    (Isa.gpr_port_ops
+       { Isa.op = Isa.CMPP Isa.C_lt; dst1 = 1; dst2 = 2; src1 = Isa.Sreg 3;
+         src2 = Isa.Sreg 4; guard = 0 })
+
+let test_default_latencies () =
+  Alcotest.(check bool) "mpy slower than add" true
+    (Isa.default_latency Isa.MPY > Isa.default_latency Isa.ADD);
+  Alcotest.(check bool) "div slowest" true
+    (Isa.default_latency Isa.DIV > Isa.default_latency Isa.MPY);
+  Alcotest.(check bool) "load has latency 2" true
+    (Isa.default_latency (Isa.LD Isa.M_word) = 2)
+
+(* Property: eval_alu output is always canonical for the given width. *)
+let prop_alu_canonical =
+  QCheck.Test.make ~name:"eval_alu result is canonical" ~count:500
+    QCheck.(triple (int_bound 14) (int_bound 0xFFFFFF) (int_bound 0xFFFFFF))
+    (fun (opk, a, b) ->
+      let ops =
+        [| Isa.ADD; Isa.SUB; Isa.MPY; Isa.DIV; Isa.REM; Isa.MIN; Isa.MAX;
+           Isa.AND; Isa.OR; Isa.XOR; Isa.ANDCM; Isa.NAND; Isa.NOR; Isa.SHL;
+           Isa.SHR |]
+      in
+      let r = ev ops.(opk) a b in
+      r >= 0 && r <= 0xFFFFFFFF)
+
+let prop_word_roundtrip =
+  QCheck.Test.make ~name:"of_signed/to_signed roundtrip" ~count:500
+    QCheck.(pair (int_range 1 32) (int_range (-1000000) 1000000))
+    (fun (w, v) ->
+      QCheck.assume (v >= Word.min_signed w && v <= Word.max_signed w);
+      Word.to_signed w (Word.of_signed w v) = v)
+
+let suite =
+  [
+    Alcotest.test_case "word mask" `Quick test_word_mask;
+    Alcotest.test_case "word signed conversions" `Quick test_word_signed;
+    Alcotest.test_case "word invalid widths" `Quick test_word_invalid;
+    Alcotest.test_case "alu arithmetic" `Quick test_alu_arith;
+    Alcotest.test_case "alu logic" `Quick test_alu_logic;
+    Alcotest.test_case "alu shifts" `Quick test_alu_shift;
+    Alcotest.test_case "comparisons" `Quick test_eval_cmp;
+    Alcotest.test_case "mnemonic roundtrip" `Quick test_mnemonic_roundtrip;
+    Alcotest.test_case "unknown mnemonics" `Quick test_mnemonic_unknown;
+    Alcotest.test_case "unit classes" `Quick test_unit_classes;
+    Alcotest.test_case "reads/writes metadata" `Quick test_reads_writes;
+    Alcotest.test_case "gpr port accounting" `Quick test_gpr_port_ops;
+    Alcotest.test_case "default latencies" `Quick test_default_latencies;
+    QCheck_alcotest.to_alcotest prop_alu_canonical;
+    QCheck_alcotest.to_alcotest prop_word_roundtrip;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "epic"
+    [
+      ("isa", Test_isa.suite);
+      ("config", Test_config.suite);
+      ("encoding", Test_encoding.suite);
+      ("cfront", Test_cfront.suite);
+      ("mir", Test_mir.suite);
+      ("workloads", Test_workloads.suite);
+      ("opt", Test_opt.suite);
+      ("mdes", Test_mdes.suite);
+      ("area", Test_area.suite);
+      ("asm", Test_asm.suite);
+      ("backend", Test_backend.suite);
+      ("extensions", Test_extensions.suite);
+      ("more", Test_more.suite);
+    ]

@@ -1,0 +1,94 @@
+(* Machine-description tests: derivation from configurations, the
+   HMDES-style textual round-trip, and retargeting behaviour. *)
+
+module Mdes = Epic.Mdes
+module Config = Epic.Config
+module Isa = Epic.Isa
+
+let test_of_config_default () =
+  let md = Mdes.of_config Config.default in
+  Alcotest.(check int) "ALUs" 4 md.Mdes.md_alus;
+  Alcotest.(check int) "LSU" 1 md.Mdes.md_lsus;
+  Alcotest.(check int) "CMPU" 1 md.Mdes.md_cmpus;
+  Alcotest.(check int) "BRU" 1 md.Mdes.md_brus;
+  Alcotest.(check int) "issue" 4 md.Mdes.md_issue_width;
+  Alcotest.(check int) "ports" 8 md.Mdes.md_rf_port_budget;
+  Alcotest.(check bool) "forwarding" true md.Mdes.md_forwarding;
+  Alcotest.(check bool) "has ADD" true (Mdes.op_supported md Isa.ADD);
+  Alcotest.(check bool) "has stores" true (Mdes.op_supported md (Isa.ST Isa.M_word));
+  Alcotest.(check bool) "no customs by default" false
+    (Mdes.op_supported md (Isa.CUSTOM "ROTR"))
+
+let test_omissions_propagate () =
+  let cfg = { Config.default with Config.alu_omit = [ Isa.DIV; Isa.REM ] } in
+  let md = Mdes.of_config cfg in
+  Alcotest.(check bool) "DIV dropped" false (Mdes.op_supported md Isa.DIV);
+  Alcotest.(check bool) "ADD kept" true (Mdes.op_supported md Isa.ADD)
+
+let test_customs_propagate () =
+  let cfg = Config.add_custom Config.default "ROTR" in
+  let md = Mdes.of_config cfg in
+  Alcotest.(check bool) "ROTR present" true (Mdes.op_supported md (Isa.CUSTOM "ROTR"));
+  Alcotest.(check int) "ROTR latency" 1 (Mdes.latency md (Isa.CUSTOM "ROTR"))
+
+let test_latencies () =
+  let md = Mdes.of_config Config.default in
+  Alcotest.(check int) "ADD" 1 (Mdes.latency md Isa.ADD);
+  Alcotest.(check int) "MPY" 3 (Mdes.latency md Isa.MPY);
+  Alcotest.(check int) "LDW" 2 (Mdes.latency md (Isa.LD Isa.M_word))
+
+let test_unit_counts () =
+  let md = Mdes.of_config (Config.with_alus 2) in
+  Alcotest.(check int) "alu count" 2 (Mdes.unit_count md Isa.U_alu);
+  Alcotest.(check int) "lsu count" 1 (Mdes.unit_count md Isa.U_lsu)
+
+let test_text_roundtrip () =
+  List.iter
+    (fun cfg ->
+      let md = Mdes.of_config cfg in
+      let text = Mdes.to_string md in
+      match Mdes.of_string text with
+      | Ok md' -> Alcotest.(check bool) "roundtrip equal" true (Mdes.equal md md')
+      | Error m -> Alcotest.failf "parse failed: %s" m)
+    [ Config.default; Config.with_alus 1;
+      Config.add_custom (Config.with_alus 2) "BSWAP";
+      { Config.default with Config.alu_omit = [ Isa.DIV ]; forwarding = false };
+      { Config.default with Config.issue_width = 2; rf_port_budget = 4 } ]
+
+let test_parse_errors () =
+  let bad s =
+    match Mdes.of_string s with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+    | Error _ -> ()
+  in
+  bad "NOTASECTION Resource { }";
+  bad "SECTION Bogus { X(count(1)); }";
+  bad "SECTION Operation { FROB(unit(ALU) latency(1)); }";
+  bad "SECTION Resource { ALU(count(1)) }"
+
+let test_parsed_drives_defaults () =
+  (* A hand-written description is usable directly. *)
+  let text =
+    "SECTION Resource { ALU(count(2)); ISSUE(count(2)); }\n\
+     SECTION Operation { ADD(unit(ALU) latency(1)); MPY(unit(ALU) latency(5)); }"
+  in
+  match Mdes.of_string text with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok md ->
+    Alcotest.(check int) "alus" 2 md.Mdes.md_alus;
+    Alcotest.(check int) "issue" 2 md.Mdes.md_issue_width;
+    Alcotest.(check int) "default lsu" 1 md.Mdes.md_lsus;
+    Alcotest.(check int) "overridden MPY latency" 5 (Mdes.latency md Isa.MPY);
+    Alcotest.(check bool) "only listed ops" false (Mdes.op_supported md Isa.SUB)
+
+let suite =
+  [
+    Alcotest.test_case "of_config defaults" `Quick test_of_config_default;
+    Alcotest.test_case "omissions propagate" `Quick test_omissions_propagate;
+    Alcotest.test_case "customs propagate" `Quick test_customs_propagate;
+    Alcotest.test_case "latencies" `Quick test_latencies;
+    Alcotest.test_case "unit counts" `Quick test_unit_counts;
+    Alcotest.test_case "text roundtrip" `Quick test_text_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "hand-written description" `Quick test_parsed_drives_defaults;
+  ]

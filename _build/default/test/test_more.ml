@@ -1,0 +1,152 @@
+(* Additional edge-case coverage: SHA padding boundaries through the
+   compiled benchmark, automatic-specialisation semantics on random
+   programs, ARM condition-code behaviour, and store-offset encoding
+   bounds. *)
+
+module W = Epic.Workloads
+module Interp = Epic.Interp
+module Cfront = Epic.Cfront
+module T = Epic.Toolchain
+module Config = Epic.Config
+
+(* SHA-256 padding has three regimes (message + 0x80 + length fitting or
+   not in the last block); exercise the compiled kernel across them. *)
+let test_sha_padding_boundaries () =
+  List.iter
+    (fun bytes ->
+      let bm = W.Sources.sha_benchmark ~bytes () in
+      let r = Interp.run (Cfront.compile bm.W.Sources.bm_source) ~entry:"main" in
+      Alcotest.(check int)
+        (Printf.sprintf "sha %d bytes" bytes)
+        bm.W.Sources.bm_expected r.Interp.ret)
+    [ 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+
+let test_dct_odd_shapes () =
+  List.iter
+    (fun (w, h) ->
+      let bm = W.Sources.dct_benchmark ~width:w ~height:h () in
+      let r = Interp.run (Cfront.compile bm.W.Sources.bm_source) ~entry:"main" in
+      Alcotest.(check int)
+        (Printf.sprintf "dct %dx%d" w h)
+        bm.W.Sources.bm_expected r.Interp.ret)
+    [ (8, 8); (8, 24); (24, 8) ]
+
+let test_dijkstra_sizes () =
+  List.iter
+    (fun n ->
+      let bm = W.Sources.dijkstra_benchmark ~nodes:n () in
+      let r = Interp.run (Cfront.compile bm.W.Sources.bm_source) ~entry:"main" in
+      Alcotest.(check int)
+        (Printf.sprintf "dijkstra %d" n)
+        bm.W.Sources.bm_expected r.Interp.ret)
+    [ 2; 3; 8 ]
+
+(* Specialisation must preserve semantics on arbitrary programs, not just
+   the rotation-rich ones. *)
+let prop_specialise_preserves_semantics =
+  QCheck.Test.make ~name:"Custom_gen.specialise preserves semantics" ~count:25
+    (QCheck.make
+       ~print:(fun (src, x, y) -> Printf.sprintf "x=%d y=%d\n%s" x y src)
+       QCheck.Gen.(triple Test_opt.gen_program (int_range (-300) 300) (int_range (-300) 300)))
+    (fun (src, x, y) ->
+      let baked =
+        Str.global_replace (Str.regexp_string "int main(") "int body__(" src
+        ^ Printf.sprintf "\nint main() { return body__(%d, %d); }" x y
+      in
+      let p = Epic.Opt.standard (Cfront.compile baked) in
+      let expected = (Interp.run p ~entry:"main").Interp.ret in
+      match Epic.Custom_gen.specialise ~rounds:2 Config.default p with
+      | None -> true
+      | Some (cfg, p', _) ->
+        let custom name a b = Config.custom_eval cfg name a b in
+        (Interp.run ~custom p' ~entry:"main").Interp.ret = expected)
+
+(* ARM condition codes, including the unsigned ones, through the whole
+   baseline pipeline. *)
+let test_arm_condition_codes () =
+  let check name src expected =
+    let a = T.compile_arm ~source:src () in
+    Alcotest.(check int) name expected (T.run_arm a).Epic.Arm.Sim.ret
+  in
+  check "signed lt vs unsigned ltu"
+    "int main() { return (0 - 1 < 1) * 10 + __ltu(0 - 1, 1); }" 10;
+  check "geu on equal" "int main() { return __geu(5, 5); }" 1;
+  check "gtu wraparound" "int main() { return __gtu(0 - 1, 0x7FFFFFFF); }" 1;
+  check "min of negatives" "int main() { return __min(0 - 7, 0 - 3); }"
+    (-7 land 0xFFFFFFFF);
+  check "max mixed" "int main() { return __max(0 - 7, 3); }" 3;
+  check "conditional value" "int main(int x, int y) { return (3 > 2) + (2 > 3); }" 1
+
+let test_arm_division_runtime () =
+  (* The software divider handles the awkward corners (by-zero semantics
+     match the EPIC datapath; INT_MIN magnitudes). *)
+  let run src =
+    let a = T.compile_arm ~source:src () in
+    (T.run_arm a).Epic.Arm.Sim.ret
+  in
+  Alcotest.(check int) "div by zero -> 0" 0 (run "int main() { int z = 0; return 7 / z; }");
+  Alcotest.(check int) "rem by zero -> dividend" 7 (run "int main() { int z = 0; return 7 % z; }");
+  Alcotest.(check int) "int_min / -1" 0x80000000
+    (run "int main() { int m = 0x80000000; return m / (0 - 1); }");
+  Alcotest.(check int) "large unsigned magnitudes" ((-2147483648) / 3 land 0xFFFFFFFF)
+    (run "int main() { int m = 0x80000000; return m / 3; }")
+
+(* Store-offset field limits: 6 bits of access-size units. *)
+let test_store_offset_bounds () =
+  let cfg = Config.default in
+  let ok text = ignore (Epic.Asm.assemble_text cfg text) in
+  let bad text =
+    match Epic.Asm.assemble_text cfg text with
+    | exception Epic.Asm.Asm_error _ -> ()
+    | _ -> Alcotest.failf "expected rejection of %s" text
+  in
+  ok "m:\n{ STW r1, #63, r2 }\n";
+  bad "m:\n{ STW r1, #64, r2 }\n";
+  ok "m:\n{ STB r1, #63, r2 }\n";
+  bad "m:\n{ STH r1, #-1, r2 }\n"
+
+(* The STW offset field is honoured by the simulator (scaled by the access
+   size). *)
+let test_store_offset_scaling () =
+  let text =
+    "_start:\n\
+     { MOV r1, #1000 ; MOV r12, #77 }\n\
+     { STW r1, #3, r12 }\n\
+     { STB r1, #3, r12 }\n\
+     { LDUW r3, r1, #12 }\n\
+     { HALT }\n"
+  in
+  let image, _ = Epic.Asm.assemble_text Config.default text in
+  let mem = Bytes.make 4096 '\000' in
+  let r = Epic.Sim.run Config.default ~image ~mem () in
+  Alcotest.(check int) "word at 1000+12" 77 r.Epic.Sim.ret;
+  Alcotest.(check int) "byte at 1000+3" 77
+    (Epic.Memmap.read ~size:Epic.Ir.I8 ~ext:Epic.Ir.Zx r.Epic.Sim.mem 1003)
+
+(* Deep pipelines and narrow datapaths still agree on the benchmarks. *)
+let test_benchmark_exotic_configs () =
+  let bm = W.Sources.dijkstra_benchmark ~nodes:8 () in
+  List.iter
+    (fun cfg ->
+      let st =
+        T.epic_cycles (Config.validate_exn cfg) ~source:bm.W.Sources.bm_source
+          ~expected:bm.W.Sources.bm_expected ()
+      in
+      Alcotest.(check bool) "ran" true (st.Epic.Sim.cycles > 0))
+    [ { Config.default with Config.pipeline_stages = 4 };
+      { Config.default with Config.n_alus = 8; rf_port_budget = 16 };
+      { Config.default with Config.issue_width = 2; mem_banks = 2 };
+      { (Config.add_custom Config.default "CLZ") with Config.n_preds = 4 } ]
+
+let suite =
+  [
+    Alcotest.test_case "sha padding boundaries" `Quick test_sha_padding_boundaries;
+    Alcotest.test_case "dct non-square images" `Quick test_dct_odd_shapes;
+    Alcotest.test_case "dijkstra graph sizes" `Quick test_dijkstra_sizes;
+    QCheck_alcotest.to_alcotest prop_specialise_preserves_semantics;
+    Alcotest.test_case "arm condition codes" `Quick test_arm_condition_codes;
+    Alcotest.test_case "arm software division" `Quick test_arm_division_runtime;
+    Alcotest.test_case "store offset bounds" `Quick test_store_offset_bounds;
+    Alcotest.test_case "store offset scaling" `Quick test_store_offset_scaling;
+    Alcotest.test_case "exotic configurations" `Quick test_benchmark_exotic_configs;
+  ]

@@ -1,0 +1,349 @@
+(* Optimiser tests: structural effects of each pass plus property-based
+   semantics preservation of the whole pipeline. *)
+
+module Ir = Epic.Ir
+module Opt = Epic.Opt
+module Cfront = Epic.Cfront
+module Interp = Epic.Interp
+
+let compile = Cfront.compile
+
+let func p name =
+  match Ir.find_func p name with
+  | Some f -> f
+  | None -> Alcotest.failf "function %s missing" name
+
+let count_insts (f : Ir.func) =
+  List.fold_left (fun acc (b : Ir.block) -> acc + List.length b.Ir.b_insts) 0 f.Ir.f_blocks
+
+let count_matching p name pred =
+  List.fold_left
+    (fun acc (b : Ir.block) ->
+      acc + List.length (List.filter pred b.Ir.b_insts))
+    0 (func p name).Ir.f_blocks
+
+let run_ret ?args p = (Interp.run ?args p ~entry:"main").Interp.ret
+
+let test_constfold_folds () =
+  let p = Opt.standard (compile "int main() { return 2 + 3 * 4; }") in
+  let main = func p "main" in
+  Alcotest.(check int) "single block" 1 (List.length main.Ir.f_blocks);
+  Alcotest.(check int) "no instructions left" 0 (count_insts main);
+  (match (List.hd main.Ir.f_blocks).Ir.b_term with
+   | Ir.Ret (Some (Ir.Imm 14)) -> ()
+   | t -> Alcotest.failf "unexpected terminator %s" (Format.asprintf "%a" Ir.pp_terminator t))
+
+let test_constfold_propagates_through_locals () =
+  let p =
+    Opt.standard
+      (compile "int main() { int x = 6; int y = x * 7; return y - 2; }")
+  in
+  Alcotest.(check int) "folded to 40" 40 (run_ret p);
+  Alcotest.(check int) "no instructions" 0 (count_insts (func p "main"))
+
+let test_strength_reduction () =
+  let p = Opt.standard (compile "int main(int x, int y) { return x * 8; }") in
+  let muls =
+    count_matching p "main" (fun i ->
+        match i.Ir.kind with Ir.Bin (Ir.Mul, _, _, _) -> true | _ -> false)
+  in
+  let shifts =
+    count_matching p "main" (fun i ->
+        match i.Ir.kind with Ir.Bin (Ir.Shl, _, _, Ir.Imm 3) -> true | _ -> false)
+  in
+  Alcotest.(check int) "multiply gone" 0 muls;
+  Alcotest.(check int) "shift instead" 1 shifts;
+  Alcotest.(check int) "still correct" 72 (run_ret ~args:[ 9; 0 ] p)
+
+let test_division_by_zero_not_folded () =
+  (* Folding 1/0 would change behaviour; it must survive to run time. *)
+  let p = Opt.standard (compile "int main() { return 1 / 0; }") in
+  (match Interp.run p ~entry:"main" with
+   | exception Interp.Runtime_error _ -> ()
+   | _ -> Alcotest.fail "expected a runtime division-by-zero")
+
+let test_dce_removes_dead_code () =
+  let src = "int main(int x, int y) { int a = x * y; int b = a + 1; return x; }" in
+  let p0 = Opt.none (compile src) in
+  let p1 = Opt.standard (compile src) in
+  Alcotest.(check bool) "dead code removed" true
+    (count_insts (func p1 "main") < count_insts (func p0 "main"));
+  Alcotest.(check int) "semantics" 5 (run_ret ~args:[ 5; 7 ] p1)
+
+let test_dce_keeps_stores () =
+  let p =
+    Opt.standard
+      (compile "int g[2]; int main() { g[0] = 42; return 0; }")
+  in
+  let stores =
+    count_matching p "main" (fun i ->
+        match i.Ir.kind with Ir.Store _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "store survives" 1 stores
+
+let test_cse_loads () =
+  let src =
+    "int a[4];\n\
+     int main(int i, int j) { a[1] = i; return a[1] + a[1] + a[1]; }"
+  in
+  let p = Opt.standard (compile src) in
+  let loads =
+    count_matching p "main" (fun i ->
+        match i.Ir.kind with Ir.Load _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "one load after CSE" 1 loads;
+  Alcotest.(check int) "value" 21 (run_ret ~args:[ 7; 0 ] p)
+
+let test_cse_invalidated_by_store () =
+  let src =
+    "int a[4];\n\
+     int main(int i, int j) { a[0] = i; int x = a[0]; a[0] = j; return x + a[0]; }"
+  in
+  let p = Opt.standard (compile src) in
+  Alcotest.(check int) "store invalidates load CSE" 12 (run_ret ~args:[ 5; 7 ] p)
+
+let test_simplify_removes_unreachable () =
+  let src = "int main() { return 1; int x = 2; return x; }" in
+  let p = Opt.standard (compile src) in
+  Alcotest.(check int) "one block" 1 (List.length (func p "main").Ir.f_blocks);
+  Alcotest.(check int) "result" 1 (run_ret p)
+
+let test_simplify_folds_constant_branch () =
+  let src = "int main(int x, int y) { if (1 < 2) return x; return 0 - x; }" in
+  let p = Opt.standard (compile src) in
+  Alcotest.(check int) "one block" 1 (List.length (func p "main").Ir.f_blocks);
+  Alcotest.(check int) "took true branch" 9 (run_ret ~args:[ 9; 0 ] p)
+
+let guarded_count p name =
+  count_matching p name (fun i -> i.Ir.guard <> None)
+
+let test_if_convert_diamond () =
+  let src =
+    "int main(int x, int y) { int r; if (x < y) r = x * 2; else r = y * 3; return r; }"
+  in
+  let p = Opt.for_epic (compile src) in
+  Alcotest.(check bool) "guards present" true (guarded_count p "main" > 0);
+  Alcotest.(check int) "one block" 1 (List.length (func p "main").Ir.f_blocks);
+  Alcotest.(check int) "true side" 6 (run_ret ~args:[ 3; 9 ] p);
+  Alcotest.(check int) "false side" 9 (run_ret ~args:[ 9; 3 ] p)
+
+let test_if_convert_triangle () =
+  let src = "int main(int x, int y) { int r = x; if (x < 0) r = 0 - x; return r; }" in
+  let p = Opt.for_epic (compile src) in
+  Alcotest.(check bool) "guards present" true (guarded_count p "main" > 0);
+  Alcotest.(check int) "abs positive" 5 (run_ret ~args:[ 5; 0 ] p);
+  Alcotest.(check int) "abs negative" 5 (run_ret ~args:[ -5 land 0xFFFFFFFF; 0 ] p)
+
+let test_if_convert_skips_calls () =
+  let src =
+    "int g;\n\
+     void bump() { g = g + 1; }\n\
+     int main(int x, int y) { if (x < y) bump(); return g; }"
+  in
+  (* With the call inlined the body becomes a store, which IS convertible;
+     force the shape by exceeding the inline size with a loop. *)
+  let p = Opt.for_epic (compile src) in
+  Alcotest.(check int) "called" 1 (run_ret ~args:[ 1; 2 ] p);
+  Alcotest.(check int) "not called" 0 (run_ret ~args:[ 2; 1 ] p)
+
+let test_if_convert_disabled () =
+  let src =
+    "int main(int x, int y) { int r; if (x < y) r = x; else r = y; return r; }"
+  in
+  let p = Opt.for_epic ~predication:false (compile src) in
+  Alcotest.(check int) "no guards" 0 (guarded_count p "main");
+  Alcotest.(check int) "correct" 3 (run_ret ~args:[ 7; 3 ] p)
+
+let test_inline_single_site () =
+  let src =
+    "int helper(int a, int b) {\n\
+     \  int s = 0;\n\
+     \  for (int i = 0; i < a; i++) s += b;\n\
+     \  return s;\n\
+     }\n\
+     int main() { return helper(6, 7); }"
+  in
+  let p = Opt.standard (compile src) in
+  Alcotest.(check int) "helper inlined away" 1 (List.length p.Ir.p_funcs);
+  Alcotest.(check int) "semantics" 42 (run_ret p)
+
+let test_inline_keeps_recursive () =
+  let src =
+    "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }\n\
+     int main() { return fact(5); }"
+  in
+  let p = Opt.standard (compile src) in
+  Alcotest.(check int) "fact survives" 2 (List.length p.Ir.p_funcs);
+  Alcotest.(check int) "semantics" 120 (run_ret p)
+
+let test_inline_frame_offsets () =
+  (* Both caller and callee own local arrays: inlining must keep their
+     frame slots disjoint. *)
+  let src =
+    "int f() { int a[4]; a[0] = 1; a[1] = 2; return a[0] + a[1]; }\n\
+     int main() { int b[4]; b[0] = 10; int r = f(); return r + b[0]; }"
+  in
+  let p = Opt.standard (compile src) in
+  Alcotest.(check int) "frames disjoint" 13 (run_ret p)
+
+let test_licm_hoists_addrof () =
+  let src =
+    "int g[8];\n\
+     int main(int n, int y) {\n\
+     \  int s = 0;\n\
+     \  int i = 0;\n\
+     \  while (i < n) { s += g[i & 7] + y * 3; i++; }\n\
+     \  return s;\n\
+     }"
+  in
+  let p = Opt.standard (compile src) in
+  let main = func p "main" in
+  (* y * 3 and &g are loop-invariant: they must not remain in any block
+     that is inside a loop (a block that can reach itself). *)
+  let doms = Epic.Dominators.analyse main in
+  let loops = Epic.Dominators.natural_loops doms main in
+  Alcotest.(check bool) "loop found" true (loops <> []);
+  let in_loop b =
+    List.exists (fun l -> Epic.Dominators.LSet.mem b l.Epic.Dominators.body) loops
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      if in_loop b.Ir.b_id then
+        List.iter
+          (fun (i : Ir.inst) ->
+            match i.Ir.kind with
+            | Ir.AddrOf _ -> Alcotest.fail "AddrOf left inside the loop"
+            | Ir.Bin (Ir.Mul, _, _, _) -> Alcotest.fail "invariant multiply left inside"
+            | _ -> ())
+          b.Ir.b_insts)
+    main.Ir.f_blocks;
+  Alcotest.(check int) "semantics" 282 (run_ret ~args:[ 2; 47 ] p)
+
+let test_licm_keeps_variant_code () =
+  (* i * 2 depends on the induction variable: must stay in the loop. *)
+  let src =
+    "int main(int n, int y) { int s = 0; int i = 0;\n\
+     while (i < n) { s += i * 2; i++; } return s; }"
+  in
+  let p = Opt.standard (compile src) in
+  Alcotest.(check int) "sum of evens" 20 (run_ret ~args:[ 5; 0 ] p)
+
+let test_licm_zero_trip_loop () =
+  (* The loop never runs: hoisted pure code must not change the result,
+     and division must never be hoisted (it could trap). *)
+  let src =
+    "int g = 3;\n\
+     int main(int n, int y) {\n\
+     \  int s = 1;\n\
+     \  int i = 0;\n\
+     \  while (i < n) { s += y / g + y * 5; i++; }\n\
+     \  return s;\n\
+     }"
+  in
+  let p = Opt.standard (compile src) in
+  Alcotest.(check int) "zero-trip" 1 (run_ret ~args:[ 0; 7 ] p);
+  Alcotest.(check int) "two-trip" (1 + 2 * ((7 / 3) + 35)) (run_ret ~args:[ 2; 7 ] p)
+
+let test_dominators_basic () =
+  let p = compile "int main(int x, int y) { int s = 0; while (s < x) s += y; return s; }" in
+  let main = func p "main" in
+  let doms = Epic.Dominators.analyse main in
+  let entry = (Ir.entry_block main).Ir.b_id in
+  List.iter
+    (fun (b : Ir.block) ->
+      Alcotest.(check bool) "entry dominates all" true
+        (Epic.Dominators.dominates doms entry b.Ir.b_id);
+      Alcotest.(check bool) "self-domination" true
+        (Epic.Dominators.dominates doms b.Ir.b_id b.Ir.b_id))
+    main.Ir.f_blocks;
+  let loops = Epic.Dominators.natural_loops doms main in
+  Alcotest.(check int) "one loop" 1 (List.length loops)
+
+let test_validates_after_opt () =
+  List.iter
+    (fun (bm : Epic.Workloads.Sources.benchmark) ->
+      let p = Opt.for_epic (compile bm.Epic.Workloads.Sources.bm_source) in
+      match Ir.validate_program p with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s invalid after opt: %s" bm.Epic.Workloads.Sources.bm_name m)
+    (Epic.Workloads.Sources.all ~sha_bytes:64 ~aes_iters:1 ~dct_size:(8, 8)
+       ~dijkstra_nodes:6 ())
+
+(* Random program generator for semantics-preservation properties: nested
+   arithmetic over two parameters, a bounded loop and an array, avoiding
+   division (by-zero traps would diverge between halves of the test). *)
+let gen_program =
+  let open QCheck.Gen in
+  let rec gen_expr depth =
+    if depth = 0 then
+      oneof [ map string_of_int (int_range (-100) 100); return "x"; return "y"; return "s" ]
+    else
+      let sub = gen_expr (depth - 1) in
+      oneof
+        [
+          map2 (fun a b -> Printf.sprintf "(%s + %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s - %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s * %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s ^ %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s & %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s | %s)" a b) sub sub;
+          map (fun a -> Printf.sprintf "(%s << 3)" a) sub;
+          map (fun a -> Printf.sprintf "__lsr(%s, 5)" a) sub;
+          map2 (fun a b -> Printf.sprintf "(%s < %s ? %s : %s)" a b b a) sub sub;
+        ]
+  in
+  let* e1 = gen_expr 3 in
+  let* e2 = gen_expr 3 in
+  let* n = int_range 1 8 in
+  return
+    (Printf.sprintf
+       "int a[8];\n\
+        int main(int x, int y) {\n\
+        \  int s = 0;\n\
+        \  for (int i = 0; i < %d; i++) {\n\
+        \    a[i] = %s;\n\
+        \    s = s + a[i] + (%s);\n\
+        \  }\n\
+        \  return s;\n\
+        }"
+       n e1 e2)
+
+let prop_opt_preserves_semantics =
+  QCheck.Test.make ~name:"optimised program agrees with unoptimised" ~count:120
+    (QCheck.make
+       ~print:(fun (src, x, y) -> Printf.sprintf "x=%d y=%d\n%s" x y src)
+       QCheck.Gen.(triple gen_program (int_range (-1000) 1000) (int_range (-1000) 1000)))
+    (fun (src, x, y) ->
+      let args = [ x land 0xFFFFFFFF; y land 0xFFFFFFFF ] in
+      let p0 = compile src in
+      let r0 = run_ret ~args (Opt.none p0) in
+      let r1 = run_ret ~args (Opt.standard p0) in
+      let r2 = run_ret ~args (Opt.for_epic p0) in
+      r0 = r1 && r0 = r2)
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constfold_folds;
+    Alcotest.test_case "constant propagation" `Quick test_constfold_propagates_through_locals;
+    Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+    Alcotest.test_case "div-by-zero survives folding" `Quick test_division_by_zero_not_folded;
+    Alcotest.test_case "dce removes dead code" `Quick test_dce_removes_dead_code;
+    Alcotest.test_case "dce keeps stores" `Quick test_dce_keeps_stores;
+    Alcotest.test_case "cse merges loads" `Quick test_cse_loads;
+    Alcotest.test_case "cse invalidated by store" `Quick test_cse_invalidated_by_store;
+    Alcotest.test_case "unreachable code removed" `Quick test_simplify_removes_unreachable;
+    Alcotest.test_case "constant branch folded" `Quick test_simplify_folds_constant_branch;
+    Alcotest.test_case "if-conversion (diamond)" `Quick test_if_convert_diamond;
+    Alcotest.test_case "if-conversion (triangle)" `Quick test_if_convert_triangle;
+    Alcotest.test_case "if-conversion around calls" `Quick test_if_convert_skips_calls;
+    Alcotest.test_case "if-conversion can be disabled" `Quick test_if_convert_disabled;
+    Alcotest.test_case "inline single-site" `Quick test_inline_single_site;
+    Alcotest.test_case "inline keeps recursion" `Quick test_inline_keeps_recursive;
+    Alcotest.test_case "inline frame offsets" `Quick test_inline_frame_offsets;
+    Alcotest.test_case "licm hoists invariants" `Quick test_licm_hoists_addrof;
+    Alcotest.test_case "licm keeps variant code" `Quick test_licm_keeps_variant_code;
+    Alcotest.test_case "licm zero-trip safety" `Quick test_licm_zero_trip_loop;
+    Alcotest.test_case "dominators + loops" `Quick test_dominators_basic;
+    Alcotest.test_case "benchmarks validate after opt" `Quick test_validates_after_opt;
+    QCheck_alcotest.to_alcotest prop_opt_preserves_semantics;
+  ]

@@ -1,0 +1,144 @@
+(* Workload validation: the OCaml references against published test
+   vectors, and the compiled benchmarks (via the MIR interpreter) against
+   the references. *)
+
+module W = Epic.Workloads
+module Cfront = Epic.Cfront
+module Interp = Epic.Interp
+
+let test_sha256_vectors () =
+  let check msg hex =
+    Alcotest.(check string) msg hex (W.Sha256_ref.to_hex (W.Sha256_ref.digest_string msg))
+  in
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  (* Exercise multi-block padding boundaries: 55, 56 and 64 bytes. *)
+  let rep n c = String.make n c in
+  check (rep 55 'a') "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318";
+  check (rep 56 'a') "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a";
+  check (rep 64 'a') "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+
+let test_aes_fips_vector () =
+  (* FIPS-197 Appendix C.1 / B: key 000102...0f, plaintext 00112233...ff *)
+  let key = Array.init 16 (fun i -> i) in
+  let pt = Array.init 16 (fun i -> (i lsl 4) lor i) in
+  let w = W.Aes_ref.expand_key key in
+  let ct = W.Aes_ref.encrypt_block w pt in
+  let expected =
+    [| 0x69; 0xc4; 0xe0; 0xd8; 0x6a; 0x7b; 0x04; 0x30; 0xd8; 0xcd; 0xb7; 0x80;
+       0x70; 0xb4; 0xc5; 0x5a |]
+  in
+  Alcotest.(check (array int)) "ciphertext" expected ct;
+  Alcotest.(check (array int)) "decrypt inverts" pt (W.Aes_ref.decrypt_block w ct)
+
+let test_aes_roundtrip_random () =
+  let prng = W.Prng.create ~seed:0xBEEF () in
+  for _ = 1 to 20 do
+    let key = Array.init 16 (fun _ -> W.Prng.next_byte prng) in
+    let pt = Array.init 16 (fun _ -> W.Prng.next_byte prng) in
+    let w = W.Aes_ref.expand_key key in
+    Alcotest.(check (array int)) "roundtrip" pt
+      (W.Aes_ref.decrypt_block w (W.Aes_ref.encrypt_block w pt))
+  done
+
+let test_dct_accuracy () =
+  (* Fixed-point DCT roundtrip error stays small on random blocks. *)
+  let prng = W.Prng.create ~seed:0xD0C7 () in
+  for _ = 1 to 50 do
+    let blk = Array.init 64 (fun _ -> W.Prng.next_byte prng) in
+    let e = W.Dct_ref.max_error blk in
+    if e > 2 then Alcotest.failf "DCT roundtrip error %d too large" e
+  done;
+  (* A constant block is reproduced exactly up to rounding. *)
+  let flat = Array.make 64 128 in
+  Alcotest.(check bool) "flat block error <= 1" true (W.Dct_ref.max_error flat <= 1)
+
+let test_dct_dc_coefficient () =
+  (* The DC coefficient of a constant block is 8 * value (within fixed-
+     point rounding) and all ACs are ~0. *)
+  let flat = Array.make 64 100 in
+  let c = W.Dct_ref.forward flat in
+  Alcotest.(check bool) "DC close to 800" true (abs (c.(0) - 800) <= 2);
+  for i = 1 to 63 do
+    if abs c.(i) > 1 then Alcotest.failf "AC coefficient %d = %d" i c.(i)
+  done
+
+let test_dijkstra_vs_floyd () =
+  let prng = W.Prng.create ~seed:0xF10D () in
+  let n = 12 in
+  let adj = W.Dijkstra_ref.generate_graph prng n in
+  let fw = W.Dijkstra_ref.floyd_warshall adj n in
+  for s = 0 to n - 1 do
+    let d = W.Dijkstra_ref.single_source adj n s in
+    for t = 0 to n - 1 do
+      Alcotest.(check int) (Printf.sprintf "d(%d,%d)" s t) fw.((s * n) + t) d.(t)
+    done
+  done
+
+let test_prng_c_matches_ocaml () =
+  let src =
+    W.Prng.c_source ()
+    ^ "int out[16];\n\
+       int main() {\n\
+       \  int i;\n\
+       \  for (i = 0; i < 16; i++) out[i] = prng_next();\n\
+       \  return out[15];\n\
+       }\n"
+  in
+  let p = Cfront.compile src in
+  let res = Interp.run p ~entry:"main" in
+  let prng = W.Prng.create () in
+  let expected = ref 0 in
+  for _ = 1 to 16 do
+    expected := W.Prng.next prng
+  done;
+  Alcotest.(check int) "16th value" !expected res.Interp.ret
+
+(* The integration tests: every benchmark compiles and computes its
+   reference checksum, unoptimised and optimised. *)
+let run_benchmark ?(optimise = false) (bm : W.Sources.benchmark) =
+  let p = Cfront.compile bm.W.Sources.bm_source in
+  let p = if optimise then Epic.Opt.for_epic p else p in
+  let custom name a b =
+    match Epic.Config.registry_find name with
+    | Some c -> c.Epic.Config.cop_semantics ~width:32 a b
+    | None -> Alcotest.failf "unknown custom op %s" name
+  in
+  let res = Interp.run ~custom p ~entry:"main" in
+  Alcotest.(check int)
+    (Printf.sprintf "%s checksum" bm.W.Sources.bm_name)
+    bm.W.Sources.bm_expected res.Interp.ret
+
+let test_benchmark_small _name mk = fun () -> run_benchmark (mk ())
+
+let suite =
+  [
+    Alcotest.test_case "SHA-256 test vectors" `Quick test_sha256_vectors;
+    Alcotest.test_case "AES FIPS-197 vector" `Quick test_aes_fips_vector;
+    Alcotest.test_case "AES random roundtrips" `Quick test_aes_roundtrip_random;
+    Alcotest.test_case "DCT fixed-point accuracy" `Quick test_dct_accuracy;
+    Alcotest.test_case "DCT DC coefficient" `Quick test_dct_dc_coefficient;
+    Alcotest.test_case "Dijkstra vs Floyd-Warshall" `Quick test_dijkstra_vs_floyd;
+    Alcotest.test_case "PRNG C matches OCaml" `Quick test_prng_c_matches_ocaml;
+    Alcotest.test_case "sha benchmark (interp)" `Quick
+      (test_benchmark_small "sha" (fun () -> W.Sources.sha_benchmark ~bytes:128 ()));
+    Alcotest.test_case "sha benchmark with ROTR custom op" `Quick
+      (test_benchmark_small "sha-rotr"
+         (fun () -> W.Sources.sha_benchmark ~use_rotr_custom:true ~bytes:128 ()));
+    Alcotest.test_case "aes benchmark (interp)" `Quick
+      (test_benchmark_small "aes" (fun () -> W.Sources.aes_benchmark ~iters:3 ()));
+    Alcotest.test_case "dct benchmark (interp)" `Quick
+      (test_benchmark_small "dct" (fun () -> W.Sources.dct_benchmark ~width:16 ~height:8 ()));
+    Alcotest.test_case "dijkstra benchmark (interp)" `Quick
+      (test_benchmark_small "dijkstra" (fun () -> W.Sources.dijkstra_benchmark ~nodes:10 ()));
+    Alcotest.test_case "sha benchmark optimised" `Quick (fun () ->
+        run_benchmark ~optimise:true (W.Sources.sha_benchmark ~bytes:128 ()));
+    Alcotest.test_case "aes benchmark optimised" `Quick (fun () ->
+        run_benchmark ~optimise:true (W.Sources.aes_benchmark ~iters:3 ()));
+    Alcotest.test_case "dct benchmark optimised" `Quick (fun () ->
+        run_benchmark ~optimise:true (W.Sources.dct_benchmark ~width:16 ~height:8 ()));
+    Alcotest.test_case "dijkstra benchmark optimised" `Quick (fun () ->
+        run_benchmark ~optimise:true (W.Sources.dijkstra_benchmark ~nodes:10 ()));
+  ]
