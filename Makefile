@@ -1,0 +1,28 @@
+# Convenience targets; everything is driven by dune underneath.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate: full build, the complete test suite, and the epicprof
+# golden flow (profile the SHA-256 example and validate the emitted
+# Chrome trace with the profiler's own JSON parser via the test suite).
+check:
+	dune build
+	dune runtest
+	dune exec bin/epicprof.exe -- examples/sha256.c --format=chrome-trace \
+	  -o _build/check_trace.json
+	@echo "make check: OK"
+
+bench:
+	dune exec bench/main.exe -- table1
+
+clean:
+	dune clean
+	rm -f trace.json sha_trace.json

@@ -89,19 +89,18 @@ let print_resources () =
   Printf.printf "\nper-ALU increment ~2600 slices (paper: \"around 2600\"); \
                  register file maps to block RAM.\n"
 
-let print_ablate_ports sizes =
+let print_ablate_ports pts =
   hr "A1: register-file port budget and forwarding (SHA, 4 ALUs)";
   Printf.printf "%8s %12s %10s %12s\n" "ports" "forwarding" "cycles" "port stalls";
   List.iter
     (fun (p : E.port_point) ->
       Printf.printf "%8d %12b %10d %12d\n" p.E.pp_budget p.E.pp_forwarding
         p.E.pp_cycles p.E.pp_port_stalls)
-    (E.ablate_ports ~sizes ())
+    pts
 
-let print_ablate_custom sizes =
+let print_ablate_custom pts =
   hr "A2: ROTR custom instruction (SHA, 4 ALUs)";
   Printf.printf "%-12s %10s %10s\n" "" "cycles" "slices";
-  let pts = E.ablate_custom ~sizes () in
   List.iter
     (fun (c : E.custom_point) ->
       Printf.printf "%-12s %10d %10d\n" c.E.cp_label c.E.cp_cycles c.E.cp_slices)
@@ -113,15 +112,15 @@ let print_ablate_custom sizes =
       (rotr.E.cp_slices - base.E.cp_slices)
   | _ -> ()
 
-let print_ablate_issue sizes =
+let print_ablate_issue pts =
   hr "A3: instructions per issue (DCT, 4 ALUs)";
   Printf.printf "%8s %10s %12s\n" "issue" "cycles" "nop slots";
   List.iter
     (fun (p : E.issue_point) ->
       Printf.printf "%8d %10d %12d\n" p.E.ip_issue p.E.ip_cycles p.E.ip_nops)
-    (E.ablate_issue ~sizes ())
+    pts
 
-let print_ablate_pred sizes =
+let print_ablate_pred pts =
   hr "A4: predication (if-conversion) on/off (4 ALUs)";
   Printf.printf "%-10s %14s %14s %10s\n" "" "predicated" "branches" "speedup";
   List.iter
@@ -129,9 +128,9 @@ let print_ablate_pred sizes =
       Printf.printf "%-10s %14d %14d %9.2fx\n" p.E.dp_name p.E.dp_with
         p.E.dp_without
         (float_of_int p.E.dp_without /. float_of_int p.E.dp_with))
-    (E.ablate_predication ~sizes ())
+    pts
 
-let print_ablate_pipeline sizes =
+let print_ablate_pipeline pts =
   hr "A5: pipeline depth (future work: parameterised pipelining)";
   Printf.printf "%-10s %8s %10s %10s %8s %12s\n" "" "stages" "cycles"
     "bubbles" "MHz" "time (us)";
@@ -139,9 +138,9 @@ let print_ablate_pipeline sizes =
     (fun (p : E.pipe_point) ->
       Printf.printf "%-10s %8d %10d %10d %8.1f %12.1f\n" p.E.pl_name
         p.E.pl_stages p.E.pl_cycles p.E.pl_bubbles p.E.pl_mhz p.E.pl_micros)
-    (E.ablate_pipeline ~sizes ())
+    pts
 
-let print_ablate_power sizes =
+let print_ablate_power pts =
   hr "A6: power/performance across the ALU sweep (DCT)";
   Printf.printf "%6s %10s %12s %12s %12s %12s\n" "ALUs" "cycles" "time (us)"
     "dyn (mW)" "total (mW)" "energy (uJ)";
@@ -150,13 +149,12 @@ let print_ablate_power sizes =
       Printf.printf "%6d %10d %12.1f %12.1f %12.1f %12.2f\n" p.E.po_alus
         p.E.po_cycles p.E.po_micros p.E.po_power.Area.pw_dynamic_mw
         p.E.po_power.Area.pw_total_mw p.E.po_power.Area.pw_energy_uj)
-    (E.ablate_power ~sizes ())
+    pts
 
-let print_ablate_autogen sizes =
+let print_ablate_autogen pts =
   hr "A7: automatic custom-instruction generation (SHA)";
   Printf.printf "%6s %12s %14s %9s %10s %12s\n" "ALUs" "base cyc"
     "specialised" "speedup" "slices" "(+custom)";
-  let pts = E.ablate_autogen ~sizes () in
   List.iter
     (fun (p : E.autogen_point) ->
       Printf.printf "%6d %12d %14d %8.2fx %10d %12d\n" p.E.ag_alus
@@ -169,13 +167,162 @@ let print_ablate_autogen sizes =
      Printf.printf "generated: %s\n" (String.concat ", " p.E.ag_generated)
    | [] -> ())
 
-let print_ablate_unroll sizes =
+let print_ablate_unroll pts =
   hr "A8: loop unrolling factor (4 ALUs)";
   Printf.printf "%-10s %8s %10s\n" "" "unroll" "cycles";
   List.iter
     (fun (p : E.unroll_point) ->
       Printf.printf "%-10s %8d %10d\n" p.E.un_name p.E.un_factor p.E.un_cycles)
-    (E.ablate_unroll ~sizes ())
+    pts
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable dump (--json <file>): every table's rows as JSON via
+   the profiler's exporter, so BENCH_*.json trajectories can be produced
+   mechanically. *)
+
+module J = Epic.Profile.Json
+
+let json_of_table1 rows =
+  J.List
+    (List.map
+       (fun (r : E.table1_row) ->
+         let sp = E.speedups r in
+         J.Obj
+           [
+             ("benchmark", J.Str r.E.t1_name);
+             ("sa110_cycles", J.Int r.E.t1_sa110);
+             ( "epic_cycles",
+               J.Obj
+                 (List.map
+                    (fun (alus, c) -> (string_of_int alus, J.Int c))
+                    r.E.t1_epic) );
+             ("same_clock_speedup", J.Float sp.E.sp_same_clock);
+             ("wall_clock_speedup", J.Float sp.E.sp_wall_clock);
+           ])
+       rows)
+
+let json_of_resources rows =
+  J.List
+    (List.map
+       (fun (r : E.resource_row) ->
+         J.Obj
+           [
+             ("alus", J.Int r.E.rr_alus);
+             ("slices", J.Int r.E.rr.Area.slices);
+             ("brams", J.Int r.E.rr.Area.brams);
+             ("clock_mhz", J.Float r.E.rr.Area.clock_mhz);
+             ( "paper_slices",
+               match List.assoc_opt r.E.rr_alus E.paper_slices with
+               | Some v -> J.Int v
+               | None -> J.Null );
+           ])
+       rows)
+
+let json_of_ports pts =
+  J.List
+    (List.map
+       (fun (p : E.port_point) ->
+         J.Obj
+           [
+             ("ports", J.Int p.E.pp_budget);
+             ("forwarding", J.Bool p.E.pp_forwarding);
+             ("cycles", J.Int p.E.pp_cycles);
+             ("port_stalls", J.Int p.E.pp_port_stalls);
+           ])
+       pts)
+
+let json_of_custom pts =
+  J.List
+    (List.map
+       (fun (c : E.custom_point) ->
+         J.Obj
+           [
+             ("config", J.Str c.E.cp_label);
+             ("cycles", J.Int c.E.cp_cycles);
+             ("slices", J.Int c.E.cp_slices);
+           ])
+       pts)
+
+let json_of_issue pts =
+  J.List
+    (List.map
+       (fun (p : E.issue_point) ->
+         J.Obj
+           [
+             ("issue", J.Int p.E.ip_issue);
+             ("cycles", J.Int p.E.ip_cycles);
+             ("nops", J.Int p.E.ip_nops);
+           ])
+       pts)
+
+let json_of_pred pts =
+  J.List
+    (List.map
+       (fun (p : E.pred_point) ->
+         J.Obj
+           [
+             ("benchmark", J.Str p.E.dp_name);
+             ("predicated_cycles", J.Int p.E.dp_with);
+             ("branching_cycles", J.Int p.E.dp_without);
+           ])
+       pts)
+
+let json_of_pipeline pts =
+  J.List
+    (List.map
+       (fun (p : E.pipe_point) ->
+         J.Obj
+           [
+             ("benchmark", J.Str p.E.pl_name);
+             ("stages", J.Int p.E.pl_stages);
+             ("cycles", J.Int p.E.pl_cycles);
+             ("bubbles", J.Int p.E.pl_bubbles);
+             ("clock_mhz", J.Float p.E.pl_mhz);
+             ("micros", J.Float p.E.pl_micros);
+           ])
+       pts)
+
+let json_of_power pts =
+  J.List
+    (List.map
+       (fun (p : E.power_point) ->
+         J.Obj
+           [
+             ("alus", J.Int p.E.po_alus);
+             ("cycles", J.Int p.E.po_cycles);
+             ("micros", J.Float p.E.po_micros);
+             ("dynamic_mw", J.Float p.E.po_power.Area.pw_dynamic_mw);
+             ("total_mw", J.Float p.E.po_power.Area.pw_total_mw);
+             ("energy_uj", J.Float p.E.po_power.Area.pw_energy_uj);
+           ])
+       pts)
+
+let json_of_autogen pts =
+  J.List
+    (List.map
+       (fun (p : E.autogen_point) ->
+         J.Obj
+           [
+             ("alus", J.Int p.E.ag_alus);
+             ("base_cycles", J.Int p.E.ag_base_cycles);
+             ("specialised_cycles", J.Int p.E.ag_spec_cycles);
+             ("base_slices", J.Int p.E.ag_base_slices);
+             ("specialised_slices", J.Int p.E.ag_spec_slices);
+             ("generated", J.List (List.map (fun s -> J.Str s) p.E.ag_generated));
+           ])
+       pts)
+
+let json_of_unroll pts =
+  J.List
+    (List.map
+       (fun (p : E.unroll_point) ->
+         J.Obj
+           [
+             ("benchmark", J.Str p.E.un_name);
+             ("unroll", J.Int p.E.un_factor);
+             ("cycles", J.Int p.E.un_cycles);
+           ])
+       pts)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel suite: one Test per table/figure, measuring the toolchain +
@@ -290,6 +437,13 @@ let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
   let quick = List.mem "--quick" args in
+  (* --json <file>: dump every computed table's rows as JSON. *)
+  let rec find_json = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find_json rest
+    | [] -> None
+  in
+  let json_path = find_json args in
   let sizes =
     if full then E.paper_sizes
     else if quick then
@@ -297,9 +451,17 @@ let () =
     else E.default_sizes
   in
   let selected =
-    List.filteri (fun i a -> i > 0 && a <> "--full" && a <> "--quick") args
+    let rec drop_json = function
+      | "--json" :: _ :: rest -> drop_json rest
+      | x :: rest -> x :: drop_json rest
+      | [] -> []
+    in
+    List.filteri (fun i a -> i > 0 && a <> "--full" && a <> "--quick")
+      (drop_json args)
   in
   let want what = selected = [] || List.mem what selected || List.mem "all" selected in
+  let json_acc = ref [] in
+  let record key rows = json_acc := (key, rows) :: !json_acc in
   Printf.printf
     "EPIC benchmark harness (sizes: sha=%dB aes=%d dct=%dx%d dijkstra=%d)\n"
     sizes.E.sha_bytes sizes.E.aes_iters (fst sizes.E.dct_size)
@@ -316,18 +478,73 @@ let () =
   in
   (match rows with
    | Some rows ->
+     record "table1" (json_of_table1 rows);
      if want "table1" then print_table1 rows;
      if want "fig3" then print_fig 2 "SHA" rows "sha";
      if want "fig4" then print_fig 3 "DCT" rows "dct";
      if want "fig5" then print_fig 4 "Dijkstra" rows "dijkstra"
    | None -> ());
-  if want "resources" then print_resources ();
-  if want "ablate-ports" then print_ablate_ports sizes;
-  if want "ablate-custom" then print_ablate_custom sizes;
-  if want "ablate-issue" then print_ablate_issue sizes;
-  if want "ablate-pred" then print_ablate_pred sizes;
-  if want "ablate-pipeline" then print_ablate_pipeline sizes;
-  if want "ablate-power" then print_ablate_power sizes;
-  if want "ablate-autogen" then print_ablate_autogen sizes;
-  if want "ablate-unroll" then print_ablate_unroll sizes;
-  if want "bechamel" then bechamel_suite ()
+  if want "resources" then begin
+    record "resources" (json_of_resources (E.resources ()));
+    print_resources ()
+  end;
+  if want "ablate-ports" then begin
+    let pts = E.ablate_ports ~sizes () in
+    record "ablate_ports" (json_of_ports pts);
+    print_ablate_ports pts
+  end;
+  if want "ablate-custom" then begin
+    let pts = E.ablate_custom ~sizes () in
+    record "ablate_custom" (json_of_custom pts);
+    print_ablate_custom pts
+  end;
+  if want "ablate-issue" then begin
+    let pts = E.ablate_issue ~sizes () in
+    record "ablate_issue" (json_of_issue pts);
+    print_ablate_issue pts
+  end;
+  if want "ablate-pred" then begin
+    let pts = E.ablate_predication ~sizes () in
+    record "ablate_predication" (json_of_pred pts);
+    print_ablate_pred pts
+  end;
+  if want "ablate-pipeline" then begin
+    let pts = E.ablate_pipeline ~sizes () in
+    record "ablate_pipeline" (json_of_pipeline pts);
+    print_ablate_pipeline pts
+  end;
+  if want "ablate-power" then begin
+    let pts = E.ablate_power ~sizes () in
+    record "ablate_power" (json_of_power pts);
+    print_ablate_power pts
+  end;
+  if want "ablate-autogen" then begin
+    let pts = E.ablate_autogen ~sizes () in
+    record "ablate_autogen" (json_of_autogen pts);
+    print_ablate_autogen pts
+  end;
+  if want "ablate-unroll" then begin
+    let pts = E.ablate_unroll ~sizes () in
+    record "ablate_unroll" (json_of_unroll pts);
+    print_ablate_unroll pts
+  end;
+  if want "bechamel" then bechamel_suite ();
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let sizes_json =
+      J.Obj
+        [
+          ("sha_bytes", J.Int sizes.E.sha_bytes);
+          ("aes_iters", J.Int sizes.E.aes_iters);
+          ("dct_width", J.Int (fst sizes.E.dct_size));
+          ("dct_height", J.Int (snd sizes.E.dct_size));
+          ("dijkstra_nodes", J.Int sizes.E.dijkstra_nodes);
+        ]
+    in
+    let doc = J.Obj (("sizes", sizes_json) :: List.rev !json_acc) in
+    let oc = open_out path in
+    output_string oc (J.to_string doc);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path

@@ -1,0 +1,90 @@
+(* epicprof: compile an EPIC-C program, run it on the cycle-level
+   simulator with the profiler attached, and report where the cycles go —
+   per function, per basic block (with stall-cause breakdown), per
+   functional unit — or export the run as Chrome trace-event JSON
+   (chrome://tracing / Perfetto) or a machine-readable JSON report. *)
+
+open Cmdliner
+
+type format = Text | Json | Chrome_trace
+
+let run input cfg no_pred format output top =
+  Cli_common.handle_errors @@ fun () ->
+  let source = Cli_common.read_file input in
+  let a = Epic.Toolchain.compile_epic cfg ~source ~predication:(not no_pred) () in
+  let keep_events = format = Chrome_trace in
+  let r, prof = Epic.Toolchain.profile_epic ~keep_events a in
+  let stats = r.Epic.Sim.stats in
+  let report = Epic.Profile.report prof in
+  (* The attribution is conservative by construction; refuse to emit a
+     report that fails to account for every cycle. *)
+  if report.Epic.Profile.rp_cycles <> stats.Epic.Sim.cycles then
+    failwith
+      (Printf.sprintf "profile accounted for %d of %d cycles"
+         report.Epic.Profile.rp_cycles stats.Epic.Sim.cycles);
+  let with_out f =
+    match output with
+    | None -> f stdout
+    | Some path ->
+      let oc = open_out path in
+      f oc;
+      close_out oc
+  in
+  (match format with
+   | Text ->
+     with_out (fun oc ->
+         let ppf = Format.formatter_of_out_channel oc in
+         Format.fprintf ppf
+           "%s: returned %d (0x%08x) in %d cycles (ILP %.2f)@.@.%a@.@,\
+            hottest blocks:@.%a@."
+           input r.Epic.Sim.ret r.Epic.Sim.ret stats.Epic.Sim.cycles
+           (Epic.Sim.ilp stats) Epic.Profile.pp_report report
+           (Epic.Profile.pp_hot ~top prof)
+           report)
+   | Json ->
+     with_out (fun oc ->
+         output_string oc
+           (Epic.Profile.Json.to_string
+              (Epic.Profile.Json.Obj
+                 [
+                   ("source", Epic.Profile.Json.Str input);
+                   ("return", Epic.Profile.Json.Int r.Epic.Sim.ret);
+                   ("stats", Epic.Profile.stats_to_json stats);
+                   ("profile", Epic.Profile.report_to_json report);
+                 ]));
+         output_string oc "\n")
+   | Chrome_trace -> with_out (Epic.Profile.chrome_trace_to_channel prof));
+  if output <> None then
+    Printf.eprintf "%s: %d cycles profiled, report written to %s\n" input
+      stats.Epic.Sim.cycles
+      (Option.get output)
+
+let cmd =
+  let no_pred =
+    Arg.(value & flag & info [ "no-predication" ] ~doc:"Disable if-conversion.")
+  in
+  let format =
+    let fmt_conv =
+      Arg.enum
+        [ ("text", Text); ("json", Json); ("chrome-trace", Chrome_trace) ]
+    in
+    Arg.(value & opt fmt_conv Text & info [ "format" ] ~docv:"FMT"
+         ~doc:"Output format: $(b,text) (tables + annotated hot blocks), \
+               $(b,json) (machine-readable report), or $(b,chrome-trace) \
+               (trace-event JSON for chrome://tracing / Perfetto).")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the report to $(docv) instead of standard output.")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N"
+         ~doc:"Number of hot blocks to annotate in the text report.")
+  in
+  Cmd.v
+    (Cmd.info "epicprof"
+       ~doc:"Profile EPIC-C programs on the cycle-level EPIC simulator")
+    Term.(const run $ Cli_common.input_term $ Cli_common.config_term $ no_pred
+          $ format $ output $ top)
+
+let () = exit (Cmd.eval cmd)

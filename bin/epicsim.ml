@@ -4,19 +4,41 @@
 
 open Cmdliner
 
-let run input cfg no_pred compare_arm verbose trace =
+let pct total n =
+  if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total
+
+let run input cfg no_pred compare_arm verbose trace profile =
   Cli_common.handle_errors @@ fun () ->
   let source = Cli_common.read_file input in
   let a = Epic.Toolchain.compile_epic cfg ~source ~predication:(not no_pred) () in
+  let prof =
+    if profile then Some (Epic.Profile.create cfg a.Epic.Toolchain.ea_image)
+    else None
+  in
   let r =
     Epic.Toolchain.run_epic
-      ?trace:(if trace then Some Format.err_formatter else None) a
+      ?trace:(if trace then Some Format.err_formatter else None) ?profile:prof a
   in
   Printf.printf "EPIC (%d ALUs, %d-issue, %.1f MHz): returned %d (0x%08x)\n"
     cfg.Epic.Config.n_alus cfg.Epic.Config.issue_width
     (Epic.Area.estimate cfg).Epic.Area.clock_mhz r.Epic.Sim.ret r.Epic.Sim.ret;
-  if verbose then Format.printf "%a@." Epic.Sim.pp_stats r.Epic.Sim.stats
-  else Printf.printf "cycles: %d\n" r.Epic.Sim.stats.Epic.Sim.cycles;
+  let st = r.Epic.Sim.stats in
+  if verbose then begin
+    Format.printf "%a@." Epic.Sim.pp_stats st;
+    Printf.printf
+      "stall breakdown: operand %.1f%%, port %.1f%%, branch %.1f%% of %d cycles\n"
+      (pct st.Epic.Sim.cycles st.Epic.Sim.operand_stalls)
+      (pct st.Epic.Sim.cycles st.Epic.Sim.port_stalls)
+      (pct st.Epic.Sim.cycles st.Epic.Sim.branch_bubbles)
+      st.Epic.Sim.cycles
+  end
+  else
+    Printf.printf "cycles: %d  ILP: %.2f\n" st.Epic.Sim.cycles
+      (Epic.Sim.ilp st);
+  (match prof with
+   | Some p ->
+     Format.printf "@.%a@." Epic.Profile.pp_report (Epic.Profile.report p)
+   | None -> ());
   if compare_arm then begin
     let aa = Epic.Toolchain.compile_arm ~source () in
     let ra = Epic.Toolchain.run_arm aa in
@@ -41,9 +63,14 @@ let cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print every issued bundle to stderr.")
   in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+         ~doc:"Attach the cycle-attribution profiler and print its report \
+               (epicprof offers more output formats).")
+  in
   Cmd.v
     (Cmd.info "epicsim" ~doc:"Run EPIC-C programs on the cycle-level EPIC simulator")
     Term.(const run $ Cli_common.input_term $ Cli_common.config_term $ no_pred
-          $ compare_arm $ verbose $ trace)
+          $ compare_arm $ verbose $ trace $ profile)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,61 @@
+/* SHA-256 of a 64-byte synthetic message (generated from
+   Epic_workloads.Sources.sha_benchmark ~bytes:64; expected return value
+   0x6de65400 = XOR of the eight digest words).  The worked profiling
+   example of README section "Profiling a program" runs epicprof on
+   this file. */
+int __prng_state = 625341585;
+int prng_next() {
+  int s = __prng_state;
+  s = s ^ (s << 13);
+  s = s ^ __lsr(s, 17);
+  s = s ^ (s << 5);
+  __prng_state = s;
+  return s;
+}
+int K[64] = {
+  1116352408,1899447441,3049323471,3921009573,961987163,1508970993,2453635748,2870763221,3624381080,310598401,607225278,1426881987,
+  1925078388,2162078206,2614888103,3248222580,3835390401,4022224774,264347078,604807628,770255983,1249150122,1555081692,1996064986,
+  2554220882,2821834349,2952996808,3210313671,3336571891,3584528711,113926993,338241895,666307205,773529912,1294757372,1396182291,
+  1695183700,1986661051,2177026350,2456956037,2730485921,2820302411,3259730800,3345764771,3516065817,3600352804,4094571909,275423344,
+  430227734,506948616,659060556,883997877,958139571,1322822218,1537002063,1747873779,1955562222,2024104815,2227730452,2361852424,
+  2428436474,2756734187,3204031479,3329325298
+};
+int data[128];
+int H[8];
+int W[64];
+int main() {
+  int i; int t; int blk; int bitlen;
+  for (i = 0; i < 64; i++) data[i] = prng_next() & 255;
+  data[64] = 0x80;
+  bitlen = 512;
+  for (i = 0; i < 8; i++) data[128 - 1 - i] = __lsr(bitlen, 8 * i) & 255;
+  H[0] = 0x6a09e667; H[1] = 0xbb67ae85; H[2] = 0x3c6ef372; H[3] = 0xa54ff53a;
+  H[4] = 0x510e527f; H[5] = 0x9b05688c; H[6] = 0x1f83d9ab; H[7] = 0x5be0cd19;
+  for (blk = 0; blk < 2; blk++) {
+    int base = blk * 64;
+    for (t = 0; t < 16; t++)
+      W[t] = (data[base + 4*t] << 24) | (data[base + 4*t + 1] << 16)
+           | (data[base + 4*t + 2] << 8) | data[base + 4*t + 3];
+    for (t = 16; t < 64; t++) {
+      int x = W[t - 15];
+      int y = W[t - 2];
+      int s0 = (__lsr(x, 7) | (x << 25)) ^ (__lsr(x, 18) | (x << 14)) ^ __lsr(x, 3);
+      int s1 = (__lsr(y, 17) | (y << 15)) ^ (__lsr(y, 19) | (y << 13)) ^ __lsr(y, 10);
+      W[t] = W[t - 16] + s0 + W[t - 7] + s1;
+    }
+    int a = H[0]; int b = H[1]; int c = H[2]; int d = H[3];
+    int e = H[4]; int f = H[5]; int g = H[6]; int h = H[7];
+    for (t = 0; t < 64; t++) {
+      int s1 = (__lsr(e, 6) | (e << 26)) ^ (__lsr(e, 11) | (e << 21)) ^ (__lsr(e, 25) | (e << 7));
+      int ch = (e & f) ^ (~e & g);
+      int t1 = h + s1 + ch + K[t] + W[t];
+      int s0 = (__lsr(a, 2) | (a << 30)) ^ (__lsr(a, 13) | (a << 19)) ^ (__lsr(a, 22) | (a << 10));
+      int maj = (a & b) ^ (a & c) ^ (b & c);
+      int t2 = s0 + maj;
+      h = g; g = f; f = e; e = d + t1; d = c; c = b; b = a; a = t1 + t2;
+    }
+    H[0] += a; H[1] += b; H[2] += c; H[3] += d;
+    H[4] += e; H[5] += f; H[6] += g; H[7] += h;
+  }
+  return H[0] ^ H[1] ^ H[2] ^ H[3] ^ H[4] ^ H[5] ^ H[6] ^ H[7];
+}

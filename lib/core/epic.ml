@@ -19,6 +19,7 @@ module Regalloc = Epic_regalloc
 module Sched = Epic_sched
 module Asm = Epic_asm
 module Sim = Epic_sim
+module Profile = Epic_profile
 module Arm = Epic_arm
 module Area = Epic_area
 module Workloads = Epic_workloads

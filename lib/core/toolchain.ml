@@ -47,14 +47,21 @@ let compile_epic ?(opt = O1) ?(predication = true) ?(unroll = default_unroll)
   { ea_config = cfg; ea_mir = mir; ea_layout = layout; ea_unit = unit_;
     ea_image = image; ea_words = words; ea_sched = sched }
 
-let run_epic ?fuel ?trace (a : epic_artifacts) =
+let run_epic ?fuel ?trace ?profile (a : epic_artifacts) =
   let mem = Memmap.init_memory a.ea_layout a.ea_mir in
   let entry =
     match List.assoc_opt "_start" a.ea_image.Asm.Aunit.im_symbols with
     | Some e -> e
     | None -> 0
   in
-  Sim.run ?fuel ?trace a.ea_config ~image:a.ea_image ~mem ~entry ()
+  let sink = Option.map Epic_profile.sink profile in
+  Sim.run ?fuel ?trace ?sink a.ea_config ~image:a.ea_image ~mem ~entry ()
+
+(* Profiled run: attach a fresh recorder and return it with the result. *)
+let profile_epic ?fuel ?keep_events (a : epic_artifacts) =
+  let profile = Epic_profile.create ?keep_events a.ea_config a.ea_image in
+  let r = run_epic ?fuel ~profile a in
+  (r, profile)
 
 type arm_artifacts = {
   aa_mir : Ir.program;          (* optimised, runtime linked *)

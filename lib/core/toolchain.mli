@@ -34,9 +34,19 @@ val compile_epic :
     @raise Epic_asm.Asm_error, @raise Invalid_argument as appropriate. *)
 
 val run_epic :
-  ?fuel:int -> ?trace:Format.formatter -> epic_artifacts -> Epic_sim.result
+  ?fuel:int -> ?trace:Format.formatter -> ?profile:Epic_profile.t ->
+  epic_artifacts -> Epic_sim.result
 (** Initialise data memory from the program's globals and simulate from
-    [_start]. *)
+    [_start].  [profile] attaches a {!Epic_profile} recorder to the
+    simulator's event sink; without it the simulator runs exactly as
+    before (identical cycle counts). *)
+
+val profile_epic :
+  ?fuel:int -> ?keep_events:bool -> epic_artifacts ->
+  Epic_sim.result * Epic_profile.t
+(** Run with a fresh profile recorder attached and return both.
+    [keep_events] retains the full event log (needed for Chrome-trace
+    export; default false). *)
 
 type arm_artifacts = {
   aa_mir : Epic_mir.Ir.program;  (** Optimised, software-divide runtime linked. *)

@@ -1,0 +1,860 @@
+(* Cycle-attribution profiler for the EPIC cycle-level simulator.
+
+   {!Epic_sim.run}'s event stream is conservative — every simulated cycle
+   is covered by exactly one event — so attributing each event to the
+   basic block (and enclosing function) of its program counter yields a
+   profile whose totals sum to [stats.cycles] exactly.  The symbol
+   information needed to name blocks and functions is already in the
+   assembled image ({!Epic_asm.Aunit.image.im_symbols}): the code
+   generator labels every function with its name and every basic block
+   with ".L<function>_<id>" ({!Epic_sched}), and the assembler resolves
+   those labels to bundle indices.
+
+   Function-level cumulative times come from a shadow call stack driven
+   by the event stream itself: a taken BRL pushes (callee, return pc);
+   a taken branch back to the recorded return pc pops.  Every cycle is
+   charged once to the "self" of the block/function containing its pc
+   and once to the cumulative time of each distinct function on the
+   stack (so recursion never double-counts and [cum >= self] always
+   holds; the bottom frame — [_start] — accumulates exactly the total).
+
+   Pipeline-refill bubbles after a call or return are charged to the
+   block holding the branch (their architectural cause), which places a
+   call's refill in the callee's cumulative time — the same convention
+   gprof uses for call overhead. *)
+
+module Isa = Epic_isa
+module Config = Epic_config
+module Mdes = Epic_mdes
+module A = Epic_asm.Aunit
+module Sim = Epic_sim
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON value: enough to emit the machine-readable dumps and to
+   validate them (the golden tests parse what the exporters emit).  *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    emit buf t;
+    Buffer.contents buf
+
+  exception Parse of string
+
+  (* Recursive-descent parser over the full grammar; used by the tests to
+     check exporter output and by consumers of the stats dumps. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; v)
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+           | Some '"' -> Buffer.add_char buf '"'; advance ()
+           | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+           | Some '/' -> Buffer.add_char buf '/'; advance ()
+           | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+           | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+           | Some 't' -> Buffer.add_char buf '\t'; advance ()
+           | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+           | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+           | Some 'u' ->
+             advance ();
+             if !pos + 4 > n then fail "bad \\u escape";
+             let hex = String.sub s !pos 4 in
+             (match int_of_string_opt ("0x" ^ hex) with
+              | Some code ->
+                (* Keep it simple: store the code point raw if ASCII,
+                   else a '?' (the exporters only escape control chars). *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_char buf '?';
+                pos := !pos + 4
+              | None -> fail "bad \\u escape")
+           | _ -> fail "bad escape");
+          go ()
+        | Some c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None ->
+        (match float_of_string_opt tok with
+         | Some f -> Float f
+         | None -> fail (Printf.sprintf "bad number %S" tok))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else begin
+          let items = ref [] in
+          let rec go () =
+            items := parse_value () :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          go ();
+          List (List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let items = ref [] in
+          let rec go () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            items := (k, v) :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          go ();
+          Obj (List.rev !items)
+        end
+      | Some ('0' .. '9' | '-') -> parse_number ()
+      | _ -> fail "unexpected character"
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing input at offset %d" !pos)
+      else Ok v
+    with Parse m -> Error m
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Symbol table: the image's labels, as half-open bundle-index regions. *)
+
+type region = {
+  rg_label : string;  (* the label starting the region *)
+  rg_func : string;   (* enclosing function (block labels are .L<fn>_<id>) *)
+  rg_start : int;     (* first bundle index *)
+  rg_end : int;       (* one past the last bundle index *)
+}
+
+type symtab = {
+  sy_regions : region array;  (* sorted by rg_start, covering [0, n) *)
+  sy_n_bundles : int;
+}
+
+(* Block labels are ".L<function>_<id>" (Epic_sched.Codegen.block_label);
+   anything else is a function-entry label. *)
+let func_of_label l =
+  if String.length l > 2 && l.[0] = '.' && l.[1] = 'L' then
+    match String.rindex_opt l '_' with
+    | Some i when i > 2 -> String.sub l 2 (i - 2)
+    | _ -> l
+  else l
+
+let symtab_of_image (im : A.image) =
+  let n = Array.length im.A.im_insts / im.A.im_issue_width in
+  let syms =
+    List.sort
+      (fun (l1, a1) (l2, a2) ->
+        match compare a1 a2 with 0 -> compare l1 l2 | c -> c)
+      im.A.im_symbols
+  in
+  (* Two labels on one bundle: keep the function label over the block's. *)
+  let rec dedupe = function
+    | (l1, a1) :: (l2, a2) :: rest when a1 = a2 ->
+      let keep = if String.length l1 > 0 && l1.[0] = '.' then l2 else l1 in
+      dedupe ((keep, a1) :: rest)
+    | x :: rest -> x :: dedupe rest
+    | [] -> []
+  in
+  let syms = dedupe syms in
+  let syms =
+    match syms with (_, 0) :: _ -> syms | _ -> ("(code)", 0) :: syms
+  in
+  let arr = Array.of_list syms in
+  let regions =
+    Array.mapi
+      (fun i (l, a) ->
+        let e = if i + 1 < Array.length arr then snd arr.(i + 1) else n in
+        { rg_label = l; rg_func = func_of_label l; rg_start = a; rg_end = e })
+      arr
+  in
+  { sy_regions = regions; sy_n_bundles = n }
+
+let region_index st pc =
+  let r = st.sy_regions in
+  let lo = ref 0 and hi = ref (Array.length r - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if r.(mid).rg_start <= pc then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let region_of_pc st pc = st.sy_regions.(region_index st pc)
+let func_of_pc st pc = (region_of_pc st pc).rg_func
+
+(* ------------------------------------------------------------------ *)
+(* Recorder *)
+
+type func_acc = {
+  mutable fa_self : int;      (* cycles with pc inside the function *)
+  mutable fa_cum : int;       (* cycles with the function on the stack *)
+  mutable fa_calls : int;     (* times pushed by a taken BRL *)
+  mutable fa_operand : int;   (* self stall-cycle breakdown *)
+  mutable fa_port : int;
+  mutable fa_branch : int;
+}
+
+type frame = { fr_fn : string; fr_ret : int }
+
+(* Retained events, four ints each: issue cycle, pc, packed metadata and
+   an auxiliary word.  Tag in meta bits 0-1 (0 issue / 1 operand / 2 port
+   / 3 branch); for issues, bits 4-11 hold the executed-op count, bit 12
+   "taken", bit 13 "call" (a BRL was executed), and aux is next_pc; for
+   stalls aux is the stall length. *)
+let tag_issue = 0
+and tag_operand = 1
+and tag_port = 2
+and tag_branch = 3
+
+type t = {
+  pr_cfg : Config.t;
+  pr_image : A.image;
+  pr_symtab : symtab;
+  pr_units : int array;       (* functional units per class (ALU/LSU/CMPU/BRU) *)
+  (* per-bundle-index accumulation *)
+  pr_issues : int array;
+  pr_operand : int array;
+  pr_port : int array;
+  pr_branch : int array;
+  (* totals *)
+  mutable pr_cycles : int;
+  mutable pr_bundles : int;
+  pr_fu_ops : int array;      (* executed ops per unit class *)
+  pr_fu_squashed : int array;
+  (* function attribution *)
+  pr_funcs : (string, func_acc) Hashtbl.t;
+  mutable pr_stack : frame list;  (* top first; never empties *)
+  (* retained event log (chrome-trace export) *)
+  pr_keep : bool;
+  mutable pr_n : int;
+  mutable pr_at : int array;
+  mutable pr_pc : int array;
+  mutable pr_meta : int array;
+  mutable pr_aux : int array;
+}
+
+let unit_slot = function
+  | Isa.U_alu -> 0
+  | Isa.U_lsu -> 1
+  | Isa.U_cmpu -> 2
+  | Isa.U_bru -> 3
+  | Isa.U_none -> -1
+
+let unit_name = function
+  | 0 -> "ALU"
+  | 1 -> "LSU"
+  | 2 -> "CMPU"
+  | _ -> "BRU"
+
+let create ?(keep_events = false) (cfg : Config.t) (image : A.image) =
+  let symtab = symtab_of_image image in
+  let n = symtab.sy_n_bundles in
+  let md = Mdes.of_config cfg in
+  {
+    pr_cfg = cfg;
+    pr_image = image;
+    pr_symtab = symtab;
+    pr_units =
+      [| md.Mdes.md_alus; md.Mdes.md_lsus; md.Mdes.md_cmpus; md.Mdes.md_brus |];
+    pr_issues = Array.make n 0;
+    pr_operand = Array.make n 0;
+    pr_port = Array.make n 0;
+    pr_branch = Array.make n 0;
+    pr_cycles = 0;
+    pr_bundles = 0;
+    pr_fu_ops = Array.make 4 0;
+    pr_fu_squashed = Array.make 4 0;
+    pr_funcs = Hashtbl.create 16;
+    pr_stack = [];
+    pr_keep = keep_events;
+    pr_n = 0;
+    pr_at = (if keep_events then Array.make 4096 0 else [||]);
+    pr_pc = (if keep_events then Array.make 4096 0 else [||]);
+    pr_meta = (if keep_events then Array.make 4096 0 else [||]);
+    pr_aux = (if keep_events then Array.make 4096 0 else [||]);
+  }
+
+let acc t fn =
+  match Hashtbl.find_opt t.pr_funcs fn with
+  | Some a -> a
+  | None ->
+    let a =
+      { fa_self = 0; fa_cum = 0; fa_calls = 0; fa_operand = 0; fa_port = 0;
+        fa_branch = 0 }
+    in
+    Hashtbl.add t.pr_funcs fn a;
+    a
+
+(* Charge [n] cycles: self to the function owning [pc], cumulative once
+   to each distinct function of stack + {self} (recursion-safe). *)
+let charge t pc n =
+  let self_fn = func_of_pc t.pr_symtab pc in
+  let sa = acc t self_fn in
+  sa.fa_self <- sa.fa_self + n;
+  sa.fa_cum <- sa.fa_cum + n;
+  let rec go seen = function
+    | [] -> ()
+    | f :: rest ->
+      if f.fr_fn <> self_fn && not (List.mem f.fr_fn seen) then begin
+        let a = acc t f.fr_fn in
+        a.fa_cum <- a.fa_cum + n
+      end;
+      go (f.fr_fn :: seen) rest
+  in
+  go [ self_fn ] t.pr_stack;
+  t.pr_cycles <- t.pr_cycles + n;
+  sa
+
+let push_event t at pc meta aux =
+  if t.pr_keep then begin
+    if t.pr_n = Array.length t.pr_at then begin
+      let grow a = Array.append a (Array.make (Array.length a) 0) in
+      t.pr_at <- grow t.pr_at;
+      t.pr_pc <- grow t.pr_pc;
+      t.pr_meta <- grow t.pr_meta;
+      t.pr_aux <- grow t.pr_aux
+    end;
+    t.pr_at.(t.pr_n) <- at;
+    t.pr_pc.(t.pr_n) <- pc;
+    t.pr_meta.(t.pr_n) <- meta;
+    t.pr_aux.(t.pr_n) <- aux;
+    t.pr_n <- t.pr_n + 1
+  end
+
+let sink t (ev : Sim.event) =
+  (* Lazily seed the shadow stack from the first event's function. *)
+  (match ev, t.pr_stack with
+   | (Sim.Ev_stall { pc; _ } | Sim.Ev_issue { pc; _ }), [] ->
+     t.pr_stack <- [ { fr_fn = func_of_pc t.pr_symtab pc; fr_ret = -1 } ]
+   | _ -> ());
+  match ev with
+  | Sim.Ev_stall { at; pc; cause; cycles } ->
+    let sa = charge t pc cycles in
+    let tag, per_pc, bump =
+      match cause with
+      | Sim.S_operand ->
+        (tag_operand, t.pr_operand, fun () -> sa.fa_operand <- sa.fa_operand + cycles)
+      | Sim.S_port ->
+        (tag_port, t.pr_port, fun () -> sa.fa_port <- sa.fa_port + cycles)
+      | Sim.S_branch ->
+        (tag_branch, t.pr_branch, fun () -> sa.fa_branch <- sa.fa_branch + cycles)
+    in
+    per_pc.(pc) <- per_pc.(pc) + cycles;
+    bump ();
+    push_event t at pc tag cycles
+  | Sim.Ev_issue { at; pc; slots; next_pc; taken } ->
+    ignore (charge t pc 1);
+    t.pr_issues.(pc) <- t.pr_issues.(pc) + 1;
+    t.pr_bundles <- t.pr_bundles + 1;
+    let ops = ref 0 in
+    let is_call = ref false in
+    Array.iter
+      (fun s ->
+        match s with
+        | Sim.Sl_op op ->
+          incr ops;
+          if op = Isa.BRL then is_call := true;
+          let u = unit_slot (Isa.unit_of op) in
+          if u >= 0 then t.pr_fu_ops.(u) <- t.pr_fu_ops.(u) + 1
+        | Sim.Sl_squashed op ->
+          incr ops;
+          let u = unit_slot (Isa.unit_of op) in
+          if u >= 0 then t.pr_fu_squashed.(u) <- t.pr_fu_squashed.(u) + 1
+        | Sim.Sl_empty | Sim.Sl_shadowed _ -> ())
+      slots;
+    let is_call = !is_call && taken in
+    if taken then begin
+      if is_call then begin
+        let callee = func_of_pc t.pr_symtab next_pc in
+        (acc t callee).fa_calls <- (acc t callee).fa_calls + 1;
+        t.pr_stack <- { fr_fn = callee; fr_ret = pc + 1 } :: t.pr_stack
+      end
+      else
+        match t.pr_stack with
+        | top :: (_ :: _ as rest) when top.fr_ret = next_pc ->
+          t.pr_stack <- rest
+        | _ -> ()
+    end;
+    let meta =
+      tag_issue lor (!ops lsl 4)
+      lor (if taken then 1 lsl 12 else 0)
+      lor (if is_call then 1 lsl 13 else 0)
+    in
+    push_event t at pc meta next_pc
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+type block_row = {
+  br_label : string;
+  br_func : string;
+  br_start : int;
+  br_end : int;
+  br_cycles : int;    (* issues + stalls of the block's bundles *)
+  br_issues : int;
+  br_operand : int;
+  br_port : int;
+  br_branch : int;
+}
+
+type func_row = {
+  fr_name : string;
+  fr_self : int;
+  fr_cum : int;
+  fr_calls : int;
+  fr_operand : int;
+  fr_port : int;
+  fr_branch : int;
+}
+
+type unit_row = {
+  ur_name : string;     (* ALU / LSU / CMPU / BRU *)
+  ur_count : int;       (* functional units of this class *)
+  ur_ops : int;         (* executed operations *)
+  ur_squashed : int;    (* issued but nullified by a false guard *)
+  ur_util : float;      (* ops / (cycles * count) *)
+}
+
+type report = {
+  rp_cycles : int;      (* = sum over blocks of br_cycles *)
+  rp_bundles : int;
+  rp_operand : int;
+  rp_port : int;
+  rp_branch : int;
+  rp_blocks : block_row list;  (* hottest first *)
+  rp_funcs : func_row list;    (* by cumulative cycles, descending *)
+  rp_units : unit_row list;
+}
+
+let sum_range (a : int array) lo hi =
+  let s = ref 0 in
+  for i = lo to hi - 1 do
+    s := !s + a.(i)
+  done;
+  !s
+
+let report t =
+  let blocks =
+    Array.to_list t.pr_symtab.sy_regions
+    |> List.filter_map (fun r ->
+           let issues = sum_range t.pr_issues r.rg_start r.rg_end in
+           let operand = sum_range t.pr_operand r.rg_start r.rg_end in
+           let port = sum_range t.pr_port r.rg_start r.rg_end in
+           let branch = sum_range t.pr_branch r.rg_start r.rg_end in
+           let cycles = issues + operand + port + branch in
+           if cycles = 0 then None
+           else
+             Some
+               { br_label = r.rg_label; br_func = r.rg_func;
+                 br_start = r.rg_start; br_end = r.rg_end;
+                 br_cycles = cycles; br_issues = issues; br_operand = operand;
+                 br_port = port; br_branch = branch })
+    |> List.sort (fun a b -> compare b.br_cycles a.br_cycles)
+  in
+  let funcs =
+    Hashtbl.fold
+      (fun name (a : func_acc) rows ->
+        { fr_name = name; fr_self = a.fa_self; fr_cum = a.fa_cum;
+          fr_calls = a.fa_calls; fr_operand = a.fa_operand;
+          fr_port = a.fa_port; fr_branch = a.fa_branch }
+        :: rows)
+      t.pr_funcs []
+    |> List.sort (fun a b ->
+           match compare b.fr_cum a.fr_cum with
+           | 0 -> compare a.fr_name b.fr_name
+           | c -> c)
+  in
+  let units =
+    List.init 4 (fun u ->
+        let count = t.pr_units.(u) in
+        let ops = t.pr_fu_ops.(u) in
+        {
+          ur_name = unit_name u;
+          ur_count = count;
+          ur_ops = ops;
+          ur_squashed = t.pr_fu_squashed.(u);
+          ur_util =
+            (if t.pr_cycles = 0 || count = 0 then 0.0
+             else float_of_int ops /. float_of_int (t.pr_cycles * count));
+        })
+  in
+  {
+    rp_cycles = t.pr_cycles;
+    rp_bundles = t.pr_bundles;
+    rp_operand = Array.fold_left ( + ) 0 t.pr_operand;
+    rp_port = Array.fold_left ( + ) 0 t.pr_port;
+    rp_branch = Array.fold_left ( + ) 0 t.pr_branch;
+    rp_blocks = blocks;
+    rp_funcs = funcs;
+    rp_units = units;
+  }
+
+let pct total n =
+  if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "cycles %d  (issue %d  operand stalls %d [%.1f%%]  port stalls %d [%.1f%%]  \
+     branch bubbles %d [%.1f%%])@,"
+    r.rp_cycles r.rp_bundles r.rp_operand
+    (pct r.rp_cycles r.rp_operand)
+    r.rp_port (pct r.rp_cycles r.rp_port) r.rp_branch
+    (pct r.rp_cycles r.rp_branch);
+  Format.fprintf ppf "@,%-24s %10s %7s %10s %7s %8s@," "function" "self"
+    "self%" "cumulative" "cum%" "calls";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%-24s %10d %6.1f%% %10d %6.1f%% %8d@," f.fr_name
+        f.fr_self
+        (pct r.rp_cycles f.fr_self)
+        f.fr_cum
+        (pct r.rp_cycles f.fr_cum)
+        f.fr_calls)
+    r.rp_funcs;
+  Format.fprintf ppf "@,%-24s %10s %7s %9s %8s %8s %8s@," "block" "cycles"
+    "cyc%" "issues" "operand" "port" "branch";
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "%-24s %10d %6.1f%% %9d %8d %8d %8d@," b.br_label
+        b.br_cycles
+        (pct r.rp_cycles b.br_cycles)
+        b.br_issues b.br_operand b.br_port b.br_branch)
+    r.rp_blocks;
+  Format.fprintf ppf "@,%-6s %6s %12s %10s %12s@," "unit" "count" "ops"
+    "squashed" "occupancy";
+  List.iter
+    (fun u ->
+      Format.fprintf ppf "%-6s %6d %12d %10d %11.1f%%@," u.ur_name u.ur_count
+        u.ur_ops u.ur_squashed (100.0 *. u.ur_util))
+    r.rp_units;
+  Format.fprintf ppf "@]"
+
+(* Annotated scheduled assembly of the hottest blocks: per bundle, the
+   issue count, the stall cycles it caused, and the operations. *)
+let pp_hot ?(top = 5) t ppf (r : report) =
+  let w = t.pr_image.A.im_issue_width in
+  let insts = t.pr_image.A.im_insts in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i b ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf
+        "-- %s (%s)  %d cycles (%.1f%%): %d issues, stalls %d/%d/%d \
+         (operand/port/branch)@,"
+        b.br_label b.br_func b.br_cycles
+        (pct r.rp_cycles b.br_cycles)
+        b.br_issues b.br_operand b.br_port b.br_branch;
+      for pc = b.br_start to b.br_end - 1 do
+        let stall = t.pr_operand.(pc) + t.pr_port.(pc) + t.pr_branch.(pc) in
+        Format.fprintf ppf "%6d  %9d issues %7d stalls  { " pc t.pr_issues.(pc)
+          stall;
+        let first = ref true in
+        for k = 0 to w - 1 do
+          let inst = insts.((pc * w) + k) in
+          if inst.Isa.op <> Isa.NOP then begin
+            if not !first then Format.fprintf ppf " ; ";
+            first := false;
+            Isa.pp_inst ppf inst
+          end
+        done;
+        if !first then Format.fprintf ppf "NOP";
+        Format.fprintf ppf " }@,"
+      done)
+    (take top r.rp_blocks);
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable exporters *)
+
+let stats_to_json (st : Sim.stats) =
+  Json.Obj
+    [
+      ("cycles", Json.Int st.Sim.cycles);
+      ("bundles", Json.Int st.Sim.bundles);
+      ("ops", Json.Int st.Sim.ops);
+      ("nops", Json.Int st.Sim.nops);
+      ("squashed", Json.Int st.Sim.squashed);
+      ("operand_stalls", Json.Int st.Sim.operand_stalls);
+      ("port_stalls", Json.Int st.Sim.port_stalls);
+      ("branch_bubbles", Json.Int st.Sim.branch_bubbles);
+      ("mem_reads", Json.Int st.Sim.mem_reads);
+      ("mem_writes", Json.Int st.Sim.mem_writes);
+      ("alu_ops", Json.Int st.Sim.alu_ops);
+      ("lsu_ops", Json.Int st.Sim.lsu_ops);
+      ("cmpu_ops", Json.Int st.Sim.cmpu_ops);
+      ("bru_ops", Json.Int st.Sim.bru_ops);
+      ("ilp", Json.Float (Sim.ilp st));
+    ]
+
+let report_to_json (r : report) =
+  let block b =
+    Json.Obj
+      [
+        ("label", Json.Str b.br_label);
+        ("function", Json.Str b.br_func);
+        ("start", Json.Int b.br_start);
+        ("end", Json.Int b.br_end);
+        ("cycles", Json.Int b.br_cycles);
+        ("issues", Json.Int b.br_issues);
+        ("operand_stalls", Json.Int b.br_operand);
+        ("port_stalls", Json.Int b.br_port);
+        ("branch_bubbles", Json.Int b.br_branch);
+      ]
+  in
+  let func f =
+    Json.Obj
+      [
+        ("name", Json.Str f.fr_name);
+        ("self", Json.Int f.fr_self);
+        ("cumulative", Json.Int f.fr_cum);
+        ("calls", Json.Int f.fr_calls);
+        ("operand_stalls", Json.Int f.fr_operand);
+        ("port_stalls", Json.Int f.fr_port);
+        ("branch_bubbles", Json.Int f.fr_branch);
+      ]
+  in
+  let unit u =
+    Json.Obj
+      [
+        ("unit", Json.Str u.ur_name);
+        ("count", Json.Int u.ur_count);
+        ("ops", Json.Int u.ur_ops);
+        ("squashed", Json.Int u.ur_squashed);
+        ("occupancy", Json.Float u.ur_util);
+      ]
+  in
+  Json.Obj
+    [
+      ("cycles", Json.Int r.rp_cycles);
+      ("bundles", Json.Int r.rp_bundles);
+      ("operand_stalls", Json.Int r.rp_operand);
+      ("port_stalls", Json.Int r.rp_port);
+      ("branch_bubbles", Json.Int r.rp_branch);
+      ("functions", Json.List (List.map func r.rp_funcs));
+      ("blocks", Json.List (List.map block r.rp_blocks));
+      ("units", Json.List (List.map unit r.rp_units));
+    ]
+
+(* Chrome trace-event JSON (chrome://tracing, Perfetto).  Timestamps are
+   simulated cycles presented as microseconds.  Thread 0 carries the
+   pipeline: one complete ("X") event per issued bundle named after its
+   basic block, nested inside begin/end ("B"/"E") spans for the function
+   call tree reconstructed from the shadow stack.  Thread 1 carries one
+   "X" event per stall, named after its cause. *)
+
+let chrome_trace t emit =
+  if not t.pr_keep then
+    invalid_arg "Epic_profile.chrome_trace: recorder was not created with \
+                 ~keep_events:true";
+  let st = t.pr_symtab in
+  let first = ref true in
+  let obj line =
+    if !first then first := false else emit ",\n";
+    emit line
+  in
+  emit "{\"traceEvents\":[\n";
+  obj
+    "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\
+     \"EPIC cycle-level simulation (1 cycle = 1us)\"}}";
+  obj
+    "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",\"args\":\
+     {\"name\":\"pipeline\"}}";
+  obj
+    "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\"args\":\
+     {\"name\":\"stalls\"}}";
+  (* Replay the event log through the same call-stack logic as the
+     recorder, emitting B/E spans for calls and returns. *)
+  let stack = ref [] in
+  let begin_fn name ts =
+    obj
+      (Printf.sprintf
+         "{\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":%d,\"name\":\"%s\"}" ts
+         (Json.escape name))
+  in
+  let end_fn ts =
+    obj (Printf.sprintf "{\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":%d}" ts)
+  in
+  let last_at = ref 0 in
+  for i = 0 to t.pr_n - 1 do
+    let at = t.pr_at.(i)
+    and pc = t.pr_pc.(i)
+    and meta = t.pr_meta.(i)
+    and aux = t.pr_aux.(i) in
+    last_at := at;
+    let tag = meta land 3 in
+    if tag = tag_issue then begin
+      (if !stack = [] then begin
+         let fn = func_of_pc st pc in
+         stack := [ { fr_fn = fn; fr_ret = -1 } ];
+         begin_fn fn at
+       end);
+      let r = region_of_pc st pc in
+      let ops = (meta lsr 4) land 0xff in
+      obj
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":%d,\"dur\":1,\"name\":\
+            \"%s\",\"cat\":\"bundle\",\"args\":{\"pc\":%d,\"ops\":%d}}"
+           at (Json.escape r.rg_label) pc ops);
+      let taken = meta land (1 lsl 12) <> 0
+      and call = meta land (1 lsl 13) <> 0 in
+      if taken then
+        if call then begin
+          let callee = func_of_pc st aux in
+          stack := { fr_fn = callee; fr_ret = pc + 1 } :: !stack;
+          begin_fn callee (at + 1)
+        end
+        else
+          match !stack with
+          | top :: (_ :: _ as rest) when top.fr_ret = aux ->
+            stack := rest;
+            end_fn (at + 1)
+          | _ -> ()
+    end
+    else begin
+      let cause =
+        if tag = tag_operand then "operand stall"
+        else if tag = tag_port then "port stall"
+        else "branch bubbles"
+      in
+      obj
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":%d,\"dur\":%d,\"name\":\
+            \"%s\",\"cat\":\"stall\",\"args\":{\"pc\":%d}}"
+           at aux cause pc)
+    end
+  done;
+  (* Close whatever is still open (the bottom frame always is). *)
+  List.iter (fun _ -> end_fn (!last_at + 1)) !stack;
+  emit "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let chrome_trace_to_string t =
+  let buf = Buffer.create 65536 in
+  chrome_trace t (Buffer.add_string buf);
+  Buffer.contents buf
+
+let chrome_trace_to_channel t oc = chrome_trace t (output_string oc)

@@ -1,0 +1,159 @@
+(** Cycle-attribution profiler and structured-trace tooling for the EPIC
+    cycle-level simulator.
+
+    A {!t} (recorder) consumes {!Epic_sim.run}'s event stream (pass
+    {!sink} as the simulator's [?sink], or use
+    [Epic.Toolchain.run_epic ?profile]) and attributes every simulated
+    cycle to the basic block and function containing its program counter,
+    using the label information already present in the assembled image.
+    The attribution is conservative: the per-block totals of {!report}
+    sum to the run's [stats.cycles] exactly, and the per-cause stall
+    totals equal the simulator's aggregate counters.
+
+    Function-level cumulative times come from a shadow call stack driven
+    by the event stream (a taken BRL pushes; a taken branch to the
+    recorded return address pops).  Every cycle is charged once to the
+    "self" of the function owning its pc and once to the cumulative time
+    of each {e distinct} function on the stack, so recursion never
+    double-counts, [cum >= self] always holds, and the bottom frame
+    ([_start]) accumulates exactly the total cycle count.  Pipeline
+    refill bubbles after a call or return are charged to the block
+    holding the branch, which places a call's refill in the callee's
+    cumulative time (the gprof convention for call overhead). *)
+
+(** Minimal JSON values: emitter and validating parser for the profiler's
+    machine-readable dumps (no external dependency). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val escape : string -> string
+  (** JSON string-body escaping. *)
+
+  val parse : string -> (t, string) result
+  (** Parse a complete JSON document. *)
+
+  val member : string -> t -> t option
+  (** Object field lookup ([None] on non-objects and missing keys). *)
+end
+
+(** {1 Symbol table} *)
+
+type region = {
+  rg_label : string;  (** The label starting the region. *)
+  rg_func : string;   (** Enclosing function (block labels are [.L<fn>_<id>]). *)
+  rg_start : int;     (** First bundle index. *)
+  rg_end : int;       (** One past the last bundle index. *)
+}
+
+type symtab = {
+  sy_regions : region array;  (** Sorted by [rg_start], covering the image. *)
+  sy_n_bundles : int;
+}
+
+val symtab_of_image : Epic_asm.Aunit.image -> symtab
+(** Turn the image's resolved labels into half-open bundle regions.  A
+    synthetic ["(code)"] region covers any bundles before the first
+    label. *)
+
+val func_of_label : string -> string
+(** [.L<fn>_<id>] maps to [fn]; any other label names itself. *)
+
+val region_of_pc : symtab -> int -> region
+val func_of_pc : symtab -> int -> string
+
+(** {1 Recording} *)
+
+type t
+(** A profile recorder: per-bundle cycle attribution plus (optionally) a
+    compact retained event log for trace export. *)
+
+val create : ?keep_events:bool -> Epic_config.t -> Epic_asm.Aunit.image -> t
+(** [keep_events] (default false) retains the full event log, required by
+    {!chrome_trace}; aggregation alone needs only O(code size) memory. *)
+
+val sink : t -> Epic_sim.event -> unit
+(** The callback to pass as {!Epic_sim.run}'s [?sink]. *)
+
+(** {1 Reports} *)
+
+type block_row = {
+  br_label : string;
+  br_func : string;
+  br_start : int;
+  br_end : int;
+  br_cycles : int;  (** Issue cycles + stall cycles of the block's bundles. *)
+  br_issues : int;
+  br_operand : int;
+  br_port : int;
+  br_branch : int;
+}
+
+type func_row = {
+  fr_name : string;
+  fr_self : int;
+  fr_cum : int;
+  fr_calls : int;
+  fr_operand : int;  (** Self stall-cycle breakdown. *)
+  fr_port : int;
+  fr_branch : int;
+}
+
+type unit_row = {
+  ur_name : string;   (** ALU / LSU / CMPU / BRU. *)
+  ur_count : int;     (** Functional units of this class. *)
+  ur_ops : int;       (** Executed operations. *)
+  ur_squashed : int;  (** Issued but nullified by a false guard. *)
+  ur_util : float;    (** Occupancy: ops / (cycles * count). *)
+}
+
+type report = {
+  rp_cycles : int;   (** Equals [stats.cycles] of the profiled run. *)
+  rp_bundles : int;
+  rp_operand : int;
+  rp_port : int;
+  rp_branch : int;
+  rp_blocks : block_row list;  (** Hottest first; zero-cycle blocks omitted. *)
+  rp_funcs : func_row list;    (** By cumulative cycles, descending. *)
+  rp_units : unit_row list;
+}
+
+val report : t -> report
+(** Aggregate the recording.  Invariants: the [br_cycles] sum over
+    [rp_blocks] equals [rp_cycles]; [rp_operand]/[rp_port]/[rp_branch]
+    equal the simulator's aggregate stall counters; the [fr_self] sum
+    over [rp_funcs] equals [rp_cycles]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Summary line, per-function table, per-block table with stall-cause
+    breakdown, functional-unit occupancy. *)
+
+val pp_hot : ?top:int -> t -> Format.formatter -> report -> unit
+(** The [top] (default 5) hottest blocks, annotated with their scheduled
+    assembly and per-bundle issue/stall counts. *)
+
+(** {1 Machine-readable exporters} *)
+
+val stats_to_json : Epic_sim.stats -> Json.t
+(** The raw aggregate counters (plus ILP), for dashboards and the bench
+    harness's [--json] dump. *)
+
+val report_to_json : report -> Json.t
+
+val chrome_trace : t -> (string -> unit) -> unit
+(** Stream the retained event log as Chrome trace-event JSON
+    (chrome://tracing, Perfetto): per-bundle "X" events named after their
+    basic block, nested in "B"/"E" spans of the reconstructed call tree,
+    with stalls on a second thread.  Timestamps are simulated cycles (as
+    microseconds) and non-decreasing.
+    @raise Invalid_argument unless created with [~keep_events:true]. *)
+
+val chrome_trace_to_string : t -> string
+val chrome_trace_to_channel : t -> out_channel -> unit

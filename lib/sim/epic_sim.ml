@@ -61,11 +61,47 @@ let mk_stats () =
 
 let ilp st = if st.cycles = 0 then 0.0 else float_of_int st.ops /. float_of_int st.cycles
 
+(* ---- structured event stream ------------------------------------- *)
+
+(* The profiling hook: when [run] is given a [sink], it emits one event
+   per issued bundle and one per stall, in simulated-time order.  The
+   stream is conservative by construction: every simulated cycle is
+   covered by exactly one event (an issue costs one cycle, a stall event
+   carries its cycle count), so a consumer summing over events recovers
+   [stats.cycles] exactly.  With no sink the simulator takes the exact
+   same path as before — cycle counts are bit-identical. *)
+
+type stall_cause =
+  | S_operand   (* scoreboard interlock: a source operand not yet ready *)
+  | S_port      (* register-file port budget exceeded *)
+  | S_branch    (* pipeline refill bubbles after a taken branch *)
+
+type slot =
+  | Sl_empty                  (* NOP padding slot *)
+  | Sl_op of Isa.opcode       (* issued and executed *)
+  | Sl_squashed of Isa.opcode (* nullified by a false guard *)
+  | Sl_shadowed of Isa.opcode (* skipped: an earlier slot took a branch *)
+
+type event =
+  | Ev_stall of { at : int; pc : int; cause : stall_cause; cycles : int }
+  | Ev_issue of {
+      at : int;              (* cycle the bundle issued *)
+      pc : int;              (* bundle index *)
+      slots : slot array;    (* one entry per issue slot *)
+      next_pc : int;         (* bundle executing next *)
+      taken : bool;          (* a branch (or HALT) redirected the flow *)
+    }
+
+let string_of_stall_cause = function
+  | S_operand -> "operand"
+  | S_port -> "port"
+  | S_branch -> "branch"
+
 
 (* [trace] receives one line per issued bundle: cycle, PC and the
    non-NOP operations (squashed ones bracketed).  Used by epicsim
    --trace and handy when debugging schedules. *)
-let run ?(fuel = 500_000_000) ?trace (cfg : Config.t) ~(image : A.image)
+let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
     ~(mem : Bytes.t) ?(entry = 0) () =
   let w = image.A.im_issue_width in
   if w <> cfg.Config.issue_width then
@@ -120,6 +156,11 @@ let run ?(fuel = 500_000_000) ?trace (cfg : Config.t) ~(image : A.image)
         (Isa.reads i)
     done;
     if !ready_cycle > !now then begin
+      (match sink with
+       | Some f ->
+         f (Ev_stall { at = !now; pc = !pc; cause = S_operand;
+                       cycles = !ready_cycle - !now })
+       | None -> ());
       st.operand_stalls <- st.operand_stalls + (!ready_cycle - !now);
       st.cycles <- st.cycles + (!ready_cycle - !now);
       now := !ready_cycle
@@ -150,6 +191,10 @@ let run ?(fuel = 500_000_000) ?trace (cfg : Config.t) ~(image : A.image)
     let budget = cfg.Config.rf_port_budget in
     if !port_ops > budget then begin
       let extra = ((!port_ops + budget - 1) / budget) - 1 in
+      (match sink with
+       | Some f when extra > 0 ->
+         f (Ev_stall { at = !now; pc = !pc; cause = S_port; cycles = extra })
+       | _ -> ());
       st.port_stalls <- st.port_stalls + extra;
       st.cycles <- st.cycles + extra;
       now := !now + extra
@@ -187,17 +232,28 @@ let run ?(fuel = 500_000_000) ?trace (cfg : Config.t) ~(image : A.image)
     in
     let next_pc = ref (!pc + 1) in
     let taken = ref false in
+    (* Per-slot outcome, recorded only when a sink is listening. *)
+    let slots =
+      match sink with Some _ -> Some (Array.make w Sl_empty) | None -> None
+    in
+    let set_slot k s = match slots with Some a -> a.(k) <- s | None -> () in
     (try
        for k = 0 to w - 1 do
-         if not !taken then begin
+         if !taken then begin
+           let op = bundle.(k).Isa.op in
+           if op <> Isa.NOP then set_slot k (Sl_shadowed op)
+         end
+         else begin
            let i = bundle.(k) in
            let op = i.Isa.op in
            if op = Isa.NOP then st.nops <- st.nops + 1
            else if not enabled.(k) then begin
+             set_slot k (Sl_squashed op);
              st.squashed <- st.squashed + 1;
              st.ops <- st.ops + 1
            end
            else begin
+             set_slot k (Sl_op op);
              st.ops <- st.ops + 1;
              (match Isa.unit_of op with
               | Isa.U_alu -> st.alu_ops <- st.alu_ops + 1
@@ -287,6 +343,11 @@ let run ?(fuel = 500_000_000) ?trace (cfg : Config.t) ~(image : A.image)
        done;
        Format.fprintf ppf "@."
      | None -> ());
+    (match sink, slots with
+     | Some f, Some a ->
+       f (Ev_issue { at = cycle; pc = !pc; slots = a; next_pc = !next_pc;
+                     taken = !taken })
+     | _ -> ());
     st.bundles <- st.bundles + 1;
     st.cycles <- st.cycles + 1;
     now := !now + 1;
@@ -294,6 +355,10 @@ let run ?(fuel = 500_000_000) ?trace (cfg : Config.t) ~(image : A.image)
       (* Taken branch: refill the front of the pipeline — one bubble per
          stage before execute (1 in the paper's 2-stage prototype). *)
       let bubbles = cfg.Config.pipeline_stages - 1 in
+      (match sink with
+       | Some f when bubbles > 0 ->
+         f (Ev_stall { at = !now; pc = !pc; cause = S_branch; cycles = bubbles })
+       | _ -> ());
       st.branch_bubbles <- st.branch_bubbles + bubbles;
       st.cycles <- st.cycles + bubbles;
       now := !now + bubbles

@@ -54,9 +54,44 @@ type result = {
 val ilp : stats -> float
 (** Issued operations per cycle. *)
 
+(** {1 Structured event stream}
+
+    The profiling hook ({!Epic_profile} is the main consumer).  When
+    {!run} is given a [sink], it emits one {!event} per issued bundle and
+    one per stall, in simulated-time order.  The stream is conservative:
+    every simulated cycle is covered by exactly one event (an issue costs
+    one cycle; a stall event carries its cycle count), so summing over
+    events recovers [stats.cycles] exactly.  Without a sink the simulator
+    takes the exact same path as before — cycle counts are unchanged. *)
+
+type stall_cause =
+  | S_operand  (** Scoreboard interlock: a source operand not yet ready. *)
+  | S_port     (** Register-file port budget exceeded. *)
+  | S_branch   (** Pipeline refill bubbles after a taken branch. *)
+
+type slot =
+  | Sl_empty                   (** NOP padding slot. *)
+  | Sl_op of Epic_isa.opcode   (** Issued and executed. *)
+  | Sl_squashed of Epic_isa.opcode  (** Nullified by a false guard. *)
+  | Sl_shadowed of Epic_isa.opcode
+      (** Skipped: an earlier slot of the bundle took a branch. *)
+
+type event =
+  | Ev_stall of { at : int; pc : int; cause : stall_cause; cycles : int }
+  | Ev_issue of {
+      at : int;            (** Cycle the bundle issued. *)
+      pc : int;            (** Bundle index. *)
+      slots : slot array;  (** One entry per issue slot. *)
+      next_pc : int;       (** Bundle executing next. *)
+      taken : bool;        (** A branch (or HALT) redirected the flow. *)
+    }
+
+val string_of_stall_cause : stall_cause -> string
+
 val run :
   ?fuel:int ->
   ?trace:Format.formatter ->
+  ?sink:(event -> unit) ->
   Epic_config.t ->
   image:Epic_asm.Aunit.image ->
   mem:Bytes.t ->
@@ -65,8 +100,10 @@ val run :
   result
 (** Execute an assembled image until HALT.  [fuel] bounds simulated cycles
     (default 5*10^8); [trace] prints one line per issued bundle (cycle,
-    PC, live operations, squashed ones bracketed); [entry] is the starting
-    bundle index (default 0, where the toolchain places [_start]).
+    PC, live operations, squashed ones bracketed); [sink] receives the
+    structured event stream (see above; no overhead when absent); [entry]
+    is the starting bundle index (default 0, where the toolchain places
+    [_start]).
     @raise Sim_error on faults. *)
 
 val pp_stats : Format.formatter -> stats -> unit

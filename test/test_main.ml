@@ -14,4 +14,5 @@ let () =
       ("backend", Test_backend.suite);
       ("extensions", Test_extensions.suite);
       ("more", Test_more.suite);
+      ("profile", Test_profile.suite);
     ]

@@ -1,0 +1,210 @@
+(* Profiler validation: the cycle attribution is conservative (every
+   simulated cycle is charged to exactly one basic block, and the
+   per-cause stall totals match the simulator's aggregate counters) on
+   all four workloads across 1-4 ALU configurations, profiling does not
+   perturb the simulation, and the Chrome trace export is well-formed. *)
+
+module W = Epic.Workloads
+module P = Epic.Profile
+module T = Epic.Toolchain
+module S = Epic.Sim
+
+(* Small instances: the conservation property is per-cycle, so size only
+   costs test time. *)
+let benchmarks () =
+  [
+    W.Sources.sha_benchmark ~bytes:64 ();
+    W.Sources.aes_benchmark ~iters:1 ();
+    W.Sources.dct_benchmark ~width:8 ~height:8 ();
+    W.Sources.dijkstra_benchmark ~nodes:8 ();
+  ]
+
+let profile_run cfg (bm : W.Sources.benchmark) ~keep_events =
+  let a = T.compile_epic cfg ~source:bm.W.Sources.bm_source () in
+  let r, prof = T.profile_epic ~keep_events a in
+  Alcotest.(check int)
+    (bm.W.Sources.bm_name ^ " checksum")
+    bm.W.Sources.bm_expected r.S.ret;
+  (a, r, prof)
+
+let test_attribution_conservative () =
+  List.iter
+    (fun bm ->
+      for alus = 1 to 4 do
+        let cfg = Epic.Config.with_alus alus in
+        let _, r, prof = profile_run cfg bm ~keep_events:false in
+        let st = r.S.stats in
+        let rp = P.report prof in
+        let where = Printf.sprintf "%s/%d-alu" bm.W.Sources.bm_name alus in
+        Alcotest.(check int) (where ^ ": total cycles") st.S.cycles rp.P.rp_cycles;
+        Alcotest.(check int) (where ^ ": bundles") st.S.bundles rp.P.rp_bundles;
+        Alcotest.(check int)
+          (where ^ ": operand stalls")
+          st.S.operand_stalls rp.P.rp_operand;
+        Alcotest.(check int) (where ^ ": port stalls") st.S.port_stalls rp.P.rp_port;
+        Alcotest.(check int)
+          (where ^ ": branch bubbles")
+          st.S.branch_bubbles rp.P.rp_branch;
+        (* Block rows partition the cycles... *)
+        let sum f rows = List.fold_left (fun acc r -> acc + f r) 0 rows in
+        Alcotest.(check int)
+          (where ^ ": block cycles sum")
+          st.S.cycles
+          (sum (fun b -> b.P.br_cycles) rp.P.rp_blocks);
+        Alcotest.(check int)
+          (where ^ ": block operand sum")
+          st.S.operand_stalls
+          (sum (fun b -> b.P.br_operand) rp.P.rp_blocks);
+        Alcotest.(check int)
+          (where ^ ": block port sum")
+          st.S.port_stalls
+          (sum (fun b -> b.P.br_port) rp.P.rp_blocks);
+        Alcotest.(check int)
+          (where ^ ": block branch sum")
+          st.S.branch_bubbles
+          (sum (fun b -> b.P.br_branch) rp.P.rp_blocks);
+        (* ... and so do function self times.  The bottom of the call
+           stack (_start) covers the whole run cumulatively. *)
+        Alcotest.(check int)
+          (where ^ ": func self sum")
+          st.S.cycles
+          (sum (fun f -> f.P.fr_self) rp.P.rp_funcs);
+        List.iter
+          (fun f ->
+            if f.P.fr_cum < f.P.fr_self then
+              Alcotest.failf "%s: %s cum %d < self %d" where f.P.fr_name
+                f.P.fr_cum f.P.fr_self)
+          rp.P.rp_funcs;
+        let start =
+          List.find (fun f -> f.P.fr_name = "_start") rp.P.rp_funcs
+        in
+        Alcotest.(check int) (where ^ ": _start cum") st.S.cycles start.P.fr_cum
+      done)
+    (benchmarks ())
+
+let test_profiling_is_transparent () =
+  (* Attaching the sink must not change the simulation: same return
+     value, same cycle count, same stall counters. *)
+  List.iter
+    (fun bm ->
+      let cfg = Epic.Config.with_alus 2 in
+      let a = T.compile_epic cfg ~source:bm.W.Sources.bm_source () in
+      let plain = T.run_epic a in
+      let profiled, _ = T.profile_epic a in
+      Alcotest.(check int)
+        (bm.W.Sources.bm_name ^ ": ret unchanged")
+        plain.S.ret profiled.S.ret;
+      Alcotest.(check int)
+        (bm.W.Sources.bm_name ^ ": cycles unchanged")
+        plain.S.stats.S.cycles profiled.S.stats.S.cycles;
+      Alcotest.(check int)
+        (bm.W.Sources.bm_name ^ ": stalls unchanged")
+        plain.S.stats.S.operand_stalls profiled.S.stats.S.operand_stalls)
+    (benchmarks ())
+
+let test_unit_utilisation () =
+  let bm = W.Sources.sha_benchmark ~bytes:64 () in
+  let cfg = Epic.Config.with_alus 4 in
+  let _, r, prof = profile_run cfg bm ~keep_events:false in
+  let rp = P.report prof in
+  Alcotest.(check (list string))
+    "unit classes"
+    [ "ALU"; "LSU"; "CMPU"; "BRU" ]
+    (List.map (fun u -> u.P.ur_name) rp.P.rp_units);
+  List.iter
+    (fun u ->
+      if u.P.ur_util < 0.0 || u.P.ur_util > 1.0 then
+        Alcotest.failf "%s utilisation %f out of range" u.P.ur_name u.P.ur_util;
+      let bound = u.P.ur_count * r.S.stats.S.cycles in
+      if u.P.ur_ops > bound then
+        Alcotest.failf "%s: %d ops exceeds capacity %d" u.P.ur_name u.P.ur_ops
+          bound)
+    rp.P.rp_units;
+  let alus = List.hd rp.P.rp_units in
+  Alcotest.(check int) "ALU count" 4 alus.P.ur_count;
+  Alcotest.(check bool) "ALUs did work" true (alus.P.ur_ops > 0)
+
+(* Chrome trace golden test: the export is valid JSON (per our own
+   validating parser) with the expected shape and non-decreasing
+   timestamps. *)
+
+let ts_of_event ev =
+  match P.Json.member "ts" ev with
+  | Some (P.Json.Int t) -> float_of_int t
+  | Some (P.Json.Float t) -> t
+  | _ -> Alcotest.fail "trace event without numeric ts"
+
+let test_chrome_trace_golden () =
+  let bm = W.Sources.dijkstra_benchmark ~nodes:8 () in
+  let cfg = Epic.Config.with_alus 2 in
+  let _, r, prof = profile_run cfg bm ~keep_events:true in
+  let s = P.chrome_trace_to_string prof in
+  let doc =
+    match P.Json.parse s with
+    | Ok doc -> doc
+    | Error msg -> Alcotest.failf "chrome trace is not valid JSON: %s" msg
+  in
+  let events =
+    match P.Json.member "traceEvents" doc with
+    | Some (P.Json.List evs) -> evs
+    | _ -> Alcotest.fail "missing traceEvents list"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  let last = ref neg_infinity and depth = ref 0 in
+  List.iter
+    (fun ev ->
+      let ph =
+        match P.Json.member "ph" ev with
+        | Some (P.Json.Str p) -> p
+        | _ -> Alcotest.fail "trace event without ph"
+      in
+      if ph <> "M" then begin
+        let ts = ts_of_event ev in
+        if ts < !last then
+          Alcotest.failf "timestamps not monotone: %f after %f" ts !last;
+        last := ts;
+        match ph with
+        | "B" -> incr depth
+        | "E" ->
+          decr depth;
+          if !depth < 0 then Alcotest.fail "E without matching B"
+        | _ -> ()
+      end)
+    events;
+  Alcotest.(check int) "call spans balanced" 0 !depth;
+  (* The final timestamp cannot exceed the run length. *)
+  Alcotest.(check bool) "ts within run" true
+    (!last <= float_of_int r.S.stats.S.cycles)
+
+let test_report_json_roundtrip () =
+  let bm = W.Sources.aes_benchmark ~iters:1 () in
+  let cfg = Epic.Config.default in
+  let _, r, prof = profile_run cfg bm ~keep_events:false in
+  let rp = P.report prof in
+  let doc =
+    match P.Json.parse (P.Json.to_string (P.report_to_json rp)) with
+    | Ok doc -> doc
+    | Error msg -> Alcotest.failf "report JSON does not reparse: %s" msg
+  in
+  (match P.Json.member "cycles" doc with
+   | Some (P.Json.Int c) ->
+     Alcotest.(check int) "cycles field" r.S.stats.S.cycles c
+   | _ -> Alcotest.fail "report JSON missing cycles");
+  match P.Json.member "blocks" doc with
+  | Some (P.Json.List bs) ->
+    Alcotest.(check int) "block rows" (List.length rp.P.rp_blocks)
+      (List.length bs)
+  | _ -> Alcotest.fail "report JSON missing blocks"
+
+let suite =
+  [
+    Alcotest.test_case "attribution is conservative (4 workloads x 1-4 ALUs)"
+      `Slow test_attribution_conservative;
+    Alcotest.test_case "profiling does not perturb the run" `Quick
+      test_profiling_is_transparent;
+    Alcotest.test_case "functional-unit utilisation" `Quick
+      test_unit_utilisation;
+    Alcotest.test_case "chrome trace is valid and monotone" `Quick
+      test_chrome_trace_golden;
+    Alcotest.test_case "report JSON reparses" `Quick test_report_json_roundtrip;
+  ]
