@@ -175,6 +175,21 @@ let print_ablate_unroll pts =
       Printf.printf "%-10s %8d %10d\n" p.E.un_name p.E.un_factor p.E.un_cycles)
     pts
 
+let print_ablate_passes pts =
+  hr "A9: optimisation-pass ablation (SHA, 4 ALUs)";
+  Printf.printf "%-16s %10s %10s %10s\n" "disabled" "cycles" "ops" "slowdown";
+  match pts with
+  | [] -> ()
+  | base :: rest ->
+    Printf.printf "%-16s %10d %10d %10s\n" "(none)" base.E.pa_cycles
+      base.E.pa_static_ops "-";
+    List.iter
+      (fun (p : E.pass_point) ->
+        Printf.printf "%-16s %10d %10d %9.2fx\n" p.E.pa_pass p.E.pa_cycles
+          p.E.pa_static_ops
+          (float_of_int p.E.pa_cycles /. float_of_int base.E.pa_cycles))
+      rest
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable dump (--json <file>): every table's rows as JSON via
    the profiler's exporter, so BENCH_*.json trajectories can be produced
@@ -321,6 +336,18 @@ let json_of_unroll pts =
              ("benchmark", J.Str p.E.un_name);
              ("unroll", J.Int p.E.un_factor);
              ("cycles", J.Int p.E.un_cycles);
+           ])
+       pts)
+
+let json_of_passes pts =
+  J.List
+    (List.map
+       (fun (p : E.pass_point) ->
+         J.Obj
+           [
+             ("disabled", J.Str p.E.pa_pass);
+             ("cycles", J.Int p.E.pa_cycles);
+             ("static_ops", J.Int p.E.pa_static_ops);
            ])
        pts)
 
@@ -527,6 +554,11 @@ let () =
     let pts = E.ablate_unroll ~sizes () in
     record "ablate_unroll" (json_of_unroll pts);
     print_ablate_unroll pts
+  end;
+  if want "ablate-passes" then begin
+    let pts = E.ablate_passes ~sizes () in
+    record "ablate_passes" (json_of_passes pts);
+    print_ablate_passes pts
   end;
   if want "bechamel" then bechamel_suite ();
   match json_path with

@@ -65,6 +65,69 @@ let config_term =
   Term.(const build $ alus $ gprs $ preds $ btrs $ issue $ width $ ports
         $ no_forwarding $ customs $ omits)
 
+(* Pipeline control shared by the compiling tools (epicc, epicsim,
+   epicprof): pass selection, MIR verification, differential checking,
+   timing, and IR dumping. *)
+let pipeline_term =
+  let passes =
+    Arg.(value & opt (some string) None
+         & info [ "passes" ] ~docv:"LIST"
+           ~doc:"Replace the default pass pipeline with a comma-separated \
+                 list of registry passes (see --list-passes).")
+  in
+  let disable =
+    Arg.(value & opt_all string []
+         & info [ "disable-pass" ] ~docv:"NAME"
+           ~doc:"Remove every occurrence of a pass from the pipeline \
+                 (repeatable).")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify-ir" ]
+           ~doc:"Run the MIR well-formedness verifier on the pipeline input \
+                 and after every pass.")
+  in
+  let diff =
+    Arg.(value & flag
+         & info [ "diff-check" ]
+           ~doc:"Differentially check each pass: re-run the reference \
+                 interpreter and compare results against the pre-pass \
+                 program.")
+  in
+  let time =
+    Arg.(value & flag
+         & info [ "time-passes" ]
+           ~doc:"Print a per-pass wall-time and IR-delta report to stderr.")
+  in
+  let dump =
+    Arg.(value & opt_all string []
+         & info [ "dump-after" ] ~docv:"PASS"
+           ~doc:"Dump the MIR to stderr after each occurrence of a pass \
+                 (repeatable).")
+  in
+  let build passes disable verify diff time dump =
+    { Epic.Toolchain.pp_passes =
+        Option.map
+          (fun s ->
+            String.split_on_char ',' s |> List.map String.trim
+            |> List.filter (fun n -> n <> ""))
+          passes;
+      pp_disable = disable; pp_verify = verify; pp_diff_check = diff;
+      pp_time = time; pp_dump_after = dump }
+  in
+  Term.(const build $ passes $ disable $ verify $ diff $ time $ dump)
+
+(* Print the pipeline report when --time-passes was given. *)
+let report_pipeline (pl : Epic.Toolchain.pipeline) report =
+  if pl.Epic.Toolchain.pp_time then
+    Format.eprintf "%a@." Epic.Opt.Pipeline.pp_report report
+
+let list_passes () =
+  List.iter
+    (fun (p : Epic.Opt.pass) ->
+      Printf.printf "%-14s %s\n" p.Epic.Opt.pass_name p.Epic.Opt.pass_descr)
+    Epic.Opt.Registry.all
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -82,6 +145,9 @@ let handle_errors f =
     exit 1
   | Epic.Cfront.Error m ->
     Printf.eprintf "compile error: %s\n" m;
+    exit 1
+  | Epic.Opt.Pipeline.Error m ->
+    Printf.eprintf "pipeline error: %s\n" m;
     exit 1
   | Epic.Asm.Asm_error m ->
     Printf.eprintf "assembler error: %s\n" m;

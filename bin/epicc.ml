@@ -1,31 +1,41 @@
 (* epicc: the EPIC compiler driver.  Compiles EPIC-C to scheduled EPIC
    assembly (default), an encoded binary hex dump (--hex), or dumps the
-   machine description the scheduler used (--mdes). *)
+   machine description the scheduler used (--mdes).  The optimisation
+   pipeline is fully scriptable: --passes/--disable-pass select passes,
+   --verify-ir/--diff-check check each pass, --time-passes/--dump-after
+   report on it (see --list-passes for the registry). *)
 
 open Cmdliner
 
-let run input cfg emit_hex emit_mdes no_opt no_pred stats =
+let run input cfg emit_hex emit_mdes no_opt no_pred stats pipeline list_passes =
   Cli_common.handle_errors @@ fun () ->
-  let source = Cli_common.read_file input in
-  if emit_mdes then
-    print_string (Epic.Mdes.to_string (Epic.Mdes.of_config cfg))
+  if list_passes then Cli_common.list_passes ()
   else begin
-    let a =
-      Epic.Toolchain.compile_epic cfg ~source
-        ~opt:(if no_opt then Epic.Toolchain.O0 else Epic.Toolchain.O1)
-        ~predication:(not no_pred) ()
+    let input =
+      match input with Some f -> f | None -> failwith "missing input FILE"
     in
-    if emit_hex then
-      Array.iter (fun w -> Printf.printf "%016Lx\n" w) a.Epic.Toolchain.ea_words
-    else print_string (Epic.Asm.Text.to_string a.Epic.Toolchain.ea_unit);
-    if stats then begin
-      let s = a.Epic.Toolchain.ea_sched in
-      Printf.eprintf "blocks %d, operations %d, bundles %d, nop slots %d\n"
-        s.Epic.Sched.Sched.st_blocks s.Epic.Sched.Sched.st_insts
-        s.Epic.Sched.Sched.st_bundles
-        (Epic.Asm.Aunit.nop_count a.Epic.Toolchain.ea_image);
-      let area = Epic.Area.estimate cfg in
-      Format.eprintf "%a@." Epic.Area.pp area
+    let source = Cli_common.read_file input in
+    if emit_mdes then
+      print_string (Epic.Mdes.to_string (Epic.Mdes.of_config cfg))
+    else begin
+      let a =
+        Epic.Toolchain.compile_epic cfg ~source
+          ~opt:(if no_opt then Epic.Toolchain.O0 else Epic.Toolchain.O1)
+          ~predication:(not no_pred) ~pipeline ()
+      in
+      Cli_common.report_pipeline pipeline a.Epic.Toolchain.ea_report;
+      if emit_hex then
+        Array.iter (fun w -> Printf.printf "%016Lx\n" w) a.Epic.Toolchain.ea_words
+      else print_string (Epic.Asm.Text.to_string a.Epic.Toolchain.ea_unit);
+      if stats then begin
+        let s = a.Epic.Toolchain.ea_sched in
+        Printf.eprintf "blocks %d, operations %d, bundles %d, nop slots %d\n"
+          s.Epic.Sched.Sched.st_blocks s.Epic.Sched.Sched.st_insts
+          s.Epic.Sched.Sched.st_bundles
+          (Epic.Asm.Aunit.nop_count a.Epic.Toolchain.ea_image);
+        let area = Epic.Area.estimate cfg in
+        Format.eprintf "%a@." Epic.Area.pp area
+      end
     end
   end
 
@@ -35,9 +45,17 @@ let cmd =
   let no_opt = Arg.(value & flag & info [ "O0" ] ~doc:"Disable the optimiser.") in
   let no_pred = Arg.(value & flag & info [ "no-predication" ] ~doc:"Disable if-conversion.") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print scheduling and area statistics to stderr.") in
+  let list_passes =
+    Arg.(value & flag & info [ "list-passes" ]
+         ~doc:"List the registered optimisation passes and exit.")
+  in
+  let input =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input file.")
+  in
   Cmd.v
     (Cmd.info "epicc" ~doc:"Compile EPIC-C for the customisable EPIC processor")
-    Term.(const run $ Cli_common.input_term $ Cli_common.config_term $ emit_hex
-          $ emit_mdes $ no_opt $ no_pred $ stats)
+    Term.(const run $ input $ Cli_common.config_term $ emit_hex
+          $ emit_mdes $ no_opt $ no_pred $ stats $ Cli_common.pipeline_term
+          $ list_passes)
 
 let () = exit (Cmd.eval cmd)

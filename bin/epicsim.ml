@@ -7,10 +7,14 @@ open Cmdliner
 let pct total n =
   if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total
 
-let run input cfg no_pred compare_arm verbose trace profile =
+let run input cfg no_pred compare_arm verbose trace profile pipeline =
   Cli_common.handle_errors @@ fun () ->
   let source = Cli_common.read_file input in
-  let a = Epic.Toolchain.compile_epic cfg ~source ~predication:(not no_pred) () in
+  let a =
+    Epic.Toolchain.compile_epic cfg ~source ~predication:(not no_pred)
+      ~pipeline ()
+  in
+  Cli_common.report_pipeline pipeline a.Epic.Toolchain.ea_report;
   let prof =
     if profile then Some (Epic.Profile.create cfg a.Epic.Toolchain.ea_image)
     else None
@@ -71,6 +75,6 @@ let cmd =
   Cmd.v
     (Cmd.info "epicsim" ~doc:"Run EPIC-C programs on the cycle-level EPIC simulator")
     Term.(const run $ Cli_common.input_term $ Cli_common.config_term $ no_pred
-          $ compare_arm $ verbose $ trace $ profile)
+          $ compare_arm $ verbose $ trace $ profile $ Cli_common.pipeline_term)
 
 let () = exit (Cmd.eval cmd)

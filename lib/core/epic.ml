@@ -13,6 +13,7 @@ module Liveness = Epic_mir.Liveness
 module Dominators = Epic_mir.Dominators
 module Memmap = Epic_mir.Memmap
 module Interp = Epic_mir.Interp
+module Verify = Epic_mir.Verify
 module Cfront = Epic_cfront
 module Opt = Epic_opt
 module Regalloc = Epic_regalloc

@@ -329,3 +329,37 @@ let ablate_unroll ?(sizes = default_sizes) () =
             un_cycles = st.Epic_sim.cycles })
         [ 1; 4; 8 ])
     bms
+
+(* A9: optimisation-pass ablation, through the pass manager's
+   --disable-pass mechanism: recompile SHA (4 ALUs) with each default
+   pipeline pass removed in turn and measure the cycle cost it was
+   buying.  Passes appearing more than once in the pipeline (simplify-cfg)
+   lose every occurrence. *)
+
+type pass_point = {
+  pa_pass : string;      (* disabled pass ("" = full pipeline baseline) *)
+  pa_cycles : int;
+  pa_static_ops : int;   (* scheduled operations (code-size proxy) *)
+}
+
+let ablate_passes ?(sizes = default_sizes) () =
+  let bm = Sources.sha_benchmark ~bytes:sizes.sha_bytes () in
+  let cfg = Config.with_alus 4 in
+  let measure pipeline label =
+    let a = T.compile_epic cfg ~pipeline ~source:bm.Sources.bm_source () in
+    let r = T.run_epic a in
+    assert (r.Epic_sim.ret = bm.Sources.bm_expected);
+    { pa_pass = label;
+      pa_cycles = r.Epic_sim.stats.Epic_sim.cycles;
+      pa_static_ops = a.T.ea_sched.Epic_sched.Sched.st_insts }
+  in
+  let ablatable =
+    List.sort_uniq compare
+      (List.map (fun (p : Epic_opt.pass) -> p.Epic_opt.pass_name)
+         Epic_opt.epic_passes)
+  in
+  measure T.default_pipeline ""
+  :: List.map
+       (fun name ->
+         measure { T.default_pipeline with T.pp_disable = [ name ] } name)
+       ablatable

@@ -127,3 +127,13 @@ type unroll_point = { un_factor : int; un_name : string; un_cycles : int }
 
 val ablate_unroll : ?sizes:sizes -> unit -> unroll_point list
 (** A8: loop unrolling factor (AES and a 16x16 DCT). *)
+
+type pass_point = {
+  pa_pass : string;      (** disabled pass; [""] is the full-pipeline baseline *)
+  pa_cycles : int;
+  pa_static_ops : int;   (** scheduled operations, a code-size proxy *)
+}
+
+val ablate_passes : ?sizes:sizes -> unit -> pass_point list
+(** A9: optimisation-pass ablation on SHA (4 ALUs) — the default pipeline,
+    then each distinct pass disabled in turn via the pass manager. *)

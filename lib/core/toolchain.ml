@@ -21,9 +21,45 @@ type epic_artifacts = {
   ea_image : Asm.Aunit.image;   (* resolved instruction stream *)
   ea_words : int64 array;       (* encoded binary *)
   ea_sched : Sched.Sched.stats;
+  ea_report : Opt.Pipeline.report;  (* per-pass pipeline report *)
 }
 
 type opt_level = O0 | O1  (** O1 = the full machine-independent pipeline. *)
+
+(* Pipeline control threaded from the command line (epicc --passes,
+   --disable-pass, --verify-ir, --diff-check, --time-passes,
+   --dump-after) and the experiment harness into the pass manager. *)
+type pipeline = {
+  pp_passes : string list option;  (* replace the default pass list *)
+  pp_disable : string list;        (* drop every occurrence by name *)
+  pp_verify : bool;                (* verify MIR between passes *)
+  pp_diff_check : bool;            (* differential-check each pass *)
+  pp_time : bool;                  (* callers: print the report *)
+  pp_dump_after : string list;     (* dump MIR after these passes *)
+}
+
+let default_pipeline =
+  { pp_passes = None; pp_disable = []; pp_verify = false; pp_diff_check = false;
+    pp_time = false; pp_dump_after = [] }
+
+(* Resolve the effective pass list and run it through the pass manager. *)
+let run_pipeline (pl : pipeline) ~default mir =
+  let base =
+    match pl.pp_passes with
+    | None -> default
+    | Some names -> List.map Opt.Registry.find_exn names
+  in
+  List.iter (fun n -> ignore (Opt.Registry.find_exn n)) pl.pp_disable;
+  let passes =
+    List.filter
+      (fun (p : Opt.pass) -> not (List.mem p.Opt.pass_name pl.pp_disable))
+      base
+  in
+  let options =
+    { Opt.Pipeline.verify = pl.pp_verify; diff_check = pl.pp_diff_check;
+      dump_after = pl.pp_dump_after; dump = None }
+  in
+  Opt.Pipeline.run ~options passes mir
 
 (* Loop unrolling is available (A8 ablation, [?unroll] below) but off by
    default: on these workloads the hand-unrolled kernels already expose
@@ -33,19 +69,20 @@ type opt_level = O0 | O1  (** O1 = the full machine-independent pipeline. *)
 let default_unroll = 1
 
 let compile_epic ?(opt = O1) ?(predication = true) ?(unroll = default_unroll)
-    ?mem_bytes (cfg : Config.t) ~source () =
+    ?mem_bytes ?(pipeline = default_pipeline) (cfg : Config.t) ~source () =
   let cfg = Config.validate_exn cfg in
   let mir = Cfront.compile ~unroll source in
-  let mir =
+  let default =
     match opt with
-    | O0 -> Opt.none mir
-    | O1 -> Opt.for_epic ~predication mir
+    | O0 -> []
+    | O1 -> Opt.default_passes ~epic:true ~predication
   in
+  let mir, report = run_pipeline pipeline ~default mir in
   let layout = Memmap.layout ?mem_bytes mir in
   let unit_, sched = Sched.compile_program cfg layout mir in
   let image, words = Asm.assemble cfg unit_ in
   { ea_config = cfg; ea_mir = mir; ea_layout = layout; ea_unit = unit_;
-    ea_image = image; ea_words = words; ea_sched = sched }
+    ea_image = image; ea_words = words; ea_sched = sched; ea_report = report }
 
 let run_epic ?fuel ?trace ?profile (a : epic_artifacts) =
   let mem = Memmap.init_memory a.ea_layout a.ea_mir in
@@ -67,13 +104,20 @@ type arm_artifacts = {
   aa_mir : Ir.program;          (* optimised, runtime linked *)
   aa_layout : Memmap.t;
   aa_prog : Arm.Isa.program;
+  aa_report : Opt.Pipeline.report;
 }
 
-let compile_arm ?(opt = O1) ?(unroll = default_unroll) ?mem_bytes ~source () =
+let compile_arm ?(opt = O1) ?(unroll = default_unroll) ?mem_bytes
+    ?(pipeline = default_pipeline) ~source () =
   let mir = Cfront.compile ~unroll source in
-  let mir = match opt with O0 -> Opt.none mir | O1 -> Opt.standard mir in
+  let default =
+    match opt with
+    | O0 -> []
+    | O1 -> Opt.default_passes ~epic:false ~predication:false
+  in
+  let mir, report = run_pipeline pipeline ~default mir in
   let prog, layout, linked = Arm.compile_program ?mem_bytes mir in
-  { aa_mir = linked; aa_layout = layout; aa_prog = prog }
+  { aa_mir = linked; aa_layout = layout; aa_prog = prog; aa_report = report }
 
 let run_arm ?fuel (a : arm_artifacts) =
   let mem = Memmap.init_memory a.aa_layout a.aa_mir in
@@ -81,8 +125,9 @@ let run_arm ?fuel (a : arm_artifacts) =
 
 (* Convenience wrappers used throughout the tests and examples. *)
 
-let epic_cycles ?opt ?predication ?unroll (cfg : Config.t) ~source ~expected () =
-  let a = compile_epic ?opt ?predication ?unroll cfg ~source () in
+let epic_cycles ?opt ?predication ?unroll ?pipeline (cfg : Config.t) ~source
+    ~expected () =
+  let a = compile_epic ?opt ?predication ?unroll ?pipeline cfg ~source () in
   let r = run_epic a in
   if r.Sim.ret <> expected land 0xFFFFFFFF then
     failwith
@@ -90,8 +135,8 @@ let epic_cycles ?opt ?predication ?unroll (cfg : Config.t) ~source ~expected () 
          (expected land 0xFFFFFFFF));
   r.Sim.stats
 
-let arm_cycles ?opt ?unroll ~source ~expected () =
-  let a = compile_arm ?opt ?unroll ~source () in
+let arm_cycles ?opt ?unroll ?pipeline ~source ~expected () =
+  let a = compile_arm ?opt ?unroll ?pipeline ~source () in
   let r = run_arm a in
   if r.Arm.Sim.ret <> expected land 0xFFFFFFFF then
     failwith

@@ -11,11 +11,40 @@ type epic_artifacts = {
   ea_image : Epic_asm.Aunit.image;     (** Resolved instruction stream. *)
   ea_words : int64 array;              (** Encoded binary. *)
   ea_sched : Epic_sched.Sched.stats;   (** Static scheduling statistics. *)
+  ea_report : Epic_opt.Pipeline.report;
+      (** Structured pipeline report: per-pass wall time and IR deltas,
+          verifier and differential-check tallies. *)
 }
 
 type opt_level =
   | O0  (** Straight lowering, no optimisation. *)
   | O1  (** The full machine-independent pipeline (default). *)
+
+(** {1 Pipeline control}
+
+    Fine-grained control over the machine-independent pass pipeline,
+    mirroring the epicc flags.  [pp_passes] replaces the default pass
+    list with named registry passes ({!Epic_opt.Registry}); [pp_disable]
+    removes every occurrence of the named passes; [pp_verify] runs the
+    MIR verifier ({!Epic_mir.Verify}) on the pipeline input and after
+    every pass; [pp_diff_check] re-runs the reference interpreter after
+    each pass and compares against the pre-pass program; [pp_dump_after]
+    pretty-prints the MIR after each named pass to stderr.  [pp_time] is
+    carried for callers that print the report (the toolchain always
+    collects timings).
+    @raise Invalid_argument on unknown pass names.
+    @raise Epic_opt.Pipeline.Error on verifier or differential failures. *)
+type pipeline = {
+  pp_passes : string list option;
+  pp_disable : string list;
+  pp_verify : bool;
+  pp_diff_check : bool;
+  pp_time : bool;
+  pp_dump_after : string list;
+}
+
+val default_pipeline : pipeline
+(** Default pass list for the target, no checking, no dumping. *)
 
 val default_unroll : int
 (** Counted-loop unrolling threshold used when [?unroll] is omitted
@@ -25,13 +54,17 @@ val default_unroll : int
 
 val compile_epic :
   ?opt:opt_level -> ?predication:bool -> ?unroll:int -> ?mem_bytes:int ->
-  Epic_config.t -> source:string -> unit -> epic_artifacts
+  ?pipeline:pipeline -> Epic_config.t -> source:string -> unit -> epic_artifacts
 (** Compile EPIC-C for a configuration: front-end (with optional loop
     unrolling) -> optimiser (if-conversion unless [predication:false]) ->
     code generation + register allocation -> list scheduling -> assembly.
-    Validates the configuration first.
+    Validates the configuration first.  [pipeline] overrides and
+    instruments the optimiser pass list; with [pp_passes = None] the
+    default list is [opt]/[predication]'s pipeline, so the two interfaces
+    compose.
     @raise Epic_cfront.Error, @raise Epic_sched.Codegen.Codegen_error,
-    @raise Epic_asm.Asm_error, @raise Invalid_argument as appropriate. *)
+    @raise Epic_asm.Asm_error, @raise Epic_opt.Pipeline.Error,
+    @raise Invalid_argument as appropriate. *)
 
 val run_epic :
   ?fuel:int -> ?trace:Format.formatter -> ?profile:Epic_profile.t ->
@@ -52,11 +85,12 @@ type arm_artifacts = {
   aa_mir : Epic_mir.Ir.program;  (** Optimised, software-divide runtime linked. *)
   aa_layout : Epic_mir.Memmap.t;
   aa_prog : Epic_arm.Isa.program;
+  aa_report : Epic_opt.Pipeline.report;  (** Pipeline report (see above). *)
 }
 
 val compile_arm :
-  ?opt:opt_level -> ?unroll:int -> ?mem_bytes:int -> source:string -> unit ->
-  arm_artifacts
+  ?opt:opt_level -> ?unroll:int -> ?mem_bytes:int -> ?pipeline:pipeline ->
+  source:string -> unit -> arm_artifacts
 (** Compile the same source for the SA-110 baseline (shared front-end and
     optimiser, pressure-aware inlining, no predication). *)
 
@@ -68,11 +102,11 @@ val run_arm : ?fuel:int -> arm_artifacts -> Epic_arm.Sim.result
     the harness never reports cycles for a wrong answer. *)
 
 val epic_cycles :
-  ?opt:opt_level -> ?predication:bool -> ?unroll:int ->
+  ?opt:opt_level -> ?predication:bool -> ?unroll:int -> ?pipeline:pipeline ->
   Epic_config.t -> source:string -> expected:int -> unit -> Epic_sim.stats
 (** @raise Failure when the run returns anything but [expected]. *)
 
 val arm_cycles :
-  ?opt:opt_level -> ?unroll:int -> source:string -> expected:int -> unit ->
-  Epic_arm.Sim.stats
+  ?opt:opt_level -> ?unroll:int -> ?pipeline:pipeline -> source:string ->
+  expected:int -> unit -> Epic_arm.Sim.stats
 (** @raise Failure when the run returns anything but [expected]. *)

@@ -7,10 +7,13 @@
     - {!Dominators}: dominator sets and natural-loop discovery.
     - {!Memmap}: data-memory layout (globals, stack) and big-endian byte
       access shared by the interpreter and both backends.
-    - {!Interp}: the reference interpreter defining MIR semantics. *)
+    - {!Interp}: the reference interpreter defining MIR semantics.
+    - {!Verify}: the well-formedness verifier run between optimisation
+      passes. *)
 
 module Ir = Ir
 module Liveness = Liveness
 module Dominators = Dominators
 module Memmap = Memmap
 module Interp = Interp
+module Verify = Verify

@@ -1,6 +1,16 @@
-(* Shared helpers for optimisation passes: deep copy (passes mutate their
-   input program) and 32-bit constant evaluation mirroring the reference
-   interpreter's semantics. *)
+(* Shared helpers for optimisation passes: program copying (passes mutate
+   their input program) and 32-bit constant evaluation mirroring the
+   reference interpreter's semantics.
+
+   Copy discipline: passes mutate only the MUTABLE CONTAINERS of the IR —
+   the [b_insts]/[b_term] fields of block records and the
+   [f_blocks]/[f_nvregs]/[f_npregs]/[f_frame_bytes] fields of function
+   records.  Instruction records and list cells are immutable and always
+   replaced wholesale, never updated in place (see the contract in
+   {!Registry}).  [copy_block] therefore deliberately shares the
+   instruction LIST with the original: a fresh block record is enough to
+   isolate the original from every legal mutation.  The same reasoning
+   lets [copy_program] share [p_globals] (no pass touches globals). *)
 
 module Ir = Epic_mir.Ir
 module Word = Epic_isa.Word

@@ -1,7 +1,8 @@
 (** Machine-independent optimiser (the IMPACT role in the paper's flow).
 
-    Passes (each takes and returns a program; they mutate their argument,
-    so the drivers below copy first):
+    Passes (see {!Registry} for the per-pass metadata and the mutation
+    contract; each pass takes and returns a program and mutates the
+    argument's blocks/functions, so the pipeline driver copies first):
     - {!Simplify}: CFG cleaning — constant branches, jump threading,
       unreachable-block removal, linear-block merging.
     - {!Constfold}: block-local constant folding, constant/copy
@@ -17,7 +18,12 @@
       scope for the scheduler.
     - {!Licm}: loop-invariant code motion to fresh preheaders (hoists
       global-address materialisation and invariant address arithmetic
-      that block-local CSE cannot reach). *)
+      that block-local CSE cannot reach).
+
+    Pipelines are driven by {!Pipeline}, which adds per-pass timing and
+    IR-delta statistics, optional MIR verification ({!Epic_mir.Verify})
+    between passes, and differential checking against the reference
+    interpreter. *)
 
 module Ir = Epic_mir.Ir
 module Common = Common
@@ -28,23 +34,23 @@ module Dce = Dce
 module Ifconvert = Ifconvert
 module Inline = Inline
 module Licm = Licm
+module Registry = Registry
+module Pipeline = Pipeline
 
-type pass = { pass_name : string; pass_run : Ir.program -> Ir.program }
+type pass = Registry.pass = {
+  pass_name : string;
+  pass_descr : string;
+  pass_run : Ir.program -> Ir.program;
+}
 
-let simplify = { pass_name = "simplify-cfg"; pass_run = Simplify.run }
-let inline = { pass_name = "inline"; pass_run = Inline.run ?small_threshold:None ?single_site:None }
-
-(* The scalar baseline has few registers: only tiny leaves are worth
-   inlining there (mirrors how production compilers weigh inlining against
-   register pressure). *)
-let inline_small =
-  { pass_name = "inline-small";
-    pass_run = Inline.run ~small_threshold:12 ~single_site:false }
-let constfold = { pass_name = "constfold"; pass_run = Constfold.run }
-let cse = { pass_name = "cse"; pass_run = Cse.run }
-let licm = { pass_name = "licm"; pass_run = Licm.run }
-let dce = { pass_name = "dce"; pass_run = Dce.run }
-let if_convert = { pass_name = "if-convert"; pass_run = Ifconvert.run ?max_insts:None }
+let simplify = Registry.simplify
+let inline = Registry.inline
+let inline_small = Registry.inline_small
+let constfold = Registry.constfold
+let cse = Registry.cse
+let licm = Registry.licm
+let dce = Registry.dce
+let if_convert = Registry.if_convert
 
 (* Two rounds: CSE exposes copies that constfold propagates, which exposes
    dead code, which exposes further merges. *)
@@ -57,7 +63,14 @@ let standard_passes = (simplify :: inline_small :: cleanup_passes)
 let epic_passes =
   (simplify :: inline :: cleanup_passes) @ [ if_convert; constfold; dce; simplify ]
 
-let apply passes p = List.fold_left (fun p pass -> pass.pass_run p) (Common.copy_program p) passes
+(** The default pass list for a target: O1 on EPIC (with or without
+    if-conversion) or on the scalar baseline; the empty pipeline is O0. *)
+let default_passes ~epic ~predication =
+  if epic && predication then epic_passes else standard_passes
+
+(** Run a pass list through the pipeline driver, discarding the report.
+    Copies the input program first, so callers may mutate the result. *)
+let apply ?options passes p = fst (Pipeline.run ?options passes p)
 
 (** Optimise for a scalar target (no predication). *)
 let standard p = apply standard_passes p
@@ -66,7 +79,8 @@ let standard p = apply standard_passes p
     if-conversion.  [~predication:false] disables if-conversion (the A4
     ablation). *)
 let for_epic ?(predication = true) p =
-  if predication then apply epic_passes p else standard p
+  apply (default_passes ~epic:true ~predication) p
 
-(** No optimisation at all (still copies, so callers may mutate). *)
-let none p = Common.copy_program p
+(** No optimisation at all: the empty pipeline (still copies, so callers
+    may mutate). *)
+let none p = apply [] p

@@ -1,0 +1,196 @@
+(* The pass manager: runs a pipeline of registered passes over a MIR
+   program with optional invariant checking, producing a structured
+   per-pass report (wall time, IR deltas) instead of an opaque fold.
+
+   Instrumentation available per pass:
+   - [verify]: run the {!Epic_mir.Verify} well-formedness checker on the
+     input program and after every pass; any finding aborts compilation
+     with {!Error} naming the offending pass.
+   - [diff_check]: differential checking against the reference
+     interpreter — execute the program before and after each pass (entry
+     [main], zero arguments) and compare the return value and the final
+     contents of the globals region.  A pass that changes either is
+     miscompiling and aborts with {!Error}.  Executions that trap in the
+     reference run are skipped: the optimiser is allowed to remove a trap
+     whose result is dead (DCE on a dead division), so only trap-free
+     behaviour is required to be preserved.
+   - [dump_after]: pretty-print the program after each named pass (every
+     occurrence) to [dump] (stderr by default).
+
+   Timing and IR-delta statistics are always collected — they cost two
+   clock reads and a program walk per pass — so callers decide at print
+   time, not compile time, whether to surface them. *)
+
+module Ir = Epic_mir.Ir
+module Interp = Epic_mir.Interp
+module Verify = Epic_mir.Verify
+module Memmap = Epic_mir.Memmap
+
+exception Error of string
+
+type options = {
+  verify : bool;
+  diff_check : bool;
+  dump_after : string list;
+  dump : Format.formatter option;  (* default stderr *)
+}
+
+let default_options =
+  { verify = false; diff_check = false; dump_after = []; dump = None }
+
+type pass_stat = {
+  sp_pass : string;
+  sp_ms : float;              (* wall time of the pass itself *)
+  sp_insts_before : int;
+  sp_insts_after : int;
+  sp_blocks_before : int;
+  sp_blocks_after : int;
+  sp_funcs_before : int;
+  sp_funcs_after : int;
+}
+
+type report = {
+  rp_passes : pass_stat list;  (* execution order *)
+  rp_total_ms : float;         (* passes + instrumentation *)
+  rp_verify_runs : int;        (* completed verifier runs (all clean) *)
+  rp_diff_checks : int;        (* completed differential comparisons *)
+}
+
+let empty_report =
+  { rp_passes = []; rp_total_ms = 0.0; rp_verify_runs = 0; rp_diff_checks = 0 }
+
+(* ------------------------------------------------------------------ *)
+
+type shape = { sh_insts : int; sh_blocks : int; sh_funcs : int }
+
+let shape (p : Ir.program) =
+  List.fold_left
+    (fun acc (f : Ir.func) ->
+      List.fold_left
+        (fun acc (b : Ir.block) ->
+          { acc with
+            sh_insts = acc.sh_insts + List.length b.Ir.b_insts;
+            sh_blocks = acc.sh_blocks + 1 })
+        { acc with sh_funcs = acc.sh_funcs + 1 }
+        f.Ir.f_blocks)
+    { sh_insts = 0; sh_blocks = 0; sh_funcs = 0 }
+    p.Ir.p_funcs
+
+let verify_exn ~stage (p : Ir.program) =
+  match Verify.check_program p with
+  | Ok () -> ()
+  | Error msgs ->
+    raise
+      (Error
+         (Printf.sprintf "IR verification failed %s:\n  %s" stage
+            (String.concat "\n  " msgs)))
+
+(* Reference-interpreter observation for differential checking: the entry
+   function's return value and the final globals region.  [None] when the
+   program has no [main]; [Error] when the reference run traps. *)
+let observe (p : Ir.program) =
+  match Ir.find_func p "main" with
+  | None -> None
+  | Some f ->
+    let args = List.map (fun _ -> 0) f.Ir.f_params in
+    Some
+      (try
+         let r = Interp.run ~args p ~entry:"main" in
+         Ok (r.Interp.ret, Bytes.sub r.Interp.mem 0 r.Interp.map.Memmap.globals_end)
+       with Interp.Runtime_error m -> Result.Error m)
+
+let diff_exn ~pass before after =
+  match (before, after) with
+  | None, _ | _, None -> ()            (* no main: nothing to execute *)
+  | Some (Result.Error _), _ -> ()     (* reference run traps: skip (see above) *)
+  | Some (Ok _), Some (Result.Error m) ->
+    raise
+      (Error
+         (Printf.sprintf
+            "differential check failed after %s: optimised program traps (%s)"
+            pass m))
+  | Some (Ok (r0, g0)), Some (Ok (r1, g1)) ->
+    if r0 <> r1 then
+      raise
+        (Error
+           (Printf.sprintf
+              "differential check failed after %s: result %#x, expected %#x"
+              pass r1 r0));
+    if not (Bytes.equal g0 g1) then
+      raise
+        (Error
+           (Printf.sprintf
+              "differential check failed after %s: globals region differs" pass))
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(options = default_options) (passes : Registry.pass list)
+    (p : Ir.program) : Ir.program * report =
+  let t_start = Unix.gettimeofday () in
+  let p = Common.copy_program p in
+  let verify_runs = ref 0 and diff_checks = ref 0 in
+  if options.verify then begin
+    verify_exn ~stage:"on the pipeline input" p;
+    incr verify_runs
+  end;
+  let dump_ppf = Option.value ~default:Format.err_formatter options.dump in
+  let stats_rev = ref [] in
+  (* Passes mutate their argument's containers and return the program;
+     [Inline.run] may return a NEW program record (after dropping dead
+     functions), so the result must be threaded, not discarded. *)
+  let p =
+    List.fold_left
+      (fun p (pass : Registry.pass) ->
+        let before = if options.diff_check then observe p else None in
+        let sh0 = shape p in
+        let t0 = Unix.gettimeofday () in
+        let p' = pass.pass_run p in
+        let t1 = Unix.gettimeofday () in
+        let sh1 = shape p' in
+        stats_rev :=
+          { sp_pass = pass.pass_name;
+            sp_ms = (t1 -. t0) *. 1000.0;
+            sp_insts_before = sh0.sh_insts;
+            sp_insts_after = sh1.sh_insts;
+            sp_blocks_before = sh0.sh_blocks;
+            sp_blocks_after = sh1.sh_blocks;
+            sp_funcs_before = sh0.sh_funcs;
+            sp_funcs_after = sh1.sh_funcs }
+          :: !stats_rev;
+        if options.verify then begin
+          verify_exn ~stage:(Printf.sprintf "after pass %s" pass.pass_name) p';
+          incr verify_runs
+        end;
+        if options.diff_check then begin
+          diff_exn ~pass:pass.pass_name before (observe p');
+          incr diff_checks
+        end;
+        if List.mem pass.pass_name options.dump_after then
+          Format.fprintf dump_ppf "@[<v>;; MIR after %s@,%a@]@." pass.pass_name
+            Ir.pp_program p';
+        p')
+      p passes
+  in
+  ( p,
+    { rp_passes = List.rev !stats_rev;
+      rp_total_ms = (Unix.gettimeofday () -. t_start) *. 1000.0;
+      rp_verify_runs = !verify_runs;
+      rp_diff_checks = !diff_checks } )
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering (epicc --time-passes). *)
+
+let pp_report ppf (r : report) =
+  let open Format in
+  fprintf ppf "@[<v>%-14s %9s %15s %11s %7s@," "pass" "ms" "insts" "blocks" "funcs";
+  List.iter
+    (fun s ->
+      fprintf ppf "%-14s %9.3f %7d->%-7d %5d->%-5d %3d->%-3d@," s.sp_pass s.sp_ms
+        s.sp_insts_before s.sp_insts_after s.sp_blocks_before s.sp_blocks_after
+        s.sp_funcs_before s.sp_funcs_after)
+    r.rp_passes;
+  fprintf ppf "%-14s %9.3f" "total" r.rp_total_ms;
+  if r.rp_verify_runs > 0 then fprintf ppf "  (verifier: %d runs clean)" r.rp_verify_runs;
+  if r.rp_diff_checks > 0 then
+    fprintf ppf "  (differential: %d checks passed)" r.rp_diff_checks;
+  fprintf ppf "@]"

@@ -1,0 +1,93 @@
+(* Pass registry: every machine-independent optimisation pass registered
+   by name with metadata, so that pipelines can be assembled by name from
+   the command line (epicc --passes/--disable-pass), the experiment
+   harness, and the tests.
+
+   Mutation contract shared by every registered pass: a pass mutates the
+   MUTABLE CONTAINERS of the program it is given — block records
+   ([b_insts], [b_term]) and function records ([f_blocks], [f_nvregs],
+   [f_npregs], [f_frame_bytes]) — but never an instruction record or a
+   cons cell in place (both are immutable; rewrites build new lists and
+   assign them wholesale).  {!Common.copy_program} therefore only has to
+   copy the containers; sharing the instruction lists and [p_globals]
+   between the copy and the original is sound. *)
+
+module Ir = Epic_mir.Ir
+
+type pass = {
+  pass_name : string;
+  pass_descr : string;
+  pass_run : Ir.program -> Ir.program;
+}
+
+let simplify =
+  { pass_name = "simplify-cfg";
+    pass_descr =
+      "CFG cleaning: constant branches, jump threading, unreachable-block \
+       removal, linear-block merging";
+    pass_run = Simplify.run }
+
+let inline =
+  { pass_name = "inline";
+    pass_descr = "bottom-up inlining of small or single-site leaf functions";
+    pass_run = Inline.run ?small_threshold:None ?single_site:None }
+
+(* The scalar baseline has few registers: only tiny leaves are worth
+   inlining there (mirrors how production compilers weigh inlining against
+   register pressure). *)
+let inline_small =
+  { pass_name = "inline-small";
+    pass_descr = "pressure-aware inlining (tiny leaves only, for the SA-110)";
+    pass_run = Inline.run ~small_threshold:12 ~single_site:false }
+
+let constfold =
+  { pass_name = "constfold";
+    pass_descr =
+      "block-local constant folding, constant/copy propagation, algebraic \
+       simplification, strength reduction";
+    pass_run = Constfold.run }
+
+let cse =
+  { pass_name = "cse";
+    pass_descr =
+      "block-local common-subexpression elimination, loads included under a \
+       memory generation counter";
+    pass_run = Cse.run }
+
+let licm =
+  { pass_name = "licm";
+    pass_descr = "loop-invariant code motion to fresh preheaders";
+    pass_run = Licm.run }
+
+let dce =
+  { pass_name = "dce";
+    pass_descr = "liveness-based dead-code elimination";
+    pass_run = Dce.run }
+
+let if_convert =
+  { pass_name = "if-convert";
+    pass_descr =
+      "if-conversion of branch diamonds/triangles to predicated code (EPIC \
+       targets only)";
+    pass_run = Ifconvert.run ?max_insts:None }
+
+let all = [ simplify; inline; inline_small; constfold; cse; licm; dce; if_convert ]
+
+let names () = List.map (fun p -> p.pass_name) all
+
+let find name = List.find_opt (fun p -> p.pass_name = name) all
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown pass %s (known: %s)" name
+         (String.concat ", " (names ())))
+
+(* Parse a comma-separated pass list as written on the command line. *)
+let parse_list s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun n -> n <> "")
+  |> List.map find_exn

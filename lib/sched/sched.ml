@@ -62,20 +62,19 @@ let build_deps (md : Mdes.t) (insts : A.inst array) =
       (* Memory ordering *)
       if (i_store && j_mem) || (i_mem && j_store) then add_edge i j 1;
       (* Control: branches stay in order and nothing moves past them *)
-      if i_branch then add_edge i j (if j_branch then 1 else 1);
+      if i_branch then add_edge i j 1;
       if j_branch && not i_branch then add_edge i j 0
     done
   done;
   edges
 
 (* Critical-path height for priority. *)
-let heights (md : Mdes.t) insts edges =
+let heights insts edges =
   let n = Array.length insts in
   let succ = Array.make n [] in
   Array.iteri
     (fun j preds -> List.iter (fun (i, d) -> succ.(i) <- (j, d) :: succ.(i)) preds)
     edges;
-  ignore md;
   let h = Array.make n 0 in
   for i = n - 1 downto 0 do
     h.(i) <- List.fold_left (fun acc (j, d) -> max acc (h.(j) + max 1 d)) 0 succ.(i)
@@ -109,7 +108,7 @@ let schedule_block (md : Mdes.t) (insts : A.inst list) : A.inst list list =
             (Format.asprintf "Sched: %a cannot execute on this machine" Isa.pp_inst a))
       approx;
     let edges = build_deps md insts in
-    let height = heights md insts edges in
+    let height = heights insts edges in
     let cycle_of = Array.make n (-1) in
     let scheduled = ref 0 in
     (* Incremental readiness: count incoming dependence edges; placing an

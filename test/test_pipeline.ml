@@ -1,0 +1,331 @@
+(* Pass-manager tests: registry lookup, the MIR verifier (positive and
+   hand-built negative cases), per-pass semantics preservation over the
+   four paper workloads, and end-to-end pipeline control through the
+   toolchain (--passes / --disable-pass behaviour). *)
+
+module Ir = Epic.Ir
+module Opt = Epic.Opt
+module Pl = Epic.Opt.Pipeline
+module Verify = Epic.Verify
+module Cfront = Epic.Cfront
+module Interp = Epic.Interp
+module T = Epic.Toolchain
+module W = Epic.Workloads
+
+let tiny_benchmarks () =
+  W.Sources.all ~sha_bytes:64 ~aes_iters:1 ~dct_size:(8, 8) ~dijkstra_nodes:6 ()
+
+let custom name a b =
+  match Epic.Config.registry_find name with
+  | Some c -> c.Epic.Config.cop_semantics ~width:32 a b
+  | None -> Alcotest.failf "unknown custom op %s" name
+
+let run_ret p = (Interp.run ~custom p ~entry:"main").Interp.ret
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_lookup () =
+  let names = Opt.Registry.names () in
+  Alcotest.(check bool) "registry non-empty" true (names <> []);
+  Alcotest.(check int) "names unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun n ->
+      match Opt.Registry.find n with
+      | Some p -> Alcotest.(check string) "find round-trips" n p.Opt.pass_name
+      | None -> Alcotest.failf "registered pass %s not found" n)
+    names;
+  Alcotest.(check bool) "unknown name" true (Opt.Registry.find "nosuch" = None);
+  (match Opt.Registry.find_exn "nosuch" with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "find_exn accepted an unknown pass")
+
+let test_registry_parse_list () =
+  let ps = Opt.Registry.parse_list " cse, dce ,," in
+  Alcotest.(check (list string)) "parsed in order" [ "cse"; "dce" ]
+    (List.map (fun (p : Opt.pass) -> p.Opt.pass_name) ps);
+  (match Opt.Registry.parse_list "cse,bogus" with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "parse_list accepted an unknown pass")
+
+(* ------------------------------------------------------------------ *)
+(* Verifier: hand-built negative cases.  [expect_error] asserts at least
+   one finding mentions [frag]. *)
+
+let block id insts term = { Ir.b_id = id; b_insts = insts; b_term = term }
+let i k = Ir.no_guard k
+
+let mk_func ?(name = "f") ?(params = []) ?(nvregs = 4) ?(npregs = 2)
+    ?(frame = 0) blocks =
+  { Ir.f_name = name; f_params = params; f_nvregs = nvregs; f_npregs = npregs;
+    f_blocks = blocks; f_frame_bytes = frame }
+
+let prog_of f = { Ir.p_globals = []; p_funcs = [ f ] }
+
+let expect_error frag p =
+  match Verify.program_errors p with
+  | [] -> Alcotest.failf "verifier accepted bad IR (wanted %S)" frag
+  | errs ->
+    let contains s =
+      let n = String.length frag in
+      let rec go i = i + n <= String.length s && (String.sub s i n = frag || go (i + 1)) in
+      go 0
+    in
+    if not (List.exists contains errs) then
+      Alcotest.failf "no finding mentions %S:\n  %s" frag (String.concat "\n  " errs)
+
+let expect_clean f =
+  match Verify.func_errors f with
+  | [] -> ()
+  | errs -> Alcotest.failf "verifier rejected sound IR:\n  %s" (String.concat "\n  " errs)
+
+let test_verify_dangling_target () =
+  expect_error "does not resolve"
+    (prog_of (mk_func [ block 0 [] (Ir.Jmp 7) ]))
+
+let test_verify_duplicate_blocks () =
+  expect_error "duplicate block ids"
+    (prog_of
+       (mk_func
+          [ block 0 [] (Ir.Jmp 0); block 0 [] (Ir.Ret None) ]))
+
+let test_verify_vreg_range () =
+  expect_error "out of range"
+    (prog_of
+       (mk_func ~nvregs:4
+          [ block 0 [ i (Ir.Mov (9, Ir.Imm 1)) ] (Ir.Ret None) ]))
+
+let test_verify_guard_range () =
+  expect_error "out of range"
+    (prog_of
+       (mk_func ~npregs:2
+          [ block 0
+              [ { Ir.kind = Ir.Mov (1, Ir.Imm 0);
+                  guard = Some { Ir.g_reg = 5; g_pos = true } } ]
+              (Ir.Ret None) ]))
+
+let test_verify_frame_bounds () =
+  expect_error "outside frame"
+    (prog_of
+       (mk_func ~frame:4
+          [ block 0 [ i (Ir.LoadFrame (1, 4)) ] (Ir.Ret None) ]))
+
+let test_verify_use_before_def () =
+  expect_error "used before definition"
+    (prog_of
+       (mk_func ~params:[]
+          [ block 0 [ i (Ir.Mov (1, Ir.Reg 0)) ] (Ir.Ret None) ]))
+
+let test_verify_partial_def_on_join () =
+  (* v1 is defined on the true arm only; its use at the join must flag. *)
+  expect_error "used before definition"
+    (prog_of
+       (mk_func ~params:[ 0 ]
+          [ block 0 [] (Ir.Br (Ir.Rlt, Ir.Reg 0, Ir.Imm 0, 1, 2));
+            block 1 [ i (Ir.Mov (1, Ir.Imm 7)) ] (Ir.Jmp 2);
+            block 2 [] (Ir.Ret (Some (Ir.Reg 1))) ]))
+
+let test_verify_guarded_defs_count () =
+  (* The if-converted form of the same diamond: both polarities define v1
+     under a predicate, which the verifier accepts as defining. *)
+  expect_clean
+    (mk_func ~params:[ 0 ]
+       [ block 0
+           [ i (Ir.Setp (Ir.Rlt, 1, Ir.Reg 0, Ir.Imm 0));
+             { Ir.kind = Ir.Mov (1, Ir.Imm 7);
+               guard = Some { Ir.g_reg = 1; g_pos = true } };
+             { Ir.kind = Ir.Mov (1, Ir.Imm 9);
+               guard = Some { Ir.g_reg = 1; g_pos = false } } ]
+           (Ir.Ret (Some (Ir.Reg 1))) ])
+
+let test_verify_call_arity () =
+  let callee = mk_func ~name:"g" ~params:[ 0; 1 ] [ block 0 [] (Ir.Ret None) ] in
+  let caller =
+    mk_func ~name:"f"
+      [ block 0 [ i (Ir.Call (None, "g", [ Ir.Imm 1 ])) ] (Ir.Ret None) ]
+  in
+  expect_error "expects 2" { Ir.p_globals = []; p_funcs = [ caller; callee ] };
+  let bad =
+    mk_func ~name:"f"
+      [ block 0 [ i (Ir.Call (None, "nowhere", [])) ] (Ir.Ret None) ]
+  in
+  expect_error "undefined function" (prog_of bad)
+
+let test_verify_accepts_benchmarks () =
+  List.iter
+    (fun (bm : W.Sources.benchmark) ->
+      match Verify.check_program (Cfront.compile bm.W.Sources.bm_source) with
+      | Ok () -> ()
+      | Error errs ->
+        Alcotest.failf "%s rejected:\n  %s" bm.W.Sources.bm_name
+          (String.concat "\n  " errs))
+    (tiny_benchmarks ())
+
+(* ------------------------------------------------------------------ *)
+(* Semantics preservation, pass by pass and end to end.  Each registered
+   pass runs alone (under the verifier) over every workload and must keep
+   the reference checksum; then the full EPIC pipeline runs with both
+   verification and differential checking enabled. *)
+
+let test_each_pass_preserves_semantics () =
+  List.iter
+    (fun (bm : W.Sources.benchmark) ->
+      let p0 = Cfront.compile bm.W.Sources.bm_source in
+      List.iter
+        (fun (pass : Opt.pass) ->
+          let p1, report =
+            Pl.run ~options:{ Pl.default_options with Pl.verify = true }
+              [ pass ] p0
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s after %s alone" bm.W.Sources.bm_name
+               pass.Opt.pass_name)
+            bm.W.Sources.bm_expected (run_ret p1);
+          Alcotest.(check int) "verifier ran before and after" 2
+            report.Pl.rp_verify_runs)
+        Opt.Registry.all)
+    (tiny_benchmarks ())
+
+let test_full_pipeline_checked () =
+  let passes = Opt.epic_passes in
+  let n = List.length passes in
+  List.iter
+    (fun (bm : W.Sources.benchmark) ->
+      let p0 = Cfront.compile bm.W.Sources.bm_source in
+      let p1, report =
+        Pl.run
+          ~options:
+            { Pl.default_options with Pl.verify = true; Pl.diff_check = true }
+          passes p0
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s checksum after full pipeline" bm.W.Sources.bm_name)
+        bm.W.Sources.bm_expected (run_ret p1);
+      Alcotest.(check int) "one verifier run per pass plus the input" (n + 1)
+        report.Pl.rp_verify_runs;
+      Alcotest.(check int) "one differential check per pass" n
+        report.Pl.rp_diff_checks;
+      Alcotest.(check (list string)) "report covers the pipeline in order"
+        (List.map (fun (p : Opt.pass) -> p.Opt.pass_name) passes)
+        (List.map (fun s -> s.Pl.sp_pass) report.Pl.rp_passes);
+      List.iter
+        (fun s ->
+          if s.Pl.sp_ms < 0.0 then
+            Alcotest.failf "negative wall time for %s" s.Pl.sp_pass)
+        report.Pl.rp_passes)
+    (tiny_benchmarks ())
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline control through the toolchain. *)
+
+let sha_source () =
+  (List.hd (tiny_benchmarks ())).W.Sources.bm_source
+
+let diamond_source =
+  "int main(int x, int y) { int r; if (x < y) r = x * 2; else r = y * 3; return r; }"
+
+let guarded_count (p : Ir.program) =
+  List.fold_left
+    (fun acc (f : Ir.func) ->
+      List.fold_left
+        (fun acc (b : Ir.block) ->
+          acc
+          + List.length (List.filter (fun i -> i.Ir.guard <> None) b.Ir.b_insts))
+        acc f.Ir.f_blocks)
+    0 p.Ir.p_funcs
+
+let compile ?(pipeline = T.default_pipeline) ?opt source =
+  T.compile_epic ?opt ~pipeline Epic.Config.default ~source ()
+
+let test_disable_pass_drops_guards () =
+  let a = compile diamond_source in
+  Alcotest.(check bool) "default pipeline predicates the diamond" true
+    (guarded_count a.T.ea_mir > 0);
+  let b =
+    compile
+      ~pipeline:{ T.default_pipeline with T.pp_disable = [ "if-convert" ] }
+      diamond_source
+  in
+  Alcotest.(check int) "--disable-pass if-convert leaves no guards" 0
+    (guarded_count b.T.ea_mir)
+
+let test_passes_changes_schedule () =
+  let src = sha_source () in
+  let a = compile src in
+  let b =
+    compile
+      ~pipeline:
+        { T.default_pipeline with T.pp_passes = Some [ "simplify-cfg" ] }
+      src
+  in
+  Alcotest.(check bool) "--passes changes the emitted schedule" true
+    (a.T.ea_sched.Epic.Sched.Sched.st_insts
+     <> b.T.ea_sched.Epic.Sched.Sched.st_insts)
+
+let test_explicit_pipeline_is_default () =
+  let src = sha_source () in
+  let a = compile src in
+  let names = List.map (fun (p : Opt.pass) -> p.Opt.pass_name) Opt.epic_passes in
+  let b =
+    compile ~pipeline:{ T.default_pipeline with T.pp_passes = Some names } src
+  in
+  Alcotest.(check bool) "spelling out the default pipeline is bit-identical"
+    true (a.T.ea_words = b.T.ea_words)
+
+let test_empty_passes_is_o0 () =
+  let src = sha_source () in
+  let a = compile ~opt:T.O0 src in
+  let b =
+    compile ~pipeline:{ T.default_pipeline with T.pp_passes = Some [] } src
+  in
+  Alcotest.(check bool) "--passes '' matches -O0 bit for bit" true
+    (a.T.ea_words = b.T.ea_words)
+
+let test_unknown_pass_rejected () =
+  let reject pipeline =
+    match compile ~pipeline diamond_source with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "unknown pass name accepted"
+  in
+  reject { T.default_pipeline with T.pp_passes = Some [ "nosuch" ] };
+  reject { T.default_pipeline with T.pp_disable = [ "nosuch" ] }
+
+let test_checked_compile_to_binary () =
+  (* The acceptance path: compile with both checks enabled all the way to
+     an encoded binary, and confirm the report reached the artifacts. *)
+  let a =
+    compile
+      ~pipeline:
+        { T.default_pipeline with T.pp_verify = true; T.pp_diff_check = true }
+      (sha_source ())
+  in
+  Alcotest.(check bool) "binary emitted" true (Array.length a.T.ea_words > 0);
+  Alcotest.(check int) "report covers the default pipeline"
+    (List.length Opt.epic_passes)
+    (List.length a.T.ea_report.Pl.rp_passes)
+
+let suite =
+  [
+    Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+    Alcotest.test_case "registry parse_list" `Quick test_registry_parse_list;
+    Alcotest.test_case "verify: dangling branch target" `Quick test_verify_dangling_target;
+    Alcotest.test_case "verify: duplicate block ids" `Quick test_verify_duplicate_blocks;
+    Alcotest.test_case "verify: vreg out of range" `Quick test_verify_vreg_range;
+    Alcotest.test_case "verify: guard out of range" `Quick test_verify_guard_range;
+    Alcotest.test_case "verify: frame bounds" `Quick test_verify_frame_bounds;
+    Alcotest.test_case "verify: use before def" `Quick test_verify_use_before_def;
+    Alcotest.test_case "verify: partial def flags join use" `Quick test_verify_partial_def_on_join;
+    Alcotest.test_case "verify: guarded defs count" `Quick test_verify_guarded_defs_count;
+    Alcotest.test_case "verify: call arity" `Quick test_verify_call_arity;
+    Alcotest.test_case "verify: accepts the benchmarks" `Quick test_verify_accepts_benchmarks;
+    Alcotest.test_case "each pass preserves semantics" `Slow test_each_pass_preserves_semantics;
+    Alcotest.test_case "full pipeline under verify+diff" `Slow test_full_pipeline_checked;
+    Alcotest.test_case "--disable-pass if-convert" `Quick test_disable_pass_drops_guards;
+    Alcotest.test_case "--passes changes the schedule" `Quick test_passes_changes_schedule;
+    Alcotest.test_case "explicit default pipeline identical" `Quick test_explicit_pipeline_is_default;
+    Alcotest.test_case "--passes '' matches -O0" `Quick test_empty_passes_is_o0;
+    Alcotest.test_case "unknown pass rejected" `Quick test_unknown_pass_rejected;
+    Alcotest.test_case "checked compile to binary" `Quick test_checked_compile_to_binary;
+  ]
