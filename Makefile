@@ -18,6 +18,7 @@ check:
 	dune runtest
 	dune exec bin/epicprof.exe -- examples/sha256.c --format=chrome-trace \
 	  -o _build/check_trace.json
+	dune exec bench/main.exe -- inject-faults --quick
 	@echo "make check: OK"
 
 bench:

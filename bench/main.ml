@@ -351,6 +351,26 @@ let json_of_passes pts =
            ])
        pts)
 
+let json_of_faults pts =
+  J.List
+    (List.map
+       (fun (p : E.avf_point) ->
+         J.Obj
+           [
+             ("benchmark", J.Str p.E.af_name);
+             ("alus", J.Int p.E.af_alus);
+             ("report", Epic.Fault.report_to_json p.E.af_report);
+           ])
+       pts)
+
+let print_inject_faults (pts : E.avf_point list) =
+  hr "Fault injection (A10): seeded single-bit-flip campaigns, AVF per structure";
+  List.iter
+    (fun (p : E.avf_point) ->
+      Printf.printf "\n%s, %d ALU(s):\n" p.E.af_name p.E.af_alus;
+      Format.printf "%a@." Epic.Fault.pp_report p.E.af_report)
+    pts
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel suite: one Test per table/figure, measuring the toolchain +
    simulator machinery on small instances. *)
@@ -559,6 +579,19 @@ let () =
     let pts = E.ablate_passes ~sizes () in
     record "ablate_passes" (json_of_passes pts);
     print_ablate_passes pts
+  end;
+  if want "inject-faults" then begin
+    (* Campaigns multiply simulation cost by runs x targets, so they use
+       dedicated small inputs except under --full. *)
+    let fsizes =
+      if full then sizes
+      else { E.sha_bytes = 64; aes_iters = 1; dct_size = (8, 8); dijkstra_nodes = 6 }
+    in
+    let alus = if quick then [ 4 ] else E.alu_sweep in
+    let runs = if quick then 8 else 16 in
+    let pts = E.inject_faults ~sizes:fsizes ~alus ~runs () in
+    record "inject_faults" (json_of_faults pts);
+    print_inject_faults pts
   end;
   if want "bechamel" then bechamel_suite ();
   match json_path with

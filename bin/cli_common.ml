@@ -60,7 +60,12 @@ let config_term =
     in
     match Epic.Config.validate cfg with
     | Ok () -> cfg
-    | Error m -> failwith ("invalid configuration: " ^ m)
+    | Error ds ->
+      (* One line per violated constraint, then exit non-zero. *)
+      List.iter
+        (fun d -> Printf.eprintf "error: invalid configuration: %s\n" (Epic.Diag.to_string d))
+        ds;
+      exit 1
   in
   Term.(const build $ alus $ gprs $ preds $ btrs $ issue $ width $ ports
         $ no_forwarding $ customs $ omits)
@@ -149,8 +154,14 @@ let handle_errors f =
   | Epic.Opt.Pipeline.Error m ->
     Printf.eprintf "pipeline error: %s\n" m;
     exit 1
-  | Epic.Asm.Asm_error m ->
-    Printf.eprintf "assembler error: %s\n" m;
+  | Epic.Asm.Asm_error d ->
+    Printf.eprintf "assembler error: %s\n" (Epic.Diag.to_string d);
+    exit 1
+  | Epic.Encoding.Encode_error d ->
+    Printf.eprintf "encoding error: %s\n" (Epic.Diag.to_string d);
+    exit 1
+  | Epic.Diag.Error d ->
+    Printf.eprintf "error: %s\n" (Epic.Diag.to_string d);
     exit 1
   | Epic.Sched.Codegen.Codegen_error m ->
     Printf.eprintf "code generation error: %s\n" m;

@@ -7,7 +7,7 @@ open Cmdliner
 let pct total n =
   if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total
 
-let run input cfg no_pred compare_arm verbose trace profile pipeline =
+let run input cfg no_pred compare_arm verbose trace profile fuel pipeline =
   Cli_common.handle_errors @@ fun () ->
   let source = Cli_common.read_file input in
   let a =
@@ -20,9 +20,21 @@ let run input cfg no_pred compare_arm verbose trace profile pipeline =
     else None
   in
   let r =
-    Epic.Toolchain.run_epic
+    Epic.Toolchain.run_epic ?fuel
       ?trace:(if trace then Some Format.err_formatter else None) ?profile:prof a
   in
+  (match r.Epic.Sim.trap with
+   | Some t ->
+     (* Graceful termination: partial statistics plus the machine-readable
+        trap, with a distinct exit code for the watchdog (3) versus other
+        architectural faults (2). *)
+     Printf.printf "EPIC (%d ALUs, %d-issue): %s\n" cfg.Epic.Config.n_alus
+       cfg.Epic.Config.issue_width
+       (Format.asprintf "%a" Epic.Sim.pp_trap t);
+     Printf.printf "r3 at trap: %d (0x%08x)\n" r.Epic.Sim.ret r.Epic.Sim.ret;
+     Format.printf "partial statistics:@.%a@." Epic.Sim.pp_stats r.Epic.Sim.stats;
+     exit (match t.Epic.Sim.tr_cause with Epic.Sim.T_fuel -> 3 | _ -> 2)
+   | None -> ());
   Printf.printf "EPIC (%d ALUs, %d-issue, %.1f MHz): returned %d (0x%08x)\n"
     cfg.Epic.Config.n_alus cfg.Epic.Config.issue_width
     (Epic.Area.estimate cfg).Epic.Area.clock_mhz r.Epic.Sim.ret r.Epic.Sim.ret;
@@ -72,9 +84,16 @@ let cmd =
          ~doc:"Attach the cycle-attribution profiler and print its report \
                (epicprof offers more output formats).")
   in
+  let fuel =
+    Arg.(value & opt (some int) None
+         & info [ "fuel" ] ~docv:"CYCLES"
+           ~doc:"Watchdog: end the run after CYCLES simulated cycles with \
+                 partial statistics and a fuel trap (exit code 3).")
+  in
   Cmd.v
     (Cmd.info "epicsim" ~doc:"Run EPIC-C programs on the cycle-level EPIC simulator")
     Term.(const run $ Cli_common.input_term $ Cli_common.config_term $ no_pred
-          $ compare_arm $ verbose $ trace $ profile $ Cli_common.pipeline_term)
+          $ compare_arm $ verbose $ trace $ profile $ fuel
+          $ Cli_common.pipeline_term)
 
 let () = exit (Cmd.eval cmd)

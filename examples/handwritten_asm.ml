@@ -56,6 +56,7 @@ let () =
      header, like the paper's. *)
   let no_div = { Epic.Config.default with Epic.Config.alu_omit = [ Epic.Isa.REM ] } in
   match Epic.Asm.assemble_text no_div program with
-  | exception Epic.Asm.Asm_error m ->
-    Printf.printf "\nwithout a remainder unit the assembler rejects it:\n  %s\n" m
+  | exception Epic.Asm.Asm_error d ->
+    Printf.printf "\nwithout a remainder unit the assembler rejects it:\n  %s\n"
+      (Epic.Diag.to_string d)
   | _ -> assert false

@@ -8,10 +8,14 @@
 module Isa = Epic_isa
 module Config = Epic_config
 module Enc = Epic_encoding
+module Diag = Epic_diag
 
-exception Asm_error of string
+exception Asm_error of Diag.t
 
-let fail fmt = Format.kasprintf (fun s -> raise (Asm_error s)) fmt
+let fail ?ctx code fmt =
+  Format.kasprintf
+    (fun s -> raise (Asm_error (Diag.v ?context:ctx ~code s)))
+    fmt
 
 type src = Reg of int | Imm of int | Lab of string
 
@@ -63,12 +67,15 @@ let resolve (cfg : Config.t) (u : t) =
   List.iter
     (function
       | Ilabel l ->
-        if List.mem_assoc l !symbols then fail "duplicate label %s" l;
+        if List.mem_assoc l !symbols then
+          fail "asm/duplicate-label" ~ctx:[ ("label", l) ] "duplicate label %s" l;
         symbols := (l, !addr) :: !symbols
       | Ibundle insts ->
         if List.length insts > w then
-          fail "bundle of %d operations exceeds issue width %d" (List.length insts) w;
-        if insts = [] then fail "empty bundle";
+          fail "asm/bundle-width" ~ctx:[ ("bundle", string_of_int !addr) ]
+            "bundle of %d operations exceeds issue width %d" (List.length insts) w;
+        if insts = [] then
+          fail "asm/empty-bundle" ~ctx:[ ("bundle", string_of_int !addr) ] "empty bundle";
         incr addr
       | Idirective _ -> ())
     u.items;
@@ -76,7 +83,7 @@ let resolve (cfg : Config.t) (u : t) =
   let lookup l =
     match List.assoc_opt l symbols with
     | Some a -> a
-    | None -> fail "undefined label %s" l
+    | None -> fail "asm/undefined-label" ~ctx:[ ("label", l) ] "undefined label %s" l
   in
   let conv_src = function
     | Reg r -> Isa.Sreg r
@@ -84,7 +91,8 @@ let resolve (cfg : Config.t) (u : t) =
     | Lab l ->
       let a = lookup l in
       if not (Enc.literal_fits cfg a) then
-        fail "label %s resolves to %d, outside the literal range" l a;
+        fail "asm/label-range" ~ctx:[ ("label", l); ("address", string_of_int a) ]
+          "label %s resolves to %d, outside the literal range" l a;
       Isa.Simm a
   in
   let out = ref [] in
@@ -119,7 +127,12 @@ let check_image (cfg : Config.t) table image =
   Array.iteri
     (fun k inst ->
       try ignore (Enc.encode table cfg inst) with
-      | Enc.Encode_error m -> fail "instruction %d (%s): %s" k (Isa.string_of_opcode inst.Isa.op) m)
+      | Enc.Encode_error d ->
+        raise
+          (Asm_error
+             (Diag.add_context
+                [ ("inst", string_of_int k); ("op", Isa.string_of_opcode inst.Isa.op) ]
+                d)))
     image.im_insts;
   image
 

@@ -57,57 +57,102 @@ let with_alus n = { default with n_alus = n }
 
 let inst_bits c = c.opcode_bits + (2 * c.dst_bits) + (2 * c.src_bits) + c.pred_bits
 
+(* Validation collects every violated constraint (not just the first) as a
+   structured diagnostic, so a tool can report the whole shape of a bad
+   configuration header in one pass. *)
 let validate c =
-  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let ds = ref [] in
+  let err ?(ctx = []) code fmt =
+    Format.kasprintf
+      (fun m -> ds := Epic_diag.v ~context:ctx ~code m :: !ds)
+      fmt
+  in
   let pow2 b = 1 lsl b in
-  if c.n_alus < 1 then err "n_alus must be >= 1 (got %d)" c.n_alus
-  else if c.width < 8 || c.width > Isa.Word.max_width then
-    err "width must be within 8..%d (got %d)" Isa.Word.max_width c.width
-  else if c.n_gprs < 16 then err "n_gprs must be >= 16 for the calling convention (got %d)" c.n_gprs
-  else if c.n_gprs > pow2 c.dst_bits then
-    err "n_gprs = %d exceeds the 2^%d = %d registers addressable by the \
-         destination field; re-design the instruction format (enlarge dst_bits)"
-      c.n_gprs c.dst_bits (pow2 c.dst_bits)
-  else if c.n_gprs > pow2 (c.src_bits - 1) then
-    err "n_gprs = %d exceeds the %d registers addressable by a source field \
-         (one bit is the literal flag)" c.n_gprs (pow2 (c.src_bits - 1))
-  else if c.n_preds < 1 then err "n_preds must be >= 1"
-  else if c.n_preds > pow2 c.pred_bits then
-    err "n_preds = %d exceeds 2^%d addressable by the predicate field"
-      c.n_preds c.pred_bits
-  else if c.n_preds > pow2 c.dst_bits then
-    err "n_preds = %d exceeds the destination field range" c.n_preds
-  else if c.n_btrs < 1 then err "n_btrs must be >= 1"
-  else if c.n_btrs > pow2 c.dst_bits then
-    err "n_btrs = %d exceeds the destination field range" c.n_btrs
-  else if c.regs_per_inst < 2 || c.regs_per_inst > 4 then
-    err "regs_per_inst must be within 2..4 (got %d)" c.regs_per_inst
-  else if c.issue_width < 1 then err "issue_width must be >= 1"
-  else if c.issue_width * inst_bits c > c.mem_banks * 32 * 2 then
-    err "issue_width %d needs %d fetch bits/cycle but %d banks at double \
-         rate provide only %d (paper: issue constrained between one and four)"
+  let i = string_of_int in
+  if c.n_alus < 1 then
+    err "config/alus" ~ctx:[ ("n_alus", i c.n_alus) ]
+      "n_alus must be >= 1 (got %d)" c.n_alus;
+  if c.width < 8 || c.width > Isa.Word.max_width then
+    err "config/width" ~ctx:[ ("width", i c.width) ]
+      "width must be within 8..%d (got %d)" Isa.Word.max_width c.width;
+  if c.n_gprs < 16 then
+    err "config/gprs" ~ctx:[ ("n_gprs", i c.n_gprs) ]
+      "n_gprs must be >= 16 for the calling convention (got %d)" c.n_gprs;
+  if c.dst_bits >= 1 && c.n_gprs > pow2 c.dst_bits then
+    err "config/gprs-dst-field"
+      ~ctx:[ ("n_gprs", i c.n_gprs); ("dst_bits", i c.dst_bits) ]
+      "n_gprs = %d exceeds the 2^%d = %d registers addressable by the \
+       destination field; re-design the instruction format (enlarge dst_bits)"
+      c.n_gprs c.dst_bits (pow2 c.dst_bits);
+  if c.src_bits >= 2 && c.n_gprs > pow2 (c.src_bits - 1) then
+    err "config/gprs-src-field"
+      ~ctx:[ ("n_gprs", i c.n_gprs); ("src_bits", i c.src_bits) ]
+      "n_gprs = %d exceeds the %d registers addressable by a source field \
+       (one bit is the literal flag)" c.n_gprs (pow2 (c.src_bits - 1));
+  if c.n_preds < 1 then
+    err "config/preds" ~ctx:[ ("n_preds", i c.n_preds) ] "n_preds must be >= 1";
+  if c.n_preds > pow2 c.pred_bits then
+    err "config/preds-field"
+      ~ctx:[ ("n_preds", i c.n_preds); ("pred_bits", i c.pred_bits) ]
+      "n_preds = %d exceeds 2^%d addressable by the predicate field"
+      c.n_preds c.pred_bits;
+  if c.n_preds > pow2 c.dst_bits then
+    err "config/preds-dst-field"
+      ~ctx:[ ("n_preds", i c.n_preds); ("dst_bits", i c.dst_bits) ]
+      "n_preds = %d exceeds the destination field range" c.n_preds;
+  if c.n_btrs < 1 then
+    err "config/btrs" ~ctx:[ ("n_btrs", i c.n_btrs) ] "n_btrs must be >= 1";
+  if c.n_btrs > pow2 c.dst_bits then
+    err "config/btrs-dst-field"
+      ~ctx:[ ("n_btrs", i c.n_btrs); ("dst_bits", i c.dst_bits) ]
+      "n_btrs = %d exceeds the destination field range" c.n_btrs;
+  if c.regs_per_inst < 2 || c.regs_per_inst > 4 then
+    err "config/regs-per-inst" ~ctx:[ ("regs_per_inst", i c.regs_per_inst) ]
+      "regs_per_inst must be within 2..4 (got %d)" c.regs_per_inst;
+  if c.issue_width < 1 then
+    err "config/issue-width" ~ctx:[ ("issue_width", i c.issue_width) ]
+      "issue_width must be >= 1";
+  if c.issue_width * inst_bits c > c.mem_banks * 32 * 2 then
+    err "config/fetch-bandwidth"
+      ~ctx:[ ("issue_width", i c.issue_width); ("mem_banks", i c.mem_banks);
+             ("inst_bits", i (inst_bits c)) ]
+      "issue_width %d needs %d fetch bits/cycle but %d banks at double \
+       rate provide only %d (paper: issue constrained between one and four)"
       c.issue_width
       (c.issue_width * inst_bits c)
-      c.mem_banks (c.mem_banks * 32 * 2)
-  else if c.rf_port_budget < 2 then err "rf_port_budget must be >= 2"
-  else if c.pipeline_stages < 2 || c.pipeline_stages > 4 then
-    err "pipeline_stages must be within 2..4 (got %d)" c.pipeline_stages
-  else if List.exists (fun (_, l) -> l < 1) c.lat_overrides then
-    err "operation latencies must be >= 1"
-  else if c.opcode_bits < 8 then
-    err "opcode_bits must be >= 8 to number the base instruction set"
-  else if List.exists (fun op -> Isa.unit_of op <> Isa.U_alu) c.alu_omit then
-    Error "alu_omit may only list ALU-class operations"
-  else
-    let dup =
-      List.exists
-        (fun c' -> List.length (List.filter (fun o -> o.cop_name = c'.cop_name) c.custom_ops) > 1)
-        c.custom_ops
-    in
-    if dup then Error "duplicate custom operation name" else Ok ()
+      c.mem_banks (c.mem_banks * 32 * 2);
+  if c.rf_port_budget < 2 then
+    err "config/rf-ports" ~ctx:[ ("rf_port_budget", i c.rf_port_budget) ]
+      "rf_port_budget must be >= 2";
+  if c.pipeline_stages < 2 || c.pipeline_stages > 4 then
+    err "config/pipeline-stages" ~ctx:[ ("pipeline_stages", i c.pipeline_stages) ]
+      "pipeline_stages must be within 2..4 (got %d)" c.pipeline_stages;
+  if List.exists (fun (_, l) -> l < 1) c.lat_overrides then
+    err "config/latency" "operation latencies must be >= 1";
+  if c.opcode_bits < 8 then
+    err "config/opcode-bits" ~ctx:[ ("opcode_bits", i c.opcode_bits) ]
+      "opcode_bits must be >= 8 to number the base instruction set";
+  List.iter
+    (fun op ->
+      if Isa.unit_of op <> Isa.U_alu then
+        err "config/alu-omit" ~ctx:[ ("op", Isa.string_of_opcode op) ]
+          "alu_omit may only list ALU-class operations (got %s)"
+          (Isa.string_of_opcode op))
+    c.alu_omit;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun cop ->
+      if Hashtbl.mem seen cop.cop_name then
+        err "config/custom-dup" ~ctx:[ ("name", cop.cop_name) ]
+          "duplicate custom operation name %s" cop.cop_name
+      else Hashtbl.add seen cop.cop_name ())
+    c.custom_ops;
+  match List.rev !ds with [] -> Ok () | ds -> Error ds
 
 let validate_exn c =
-  match validate c with Ok () -> c | Error m -> invalid_arg ("Epic_config: " ^ m)
+  match validate c with
+  | Ok () -> c
+  | Error ds -> invalid_arg ("Epic_config: " ^ Epic_diag.to_string_list ds)
 
 (* ------------------------------------------------------------------ *)
 (* Custom-operation registry                                           *)

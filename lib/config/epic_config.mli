@@ -68,14 +68,17 @@ val inst_bits : t -> int
 (** Total encoded instruction width: opcode + 2 destinations + 2 sources +
     predicate (64 with default field widths). *)
 
-val validate : t -> (unit, string) result
+val validate : t -> (unit, Epic_diag.t list) result
 (** Check every parameter against the instruction format and the memory
     bandwidth constraint (paper: "the number of instructions per issue is
     constrained between one and four" because issue fetch may not exceed
-    [mem_banks * 32 * 2] bits per cycle). *)
+    [mem_banks * 32 * 2] bits per cycle).  All violated constraints are
+    collected, each as a structured diagnostic with a stable [config/*]
+    code, so a bad header is reported in one pass. *)
 
 val validate_exn : t -> t
-(** Like {!validate} but returns the config or raises [Invalid_argument]. *)
+(** Like {!validate} but returns the config or raises [Invalid_argument]
+    carrying every diagnostic rendered on one line. *)
 
 (** {1 Custom-operation registry}
 

@@ -5,6 +5,7 @@
     benchmarks, and the end-to-end drivers and experiment harness. *)
 
 module Isa = Epic_isa
+module Diag = Epic_diag
 module Config = Epic_config
 module Encoding = Epic_encoding
 module Mdes = Epic_mdes
@@ -20,6 +21,7 @@ module Regalloc = Epic_regalloc
 module Sched = Epic_sched
 module Asm = Epic_asm
 module Sim = Epic_sim
+module Fault = Epic_fault
 module Profile = Epic_profile
 module Arm = Epic_arm
 module Area = Epic_area

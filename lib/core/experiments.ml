@@ -363,3 +363,36 @@ let ablate_passes ?(sizes = default_sizes) () =
        (fun name ->
          measure { T.default_pipeline with T.pp_disable = [ name ] } name)
        ablatable
+
+(* ------------------------------------------------------------------ *)
+(* A10: fault-injection campaigns — the AVF table per workload and ALU
+   count.  The golden run of each campaign is checksum-verified against
+   the benchmark's expected result (and, inside [T.fault_campaign],
+   against the MIR reference interpreter), so every classification is
+   relative to a validated baseline. *)
+
+type avf_point = {
+  af_name : string;
+  af_alus : int;
+  af_report : Epic_fault.report;
+}
+
+let inject_faults ?(sizes = default_sizes) ?(alus = alu_sweep) ?(seed = 1)
+    ?(runs = 16) () =
+  List.concat_map
+    (fun (bm : Sources.benchmark) ->
+      List.map
+        (fun n ->
+          let a =
+            T.compile_epic (Config.with_alus n) ~source:bm.Sources.bm_source ()
+          in
+          let rp = T.fault_campaign ~seed ~runs a in
+          if rp.Epic_fault.rp_golden_ret <> bm.Sources.bm_expected land 0xFFFFFFFF
+          then
+            failwith
+              (Printf.sprintf "%s golden run returned %#x, expected %#x"
+                 bm.Sources.bm_name rp.Epic_fault.rp_golden_ret
+                 (bm.Sources.bm_expected land 0xFFFFFFFF));
+          { af_name = bm.Sources.bm_name; af_alus = n; af_report = rp })
+        alus)
+    (benchmarks sizes)

@@ -137,3 +137,18 @@ type pass_point = {
 val ablate_passes : ?sizes:sizes -> unit -> pass_point list
 (** A9: optimisation-pass ablation on SHA (4 ALUs) — the default pipeline,
     then each distinct pass disabled in turn via the pass manager. *)
+
+type avf_point = {
+  af_name : string;                 (** Workload name. *)
+  af_alus : int;
+  af_report : Epic_fault.report;    (** Per-structure vulnerability table. *)
+}
+
+val inject_faults :
+  ?sizes:sizes -> ?alus:int list -> ?seed:int -> ?runs:int -> unit ->
+  avf_point list
+(** A10: deterministic fault-injection campaigns
+    ({!Toolchain.fault_campaign}) over the paper's workloads across the
+    ALU sweep.  [runs] (default 16) injected flips per structure per
+    campaign; the golden run of every campaign is checksum-verified.
+    @raise Failure on a checksum mismatch. *)

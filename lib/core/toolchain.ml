@@ -84,21 +84,46 @@ let compile_epic ?(opt = O1) ?(predication = true) ?(unroll = default_unroll)
   { ea_config = cfg; ea_mir = mir; ea_layout = layout; ea_unit = unit_;
     ea_image = image; ea_words = words; ea_sched = sched; ea_report = report }
 
+let entry_of (a : epic_artifacts) =
+  match List.assoc_opt "_start" a.ea_image.Asm.Aunit.im_symbols with
+  | Some e -> e
+  | None -> 0
+
 let run_epic ?fuel ?trace ?profile (a : epic_artifacts) =
   let mem = Memmap.init_memory a.ea_layout a.ea_mir in
-  let entry =
-    match List.assoc_opt "_start" a.ea_image.Asm.Aunit.im_symbols with
-    | Some e -> e
-    | None -> 0
-  in
   let sink = Option.map Epic_profile.sink profile in
-  Sim.run ?fuel ?trace ?sink a.ea_config ~image:a.ea_image ~mem ~entry ()
+  Sim.run ?fuel ?trace ?sink a.ea_config ~image:a.ea_image ~mem
+    ~entry:(entry_of a) ()
 
 (* Profiled run: attach a fresh recorder and return it with the result. *)
 let profile_epic ?fuel ?keep_events (a : epic_artifacts) =
   let profile = Epic_profile.create ?keep_events a.ea_config a.ea_image in
   let r = run_epic ?fuel ~profile a in
   (r, profile)
+
+(* Fault-injection campaign over compiled artifacts.  The golden run is
+   cross-checked against the MIR reference interpreter (the same
+   differential oracle the pass manager uses), so an SDC classification
+   is always relative to an independently validated result. *)
+let fault_campaign ?seed ?runs ?targets ?fuel_factor ?(check_golden = true)
+    (a : epic_artifacts) =
+  let mem = Memmap.init_memory a.ea_layout a.ea_mir in
+  let rp =
+    Epic_fault.campaign ?seed ?runs ?targets ?fuel_factor a.ea_config
+      ~image:a.ea_image ~mem ~entry:(entry_of a) ()
+  in
+  if check_golden then begin
+    let custom = Config.custom_eval a.ea_config in
+    let reference =
+      (Epic_mir.Interp.run ~custom a.ea_mir ~entry:"main").Epic_mir.Interp.ret
+    in
+    let reference = Epic_isa.Word.mask a.ea_config.Config.width reference in
+    if rp.Epic_fault.rp_golden_ret <> reference then
+      Epic_diag.raisef ~code:"fault/golden-mismatch"
+        "golden run returned %#x but the MIR reference interpreter returned %#x"
+        rp.Epic_fault.rp_golden_ret reference
+  end;
+  rp
 
 type arm_artifacts = {
   aa_mir : Ir.program;          (* optimised, runtime linked *)
@@ -129,6 +154,9 @@ let epic_cycles ?opt ?predication ?unroll ?pipeline (cfg : Config.t) ~source
     ~expected () =
   let a = compile_epic ?opt ?predication ?unroll ?pipeline cfg ~source () in
   let r = run_epic a in
+  (match r.Sim.trap with
+   | Some t -> failwith (Format.asprintf "EPIC run trapped: %a" Sim.pp_trap t)
+   | None -> ());
   if r.Sim.ret <> expected land 0xFFFFFFFF then
     failwith
       (Printf.sprintf "EPIC run returned %#x, expected %#x" r.Sim.ret

@@ -81,6 +81,19 @@ val profile_epic :
     [keep_events] retains the full event log (needed for Chrome-trace
     export; default false). *)
 
+val fault_campaign :
+  ?seed:int -> ?runs:int -> ?targets:Epic_fault.target list ->
+  ?fuel_factor:int -> ?check_golden:bool -> epic_artifacts ->
+  Epic_fault.report
+(** Run a deterministic fault-injection campaign ({!Epic_fault.campaign})
+    over compiled artifacts: data memory initialised from the program's
+    globals, execution from [_start].  Unless [check_golden:false], the
+    golden run's return value is cross-checked against the MIR reference
+    interpreter, so SDC classification is relative to an independently
+    validated result.
+    @raise Epic_diag.Error ([fault/golden-mismatch]) when the simulator
+    and the reference interpreter disagree on the fault-free run. *)
+
 type arm_artifacts = {
   aa_mir : Epic_mir.Ir.program;  (** Optimised, software-divide runtime linked. *)
   aa_layout : Epic_mir.Memmap.t;

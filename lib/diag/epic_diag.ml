@@ -1,0 +1,35 @@
+(* Structured diagnostics: stable code + message + key/value context.
+   The shared currency of user-facing errors across the toolchain. *)
+
+type t = {
+  code : string;
+  message : string;
+  context : (string * string) list;
+}
+
+exception Error of t
+
+let v ?(context = []) ~code message = { code; message; context }
+
+let errorf ?context ~code fmt =
+  Format.kasprintf (fun message -> v ?context ~code message) fmt
+
+let raisef ?context ~code fmt =
+  Format.kasprintf (fun message -> raise (Error (v ?context ~code message))) fmt
+
+let add_context extra d = { d with context = extra @ d.context }
+
+let to_string d =
+  let ctx =
+    match d.context with
+    | [] -> ""
+    | l ->
+      " ["
+      ^ String.concat ", " (List.map (fun (k, value) -> k ^ "=" ^ value) l)
+      ^ "]"
+  in
+  Printf.sprintf "%s: %s%s" d.code d.message ctx
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let to_string_list ds = String.concat "; " (List.map to_string ds)

@@ -1,0 +1,44 @@
+(** Structured diagnostics for the EPIC toolchain.
+
+    A user mistake — an inconsistent configuration header, an operand that
+    does not fit the instruction format, an undefined assembly label — is
+    reported as a {!t}: a stable machine-readable code, a human-readable
+    message, and key/value context.  The command-line tools render each
+    diagnostic as one line and exit non-zero; nothing user-facing should
+    escape as a bare [Failure] backtrace. *)
+
+type t = {
+  code : string;
+      (** Stable machine-readable identifier, [area/condition] form
+          (e.g. ["config/gprs-dst-field"], ["enc/literal-range"]). *)
+  message : string;     (** Human-readable, single line. *)
+  context : (string * string) list;
+      (** Key/value details (parameter values, indices, operation names). *)
+}
+
+exception Error of t
+(** Shared carrier for raise-style APIs built on diagnostics. *)
+
+val v : ?context:(string * string) list -> code:string -> string -> t
+
+val errorf :
+  ?context:(string * string) list -> code:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+(** Build a diagnostic with a formatted message. *)
+
+val raisef :
+  ?context:(string * string) list -> code:string ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Like {!errorf} but raises {!Error}. *)
+
+val add_context : (string * string) list -> t -> t
+(** Prepend context entries (used when wrapping a lower-level diagnostic). *)
+
+val to_string : t -> string
+(** One line: [code: message [k=v, ...]]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string_list : t list -> string
+(** All diagnostics joined with ["; "] — for exception payloads that can
+    only carry one string. *)

@@ -1,9 +1,27 @@
 module Isa = Epic_isa
 module Config = Epic_config
+module Diag = Epic_diag
 
-exception Encode_error of string
+exception Encode_error of Diag.t
 
-let fail fmt = Format.kasprintf (fun s -> raise (Encode_error s)) fmt
+let fail ?ctx code fmt =
+  Format.kasprintf
+    (fun s -> raise (Encode_error (Diag.v ?context:ctx ~code s)))
+    fmt
+
+(* Marker opcode produced when decoding a word whose opcode bit pattern is
+   unassigned: decoding is total, and the simulator turns the marker into an
+   illegal-operation trap instead of the decoder raising. *)
+let illegal_prefix = "ILLEGAL:"
+
+let illegal_opcode code = Isa.CUSTOM (Printf.sprintf "%s%#x" illegal_prefix code)
+
+let is_illegal (op : Isa.opcode) =
+  match op with
+  | Isa.CUSTOM name ->
+    String.length name >= String.length illegal_prefix
+    && String.sub name 0 (String.length illegal_prefix) = illegal_prefix
+  | _ -> false
 
 type table = {
   forward : (Isa.opcode * int) list;
@@ -33,7 +51,10 @@ let make_table (cfg : Config.t) =
         let tag = class_tag op in
         let index = counters.(tag) in
         counters.(tag) <- index + 1;
-        if index >= 1 lsl shift then fail "opcode field too narrow for instruction set";
+        if index >= 1 lsl shift then
+          fail "enc/opcode-space"
+            ~ctx:[ ("opcode_bits", string_of_int cfg.Config.opcode_bits) ]
+            "opcode field too narrow for instruction set";
         (op, (tag lsl shift) lor index))
       ops
   in
@@ -94,20 +115,28 @@ let check_dst (cfg : Config.t) file idx =
     | Isa.R_pred -> (cfg.Config.n_preds, "predicate register")
     | Isa.R_btr -> (cfg.Config.n_btrs, "branch target register")
   in
-  if idx < 0 || idx >= limit then fail "%s index %d out of range 0..%d" name idx (limit - 1);
+  if idx < 0 || idx >= limit then
+    fail "enc/dst-range" ~ctx:[ ("index", string_of_int idx) ]
+      "%s index %d out of range 0..%d" name idx (limit - 1);
   if idx >= 1 lsl cfg.Config.dst_bits then
-    fail "destination index %d exceeds the %d-bit field" idx cfg.Config.dst_bits
+    fail "enc/dst-field" ~ctx:[ ("index", string_of_int idx) ]
+      "destination index %d exceeds the %d-bit field" idx cfg.Config.dst_bits
 
 let encode_src (cfg : Config.t) (s : Isa.src) =
   let payload = cfg.Config.src_bits - 1 in
   match s with
   | Isa.Sreg r ->
-    if r < 0 || r >= cfg.Config.n_gprs then fail "source register r%d out of range" r;
-    if r >= 1 lsl payload then fail "register r%d exceeds the source field" r;
+    if r < 0 || r >= cfg.Config.n_gprs then
+      fail "enc/src-reg-range" ~ctx:[ ("reg", string_of_int r) ]
+        "source register r%d out of range" r;
+    if r >= 1 lsl payload then
+      fail "enc/src-reg-field" ~ctx:[ ("reg", string_of_int r) ]
+        "register r%d exceeds the source field" r;
     r
   | Isa.Simm v ->
     if not (literal_fits cfg v) then
-      fail "literal %d does not fit the %d-bit source payload" v payload;
+      fail "enc/literal-range" ~ctx:[ ("literal", string_of_int v) ]
+        "literal %d does not fit the %d-bit source payload" v payload;
     (1 lsl payload) lor (v land ((1 lsl payload) - 1))
 
 let decode_src (cfg : Config.t) bits =
@@ -136,19 +165,25 @@ let count_distinct_gprs (i : Isa.inst) =
   List.length acc
 
 let encode t (cfg : Config.t) (i : Isa.inst) =
-  if Config.inst_bits cfg > 64 then fail "instruction width %d exceeds 64 bits" (Config.inst_bits cfg);
+  if Config.inst_bits cfg > 64 then
+    fail "enc/inst-width" "instruction width %d exceeds 64 bits" (Config.inst_bits cfg);
   if not (Config.op_supported cfg i.Isa.op) then
-    fail "operation %s is not implemented by this configuration"
+    fail "enc/unsupported-op" ~ctx:[ ("op", Isa.string_of_opcode i.Isa.op) ]
+      "operation %s is not implemented by this configuration"
       (Isa.string_of_opcode i.Isa.op);
   let code =
     match code_of_opcode t i.Isa.op with
     | Some c -> c
-    | None -> fail "operation %s has no opcode in this configuration" (Isa.string_of_opcode i.Isa.op)
+    | None ->
+      fail "enc/no-opcode" ~ctx:[ ("op", Isa.string_of_opcode i.Isa.op) ]
+        "operation %s has no opcode in this configuration"
+        (Isa.string_of_opcode i.Isa.op)
   in
   let u = usage i.Isa.op in
   let check_imm v =
     if v < 0 || v >= 1 lsl cfg.Config.dst_bits then
-      fail "destination-field immediate %d exceeds the %d-bit field" v cfg.Config.dst_bits;
+      fail "enc/dimm-range" ~ctx:[ ("immediate", string_of_int v) ]
+        "destination-field immediate %d exceeds the %d-bit field" v cfg.Config.dst_bits;
     v
   in
   let d1 =
@@ -166,9 +201,12 @@ let encode t (cfg : Config.t) (i : Isa.inst) =
   let s1 = if u.u_src1 then encode_src cfg i.Isa.src1 else 0 in
   let s2 = if u.u_src2 then encode_src cfg i.Isa.src2 else 0 in
   if i.Isa.guard < 0 || i.Isa.guard >= cfg.Config.n_preds then
-    fail "guard predicate p%d out of range" i.Isa.guard;
+    fail "enc/guard-range" ~ctx:[ ("guard", string_of_int i.Isa.guard) ]
+      "guard predicate p%d out of range" i.Isa.guard;
   if count_distinct_gprs i > cfg.Config.regs_per_inst then
-    fail "instruction names %d distinct GPRs but regs_per_inst = %d"
+    fail "enc/regs-per-inst"
+      ~ctx:[ ("distinct_gprs", string_of_int (count_distinct_gprs i)) ]
+      "instruction names %d distinct GPRs but regs_per_inst = %d"
       (count_distinct_gprs i) cfg.Config.regs_per_inst;
   let ( ||| ) = Int64.logor in
   let field v shift = Int64.shift_left (Int64.of_int v) shift in
@@ -191,18 +229,24 @@ let decode t (cfg : Config.t) word =
   let d2 = extract word (pb + (2 * sb)) db in
   let d1 = extract word (pb + (2 * sb) + db) db in
   let code = extract word (pb + (2 * sb) + (2 * db)) cfg.Config.opcode_bits in
-  match opcode_of_code t code with
-  | None -> fail "unknown opcode %#x" code
-  | Some op ->
-    let u = usage op in
-    {
-      Isa.op;
-      dst1 = (match u.u_dst1 with Dreg _ | Dimm -> d1 | Dnone -> 0);
-      dst2 = (match u.u_dst2 with Dreg _ | Dimm -> d2 | Dnone -> 0);
-      src1 = (if u.u_src1 then decode_src cfg s1 else Isa.Simm 0);
-      src2 = (if u.u_src2 then decode_src cfg s2 else Isa.Simm 0);
-      guard;
-    }
+  (* Decoding is total: an unassigned opcode pattern yields an ILLEGAL
+     marker instruction (its fields decoded raw) rather than an exception,
+     so junk instruction words — e.g. injected bit flips — surface as an
+     architectural illegal-operation trap in the simulator. *)
+  let op =
+    match opcode_of_code t code with
+    | Some op -> op
+    | None -> illegal_opcode code
+  in
+  let u = usage op in
+  {
+    Isa.op;
+    dst1 = (match u.u_dst1 with Dreg _ | Dimm -> d1 | Dnone -> 0);
+    dst2 = (match u.u_dst2 with Dreg _ | Dimm -> d2 | Dnone -> 0);
+    src1 = (if u.u_src1 then decode_src cfg s1 else Isa.Simm 0);
+    src2 = (if u.u_src2 then decode_src cfg s2 else Isa.Simm 0);
+    guard;
+  }
 
 let word_to_bytes (cfg : Config.t) word =
   let nbytes = (Config.inst_bits cfg + 7) / 8 in

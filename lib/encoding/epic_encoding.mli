@@ -11,10 +11,11 @@
     index.  The machine is big-endian (paper Section 3.1), so the memory
     image serialises words most-significant byte first. *)
 
-exception Encode_error of string
+exception Encode_error of Epic_diag.t
 (** Raised when an instruction does not fit the configured format (register
     index out of range, literal too wide, unsupported operation, more
-    distinct GPR operands than [regs_per_inst] allows). *)
+    distinct GPR operands than [regs_per_inst] allows).  The diagnostic
+    carries a stable [enc/*] code. *)
 
 (** Opcode numbering table.  Codes place the functional-unit class in the
     top bits and enumerate operations within the class in the low bits, so
@@ -37,7 +38,15 @@ val encode : table -> Epic_config.t -> Epic_isa.inst -> int64
 (** Encode one instruction. @raise Encode_error when it does not fit. *)
 
 val decode : table -> Epic_config.t -> int64 -> Epic_isa.inst
-(** Decode one instruction word. @raise Encode_error on an unknown opcode. *)
+(** Decode one instruction word.  Decoding is total: a word whose opcode
+    pattern is unassigned decodes to an ILLEGAL marker instruction
+    (recognised by {!is_illegal}) rather than raising, so arbitrary junk —
+    including fault-injected instruction words — flows through decode and
+    surfaces as an architectural illegal-operation trap in the simulator. *)
+
+val is_illegal : Epic_isa.opcode -> bool
+(** Whether an opcode is the ILLEGAL marker produced by {!decode} for an
+    unassigned opcode bit pattern. *)
 
 val word_to_bytes : Epic_config.t -> int64 -> bytes
 (** Big-endian memory image of one instruction word

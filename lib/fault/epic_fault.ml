@@ -1,0 +1,298 @@
+(* Deterministic fault-injection campaigns over the cycle-level simulator.
+
+   The fault model is the classic single-event-upset study: one transient
+   bit flip per run, in an architectural structure (GPR, predicate, BTR,
+   data memory, or a fetched instruction word), at a chosen cycle.  Each
+   injected run is classified against a clean golden run:
+
+   - masked:  the program still halts with the golden return value and a
+              bit-identical final data memory;
+   - SDC:     silent data corruption — halts cleanly but the return value
+              or final memory differs;
+   - trap:    the architectural trap model caught the fault (bad PC,
+              memory bounds, illegal operation);
+   - timeout: the watchdog fuel (a multiple of the golden cycle count)
+              ran out — the fault sent the program into a loop.
+
+   Everything is driven by the repository's xorshift32 PRNG with an
+   explicit seed, so a campaign re-run with the same seed reproduces the
+   identical fault list and the identical report. *)
+
+module Isa = Epic_isa
+module Diag = Epic_diag
+module Config = Epic_config
+module Enc = Epic_encoding
+module A = Epic_asm.Aunit
+module Sim = Epic_sim
+module Prng = Epic_workloads.Prng
+module Json = Epic_profile.Json
+
+type target =
+  | F_gpr   (* general-purpose register bit *)
+  | F_pred  (* predicate register (1-bit: flip = negate) *)
+  | F_btr   (* branch-target register bit *)
+  | F_mem   (* data-memory byte bit *)
+  | F_inst  (* fetched instruction word bit (transient, one fetch) *)
+
+let all_targets = [ F_gpr; F_pred; F_btr; F_mem; F_inst ]
+
+let string_of_target = function
+  | F_gpr -> "gpr"
+  | F_pred -> "pred"
+  | F_btr -> "btr"
+  | F_mem -> "mem"
+  | F_inst -> "inst"
+
+let target_of_string = function
+  | "gpr" -> Some F_gpr
+  | "pred" -> Some F_pred
+  | "btr" -> Some F_btr
+  | "mem" -> Some F_mem
+  | "inst" -> Some F_inst
+  | _ -> None
+
+type fault = {
+  f_target : target;
+  f_cycle : int;  (* first cycle at (or after) which the flip fires *)
+  f_index : int;  (* register index / byte address / issue slot *)
+  f_bit : int;    (* bit position within the structure *)
+}
+
+type outcome =
+  | O_masked
+  | O_sdc
+  | O_trap of Sim.trap_cause
+  | O_timeout
+
+let string_of_outcome = function
+  | O_masked -> "masked"
+  | O_sdc -> "sdc"
+  | O_trap c -> "trap:" ^ Sim.string_of_trap_cause c
+  | O_timeout -> "timeout"
+
+let pp_fault ppf f =
+  Format.fprintf ppf "%s[%d] bit %d @ cycle %d"
+    (string_of_target f.f_target) f.f_index f.f_bit f.f_cycle
+
+(* ------------------------------------------------------------------ *)
+(* Single injected run.                                                *)
+
+let copy_image (image : A.image) =
+  { image with A.im_insts = Array.copy image.A.im_insts }
+
+let classify ~golden_ret ~golden_mem (r : Sim.result) =
+  match r.Sim.trap with
+  | Some t when t.Sim.tr_cause = Sim.T_fuel -> O_timeout
+  | Some t -> O_trap t.Sim.tr_cause
+  | None ->
+    if r.Sim.ret = golden_ret && Bytes.equal r.Sim.mem golden_mem then O_masked
+    else O_sdc
+
+(* Run the program once with [fault] injected and classify the outcome
+   against the golden run.  The image and memory are copied, so the
+   caller's structures are never corrupted.  An instruction flip is
+   transient: the corrupted word lives for exactly one fetch and is
+   restored on the next cycle (an SEU on the fetch path, not a stuck-at
+   fault in instruction memory). *)
+let inject (cfg : Config.t) ~(image : A.image) ~mem ~entry ~fuel ~golden_ret
+    ~golden_mem (fault : fault) =
+  let image = copy_image image in
+  let mem = Bytes.copy mem in
+  let table = lazy (Enc.make_table cfg) in
+  let fired = ref false in
+  let transient = ref None in
+  let tamper (m : Sim.machine) =
+    (match !transient with
+     | Some (pos, orig) ->
+       m.Sim.m_insts.(pos) <- orig;
+       transient := None
+     | None -> ());
+    if (not !fired) && m.Sim.m_cycle >= fault.f_cycle then begin
+      fired := true;
+      match fault.f_target with
+      | F_gpr ->
+        m.Sim.m_gprs.(fault.f_index) <-
+          m.Sim.m_gprs.(fault.f_index) lxor (1 lsl fault.f_bit)
+      | F_pred ->
+        m.Sim.m_preds.(fault.f_index) <- not m.Sim.m_preds.(fault.f_index)
+      | F_btr ->
+        m.Sim.m_btrs.(fault.f_index) <-
+          m.Sim.m_btrs.(fault.f_index) lxor (1 lsl fault.f_bit)
+      | F_mem ->
+        let b = Char.code (Bytes.get m.Sim.m_mem fault.f_index) in
+        Bytes.set m.Sim.m_mem fault.f_index
+          (Char.chr (b lxor (1 lsl (fault.f_bit land 7))))
+      | F_inst ->
+        (* Corrupt one word of the bundle about to be fetched: encode the
+           clean instruction, flip the bit, decode the junk back (decode
+           is total, so any pattern yields an instruction — possibly the
+           ILLEGAL marker the simulator traps on). *)
+        let t = Lazy.force table in
+        let pos =
+          (m.Sim.m_pc * m.Sim.m_issue_width)
+          + (fault.f_index mod m.Sim.m_issue_width)
+        in
+        let word = Enc.encode t cfg m.Sim.m_insts.(pos) in
+        let word = Int64.logxor word (Int64.shift_left 1L fault.f_bit) in
+        transient := Some (pos, m.Sim.m_insts.(pos));
+        m.Sim.m_insts.(pos) <- Enc.decode t cfg word
+    end
+  in
+  let r = Sim.run ~fuel ~tamper cfg ~image ~mem ~entry () in
+  classify ~golden_ret ~golden_mem r
+
+(* ------------------------------------------------------------------ *)
+(* Campaign: per-structure AVF table.                                  *)
+
+type row = {
+  r_target : target;
+  r_masked : int;
+  r_sdc : int;
+  r_trap : int;
+  r_timeout : int;
+}
+
+let row_runs r = r.r_masked + r.r_sdc + r.r_trap + r.r_timeout
+
+(* Architectural vulnerability: fraction of injected flips that visibly
+   derailed the program (anything but masked). *)
+let row_avf r =
+  let n = row_runs r in
+  if n = 0 then 0.0 else float_of_int (n - r.r_masked) /. float_of_int n
+
+type report = {
+  rp_seed : int;
+  rp_runs : int;
+  rp_fuel : int;
+  rp_golden_ret : int;
+  rp_golden_cycles : int;
+  rp_rows : row list;
+  rp_faults : (fault * outcome) list;
+}
+
+let golden ?fuel (cfg : Config.t) ~image ~mem ~entry =
+  let g =
+    Sim.run ?fuel cfg ~image:(copy_image image) ~mem:(Bytes.copy mem) ~entry ()
+  in
+  (match g.Sim.trap with
+   | Some t ->
+     Diag.raisef ~code:"fault/golden-trap"
+       "golden (fault-free) run trapped: %s"
+       (Format.asprintf "%a" Sim.pp_trap t)
+   | None -> ());
+  g
+
+let draw_fault rng (cfg : Config.t) ~issue_width ~mem_len ~golden_cycles target =
+  let draw bound = if bound <= 1 then 0 else Prng.next rng mod bound in
+  let cycle = draw golden_cycles in
+  let index, bit =
+    match target with
+    | F_gpr ->
+      (* r0 is hardwired; flipping it would violate the architecture, not
+         model a storage fault. *)
+      (1 + draw (cfg.Config.n_gprs - 1), draw cfg.Config.width)
+    | F_pred -> (1 + draw (cfg.Config.n_preds - 1), 0)
+    | F_btr ->
+      (* BTRs hold bundle indices: flip within the branch-literal range so
+         the corrupted target is representative of reachable code sizes. *)
+      (draw cfg.Config.n_btrs, draw (cfg.Config.src_bits - 1))
+    | F_mem -> (draw mem_len, draw 8)
+    | F_inst -> (draw issue_width, draw (Config.inst_bits cfg))
+  in
+  { f_target = target; f_cycle = cycle; f_index = index; f_bit = bit }
+
+let campaign ?(seed = 1) ?(runs = 32) ?(targets = all_targets)
+    ?(fuel_factor = 4) (cfg : Config.t) ~(image : A.image) ~(mem : Bytes.t)
+    ~entry () =
+  if seed land 0xFFFFFFFF = 0 then
+    Diag.raisef ~code:"fault/seed" "campaign seed must be non-zero";
+  if runs < 1 then Diag.raisef ~code:"fault/runs" "runs must be >= 1";
+  if fuel_factor < 1 then
+    Diag.raisef ~code:"fault/fuel-factor" "fuel_factor must be >= 1";
+  if Bytes.length mem = 0 then
+    Diag.raisef ~code:"fault/mem" "data memory is empty";
+  let g = golden cfg ~image ~mem ~entry in
+  let golden_cycles = g.Sim.stats.Sim.cycles in
+  let golden_ret = g.Sim.ret in
+  let golden_mem = g.Sim.mem in
+  (* Watchdog: a faulting run that has not halted after [fuel_factor]
+     times the golden cycle count is classified as a timeout.  The slack
+     constant keeps trivially short programs from racing the watchdog. *)
+  let fuel = (fuel_factor * golden_cycles) + 64 in
+  let rng = Prng.create ~seed () in
+  let faults = ref [] in
+  let rows =
+    List.map
+      (fun target ->
+        let masked = ref 0 and sdc = ref 0 and trap = ref 0 and timeout = ref 0 in
+        for _ = 1 to runs do
+          let f =
+            draw_fault rng cfg ~issue_width:image.A.im_issue_width
+              ~mem_len:(Bytes.length mem) ~golden_cycles target
+          in
+          let o = inject cfg ~image ~mem ~entry ~fuel ~golden_ret ~golden_mem f in
+          (match o with
+           | O_masked -> incr masked
+           | O_sdc -> incr sdc
+           | O_trap _ -> incr trap
+           | O_timeout -> incr timeout);
+          faults := (f, o) :: !faults
+        done;
+        { r_target = target; r_masked = !masked; r_sdc = !sdc;
+          r_trap = !trap; r_timeout = !timeout })
+      targets
+  in
+  { rp_seed = seed; rp_runs = runs; rp_fuel = fuel; rp_golden_ret = golden_ret;
+    rp_golden_cycles = golden_cycles; rp_rows = rows;
+    rp_faults = List.rev !faults }
+
+let total_runs rp = List.fold_left (fun a r -> a + row_runs r) 0 rp.rp_rows
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let pp_report ppf rp =
+  Format.fprintf ppf
+    "@[<v>fault-injection campaign: seed=%d runs/target=%d fuel=%d@,\
+     golden run: ret=%d cycles=%d@,@,\
+     %-8s %7s %7s %7s %8s %7s@,"
+    rp.rp_seed rp.rp_runs rp.rp_fuel rp.rp_golden_ret rp.rp_golden_cycles
+    "target" "masked" "sdc" "trap" "timeout" "AVF";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8s %7d %7d %7d %8d %6.1f%%@,"
+        (string_of_target r.r_target) r.r_masked r.r_sdc r.r_trap r.r_timeout
+        (100.0 *. row_avf r))
+    rp.rp_rows;
+  Format.fprintf ppf "@]"
+
+let json_of_fault (f, o) =
+  Json.Obj
+    [ ("target", Json.Str (string_of_target f.f_target));
+      ("cycle", Json.Int f.f_cycle);
+      ("index", Json.Int f.f_index);
+      ("bit", Json.Int f.f_bit);
+      ("outcome", Json.Str (string_of_outcome o)) ]
+
+let report_to_json ?(faults = false) rp =
+  let rows =
+    List.map
+      (fun r ->
+        Json.Obj
+          [ ("target", Json.Str (string_of_target r.r_target));
+            ("masked", Json.Int r.r_masked);
+            ("sdc", Json.Int r.r_sdc);
+            ("trap", Json.Int r.r_trap);
+            ("timeout", Json.Int r.r_timeout);
+            ("avf", Json.Float (row_avf r)) ])
+      rp.rp_rows
+  in
+  Json.Obj
+    ([ ("seed", Json.Int rp.rp_seed);
+       ("runs_per_target", Json.Int rp.rp_runs);
+       ("fuel", Json.Int rp.rp_fuel);
+       ("golden_ret", Json.Int rp.rp_golden_ret);
+       ("golden_cycles", Json.Int rp.rp_golden_cycles);
+       ("rows", Json.List rows) ]
+     @ if faults then [ ("faults", Json.List (List.map json_of_fault rp.rp_faults)) ]
+       else [])

@@ -29,6 +29,43 @@ exception Sim_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
 
+(* ---- architectural trap model ------------------------------------- *)
+
+(* A fault detected while executing — runaway PC, out-of-bounds memory
+   access, an operation the configured datapath does not implement, fuel
+   exhaustion — terminates the run gracefully: the simulator catches the
+   internal [Trap] exception at the top of its cycle loop and returns a
+   normal [result] carrying the trap record alongside the partial
+   statistics and final architectural state.  Nothing escapes as an
+   exception from [run]; [run_exn] restores the old raising behaviour. *)
+
+type trap_cause =
+  | T_bad_pc      (* PC left the code image *)
+  | T_mem_bounds  (* load/store outside data memory *)
+  | T_illegal_op  (* unimplemented/illegal operation or operand *)
+  | T_fuel        (* watchdog: cycle budget exhausted *)
+
+type trap = {
+  tr_cause : trap_cause;
+  tr_pc : int;        (* bundle index at the faulting cycle *)
+  tr_cycle : int;     (* architectural cycle of the fault *)
+  tr_message : string;
+}
+
+exception Trap of trap_cause * string
+
+let trap_ cause fmt = Format.kasprintf (fun s -> raise (Trap (cause, s))) fmt
+
+let string_of_trap_cause = function
+  | T_bad_pc -> "bad-pc"
+  | T_mem_bounds -> "mem-bounds"
+  | T_illegal_op -> "illegal-op"
+  | T_fuel -> "fuel"
+
+let pp_trap ppf t =
+  Format.fprintf ppf "trap %s at pc=%d cycle=%d: %s"
+    (string_of_trap_cause t.tr_cause) t.tr_pc t.tr_cycle t.tr_message
+
 type stats = {
   mutable cycles : int;
   mutable bundles : int;       (* bundles issued (not counting stalls) *)
@@ -47,10 +84,27 @@ type stats = {
 }
 
 type result = {
-  ret : int;            (* r3 at HALT *)
+  ret : int;            (* r3 at HALT (or at the trap, for faulting runs) *)
   stats : stats;
   mem : Bytes.t;
   gprs : int array;
+  trap : trap option;   (* None: clean HALT; Some: why the run ended early *)
+}
+
+(* Mutable view of the whole architectural state, handed to a [tamper]
+   hook once per cycle — the fault-injection surface.  The arrays and the
+   byte buffer are the simulator's own (mutations take effect
+   immediately); [m_insts] is the image's instruction stream, indexed
+   [bundle * issue_width + slot]. *)
+type machine = {
+  m_gprs : int array;
+  m_preds : bool array;
+  m_btrs : int array;
+  m_mem : Bytes.t;
+  m_insts : Isa.inst array;
+  m_issue_width : int;
+  m_pc : int;
+  m_cycle : int;
 }
 
 let mk_stats () =
@@ -101,8 +155,8 @@ let string_of_stall_cause = function
 (* [trace] receives one line per issued bundle: cycle, PC and the
    non-NOP operations (squashed ones bracketed).  Used by epicsim
    --trace and handy when debugging schedules. *)
-let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
-    ~(mem : Bytes.t) ?(entry = 0) () =
+let run ?(fuel = 500_000_000) ?trace ?sink ?tamper (cfg : Config.t)
+    ~(image : A.image) ~(mem : Bytes.t) ?(entry = 0) () =
   let w = image.A.im_issue_width in
   if w <> cfg.Config.issue_width then
     fail "image was assembled for issue width %d, configuration has %d" w
@@ -124,7 +178,34 @@ let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
   let mem_len = Bytes.length mem in
   let check_addr a n op =
     if a < 0 || a + n > mem_len then
-      fail "%s: address %#x out of bounds (cycle %d)" op a st.cycles
+      trap_ T_mem_bounds "%s: address %#x out of bounds (cycle %d)" op a st.cycles
+  in
+  (* Decode-stage validation: before issue, every fetched operation must
+     be implemented by the configured datapath and name only registers
+     that exist.  A clean image always passes (the assembler enforces the
+     same constraints), so this changes nothing for normal runs; it turns
+     corrupted instruction words — e.g. injected bit flips that decode to
+     junk indices or to the ILLEGAL marker — into architectural traps
+     instead of array-bounds crashes. *)
+  let check_inst pc slot (i : Isa.inst) =
+    if not (Config.op_supported cfg i.Isa.op) then
+      trap_ T_illegal_op "illegal or unimplemented operation %s (pc %d slot %d)"
+        (Isa.string_of_opcode i.Isa.op) pc slot;
+    let check_reg (file, idx) =
+      let limit =
+        match (file : Isa.regfile) with
+        | Isa.R_gpr -> cfg.Config.n_gprs
+        | Isa.R_pred -> cfg.Config.n_preds
+        | Isa.R_btr -> cfg.Config.n_btrs
+      in
+      if idx < 0 || idx >= limit then
+        trap_ T_illegal_op "%s register index %d out of range (pc %d slot %d, %s)"
+          (match file with Isa.R_gpr -> "GPR" | Isa.R_pred -> "predicate" | Isa.R_btr -> "BTR")
+          idx pc slot
+          (Isa.string_of_opcode i.Isa.op)
+    in
+    List.iter check_reg (Isa.reads i);
+    List.iter check_reg (Isa.writes i)
   in
   let halted = ref false in
   let ret = ref 0 in
@@ -133,11 +214,20 @@ let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
   let latency op = Config.latency cfg op in
   (* One fetched operation, pre-decoded operand values filled per cycle. *)
   let bundle = Array.make w Isa.nop in
+  let trap_info = ref None in
+  (try
   while not !halted do
-    if !now > fuel then fail "out of fuel after %d cycles" fuel;
-    if !pc < 0 || !pc >= n_bundles then fail "PC %d outside code (cycle %d)" !pc st.cycles;
+    if !now > fuel then trap_ T_fuel "out of fuel after %d cycles" fuel;
+    if !pc < 0 || !pc >= n_bundles then
+      trap_ T_bad_pc "PC %d outside code (cycle %d)" !pc st.cycles;
+    (match tamper with
+     | Some f ->
+       f { m_gprs = gprs; m_preds = preds; m_btrs = btrs; m_mem = mem;
+           m_insts = insts; m_issue_width = w; m_pc = !pc; m_cycle = !now }
+     | None -> ());
     for k = 0 to w - 1 do
-      bundle.(k) <- insts.((!pc * w) + k)
+      bundle.(k) <- insts.((!pc * w) + k);
+      if bundle.(k).Isa.op <> Isa.NOP then check_inst !pc k bundle.(k)
     done;
     (* ---- readiness: stall the whole bundle until every source (and
        guard) of every operation is available. *)
@@ -218,8 +308,9 @@ let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
       match i.Isa.op with
       | Isa.BRCT | Isa.BRCF ->
         (match i.Isa.src2 with
-         | Isa.Simm p -> branch_pred.(k) <- preds.(p)
-         | Isa.Sreg _ -> fail "branch predicate operand must be a literal index")
+         | Isa.Simm p when p >= 0 && p < cfg.Config.n_preds -> branch_pred.(k) <- preds.(p)
+         | Isa.Simm p -> trap_ T_illegal_op "branch predicate index %d out of range" p
+         | Isa.Sreg _ -> trap_ T_illegal_op "branch predicate operand must be a literal index")
       | _ -> ()
     done;
     (* ---- phase 2: execute and write back. *)
@@ -237,8 +328,7 @@ let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
       match sink with Some _ -> Some (Array.make w Sl_empty) | None -> None
     in
     let set_slot k s = match slots with Some a -> a.(k) <- s | None -> () in
-    (try
-       for k = 0 to w - 1 do
+    for k = 0 to w - 1 do
          if !taken then begin
            let op = bundle.(k).Isa.op in
            if op <> Isa.NOP then set_slot k (Sl_shadowed op)
@@ -308,13 +398,13 @@ let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
              | Isa.BRU_ ->
                (match i.Isa.src1 with
                 | Isa.Simm b -> next_pc := btrs.(b); taken := true
-                | Isa.Sreg _ -> fail "BRU operand must be a BTR index")
+                | Isa.Sreg _ -> trap_ T_illegal_op "BRU operand must be a BTR index")
              | Isa.BRCT | Isa.BRCF ->
                let want = op = Isa.BRCT in
                if branch_pred.(k) = want then begin
                  (match i.Isa.src1 with
                   | Isa.Simm b -> next_pc := btrs.(b); taken := true
-                  | Isa.Sreg _ -> fail "branch operand must be a BTR index")
+                  | Isa.Sreg _ -> trap_ T_illegal_op "branch operand must be a BTR index")
                end
              | Isa.BRL ->
                (match i.Isa.src1 with
@@ -322,7 +412,7 @@ let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
                   write_gpr i.Isa.dst1 (!pc + 1) (latency op);
                   next_pc := btrs.(b);
                   taken := true
-                | Isa.Sreg _ -> fail "BRL operand must be a BTR index")
+                | Isa.Sreg _ -> trap_ T_illegal_op "BRL operand must be a BTR index")
              | Isa.HALT ->
                halted := true;
                ret := gprs.(3);
@@ -330,8 +420,7 @@ let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
              | Isa.NOP -> ()
            end
          end
-       done
-     with Sim_error _ as e -> raise e);
+       done;
     (match trace with
      | Some ppf ->
        Format.fprintf ppf "%8d  pc=%-6d" !now !pc;
@@ -364,8 +453,21 @@ let run ?(fuel = 500_000_000) ?trace ?sink (cfg : Config.t) ~(image : A.image)
       now := !now + bubbles
     end;
     pc := !next_pc
-  done;
-  { ret = !ret; stats = st; mem; gprs }
+  done
+  with Trap (cause, msg) ->
+    (* Graceful termination: freeze the architectural state, record the
+       fault, and fall through to the normal result path.  [ret] reflects
+       r3 at the trap so partial results remain observable. *)
+    ret := gprs.(3);
+    trap_info :=
+      Some { tr_cause = cause; tr_pc = !pc; tr_cycle = st.cycles; tr_message = msg });
+  { ret = !ret; stats = st; mem; gprs; trap = !trap_info }
+
+let run_exn ?fuel ?trace ?sink ?tamper cfg ~image ~mem ?entry () =
+  let r = run ?fuel ?trace ?sink ?tamper cfg ~image ~mem ?entry () in
+  match r.trap with
+  | None -> r
+  | Some t -> raise (Sim_error (Format.asprintf "%a" pp_trap t))
 
 let pp_stats ppf st =
   Format.fprintf ppf

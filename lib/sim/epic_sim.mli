@@ -24,8 +24,37 @@
       memory is the shared big-endian byte memory of {!Epic_mir.Memmap}. *)
 
 exception Sim_error of string
-(** Out-of-range memory access, bad PC, malformed operand, or fuel
-    exhaustion. *)
+(** Misuse of the simulator API (e.g. an image assembled for a different
+    issue width).  Architectural faults do NOT raise: they end the run
+    gracefully with a {!trap} record in the {!result} — see {!run_exn}
+    for the old raising behaviour. *)
+
+(** {1 Architectural trap model}
+
+    A fault detected while executing terminates the run gracefully: the
+    result carries partial statistics, the final architectural state, and
+    a machine-readable trap record.  The four causes mirror what the
+    hardware's decode/execute stages can detect. *)
+
+type trap_cause =
+  | T_bad_pc      (** PC left the code image. *)
+  | T_mem_bounds  (** Load/store outside data memory. *)
+  | T_illegal_op  (** Unimplemented/illegal operation or operand (decode-stage
+                      validation: unknown opcode patterns, register indices
+                      beyond the configured files, malformed branch operands). *)
+  | T_fuel        (** Watchdog: the cycle budget ([fuel]) ran out. *)
+
+type trap = {
+  tr_cause : trap_cause;
+  tr_pc : int;         (** Bundle index at the faulting cycle. *)
+  tr_cycle : int;      (** Architectural cycle of the fault. *)
+  tr_message : string; (** Human-readable detail. *)
+}
+
+val string_of_trap_cause : trap_cause -> string
+(** ["bad-pc"], ["mem-bounds"], ["illegal-op"], ["fuel"]. *)
+
+val pp_trap : Format.formatter -> trap -> unit
 
 type stats = {
   mutable cycles : int;
@@ -45,10 +74,29 @@ type stats = {
 }
 
 type result = {
-  ret : int;          (** r3 at HALT (the calling convention's return value). *)
-  stats : stats;
+  ret : int;          (** r3 at HALT (the calling convention's return value);
+                          for a trapped run, r3 at the fault. *)
+  stats : stats;      (** Complete for clean runs, partial up to the trap. *)
   mem : Bytes.t;      (** Final data memory (same buffer as passed in). *)
   gprs : int array;   (** Final architectural register file. *)
+  trap : trap option; (** [None] for a clean HALT. *)
+}
+
+(** Mutable view of the whole architectural state, handed to {!run}'s
+    [tamper] hook once per cycle (after the fuel and PC checks, before
+    fetch) — the fault-injection surface of {!Epic_fault}.  The arrays
+    and buffer are the simulator's own: mutations take effect
+    immediately.  [m_insts] is the image's instruction stream, indexed
+    [bundle * issue_width + slot]. *)
+type machine = {
+  m_gprs : int array;
+  m_preds : bool array;
+  m_btrs : int array;
+  m_mem : Bytes.t;
+  m_insts : Epic_isa.inst array;
+  m_issue_width : int;
+  m_pc : int;     (** Bundle about to be fetched. *)
+  m_cycle : int;  (** Current architectural cycle. *)
 }
 
 val ilp : stats -> float
@@ -92,18 +140,36 @@ val run :
   ?fuel:int ->
   ?trace:Format.formatter ->
   ?sink:(event -> unit) ->
+  ?tamper:(machine -> unit) ->
   Epic_config.t ->
   image:Epic_asm.Aunit.image ->
   mem:Bytes.t ->
   ?entry:int ->
   unit ->
   result
-(** Execute an assembled image until HALT.  [fuel] bounds simulated cycles
-    (default 5*10^8); [trace] prints one line per issued bundle (cycle,
-    PC, live operations, squashed ones bracketed); [sink] receives the
-    structured event stream (see above; no overhead when absent); [entry]
-    is the starting bundle index (default 0, where the toolchain places
-    [_start]).
-    @raise Sim_error on faults. *)
+(** Execute an assembled image until HALT or a trap.  [fuel] bounds
+    simulated cycles (default 5*10^8; exhaustion is a [T_fuel] trap, not
+    an exception); [trace] prints one line per issued bundle (cycle, PC,
+    live operations, squashed ones bracketed); [sink] receives the
+    structured event stream (see above; no overhead when absent);
+    [tamper] is called once per cycle with the mutable {!machine} view
+    (fault injection; no overhead when absent); [entry] is the starting
+    bundle index (default 0, where the toolchain places [_start]).
+    Architectural faults are returned in [result.trap]; only API misuse
+    raises {!Sim_error}. *)
+
+val run_exn :
+  ?fuel:int ->
+  ?trace:Format.formatter ->
+  ?sink:(event -> unit) ->
+  ?tamper:(machine -> unit) ->
+  Epic_config.t ->
+  image:Epic_asm.Aunit.image ->
+  mem:Bytes.t ->
+  ?entry:int ->
+  unit ->
+  result
+(** Compatibility wrapper over {!run}: a trapped run raises {!Sim_error}
+    with the rendered trap instead of returning it. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -7,12 +7,14 @@ module Isa = Epic.Isa
 let ok cfg =
   match Config.validate cfg with
   | Ok () -> ()
-  | Error m -> Alcotest.failf "expected valid config, got: %s" m
+  | Error ds ->
+    Alcotest.failf "expected valid config, got: %s" (Epic.Diag.to_string_list ds)
 
 let bad ?substring cfg =
   match Config.validate cfg with
   | Ok () -> Alcotest.fail "expected invalid config"
-  | Error m ->
+  | Error ds ->
+    let m = Epic.Diag.to_string_list ds in
     (match substring with
      | Some s ->
        let contains hay needle =
@@ -65,8 +67,25 @@ let test_format_limits () =
 let test_validate_exn () =
   ignore (Config.validate_exn Config.default);
   Alcotest.check_raises "invalid raises"
-    (Invalid_argument "Epic_config: n_alus must be >= 1 (got 0)")
+    (Invalid_argument
+       "Epic_config: config/alus: n_alus must be >= 1 (got 0) [n_alus=0]")
     (fun () -> ignore (Config.validate_exn { Config.default with Config.n_alus = 0 }))
+
+let test_diagnostics_collected () =
+  (* Validation reports every violated constraint, each with a stable
+     machine-readable code, not just the first. *)
+  match
+    Config.validate
+      { Config.default with Config.n_alus = 0; regs_per_inst = 9; rf_port_budget = 1 }
+  with
+  | Ok () -> Alcotest.fail "expected invalid config"
+  | Error ds ->
+    let codes = List.map (fun d -> d.Epic.Diag.code) ds in
+    Alcotest.(check (list string)) "all violations, in declaration order"
+      [ "config/alus"; "config/regs-per-inst"; "config/rf-ports" ] codes;
+    List.iter
+      (fun d -> Alcotest.(check bool) "message non-empty" true (d.Epic.Diag.message <> ""))
+      ds
 
 let test_registry () =
   List.iter
@@ -177,6 +196,7 @@ let suite =
     Alcotest.test_case "1-4 ALU presets valid" `Quick test_alu_sweep_valid;
     Alcotest.test_case "instruction-format limits" `Quick test_format_limits;
     Alcotest.test_case "validate_exn" `Quick test_validate_exn;
+    Alcotest.test_case "diagnostics collected with codes" `Quick test_diagnostics_collected;
     Alcotest.test_case "registry contents" `Quick test_registry;
     Alcotest.test_case "custom semantics" `Quick test_custom_semantics;
     Alcotest.test_case "add_custom" `Quick test_add_custom;

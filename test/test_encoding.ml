@@ -224,6 +224,69 @@ let prop_narrow_format =
       let w = Enc.encode tn cfgn i in
       Isa.equal_inst i (Enc.decode tn cfgn w))
 
+(* Decode is total: any 64-bit pattern decodes without raising — words
+   with an unassigned opcode come back as the ILLEGAL marker so the
+   simulator can trap on them instead of the decoder crashing.  The
+   words are drawn from the repository's seeded PRNG, so the test is
+   fully reproducible. *)
+let test_decode_total () =
+  let rng = Epic.Workloads.Prng.create ~seed:0xFA017 () in
+  let word () =
+    let hi = Int64.of_int (Epic.Workloads.Prng.next rng) in
+    let lo = Int64.of_int (Epic.Workloads.Prng.next rng) in
+    Int64.logor (Int64.shift_left hi 32) (Int64.logand lo 0xFFFFFFFFL)
+  in
+  let illegal = ref 0 in
+  for _ = 1 to 20_000 do
+    let w = word () in
+    match Enc.decode table cfg w with
+    | i -> if Enc.is_illegal i.Isa.op then incr illegal
+    | exception e ->
+      Alcotest.failf "decode %#Lx raised %s" w (Printexc.to_string e)
+  done;
+  (* The 15-bit opcode space is sparsely assigned, so random words hit
+     unassigned codes often; none of them may crash. *)
+  Alcotest.(check bool) "some words decode to the ILLEGAL marker" true
+    (!illegal > 0)
+
+let test_illegal_marker () =
+  (* An unassigned code in the ALU class tag decodes to the marker, which
+     no configuration reports as supported. *)
+  let used = List.map snd (Enc.all_codes table) in
+  let free =
+    let rec find c = if List.mem c used then find (c + 1) else c in
+    find 1
+  in
+  let w = Int64.shift_left (Int64.of_int free) (64 - cfg.Config.opcode_bits) in
+  let i = Enc.decode table cfg w in
+  Alcotest.(check bool) "marker" true (Enc.is_illegal i.Isa.op);
+  Alcotest.(check bool) "unsupported" false (Config.op_supported cfg i.Isa.op);
+  (* Legal opcodes are never mistaken for the marker. *)
+  List.iter
+    (fun (op, _) ->
+      Alcotest.(check bool) (Isa.string_of_opcode op) false (Enc.is_illegal op))
+    (Enc.all_codes table)
+
+(* Every legal opcode round-trips through encode/decode with a
+   representative operand assignment matching its field usage. *)
+let representative op =
+  let s r = Isa.Sreg r and im v = Isa.Simm v in
+  let mk = mk op in
+  match op with
+  | Isa.CMPP _ -> mk ~d1:1 ~d2:2 ~s1:(s 3) ~s2:(im (-5)) ~g:1 ()
+  | Isa.PBRR -> mk ~d1:1 ~s1:(im 9) ~g:1 ()
+  | Isa.BRL -> mk ~d1:2 ~s1:(im 0) ~g:1 ()
+  | Isa.BRU_ -> mk ~s1:(im 1) ~g:1 ()
+  | Isa.BRCT | Isa.BRCF -> mk ~s1:(im 1) ~s2:(im 2) ~g:1 ()
+  | Isa.ST _ -> mk ~d1:3 ~s1:(s 4) ~s2:(s 5) ~g:1 ()
+  | Isa.LD _ | Isa.LDU _ -> mk ~d1:6 ~s1:(s 7) ~s2:(im 8) ~g:1 ()
+  | Isa.HALT | Isa.NOP -> mk ()
+  | Isa.ABS | Isa.MOV -> mk ~d1:5 ~s1:(s 2) ~g:1 ()
+  | _ -> mk ~d1:5 ~s1:(s 2) ~s2:(im (-5)) ~g:1 ()
+
+let test_roundtrip_all_opcodes () =
+  List.iter (fun (op, _) -> roundtrip (representative op)) (Enc.all_codes table)
+
 let suite =
   [
     Alcotest.test_case "NOP encodes to zero" `Quick test_nop_is_zero;
@@ -236,6 +299,9 @@ let suite =
     Alcotest.test_case "custom op encoding" `Quick test_custom_op_encoding;
     Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
     Alcotest.test_case "big-endian layout" `Quick test_big_endian_layout;
+    Alcotest.test_case "decode is total" `Quick test_decode_total;
+    Alcotest.test_case "illegal-opcode marker" `Quick test_illegal_marker;
+    Alcotest.test_case "roundtrip all opcodes" `Quick test_roundtrip_all_opcodes;
     QCheck_alcotest.to_alcotest prop_encode_decode;
     QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
     QCheck_alcotest.to_alcotest prop_narrow_format;

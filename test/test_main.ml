@@ -15,5 +15,6 @@ let () =
       ("backend", Test_backend.suite);
       ("extensions", Test_extensions.suite);
       ("more", Test_more.suite);
+      ("fault", Test_fault.suite);
       ("profile", Test_profile.suite);
     ]
