@@ -1,6 +1,6 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench gate baseline clean
 
 all: build
 
@@ -23,6 +23,17 @@ check:
 
 bench:
 	dune exec bench/main.exe -- table1
+
+# Benchmark-regression gate: rerun the gated experiments, then compare
+# cycle counts (exact), slice counts (exact) and campaign wall time
+# (budgeted) against the committed baseline.
+gate:
+	dune exec bench/main.exe -- table1 resources --json _build/bench_current.json
+	dune exec bin/bench_gate.exe -- BENCH_BASELINE.json _build/bench_current.json
+
+# Refresh the committed baseline after an intentional performance change.
+baseline:
+	dune exec bench/main.exe -- table1 resources --jobs 1 --json BENCH_BASELINE.json
 
 clean:
 	dune clean

@@ -491,6 +491,16 @@ let () =
     | [] -> None
   in
   let json_path = find_json args in
+  (* --jobs N: domains for the campaign grids; 0 or absent means the
+     recommended domain count.  Results are identical for every value. *)
+  let rec find_jobs = function
+    | "--jobs" :: n :: _ -> int_of_string n
+    | _ :: rest -> find_jobs rest
+    | [] -> 0
+  in
+  let jobs =
+    match find_jobs args with 0 -> Epic.Exec.default_jobs () | n -> n
+  in
   let sizes =
     if full then E.paper_sizes
     else if quick then
@@ -498,29 +508,44 @@ let () =
     else E.default_sizes
   in
   let selected =
-    let rec drop_json = function
-      | "--json" :: _ :: rest -> drop_json rest
-      | x :: rest -> x :: drop_json rest
+    let rec drop_opts = function
+      | ("--json" | "--jobs") :: _ :: rest -> drop_opts rest
+      | x :: rest -> x :: drop_opts rest
       | [] -> []
     in
     List.filteri (fun i a -> i > 0 && a <> "--full" && a <> "--quick")
-      (drop_json args)
+      (drop_opts args)
   in
   let want what = selected = [] || List.mem what selected || List.mem "all" selected in
   let json_acc = ref [] in
   let record key rows = json_acc := (key, rows) :: !json_acc in
+  (* One compile cache shared by every campaign below: the 1-4 ALU sweep
+     then compiles each workload's frontend once. *)
+  let cache = Epic.Toolchain.Compile_cache.create () in
+  let campaigns = ref [] in
+  (* Campaign wall time and cache statistics go to stderr (and into the
+     JSON meta section): stdout stays byte-identical across --jobs. *)
+  let campaign label tasks f =
+    let t0 = Epic.Exec.now () in
+    let result = f () in
+    let cs =
+      { Epic.Exec.cs_label = label; cs_jobs = jobs; cs_tasks = tasks;
+        cs_wall_s = Epic.Exec.now () -. t0;
+        cs_caches = Epic.Toolchain.Compile_cache.stats cache }
+    in
+    campaigns := cs :: !campaigns;
+    Format.eprintf "%a@." Epic.Exec.pp_campaign_stats cs;
+    result
+  in
   Printf.printf
     "EPIC benchmark harness (sizes: sha=%dB aes=%d dct=%dx%d dijkstra=%d)\n"
     sizes.E.sha_bytes sizes.E.aes_iters (fst sizes.E.dct_size)
     (snd sizes.E.dct_size) sizes.E.dijkstra_nodes;
   let rows =
-    if want "table1" || want "fig3" || want "fig4" || want "fig5" then begin
-      let t0 = Unix.gettimeofday () in
-      let rows = E.table1 ~sizes () in
-      Printf.printf "(table 1 computed in %.1fs; all checksums verified)\n"
-        (Unix.gettimeofday () -. t0);
-      Some rows
-    end
+    if want "table1" || want "fig3" || want "fig4" || want "fig5" then
+      Some
+        (campaign "table1" (4 * (1 + List.length E.alu_sweep)) (fun () ->
+             E.table1 ~jobs ~cache ~sizes ()))
     else None
   in
   (match rows with
@@ -589,7 +614,10 @@ let () =
     in
     let alus = if quick then [ 4 ] else E.alu_sweep in
     let runs = if quick then 8 else 16 in
-    let pts = E.inject_faults ~sizes:fsizes ~alus ~runs () in
+    let pts =
+      campaign "inject-faults" (4 * List.length alus) (fun () ->
+          E.inject_faults ~jobs ~cache ~sizes:fsizes ~alus ~runs ())
+    in
     record "inject_faults" (json_of_faults pts);
     print_inject_faults pts
   end;
@@ -607,7 +635,22 @@ let () =
           ("dijkstra_nodes", J.Int sizes.E.dijkstra_nodes);
         ]
     in
-    let doc = J.Obj (("sizes", sizes_json) :: List.rev !json_acc) in
+    (* The meta section records machine-dependent facts (jobs, wall time,
+       cache traffic).  Determinism comparisons across --jobs values must
+       ignore it; bench_gate uses it for the wall-time budget. *)
+    let meta =
+      J.Obj
+        [
+          ("jobs", J.Int jobs);
+          ( "campaigns",
+            J.List
+              (List.rev_map Epic.Exec.campaign_stats_to_json !campaigns) );
+        ]
+    in
+    let doc =
+      J.Obj
+        (("sizes", sizes_json) :: List.rev (("meta", meta) :: !json_acc))
+    in
     let oc = open_out path in
     output_string oc (J.to_string doc);
     output_string oc "\n";

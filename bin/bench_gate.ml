@@ -1,0 +1,200 @@
+(* bench_gate: the CI benchmark-regression gate.  Compares a fresh
+   `bench --json` dump against the committed BENCH_BASELINE.json:
+
+   - cycle counts (table1: SA-110 and every EPIC design point) must not
+     exceed the baseline by more than --cycle-tolerance percent (cycle
+     counts are fully deterministic, so the default tolerance is 0);
+   - FPGA slice counts (resources) are held to the same tolerance;
+   - campaign wall time (meta.campaigns) must not exceed the baseline by
+     more than --wall-tolerance x (generous by default: CI machines and
+     the baseline recorder differ).
+
+   Exit status: 0 = gate passed, 1 = regression, 2 = bad input.
+   Improvements beyond tolerance are reported as a hint to refresh the
+   baseline, but pass. *)
+
+open Cmdliner
+module J = Epic.Profile.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("bench_gate: " ^ m); exit 2) fmt
+
+let load path =
+  let s = Cli_common.read_file path in
+  match J.parse s with
+  | Ok v -> v
+  | Error e -> fail "%s: invalid JSON: %s" path e
+
+let as_float = function
+  | J.Int i -> Some (float_of_int i)
+  | J.Float f -> Some f
+  | _ -> None
+
+let as_str = function J.Str s -> Some s | _ -> None
+
+let as_list = function J.List l -> Some l | _ -> None
+
+(* Index a list of objects by a string field. *)
+let index_by field rows =
+  List.filter_map
+    (fun row -> Option.map (fun k -> (k, row)) (Option.bind (J.member field row) as_str))
+    rows
+
+let regressions = ref 0
+let improvements = ref 0
+let checked = ref 0
+
+let check ~label ~tol ~base ~cur =
+  incr checked;
+  if cur > base *. (1.0 +. (tol /. 100.0)) then begin
+    incr regressions;
+    Printf.printf "REGRESSION %-40s %14.0f -> %.0f (+%.2f%%)\n" label base cur
+      (100.0 *. (cur -. base) /. base)
+  end
+  else if cur < base *. (1.0 -. (tol /. 100.0)) then begin
+    incr improvements;
+    Printf.printf "improved   %-40s %14.0f -> %.0f (%.2f%%)\n" label base cur
+      (100.0 *. (cur -. base) /. base)
+  end
+
+(* table1: per-benchmark SA-110 cycles and the per-ALU EPIC cycles. *)
+let gate_table1 tol base cur =
+  match (Option.bind (J.member "table1" base) as_list,
+         Option.bind (J.member "table1" cur) as_list) with
+  | Some brows, Some crows ->
+    let cindex = index_by "benchmark" crows in
+    List.iter
+      (fun brow ->
+        match Option.bind (J.member "benchmark" brow) as_str with
+        | None -> ()
+        | Some name ->
+          (match List.assoc_opt name cindex with
+           | None ->
+             incr regressions;
+             Printf.printf "REGRESSION table1/%s: missing from current run\n" name
+           | Some crow ->
+             (match (Option.bind (J.member "sa110_cycles" brow) as_float,
+                     Option.bind (J.member "sa110_cycles" crow) as_float) with
+              | Some b, Some c ->
+                check ~label:(Printf.sprintf "table1/%s/sa110" name) ~tol
+                  ~base:b ~cur:c
+              | _ -> ());
+             (match (J.member "epic_cycles" brow, J.member "epic_cycles" crow) with
+              | Some (J.Obj bpts), Some (J.Obj cpts) ->
+                List.iter
+                  (fun (alus, bv) ->
+                    match (as_float bv,
+                           Option.bind (List.assoc_opt alus cpts) as_float) with
+                    | Some b, Some c ->
+                      check
+                        ~label:(Printf.sprintf "table1/%s/epic-%s-alu" name alus)
+                        ~tol ~base:b ~cur:c
+                    | _, None ->
+                      incr regressions;
+                      Printf.printf
+                        "REGRESSION table1/%s: %s-ALU point missing from current run\n"
+                        name alus
+                    | _ -> ())
+                  bpts
+              | _ -> ())))
+      brows
+  | None, _ -> print_endline "note: baseline has no table1 section; skipped"
+  | _, None ->
+    incr regressions;
+    print_endline "REGRESSION current run has no table1 section"
+
+(* resources: FPGA slices per ALU count. *)
+let gate_resources tol base cur =
+  match (Option.bind (J.member "resources" base) as_list,
+         Option.bind (J.member "resources" cur) as_list) with
+  | Some brows, Some crows ->
+    List.iter
+      (fun brow ->
+        match (Option.bind (J.member "alus" brow) as_float,
+               Option.bind (J.member "slices" brow) as_float) with
+        | Some alus, Some b ->
+          let matching crow =
+            Option.bind (J.member "alus" crow) as_float = Some alus
+          in
+          (match List.find_opt matching crows with
+           | Some crow ->
+             (match Option.bind (J.member "slices" crow) as_float with
+              | Some c ->
+                check ~label:(Printf.sprintf "resources/%.0f-alu/slices" alus)
+                  ~tol ~base:b ~cur:c
+              | None -> ())
+           | None -> ())
+        | _ -> ())
+      brows
+  | _ -> print_endline "note: no resources section on both sides; skipped"
+
+(* meta.campaigns: wall-clock per campaign, gated with a factor. *)
+let gate_wall factor base cur =
+  let campaigns doc =
+    Option.bind (J.member "meta" doc) (fun m ->
+        Option.bind (J.member "campaigns" m) as_list)
+  in
+  match (campaigns base, campaigns cur) with
+  | Some bcs, Some ccs ->
+    let cindex = index_by "label" ccs in
+    List.iter
+      (fun bc ->
+        match (Option.bind (J.member "label" bc) as_str,
+               Option.bind (J.member "wall_seconds" bc) as_float) with
+        | Some label, Some b ->
+          (match Option.bind (List.assoc_opt label cindex)
+                   (fun c -> Option.bind (J.member "wall_seconds" c) as_float)
+           with
+           | Some c ->
+             incr checked;
+             if c > b *. factor then begin
+               incr regressions;
+               Printf.printf
+                 "REGRESSION wall/%s: %.2fs -> %.2fs (budget %.2fs = %.1fx baseline)\n"
+                 label b c (b *. factor) factor
+             end
+           | None -> ())
+        | _ -> ())
+      bcs
+  | _ ->
+    print_endline "note: no campaign wall-time on both sides; skipped"
+
+let run baseline current tol wall_factor =
+  let base = load baseline and cur = load current in
+  gate_table1 tol base cur;
+  gate_resources tol base cur;
+  if wall_factor > 0.0 then gate_wall wall_factor base cur;
+  Printf.printf
+    "bench_gate: %d comparisons, %d regression(s), %d improvement(s)\n" !checked
+    !regressions !improvements;
+  if !improvements > 0 && !regressions = 0 then
+    print_endline
+      "hint: cycle counts improved — consider refreshing BENCH_BASELINE.json";
+  if !regressions > 0 then exit 1
+
+let cmd =
+  let baseline =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"BASELINE" ~doc:"Committed baseline JSON (bench --json).")
+  in
+  let current =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"CURRENT" ~doc:"Freshly produced JSON to gate.")
+  in
+  let tol =
+    Arg.(value & opt float 0.0
+         & info [ "cycle-tolerance" ] ~docv:"PCT"
+           ~doc:"Allowed cycle/slice increase in percent (cycle counts are \
+                 deterministic, so the default is 0).")
+  in
+  let wall =
+    Arg.(value & opt float 10.0
+         & info [ "wall-tolerance" ] ~docv:"FACTOR"
+           ~doc:"Allowed campaign wall-time as a multiple of the baseline \
+                 (0 disables the wall-time gate).")
+  in
+  Cmd.v
+    (Cmd.info "bench_gate"
+       ~doc:"Compare a bench --json dump against the committed baseline")
+    Term.(const run $ baseline $ current $ tol $ wall)
+
+let () = exit (Cmd.eval cmd)

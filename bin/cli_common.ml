@@ -143,6 +143,24 @@ let read_file path =
 let input_term =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input file.")
 
+(* --jobs N, shared by every campaign tool.  0 is shorthand for the
+   recommended domain count (also the default).  Campaign results are
+   bit-identical for every jobs value; only wall time changes. *)
+let jobs_term =
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Evaluate independent campaign runs on $(docv) domains \
+                 (default: the recommended domain count of this machine). \
+                 Results are bit-identical for every value.")
+  in
+  let build n =
+    if n < 0 then failwith "--jobs must be >= 0"
+    else if n = 0 then Epic.Exec.default_jobs ()
+    else n
+  in
+  Term.(const build $ jobs)
+
 let handle_errors f =
   try f () with
   | Failure m | Sys_error m ->

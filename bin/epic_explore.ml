@@ -1,42 +1,75 @@
 (* epic_explore: design-space exploration.  Sweeps ALU count (and
    optionally issue width) for a given EPIC-C program and prints the
    performance/area trade-off table the paper advocates exploring
-   ("a platform for designers to explore performance/area trade-offs"). *)
+   ("a platform for designers to explore performance/area trade-offs").
+   The sweep's design points are evaluated in parallel (--jobs) through a
+   shared compile cache; the printed table and Pareto frontier are
+   bit-identical for every jobs value. *)
 
 open Cmdliner
 
-let run input max_alus sweep_issue =
+let run input max_alus sweep_issue jobs =
   Cli_common.handle_errors @@ fun () ->
   let source = Cli_common.read_file input in
   let issues = if sweep_issue then [ 1; 2; 4 ] else [ 4 ] in
+  let grid =
+    List.concat_map
+      (fun issue ->
+        List.map (fun k -> (k + 1, issue)) (List.init max_alus Fun.id))
+      issues
+  in
+  (* Validate every candidate up front.  Invalid configurations are
+     skipped, but never silently: the validation diagnostics go to
+     stderr, so a sweep over a bad range is not mistaken for an empty
+     design space. *)
+  let valid, invalid =
+    List.partition_map
+      (fun (alus, issue) ->
+        let cfg =
+          { Epic.Config.default with Epic.Config.n_alus = alus;
+            issue_width = issue }
+        in
+        match Epic.Config.validate cfg with
+        | Ok () -> Either.Left (alus, issue, cfg)
+        | Error ds -> Either.Right (alus, issue, ds))
+      grid
+  in
+  List.iter
+    (fun (alus, issue, ds) ->
+      Printf.eprintf
+        "warning: skipping invalid design point (%d ALU(s), %d-issue):\n" alus
+        issue;
+      List.iter
+        (fun d -> Printf.eprintf "  %s\n" (Epic.Diag.to_string d))
+        ds)
+    invalid;
+  let cache = Epic.Toolchain.Compile_cache.create () in
+  let t0 = Epic.Exec.now () in
+  let points =
+    Epic.Exec.Pool.map ~jobs
+      (fun (alus, issue, cfg) ->
+        let a = Epic.Toolchain.compile_epic ~cache cfg ~source () in
+        let r = Epic.Toolchain.run_epic a in
+        let area = Epic.Area.estimate cfg in
+        let cycles = r.Epic.Sim.stats.Epic.Sim.cycles in
+        let ms =
+          float_of_int cycles /. (area.Epic.Area.clock_mhz *. 1e3)
+        in
+        (alus, issue, cycles, area, ms))
+      valid
+  in
   Printf.printf "%5s %6s %8s %8s %8s %10s %12s\n" "ALUs" "issue" "cycles"
     "slices" "BRAMs" "MHz" "time (ms)";
-  let points = ref [] in
   List.iter
-    (fun issue ->
-      List.iter
-        (fun alus ->
-          let cfg =
-            { Epic.Config.default with Epic.Config.n_alus = alus; issue_width = issue }
-          in
-          match Epic.Config.validate cfg with
-          | Error _ -> ()
-          | Ok () ->
-            let a = Epic.Toolchain.compile_epic cfg ~source () in
-            let r = Epic.Toolchain.run_epic a in
-            let area = Epic.Area.estimate cfg in
-            let ms =
-              float_of_int r.Epic.Sim.stats.Epic.Sim.cycles
-              /. (area.Epic.Area.clock_mhz *. 1e3)
-            in
-            points := (alus, issue, r.Epic.Sim.stats.Epic.Sim.cycles, area.Epic.Area.slices, ms) :: !points;
-            Printf.printf "%5d %6d %8d %8d %8d %10.1f %12.3f\n" alus issue
-              r.Epic.Sim.stats.Epic.Sim.cycles area.Epic.Area.slices
-              area.Epic.Area.brams area.Epic.Area.clock_mhz ms)
-        (List.init max_alus (fun k -> k + 1)))
-    issues;
+    (fun (alus, issue, cycles, area, ms) ->
+      Printf.printf "%5d %6d %8d %8d %8d %10.1f %12.3f\n" alus issue cycles
+        area.Epic.Area.slices area.Epic.Area.brams area.Epic.Area.clock_mhz ms)
+    points;
   (* Pareto frontier on (slices, time). *)
-  let pts = List.rev !points in
+  let pts =
+    List.map (fun (a, i, c, area, ms) -> (a, i, c, area.Epic.Area.slices, ms))
+      points
+  in
   let pareto =
     List.filter
       (fun (_, _, _, s, t) ->
@@ -50,7 +83,12 @@ let run input max_alus sweep_issue =
   List.iter
     (fun (alus, issue, _, s, t) ->
       Printf.printf "  %d ALU(s), %d-issue: %d slices, %.3f ms\n" alus issue s t)
-    pareto
+    pareto;
+  Format.eprintf "%a@."
+    Epic.Exec.pp_campaign_stats
+    { Epic.Exec.cs_label = "epic_explore"; cs_jobs = jobs;
+      cs_tasks = List.length valid; cs_wall_s = Epic.Exec.now () -. t0;
+      cs_caches = Epic.Toolchain.Compile_cache.stats cache }
 
 let cmd =
   let max_alus =
@@ -61,6 +99,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "epic_explore" ~doc:"Explore performance/area trade-offs of EPIC designs")
-    Term.(const run $ Cli_common.input_term $ max_alus $ sweep_issue)
+    Term.(const run $ Cli_common.input_term $ max_alus $ sweep_issue
+          $ Cli_common.jobs_term)
 
 let () = exit (Cmd.eval cmd)

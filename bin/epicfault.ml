@@ -23,7 +23,7 @@ let parse_targets s =
                   t))
 
 let run input cfg no_pred seed runs targets fuel_factor json with_faults
-    pipeline =
+    pipeline jobs =
   Cli_common.handle_errors @@ fun () ->
   let source = Cli_common.read_file input in
   let targets = parse_targets targets in
@@ -32,7 +32,17 @@ let run input cfg no_pred seed runs targets fuel_factor json with_faults
       ~pipeline ()
   in
   Cli_common.report_pipeline pipeline a.Epic.Toolchain.ea_report;
-  let rp = Epic.Toolchain.fault_campaign ~seed ~runs ~targets ~fuel_factor a in
+  let t0 = Epic.Exec.now () in
+  let rp =
+    Epic.Toolchain.fault_campaign ~seed ~runs ~targets ~fuel_factor ~jobs a
+  in
+  (* Wall-time goes to stderr: stdout (table or JSON) stays byte-identical
+     across --jobs values. *)
+  Format.eprintf "%a@."
+    Epic.Exec.pp_campaign_stats
+    { Epic.Exec.cs_label = "epicfault"; cs_jobs = jobs;
+      cs_tasks = Epic.Fault.total_runs rp;
+      cs_wall_s = Epic.Exec.now () -. t0; cs_caches = [] };
   if json then
     print_endline
       (Epic.Profile.Json.to_string
@@ -86,6 +96,6 @@ let cmd =
        ~doc:"Run deterministic fault-injection campaigns on the EPIC simulator")
     Term.(const run $ Cli_common.input_term $ Cli_common.config_term $ no_pred
           $ seed $ runs $ targets $ fuel_factor $ json $ with_faults
-          $ Cli_common.pipeline_term)
+          $ Cli_common.pipeline_term $ Cli_common.jobs_term)
 
 let () = exit (Cmd.eval cmd)

@@ -271,3 +271,30 @@ let pp ppf c =
 let equal a b =
   let names c = List.map (fun o -> o.cop_name) c.custom_ops in
   { a with custom_ops = [] } = { b with custom_ops = [] } && names a = names b
+
+(* Canonical fingerprint over every architectural field — the
+   configuration half of the compile-cache key.  Custom operations
+   contribute name, latency and slice cost (their semantics are closures,
+   identified by name exactly as in [equal]); list-valued fields keep
+   their order, since order is observable (e.g. registry lookup). *)
+let fingerprint c =
+  let ops l = String.concat "," (List.map Isa.string_of_opcode l) in
+  let customs =
+    String.concat ","
+      (List.map
+         (fun o -> Printf.sprintf "%s:%d:%d" o.cop_name o.cop_latency o.cop_slices)
+         c.custom_ops)
+  in
+  let lats =
+    String.concat ","
+      (List.map
+         (fun (op, l) -> Printf.sprintf "%s:%d" (Isa.string_of_opcode op) l)
+         c.lat_overrides)
+  in
+  Printf.sprintf
+    "alus=%d;gprs=%d;preds=%d;btrs=%d;rpi=%d;iw=%d;w=%d;omit=%s;custom=%s;\
+     ob=%d;db=%d;sb=%d;pb=%d;ports=%d;fwd=%b;banks=%d;stages=%d;clk=%h;lat=%s"
+    c.n_alus c.n_gprs c.n_preds c.n_btrs c.regs_per_inst c.issue_width c.width
+    (ops c.alu_omit) customs c.opcode_bits c.dst_bits c.src_bits c.pred_bits
+    c.rf_port_budget c.forwarding c.mem_banks c.pipeline_stages c.clock_mhz
+    lats

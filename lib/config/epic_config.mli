@@ -121,3 +121,10 @@ val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 (** Structural equality ignoring custom-op semantics closures (compares
     custom operations by name). *)
+
+val fingerprint : t -> string
+(** Canonical string over every architectural field, the configuration
+    half of a compile-cache key ({!Epic_exec.Cache}): configurations
+    equal up to {!equal} have equal fingerprints, and changing any field
+    changes it.  Custom operations contribute name, latency and slice
+    cost — semantics closures are identified by name, as in {!equal}. *)

@@ -26,6 +26,7 @@ module Profile = Epic_profile
 module Arm = Epic_arm
 module Area = Epic_area
 module Workloads = Epic_workloads
+module Exec = Epic_exec
 module Toolchain = Toolchain
 module Experiments = Experiments
 module Custom_gen = Custom_gen

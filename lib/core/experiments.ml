@@ -43,20 +43,40 @@ type table1_row = {
 
 let alu_sweep = [ 1; 2; 3; 4 ]
 
-let table1 ?(sizes = default_sizes) ?(alus = alu_sweep) () =
-  List.map
-    (fun (bm : Sources.benchmark) ->
-      let source = bm.Sources.bm_source and expected = bm.Sources.bm_expected in
-      let sa110 = (T.arm_cycles ~source ~expected ()).Epic_arm.Sim.cycles in
-      let epic =
-        List.map
-          (fun n ->
-            let st = T.epic_cycles (Config.with_alus n) ~source ~expected () in
-            (n, st.Epic_sim.cycles))
-          alus
-      in
-      { t1_name = bm.Sources.bm_name; t1_sa110 = sa110; t1_epic = epic })
-    (benchmarks sizes)
+(* Each (workload x design point) of the grid is an independent
+   compile-and-simulate job: fan them out with [jobs] domains and regroup
+   by position, so the rows never depend on execution order.  The shared
+   compile cache makes the ALU sweep optimise each workload once. *)
+let table1 ?(jobs = 1) ?cache ?(sizes = default_sizes) ?(alus = alu_sweep) () =
+  let cache = match cache with Some c -> c | None -> T.Compile_cache.create () in
+  let bms = benchmarks sizes in
+  let points = `Arm :: List.map (fun n -> `Epic n) alus in
+  let grid =
+    List.concat_map
+      (fun (bm : Sources.benchmark) -> List.map (fun p -> (bm, p)) points)
+      bms
+  in
+  let cycles =
+    Epic_exec.Pool.map ~jobs
+      (fun ((bm : Sources.benchmark), point) ->
+        let source = bm.Sources.bm_source and expected = bm.Sources.bm_expected in
+        match point with
+        | `Arm -> (T.arm_cycles ~cache ~source ~expected ()).Epic_arm.Sim.cycles
+        | `Epic n ->
+          (T.epic_cycles ~cache (Config.with_alus n) ~source ~expected ())
+            .Epic_sim.cycles)
+      grid
+  in
+  let per_bm = List.length points in
+  List.mapi
+    (fun i (bm : Sources.benchmark) ->
+      let row = List.filteri (fun j _ -> j / per_bm = i) cycles in
+      match row with
+      | sa110 :: epic ->
+        { t1_name = bm.Sources.bm_name; t1_sa110 = sa110;
+          t1_epic = List.combine alus epic }
+      | [] -> assert false)
+    bms
 
 (* ------------------------------------------------------------------ *)
 (* E2-E4 / Figures 3-5: execution time = cycles x clock period.  The
@@ -377,22 +397,29 @@ type avf_point = {
   af_report : Epic_fault.report;
 }
 
-let inject_faults ?(sizes = default_sizes) ?(alus = alu_sweep) ?(seed = 1)
-    ?(runs = 16) () =
-  List.concat_map
-    (fun (bm : Sources.benchmark) ->
-      List.map
-        (fun n ->
-          let a =
-            T.compile_epic (Config.with_alus n) ~source:bm.Sources.bm_source ()
-          in
-          let rp = T.fault_campaign ~seed ~runs a in
-          if rp.Epic_fault.rp_golden_ret <> bm.Sources.bm_expected land 0xFFFFFFFF
-          then
-            failwith
-              (Printf.sprintf "%s golden run returned %#x, expected %#x"
-                 bm.Sources.bm_name rp.Epic_fault.rp_golden_ret
-                 (bm.Sources.bm_expected land 0xFFFFFFFF));
-          { af_name = bm.Sources.bm_name; af_alus = n; af_report = rp })
-        alus)
-    (benchmarks sizes)
+(* The grid level is the parallel one (campaigns inside each point stay
+   sequential — nesting domain pools would oversubscribe the cores); the
+   compile cache still deduplicates the per-workload front-end work. *)
+let inject_faults ?(jobs = 1) ?cache ?(sizes = default_sizes)
+    ?(alus = alu_sweep) ?(seed = 1) ?(runs = 16) () =
+  let cache = match cache with Some c -> c | None -> T.Compile_cache.create () in
+  let grid =
+    List.concat_map
+      (fun (bm : Sources.benchmark) -> List.map (fun n -> (bm, n)) alus)
+      (benchmarks sizes)
+  in
+  Epic_exec.Pool.map ~jobs
+    (fun ((bm : Sources.benchmark), n) ->
+      let a =
+        T.compile_epic ~cache (Config.with_alus n) ~source:bm.Sources.bm_source
+          ()
+      in
+      let rp = T.fault_campaign ~seed ~runs a in
+      if rp.Epic_fault.rp_golden_ret <> bm.Sources.bm_expected land 0xFFFFFFFF
+      then
+        failwith
+          (Printf.sprintf "%s golden run returned %#x, expected %#x"
+             bm.Sources.bm_name rp.Epic_fault.rp_golden_ret
+             (bm.Sources.bm_expected land 0xFFFFFFFF));
+      { af_name = bm.Sources.bm_name; af_alus = n; af_report = rp })
+    grid

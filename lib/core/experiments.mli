@@ -30,7 +30,13 @@ type table1_row = {
 val alu_sweep : int list
 (** The paper's 1-4 ALU sweep. *)
 
-val table1 : ?sizes:sizes -> ?alus:int list -> unit -> table1_row list
+val table1 :
+  ?jobs:int -> ?cache:Toolchain.Compile_cache.t -> ?sizes:sizes ->
+  ?alus:int list -> unit -> table1_row list
+(** [jobs] (default 1) evaluates the (workload x design point) grid on
+    that many domains ({!Epic_exec.Pool}); rows are identical for every
+    [jobs] value.  [cache] (default a fresh one) memoises compiles across
+    the grid — pass your own to also observe hit statistics. *)
 
 (** {1 E2-E4 / Figures 3-5} *)
 
@@ -145,10 +151,12 @@ type avf_point = {
 }
 
 val inject_faults :
-  ?sizes:sizes -> ?alus:int list -> ?seed:int -> ?runs:int -> unit ->
-  avf_point list
+  ?jobs:int -> ?cache:Toolchain.Compile_cache.t -> ?sizes:sizes ->
+  ?alus:int list -> ?seed:int -> ?runs:int -> unit -> avf_point list
 (** A10: deterministic fault-injection campaigns
     ({!Toolchain.fault_campaign}) over the paper's workloads across the
     ALU sweep.  [runs] (default 16) injected flips per structure per
     campaign; the golden run of every campaign is checksum-verified.
+    [jobs] (default 1) evaluates the (workload x ALU-count) grid points
+    concurrently; the AVF rows are identical for every [jobs] value.
     @raise Failure on a checksum mismatch. *)

@@ -24,6 +24,13 @@ type epic_artifacts = {
   ea_report : Opt.Pipeline.report;  (* per-pass pipeline report *)
 }
 
+type arm_artifacts = {
+  aa_mir : Ir.program;          (* optimised, runtime linked *)
+  aa_layout : Memmap.t;
+  aa_prog : Arm.Isa.program;
+  aa_report : Opt.Pipeline.report;
+}
+
 type opt_level = O0 | O1  (** O1 = the full machine-independent pipeline. *)
 
 (* Pipeline control threaded from the command line (epicc --passes,
@@ -41,6 +48,73 @@ type pipeline = {
 let default_pipeline =
   { pp_passes = None; pp_disable = []; pp_verify = false; pp_diff_check = false;
     pp_time = false; pp_dump_after = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Compile cache.  Two levels, both keyed strings ({!Epic_exec.Cache}):
+
+   - [front]: source x front-end options -> optimised MIR + pipeline
+     report.  The front end and the optimiser never look at the
+     processor configuration, so a 1-4-ALU sweep parses and optimises
+     each workload ONCE.  The backend mutates the MIR it compiles
+     (regalloc rewrites blocks in place), so a hit hands out a
+     [Common.copy_program] copy — the copy discipline of lib/opt.
+
+   - [epic_art] / [arm_art]: the front key x config fingerprint (or the
+     ARM target) -> full artifacts.  A hit returns the physically
+     identical artifacts; they are safe to share across domains because
+     nothing downstream mutates them ([Sim.run] never writes the image,
+     [run_epic]/[fault_campaign] build fresh memory per run).
+
+   Keys include every compile option that can change the output.
+   Pipelines that dump IR to stderr bypass the cache (a hit would
+   silently skip the dump). *)
+
+type front = { fr_mir : Ir.program; fr_report : Opt.Pipeline.report }
+
+module Compile_cache = struct
+  type t = {
+    front : front Epic_exec.Cache.t;
+    epic_art : epic_artifacts Epic_exec.Cache.t;
+    arm_art : arm_artifacts Epic_exec.Cache.t;
+  }
+
+  let create () =
+    { front = Epic_exec.Cache.create ~name:"front" ();
+      epic_art = Epic_exec.Cache.create ~name:"artifacts" ();
+      arm_art = Epic_exec.Cache.create ~name:"arm-artifacts" () }
+
+  let frontend_stats t = Epic_exec.Cache.stats t.front
+
+  let artifact_stats t =
+    let a = Epic_exec.Cache.stats t.epic_art in
+    let b = Epic_exec.Cache.stats t.arm_art in
+    { Epic_exec.Cache.hits = a.Epic_exec.Cache.hits + b.Epic_exec.Cache.hits;
+      misses = a.Epic_exec.Cache.misses + b.Epic_exec.Cache.misses }
+
+  let stats t =
+    [ (Epic_exec.Cache.name t.front, frontend_stats t);
+      ("artifacts", artifact_stats t) ]
+end
+
+(* Key material: every option that can change the compile's output.
+   [pp_time] is reporting-only and deliberately excluded. *)
+let pipeline_key (pl : pipeline) =
+  Printf.sprintf "passes=%s;disable=%s;verify=%b;diff=%b"
+    (match pl.pp_passes with
+     | None -> "<default>"
+     | Some ps -> String.concat "," ps)
+    (String.concat "," pl.pp_disable)
+    pl.pp_verify pl.pp_diff_check
+
+let front_key ~target ~opt ~predication ~unroll ~pipeline ~source =
+  Printf.sprintf "%s|opt=%s|pred=%b|unroll=%d|%s|src=%s" target
+    (match opt with O0 -> "O0" | O1 -> "O1")
+    predication unroll (pipeline_key pipeline)
+    (Digest.to_hex (Digest.string source))
+
+(* A dumping pipeline writes IR to stderr as a side effect; a cache hit
+   would silently skip it, so such compiles bypass the cache. *)
+let cacheable (pl : pipeline) = pl.pp_dump_after = []
 
 (* Resolve the effective pass list and run it through the pass manager. *)
 let run_pipeline (pl : pipeline) ~default mir =
@@ -68,21 +142,54 @@ let run_pipeline (pl : pipeline) ~default mir =
    the DCT through worse I-side behaviour. *)
 let default_unroll = 1
 
+(* Front end + optimiser, optionally memoised.  The backend mutates the
+   program it compiles, so a cache hit hands out a fresh copy. *)
+let compile_front ?cache ~target ~opt ~predication ~unroll ~pipeline ~default
+    source =
+  let build () =
+    let mir = Cfront.compile ~unroll source in
+    let mir, report = run_pipeline pipeline ~default mir in
+    { fr_mir = mir; fr_report = report }
+  in
+  match cache with
+  | Some c when cacheable pipeline ->
+    let key = front_key ~target ~opt ~predication ~unroll ~pipeline ~source in
+    let f = Epic_exec.Cache.find_or_add c.Compile_cache.front key build in
+    (Opt.Common.copy_program f.fr_mir, f.fr_report)
+  | _ ->
+    let f = build () in
+    (f.fr_mir, f.fr_report)
+
 let compile_epic ?(opt = O1) ?(predication = true) ?(unroll = default_unroll)
-    ?mem_bytes ?(pipeline = default_pipeline) (cfg : Config.t) ~source () =
+    ?mem_bytes ?(pipeline = default_pipeline) ?cache (cfg : Config.t) ~source
+    () =
   let cfg = Config.validate_exn cfg in
-  let mir = Cfront.compile ~unroll source in
   let default =
     match opt with
     | O0 -> []
     | O1 -> Opt.default_passes ~epic:true ~predication
   in
-  let mir, report = run_pipeline pipeline ~default mir in
-  let layout = Memmap.layout ?mem_bytes mir in
-  let unit_, sched = Sched.compile_program cfg layout mir in
-  let image, words = Asm.assemble cfg unit_ in
-  { ea_config = cfg; ea_mir = mir; ea_layout = layout; ea_unit = unit_;
-    ea_image = image; ea_words = words; ea_sched = sched; ea_report = report }
+  let build () =
+    let mir, report =
+      compile_front ?cache ~target:"epic" ~opt ~predication ~unroll ~pipeline
+        ~default source
+    in
+    let layout = Memmap.layout ?mem_bytes mir in
+    let unit_, sched = Sched.compile_program cfg layout mir in
+    let image, words = Asm.assemble cfg unit_ in
+    { ea_config = cfg; ea_mir = mir; ea_layout = layout; ea_unit = unit_;
+      ea_image = image; ea_words = words; ea_sched = sched; ea_report = report }
+  in
+  match cache with
+  | Some c when cacheable pipeline ->
+    let key =
+      Printf.sprintf "%s|cfg=%s|mb=%s"
+        (front_key ~target:"epic" ~opt ~predication ~unroll ~pipeline ~source)
+        (Config.fingerprint cfg)
+        (match mem_bytes with None -> "-" | Some b -> string_of_int b)
+    in
+    Epic_exec.Cache.find_or_add c.Compile_cache.epic_art key build
+  | _ -> build ()
 
 let entry_of (a : epic_artifacts) =
   match List.assoc_opt "_start" a.ea_image.Asm.Aunit.im_symbols with
@@ -105,11 +212,11 @@ let profile_epic ?fuel ?keep_events (a : epic_artifacts) =
    cross-checked against the MIR reference interpreter (the same
    differential oracle the pass manager uses), so an SDC classification
    is always relative to an independently validated result. *)
-let fault_campaign ?seed ?runs ?targets ?fuel_factor ?(check_golden = true)
-    (a : epic_artifacts) =
+let fault_campaign ?seed ?runs ?targets ?fuel_factor ?jobs
+    ?(check_golden = true) (a : epic_artifacts) =
   let mem = Memmap.init_memory a.ea_layout a.ea_mir in
   let rp =
-    Epic_fault.campaign ?seed ?runs ?targets ?fuel_factor a.ea_config
+    Epic_fault.campaign ?seed ?runs ?targets ?fuel_factor ?jobs a.ea_config
       ~image:a.ea_image ~mem ~entry:(entry_of a) ()
   in
   if check_golden then begin
@@ -125,24 +232,31 @@ let fault_campaign ?seed ?runs ?targets ?fuel_factor ?(check_golden = true)
   end;
   rp
 
-type arm_artifacts = {
-  aa_mir : Ir.program;          (* optimised, runtime linked *)
-  aa_layout : Memmap.t;
-  aa_prog : Arm.Isa.program;
-  aa_report : Opt.Pipeline.report;
-}
-
 let compile_arm ?(opt = O1) ?(unroll = default_unroll) ?mem_bytes
-    ?(pipeline = default_pipeline) ~source () =
-  let mir = Cfront.compile ~unroll source in
+    ?(pipeline = default_pipeline) ?cache ~source () =
   let default =
     match opt with
     | O0 -> []
     | O1 -> Opt.default_passes ~epic:false ~predication:false
   in
-  let mir, report = run_pipeline pipeline ~default mir in
-  let prog, layout, linked = Arm.compile_program ?mem_bytes mir in
-  { aa_mir = linked; aa_layout = layout; aa_prog = prog; aa_report = report }
+  let build () =
+    let mir, report =
+      compile_front ?cache ~target:"arm" ~opt ~predication:false ~unroll
+        ~pipeline ~default source
+    in
+    let prog, layout, linked = Arm.compile_program ?mem_bytes mir in
+    { aa_mir = linked; aa_layout = layout; aa_prog = prog; aa_report = report }
+  in
+  match cache with
+  | Some c when cacheable pipeline ->
+    let key =
+      Printf.sprintf "%s|mb=%s"
+        (front_key ~target:"arm" ~opt ~predication:false ~unroll ~pipeline
+           ~source)
+        (match mem_bytes with None -> "-" | Some b -> string_of_int b)
+    in
+    Epic_exec.Cache.find_or_add c.Compile_cache.arm_art key build
+  | _ -> build ()
 
 let run_arm ?fuel (a : arm_artifacts) =
   let mem = Memmap.init_memory a.aa_layout a.aa_mir in
@@ -150,9 +264,9 @@ let run_arm ?fuel (a : arm_artifacts) =
 
 (* Convenience wrappers used throughout the tests and examples. *)
 
-let epic_cycles ?opt ?predication ?unroll ?pipeline (cfg : Config.t) ~source
-    ~expected () =
-  let a = compile_epic ?opt ?predication ?unroll ?pipeline cfg ~source () in
+let epic_cycles ?opt ?predication ?unroll ?pipeline ?cache (cfg : Config.t)
+    ~source ~expected () =
+  let a = compile_epic ?opt ?predication ?unroll ?pipeline ?cache cfg ~source () in
   let r = run_epic a in
   (match r.Sim.trap with
    | Some t -> failwith (Format.asprintf "EPIC run trapped: %a" Sim.pp_trap t)
@@ -163,8 +277,8 @@ let epic_cycles ?opt ?predication ?unroll ?pipeline (cfg : Config.t) ~source
          (expected land 0xFFFFFFFF));
   r.Sim.stats
 
-let arm_cycles ?opt ?unroll ?pipeline ~source ~expected () =
-  let a = compile_arm ?opt ?unroll ?pipeline ~source () in
+let arm_cycles ?opt ?unroll ?pipeline ?cache ~source ~expected () =
+  let a = compile_arm ?opt ?unroll ?pipeline ?cache ~source () in
   let r = run_arm a in
   if r.Arm.Sim.ret <> expected land 0xFFFFFFFF then
     failwith

@@ -16,6 +16,13 @@ type epic_artifacts = {
           verifier and differential-check tallies. *)
 }
 
+type arm_artifacts = {
+  aa_mir : Epic_mir.Ir.program;  (** Optimised, software-divide runtime linked. *)
+  aa_layout : Epic_mir.Memmap.t;
+  aa_prog : Epic_arm.Isa.program;
+  aa_report : Epic_opt.Pipeline.report;  (** Pipeline report (see below). *)
+}
+
 type opt_level =
   | O0  (** Straight lowering, no optimisation. *)
   | O1  (** The full machine-independent pipeline (default). *)
@@ -52,16 +59,49 @@ val default_unroll : int
     the ILP and flattening the outer loops mostly bloats code; see the A8
     ablation). *)
 
+(** {1 Compile cache}
+
+    A keyed, domain-safe memo for compiled artifacts
+    ({!Epic_exec.Cache}), shared by a campaign's jobs.  Two levels:
+
+    - {e front-end}: [source x options -> optimised MIR].  The front end
+      and optimiser never read the processor configuration, so a
+      1–4-ALU sweep parses and optimises each workload once.  Because
+      the backend mutates the MIR it compiles, a hit hands out a copy.
+    - {e artifacts}: [front key x config fingerprint -> artifacts].  A
+      hit returns the physically identical artifacts; they are safe to
+      share across domains ({!Epic_sim.run} never writes the image, and
+      every run builds fresh data memory).
+
+    Compiles whose [pipeline] dumps IR ([pp_dump_after]) bypass the
+    cache — a hit would silently skip the dump.  Cache hits never change
+    any output: cached and uncached compiles produce identical artifacts
+    (identical cycle counts, tables, reports). *)
+module Compile_cache : sig
+  type t
+
+  val create : unit -> t
+
+  val frontend_stats : t -> Epic_exec.Cache.stats
+  val artifact_stats : t -> Epic_exec.Cache.stats
+  val stats : t -> (string * Epic_exec.Cache.stats) list
+  (** [("front", _); ("artifacts", _)] — ready for
+      {!Epic_exec.campaign_stats}. *)
+end
+
 val compile_epic :
   ?opt:opt_level -> ?predication:bool -> ?unroll:int -> ?mem_bytes:int ->
-  ?pipeline:pipeline -> Epic_config.t -> source:string -> unit -> epic_artifacts
+  ?pipeline:pipeline -> ?cache:Compile_cache.t -> Epic_config.t ->
+  source:string -> unit -> epic_artifacts
 (** Compile EPIC-C for a configuration: front-end (with optional loop
     unrolling) -> optimiser (if-conversion unless [predication:false]) ->
     code generation + register allocation -> list scheduling -> assembly.
     Validates the configuration first.  [pipeline] overrides and
     instruments the optimiser pass list; with [pp_passes = None] the
     default list is [opt]/[predication]'s pipeline, so the two interfaces
-    compose.
+    compose.  [cache] memoises both compile levels (see
+    {!Compile_cache}); artifacts returned from the cache are shared —
+    treat them as read-only, which every toolchain entry point does.
     @raise Epic_cfront.Error, @raise Epic_sched.Codegen.Codegen_error,
     @raise Epic_asm.Asm_error, @raise Epic_opt.Pipeline.Error,
     @raise Invalid_argument as appropriate. *)
@@ -83,27 +123,22 @@ val profile_epic :
 
 val fault_campaign :
   ?seed:int -> ?runs:int -> ?targets:Epic_fault.target list ->
-  ?fuel_factor:int -> ?check_golden:bool -> epic_artifacts ->
+  ?fuel_factor:int -> ?jobs:int -> ?check_golden:bool -> epic_artifacts ->
   Epic_fault.report
 (** Run a deterministic fault-injection campaign ({!Epic_fault.campaign})
     over compiled artifacts: data memory initialised from the program's
-    globals, execution from [_start].  Unless [check_golden:false], the
-    golden run's return value is cross-checked against the MIR reference
-    interpreter, so SDC classification is relative to an independently
-    validated result.
+    globals, execution from [_start].  [jobs] (default 1) fans the
+    injected runs out across domains; the report is bit-identical for
+    every [jobs] value (see {!Epic_fault.campaign}).  Unless
+    [check_golden:false], the golden run's return value is cross-checked
+    against the MIR reference interpreter, so SDC classification is
+    relative to an independently validated result.
     @raise Epic_diag.Error ([fault/golden-mismatch]) when the simulator
     and the reference interpreter disagree on the fault-free run. *)
 
-type arm_artifacts = {
-  aa_mir : Epic_mir.Ir.program;  (** Optimised, software-divide runtime linked. *)
-  aa_layout : Epic_mir.Memmap.t;
-  aa_prog : Epic_arm.Isa.program;
-  aa_report : Epic_opt.Pipeline.report;  (** Pipeline report (see above). *)
-}
-
 val compile_arm :
   ?opt:opt_level -> ?unroll:int -> ?mem_bytes:int -> ?pipeline:pipeline ->
-  source:string -> unit -> arm_artifacts
+  ?cache:Compile_cache.t -> source:string -> unit -> arm_artifacts
 (** Compile the same source for the SA-110 baseline (shared front-end and
     optimiser, pressure-aware inlining, no predication). *)
 
@@ -116,10 +151,12 @@ val run_arm : ?fuel:int -> arm_artifacts -> Epic_arm.Sim.result
 
 val epic_cycles :
   ?opt:opt_level -> ?predication:bool -> ?unroll:int -> ?pipeline:pipeline ->
-  Epic_config.t -> source:string -> expected:int -> unit -> Epic_sim.stats
+  ?cache:Compile_cache.t -> Epic_config.t -> source:string -> expected:int ->
+  unit -> Epic_sim.stats
 (** @raise Failure when the run returns anything but [expected]. *)
 
 val arm_cycles :
-  ?opt:opt_level -> ?unroll:int -> ?pipeline:pipeline -> source:string ->
-  expected:int -> unit -> Epic_arm.Sim.stats
+  ?opt:opt_level -> ?unroll:int -> ?pipeline:pipeline ->
+  ?cache:Compile_cache.t -> source:string -> expected:int -> unit ->
+  Epic_arm.Sim.stats
 (** @raise Failure when the run returns anything but [expected]. *)

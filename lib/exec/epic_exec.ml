@@ -1,0 +1,173 @@
+(* Parallel campaign engine: Domain-based job pool with deterministic
+   result ordering, plus a keyed memo cache for compiled artifacts.
+
+   The pool is deliberately simple: a shared atomic counter hands out job
+   indices, so idle domains keep pulling work (the load-balancing
+   property of work stealing without per-domain deques — campaign jobs
+   are coarse enough that the counter is never contended), and results
+   are stored at their job's index.  Parallel runs are therefore
+   bit-identical to sequential ones, including which exception surfaces
+   when jobs fail. *)
+
+module Json = Epic_profile.Json
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+module Pool = struct
+  let run_seq n f =
+    if n = 0 then [||]
+    else begin
+      let results = Array.make n None in
+      for i = 0 to n - 1 do
+        results.(i) <- Some (f i)
+      done;
+      Array.map Option.get results
+    end
+
+  let run ?jobs n f =
+    if n < 0 then invalid_arg "Epic_exec.Pool.run: negative job count";
+    let jobs = match jobs with None -> default_jobs () | Some j -> j in
+    let jobs = max 1 (min jobs n) in
+    if jobs <= 1 then run_seq n f
+    else begin
+      let results = Array.make n None in
+      let errors = Array.make n None in
+      let next = Atomic.make 0 in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f i with
+           | v -> results.(i) <- Some v
+           | exception e -> errors.(i) <- Some e);
+          worker ()
+        end
+      in
+      let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join helpers;
+      (* Deterministic failure: surface the lowest-index exception, the
+         one a sequential loop would have raised first. *)
+      Array.iter (function Some e -> raise e | None -> ()) errors;
+      Array.map Option.get results
+    end
+
+  let map ?jobs f xs =
+    let a = Array.of_list xs in
+    Array.to_list (run ?jobs (Array.length a) (fun i -> f a.(i)))
+end
+
+module Cache = struct
+  type 'a entry =
+    | In_flight
+    | Ready of 'a
+    | Failed of exn
+
+  type stats = { hits : int; misses : int }
+
+  type 'a t = {
+    name : string;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    table : (string, 'a entry) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?(name = "cache") () =
+    { name; mutex = Mutex.create (); cond = Condition.create ();
+      table = Hashtbl.create 16; hits = 0; misses = 0 }
+
+  (* First requester computes outside the lock; everyone else blocks on
+     the condition until the entry resolves.  Exceptions are memoised so
+     every requester of a failing key observes the same failure. *)
+  let find_or_add t key f =
+    Mutex.lock t.mutex;
+    let rec await () =
+      match Hashtbl.find_opt t.table key with
+      | Some (Ready v) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.mutex;
+        v
+      | Some (Failed e) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.mutex;
+        raise e
+      | Some In_flight ->
+        Condition.wait t.cond t.mutex;
+        await ()
+      | None ->
+        Hashtbl.replace t.table key In_flight;
+        t.misses <- t.misses + 1;
+        Mutex.unlock t.mutex;
+        let resolve entry =
+          Mutex.lock t.mutex;
+          Hashtbl.replace t.table key entry;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex
+        in
+        (match f () with
+         | v -> resolve (Ready v); v
+         | exception e -> resolve (Failed e); raise e)
+    in
+    await ()
+
+  let stats t =
+    Mutex.lock t.mutex;
+    let s = { hits = t.hits; misses = t.misses } in
+    Mutex.unlock t.mutex;
+    s
+
+  let name t = t.name
+
+  let length t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.length t.table in
+    Mutex.unlock t.mutex;
+    n
+
+  let reset t =
+    Mutex.lock t.mutex;
+    Hashtbl.reset t.table;
+    t.hits <- 0;
+    t.misses <- 0;
+    Mutex.unlock t.mutex
+
+  let stats_to_json (s : stats) =
+    Json.Obj [ ("hits", Json.Int s.hits); ("misses", Json.Int s.misses) ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Campaign reporting.                                                 *)
+
+type campaign_stats = {
+  cs_label : string;
+  cs_jobs : int;
+  cs_tasks : int;
+  cs_wall_s : float;
+  cs_caches : (string * Cache.stats) list;
+}
+
+let now () = Unix.gettimeofday ()
+
+let pp_campaign_stats ppf cs =
+  Format.fprintf ppf "%s: %d jobs on %d domain%s in %.2fs" cs.cs_label
+    cs.cs_tasks cs.cs_jobs
+    (if cs.cs_jobs = 1 then "" else "s")
+    cs.cs_wall_s;
+  List.iter
+    (fun (name, (s : Cache.stats)) ->
+      Format.fprintf ppf "; %s %d/%d hits" name s.Cache.hits
+        (s.Cache.hits + s.Cache.misses))
+    cs.cs_caches
+
+let campaign_stats_to_json cs =
+  Json.Obj
+    [ ("label", Json.Str cs.cs_label);
+      ("jobs", Json.Int cs.cs_jobs);
+      ("tasks", Json.Int cs.cs_tasks);
+      ("wall_seconds", Json.Float cs.cs_wall_s);
+      ( "caches",
+        Json.Obj
+          (List.map
+             (fun (name, s) -> (name, Cache.stats_to_json s))
+             cs.cs_caches) ) ]

@@ -1,0 +1,93 @@
+(** Parallel campaign engine: a Domain-based job pool with deterministic
+    result ordering, and a keyed memo cache for compiled artifacts.
+
+    Every campaign in the repository — [epic_explore] sweeps, [bench]
+    tables, [epicfault] injection runs — is a set of hundreds of
+    independent simulations.  {!Pool} fans them out across OCaml 5
+    domains while keeping the observable output {e bit-identical} to a
+    sequential run: jobs are identified by their index, results land in
+    an index-keyed array, and the first (lowest-index) failure is the one
+    re-raised, exactly as a sequential loop would.
+
+    {b Immutability contract.}  The pool provides no isolation: job
+    functions run concurrently in one heap.  Callers must only share
+    read-only data between jobs.  The toolchain's artifacts honour this
+    contract ({!Epic_sim.run} never writes the image or the
+    configuration — see its interface; fault injection copies the image
+    and memory per run), which is what makes the campaign layers safe to
+    parallelise.  Requires OCaml >= 5.0 ([Domain]). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default for every [--jobs]
+    flag. *)
+
+module Pool : sig
+  val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
+  (** [run ~jobs n f] computes [[| f 0; ...; f (n-1) |]].  With
+      [jobs <= 1] (or [n <= 1]) this is a plain sequential loop in index
+      order.  Otherwise [jobs] domains (capped at [n]) self-schedule job
+      indices from a shared queue — idle domains keep pulling work, so
+      load balances like work stealing — and each result is stored at its
+      job's index: the returned array never depends on execution order.
+
+      If jobs raise, the remaining jobs still run, and the exception of
+      the {e lowest-index} failing job is re-raised — the same exception
+      a sequential loop would have surfaced first.  [jobs] defaults to
+      {!default_jobs}.
+      @raise Invalid_argument on [n < 0]. *)
+
+  val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+  (** [map ~jobs f xs] is [List.map f xs] evaluated by {!run}: same
+      order, same first-error semantics. *)
+end
+
+module Cache : sig
+  type 'a t
+  (** A domain-safe memo table from string keys to values.  Concurrent
+      lookups of the same key block until the first requester finishes
+      computing, so a value is computed once per key — including when a
+      parallel sweep requests it from every domain at the same time.  A
+      computation that raises is also memoised: every requester of that
+      key re-raises the same exception (deterministic failures). *)
+
+  type stats = { hits : int; misses : int }
+
+  val create : ?name:string -> unit -> 'a t
+  (** [name] (default ["cache"]) labels the stats in reports. *)
+
+  val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+  (** [find_or_add t key f] returns the cached value for [key], computing
+      it with [f] on the first request.  A hit returns the physically
+      identical value.  Waiting for an in-flight computation counts as a
+      hit. *)
+
+  val stats : 'a t -> stats
+  val name : 'a t -> string
+  val length : 'a t -> int
+  val reset : 'a t -> unit
+  (** Drop every entry and zero the counters. *)
+
+  val stats_to_json : stats -> Epic_profile.Json.t
+end
+
+(** {1 Campaign reporting}
+
+    Wall-time and cache-effectiveness observability for the campaign
+    layers, rendered through {!Epic_profile}'s JSON values so [bench
+    --json] dumps compose with the existing reporting. *)
+
+type campaign_stats = {
+  cs_label : string;                    (** Campaign name (e.g. ["table1"]). *)
+  cs_jobs : int;                        (** Domains used. *)
+  cs_tasks : int;                       (** Independent jobs executed. *)
+  cs_wall_s : float;                    (** Wall-clock seconds. *)
+  cs_caches : (string * Cache.stats) list;  (** Per-cache hit/miss counts. *)
+}
+
+val now : unit -> float
+(** [Unix.gettimeofday] — wall clock for campaign timing. *)
+
+val pp_campaign_stats : Format.formatter -> campaign_stats -> unit
+(** One line: label, tasks, jobs, wall time, cache hit rates. *)
+
+val campaign_stats_to_json : campaign_stats -> Epic_profile.Json.t

@@ -202,8 +202,8 @@ let draw_fault rng (cfg : Config.t) ~issue_width ~mem_len ~golden_cycles target 
   { f_target = target; f_cycle = cycle; f_index = index; f_bit = bit }
 
 let campaign ?(seed = 1) ?(runs = 32) ?(targets = all_targets)
-    ?(fuel_factor = 4) (cfg : Config.t) ~(image : A.image) ~(mem : Bytes.t)
-    ~entry () =
+    ?(fuel_factor = 4) ?(jobs = 1) (cfg : Config.t) ~(image : A.image)
+    ~(mem : Bytes.t) ~entry () =
   if seed land 0xFFFFFFFF = 0 then
     Diag.raisef ~code:"fault/seed" "campaign seed must be non-zero";
   if runs < 1 then Diag.raisef ~code:"fault/runs" "runs must be >= 1";
@@ -220,23 +220,39 @@ let campaign ?(seed = 1) ?(runs = 32) ?(targets = all_targets)
      constant keeps trivially short programs from racing the watchdog. *)
   let fuel = (fuel_factor * golden_cycles) + 64 in
   let rng = Prng.create ~seed () in
-  let faults = ref [] in
+  (* Draw every fault site up front, in exactly the order the sequential
+     loop drew them (the PRNG stream never depends on outcomes), then fan
+     the independent injected runs out across domains.  Each run copies
+     the image and memory ([inject]); the golden state is shared
+     read-only.  Outcomes are keyed by draw index, so the report is
+     bit-identical whatever [jobs] is. *)
+  let n_targets = List.length targets in
+  let faults =
+    Array.make (n_targets * runs)
+      { f_target = F_gpr; f_cycle = 0; f_index = 0; f_bit = 0 }
+  in
+  List.iteri
+    (fun t target ->
+      for k = 0 to runs - 1 do
+        faults.((t * runs) + k) <-
+          draw_fault rng cfg ~issue_width:image.A.im_issue_width
+            ~mem_len:(Bytes.length mem) ~golden_cycles target
+      done)
+    targets;
+  let outcomes =
+    Epic_exec.Pool.run ~jobs (Array.length faults) (fun i ->
+        inject cfg ~image ~mem ~entry ~fuel ~golden_ret ~golden_mem faults.(i))
+  in
   let rows =
-    List.map
-      (fun target ->
+    List.mapi
+      (fun t target ->
         let masked = ref 0 and sdc = ref 0 and trap = ref 0 and timeout = ref 0 in
-        for _ = 1 to runs do
-          let f =
-            draw_fault rng cfg ~issue_width:image.A.im_issue_width
-              ~mem_len:(Bytes.length mem) ~golden_cycles target
-          in
-          let o = inject cfg ~image ~mem ~entry ~fuel ~golden_ret ~golden_mem f in
-          (match o with
-           | O_masked -> incr masked
-           | O_sdc -> incr sdc
-           | O_trap _ -> incr trap
-           | O_timeout -> incr timeout);
-          faults := (f, o) :: !faults
+        for k = 0 to runs - 1 do
+          match outcomes.((t * runs) + k) with
+          | O_masked -> incr masked
+          | O_sdc -> incr sdc
+          | O_trap _ -> incr trap
+          | O_timeout -> incr timeout
         done;
         { r_target = target; r_masked = !masked; r_sdc = !sdc;
           r_trap = !trap; r_timeout = !timeout })
@@ -244,7 +260,7 @@ let campaign ?(seed = 1) ?(runs = 32) ?(targets = all_targets)
   in
   { rp_seed = seed; rp_runs = runs; rp_fuel = fuel; rp_golden_ret = golden_ret;
     rp_golden_cycles = golden_cycles; rp_rows = rows;
-    rp_faults = List.rev !faults }
+    rp_faults = List.init (Array.length faults) (fun i -> (faults.(i), outcomes.(i))) }
 
 let total_runs rp = List.fold_left (fun a r -> a + row_runs r) 0 rp.rp_rows
 

@@ -101,6 +101,7 @@ val campaign :
   ?runs:int ->
   ?targets:target list ->
   ?fuel_factor:int ->
+  ?jobs:int ->
   Epic_config.t ->
   image:Epic_asm.Aunit.image ->
   mem:Bytes.t ->
@@ -112,6 +113,13 @@ val campaign :
     drawn from the seeded PRNG (default seed 1).  Injected runs execute
     under a watchdog of [fuel_factor] (default 4) times the golden cycle
     count plus slack; exhaustion classifies as {!O_timeout}.
+
+    [jobs] (default 1) fans the injected runs out across that many
+    domains ({!Epic_exec.Pool}): every fault site is drawn from the PRNG
+    up front in sequential order, the golden run is computed once and
+    shared read-only, and each injected run works on private copies of
+    the image and memory — so the report is {e bit-identical} for every
+    [jobs] value.
     @raise Epic_diag.Error on a zero seed, non-positive [runs] or
     [fuel_factor], empty memory, or a trapping golden run. *)
 

@@ -21,7 +21,20 @@
     - branch-target registers written by PBRR and read by branches; code
       addresses are bundle indices;
     - r0 and p0 hardwired; registers hold canonical [width]-bit values;
-      memory is the shared big-endian byte memory of {!Epic_mir.Memmap}. *)
+      memory is the shared big-endian byte memory of {!Epic_mir.Memmap}.
+
+    {b Immutability contract (relied on by {!Epic_exec}).}  [run] treats
+    the configuration and the assembled [image] as read-only: it aliases
+    [image.im_insts] but never writes to it — the only code path that
+    mutates the instruction stream is the caller's own [tamper] hook
+    acting on the {!machine} view it is handed.  All simulation state
+    (register files, scoreboard, statistics) is allocated per call, and
+    the module has no global mutable state.  Consequently one config and
+    one image may be shared, without copying or locking, by concurrent
+    [run] calls on different domains — this is what the parallel campaign
+    engine does — provided each call gets its own [mem] buffer ([mem] is
+    caller-owned and IS mutated by stores) and any [tamper]/[sink]/[trace]
+    callbacks touch only domain-local state. *)
 
 exception Sim_error of string
 (** Misuse of the simulator API (e.g. an image assembled for a different

@@ -17,4 +17,5 @@ let () =
       ("more", Test_more.suite);
       ("fault", Test_fault.suite);
       ("profile", Test_profile.suite);
+      ("exec", Test_exec.suite);
     ]
