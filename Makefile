@@ -1,6 +1,6 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build test check bench gate baseline clean
+.PHONY: all build test check bench gate baseline fuzz clean
 
 all: build
 
@@ -30,6 +30,13 @@ bench:
 gate:
 	dune exec bench/main.exe -- table1 resources --json _build/bench_current.json
 	dune exec bin/bench_gate.exe -- BENCH_BASELINE.json _build/bench_current.json
+
+# Differential-fuzzing smoke campaign: a fixed seed so CI is
+# reproducible, fanned out over the campaign engine.  Campaign stats go
+# to stderr; stdout (findings + summary) is byte-identical for any
+# --jobs value.
+fuzz:
+	dune exec bin/epicfuzz.exe -- --seed 0 --cases 1000 --jobs 2
 
 # Refresh the committed baseline after an intentional performance change.
 baseline:

@@ -184,8 +184,8 @@ let handle_errors f =
   | Epic.Sched.Codegen.Codegen_error m ->
     Printf.eprintf "code generation error: %s\n" m;
     exit 1
-  | Epic.Sim.Sim_error m ->
-    Printf.eprintf "simulation error: %s\n" m;
+  | Epic.Sim.Sim_error d ->
+    Printf.eprintf "simulation error: %s\n" (Epic.Diag.to_string d);
     exit 1
   | Invalid_argument m ->
     Printf.eprintf "error: %s\n" m;

@@ -1,0 +1,66 @@
+(* epicfuzz: the differential fuzzing campaign.  Generates seeded random
+   programs (MIR through the real backend, raw assembly bundles, single
+   instructions) and cross-checks the toolchain's engines — reference
+   interpreter, cycle-level simulator over a configuration grid with
+   scheduling on and off, the encoder's round trip, the schedule-contract
+   checker and the ARM baseline.  Any divergence is printed with a
+   minimised reproducer and the exit status is non-zero.
+
+   stdout is byte-identical for every --jobs value; campaign wall time
+   goes to stderr. *)
+
+open Cmdliner
+
+module D = Epic.Difftest
+
+let parse_kinds s =
+  match String.lowercase_ascii (String.trim s) with
+  | "all" -> D.default_kinds
+  | s ->
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun k -> k <> "")
+    |> List.map (function
+         | "mir" -> D.K_mir
+         | "asm" -> D.K_asm
+         | "enc" -> D.K_enc
+         | k ->
+           failwith
+             (Printf.sprintf "unknown case kind %S (expected mir, asm, enc)" k))
+
+let run seed cases kinds no_shrink jobs =
+  Cli_common.handle_errors @@ fun () ->
+  let kinds = parse_kinds kinds in
+  let r = D.fuzz ~jobs ~shrink:(not no_shrink) ~kinds ~seed ~cases () in
+  Format.eprintf "%a@." Epic.Exec.pp_campaign_stats r.D.r_stats;
+  Format.printf "%a" D.pp_report r;
+  if r.D.r_findings <> [] then exit 1
+
+let cmd =
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+           ~doc:"Campaign seed; the same seed reproduces the identical \
+                 campaign, case by case.")
+  in
+  let cases =
+    Arg.(value & opt int 1000
+         & info [ "cases" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let kinds =
+    Arg.(value & opt string "all"
+         & info [ "kind" ] ~docv:"LIST"
+           ~doc:"Comma-separated case kinds to run: mir, asm, enc (default \
+                 all, interleaved round-robin).")
+  in
+  let no_shrink =
+    Arg.(value & flag
+         & info [ "no-shrink" ]
+           ~doc:"Report failing cases unminimised (faster triage runs).")
+  in
+  Cmd.v
+    (Cmd.info "epicfuzz"
+       ~doc:"Differential fuzzing of the EPIC toolchain's engines")
+    Term.(const run $ seed $ cases $ kinds $ no_shrink $ Cli_common.jobs_term)
+
+let () = exit (Cmd.eval cmd)

@@ -27,6 +27,7 @@ module Arm = Epic_arm
 module Area = Epic_area
 module Workloads = Epic_workloads
 module Exec = Epic_exec
+module Difftest = Epic_difftest
 module Toolchain = Toolchain
 module Experiments = Experiments
 module Custom_gen = Custom_gen

@@ -1,0 +1,1161 @@
+(* Differential fuzzer: a seeded, deterministic generator of small
+   well-formed programs and a multi-way oracle over the repository's
+   engines.  Three case kinds:
+
+   - MIR cases: a random MIR program through the real backend (codegen,
+     list scheduling, assembly, encoding) under a sampled grid of valid
+     configurations, with scheduling on and off, each compared against
+     the reference interpreter (return value, final globals memory, trap
+     taxonomy) and against the ARM baseline when the program uses no
+     predication.  Emitted schedules are replayed against the mdes by the
+     schedule-contract checker, so scheduler bugs are caught even when
+     the interlocked simulator masks them into mere slowdowns.
+   - ASM cases: random legal assembly bundles (forward branches only, so
+     every program terminates) assembled once under an envelope
+     configuration and executed under timing-only variations (ALUs, port
+     budget, forwarding, pipeline depth) plus an encode->decode->execute
+     round trip; architectural results must be bit-identical.
+   - ENC cases: random instructions under randomly sampled field-width
+     configurations; whatever the encoder accepts must decode back to the
+     same instruction and re-encode to the same bits.
+
+   Everything is derived from one campaign seed: case [i] uses the mixed
+   seed [case_seed ~seed ~index:i], so campaigns are byte-identical for
+   every [--jobs] value (the pool is index-keyed) and any failure can be
+   replayed in isolation. *)
+
+module Isa = Epic_isa
+module Config = Epic_config
+module Diag = Epic_diag
+module Enc = Epic_encoding
+module Mdes = Epic_mdes
+module Ir = Epic_mir.Ir
+module Interp = Epic_mir.Interp
+module Memmap = Epic_mir.Memmap
+module Verify = Epic_mir.Verify
+module A = Epic_asm.Aunit
+module Text = Epic_asm.Text
+module Codegen = Epic_sched.Codegen
+module Sched = Epic_sched.Sched
+module Sim = Epic_sim
+module Arm = Epic_arm
+module Exec = Epic_exec
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic PRNG: a splitmix-style mixer over OCaml's 63-bit ints.
+   No dependency on [Random] — the stream must be identical across OCaml
+   versions and across [--jobs] values. *)
+
+module Rng = struct
+  type t = { mutable state : int }
+
+  let mix z =
+    let z = z lxor (z lsr 33) in
+    let z = z * 0xff51afd7ed558cc land max_int in
+    let z = z lxor (z lsr 29) in
+    let z = z * 0xc4ceb9fe1a85ec5 land max_int in
+    z lxor (z lsr 32)
+
+  let create seed = { state = mix (seed land max_int) }
+
+  let next t =
+    t.state <- (t.state + 0x9e3779b97f4a7c) land max_int;
+    mix t.state
+
+  let int t n = if n <= 0 then 0 else next t mod n
+  let range t lo hi = lo + int t (hi - lo + 1)
+  let bool t = next t land 1 = 1
+  let chance t pct = int t 100 < pct
+
+  let pick t l =
+    match l with
+    | [] -> invalid_arg "Rng.pick: empty list"
+    | _ -> List.nth l (int t (List.length l))
+
+  (* Per-case seed: mixing the campaign seed with the case index makes
+     the case streams independent of fan-out order. *)
+  let case_seed ~seed ~index = mix ((mix (seed + 1) lxor (index + 1)) land max_int)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Findings *)
+
+type kind = K_mir | K_asm | K_enc
+
+let string_of_kind = function K_mir -> "mir" | K_asm -> "asm" | K_enc -> "enc"
+
+type finding = {
+  f_case : int;          (* campaign case index *)
+  f_kind : kind;
+  f_class : string;      (* ret | mem | trap | gprs | compile | contract
+                            | encoding | engine-error | arm-ret | arm-mem *)
+  f_engine : string;     (* label of the diverging engine / config *)
+  f_detail : string;     (* one-line human-readable explanation *)
+  f_repro : string;      (* minimised program text *)
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "@[<v>FINDING case=%d kind=%s class=%s engine=%s@,%s@,--- repro ---@,%s@,-------------@]"
+    f.f_case (string_of_kind f.f_kind) f.f_class f.f_engine f.f_detail f.f_repro
+
+(* ------------------------------------------------------------------ *)
+(* Schedule-contract checker.
+
+   Replays a cycle-indexed schedule (the stall-free form produced by
+   [Sched.schedule_block_cycles]) against the machine description,
+   independently of the scheduler's own dependence analysis:
+
+   - the schedule must be a permutation of the original instruction list
+     (nothing lost, nothing duplicated);
+   - within a bundle, slot order must follow program order (phase-2
+     execution is sequential over slots: this is what keeps same-cycle
+     memory pairs and branch shadowing sequentialisable);
+   - per-cycle resources: unit caps, issue width, and the register-file
+     port budget under the forwarding model the simulator implements (a
+     GPR read is free exactly when its value arrives);
+   - dependence distances in cycles: RAW >= latency of the producer,
+     WAR >= 0, WAW >= max 1 (lat_i - lat_j + 1) (the later write must
+     land last), memory pairs involving a store >= 1, every operation
+     after a branch >= 1 cycle later, nothing moves below the branch. *)
+
+module Contract = struct
+  type violation = string
+
+  let check (md : Mdes.t) ~(original : A.inst list) (cycles : A.inst list array) :
+      violation list =
+    let viol = ref [] in
+    let add fmt = Format.kasprintf (fun s -> viol := s :: !viol) fmt in
+    let orig = Array.of_list original in
+    let n = Array.length orig in
+    let approx = Array.map A.to_isa_approx orig in
+    let lat k = Mdes.latency md approx.(k).Isa.op in
+    (* Flatten with (cycle, slot). *)
+    let flat = ref [] in
+    Array.iteri
+      (fun c insts -> List.iteri (fun s i -> flat := (c, s, i) :: !flat) insts)
+      cycles;
+    let flat = List.rev !flat in
+    (* Greedy in-order matching of original instructions to schedule
+       slots (duplicates are interchangeable, so first-unused works). *)
+    let used = Array.make (List.length flat) false in
+    let flat_arr = Array.of_list flat in
+    let cycle_of = Array.make n (-1) and slot_of = Array.make n (-1) in
+    for k = 0 to n - 1 do
+      let rec find j =
+        if j >= Array.length flat_arr then -1
+        else
+          let _, _, i = flat_arr.(j) in
+          if (not used.(j)) && i = orig.(k) then j
+          else find (j + 1)
+      in
+      match find 0 with
+      | -1 -> add "instruction %d (%s) lost by the scheduler" k
+                (Isa.string_of_opcode approx.(k).Isa.op)
+      | j ->
+        used.(j) <- true;
+        let c, s, _ = flat_arr.(j) in
+        cycle_of.(k) <- c;
+        slot_of.(k) <- s
+    done;
+    Array.iteri
+      (fun j u ->
+        if not u then
+          let c, s, _ = flat_arr.(j) in
+          add "extra instruction at cycle %d slot %d not in the source block" c s)
+      used;
+    if !viol <> [] then List.rev !viol
+    else begin
+      (* Within-bundle slot order must follow program order. *)
+      for k = 0 to n - 1 do
+        for k' = k + 1 to n - 1 do
+          if cycle_of.(k) = cycle_of.(k') && slot_of.(k) > slot_of.(k') then
+            add "ops %d and %d share cycle %d but slot order inverts program order"
+              k k' cycle_of.(k)
+        done
+      done;
+      (* Per-cycle resources. *)
+      let cap = function
+        | Isa.U_alu -> md.Mdes.md_alus
+        | Isa.U_lsu -> md.Mdes.md_lsus
+        | Isa.U_cmpu -> md.Mdes.md_cmpus
+        | Isa.U_bru -> md.Mdes.md_brus
+        | Isa.U_none -> max_int
+      in
+      let available : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      Array.iteri
+        (fun c insts ->
+          let ap = List.map A.to_isa_approx insts in
+          if List.length insts > md.Mdes.md_issue_width then
+            add "cycle %d issues %d ops, issue width is %d" c (List.length insts)
+              md.Mdes.md_issue_width;
+          List.iter
+            (fun u ->
+              let uses =
+                List.length (List.filter (fun a -> Isa.unit_of a.Isa.op = u) ap)
+              in
+              if uses > cap u then
+                add "cycle %d uses %d units of a class capped at %d" c uses (cap u))
+            [ Isa.U_alu; Isa.U_lsu; Isa.U_cmpu; Isa.U_bru ];
+          let ports =
+            List.fold_left
+              (fun acc a ->
+                let reads =
+                  List.fold_left
+                    (fun acc (file, idx) ->
+                      match (file : Isa.regfile) with
+                      | Isa.R_gpr ->
+                        let fwd =
+                          md.Mdes.md_forwarding
+                          && Hashtbl.find_opt available idx = Some c
+                        in
+                        if fwd then acc else acc + 1
+                      | Isa.R_pred | Isa.R_btr -> acc)
+                    0 (Isa.reads a)
+                in
+                let writes =
+                  List.fold_left
+                    (fun acc (file, _) ->
+                      match (file : Isa.regfile) with
+                      | Isa.R_gpr -> acc + 1
+                      | Isa.R_pred | Isa.R_btr -> acc)
+                    0 (Isa.writes a)
+                in
+                acc + reads + writes)
+              0 ap
+          in
+          if ports > md.Mdes.md_rf_port_budget then
+            add "cycle %d needs %d register ports, budget is %d" c ports
+              md.Mdes.md_rf_port_budget;
+          List.iter
+            (fun a ->
+              List.iter
+                (fun (file, idx) ->
+                  match (file : Isa.regfile) with
+                  | Isa.R_gpr ->
+                    Hashtbl.replace available idx (c + Mdes.latency md a.Isa.op)
+                  | Isa.R_pred | Isa.R_btr -> ())
+                (Isa.writes a))
+            ap)
+        cycles;
+      (* Dependence distances, recomputed from scratch. *)
+      for j = 0 to n - 1 do
+        let jr = Isa.reads approx.(j) and jw = Isa.writes approx.(j) in
+        let j_mem =
+          Isa.is_load approx.(j).Isa.op || Isa.is_store approx.(j).Isa.op
+        in
+        let j_store = Isa.is_store approx.(j).Isa.op in
+        let j_branch =
+          Isa.is_branch approx.(j).Isa.op || approx.(j).Isa.op = Isa.HALT
+        in
+        for i = 0 to j - 1 do
+          let iw = Isa.writes approx.(i) and ir = Isa.reads approx.(i) in
+          let i_mem =
+            Isa.is_load approx.(i).Isa.op || Isa.is_store approx.(i).Isa.op
+          in
+          let i_store = Isa.is_store approx.(i).Isa.op in
+          let i_branch =
+            Isa.is_branch approx.(i).Isa.op || approx.(i).Isa.op = Isa.HALT
+          in
+          let need = ref min_int in
+          let require d = if d > !need then need := d in
+          if List.exists (fun r -> List.mem r jr) iw then require (lat i);
+          if List.exists (fun r -> List.mem r ir) jw then require 0;
+          if List.exists (fun r -> List.mem r iw) jw then
+            require (max 1 (lat i - lat j + 1));
+          if (i_store && j_mem) || (i_mem && j_store) then require 1;
+          if i_branch then require 1;
+          if j_branch && not i_branch then require 0;
+          if !need > min_int && cycle_of.(j) - cycle_of.(i) < !need then
+            add "ops %d -> %d scheduled %d cycles apart, dependence needs %d"
+              i j (cycle_of.(j) - cycle_of.(i)) !need
+        done
+      done;
+      List.rev !viol
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration samplers *)
+
+let valid cfg = match Config.validate cfg with Ok () -> true | Error _ -> false
+
+(* The narrow 45-bit instruction format: legal per the validator, and the
+   harshest known client of the encoder's field-width parameterisation. *)
+let narrow_fields cfg =
+  { cfg with
+    Config.n_gprs = 32; n_preds = 16; n_btrs = 8;
+    opcode_bits = 9; dst_bits = 5; src_bits = 11; pred_bits = 4 }
+
+(* Architectural envelope for ASM cases: fixed register files (results
+   are compared register-for-register), sampled issue width, and
+   occasionally the narrow instruction format. *)
+let gen_asm_envelope rng =
+  let base =
+    { Config.default with
+      Config.n_gprs = 32; n_preds = 16; n_btrs = 8;
+      issue_width = Rng.range rng 1 4 }
+  in
+  if Rng.chance rng 25 then narrow_fields base else base
+
+(* Timing-only variations: same architectural state, different cycle
+   behaviour.  Results must not change. *)
+let gen_timing_variants rng (env : Config.t) =
+  List.init 3 (fun _ ->
+      { env with
+        Config.n_alus = Rng.range rng 1 4;
+        rf_port_budget = Rng.pick rng [ 2; 4; 8 ];
+        forwarding = Rng.bool rng;
+        pipeline_stages = Rng.range rng 2 4 })
+  |> List.filter valid
+
+(* Config grid for MIR cases: width stays 32 (the interpreter's width);
+   everything the backend retargets over is sampled.  Port budget stays
+   >= 4 so every base operation is schedulable (feasibility needs 3 ports
+   for a 2-source ALU op). *)
+let gen_mir_grid rng =
+  let sample () =
+    { Config.default with
+      Config.n_alus = Rng.range rng 1 4;
+      n_gprs = Rng.pick rng [ 20; 32; 64 ];
+      n_preds = Rng.pick rng [ 16; 32 ];
+      n_btrs = Rng.pick rng [ 8; 16 ];
+      issue_width = Rng.range rng 1 4;
+      rf_port_budget = Rng.pick rng [ 4; 8 ];
+      forwarding = Rng.bool rng;
+      pipeline_stages = Rng.range rng 2 4 }
+  in
+  let narrow = { (narrow_fields Config.default) with Config.issue_width = Rng.range rng 1 3 } in
+  List.filter valid [ Config.default; narrow; sample (); sample (); sample () ]
+
+(* Random instruction-format configuration for encoding round trips. *)
+let gen_field_config rng =
+  let attempt () =
+    let dst_bits = Rng.range rng 5 8 in
+    let src_bits = Rng.range rng 6 16 in
+    let pred_bits = Rng.range rng 4 6 in
+    let opcode_bits = Rng.range rng 8 15 in
+    { Config.default with
+      Config.n_gprs = 32; n_preds = 16; n_btrs = 8;
+      issue_width = 1;
+      regs_per_inst = Rng.range rng 3 4;
+      opcode_bits; dst_bits; src_bits; pred_bits }
+  in
+  let rec go tries =
+    if tries = 0 then Config.default
+    else
+      let c = attempt () in
+      if valid c then c else go (tries - 1)
+  in
+  go 50
+
+(* ------------------------------------------------------------------ *)
+(* Random instruction generator (for ENC cases and the qcheck property).
+   Fields are filled according to the encoder's usage map, biased toward
+   the signed-literal boundary values. *)
+
+let interesting_imms payload =
+  let b = 1 lsl (payload - 1) in
+  [ 0; 1; -1; 2; 7; b - 1; -b; b - 2; -b + 1 ]
+
+let gen_src rng (cfg : Config.t) =
+  if Rng.bool rng then Isa.Sreg (Rng.int rng cfg.Config.n_gprs)
+  else
+    let payload = cfg.Config.src_bits - 1 in
+    if Rng.chance rng 40 then Isa.Simm (Rng.pick rng (interesting_imms payload))
+    else
+      let b = 1 lsl (payload - 1) in
+      Isa.Simm (Rng.range rng (-b) (b - 1))
+
+let base_op_pool =
+  [ Isa.ADD; Isa.SUB; Isa.MPY; Isa.DIV; Isa.REM; Isa.MIN; Isa.MAX; Isa.ABS;
+    Isa.AND; Isa.OR; Isa.XOR; Isa.ANDCM; Isa.NAND; Isa.NOR;
+    Isa.SHL; Isa.SHR; Isa.SHRA; Isa.MOV;
+    Isa.LD Isa.M_byte; Isa.LD Isa.M_half; Isa.LD Isa.M_word;
+    Isa.LDU Isa.M_byte; Isa.LDU Isa.M_half;
+    Isa.ST Isa.M_byte; Isa.ST Isa.M_half; Isa.ST Isa.M_word;
+    Isa.CMPP Isa.C_eq; Isa.CMPP Isa.C_ne; Isa.CMPP Isa.C_lt; Isa.CMPP Isa.C_le;
+    Isa.CMPP Isa.C_ltu; Isa.CMPP Isa.C_geu;
+    Isa.PBRR; Isa.BRU_; Isa.BRCT; Isa.BRCF; Isa.BRL; Isa.HALT; Isa.NOP ]
+
+let gen_inst rng (cfg : Config.t) =
+  let op = Rng.pick rng base_op_pool in
+  let u = Enc.usage op in
+  let dst = function
+    | Enc.Dreg Isa.R_gpr -> Rng.int rng cfg.Config.n_gprs
+    | Enc.Dreg Isa.R_pred -> Rng.int rng cfg.Config.n_preds
+    | Enc.Dreg Isa.R_btr -> Rng.int rng cfg.Config.n_btrs
+    | Enc.Dimm -> Rng.int rng (1 lsl cfg.Config.dst_bits)
+    | Enc.Dnone -> 0
+  in
+  let src used =
+    if not used then Isa.Simm 0
+    else
+      match op with
+      | Isa.BRU_ | Isa.BRL | Isa.BRCT | Isa.BRCF | Isa.PBRR ->
+        (* Branch sources are BTR indices / code labels: small literals. *)
+        Isa.Simm (Rng.int rng cfg.Config.n_btrs)
+      | _ -> gen_src rng cfg
+  in
+  let src2 used =
+    if not used then Isa.Simm 0
+    else
+      match op with
+      | Isa.BRCT | Isa.BRCF -> Isa.Simm (Rng.int rng cfg.Config.n_preds)
+      | _ -> gen_src rng cfg
+  in
+  { Isa.op;
+    dst1 = dst u.Enc.u_dst1;
+    dst2 = dst u.Enc.u_dst2;
+    src1 = src u.Enc.u_src1;
+    src2 = src2 u.Enc.u_src2;
+    guard = (if Rng.chance rng 30 then Rng.int rng cfg.Config.n_preds else 0) }
+
+(* ------------------------------------------------------------------ *)
+(* ASM program generator: random legal bundles, forward control flow. *)
+
+let mem_base = 384          (* fits the narrowest literal payload *)
+let asm_mem_bytes = 8192
+
+let string_of_asm (u : A.t) = Text.to_string u
+
+let gen_alu_op rng (cfg : Config.t) ~dsts ~srcs =
+  let op =
+    Rng.pick rng
+      [ Isa.ADD; Isa.SUB; Isa.MPY; Isa.DIV; Isa.REM; Isa.MIN; Isa.MAX;
+        Isa.AND; Isa.OR; Isa.XOR; Isa.ANDCM; Isa.NAND; Isa.NOR;
+        Isa.SHL; Isa.SHR; Isa.SHRA; Isa.MOV; Isa.ABS ]
+  in
+  let payload = cfg.Config.src_bits - 1 in
+  let imm () =
+    let v =
+      if Rng.chance rng 35 then Rng.pick rng (interesting_imms payload)
+      else Rng.range rng (-200) 200
+    in
+    (* Shift amounts around the datapath width exercise the >= width
+       clamp in both evaluators. *)
+    match op with
+    | Isa.SHL | Isa.SHR | Isa.SHRA when Rng.bool rng -> A.Imm (Rng.range rng 0 40)
+    | _ -> A.Imm v
+  in
+  let src () = if Rng.bool rng then A.Reg (Rng.pick rng srcs) else imm () in
+  let d1 = Rng.pick rng dsts in
+  let g = if Rng.chance rng 25 then Rng.range rng 1 (cfg.Config.n_preds - 1) else 0 in
+  match op with
+  | Isa.MOV | Isa.ABS -> A.simple op ~d1 ~s1:(src ()) ~g ()
+  | _ -> A.simple op ~d1 ~s1:(src ()) ~s2:(src ()) ~g ()
+
+let gen_mem_op rng (cfg : Config.t) ~dsts ~srcs =
+  let mw = Rng.pick rng [ Isa.M_byte; Isa.M_half; Isa.M_word ] in
+  let g = if Rng.chance rng 20 then Rng.range rng 1 (cfg.Config.n_preds - 1) else 0 in
+  if Rng.bool rng then
+    (* Load: base register + small positive literal offset. *)
+    let off = Rng.range rng 0 255 in
+    A.simple (Isa.LD mw) ~d1:(Rng.pick rng dsts) ~s1:(A.Reg 1) ~s2:(A.Imm off) ~g ()
+  else
+    (* Store: EA = base + dst1 * width-bytes (dst1 is the scaled offset
+       field). *)
+    let off = Rng.range rng 0 31 in
+    let v = if Rng.bool rng then A.Reg (Rng.pick rng srcs) else A.Imm (Rng.range rng (-100) 100) in
+    A.simple (Isa.ST mw) ~d1:off ~s1:(A.Reg 1) ~s2:v ~g ()
+
+let gen_cmp_op rng (cfg : Config.t) ~srcs =
+  let cond =
+    Rng.pick rng
+      [ Isa.C_eq; Isa.C_ne; Isa.C_lt; Isa.C_le; Isa.C_gt; Isa.C_ge;
+        Isa.C_ltu; Isa.C_leu; Isa.C_gtu; Isa.C_geu ]
+  in
+  let np = cfg.Config.n_preds in
+  let src () =
+    if Rng.bool rng then A.Reg (Rng.pick rng srcs) else A.Imm (Rng.range rng (-50) 50)
+  in
+  A.simple (Isa.CMPP cond) ~d1:(Rng.int rng np) ~d2:(Rng.int rng np)
+    ~s1:(src ()) ~s2:(src ()) ()
+
+(* One random ASM case: (envelope configuration, assembly unit).  Layout:
+     B0:   seed registers (r1 = memory base, a few constants)
+     B1..: labelled random bundles; a bundle may end with a forward
+           branch whose PBRR sits in an earlier slot (or its own bundle
+           at issue width 1)
+     end:  HALT *)
+let gen_asm_case rng =
+  let cfg = gen_asm_envelope rng in
+  let iw = cfg.Config.issue_width in
+  let n_body = Rng.range rng 3 8 in
+  (* Registers: r1 = base (never overwritten), r2..r11 general. *)
+  let dsts = [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ] in
+  let srcs = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ] in
+  let payload = cfg.Config.src_bits - 1 in
+  let seed_imm () = Rng.range rng (-(1 lsl (payload - 1))) ((1 lsl (payload - 1)) - 1) in
+  let items = ref [] in
+  let push it = items := it :: !items in
+  (* Seed bundles: one op per bundle keeps them legal at issue width 1. *)
+  push (A.Ibundle [ A.simple Isa.MOV ~d1:1 ~s1:(A.Imm mem_base) () ]);
+  List.iter
+    (fun r -> push (A.Ibundle [ A.simple Isa.MOV ~d1:r ~s1:(A.Imm (seed_imm ())) () ]))
+    [ 4; 5; 6; 7 ];
+  let gen_op () =
+    match Rng.int rng 10 with
+    | 0 | 1 -> gen_mem_op rng cfg ~dsts ~srcs
+    | 2 -> gen_cmp_op rng cfg ~srcs
+    | _ -> gen_alu_op rng cfg ~dsts ~srcs
+  in
+  for i = 0 to n_body - 1 do
+    push (A.Ilabel (Printf.sprintf "B%d" i));
+    let has_branch = Rng.chance rng 35 in
+    if has_branch then begin
+      let target =
+        if Rng.bool rng || i = n_body - 1 then "end"
+        else Printf.sprintf "B%d" (Rng.range rng (i + 1) (n_body - 1))
+      in
+      let btr = i mod cfg.Config.n_btrs in
+      let pbrr = A.simple Isa.PBRR ~d1:btr ~s1:(A.Lab target) () in
+      let branch =
+        match Rng.int rng 4 with
+        | 0 -> A.simple Isa.BRU_ ~s1:(A.Imm btr) ()
+        | 1 -> A.simple Isa.BRL ~d1:2 ~s1:(A.Imm btr) ()
+        | 2 ->
+          A.simple Isa.BRCT ~s1:(A.Imm btr)
+            ~s2:(A.Imm (Rng.int rng cfg.Config.n_preds)) ()
+        | _ ->
+          A.simple Isa.BRCF ~s1:(A.Imm btr)
+            ~s2:(A.Imm (Rng.int rng cfg.Config.n_preds)) ()
+      in
+      if iw = 1 then begin
+        push (A.Ibundle [ pbrr ]);
+        push (A.Ibundle [ branch ])
+      end
+      else begin
+        let fillers = List.init (Rng.int rng (iw - 1)) (fun _ -> gen_op ()) in
+        push (A.Ibundle ((pbrr :: fillers) @ [ branch ]))
+      end
+    end
+    else begin
+      let ops = List.init (Rng.range rng 1 iw) (fun _ -> gen_op ()) in
+      push (A.Ibundle ops)
+    end
+  done;
+  push (A.Ilabel "end");
+  push (A.Ibundle [ A.simple Isa.HALT () ]);
+  (cfg, { A.items = List.rev !items })
+
+(* ------------------------------------------------------------------ *)
+(* MIR program generator. *)
+
+let gen_operand rng nv =
+  if Rng.bool rng then Ir.Reg (Rng.int rng nv) else Ir.Imm (Rng.range rng (-4096) 4095)
+
+let all_binops =
+  [ Ir.Add; Ir.Sub; Ir.Mul; Ir.Div; Ir.Rem; Ir.And; Ir.Or; Ir.Xor;
+    Ir.Shl; Ir.Shr; Ir.Shra; Ir.Min; Ir.Max ]
+
+let all_relops =
+  [ Ir.Req; Ir.Rne; Ir.Rlt; Ir.Rle; Ir.Rgt; Ir.Rge; Ir.Rltu; Ir.Rleu;
+    Ir.Rgtu; Ir.Rgeu ]
+
+(* Generate one block's instruction list.  Memory operations are emitted
+   as short sequences (AddrOf + optional Add) so every address is a
+   single in-bounds operand. *)
+let gen_block_insts rng ~nv ~np ~globals ~use_guards ~len =
+  let insts = ref [] in
+  let emit k = insts := { Ir.kind = k; guard = None } :: !insts in
+  let emit_guarded k g = insts := { Ir.kind = k; guard = g } :: !insts in
+  let operand () = gen_operand rng nv in
+  let dst () = Rng.int rng nv in
+  let guard () =
+    if use_guards && np > 1 && Rng.chance rng 25 then
+      Some { Ir.g_reg = Rng.range rng 1 (np - 1); g_pos = Rng.bool rng }
+    else None
+  in
+  for _ = 1 to len do
+    match Rng.int rng 12 with
+    | 0 | 1 | 2 | 3 ->
+      let op = Rng.pick rng all_binops in
+      let b =
+        match op with
+        | Ir.Div | Ir.Rem ->
+          let v = Rng.range rng 1 64 in
+          Ir.Imm (if Rng.bool rng then v else -v)
+        | Ir.Shl | Ir.Shr | Ir.Shra when Rng.bool rng -> Ir.Imm (Rng.range rng 0 40)
+        | _ -> operand ()
+      in
+      emit_guarded (Ir.Bin (op, dst (), operand (), b)) (guard ())
+    | 4 -> emit_guarded (Ir.Mov (dst (), operand ())) (guard ())
+    | 5 -> emit (Ir.Cmp (Rng.pick rng all_relops, dst (), operand (), operand ()))
+    | 6 when use_guards && np > 1 ->
+      emit (Ir.Setp (Rng.pick rng all_relops, Rng.range rng 1 (np - 1), operand (), operand ()))
+    | 6 -> emit (Ir.Mov (dst (), operand ()))
+    | 7 | 8 | 9 ->
+      (* Addresses live only in the reserved scratch vregs [nv+1] and
+         [nv+2]: a frame or global address is an engine-specific numeric
+         (codegen rebases frame slots past the callee-save area, which
+         varies with the configuration), so letting one flow into stored
+         values, compares or return values would make architecturally
+         correct engines diverge. *)
+      let gname, g_bytes = Rng.pick rng globals in
+      let sz = Rng.pick rng [ Ir.I8; Ir.I16; Ir.I32 ] in
+      let bytes = match sz with Ir.I8 -> 1 | Ir.I16 -> 2 | Ir.I32 -> 4 in
+      let off = Rng.int rng (g_bytes - bytes + 1) in
+      let a = nv + 1 in
+      emit (Ir.AddrOf (a, gname));
+      if Rng.bool rng then
+        emit (Ir.Load (sz, Rng.pick rng [ Ir.Sx; Ir.Zx ], dst (), Ir.Reg a, Ir.Imm off))
+      else begin
+        let a2 = nv + 2 in
+        emit (Ir.Bin (Ir.Add, a2, Ir.Reg a, Ir.Imm off));
+        emit_guarded (Ir.Store (sz, Ir.Reg a2, operand ())) (guard ())
+      end
+    | 10 ->
+      (* Frame traffic: in-frame address arithmetic through FrameAddr. *)
+      let off = 4 * Rng.int rng 8 in
+      let a = nv + 1 in
+      emit (Ir.FrameAddr (a, off));
+      if Rng.bool rng then emit (Ir.Load (Ir.I32, Ir.Sx, dst (), Ir.Reg a, Ir.Imm 0))
+      else emit (Ir.Store (Ir.I32, Ir.Reg a, operand ()))
+    | _ -> emit (Ir.Bin (Ir.Add, dst (), operand (), operand ()))
+  done;
+  List.rev !insts
+
+(* A random program: one or two globals, a possibly-called leaf function,
+   and a [main] whose CFG is forward (DAG) except for at most one counted
+   self-loop — so termination is structural, not statistical. *)
+let gen_mir_program rng =
+  let use_guards = Rng.chance rng 50 in
+  let nv = Rng.range rng 5 10 in
+  let np = Rng.range rng 2 4 in
+  let g_bytes = 4 * Rng.range rng 4 16 in
+  let globals =
+    [ { Ir.g_name = "g0"; g_bytes;
+        g_init = Array.init (g_bytes / 4) (fun _ -> Rng.range rng (-1000) 1000) } ]
+  in
+  let glob_shapes = [ ("g0", g_bytes) ] in
+  let with_leaf = Rng.chance rng 40 in
+  let leaf =
+    { Ir.f_name = "leaf"; f_params = [ 0; 1 ]; f_nvregs = 3; f_npregs = 1;
+      f_frame_bytes = 0;
+      f_blocks =
+        [ { Ir.b_id = 0;
+            b_insts =
+              [ Ir.no_guard
+                  (Ir.Bin (Rng.pick rng [ Ir.Add; Ir.Xor; Ir.Mul; Ir.Min ], 2,
+                           Ir.Reg 0, Ir.Reg 1)) ];
+            b_term = Ir.Ret (Some (Ir.Reg 2)) } ] }
+  in
+  let n_blocks = Rng.range rng 1 4 in
+  (* The loop block must not be the entry block: the entry is prefixed with
+     the seeding MOVs below, which would reset the induction variable on
+     every trip round the back edge and never terminate.  It must also not
+     be the last block, which carries the Ret. *)
+  let loop_at =
+    if n_blocks >= 3 && Rng.chance rng 40 then
+      Some (Rng.range rng 1 (n_blocks - 2))
+    else None
+  in
+  (* v(nv) is the loop induction variable when a loop is present;
+     v(nv+1) and v(nv+2) are the address scratch registers (see
+     [gen_block_insts]).  None of the three is reachable from
+     [gen_operand], which draws from v0..v(nv-1). *)
+  let nv_total = nv + 3 in
+  let blocks =
+    List.init n_blocks (fun i ->
+        let len = Rng.range rng 1 6 in
+        let insts = gen_block_insts rng ~nv ~np ~globals:glob_shapes ~use_guards ~len in
+        let insts =
+          if with_leaf && Rng.chance rng 50 then
+            insts
+            @ [ Ir.no_guard
+                  (Ir.Call (Some (Rng.int rng nv), "leaf",
+                            [ gen_operand rng nv; gen_operand rng nv ])) ]
+          else insts
+        in
+        let insts =
+          match loop_at with
+          | Some l when l = i ->
+            insts @ [ Ir.no_guard (Ir.Bin (Ir.Add, nv, Ir.Reg nv, Ir.Imm 1)) ]
+          | _ -> insts
+        in
+        let term =
+          if i = n_blocks - 1 then Ir.Ret (Some (gen_operand rng nv))
+          else
+            match loop_at with
+            | Some l when l = i ->
+              (* Counted back edge: at most [bound] iterations. *)
+              let bound = Rng.range rng 2 8 in
+              Ir.Br (Ir.Rlt, Ir.Reg nv, Ir.Imm bound, i, i + 1)
+            | _ ->
+              if Rng.bool rng && i + 2 <= n_blocks - 1 then
+                Ir.Br (Rng.pick rng all_relops, gen_operand rng nv,
+                       gen_operand rng nv, Rng.range rng (i + 1) (n_blocks - 1), i + 1)
+              else Ir.Jmp (i + 1)
+        in
+        { Ir.b_id = i; b_insts = insts; b_term = term })
+  in
+  (* Define every vreg and every predicate up front: all uses are then
+     defined on every path, including guards whose setp would otherwise
+     not dominate them (the verifier rejects such programs, and so does
+     codegen's predicate-pair allocator).  q0 is hardwired true. *)
+  let seed =
+    List.init nv_total (fun v -> Ir.no_guard (Ir.Mov (v, Ir.Imm (Rng.range rng (-100) 100))))
+    @ List.init (np - 1) (fun q ->
+          Ir.no_guard
+            (Ir.Setp (Rng.pick rng all_relops, q + 1,
+                      Ir.Imm (Rng.range rng (-100) 100),
+                      Ir.Imm (Rng.range rng (-100) 100))))
+  in
+  (match blocks with
+   | b :: _ -> b.Ir.b_insts <- seed @ b.Ir.b_insts
+   | [] -> ());
+  let main =
+    { Ir.f_name = "main"; f_params = []; f_nvregs = nv_total;
+      f_npregs = np; f_blocks = blocks;
+      f_frame_bytes = 32 }
+  in
+  let funcs = if with_leaf then [ leaf; main ] else [ main ] in
+  { Ir.p_globals = globals; p_funcs = funcs }
+
+let mir_uses_predication (p : Ir.program) =
+  List.exists
+    (fun f ->
+      List.exists
+        (fun b ->
+          List.exists
+            (fun i ->
+              i.Ir.guard <> None
+              || match i.Ir.kind with Ir.Setp _ -> true | _ -> false)
+            b.Ir.b_insts)
+        f.Ir.f_blocks)
+    p.Ir.p_funcs
+
+let string_of_mir (p : Ir.program) = Format.asprintf "%a" Ir.pp_program p
+
+(* ------------------------------------------------------------------ *)
+(* Oracles *)
+
+let label_of_config (cfg : Config.t) ~scheduling =
+  Printf.sprintf
+    "alus=%d gprs=%d iw=%d ports=%d fwd=%b stages=%d fields=%d/%d/%d/%d sched=%b"
+    cfg.Config.n_alus cfg.Config.n_gprs cfg.Config.issue_width
+    cfg.Config.rf_port_budget cfg.Config.forwarding cfg.Config.pipeline_stages
+    cfg.Config.opcode_bits cfg.Config.dst_bits cfg.Config.src_bits
+    cfg.Config.pred_bits scheduling
+
+let trap_sig = function
+  | None -> "none"
+  | Some t -> Printf.sprintf "%s@pc=%d" (Sim.string_of_trap_cause t.Sim.tr_cause) t.Sim.tr_pc
+
+(* -- ASM oracle ----------------------------------------------------- *)
+
+let run_image (cfg : Config.t) image =
+  let mem = Bytes.make asm_mem_bytes '\000' in
+  Sim.run ~fuel:200_000 cfg ~image ~mem ()
+
+let check_asm ~case ~repro (cfg : Config.t) (u : A.t) : finding list =
+  let fnd = ref [] in
+  let add f_class f_engine fmt =
+    Format.kasprintf
+      (fun s ->
+        fnd :=
+          { f_case = case; f_kind = K_asm; f_class; f_engine; f_detail = s;
+            f_repro = repro } :: !fnd)
+      fmt
+  in
+  (match A.assemble cfg u with
+   | exception exn -> add "compile" "assembler" "%s" (Printexc.to_string exn)
+   | image, words ->
+     let reference = run_image cfg image in
+     let compare_run engine (r : Sim.result) =
+       if trap_sig r.Sim.trap <> trap_sig reference.Sim.trap then
+         add "trap" engine "trap %s, reference %s" (trap_sig r.Sim.trap)
+           (trap_sig reference.Sim.trap)
+       else begin
+         if r.Sim.ret <> reference.Sim.ret then
+           add "ret" engine "returned %#x, reference %#x" r.Sim.ret reference.Sim.ret;
+         if r.Sim.gprs <> reference.Sim.gprs then begin
+           let k = ref (-1) in
+           Array.iteri
+             (fun i v -> if !k < 0 && v <> reference.Sim.gprs.(i) then k := i)
+             r.Sim.gprs;
+           add "gprs" engine "r%d = %#x, reference %#x" !k r.Sim.gprs.(!k)
+             reference.Sim.gprs.(!k)
+         end;
+         if not (Bytes.equal r.Sim.mem reference.Sim.mem) then
+           add "mem" engine "final memory differs from the reference run"
+       end
+     in
+     (* Encode -> decode -> execute: the decoded image must behave
+        identically to the resolved one. *)
+     (match
+        let table = Enc.make_table cfg in
+        { image with A.im_insts = A.decode_image cfg table words }
+      with
+      | exception exn -> add "encoding" "decoder" "%s" (Printexc.to_string exn)
+      | decoded -> compare_run "decoded-image" (run_image cfg decoded));
+     (* Timing-only variations: architectural results must not move. *)
+     List.iter
+       (fun vcfg ->
+         match run_image vcfg image with
+         | r -> compare_run (label_of_config vcfg ~scheduling:false) r
+         | exception exn ->
+           add "engine-error" (label_of_config vcfg ~scheduling:false) "%s"
+             (Printexc.to_string exn))
+       (gen_timing_variants (Rng.create case) cfg));
+  List.rev !fnd
+
+(* -- MIR oracle ----------------------------------------------------- *)
+
+(* Compile one MIR program for one configuration, returning the image,
+   the layout, the entry bundle and any schedule-contract violations.
+   The backend mutates the program (register allocation rewrites blocks),
+   so it works on a private copy. *)
+let compile_mir (cfg : Config.t) ~scheduling (p : Ir.program) =
+  let p = Epic_opt.Common.copy_program p in
+  let layout = Memmap.layout p in
+  let md = Mdes.of_config cfg in
+  let cfuncs = Codegen.gen_program cfg layout p in
+  let violations = ref [] in
+  let items =
+    List.concat_map
+      (fun (cf : Codegen.cfunc) ->
+        List.concat_map
+          (fun (cb : Codegen.cblock) ->
+            let bundles =
+              if scheduling then begin
+                let cycles = Sched.schedule_block_cycles md cb.Codegen.cb_insts in
+                List.iter
+                  (fun v ->
+                    violations := Printf.sprintf "%s: %s" cb.Codegen.cb_label v :: !violations)
+                  (Contract.check md ~original:cb.Codegen.cb_insts cycles);
+                Array.to_list cycles |> List.filter (fun b -> b <> [])
+              end
+              else Sched.schedule_sequential cb.Codegen.cb_insts
+            in
+            A.Ilabel cb.Codegen.cb_label :: List.map (fun b -> A.Ibundle b) bundles)
+          cf.Codegen.cf_blocks)
+      cfuncs
+  in
+  let image, _words = Epic_asm.assemble cfg { A.items } in
+  let entry =
+    match List.assoc_opt "_start" image.A.im_symbols with
+    | Some a -> a
+    | None -> 0
+  in
+  (image, layout, entry, p, List.rev !violations)
+
+let region_equal mem1 mem2 ~len =
+  Bytes.equal (Bytes.sub mem1 0 len) (Bytes.sub mem2 0 len)
+
+let check_mir ~case ~repro (p : Ir.program) : finding list =
+  let fnd = ref [] in
+  let add f_class f_engine fmt =
+    Format.kasprintf
+      (fun s ->
+        fnd :=
+          { f_case = case; f_kind = K_mir; f_class; f_engine; f_detail = s;
+            f_repro = repro } :: !fnd)
+      fmt
+  in
+  (* Generator sanity: every generated program must be well-formed MIR.
+     A verifier rejection is a bug in the generator itself, not in any
+     engine, and is reported as such. *)
+  (match Verify.check_program p with
+   | Error errs ->
+     add "engine-error" "generator" "invalid MIR: %s" (String.concat "; " errs)
+   | Ok () -> ());
+  (* Bounded fuel: generated programs terminate structurally, so running
+     out of fuel is itself an engine-error finding (a generator or
+     interpreter bug), reported fast instead of hanging the campaign. *)
+  (match Interp.run ~fuel:2_000_000 p ~entry:"main" with
+   | exception exn -> add "engine-error" "interp" "%s" (Printexc.to_string exn)
+   | reference ->
+     let glen = reference.Interp.map.Memmap.globals_end in
+     let grid = gen_mir_grid (Rng.create (case + 0x5bd1)) in
+     List.iter
+       (fun cfg ->
+         List.iter
+           (fun scheduling ->
+             let engine = label_of_config cfg ~scheduling in
+             match compile_mir cfg ~scheduling p with
+             | exception exn -> add "compile" engine "%s" (Printexc.to_string exn)
+             | image, layout, entry, compiled, violations ->
+               List.iter (fun v -> add "contract" engine "%s" v) violations;
+               let mem = Memmap.init_memory layout compiled in
+               (match Sim.run ~fuel:2_000_000 cfg ~image ~mem ~entry () with
+                | exception exn -> add "engine-error" engine "%s" (Printexc.to_string exn)
+                | r ->
+                  (match r.Sim.trap with
+                   | Some t -> add "trap" engine "%a" Sim.pp_trap t
+                   | None ->
+                     if r.Sim.ret <> reference.Interp.ret then
+                       add "ret" engine "returned %#x, interpreter %#x" r.Sim.ret
+                         reference.Interp.ret;
+                     if not (region_equal r.Sim.mem reference.Interp.mem ~len:glen) then
+                       add "mem" engine "final globals memory differs from the interpreter")))
+           [ true; false ])
+       grid;
+     (* ARM baseline: defined for unpredicated programs only. *)
+     if not (mir_uses_predication p) then begin
+       match
+         let arm_prog, arm_layout, linked = Arm.compile_program (Epic_opt.Common.copy_program p) in
+         let mem = Memmap.init_memory arm_layout linked in
+         (Arm.Sim.run ~fuel:2_000_000 arm_prog ~mem (), arm_layout)
+       with
+       | exception exn -> add "compile" "arm" "%s" (Printexc.to_string exn)
+       | r, arm_layout ->
+         if r.Arm.Sim.ret <> reference.Interp.ret then
+           add "arm-ret" "arm" "returned %#x, interpreter %#x" r.Arm.Sim.ret
+             reference.Interp.ret;
+         List.iter
+           (fun (g : Ir.global) ->
+             let a_epic = Memmap.addr_of reference.Interp.map g.Ir.g_name in
+             let a_arm = Memmap.addr_of arm_layout g.Ir.g_name in
+             if
+               not
+                 (Bytes.equal
+                    (Bytes.sub reference.Interp.mem a_epic g.Ir.g_bytes)
+                    (Bytes.sub r.Arm.Sim.mem a_arm g.Ir.g_bytes))
+             then add "arm-mem" "arm" "global %s differs from the interpreter" g.Ir.g_name)
+           p.Ir.p_globals
+     end);
+  List.rev !fnd
+
+(* -- ENC oracle ----------------------------------------------------- *)
+
+let check_enc_inst ~case (cfg : Config.t) table (i : Isa.inst) : finding list =
+  let repro =
+    Format.asprintf "%a  under fields %d/%d/%d/%d" Isa.pp_inst i
+      cfg.Config.opcode_bits cfg.Config.dst_bits cfg.Config.src_bits
+      cfg.Config.pred_bits
+  in
+  let add f_class fmt =
+    Format.kasprintf
+      (fun s ->
+        [ { f_case = case; f_kind = K_enc; f_class; f_engine = "encoding";
+            f_detail = s; f_repro = repro } ])
+      fmt
+  in
+  match Enc.encode table cfg i with
+  | exception Enc.Encode_error _ -> []   (* legal rejection *)
+  | exception exn -> add "engine-error" "encode raised %s" (Printexc.to_string exn)
+  | w -> (
+    match Enc.decode table cfg w with
+    | exception exn -> add "encoding" "decode raised %s" (Printexc.to_string exn)
+    | d ->
+      if d <> i then
+        add "encoding" "decode(%#Lx) = %a, not the encoded instruction" w Isa.pp_inst d
+      else begin
+        match Enc.encode table cfg d with
+        | exception exn ->
+          add "encoding" "re-encode of a decoded instruction raised %s"
+            (Printexc.to_string exn)
+        | w2 ->
+          if w2 <> w then add "encoding" "re-encode %#Lx <> first encode %#Lx" w2 w
+          else begin
+            let b = Enc.word_to_bytes cfg w in
+            let w3 = Enc.word_of_bytes cfg b 0 in
+            if w3 <> w then add "encoding" "byte round trip %#Lx <> %#Lx" w3 w
+            else []
+          end
+      end)
+
+let check_enc ~case rng : finding list =
+  let cfg = gen_field_config rng in
+  let table = Enc.make_table cfg in
+  let insts = List.init 32 (fun _ -> gen_inst rng cfg) in
+  List.concat_map (fun i -> check_enc_inst ~case cfg table i) insts
+
+(* ------------------------------------------------------------------ *)
+(* Greedy shrinkers: keep removing pieces while the (re-run) oracle
+   still produces a finding of one of the original classes. *)
+
+let classes fs = List.sort_uniq compare (List.map (fun f -> f.f_class) fs)
+
+let still_fails ~want fs =
+  List.exists (fun f -> List.mem f.f_class want) fs
+
+let shrink_asm ~case (cfg : Config.t) (u : A.t) (found : finding list) =
+  let want = classes found in
+  let eval items =
+    let u = { A.items } in
+    check_asm ~case ~repro:"" cfg u
+  in
+  let budget = ref 300 in
+  let rec go items =
+    if !budget <= 0 then items
+    else begin
+      (* Candidate edits: drop a whole bundle, or one op of a bundle. *)
+      let n = List.length items in
+      let rec try_at k =
+        if k >= n then None
+        else
+          let cands =
+            match List.nth items k with
+            | A.Ibundle [ _ ] | A.Ilabel _ | A.Idirective _ ->
+              [ List.filteri (fun j _ -> j <> k) items ]
+            | A.Ibundle ops ->
+              List.filteri (fun j _ -> j <> k) items
+              :: List.mapi
+                   (fun oi _ ->
+                     List.mapi
+                       (fun j it ->
+                         if j = k then
+                           A.Ibundle (List.filteri (fun x _ -> x <> oi) ops)
+                         else it)
+                       items)
+                   ops
+          in
+          let hit =
+            List.find_opt
+              (fun cand ->
+                decr budget;
+                !budget >= 0 && still_fails ~want (eval cand))
+              cands
+          in
+          (match hit with Some c -> Some c | None -> try_at (k + 1))
+      in
+      match try_at 0 with Some smaller -> go smaller | None -> items
+    end
+  in
+  { A.items = go u.A.items }
+
+let shrink_mir ~case (p : Ir.program) (found : finding list) =
+  let want = classes found in
+  (* A candidate must stay well-formed MIR: dropping a defining
+     instruction would otherwise make the program fail for a fresh
+     reason (use before definition) of the same finding class, and the
+     shrinker would chase that instead of the original divergence. *)
+  let eval q =
+    match Verify.check_program q with
+    | Error _ -> []
+    | Ok () -> check_mir ~case ~repro:"" q
+  in
+  let copy = Epic_opt.Common.copy_program in
+  let budget = ref 60 in
+  let rec go p =
+    if !budget <= 0 then p
+    else begin
+      let cands = ref [] in
+      List.iteri
+        (fun fi (f : Ir.func) ->
+          List.iteri
+            (fun bi (b : Ir.block) ->
+              List.iteri
+                (fun ii _ ->
+                  cands :=
+                    (fun () ->
+                      let q = copy p in
+                      let fb = List.nth (List.nth q.Ir.p_funcs fi).Ir.f_blocks bi in
+                      fb.Ir.b_insts <- List.filteri (fun j _ -> j <> ii) fb.Ir.b_insts;
+                      q)
+                    :: !cands)
+                b.Ir.b_insts;
+              match b.Ir.b_term with
+              | Ir.Br (_, _, _, lt, lf) ->
+                List.iter
+                  (fun l ->
+                    cands :=
+                      (fun () ->
+                        let q = copy p in
+                        let fb = List.nth (List.nth q.Ir.p_funcs fi).Ir.f_blocks bi in
+                        fb.Ir.b_term <- Ir.Jmp l;
+                        q)
+                      :: !cands)
+                  [ lt; lf ]
+              | _ -> ())
+            f.Ir.f_blocks)
+        p.Ir.p_funcs;
+      let hit =
+        List.find_map
+          (fun mk ->
+            if !budget <= 0 then None
+            else begin
+              decr budget;
+              let q = mk () in
+              if still_fails ~want (eval q) then Some q else None
+            end)
+          (List.rev !cands)
+      in
+      match hit with Some q -> go q | None -> p
+    end
+  in
+  go p
+
+(* ------------------------------------------------------------------ *)
+(* Campaign driver *)
+
+type report = {
+  r_cases : int;
+  r_mir : int;
+  r_asm : int;
+  r_enc : int;
+  r_findings : finding list;
+  r_stats : Exec.campaign_stats;
+}
+
+let default_kinds = [ K_mir; K_asm; K_enc ]
+
+let run_case ~seed ~shrink index kind : finding list =
+  let rng = Rng.create (Rng.case_seed ~seed ~index) in
+  try
+    match kind with
+    | K_enc -> check_enc ~case:index rng
+    | K_asm ->
+      let cfg, u = gen_asm_case rng in
+      (match check_asm ~case:index ~repro:"" cfg u with
+       | [] -> []
+       | found ->
+         let u = if shrink then shrink_asm ~case:index cfg u found else u in
+         let repro =
+           Printf.sprintf "# envelope: %s\n%s"
+             (label_of_config cfg ~scheduling:false) (string_of_asm u)
+         in
+         List.map (fun f -> { f with f_repro = repro })
+           (check_asm ~case:index ~repro cfg u))
+    | K_mir ->
+      let p = gen_mir_program rng in
+      (match check_mir ~case:index ~repro:"" p with
+       | [] -> []
+       | found ->
+         let p = if shrink then shrink_mir ~case:index p found else p in
+         let repro = string_of_mir p in
+         List.map (fun f -> { f with f_repro = repro }) (check_mir ~case:index ~repro p))
+  with exn ->
+    [ { f_case = index; f_kind = kind; f_class = "engine-error"; f_engine = "driver";
+        f_detail = Printexc.to_string exn; f_repro = "" } ]
+
+let fuzz ?jobs ?(shrink = true) ?(kinds = default_kinds) ~seed ~cases () : report =
+  if kinds = [] then invalid_arg "Epic_difftest.fuzz: no case kinds";
+  let karr = Array.of_list kinds in
+  let t0 = Exec.now () in
+  let results =
+    Exec.Pool.run ?jobs cases (fun i ->
+        run_case ~seed ~shrink i karr.(i mod Array.length karr))
+  in
+  let count k =
+    let c = ref 0 in
+    Array.iteri (fun i _ -> if karr.(i mod Array.length karr) = k then incr c) results;
+    !c
+  in
+  let findings = Array.to_list results |> List.concat in
+  let stats =
+    { Exec.cs_label = "epicfuzz";
+      cs_jobs = (match jobs with Some j when j > 0 -> j | _ -> Exec.default_jobs ());
+      cs_tasks = cases;
+      cs_wall_s = Exec.now () -. t0;
+      cs_caches = [] }
+  in
+  { r_cases = cases;
+    r_mir = count K_mir;
+    r_asm = count K_asm;
+    r_enc = count K_enc;
+    r_findings = findings;
+    r_stats = stats }
+
+let pp_report ppf r =
+  List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) r.r_findings;
+  let contract =
+    List.length (List.filter (fun f -> f.f_class = "contract") r.r_findings)
+  in
+  Format.fprintf ppf
+    "epicfuzz: %d cases (mir %d, asm %d, enc %d): %d divergence(s), %d contract violation(s)@."
+    r.r_cases r.r_mir r.r_asm r.r_enc
+    (List.length r.r_findings - contract)
+    contract

@@ -34,6 +34,22 @@ val opcode_of_code : table -> int -> Epic_isa.opcode option
 val all_codes : table -> (Epic_isa.opcode * int) list
 (** The complete numbering, for documentation dumps and tests. *)
 
+(** How an operation populates the destination fields: a register of some
+    file, a raw immediate (the word-scaled store offset), or unused. *)
+type dst_usage = Dreg of Epic_isa.regfile | Dimm | Dnone
+
+type field_usage = {
+  u_dst1 : dst_usage;
+  u_dst2 : dst_usage;
+  u_src1 : bool;
+  u_src2 : bool;
+}
+
+val usage : Epic_isa.opcode -> field_usage
+(** The field map the encoder applies to an operation — exported so that
+    generators (the differential fuzzer, property tests) can build
+    plausibly-legal random instructions field by field. *)
+
 val encode : table -> Epic_config.t -> Epic_isa.inst -> int64
 (** Encode one instruction. @raise Encode_error when it does not fit. *)
 

@@ -13,10 +13,13 @@
                  in clobberable registers across calls)
 
    Predicate registers: p0 is hardwired true; each MIR predicate maps to a
-   (true, false) hardware pair allocated per block (predicates are
-   block-local by construction of if-conversion).  Branch target registers
-   are allocated round-robin per block; reuse is safe because the
-   scheduler serialises through BTR dependences. *)
+   (true, false) hardware pair.  Predicates whose live range is contained
+   in one block get a pair from the per-block recycling allocator;
+   predicates that cross a block boundary (set in one block, guarding in
+   another, or live around a loop) are pinned to a fixed pair carved from
+   the top of the predicate file for the whole function.  Branch target
+   registers are allocated round-robin per block; reuse is safe because
+   the scheduler serialises through BTR dependences. *)
 
 module Isa = Epic_isa
 module Config = Epic_config
@@ -44,6 +47,24 @@ let fits_literal (cfg : Config.t) v =
   let payload = cfg.Config.src_bits - 1 in
   v >= -(1 lsl (payload - 1)) && v < 1 lsl (payload - 1)
 
+(* Two-immediate operations where a literal exceeds the configured
+   payload are folded at compile time: materialising both literals would
+   need two scratch registers, which sites without a free destination
+   (Br, Setp, guarded ops) do not have.  The fold uses the reference
+   semantics ([Interp.eval_binop]/[eval_relop]), which the differential
+   fuzzer holds equal to the datapath's.  Nothing is folded while both
+   literals fit, so code under roomy configurations is unchanged. *)
+let fold2 (cfg : Config.t) (a : Ir.operand) (b : Ir.operand) =
+  let signed v =
+    let v32 = v land 0xFFFFFFFF in
+    if v32 land 0x80000000 <> 0 then v32 - 0x100000000 else v32
+  in
+  match (a, b) with
+  | Ir.Imm x, Ir.Imm y
+    when not (fits_literal cfg (signed x) && fits_literal cfg (signed y)) ->
+    Some (x land 0xFFFFFFFF, y land 0xFFFFFFFF)
+  | _ -> None
+
 (* Emission context for one block. *)
 type ctx = {
   cfg : Config.t;
@@ -53,6 +74,8 @@ type ctx = {
   mutable free_pairs : (int * int) list;  (* recycled pairs *)
   mutable next_btr : int;
   pred_map : (int, int * int) Hashtbl.t;  (* MIR preg -> (p_true, p_false) *)
+  pred_limit : int;  (* dynamic pairs live strictly below this register *)
+  fixed_preds : (int * (int * int)) list;  (* function-wide pinned pairs *)
 }
 
 let emit ctx i = ctx.out <- i :: ctx.out
@@ -71,7 +94,7 @@ let alloc_pred_pair ctx =
     pair
   | [] ->
     let p = ctx.next_pred in
-    if p + 1 >= ctx.cfg.Config.n_preds then
+    if p + 1 >= ctx.pred_limit then
       fail "block needs more than %d predicate registers; increase n_preds"
         ctx.cfg.Config.n_preds;
     ctx.next_pred <- p + 2;
@@ -88,11 +111,15 @@ let pred_pair ctx q =
     pair
 
 let release_mir_pred ctx q =
-  match Hashtbl.find_opt ctx.pred_map q with
-  | Some pair ->
-    Hashtbl.remove ctx.pred_map q;
-    release_pred_pair ctx pair
-  | None -> ()
+  (* Pinned (cross-block) predicates keep their pair for the whole
+     function; recycling one would let a later CMPP temporary clobber a
+     predicate that is still live in another block. *)
+  if not (List.mem_assoc q ctx.fixed_preds) then
+    match Hashtbl.find_opt ctx.pred_map q with
+    | Some pair ->
+      Hashtbl.remove ctx.pred_map q;
+      release_pred_pair ctx pair
+    | None -> ()
 
 let alloc_btr ctx =
   let b = ctx.next_btr in
@@ -106,24 +133,37 @@ let guard_field ctx = function
      | Some (pt, pf) -> if g.Ir.g_pos then pt else pf
      | None -> fail "guard predicate q%d used before its setp" g.Ir.g_reg)
 
-(* Build a (possibly large) constant into [dst].  13-bit chunks keep every
-   intermediate literal within the 15-bit payload. *)
+(* Build a (possibly large) constant into [dst] as MOV/SHL/OR chunks.
+   The chunk width tracks the configured immediate payload: each unsigned
+   chunk must fit the non-negative half of the signed literal range, so
+   at most [payload - 1] bits per chunk (capped at 13, the width used by
+   the default 16-bit source field). *)
 let emit_const ctx ?(g = 0) dst v =
   let v32 = v land 0xFFFFFFFF in
   let signed = if v32 land 0x80000000 <> 0 then v32 - 0x100000000 else v32 in
   if fits_literal ctx.cfg signed then emit_op ctx Isa.MOV ~d1:dst ~s1:(A.Imm signed) ~g ()
   else begin
-    let c0 = v32 land 0x1FFF in
-    let c1 = (v32 lsr 13) land 0x1FFF in
-    let c2 = v32 lsr 26 in
-    if c2 <> 0 then begin
-      emit_op ctx Isa.MOV ~d1:dst ~s1:(A.Imm c2) ~g ();
-      emit_op ctx Isa.SHL ~d1:dst ~s1:(A.Reg dst) ~s2:(A.Imm 13) ~g ();
-      emit_op ctx Isa.OR ~d1:dst ~s1:(A.Reg dst) ~s2:(A.Imm c1) ~g ()
-    end
-    else emit_op ctx Isa.MOV ~d1:dst ~s1:(A.Imm c1) ~g ();
-    emit_op ctx Isa.SHL ~d1:dst ~s1:(A.Reg dst) ~s2:(A.Imm 13) ~g ();
-    emit_op ctx Isa.OR ~d1:dst ~s1:(A.Imm c0) ~s2:(A.Reg dst) ~g ()
+    let payload = ctx.cfg.Config.src_bits - 1 in
+    let chunk = max 1 (min 13 (payload - 1)) in
+    let mask = (1 lsl chunk) - 1 in
+    (* Most-significant chunk first. *)
+    let rec split v acc = if v = 0 then acc else split (v lsr chunk) ((v land mask) :: acc) in
+    let rec lower = function
+      | [] -> ()
+      | [ c ] ->
+        (* Final chunk: operand order kept as (imm, reg) historically. *)
+        emit_op ctx Isa.SHL ~d1:dst ~s1:(A.Reg dst) ~s2:(A.Imm chunk) ~g ();
+        emit_op ctx Isa.OR ~d1:dst ~s1:(A.Imm c) ~s2:(A.Reg dst) ~g ()
+      | c :: rest ->
+        emit_op ctx Isa.SHL ~d1:dst ~s1:(A.Reg dst) ~s2:(A.Imm chunk) ~g ();
+        emit_op ctx Isa.OR ~d1:dst ~s1:(A.Reg dst) ~s2:(A.Imm c) ~g ();
+        lower rest
+    in
+    match split v32 [] with
+    | [] -> emit_op ctx Isa.MOV ~d1:dst ~s1:(A.Imm 0) ~g ()
+    | c0 :: rest ->
+      emit_op ctx Isa.MOV ~d1:dst ~s1:(A.Imm c0) ~g ();
+      lower rest
   end
 
 (* Convert a MIR operand to a source field, materialising literals that do
@@ -196,10 +236,15 @@ let emit_inst ctx (i : Ir.inst) =
   let g = guard_field ctx i.Ir.guard in
   match i.Ir.kind with
   | Ir.Bin (op, d, a, b) ->
-    let scratch = ref (scratches_for ~dst:d ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
-    let s1 = src_of ctx ~scratch a in
-    let s2 = src_of ctx ~scratch b in
-    emit_op ctx (binop_op op) ~d1:d ~s1 ~s2 ~g ()
+    (match fold2 ctx.cfg a b with
+     | Some (x, y)
+       when not ((op = Ir.Div || op = Ir.Rem) && y land 0xFFFFFFFF = 0) ->
+       emit_const ctx ~g d (Epic_mir.Interp.eval_binop op x y)
+     | _ ->
+       let scratch = ref (scratches_for ~dst:d ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
+       let s1 = src_of ctx ~scratch a in
+       let s2 = src_of ctx ~scratch b in
+       emit_op ctx (binop_op op) ~d1:d ~s1 ~s2 ~g ())
   | Ir.Mov (d, Ir.Imm v) -> emit_const ctx ~g d v
   | Ir.Mov (d, Ir.Reg r) -> emit_op ctx Isa.MOV ~d1:d ~s1:(A.Reg r) ~g ()
   | Ir.Cmp (rel, d, a, b) ->
@@ -207,21 +252,38 @@ let emit_inst ctx (i : Ir.inst) =
        value moves still fire; hardware guards cannot express the needed
        conjunction, so if-conversion never guards Cmp. *)
     if g <> 0 then fail "guarded compare-to-value is not supported";
-    let scratch = ref (scratches_for ~dst:d ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
-    let s1 = src_of ctx ~scratch a in
-    let s2 = src_of ctx ~scratch b in
-    let pt, pf = alloc_pred_pair ctx in
-    emit_op ctx (Isa.CMPP (cond_of_relop rel)) ~d1:pt ~d2:pf ~s1 ~s2 ();
-    emit_op ctx Isa.MOV ~d1:d ~s1:(A.Imm 0) ~g:pf ();
-    emit_op ctx Isa.MOV ~d1:d ~s1:(A.Imm 1) ~g:pt ();
-    release_pred_pair ctx (pt, pf)
+    (match fold2 ctx.cfg a b with
+     | Some (x, y) ->
+       emit_op ctx Isa.MOV ~d1:d
+         ~s1:(A.Imm (if Epic_mir.Interp.eval_relop rel x y then 1 else 0)) ()
+     | None ->
+       let scratch = ref (scratches_for ~dst:d ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
+       let s1 = src_of ctx ~scratch a in
+       let s2 = src_of ctx ~scratch b in
+       let pt, pf = alloc_pred_pair ctx in
+       emit_op ctx (Isa.CMPP (cond_of_relop rel)) ~d1:pt ~d2:pf ~s1 ~s2 ();
+       emit_op ctx Isa.MOV ~d1:d ~s1:(A.Imm 0) ~g:pf ();
+       emit_op ctx Isa.MOV ~d1:d ~s1:(A.Imm 1) ~g:pt ();
+       release_pred_pair ctx (pt, pf))
   | Ir.Setp (rel, q, a, b) ->
-    let scratch = ref (scratches_for ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
-    let s1 = src_of ctx ~scratch a in
-    let s2 = src_of ctx ~scratch b in
     if g <> 0 then fail "guarded setp is not supported";
-    let pt, pf = pred_pair ctx q in
-    emit_op ctx (Isa.CMPP (cond_of_relop rel)) ~d1:pt ~d2:pf ~s1 ~s2 ()
+    (match fold2 ctx.cfg a b with
+     | Some (x, y) ->
+       (* The statically-known truth value, expressed as a comparison
+          that needs no literals: EQ 0,0 sets the pair true, NE 0,0
+          false. *)
+       let rel' =
+         if Epic_mir.Interp.eval_relop rel x y then Ir.Req else Ir.Rne
+       in
+       let pt, pf = pred_pair ctx q in
+       emit_op ctx (Isa.CMPP (cond_of_relop rel')) ~d1:pt ~d2:pf
+         ~s1:(A.Imm 0) ~s2:(A.Imm 0) ()
+     | None ->
+       let scratch = ref (scratches_for ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
+       let s1 = src_of ctx ~scratch a in
+       let s2 = src_of ctx ~scratch b in
+       let pt, pf = pred_pair ctx q in
+       emit_op ctx (Isa.CMPP (cond_of_relop rel)) ~d1:pt ~d2:pf ~s1 ~s2 ())
   | Ir.Custom (name, d, a, b) ->
     let scratch = ref (scratches_for ~dst:d ~guard:g ~reads:(operand_reads [ a; b ]) ()) in
     let s1 = src_of ctx ~scratch a in
@@ -320,9 +382,58 @@ let gen_func (cfg : Config.t) layout (f : Ir.func) =
   let frame_total = align8 (save_bytes + body.Ir.f_frame_bytes) in
   if not (fits_literal cfg frame_total) then
     fail "%s needs a %d-byte frame, beyond the literal range" f.Ir.f_name frame_total;
+  (* Predicates whose live range crosses a block boundary: mentioned in
+     two or more blocks, or first mentioned in some block as a guard
+     (the value then flows in from another block, e.g. around a loop).
+     These are pinned to fixed pairs at the top of the predicate file;
+     the per-block allocator works strictly below them. *)
+  let fixed_preds, pred_limit =
+    let info : (int, int * bool) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (b : Ir.block) ->
+        let seen = Hashtbl.create 4 in
+        let mention q ~use =
+          if q <> 0 && not (Hashtbl.mem seen q) then begin
+            Hashtbl.replace seen q ();
+            let n, u = Option.value ~default:(0, false) (Hashtbl.find_opt info q) in
+            Hashtbl.replace info q (n + 1, u || use)
+          end
+        in
+        List.iter
+          (fun (i : Ir.inst) ->
+            (match i.Ir.guard with
+             | Some g -> mention g.Ir.g_reg ~use:true
+             | None -> ());
+            match i.Ir.kind with
+            | Ir.Setp (_, q, _, _) -> mention q ~use:false
+            | _ -> ())
+          b.Ir.b_insts)
+      body.Ir.f_blocks;
+    let cross =
+      Hashtbl.fold
+        (fun q (n, use) acc -> if n >= 2 || use then q :: acc else acc)
+        info []
+      |> List.sort compare
+    in
+    let top = ref cfg.Config.n_preds in
+    let pairs =
+      List.map
+        (fun q ->
+          if !top - 2 < 1 then
+            fail "%s needs more than %d predicate registers for its \
+                  cross-block predicates; increase n_preds"
+              f.Ir.f_name cfg.Config.n_preds;
+          top := !top - 2;
+          (q, (!top, !top + 1)))
+        cross
+    in
+    (pairs, !top)
+  in
   let mkctx () =
+    let pred_map = Hashtbl.create 8 in
+    List.iter (fun (q, pair) -> Hashtbl.replace pred_map q pair) fixed_preds;
     { cfg; layout; out = []; next_pred = 1; free_pairs = []; next_btr = 0;
-      pred_map = Hashtbl.create 8 }
+      pred_map; pred_limit; fixed_preds }
   in
   (* Prologue block. *)
   let pro = mkctx () in
@@ -402,24 +513,36 @@ let gen_func (cfg : Config.t) layout (f : Ir.func) =
          emit_op ctx Isa.BRU_ ~s1:(A.Imm bt) ()
        end
      | Ir.Br (rel, x, y, lt, lf) ->
-       let scratch = ref [ reg_rv ] in
-       let s1 = src_of ctx ~scratch x in
-       let s2 = src_of ctx ~scratch y in
-       let pt, pf = alloc_pred_pair ctx in
-       emit_op ctx (Isa.CMPP (cond_of_relop rel)) ~d1:pt ~d2:pf ~s1 ~s2 ();
-       let branch_to cond_pred target =
-         let bt = alloc_btr ctx in
-         emit_op ctx Isa.PBRR ~d1:bt ~s1:(A.Lab (block_label f.Ir.f_name target)) ();
-         emit_op ctx Isa.BRCT ~s1:(A.Imm bt) ~s2:(A.Imm cond_pred) ()
-       in
-       if next = Some lf then branch_to pt lt
-       else if next = Some lt then branch_to pf lf
-       else begin
-         branch_to pt lt;
-         let bt = alloc_btr ctx in
-         emit_op ctx Isa.PBRR ~d1:bt ~s1:(A.Lab (block_label f.Ir.f_name lf)) ();
-         emit_op ctx Isa.BRU_ ~s1:(A.Imm bt) ()
-       end);
+       (match fold2 ctx.cfg x y with
+        | Some (a, b) ->
+          (* Statically decided branch: the Br arm has a single scratch
+             register, which cannot materialise two oversized literals,
+             but it never needs to. *)
+          let l = if Epic_mir.Interp.eval_relop rel a b then lt else lf in
+          if next <> Some l then begin
+            let bt = alloc_btr ctx in
+            emit_op ctx Isa.PBRR ~d1:bt ~s1:(A.Lab (block_label f.Ir.f_name l)) ();
+            emit_op ctx Isa.BRU_ ~s1:(A.Imm bt) ()
+          end
+        | None ->
+          let scratch = ref [ reg_rv ] in
+          let s1 = src_of ctx ~scratch x in
+          let s2 = src_of ctx ~scratch y in
+          let pt, pf = alloc_pred_pair ctx in
+          emit_op ctx (Isa.CMPP (cond_of_relop rel)) ~d1:pt ~d2:pf ~s1 ~s2 ();
+          let branch_to cond_pred target =
+            let bt = alloc_btr ctx in
+            emit_op ctx Isa.PBRR ~d1:bt ~s1:(A.Lab (block_label f.Ir.f_name target)) ();
+            emit_op ctx Isa.BRCT ~s1:(A.Imm bt) ~s2:(A.Imm cond_pred) ()
+          in
+          if next = Some lf then branch_to pt lt
+          else if next = Some lt then branch_to pf lf
+          else begin
+            branch_to pt lt;
+            let bt = alloc_btr ctx in
+            emit_op ctx Isa.PBRR ~d1:bt ~s1:(A.Lab (block_label f.Ir.f_name lf)) ();
+            emit_op ctx Isa.BRU_ ~s1:(A.Imm bt) ()
+          end));
     { cb_label = block_label f.Ir.f_name b.Ir.b_id; cb_insts = List.rev ctx.out }
   in
   (* The prologue falls through into the entry block, which keeps loops
@@ -431,7 +554,8 @@ let gen_func (cfg : Config.t) layout (f : Ir.func) =
 let gen_start (cfg : Config.t) (layout : Memmap.t) =
   let ctx =
     { cfg; layout; out = []; next_pred = 1; free_pairs = []; next_btr = 0;
-      pred_map = Hashtbl.create 1 }
+      pred_map = Hashtbl.create 1; pred_limit = cfg.Config.n_preds;
+      fixed_preds = [] }
   in
   emit_const ctx reg_sp layout.Memmap.stack_top;
   emit_op ctx Isa.PBRR ~d1:0 ~s1:(A.Lab "main") ();

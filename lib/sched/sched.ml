@@ -83,11 +83,17 @@ let heights insts edges =
 
 let unit_usage op = Isa.unit_of op
 
-(* Schedule one block's instruction list into bundles. *)
-let schedule_block (md : Mdes.t) (insts : A.inst list) : A.inst list list =
+(* Schedule one block's instruction list into cycle-indexed bundles:
+   index = issue cycle, empty cycles left in place.  This is the
+   stall-free form the schedule-contract checker (Epic_difftest) replays
+   against the mdes; [schedule_block] below compresses it for emission
+   (safe under the interlock: bundles are never merged, so within-bundle
+   semantics are unchanged and the scoreboard re-inserts the latency
+   cycles). *)
+let schedule_block_cycles (md : Mdes.t) (insts : A.inst list) : A.inst list array =
   let insts = Array.of_list insts in
   let n = Array.length insts in
-  if n = 0 then []
+  if n = 0 then [||]
   else begin
     let approx = Array.map A.to_isa_approx insts in
     (* Feasibility: every instruction must fit an empty cycle, otherwise
@@ -104,8 +110,14 @@ let schedule_block (md : Mdes.t) (insts : A.inst list) : A.inst list list =
           | Isa.U_none -> max_int
         in
         if cap < 1 || Isa.gpr_port_ops a > md.Mdes.md_rf_port_budget then
-          invalid_arg
-            (Format.asprintf "Sched: %a cannot execute on this machine" Isa.pp_inst a))
+          Epic_diag.raisef ~code:"sched/infeasible"
+            ~context:
+              [ ("op", Isa.string_of_opcode a.Isa.op);
+                ("ports", string_of_int (Isa.gpr_port_ops a));
+                ("port_budget", string_of_int md.Mdes.md_rf_port_budget) ]
+            "%a cannot execute on this machine (unit absent or register \
+             ports exceed the budget)"
+            Isa.pp_inst a)
       approx;
     let edges = build_deps md insts in
     let height = heights insts edges in
@@ -231,11 +243,15 @@ let schedule_block (md : Mdes.t) (insts : A.inst list) : A.inst list list =
     let max_cycle = Array.fold_left max 0 cycle_of in
     let bundles = Array.make (max_cycle + 1) [] in
     Array.iteri (fun k c -> bundles.(c) <- k :: bundles.(c)) cycle_of;
-    (* Preserve original order within a bundle (cosmetic). *)
-    Array.to_list bundles
-    |> List.map (fun ks -> List.map (fun k -> insts.(k)) (List.sort compare ks))
-    |> List.filter (fun b -> b <> [])
+    (* Preserve original order within a bundle: phase-2 execution is
+       sequential over slots, so program order within a cycle keeps
+       same-bundle memory and branch semantics sequential. *)
+    Array.map (fun ks -> List.map (fun k -> insts.(k)) (List.sort compare ks)) bundles
   end
+
+(* Schedule one block's instruction list into bundles. *)
+let schedule_block (md : Mdes.t) (insts : A.inst list) : A.inst list list =
+  Array.to_list (schedule_block_cycles md insts) |> List.filter (fun b -> b <> [])
 
 (* A trivial one-op-per-bundle schedule, for debugging and as a baseline
    in the scheduler's own tests. *)

@@ -25,9 +25,12 @@ module Config = Epic_config
 module A = Epic_asm.Aunit
 module Memmap = Epic_mir.Memmap
 
-exception Sim_error of string
+module Diag = Epic_diag
 
-let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+exception Sim_error of Diag.t
+
+let fail ?ctx code fmt =
+  Format.kasprintf (fun s -> raise (Sim_error (Diag.v ?context:ctx ~code s))) fmt
 
 (* ---- architectural trap model ------------------------------------- *)
 
@@ -159,7 +162,11 @@ let run ?(fuel = 500_000_000) ?trace ?sink ?tamper (cfg : Config.t)
     ~(image : A.image) ~(mem : Bytes.t) ?(entry = 0) () =
   let w = image.A.im_issue_width in
   if w <> cfg.Config.issue_width then
-    fail "image was assembled for issue width %d, configuration has %d" w
+    fail "sim/issue-width"
+      ~ctx:
+        [ ("image", string_of_int w);
+          ("config", string_of_int cfg.Config.issue_width) ]
+      "image was assembled for issue width %d, configuration has %d" w
       cfg.Config.issue_width;
   let insts = image.A.im_insts in
   let n_bundles = Array.length insts / w in
@@ -467,7 +474,15 @@ let run_exn ?fuel ?trace ?sink ?tamper cfg ~image ~mem ?entry () =
   let r = run ?fuel ?trace ?sink ?tamper cfg ~image ~mem ?entry () in
   match r.trap with
   | None -> r
-  | Some t -> raise (Sim_error (Format.asprintf "%a" pp_trap t))
+  | Some t ->
+    raise
+      (Sim_error
+         (Diag.errorf
+            ~code:("sim/trap-" ^ string_of_trap_cause t.tr_cause)
+            ~context:
+              [ ("pc", string_of_int t.tr_pc);
+                ("cycle", string_of_int t.tr_cycle) ]
+            "%a" pp_trap t))
 
 let pp_stats ppf st =
   Format.fprintf ppf

@@ -36,11 +36,12 @@
     caller-owned and IS mutated by stores) and any [tamper]/[sink]/[trace]
     callbacks touch only domain-local state. *)
 
-exception Sim_error of string
+exception Sim_error of Epic_diag.t
 (** Misuse of the simulator API (e.g. an image assembled for a different
-    issue width).  Architectural faults do NOT raise: they end the run
-    gracefully with a {!trap} record in the {!result} — see {!run_exn}
-    for the old raising behaviour. *)
+    issue width), as a structured diagnostic (code [sim/...]).
+    Architectural faults do NOT raise: they end the run gracefully with a
+    {!trap} record in the {!result} — see {!run_exn} for the old raising
+    behaviour. *)
 
 (** {1 Architectural trap model}
 

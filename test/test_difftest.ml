@@ -1,0 +1,227 @@
+(* The differential fuzzer: regression tests for divergences it found
+   (each is a shrunk failing case committed with the fix), plus qcheck
+   properties running the cross-engine oracles directly. *)
+
+module D = Epic.Difftest
+module Ir = Epic.Ir
+module Interp = Epic.Interp
+module Memmap = Epic.Memmap
+module Config = Epic.Config
+module Sim = Epic.Sim
+module Sched = Epic.Sched.Sched
+module Mdes = Epic.Mdes
+
+let ng = Ir.no_guard
+
+let mk_main ?(globals = []) ?(nvregs = 8) ?(npregs = 3) blocks =
+  { Ir.p_globals = globals;
+    p_funcs =
+      [ { Ir.f_name = "main"; f_params = []; f_nvregs = nvregs;
+          f_npregs = npregs; f_frame_bytes = 16; f_blocks = blocks } ] }
+
+(* The narrow 45-bit instruction format: 10-bit immediate payload. *)
+let narrow =
+  let cfg = { (D.narrow_fields Config.default) with Config.issue_width = 2 } in
+  (match Config.validate cfg with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "narrow test configuration is invalid");
+  cfg
+
+let compile_and_run cfg ~scheduling p =
+  let image, layout, entry, compiled, violations =
+    D.compile_mir cfg ~scheduling p
+  in
+  Alcotest.(check (list string)) "schedule contract" [] violations;
+  let mem = Memmap.init_memory layout compiled in
+  Sim.run ~fuel:2_000_000 cfg ~image ~mem ~entry ()
+
+(* Compile and run [p] under [cfg] with scheduling on and off; both runs
+   must finish untrapped and agree with the reference interpreter. *)
+let check_against_interp ?(cfgs = [ Config.default; narrow ]) p =
+  let reference = Interp.run ~fuel:2_000_000 p ~entry:"main" in
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun scheduling ->
+          let r = compile_and_run cfg ~scheduling p in
+          (match r.Sim.trap with
+           | Some t -> Alcotest.failf "trapped: %a" Sim.pp_trap t
+           | None -> ());
+          Alcotest.(check int) "return value" reference.Interp.ret r.Sim.ret)
+        [ true; false ])
+    cfgs;
+  reference.Interp.ret
+
+(* Regression (fuzzer case, shrunk): [emit_const] chunked large constants
+   in hard-coded 13-bit pieces, so under a narrow immediate payload the
+   intermediate literals themselves exceeded the field and the assembler
+   rejected the program.  Chunking now tracks the configured payload. *)
+let test_narrow_large_const () =
+  List.iter
+    (fun v ->
+      let p =
+        mk_main [ { Ir.b_id = 0; b_insts = []; b_term = Ir.Ret (Some (Ir.Imm v)) } ]
+      in
+      ignore (check_against_interp p))
+    [ 2740; -2073; 123456; 0x12345678; -0x7ffffff ]
+
+(* Regression (fuzzer case, shrunk): a predicate set in one block and
+   used as a guard in another was rejected with "guard predicate used
+   before its setp" because predicate pairs were allocated per block.
+   Cross-block predicates are now pinned to function-wide pairs. *)
+let test_cross_block_predicate () =
+  let guard q pos = Some { Ir.g_reg = q; g_pos = pos } in
+  let p =
+    mk_main
+      [ { Ir.b_id = 0;
+          b_insts =
+            [ ng (Ir.Mov (0, Ir.Imm 5));
+              ng (Ir.Setp (Ir.Rlt, 1, Ir.Imm 1, Ir.Imm 2));
+              ng (Ir.Setp (Ir.Rlt, 2, Ir.Imm 2, Ir.Imm 1)) ];
+          b_term = Ir.Jmp 1 };
+        { Ir.b_id = 1;
+          b_insts =
+            [ { Ir.kind = Ir.Mov (0, Ir.Imm 7); guard = guard 1 true };
+              { Ir.kind = Ir.Mov (0, Ir.Imm 9); guard = guard 2 true } ];
+          b_term = Ir.Ret (Some (Ir.Reg 0)) } ]
+  in
+  Alcotest.(check int) "true guard fires, false guard does not" 7
+    (check_against_interp p)
+
+(* A predicate that is live around a loop back edge: guard use precedes
+   the (re-)defining setp inside the loop body, so the value flows in
+   from the previous iteration. *)
+let test_loop_carried_predicate () =
+  let p =
+    mk_main
+      [ { Ir.b_id = 0;
+          b_insts =
+            [ ng (Ir.Mov (0, Ir.Imm 0));
+              ng (Ir.Mov (1, Ir.Imm 0));
+              ng (Ir.Setp (Ir.Req, 1, Ir.Imm 0, Ir.Imm 0)) ];
+          b_term = Ir.Jmp 1 };
+        { Ir.b_id = 1;
+          b_insts =
+            [ { Ir.kind = Ir.Bin (Ir.Add, 0, Ir.Reg 0, Ir.Imm 2);
+                guard = Some { Ir.g_reg = 1; g_pos = true } };
+              ng (Ir.Setp (Ir.Req, 1, Ir.Imm 1, Ir.Imm 0));
+              ng (Ir.Bin (Ir.Add, 1, Ir.Reg 1, Ir.Imm 1)) ];
+          b_term = Ir.Br (Ir.Rlt, Ir.Reg 1, Ir.Imm 3, 1, 2) };
+        { Ir.b_id = 2; b_insts = []; b_term = Ir.Ret (Some (Ir.Reg 0)) } ]
+  in
+  Alcotest.(check int) "guard true on first iteration only" 2
+    (check_against_interp p)
+
+(* Regression (fuzzer case, shrunk): a branch comparing two literals that
+   both exceed the narrow payload ran out of scratch registers (the Br
+   site has exactly one).  Two-immediate operations with an out-of-range
+   literal are now constant-folded; same for setp and plain ALU ops. *)
+let test_two_immediate_fold () =
+  let p =
+    mk_main
+      [ { Ir.b_id = 0;
+          b_insts =
+            [ ng (Ir.Mov (0, Ir.Imm 1));
+              ng (Ir.Setp (Ir.Rle, 1, Ir.Imm (-3501), Ir.Imm 2777));
+              { Ir.kind = Ir.Mov (0, Ir.Imm 9);
+                guard = Some { Ir.g_reg = 1; g_pos = true } };
+              ng (Ir.Bin (Ir.Xor, 2, Ir.Imm (-2846), Ir.Imm (-2613)));
+              ng (Ir.Bin (Ir.Add, 0, Ir.Reg 0, Ir.Reg 2)) ];
+          b_term = Ir.Br (Ir.Rgt, Ir.Imm 3561, Ir.Imm (-1801), 1, 2) };
+        { Ir.b_id = 1; b_insts = []; b_term = Ir.Ret (Some (Ir.Reg 0)) };
+        { Ir.b_id = 2; b_insts = []; b_term = Ir.Ret (Some (Ir.Imm 0)) } ]
+  in
+  ignore (check_against_interp p)
+
+(* Two large-immediate division: divisor in range must not fold away the
+   div-by-zero path, and a folded division must agree with the datapath. *)
+let test_two_immediate_div () =
+  let p =
+    mk_main
+      [ { Ir.b_id = 0;
+          b_insts = [ ng (Ir.Bin (Ir.Div, 0, Ir.Imm (-123456), Ir.Imm 1000)) ];
+          b_term = Ir.Ret (Some (Ir.Reg 0)) } ]
+  in
+  Alcotest.(check int) "folded signed division"
+    (check_against_interp p)
+    ((-123456) / 1000 land 0xFFFFFFFF)
+
+(* The campaign is deterministic and jobs-invariant: the same seed gives
+   the same findings (none) for any worker count. *)
+let test_fuzz_jobs_invariant () =
+  let r1 = D.fuzz ~jobs:1 ~seed:5 ~cases:24 () in
+  let r2 = D.fuzz ~jobs:2 ~seed:5 ~cases:24 () in
+  Alcotest.(check int) "no findings" 0 (List.length r1.D.r_findings);
+  Alcotest.(check bool) "jobs-invariant findings" true
+    (r1.D.r_findings = r2.D.r_findings)
+
+(* ---- properties ---------------------------------------------------- *)
+
+(* Encode -> decode -> re-encode under random field-width configurations:
+   the enc oracle itself must find nothing, whatever the seed. *)
+let prop_enc_oracle =
+  QCheck.Test.make ~name:"enc oracle finds nothing" ~count:150
+    QCheck.small_nat (fun n ->
+      D.check_enc ~case:n (D.Rng.create (D.Rng.case_seed ~seed:17 ~index:n)) = [])
+
+(* Random MIR programs through the full backend under the sampled grid:
+   scheduling on and off must agree with the interpreter, and every
+   emitted schedule must pass the contract checker. *)
+let prop_mir_oracle =
+  QCheck.Test.make ~name:"mir oracle finds nothing" ~count:40
+    QCheck.small_nat (fun n ->
+      let rng = D.Rng.create (D.Rng.case_seed ~seed:23 ~index:n) in
+      D.check_mir ~case:n ~repro:"" (D.gen_mir_program rng) = [])
+
+(* Random legal assembly bundles under timing variations and the
+   decode round trip. *)
+let prop_asm_oracle =
+  QCheck.Test.make ~name:"asm oracle finds nothing" ~count:40
+    QCheck.small_nat (fun n ->
+      let rng = D.Rng.create (D.Rng.case_seed ~seed:29 ~index:n) in
+      let cfg, u = D.gen_asm_case rng in
+      D.check_asm ~case:n ~repro:"" cfg u = [])
+
+(* schedule_block is exactly the cycle map with empty cycles dropped, and
+   the cycle map honours the machine-description contract. *)
+let prop_schedule_contract =
+  QCheck.Test.make ~name:"schedule_block passes the mdes contract" ~count:100
+    QCheck.small_nat (fun n ->
+      let rng = D.Rng.create (D.Rng.case_seed ~seed:31 ~index:n) in
+      let cfg = Config.default in
+      let md = Mdes.of_config cfg in
+      let module A = Epic.Asm.Aunit in
+      let ops =
+        [| Epic.Isa.ADD; Epic.Isa.SUB; Epic.Isa.MPY; Epic.Isa.AND;
+           Epic.Isa.OR; Epic.Isa.XOR; Epic.Isa.SHL; Epic.Isa.MOV;
+           Epic.Isa.LDU Epic.Isa.M_word; Epic.Isa.ST Epic.Isa.M_word;
+           Epic.Isa.CMPP Epic.Isa.C_lt |]
+      in
+      let reg () = 1 + D.Rng.int rng 15 in
+      let src () =
+        if D.Rng.bool rng then A.Reg (reg ())
+        else A.Imm (D.Rng.range rng (-100) 100)
+      in
+      let insts =
+        List.init (1 + D.Rng.int rng 10) (fun _ ->
+            A.simple ops.(D.Rng.int rng (Array.length ops)) ~d1:(reg ())
+              ~s1:(src ()) ~s2:(src ()) ())
+      in
+      let cycles = Sched.schedule_block_cycles md insts in
+      Sched.schedule_block md insts
+        = (Array.to_list cycles |> List.filter (fun b -> b <> []))
+      && D.Contract.check md ~original:insts cycles = [])
+
+let suite =
+  [
+    Alcotest.test_case "narrow payload: large constants" `Quick test_narrow_large_const;
+    Alcotest.test_case "cross-block predicate" `Quick test_cross_block_predicate;
+    Alcotest.test_case "loop-carried predicate" `Quick test_loop_carried_predicate;
+    Alcotest.test_case "two-immediate fold" `Quick test_two_immediate_fold;
+    Alcotest.test_case "two-immediate division" `Quick test_two_immediate_div;
+    Alcotest.test_case "fuzz campaign jobs-invariant" `Quick test_fuzz_jobs_invariant;
+    QCheck_alcotest.to_alcotest prop_enc_oracle;
+    QCheck_alcotest.to_alcotest prop_mir_oracle;
+    QCheck_alcotest.to_alcotest prop_asm_oracle;
+    QCheck_alcotest.to_alcotest prop_schedule_contract;
+  ]

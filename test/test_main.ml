@@ -18,4 +18,5 @@ let () =
       ("fault", Test_fault.suite);
       ("profile", Test_profile.suite);
       ("exec", Test_exec.suite);
+      ("difftest", Test_difftest.suite);
     ]
