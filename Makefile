@@ -1,6 +1,6 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build test check bench gate baseline fuzz clean
+.PHONY: all build test check bench gate baseline fuzz serve-smoke clean
 
 all: build
 
@@ -19,6 +19,7 @@ check:
 	dune exec bin/epicprof.exe -- examples/sha256.c --format=chrome-trace \
 	  -o _build/check_trace.json
 	dune exec bench/main.exe -- inject-faults --quick
+	$(MAKE) serve-smoke
 	@echo "make check: OK"
 
 bench:
@@ -37,6 +38,20 @@ gate:
 # --jobs value.
 fuzz:
 	dune exec bin/epicfuzz.exe -- --seed 0 --cases 1000 --jobs 2
+
+# epicd smoke: spawn the daemon binary in pipe mode for each of two
+# passes of the mixed scenario over a shared artifact cache.  epicload
+# fails unless every request succeeds, the second pass is byte-identical
+# and >= 90% disk hits, and the daemon's reported p95 latency meets the
+# SLO — the full service acceptance gate in one command.
+serve-smoke:
+	dune build bin/epicd.exe bin/epicload.exe
+	rm -rf _build/serve_smoke_cache
+	dune exec bin/epicload.exe -- \
+	  --epicd _build/default/bin/epicd.exe \
+	  --cache-dir _build/serve_smoke_cache \
+	  --scenario mixed --passes 2 --slo-p95-ms 30000 --expect-hit-rate 0.9
+	@echo "serve-smoke: OK"
 
 # Refresh the committed baseline after an intentional performance change.
 baseline:

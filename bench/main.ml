@@ -526,15 +526,12 @@ let () =
   (* Campaign wall time and cache statistics go to stderr (and into the
      JSON meta section): stdout stays byte-identical across --jobs. *)
   let campaign label tasks f =
-    let t0 = Epic.Exec.now () in
-    let result = f () in
-    let cs =
-      { Epic.Exec.cs_label = label; cs_jobs = jobs; cs_tasks = tasks;
-        cs_wall_s = Epic.Exec.now () -. t0;
-        cs_caches = Epic.Toolchain.Compile_cache.stats cache }
+    let result, cs =
+      Epic.Exec.run_campaign ~label ~jobs
+        ~caches:(fun () -> Epic.Toolchain.Compile_cache.stats cache)
+        ~tasks:(fun _ -> tasks) f
     in
     campaigns := cs :: !campaigns;
-    Format.eprintf "%a@." Epic.Exec.pp_campaign_stats cs;
     result
   in
   Printf.printf
@@ -636,12 +633,14 @@ let () =
         ]
     in
     (* The meta section records machine-dependent facts (jobs, wall time,
-       cache traffic).  Determinism comparisons across --jobs values must
-       ignore it; bench_gate uses it for the wall-time budget. *)
+       cache traffic, host simulation throughput).  Determinism
+       comparisons across --jobs values must ignore it; bench_gate uses
+       it for the wall-time budget. *)
     let meta =
       J.Obj
         [
           ("jobs", J.Int jobs);
+          ("sim_rate", E.sim_rate_to_json (E.sim_rate ()));
           ( "campaigns",
             J.List
               (List.rev_map Epic.Exec.campaign_stats_to_json !campaigns) );

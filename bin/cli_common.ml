@@ -161,6 +161,18 @@ let jobs_term =
   in
   Term.(const build $ jobs)
 
+(* Exit-code convention for trapped simulations, shared by epicsim,
+   epicasm and epicd's smoke tooling: the watchdog (fuel) trap exits 3,
+   every other architectural fault exits 2. *)
+let trap_exit_code (t : Epic.Sim.trap) =
+  match t.Epic.Sim.tr_cause with Epic.Sim.T_fuel -> 3 | _ -> 2
+
+(* Campaign convention shared by the campaign tools (epicfault,
+   epic_explore, epicd, epicload): stdout stays byte-identical across
+   --jobs values; wall time and cache statistics go to stderr. *)
+let campaign ~label ~jobs ?caches ~tasks f =
+  fst (Epic.Exec.run_campaign ~label ~jobs ?caches ~tasks f)
+
 let handle_errors f =
   try f () with
   | Failure m | Sys_error m ->

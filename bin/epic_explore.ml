@@ -44,19 +44,22 @@ let run input max_alus sweep_issue jobs =
         ds)
     invalid;
   let cache = Epic.Toolchain.Compile_cache.create () in
-  let t0 = Epic.Exec.now () in
   let points =
-    Epic.Exec.Pool.map ~jobs
-      (fun (alus, issue, cfg) ->
-        let a = Epic.Toolchain.compile_epic ~cache cfg ~source () in
-        let r = Epic.Toolchain.run_epic a in
-        let area = Epic.Area.estimate cfg in
-        let cycles = r.Epic.Sim.stats.Epic.Sim.cycles in
-        let ms =
-          float_of_int cycles /. (area.Epic.Area.clock_mhz *. 1e3)
-        in
-        (alus, issue, cycles, area, ms))
-      valid
+    Cli_common.campaign ~label:"epic_explore" ~jobs
+      ~caches:(fun () -> Epic.Toolchain.Compile_cache.stats cache)
+      ~tasks:List.length
+      (fun () ->
+        Epic.Exec.Pool.map ~jobs
+          (fun (alus, issue, cfg) ->
+            let a = Epic.Toolchain.compile_epic ~cache cfg ~source () in
+            let r = Epic.Toolchain.run_epic a in
+            let area = Epic.Area.estimate cfg in
+            let cycles = r.Epic.Sim.stats.Epic.Sim.cycles in
+            let ms =
+              float_of_int cycles /. (area.Epic.Area.clock_mhz *. 1e3)
+            in
+            (alus, issue, cycles, area, ms))
+          valid)
   in
   Printf.printf "%5s %6s %8s %8s %8s %10s %12s\n" "ALUs" "issue" "cycles"
     "slices" "BRAMs" "MHz" "time (ms)";
@@ -83,12 +86,7 @@ let run input max_alus sweep_issue jobs =
   List.iter
     (fun (alus, issue, _, s, t) ->
       Printf.printf "  %d ALU(s), %d-issue: %d slices, %.3f ms\n" alus issue s t)
-    pareto;
-  Format.eprintf "%a@."
-    Epic.Exec.pp_campaign_stats
-    { Epic.Exec.cs_label = "epic_explore"; cs_jobs = jobs;
-      cs_tasks = List.length valid; cs_wall_s = Epic.Exec.now () -. t0;
-      cs_caches = Epic.Toolchain.Compile_cache.stats cache }
+    pareto
 
 let cmd =
   let max_alus =

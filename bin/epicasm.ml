@@ -52,7 +52,7 @@ let run input cfg roundtrip execute listing =
      | Some t ->
        Printf.printf "%s\n" (Format.asprintf "%a" Epic.Sim.pp_trap t);
        Format.printf "partial statistics:@.%a@." Epic.Sim.pp_stats r.Epic.Sim.stats;
-       exit (match t.Epic.Sim.tr_cause with Epic.Sim.T_fuel -> 3 | _ -> 2)
+       exit (Cli_common.trap_exit_code t)
      | None -> ());
     Printf.printf "returned %d (0x%08x)\n" r.Epic.Sim.ret r.Epic.Sim.ret;
     Format.printf "%a@." Epic.Sim.pp_stats r.Epic.Sim.stats

@@ -1,0 +1,76 @@
+(* epicd: compile-and-simulate as a service.  A long-running daemon
+   accepting newline-delimited JSON requests — compile, simulate,
+   fault-campaign, fuzz-batch, explore-slice, stats, shutdown — over a
+   Unix socket (--socket) or stdin/stdout (the default pipe mode, one
+   daemon per client, convenient under a supervisor or in CI).
+
+   Requests fan out over the Epic_exec domain pool; responses come back
+   in request order and are byte-identical for every --jobs value.  With
+   --cache-dir, results are served from a persistent on-disk artifact
+   cache keyed by configuration fingerprint x source digest x request
+   parameters, so a campaign replayed tomorrow — or by the next daemon —
+   hits disk instead of the compiler.
+
+   On exit the daemon prints a JSON summary (request counts, latency
+   percentiles, queue depth, cache traffic) to stderr; the same numbers
+   are available live through a {"op": "stats"} request. *)
+
+open Cmdliner
+
+let run socket cache_dir cache_entries batch_max jobs =
+  Cli_common.handle_errors @@ fun () ->
+  let store =
+    Option.map
+      (fun dir -> Epic_serve.Store.open_ ?max_entries:cache_entries dir)
+      cache_dir
+  in
+  let t = Epic_serve.Server.create ~jobs ~batch_max ?store () in
+  let stop =
+    match socket with
+    | Some path ->
+      Printf.eprintf "epicd: listening on %s (%d domain(s))\n%!" path jobs;
+      Epic_serve.Server.run_socket t ~path
+    | None -> Epic_serve.Server.run_pipe t ~in_fd:Unix.stdin ~out:stdout
+  in
+  ignore (stop : Epic_serve.Server.stop);
+  (* The shutdown summary goes to stderr, like every campaign tool's
+     statistics: stdout carries only responses. *)
+  Printf.eprintf "%s\n"
+    (Epic.Profile.Json.to_string (Epic_serve.Server.summary_json t))
+
+let cmd =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix domain socket instead of stdin/stdout. \
+                 Connections are served one at a time; a shutdown request \
+                 stops the daemon.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent artifact cache directory.  Results are keyed by \
+                 configuration fingerprint, source digest and request \
+                 parameters; entries survive restarts and are invalidated \
+                 wholesale on a format-version bump.")
+  in
+  let cache_entries =
+    Arg.(value & opt (some int) None
+         & info [ "cache-entries" ] ~docv:"N"
+           ~doc:"Cap the artifact cache at $(docv) entries; the oldest \
+                 entries are evicted beyond it (default: unlimited).")
+  in
+  let batch_max =
+    Arg.(value & opt int 64
+         & info [ "batch-max" ] ~docv:"N"
+           ~doc:"Dispatch at most $(docv) queued requests to the domain pool \
+                 at once.")
+  in
+  Cmd.v
+    (Cmd.info "epicd"
+       ~doc:"Serve EPIC compile-and-simulate requests over newline-delimited \
+             JSON")
+    Term.(const run $ socket $ cache_dir $ cache_entries $ batch_max
+          $ Cli_common.jobs_term)
+
+let () = exit (Cmd.eval cmd)

@@ -32,17 +32,11 @@ let run input cfg no_pred seed runs targets fuel_factor json with_faults
       ~pipeline ()
   in
   Cli_common.report_pipeline pipeline a.Epic.Toolchain.ea_report;
-  let t0 = Epic.Exec.now () in
   let rp =
-    Epic.Toolchain.fault_campaign ~seed ~runs ~targets ~fuel_factor ~jobs a
+    Cli_common.campaign ~label:"epicfault" ~jobs ~tasks:Epic.Fault.total_runs
+      (fun () ->
+        Epic.Toolchain.fault_campaign ~seed ~runs ~targets ~fuel_factor ~jobs a)
   in
-  (* Wall-time goes to stderr: stdout (table or JSON) stays byte-identical
-     across --jobs values. *)
-  Format.eprintf "%a@."
-    Epic.Exec.pp_campaign_stats
-    { Epic.Exec.cs_label = "epicfault"; cs_jobs = jobs;
-      cs_tasks = Epic.Fault.total_runs rp;
-      cs_wall_s = Epic.Exec.now () -. t0; cs_caches = [] };
   if json then
     print_endline
       (Epic.Profile.Json.to_string

@@ -1,0 +1,327 @@
+(* epicload: load generator and SLO gate for the epicd daemon.
+
+   Builds a deterministic request scenario (3 workloads x 3
+   configurations of compiles, plus simulate / fault-campaign /
+   explore-slice traffic in the mixed and bursty scenarios), replays it
+   for --passes passes against one of three transports —
+
+     in-process (default)   a fresh Epic_serve.Server per pass, the
+                            cheapest harness and the restart test: each
+                            pass re-opens the artifact cache directory
+     --epicd BIN            spawn the real daemon binary in pipe mode,
+                            once per pass
+     --connect SOCK         drive an already-running socket daemon
+
+   — and then asserts the service-level objectives: every work request
+   succeeded, the responses of later passes are byte-identical to the
+   first (the protocol's determinism guarantee), the p95 latency
+   reported by the daemon is within --slo-p95-ms, and, when an artifact
+   cache is in play, the disk hit rate of every pass after the first
+   reaches --expect-hit-rate (default 0.9).  Exit status 1 on any
+   violated objective, so CI can gate on it directly. *)
+
+open Cmdliner
+module P = Epic_serve.Protocol
+module J = Epic.Profile.Json
+
+(* The handwritten-assembly example's gcd program: exercises the
+   simulate (assemble-and-run) path without touching the compiler. *)
+let gcd_asm =
+  ";; gcd(r12, r13) by repeated remainder, result in r3\n\
+   _start:\n\
+   { MOV r1, #4096 ; MOV r12, #1071 ; MOV r13, #462 ; PBRR b0, @loop }\n\
+   loop:\n\
+   { CMPP.NE p1, p2, r13, #0 ; PBRR b1, @done }\n\
+   { BRCT #1, #2 }\n\
+   { REM r14, r12, r13 }\n\
+   { MOV r12, r13 ; MOV r13, r14 }\n\
+   { BRU #0 }\n\
+   done:\n\
+   { MOV r3, r12 }\n\
+   { STW r1, #2, r3 }\n\
+   { HALT }\n"
+
+let wl name params =
+  P.Src_workload { P.wl_name = name; wl_params = List.sort compare params }
+
+let workloads =
+  [ wl "sha" [ ("bytes", 64) ];
+    wl "dct" [ ("width", 8); ("height", 8) ];
+    wl "dijkstra" [ ("nodes", 6) ] ]
+
+let configs =
+  List.map
+    (fun n -> { Epic.Config.default with Epic.Config.n_alus = n })
+    [ 2; 3; 4 ]
+
+let compile ?(opt = Epic.Toolchain.O1) cfg src =
+  P.Compile
+    { P.c_config = cfg; c_source = src; c_opt = opt; c_predication = true;
+      c_unroll = Epic.Toolchain.default_unroll; c_fuel = None }
+
+(* 3 workloads x 3 configurations, the acceptance batch. *)
+let compile_grid = List.concat_map (fun c -> List.map (compile c) workloads) configs
+
+let extras =
+  [ P.Simulate
+      { P.s_config = Epic.Config.default; s_asm = gcd_asm; s_fuel = None;
+        s_mem_bytes = 65536 };
+    P.Fault_campaign
+      { P.fc_config = Epic.Config.default; fc_source = wl "sha" [ ("bytes", 64) ];
+        fc_seed = 1; fc_runs = 4; fc_targets = Epic.Fault.all_targets;
+        fc_fuel_factor = 4 };
+    P.Explore_slice
+      { P.ex_source = wl "dijkstra" [ ("nodes", 6) ]; ex_alus = [ 1; 2 ];
+        ex_issues = [ 4 ] } ]
+
+(* Interleave a stats barrier every [n] requests: forces small batches,
+   the bursty-arrival shape. *)
+let burstify n ops =
+  List.concat
+    (List.mapi
+       (fun i op -> if i > 0 && i mod n = 0 then [ P.Stats; op ] else [ op ])
+       ops)
+
+let scenario_ops = function
+  | "mixed" -> compile_grid @ extras
+  | "bursty" -> burstify 4 (compile_grid @ extras)
+  | "compile-heavy" ->
+    List.concat_map
+      (fun c ->
+        List.concat_map
+          (fun w -> [ compile ~opt:Epic.Toolchain.O0 c w; compile c w ])
+          workloads)
+      configs
+  | s ->
+    failwith
+      (Printf.sprintf
+         "unknown scenario %S (expected mixed, bursty, compile-heavy)" s)
+
+(* ------------------------------------------------------------------ *)
+(* Transports: each runs one pass (a list of request lines) and returns
+   the response lines, in request order. *)
+
+let pass_in_process ~jobs ~cache_dir lines =
+  let store = Option.map Epic_serve.Store.open_ cache_dir in
+  let t = Epic_serve.Server.create ~jobs ?store () in
+  Epic_serve.Server.serve_strings t lines
+
+(* Spawn the daemon binary in pipe mode.  The scenario is a few KB of
+   requests — far below the pipe buffer — so writing it whole before
+   draining responses cannot deadlock. *)
+let pass_spawn ~jobs ~cache_dir bin lines =
+  let args =
+    [ bin; "--jobs"; string_of_int jobs ]
+    @ (match cache_dir with None -> [] | Some d -> [ "--cache-dir"; d ])
+  in
+  (* cloexec, so the daemon inherits only the dup2'd stdin/stdout: were
+     it to keep a copy of req_w, it would never see EOF on its input. *)
+  let req_r, req_w = Unix.pipe ~cloexec:true () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+  let pid = Unix.create_process bin (Array.of_list args) req_r resp_w Unix.stderr in
+  Unix.close req_r;
+  Unix.close resp_w;
+  let oc = Unix.out_channel_of_descr req_w in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr resp_r in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = read [] in
+  close_in ic;
+  (match Unix.waitpid [] pid with
+   | _, Unix.WEXITED 0 -> ()
+   | _, st ->
+     let what =
+       match st with
+       | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+       | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+       | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+     in
+     failwith (Printf.sprintf "epicd %s" what));
+  responses
+
+let pass_connect path lines =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  let oc = Unix.out_channel_of_descr sock in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+  flush oc;
+  Unix.shutdown sock Unix.SHUTDOWN_SEND;
+  let ic = Unix.in_channel_of_descr sock in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = read [] in
+  (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+  responses
+
+(* ------------------------------------------------------------------ *)
+(* Stats-response probing *)
+
+let mem path j =
+  List.fold_left (fun j k -> Option.bind j (J.member k)) (Some j) path
+
+let as_num = function
+  | Some (J.Int i) -> Some (float_of_int i)
+  | Some (J.Float f) -> Some f
+  | _ -> None
+
+let parse_stats line =
+  match J.parse line with
+  | Error e -> failwith (Printf.sprintf "unparseable stats response: %s" e)
+  | Ok j ->
+    let num path = as_num (mem path j) in
+    ( num [ "result"; "latency"; "p95_ms" ],
+      num [ "result"; "disk_cache"; "hits" ],
+      num [ "result"; "disk_cache"; "misses" ] )
+
+(* ------------------------------------------------------------------ *)
+
+(* Option.bind with the arguments in reading order. *)
+let ( =<< ) f x = Option.bind x f
+
+let run scenario passes cache_dir epicd_bin connect slo_p95 expect_hit jobs =
+  Cli_common.handle_errors @@ fun () ->
+  if passes < 1 then failwith "--passes must be >= 1";
+  if epicd_bin <> None && connect <> None then
+    failwith "--epicd and --connect are mutually exclusive";
+  let ops = scenario_ops scenario @ [ P.Stats ] in
+  let reqs = List.mapi (fun i op -> { P.rq_id = Some i; rq_op = op }) ops in
+  let lines = List.map P.to_line reqs in
+  let control =
+    List.map (fun r -> P.is_control r.P.rq_op) reqs
+  in
+  let run_pass () =
+    match (epicd_bin, connect) with
+    | Some bin, _ -> pass_spawn ~jobs ~cache_dir bin lines
+    | None, Some path -> pass_connect path lines
+    | None, None -> pass_in_process ~jobs ~cache_dir lines
+  in
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun m -> failures := m :: !failures) fmt in
+  let work_of responses =
+    (* Responses arrive in request order, so the control mask applies
+       positionally. *)
+    if List.length responses <> List.length control then
+      fail "expected %d responses, got %d" (List.length control)
+        (List.length responses);
+    List.filteri
+      (fun i _ -> not (try List.nth control i with _ -> true))
+      responses
+  in
+  let baseline = ref [] in
+  (* In connect mode the daemon survives across passes, so its stats
+     counters are cumulative: track the previous pass's disk totals and
+     assert on the delta. *)
+  let prev_disk = ref (0., 0.) in
+  for pass = 1 to passes do
+    let t0 = Epic.Exec.now () in
+    let responses = run_pass () in
+    let wall = Epic.Exec.now () -. t0 in
+    let work = work_of responses in
+    List.iteri
+      (fun i line ->
+        match J.member "ok" =<< Result.to_option (J.parse line) with
+        | Some (J.Bool true) -> ()
+        | _ -> fail "pass %d: work response %d not ok: %s" pass i line)
+      work;
+    let p95, hits, misses =
+      match List.rev responses with
+      | last :: _ -> parse_stats last
+      | [] -> (None, None, None)
+    in
+    (match p95 with
+     | Some v when v > slo_p95 ->
+       fail "pass %d: p95 latency %.1f ms exceeds SLO of %.1f ms" pass v slo_p95
+     | _ -> ());
+    let hit_rate =
+      match (hits, misses) with
+      | Some h, Some m ->
+        let ph, pm = !prev_disk in
+        if connect <> None then prev_disk := (h, m);
+        let dh, dm = (h -. ph, m -. pm) in
+        if dh +. dm > 0. then Some (dh /. (dh +. dm)) else None
+      | _ -> None
+    in
+    (match hit_rate with
+     | Some r when pass > 1 && r < expect_hit ->
+       fail "pass %d: disk hit rate %.0f%% below expected %.0f%%" pass
+         (100. *. r) (100. *. expect_hit)
+     | _ -> ());
+    if pass = 1 then baseline := work
+    else if work <> !baseline then
+      fail "pass %d: responses differ from pass 1 (determinism violation)" pass;
+    Printf.printf "pass %d: %d responses in %.2f s%s%s\n%!" pass
+      (List.length responses) wall
+      (match p95 with
+       | Some v -> Printf.sprintf ", p95 %.1f ms" v
+       | None -> "")
+      (match hit_rate with
+       | Some r -> Printf.sprintf ", disk hit rate %.0f%%" (100. *. r)
+       | None -> "")
+  done;
+  match List.rev !failures with
+  | [] ->
+    Printf.printf "epicload: %s x%d OK (%d requests per pass)\n" scenario
+      passes (List.length lines)
+  | fs ->
+    List.iter (Printf.eprintf "epicload: FAIL: %s\n") fs;
+    exit 1
+
+let cmd =
+  let scenario =
+    Arg.(value & opt string "mixed"
+         & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Traffic shape: mixed (compile grid + simulate, \
+                 fault-campaign, explore-slice), bursty (mixed with stats \
+                 barriers every 4 requests), or compile-heavy.")
+  in
+  let passes =
+    Arg.(value & opt int 2
+         & info [ "passes" ] ~docv:"N"
+           ~doc:"Replay the scenario $(docv) times; passes after the first \
+                 must be byte-identical and (with a cache) mostly disk hits.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Artifact cache directory for in-process and --epicd modes \
+                 (re-opened by each pass: the restart test).")
+  in
+  let epicd_bin =
+    Arg.(value & opt (some string) None
+         & info [ "epicd" ] ~docv:"BIN"
+           ~doc:"Spawn this epicd binary in pipe mode, once per pass, \
+                 instead of serving in-process.")
+  in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"SOCKET"
+           ~doc:"Drive an already-running daemon over its Unix socket.")
+  in
+  let slo =
+    Arg.(value & opt float 30000.
+         & info [ "slo-p95-ms" ] ~docv:"MS"
+           ~doc:"Fail if the daemon reports a p95 request latency above \
+                 $(docv) milliseconds.")
+  in
+  let expect_hit =
+    Arg.(value & opt float 0.9
+         & info [ "expect-hit-rate" ] ~docv:"R"
+           ~doc:"Minimum disk-cache hit rate (0-1) required of every pass \
+                 after the first.")
+  in
+  Cmd.v
+    (Cmd.info "epicload"
+       ~doc:"Generate load against epicd and assert its service-level \
+             objectives")
+    Term.(const run $ scenario $ passes $ cache_dir $ epicd_bin $ connect
+          $ slo $ expect_hit $ Cli_common.jobs_term)
+
+let () = exit (Cmd.eval cmd)

@@ -33,7 +33,7 @@ let run input cfg no_pred compare_arm verbose trace profile fuel pipeline =
        (Format.asprintf "%a" Epic.Sim.pp_trap t);
      Printf.printf "r3 at trap: %d (0x%08x)\n" r.Epic.Sim.ret r.Epic.Sim.ret;
      Format.printf "partial statistics:@.%a@." Epic.Sim.pp_stats r.Epic.Sim.stats;
-     exit (match t.Epic.Sim.tr_cause with Epic.Sim.T_fuel -> 3 | _ -> 2)
+     exit (Cli_common.trap_exit_code t)
    | None -> ());
   Printf.printf "EPIC (%d ALUs, %d-issue, %.1f MHz): returned %d (0x%08x)\n"
     cfg.Epic.Config.n_alus cfg.Epic.Config.issue_width

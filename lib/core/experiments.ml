@@ -423,3 +423,42 @@ let inject_faults ?(jobs = 1) ?cache ?(sizes = default_sizes)
              (bm.Sources.bm_expected land 0xFFFFFFFF));
       { af_name = bm.Sources.bm_name; af_alus = n; af_report = rp })
     grid
+
+(* ------------------------------------------------------------------ *)
+(* Host throughput probe: how many simulated cycles per second this
+   machine sustains.  A small fixed workload (SHA over 64 bytes, 4 ALUs)
+   is compiled once and re-simulated until the wall-clock budget runs
+   out.  The number is machine-dependent by design — it belongs in the
+   bench JSON's meta section, never in a determinism comparison. *)
+
+type sim_rate = {
+  sr_runs : int;
+  sr_cycles : int;
+  sr_wall_s : float;
+  sr_cycles_per_s : float;
+}
+
+let sim_rate ?(budget_s = 0.25) () =
+  let bm = Sources.sha_benchmark ~bytes:64 () in
+  let cfg = Config.with_alus 4 in
+  let a = T.compile_epic cfg ~source:bm.Sources.bm_source () in
+  let cycles = (T.run_epic a).Epic_sim.stats.Epic_sim.cycles in  (* warm-up *)
+  let t0 = Epic_exec.now () in
+  let rec loop runs total =
+    let wall = Epic_exec.now () -. t0 in
+    if wall >= budget_s && runs > 0 then (runs, total, wall)
+    else
+      loop (runs + 1)
+        (total + (T.run_epic a).Epic_sim.stats.Epic_sim.cycles)
+  in
+  let runs, total, wall = loop 0 0 in
+  { sr_runs = runs; sr_cycles = cycles; sr_wall_s = wall;
+    sr_cycles_per_s =
+      (if wall > 0. then float_of_int total /. wall else 0.) }
+
+let sim_rate_to_json r =
+  Epic_profile.Json.Obj
+    [ ("runs", Epic_profile.Json.Int r.sr_runs);
+      ("cycles_per_run", Epic_profile.Json.Int r.sr_cycles);
+      ("wall_s", Epic_profile.Json.Float r.sr_wall_s);
+      ("cycles_per_s", Epic_profile.Json.Float r.sr_cycles_per_s) ]

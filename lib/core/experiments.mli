@@ -160,3 +160,18 @@ val inject_faults :
     [jobs] (default 1) evaluates the (workload x ALU-count) grid points
     concurrently; the AVF rows are identical for every [jobs] value.
     @raise Failure on a checksum mismatch. *)
+
+type sim_rate = {
+  sr_runs : int;             (** Simulations completed within the budget. *)
+  sr_cycles : int;           (** Simulated cycles per run. *)
+  sr_wall_s : float;
+  sr_cycles_per_s : float;   (** Host throughput: simulated cycles / second. *)
+}
+
+val sim_rate : ?budget_s:float -> unit -> sim_rate
+(** Host-side simulator throughput probe: compile a small fixed workload
+    (SHA/64B, 4 ALUs) once, then re-simulate until [budget_s] (default
+    0.25 s) of wall clock has elapsed.  Machine-dependent by design;
+    reported in [bench --json]'s meta section. *)
+
+val sim_rate_to_json : sim_rate -> Epic_profile.Json.t

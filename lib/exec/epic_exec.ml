@@ -132,6 +132,18 @@ module Cache = struct
     t.misses <- 0;
     Mutex.unlock t.mutex
 
+  let snapshot = stats
+
+  let reset_stats t =
+    Mutex.lock t.mutex;
+    t.hits <- 0;
+    t.misses <- 0;
+    Mutex.unlock t.mutex
+
+  let hit_rate (s : stats) =
+    let total = s.hits + s.misses in
+    if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+
   let stats_to_json (s : stats) =
     Json.Obj [ ("hits", Json.Int s.hits); ("misses", Json.Int s.misses) ]
 end
@@ -159,6 +171,21 @@ let pp_campaign_stats ppf cs =
       Format.fprintf ppf "; %s %d/%d hits" name s.Cache.hits
         (s.Cache.hits + s.Cache.misses))
     cs.cs_caches
+
+(* The stats-on-stderr convention in one place: stdout stays
+   byte-identical across --jobs values; wall time and cache traffic go
+   to stderr.  Cache counters are read after [f] so a campaign's own
+   compiles are included. *)
+let run_campaign ?(quiet = false) ~label ~jobs ?caches ~tasks f =
+  let t0 = now () in
+  let result = f () in
+  let cs =
+    { cs_label = label; cs_jobs = jobs; cs_tasks = tasks result;
+      cs_wall_s = now () -. t0;
+      cs_caches = (match caches with None -> [] | Some g -> g ()) }
+  in
+  if not quiet then Format.eprintf "%a@." pp_campaign_stats cs;
+  (result, cs)
 
 let campaign_stats_to_json cs =
   Json.Obj

@@ -67,6 +67,19 @@ module Cache : sig
   val reset : 'a t -> unit
   (** Drop every entry and zero the counters. *)
 
+  val snapshot : 'a t -> stats
+  (** Atomic read of the hit/miss counters (alias of {!stats}, named for
+      observation points: the serving daemon and the tests take
+      snapshots before and after a batch and diff them, never peeking at
+      internals). *)
+
+  val reset_stats : 'a t -> unit
+  (** Zero the hit/miss counters but keep every cached entry — the
+      warm-cache observation primitive: reset, replay, snapshot. *)
+
+  val hit_rate : stats -> float
+  (** [hits / (hits + misses)]; [0.] when no traffic was recorded. *)
+
   val stats_to_json : stats -> Epic_profile.Json.t
 end
 
@@ -91,3 +104,18 @@ val pp_campaign_stats : Format.formatter -> campaign_stats -> unit
 (** One line: label, tasks, jobs, wall time, cache hit rates. *)
 
 val campaign_stats_to_json : campaign_stats -> Epic_profile.Json.t
+
+val run_campaign :
+  ?quiet:bool ->
+  label:string ->
+  jobs:int ->
+  ?caches:(unit -> (string * Cache.stats) list) ->
+  tasks:('a -> int) ->
+  (unit -> 'a) ->
+  'a * campaign_stats
+(** The campaign convention shared by every CLI and the bench harness:
+    time [f ()] on the wall clock, read the cache counters {e after} it
+    finishes ([caches], default none), derive the task count from the
+    result, and — unless [quiet] — print the one-line
+    {!pp_campaign_stats} summary to {b stderr}, so stdout stays
+    byte-identical across [--jobs] values. *)

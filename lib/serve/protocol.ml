@@ -1,0 +1,555 @@
+(* Wire protocol of the epicd daemon: newline-delimited JSON.
+
+   Every request is one JSON object on one line:
+
+     {"id": 7, "op": "compile", "config": {"alus": 2}, "workload": {"name": "sha", "bytes": 64}}
+
+   and every response is one JSON object on one line, in request order:
+
+     {"id": 7, "ok": true, "result": {...}}
+     {"id": 7, "ok": false, "error": {"code": "serve/config", "message": "..."}}
+
+   Work requests — compile, simulate, fault-campaign, fuzz-batch,
+   explore-slice — are deterministic functions of their payload, which is
+   what makes their serialised results cacheable on disk ({!Store}): the
+   cache key is the configuration fingerprint x the source digest x every
+   parameter that can change the result, and a hit serves byte-identical
+   bytes.  Control requests — stats, shutdown — are answered immediately
+   and never cached.
+
+   Parsing is strict: unknown operations, unknown fields and ill-typed
+   values are structured {!Epic.Diag} errors (codes [serve/*]), so a
+   malformed client is told exactly which field is wrong. *)
+
+module J = Epic.Profile.Json
+module Config = Epic.Config
+module Diag = Epic.Diag
+
+(* ------------------------------------------------------------------ *)
+(* Request types *)
+
+type workload = {
+  wl_name : string;                  (* sha | aes | dct | dijkstra *)
+  wl_params : (string * int) list;   (* size parameters, sorted by name *)
+}
+
+(* Program text, given inline or named from the built-in benchmark suite
+   (resolved by {!resolve_source}; small requests, shared corpus). *)
+type source_spec = Src_text of string | Src_workload of workload
+
+type compile_req = {
+  c_config : Config.t;
+  c_source : source_spec;
+  c_opt : Epic.Toolchain.opt_level;
+  c_predication : bool;
+  c_unroll : int;
+  c_fuel : int option;
+}
+
+type simulate_req = {
+  s_config : Config.t;
+  s_asm : string;
+  s_fuel : int option;
+  s_mem_bytes : int;
+}
+
+type fault_req = {
+  fc_config : Config.t;
+  fc_source : source_spec;
+  fc_seed : int;
+  fc_runs : int;
+  fc_targets : Epic.Fault.target list;
+  fc_fuel_factor : int;
+}
+
+type fuzz_req = {
+  fz_seed : int;
+  fz_cases : int;
+  fz_kinds : Epic.Difftest.kind list;
+  fz_shrink : bool;
+}
+
+type explore_req = {
+  ex_source : source_spec;
+  ex_alus : int list;
+  ex_issues : int list;
+}
+
+type op =
+  | Compile of compile_req
+  | Simulate of simulate_req
+  | Fault_campaign of fault_req
+  | Fuzz_batch of fuzz_req
+  | Explore_slice of explore_req
+  | Stats
+  | Shutdown
+
+type request = { rq_id : int option; rq_op : op }
+
+let op_name = function
+  | Compile _ -> "compile"
+  | Simulate _ -> "simulate"
+  | Fault_campaign _ -> "fault-campaign"
+  | Fuzz_batch _ -> "fuzz-batch"
+  | Explore_slice _ -> "explore-slice"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let is_control = function Stats | Shutdown -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Workload resolution *)
+
+exception Bad of Diag.t
+
+let badf ?context ~code fmt =
+  Format.kasprintf (fun m -> raise (Bad (Diag.v ?context ~code m))) fmt
+
+let wl_param w name default = Option.value ~default (List.assoc_opt name w.wl_params)
+
+let resolve_workload w =
+  let module S = Epic.Workloads.Sources in
+  let only allowed =
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k allowed) then
+          badf ~code:"serve/workload"
+            "workload %s does not take parameter %S" w.wl_name k)
+      w.wl_params
+  in
+  match w.wl_name with
+  | "sha" ->
+    only [ "bytes" ];
+    (S.sha_benchmark ~bytes:(wl_param w "bytes" 64) ()).S.bm_source
+  | "aes" ->
+    only [ "iters" ];
+    (S.aes_benchmark ~iters:(wl_param w "iters" 1) ()).S.bm_source
+  | "dct" ->
+    only [ "width"; "height" ];
+    (S.dct_benchmark ~width:(wl_param w "width" 8)
+       ~height:(wl_param w "height" 8) ()).S.bm_source
+  | "dijkstra" ->
+    only [ "nodes" ];
+    (S.dijkstra_benchmark ~nodes:(wl_param w "nodes" 6) ()).S.bm_source
+  | name ->
+    badf ~code:"serve/workload"
+      "unknown workload %S (expected sha, aes, dct, dijkstra)" name
+
+let resolve_source = function
+  | Src_text s -> s
+  | Src_workload w -> resolve_workload w
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers *)
+
+let as_int ~where = function
+  | J.Int i -> i
+  | _ -> badf ~code:"serve/request" "%s: expected an integer" where
+
+let as_bool ~where = function
+  | J.Bool b -> b
+  | _ -> badf ~code:"serve/request" "%s: expected a boolean" where
+
+let as_str ~where = function
+  | J.Str s -> s
+  | _ -> badf ~code:"serve/request" "%s: expected a string" where
+
+let as_obj ~where = function
+  | J.Obj fields -> fields
+  | _ -> badf ~code:"serve/request" "%s: expected an object" where
+
+let as_int_list ~where = function
+  | J.List l -> List.map (as_int ~where) l
+  | _ -> badf ~code:"serve/request" "%s: expected a list of integers" where
+
+let as_str_list ~where = function
+  | J.List l -> List.map (as_str ~where) l
+  | _ -> badf ~code:"serve/request" "%s: expected a list of strings" where
+
+(* Field cursor over one object: lookups mark fields as consumed, and
+   [finish] rejects any leftovers — the strictness that turns a typo into
+   a diagnostic instead of a silently ignored option. *)
+type cursor = { cu_where : string; mutable cu_fields : (string * J.t) list }
+
+let cursor ~where j = { cu_where = where; cu_fields = as_obj ~where j }
+
+let take cu name =
+  match List.assoc_opt name cu.cu_fields with
+  | None -> None
+  | Some v ->
+    cu.cu_fields <- List.remove_assoc name cu.cu_fields;
+    Some v
+
+let take_default cu name conv default =
+  match take cu name with
+  | None -> default
+  | Some v -> conv ~where:(cu.cu_where ^ "." ^ name) v
+
+let finish cu =
+  match cu.cu_fields with
+  | [] -> ()
+  | (name, _) :: _ ->
+    badf ~code:"serve/request" "%s: unknown field %S" cu.cu_where name
+
+(* ------------------------------------------------------------------ *)
+(* Config parsing: a delta over the default configuration header. *)
+
+let config_of_cursor cu =
+  match take cu "config" with
+  | None -> Config.default
+  | Some j ->
+    let c = cursor ~where:"config" j in
+    let cfg =
+      { Config.default with
+        Config.n_alus = take_default c "alus" as_int Config.default.Config.n_alus;
+        n_gprs = take_default c "gprs" as_int Config.default.Config.n_gprs;
+        n_preds = take_default c "preds" as_int Config.default.Config.n_preds;
+        n_btrs = take_default c "btrs" as_int Config.default.Config.n_btrs;
+        issue_width =
+          take_default c "issue" as_int Config.default.Config.issue_width;
+        width = take_default c "width" as_int Config.default.Config.width;
+        rf_port_budget =
+          take_default c "rf_ports" as_int Config.default.Config.rf_port_budget;
+        forwarding =
+          take_default c "forwarding" as_bool Config.default.Config.forwarding;
+        pipeline_stages =
+          take_default c "stages" as_int Config.default.Config.pipeline_stages }
+    in
+    let omits = take_default c "omit" as_str_list [] in
+    let cfg =
+      List.fold_left
+        (fun cfg o ->
+          match Epic.Isa.opcode_of_string (String.uppercase_ascii o) with
+          | Some op -> { cfg with Config.alu_omit = op :: cfg.Config.alu_omit }
+          | None -> badf ~code:"serve/config" "config.omit: unknown operation %S" o)
+        cfg omits
+    in
+    let customs = take_default c "custom" as_str_list [] in
+    let cfg =
+      List.fold_left
+        (fun cfg name ->
+          match Config.registry_find (String.uppercase_ascii name) with
+          | Some _ -> Config.add_custom cfg (String.uppercase_ascii name)
+          | None ->
+            badf ~code:"serve/config" "config.custom: unknown custom operation %S"
+              name)
+        cfg customs
+    in
+    finish c;
+    (match Config.validate cfg with
+     | Ok () -> cfg
+     | Error ds ->
+       raise (Bad (Diag.v ~code:"serve/config" (Diag.to_string_list ds))))
+
+let source_of_cursor cu =
+  match (take cu "source", take cu "workload") with
+  | Some _, Some _ ->
+    badf ~code:"serve/request" "give either \"source\" or \"workload\", not both"
+  | Some j, None -> Src_text (as_str ~where:"source" j)
+  | None, Some j ->
+    let c = cursor ~where:"workload" j in
+    let name =
+      match take c "name" with
+      | Some j -> as_str ~where:"workload.name" j
+      | None -> badf ~code:"serve/request" "workload: missing \"name\""
+    in
+    let params =
+      List.map
+        (fun (k, v) -> (k, as_int ~where:("workload." ^ k) v))
+        c.cu_fields
+    in
+    c.cu_fields <- [];
+    Src_workload { wl_name = name; wl_params = List.sort compare params }
+  | None, None ->
+    badf ~code:"serve/request" "missing program: give \"source\" or \"workload\""
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing *)
+
+let opt_of_string = function
+  | "O0" -> Epic.Toolchain.O0
+  | "O1" -> Epic.Toolchain.O1
+  | s -> badf ~code:"serve/request" "opt: expected \"O0\" or \"O1\", got %S" s
+
+let string_of_opt = function Epic.Toolchain.O0 -> "O0" | Epic.Toolchain.O1 -> "O1"
+
+let targets_of_cursor cu =
+  match take cu "targets" with
+  | None -> Epic.Fault.all_targets
+  | Some j ->
+    List.map
+      (fun s ->
+        match Epic.Fault.target_of_string s with
+        | Some t -> t
+        | None ->
+          badf ~code:"serve/request"
+            "targets: unknown structure %S (expected gpr, pred, btr, mem, inst)" s)
+      (as_str_list ~where:"targets" j)
+
+let kinds_of_cursor cu =
+  match take cu "kinds" with
+  | None -> Epic.Difftest.default_kinds
+  | Some j ->
+    List.map
+      (fun s ->
+        match s with
+        | "mir" -> Epic.Difftest.K_mir
+        | "asm" -> Epic.Difftest.K_asm
+        | "enc" -> Epic.Difftest.K_enc
+        | k ->
+          badf ~code:"serve/request"
+            "kinds: unknown case kind %S (expected mir, asm, enc)" k)
+      (as_str_list ~where:"kinds" j)
+
+let op_of_cursor cu name =
+  match name with
+  | "compile" ->
+    let cfg = config_of_cursor cu in
+    let src = source_of_cursor cu in
+    let r =
+      { c_config = cfg; c_source = src;
+        c_opt = take_default cu "opt"
+            (fun ~where j -> opt_of_string (as_str ~where j))
+            Epic.Toolchain.O1;
+        c_predication = take_default cu "predication" as_bool true;
+        c_unroll = take_default cu "unroll" as_int Epic.Toolchain.default_unroll;
+        c_fuel = Option.map (as_int ~where:"fuel") (take cu "fuel") }
+    in
+    Compile r
+  | "simulate" ->
+    let cfg = config_of_cursor cu in
+    let asm =
+      match take cu "asm" with
+      | Some j -> as_str ~where:"asm" j
+      | None -> badf ~code:"serve/request" "simulate: missing \"asm\""
+    in
+    Simulate
+      { s_config = cfg; s_asm = asm;
+        s_fuel = Option.map (as_int ~where:"fuel") (take cu "fuel");
+        s_mem_bytes = take_default cu "mem_bytes" as_int 65536 }
+  | "fault-campaign" ->
+    let cfg = config_of_cursor cu in
+    let src = source_of_cursor cu in
+    Fault_campaign
+      { fc_config = cfg; fc_source = src;
+        fc_seed = take_default cu "seed" as_int 1;
+        fc_runs = take_default cu "runs" as_int 8;
+        fc_targets = targets_of_cursor cu;
+        fc_fuel_factor = take_default cu "fuel_factor" as_int 4 }
+  | "fuzz-batch" ->
+    Fuzz_batch
+      { fz_seed = take_default cu "seed" as_int 0;
+        fz_cases = take_default cu "cases" as_int 100;
+        fz_kinds = kinds_of_cursor cu;
+        fz_shrink = take_default cu "shrink" as_bool true }
+  | "explore-slice" ->
+    let src = source_of_cursor cu in
+    Explore_slice
+      { ex_source = src;
+        ex_alus = take_default cu "alus" as_int_list [ 1; 2; 3; 4 ];
+        ex_issues = take_default cu "issues" as_int_list [ 4 ] }
+  | "stats" -> Stats
+  | "shutdown" -> Shutdown
+  | name -> badf ~code:"serve/op" "unknown operation %S" name
+
+let request_of_json j =
+  try
+    let cu = cursor ~where:"request" j in
+    let id = Option.map (as_int ~where:"id") (take cu "id") in
+    let name =
+      match take cu "op" with
+      | Some j -> as_str ~where:"op" j
+      | None -> badf ~code:"serve/request" "missing \"op\""
+    in
+    let op = op_of_cursor cu name in
+    finish cu;
+    Ok { rq_id = id; rq_op = op }
+  with Bad d -> Error d
+
+let request_of_line line =
+  match J.parse line with
+  | Error e -> Error (Diag.v ~code:"serve/parse" ("invalid JSON: " ^ e))
+  | Ok j -> request_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Request serialisation (the load generator and the round-trip tests) *)
+
+let json_of_config cfg =
+  let d = Config.default in
+  let delta = ref [] in
+  let int name v dv = if v <> dv then delta := (name, J.Int v) :: !delta in
+  int "stages" cfg.Config.pipeline_stages d.Config.pipeline_stages;
+  if cfg.Config.custom_ops <> [] then
+    delta :=
+      ( "custom",
+        J.List
+          (List.map (fun (c : Config.custom_op) -> J.Str c.Config.cop_name)
+             cfg.Config.custom_ops) )
+      :: !delta;
+  if cfg.Config.alu_omit <> [] then
+    delta :=
+      ( "omit",
+        J.List
+          (List.rev_map (fun o -> J.Str (Epic.Isa.string_of_opcode o))
+             cfg.Config.alu_omit) )
+      :: !delta;
+  if cfg.Config.forwarding <> d.Config.forwarding then
+    delta := ("forwarding", J.Bool cfg.Config.forwarding) :: !delta;
+  int "rf_ports" cfg.Config.rf_port_budget d.Config.rf_port_budget;
+  int "width" cfg.Config.width d.Config.width;
+  int "issue" cfg.Config.issue_width d.Config.issue_width;
+  int "btrs" cfg.Config.n_btrs d.Config.n_btrs;
+  int "preds" cfg.Config.n_preds d.Config.n_preds;
+  int "gprs" cfg.Config.n_gprs d.Config.n_gprs;
+  int "alus" cfg.Config.n_alus d.Config.n_alus;
+  J.Obj !delta
+
+let json_of_source = function
+  | Src_text s -> ("source", J.Str s)
+  | Src_workload w ->
+    ( "workload",
+      J.Obj
+        (("name", J.Str w.wl_name)
+         :: List.map (fun (k, v) -> (k, J.Int v)) w.wl_params) )
+
+let to_json { rq_id; rq_op } =
+  let id = match rq_id with None -> [] | Some i -> [ ("id", J.Int i) ] in
+  let fields =
+    match rq_op with
+    | Compile c ->
+      [ ("op", J.Str "compile"); ("config", json_of_config c.c_config);
+        json_of_source c.c_source; ("opt", J.Str (string_of_opt c.c_opt));
+        ("predication", J.Bool c.c_predication); ("unroll", J.Int c.c_unroll) ]
+      @ (match c.c_fuel with None -> [] | Some f -> [ ("fuel", J.Int f) ])
+    | Simulate s ->
+      [ ("op", J.Str "simulate"); ("config", json_of_config s.s_config);
+        ("asm", J.Str s.s_asm); ("mem_bytes", J.Int s.s_mem_bytes) ]
+      @ (match s.s_fuel with None -> [] | Some f -> [ ("fuel", J.Int f) ])
+    | Fault_campaign f ->
+      [ ("op", J.Str "fault-campaign"); ("config", json_of_config f.fc_config);
+        json_of_source f.fc_source; ("seed", J.Int f.fc_seed);
+        ("runs", J.Int f.fc_runs);
+        ( "targets",
+          J.List
+            (List.map (fun t -> J.Str (Epic.Fault.string_of_target t))
+               f.fc_targets) );
+        ("fuel_factor", J.Int f.fc_fuel_factor) ]
+    | Fuzz_batch f ->
+      [ ("op", J.Str "fuzz-batch"); ("seed", J.Int f.fz_seed);
+        ("cases", J.Int f.fz_cases);
+        ( "kinds",
+          J.List
+            (List.map (fun k -> J.Str (Epic.Difftest.string_of_kind k))
+               f.fz_kinds) );
+        ("shrink", J.Bool f.fz_shrink) ]
+    | Explore_slice e ->
+      [ ("op", J.Str "explore-slice"); json_of_source e.ex_source;
+        ("alus", J.List (List.map (fun a -> J.Int a) e.ex_alus));
+        ("issues", J.List (List.map (fun i -> J.Int i) e.ex_issues)) ]
+    | Stats -> [ ("op", J.Str "stats") ]
+    | Shutdown -> [ ("op", J.Str "shutdown") ]
+  in
+  J.Obj (id @ fields)
+
+let to_line r = J.to_string (to_json r)
+
+(* Structural equality for the round-trip tests (configurations compare
+   via {!Epic.Config.equal}, which ignores custom-op closures). *)
+let source_equal a b =
+  match (a, b) with
+  | Src_text x, Src_text y -> x = y
+  | Src_workload x, Src_workload y -> x = y
+  | _ -> false
+
+let op_equal a b =
+  match (a, b) with
+  | Compile x, Compile y ->
+    Config.equal x.c_config y.c_config
+    && source_equal x.c_source y.c_source
+    && x.c_opt = y.c_opt && x.c_predication = y.c_predication
+    && x.c_unroll = y.c_unroll && x.c_fuel = y.c_fuel
+  | Simulate x, Simulate y ->
+    Config.equal x.s_config y.s_config
+    && x.s_asm = y.s_asm && x.s_fuel = y.s_fuel
+    && x.s_mem_bytes = y.s_mem_bytes
+  | Fault_campaign x, Fault_campaign y ->
+    Config.equal x.fc_config y.fc_config
+    && source_equal x.fc_source y.fc_source
+    && x.fc_seed = y.fc_seed && x.fc_runs = y.fc_runs
+    && x.fc_targets = y.fc_targets && x.fc_fuel_factor = y.fc_fuel_factor
+  | Fuzz_batch x, Fuzz_batch y -> x = y
+  | Explore_slice x, Explore_slice y ->
+    source_equal x.ex_source y.ex_source
+    && x.ex_alus = y.ex_alus && x.ex_issues = y.ex_issues
+  | Stats, Stats | Shutdown, Shutdown -> true
+  | _ -> false
+
+let request_equal a b = a.rq_id = b.rq_id && op_equal a.rq_op b.rq_op
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys: every parameter that can change the serialised result.
+   Sources are digested after workload resolution, so an inline source
+   and the workload shorthand that expands to the same text share an
+   entry. *)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let cache_key op =
+  match op with
+  | Stats | Shutdown -> None
+  | Compile c ->
+    Some
+      (Printf.sprintf "compile|%s|src=%s|opt=%s|pred=%b|unroll=%d|fuel=%s"
+         (Config.fingerprint c.c_config)
+         (digest (resolve_source c.c_source))
+         (string_of_opt c.c_opt) c.c_predication c.c_unroll
+         (match c.c_fuel with None -> "-" | Some f -> string_of_int f))
+  | Simulate s ->
+    Some
+      (Printf.sprintf "simulate|%s|asm=%s|mem=%d|fuel=%s"
+         (Config.fingerprint s.s_config) (digest s.s_asm) s.s_mem_bytes
+         (match s.s_fuel with None -> "-" | Some f -> string_of_int f))
+  | Fault_campaign f ->
+    Some
+      (Printf.sprintf "fault|%s|src=%s|seed=%d|runs=%d|targets=%s|ff=%d"
+         (Config.fingerprint f.fc_config)
+         (digest (resolve_source f.fc_source))
+         f.fc_seed f.fc_runs
+         (String.concat ","
+            (List.map Epic.Fault.string_of_target f.fc_targets))
+         f.fc_fuel_factor)
+  | Fuzz_batch f ->
+    Some
+      (Printf.sprintf "fuzz|seed=%d|cases=%d|kinds=%s|shrink=%b" f.fz_seed
+         f.fz_cases
+         (String.concat ","
+            (List.map Epic.Difftest.string_of_kind f.fz_kinds))
+         f.fz_shrink)
+  | Explore_slice e ->
+    Some
+      (Printf.sprintf "explore|src=%s|alus=%s|issues=%s"
+         (digest (resolve_source e.ex_source))
+         (String.concat "," (List.map string_of_int e.ex_alus))
+         (String.concat "," (List.map string_of_int e.ex_issues)))
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let json_of_diag (d : Diag.t) =
+  J.Obj
+    [ ("code", J.Str d.Diag.code);
+      ("message", J.Str d.Diag.message);
+      ("context", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) d.Diag.context)) ]
+
+let id_field = function None -> "null" | Some i -> string_of_int i
+
+(* Responses are assembled around pre-serialised result payloads so a
+   disk-cache hit never re-parses or re-prints: the cached bytes are
+   spliced verbatim, which is what makes replayed responses
+   byte-identical. *)
+let ok_response ~id ~result =
+  Printf.sprintf "{\"id\":%s,\"ok\":true,\"result\":%s}" (id_field id) result
+
+let error_response ~id d =
+  Printf.sprintf "{\"id\":%s,\"ok\":false,\"error\":%s}" (id_field id)
+    (J.to_string (json_of_diag d))

@@ -1,0 +1,463 @@
+(* The epicd serving core: a batching request loop over the Epic_exec
+   domain pool, fronted by the persistent disk cache.
+
+   Requests are read line by line.  Work requests accumulate in a batch
+   while more input is immediately available (or until the batch cap);
+   the batch then fans out across the pool and the responses are emitted
+   in request order — so the response stream is byte-identical for every
+   jobs value, exactly like the campaign CLIs.  Control requests (stats,
+   shutdown) act as barriers: they flush the pending batch, then answer
+   sequentially.
+
+   Work results are served through {!Store.find_or_add} when a disk
+   cache is attached: the cache key is {!Protocol.cache_key}, the cached
+   value is the serialised result payload, and a hit splices those bytes
+   verbatim into the response.  An in-memory {!Epic.Toolchain.Compile_cache}
+   additionally deduplicates compiles inside one process (including
+   between concurrent jobs of one batch). *)
+
+module J = Epic.Profile.Json
+module P = Protocol
+module Diag = Epic.Diag
+
+type t = {
+  jobs : int;
+  batch_max : int;
+  store : Store.t option;
+  cache : Epic.Toolchain.Compile_cache.t;
+  t_start : float;
+  mutable n_ok : int;
+  mutable n_err : int;
+  mutable n_disk_served : int;      (* ok responses spliced from disk *)
+  mutable op_counts : (string * int) list;
+  mutable lat_ms : float list;      (* per work request, service+wait *)
+  mutable q_max : int;              (* deepest batch seen *)
+  mutable batches : int;
+}
+
+let create ?(jobs = Epic.Exec.default_jobs ()) ?(batch_max = 64) ?store () =
+  if jobs < 1 then invalid_arg "Epic_serve.Server.create: jobs must be >= 1";
+  if batch_max < 1 then
+    invalid_arg "Epic_serve.Server.create: batch_max must be >= 1";
+  { jobs; batch_max; store; cache = Epic.Toolchain.Compile_cache.create ();
+    t_start = Epic.Exec.now (); n_ok = 0; n_err = 0; n_disk_served = 0;
+    op_counts = []; lat_ms = []; q_max = 0; batches = 0 }
+
+let store t = t.store
+
+(* ------------------------------------------------------------------ *)
+(* Result payload builders: deterministic functions of the request —
+   never include wall time, cache state or anything machine-dependent,
+   so the serialised payload is cacheable and replays byte-identically. *)
+
+let json_of_trap = function
+  | None -> J.Null
+  | Some (tr : Epic.Sim.trap) ->
+    J.Str (Epic.Sim.string_of_trap_cause tr.Epic.Sim.tr_cause)
+
+let entry_of (image : Epic.Asm.Aunit.image) =
+  match List.assoc_opt "_start" image.Epic.Asm.Aunit.im_symbols with
+  | Some e -> e
+  | None -> 0
+
+let compile_result t (c : P.compile_req) =
+  let source = P.resolve_source c.P.c_source in
+  let a =
+    Epic.Toolchain.compile_epic ~opt:c.P.c_opt ~predication:c.P.c_predication
+      ~unroll:c.P.c_unroll ~cache:t.cache c.P.c_config ~source ()
+  in
+  let r = Epic.Toolchain.run_epic ?fuel:c.P.c_fuel a in
+  let area = Epic.Area.estimate c.P.c_config in
+  J.Obj
+    [ ("ret", J.Int r.Epic.Sim.ret);
+      ("trap", json_of_trap r.Epic.Sim.trap);
+      ("stats", Epic.Profile.stats_to_json r.Epic.Sim.stats);
+      ( "sched",
+        J.Obj
+          [ ("blocks", J.Int a.Epic.Toolchain.ea_sched.Epic.Sched.Sched.st_blocks);
+            ("insts", J.Int a.Epic.Toolchain.ea_sched.Epic.Sched.Sched.st_insts);
+            ("bundles", J.Int a.Epic.Toolchain.ea_sched.Epic.Sched.Sched.st_bundles)
+          ] );
+      ("slices", J.Int area.Epic.Area.slices);
+      ("clock_mhz", J.Float area.Epic.Area.clock_mhz) ]
+
+let simulate_result (s : P.simulate_req) =
+  if s.P.s_mem_bytes <= 0 then
+    Diag.raisef ~code:"serve/request" "simulate: mem_bytes must be positive";
+  let image, _words = Epic.Asm.assemble_text s.P.s_config s.P.s_asm in
+  let mem = Bytes.make s.P.s_mem_bytes '\000' in
+  let r =
+    Epic.Sim.run ?fuel:s.P.s_fuel s.P.s_config ~image ~mem
+      ~entry:(entry_of image) ()
+  in
+  J.Obj
+    [ ("ret", J.Int r.Epic.Sim.ret);
+      ("trap", json_of_trap r.Epic.Sim.trap);
+      ("stats", Epic.Profile.stats_to_json r.Epic.Sim.stats) ]
+
+let fault_result t (f : P.fault_req) =
+  let source = P.resolve_source f.P.fc_source in
+  let a =
+    Epic.Toolchain.compile_epic ~cache:t.cache f.P.fc_config ~source ()
+  in
+  let rp =
+    Epic.Toolchain.fault_campaign ~seed:f.P.fc_seed ~runs:f.P.fc_runs
+      ~targets:f.P.fc_targets ~fuel_factor:f.P.fc_fuel_factor a
+  in
+  Epic.Fault.report_to_json rp
+
+let fuzz_result (f : P.fuzz_req) =
+  let r =
+    Epic.Difftest.fuzz ~jobs:1 ~shrink:f.P.fz_shrink ~kinds:f.P.fz_kinds
+      ~seed:f.P.fz_seed ~cases:f.P.fz_cases ()
+  in
+  J.Obj
+    [ ("cases", J.Int r.Epic.Difftest.r_cases);
+      ("mir", J.Int r.Epic.Difftest.r_mir);
+      ("asm", J.Int r.Epic.Difftest.r_asm);
+      ("enc", J.Int r.Epic.Difftest.r_enc);
+      ( "findings",
+        J.List
+          (List.map
+             (fun (f : Epic.Difftest.finding) ->
+               J.Obj
+                 [ ("case", J.Int f.Epic.Difftest.f_case);
+                   ( "kind",
+                     J.Str (Epic.Difftest.string_of_kind f.Epic.Difftest.f_kind)
+                   );
+                   ("class", J.Str f.Epic.Difftest.f_class);
+                   ("engine", J.Str f.Epic.Difftest.f_engine);
+                   ("detail", J.Str f.Epic.Difftest.f_detail) ])
+             r.Epic.Difftest.r_findings) ) ]
+
+let explore_result t (e : P.explore_req) =
+  let source = P.resolve_source e.P.ex_source in
+  let points =
+    List.concat_map
+      (fun issue ->
+        List.map
+          (fun alus ->
+            let cfg =
+              { Epic.Config.default with Epic.Config.n_alus = alus;
+                issue_width = issue }
+            in
+            match Epic.Config.validate cfg with
+            | Error ds ->
+              J.Obj
+                [ ("alus", J.Int alus); ("issue", J.Int issue);
+                  ("invalid", J.Str (Diag.to_string_list ds)) ]
+            | Ok () ->
+              let a = Epic.Toolchain.compile_epic ~cache:t.cache cfg ~source () in
+              let r = Epic.Toolchain.run_epic a in
+              let area = Epic.Area.estimate cfg in
+              let cycles = r.Epic.Sim.stats.Epic.Sim.cycles in
+              J.Obj
+                [ ("alus", J.Int alus); ("issue", J.Int issue);
+                  ("cycles", J.Int cycles);
+                  ("slices", J.Int area.Epic.Area.slices);
+                  ("brams", J.Int area.Epic.Area.brams);
+                  ("clock_mhz", J.Float area.Epic.Area.clock_mhz);
+                  ( "millis",
+                    J.Float
+                      (float_of_int cycles /. (area.Epic.Area.clock_mhz *. 1e3))
+                  ) ])
+          e.P.ex_alus)
+      e.P.ex_issues
+  in
+  J.Obj [ ("points", J.List points) ]
+
+let work_payload t (op : P.op) =
+  let j =
+    match op with
+    | P.Compile c -> compile_result t c
+    | P.Simulate s -> simulate_result s
+    | P.Fault_campaign f -> fault_result t f
+    | P.Fuzz_batch f -> fuzz_result f
+    | P.Explore_slice e -> explore_result t e
+    | P.Stats | P.Shutdown -> assert false
+  in
+  J.to_string j
+
+(* Every toolchain failure a bad request can provoke, rendered as a
+   structured diagnostic for the error response.  The catch-all matters:
+   a long-running daemon answers what it cannot serve; it never dies on
+   one request. *)
+let diag_of_exn = function
+  | Diag.Error d -> Some d
+  | Epic.Asm.Asm_error d | Epic.Encoding.Encode_error d | Epic.Sim.Sim_error d ->
+    Some d
+  | Epic.Cfront.Error m -> Some (Diag.v ~code:"serve/compile" m)
+  | Epic.Opt.Pipeline.Error m -> Some (Diag.v ~code:"serve/pipeline" m)
+  | Epic.Sched.Codegen.Codegen_error m -> Some (Diag.v ~code:"serve/codegen" m)
+  | Failure m -> Some (Diag.v ~code:"serve/failure" m)
+  | Invalid_argument m -> Some (Diag.v ~code:"serve/invalid" m)
+  | P.Bad d -> Some d
+  | (Stack_overflow | Out_of_memory | Assert_failure _) as e -> raise e
+  | e -> Some (Diag.v ~code:"serve/op" (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Batch evaluation *)
+
+type queued = {
+  qu_line_no : int;                           (* for unparseable requests *)
+  qu_req : (P.request, Diag.t) result;
+  qu_enq : float;
+}
+
+type evaluated = {
+  ev_line : string;   (* complete response line *)
+  ev_op : string;
+  ev_ok : bool;
+  ev_disk : bool;
+  ev_ms : float;
+}
+
+let eval t (q : queued) : evaluated =
+  let finish ~op ~ok ~disk line =
+    { ev_line = line; ev_op = op; ev_ok = ok; ev_disk = disk;
+      ev_ms = (Epic.Exec.now () -. q.qu_enq) *. 1e3 }
+  in
+  match q.qu_req with
+  | Error d ->
+    finish ~op:"invalid" ~ok:false ~disk:false (P.error_response ~id:None d)
+  | Ok { P.rq_id = id; rq_op = op } ->
+    let opn = P.op_name op in
+    (match
+       match (t.store, P.cache_key op) with
+       | Some st, Some key -> Store.find_or_add st ~key (fun () -> work_payload t op)
+       | _ -> (work_payload t op, false)
+     with
+     | payload, disk ->
+       finish ~op:opn ~ok:true ~disk (P.ok_response ~id ~result:payload)
+     | exception e ->
+       (match diag_of_exn e with
+        | Some d -> finish ~op:opn ~ok:false ~disk:false (P.error_response ~id d)
+        | None -> raise e))
+
+let bump t op =
+  t.op_counts <-
+    (match List.assoc_opt op t.op_counts with
+     | None -> (op, 1) :: t.op_counts
+     | Some n -> (op, n + 1) :: List.remove_assoc op t.op_counts)
+
+let record t (e : evaluated) =
+  if e.ev_ok then t.n_ok <- t.n_ok + 1 else t.n_err <- t.n_err + 1;
+  if e.ev_disk then t.n_disk_served <- t.n_disk_served + 1;
+  bump t e.ev_op;
+  t.lat_ms <- e.ev_ms :: t.lat_ms
+
+let flush_batch t emit = function
+  | [] -> ()
+  | queue ->
+    let arr = Array.of_list (List.rev queue) in
+    let n = Array.length arr in
+    t.q_max <- max t.q_max n;
+    t.batches <- t.batches + 1;
+    let results =
+      Epic.Exec.Pool.run ~jobs:t.jobs n (fun i -> eval t arr.(i))
+    in
+    Array.iter
+      (fun e ->
+        record t e;
+        emit e.ev_line)
+      results
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
+
+let latency_json t =
+  let sorted = Array.of_list t.lat_ms in
+  Array.sort compare sorted;
+  J.Obj
+    [ ("count", J.Int (Array.length sorted));
+      ("p50_ms", J.Float (percentile sorted 50.));
+      ("p95_ms", J.Float (percentile sorted 95.));
+      ("max_ms", J.Float (if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1))) ]
+
+let stats_json t =
+  J.Obj
+    [ ("uptime_s", J.Float (Epic.Exec.now () -. t.t_start));
+      ("jobs", J.Int t.jobs);
+      ("served", J.Int (t.n_ok + t.n_err));
+      ("ok", J.Int t.n_ok);
+      ("errors", J.Int t.n_err);
+      ("ops", J.Obj (List.rev_map (fun (k, n) -> (k, J.Int n)) t.op_counts));
+      ("latency", latency_json t);
+      ("batches", J.Int t.batches);
+      ("queue_depth_max", J.Int t.q_max);
+      ("disk_served", J.Int t.n_disk_served);
+      ( "disk_cache",
+        match t.store with None -> J.Null | Some st -> Store.stats_to_json st );
+      ( "compile_cache",
+        J.Obj
+          (List.map
+             (fun (name, s) -> (name, Epic.Exec.Cache.stats_to_json s))
+             (Epic.Toolchain.Compile_cache.stats t.cache)) ) ]
+
+let summary_json = stats_json
+
+(* ------------------------------------------------------------------ *)
+(* Serve loop over an abstract line transport *)
+
+type io = {
+  next_line : unit -> string option;  (* blocking; None = end of input *)
+  pending : unit -> bool;     (* more input available without blocking? *)
+  emit : string -> unit;              (* send one response line *)
+}
+
+type stop = Eof | Shutdown_requested
+
+let serve t io : stop =
+  let emit line = io.emit line in
+  let rec loop queue depth =
+    match io.next_line () with
+    | None ->
+      flush_batch t emit queue;
+      Eof
+    | Some line ->
+      let enq = Epic.Exec.now () in
+      let req = P.request_of_line line in
+      (match req with
+       | Ok { P.rq_id = id; rq_op = P.Stats } ->
+         flush_batch t emit queue;
+         bump t "stats";
+         emit (P.ok_response ~id ~result:(J.to_string (stats_json t)));
+         loop [] 0
+       | Ok { P.rq_id = id; rq_op = P.Shutdown } ->
+         flush_batch t emit queue;
+         bump t "shutdown";
+         emit (P.ok_response ~id ~result:(J.to_string (summary_json t)));
+         Shutdown_requested
+       | _ ->
+         let queue = { qu_line_no = depth; qu_req = req; qu_enq = enq } :: queue in
+         let depth = depth + 1 in
+         if depth >= t.batch_max || not (io.pending ()) then begin
+           flush_batch t emit queue;
+           loop [] 0
+         end
+         else loop queue depth)
+  in
+  loop [] 0
+
+(* In-memory transport: the whole request list is one pending stream, so
+   batching (up to [batch_max]) and control barriers behave exactly as
+   they do on a pipe under load.  Used by the tests and epicload's
+   in-process mode. *)
+let serve_strings t lines =
+  let rem = ref lines in
+  let out = ref [] in
+  let io =
+    { next_line =
+        (fun () ->
+          match !rem with [] -> None | x :: r -> rem := r; Some x);
+      pending = (fun () -> !rem <> []);
+      emit = (fun s -> out := s :: !out) }
+  in
+  ignore (serve t io);
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Pipe / socket transports.
+
+   The reader works on the raw file descriptor with its own buffer, so
+   "is more input pending?" is answerable: a buffered newline, or the
+   descriptor selecting readable.  (A stdlib in_channel would read
+   ahead invisibly and defeat the batching heuristic.) *)
+
+module Line_reader = struct
+  type r = {
+    fd : Unix.file_descr;
+    chunk : Bytes.t;
+    mutable buf : Buffer.t;
+    mutable eof : bool;
+  }
+
+  let create fd = { fd; chunk = Bytes.create 65536; buf = Buffer.create 65536; eof = false }
+
+  let refill r =
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | 0 -> r.eof <- true
+    | n -> Buffer.add_subbytes r.buf r.chunk 0 n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+  let take_line r =
+    let s = Buffer.contents r.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      let line = String.sub s 0 i in
+      r.buf <- Buffer.create 65536;
+      Buffer.add_string r.buf (String.sub s (i + 1) (String.length s - i - 1));
+      let line =
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+    | None -> None
+
+  let rec next_line r =
+    match take_line r with
+    | Some line -> Some line
+    | None ->
+      if r.eof then
+        if Buffer.length r.buf > 0 then begin
+          let line = Buffer.contents r.buf in
+          Buffer.clear r.buf;
+          Some line
+        end
+        else None
+      else begin
+        refill r;
+        next_line r
+      end
+
+  (* A complete buffered line, or bytes already readable on the fd:
+     either way the serve loop should keep queueing before it flushes. *)
+  let pending r =
+    (not r.eof)
+    && (String.contains (Buffer.contents r.buf) '\n'
+        ||
+        match Unix.select [ r.fd ] [] [] 0.0 with
+        | [ _ ], _, _ -> true
+        | _ -> false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false)
+end
+
+let io_of_fd in_fd oc =
+  let r = Line_reader.create in_fd in
+  { next_line = (fun () -> Line_reader.next_line r);
+    pending = (fun () -> Line_reader.pending r);
+    emit =
+      (fun s ->
+        output_string oc s;
+        output_char oc '\n';
+        flush oc) }
+
+let run_pipe t ~in_fd ~out : stop = serve t (io_of_fd in_fd out)
+
+(* Unix-socket mode: connections are accepted one at a time; the
+   requests of a connection fan out over the pool exactly as in pipe
+   mode.  A shutdown request stops the daemon after answering. *)
+let run_socket t ~path : stop =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  let rec accept_loop () =
+    let conn, _ = Unix.accept sock in
+    let oc = Unix.out_channel_of_descr conn in
+    let stop = try serve t (io_of_fd conn oc) with e -> Unix.close conn; raise e in
+    (try flush oc with Sys_error _ -> ());
+    (try Unix.close conn with Unix.Unix_error (_, _, _) -> ());
+    match stop with Eof -> accept_loop () | Shutdown_requested -> Shutdown_requested
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+      try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+    accept_loop

@@ -1,0 +1,184 @@
+(* Persistent on-disk artifact cache: key -> payload files under a
+   versioned directory, published atomically via rename.  See the .mli
+   for the layout, versioning and concurrency story. *)
+
+let format_version = 1
+
+type stats = { st_hits : int; st_misses : int; st_evictions : int }
+
+type t = {
+  root : string;             (* user-supplied directory *)
+  entry_dir : string;        (* root/v<version> *)
+  max_entries : int option;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable tmp_seq : int;     (* per-process unique temp names *)
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error (_, _, _) -> ())
+  | _ -> (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let is_entry name = name <> "" && name.[0] <> '.'
+
+let open_ ?(version = format_version) ?max_entries root =
+  let entry_dir = Filename.concat root (Printf.sprintf "v%d" version) in
+  mkdir_p entry_dir;
+  (* Invalidate other format versions wholesale, and sweep temporaries a
+     crashed writer may have left behind. *)
+  Array.iter
+    (fun name ->
+      let path = Filename.concat root name in
+      if String.length name > 1 && name.[0] = 'v'
+         && name <> Printf.sprintf "v%d" version
+         && Sys.is_directory path
+      then rm_rf path)
+    (Sys.readdir root);
+  Array.iter
+    (fun name ->
+      if not (is_entry name) && name <> "." && name <> ".." then
+        try Unix.unlink (Filename.concat entry_dir name)
+        with Unix.Unix_error (_, _, _) -> ())
+    (Sys.readdir entry_dir);
+  { root; entry_dir; max_entries; mutex = Mutex.create ();
+    hits = 0; misses = 0; evictions = 0; tmp_seq = 0 }
+
+let dir t = t.root
+
+let path_of_key t key =
+  Filename.concat t.entry_dir (Digest.to_hex (Digest.string key))
+
+(* Keys may in principle contain anything; the stored key line is
+   escaped so it is newline-free and comparable byte-for-byte. *)
+let key_line key = String.escaped key
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let read_entry path ~key =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    (match input_line ic with
+     | exception End_of_file -> None
+     | line when line <> key_line key -> None  (* collision or foreign file *)
+     | _ ->
+       let pos = pos_in ic in
+       let len = in_channel_length ic - pos in
+       if len < 0 then None else Some (really_input_string ic len))
+
+let entry_names t =
+  match Sys.readdir t.entry_dir with
+  | names -> List.filter is_entry (Array.to_list names)
+  | exception Sys_error _ -> []
+
+let entries t = List.length (entry_names t)
+
+(* Oldest-mtime first; ties broken by name so eviction order is stable
+   within one second. *)
+let evict_over_cap t =
+  match t.max_entries with
+  | None -> ()
+  | Some cap ->
+    let stamped =
+      List.filter_map
+        (fun name ->
+          let path = Filename.concat t.entry_dir name in
+          match Unix.stat path with
+          | st -> Some (st.Unix.st_mtime, name, path)
+          | exception Unix.Unix_error (_, _, _) -> None)
+        (entry_names t)
+    in
+    let excess = List.length stamped - cap in
+    if excess > 0 then begin
+      let doomed =
+        List.sort compare stamped |> List.filteri (fun i _ -> i < excess)
+      in
+      let removed =
+        List.fold_left
+          (fun n (_, _, path) ->
+            match Unix.unlink path with
+            | () -> n + 1
+            | exception Unix.Unix_error (_, _, _) -> n)
+          0 doomed
+      in
+      locked t (fun () -> t.evictions <- t.evictions + removed)
+    end
+
+let add t ~key payload =
+  let final = path_of_key t key in
+  let tmp =
+    locked t (fun () ->
+        t.tmp_seq <- t.tmp_seq + 1;
+        Filename.concat t.entry_dir
+          (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ()) t.tmp_seq))
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (key_line key);
+     output_char oc '\n';
+     output_string oc payload;
+     close_out oc
+   with e -> close_out_noerr oc; (try Unix.unlink tmp with _ -> ()); raise e);
+  Unix.rename tmp final;
+  evict_over_cap t
+
+let find t ~key =
+  match read_entry (path_of_key t key) ~key with
+  | Some payload ->
+    locked t (fun () -> t.hits <- t.hits + 1);
+    Some payload
+  | None ->
+    locked t (fun () -> t.misses <- t.misses + 1);
+    None
+
+let find_or_add t ~key f =
+  match find t ~key with
+  | Some payload -> (payload, true)
+  | None ->
+    let payload = f () in
+    add t ~key payload;
+    (payload, false)
+
+let stats t =
+  locked t (fun () ->
+      { st_hits = t.hits; st_misses = t.misses; st_evictions = t.evictions })
+
+let reset_stats t =
+  locked t (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
+
+let hit_rate s =
+  let total = s.st_hits + s.st_misses in
+  if total = 0 then 0. else float_of_int s.st_hits /. float_of_int total
+
+let wipe t =
+  List.iter
+    (fun name ->
+      try Unix.unlink (Filename.concat t.entry_dir name)
+      with Unix.Unix_error (_, _, _) -> ())
+    (entry_names t)
+
+let stats_to_json t =
+  let s = stats t in
+  Epic.Profile.Json.Obj
+    [ ("hits", Epic.Profile.Json.Int s.st_hits);
+      ("misses", Epic.Profile.Json.Int s.st_misses);
+      ("evictions", Epic.Profile.Json.Int s.st_evictions);
+      ("entries", Epic.Profile.Json.Int (entries t)) ]

@@ -1,0 +1,78 @@
+(** Persistent on-disk artifact cache for the serving daemon.
+
+    A {!t} maps string keys — configuration fingerprint x source digest x
+    request parameters, built by {!Protocol.cache_key} — to string
+    payloads (serialised response bodies).  It upgrades the in-memory
+    {!Epic_exec.Cache}/[Toolchain.Compile_cache] story to survive the
+    process: a campaign replayed tomorrow, or from another daemon, hits
+    disk instead of the compiler.
+
+    {b Layout and versioning.}  Entries live under
+    [dir/v<version>/<md5(key)>]; the first line of an entry file is the
+    (escaped) key, the rest is the payload.  The key line guards against
+    digest collisions and foreign files: a mismatch reads as a miss.
+    Opening a store removes entry directories of {e other} format
+    versions, so bumping {!format_version} (or passing a new [version])
+    invalidates every stale entry at once.
+
+    {b Atomicity.}  Writes go to a hidden temporary file in the same
+    directory and are published with [Unix.rename], which is atomic on
+    POSIX: a reader sees either no entry or a complete one, never a torn
+    write.  Leftover temporaries from a crashed writer are swept on open.
+
+    {b Concurrency.}  One [t]'s counters are mutex-protected, so
+    {!find_or_add} may be called from every domain of a batch at once.
+    Multiple processes may share a directory: concurrent writers of the
+    same key publish identical bytes (responses are deterministic), and
+    rename makes the last one win harmlessly. *)
+
+type t
+
+val format_version : int
+(** Current on-disk format version; baked into the entry directory name. *)
+
+type stats = {
+  st_hits : int;
+  st_misses : int;        (** Includes corrupt / mismatched entries. *)
+  st_evictions : int;     (** Entries removed by the [max_entries] cap. *)
+}
+
+val open_ : ?version:int -> ?max_entries:int -> string -> t
+(** [open_ dir] creates [dir] (and parents) if needed, sweeps stale
+    version directories and leftover temporaries, and returns a handle.
+    [version] defaults to {!format_version}; [max_entries] (default
+    unlimited) caps the entry count — adding beyond it evicts the
+    oldest-mtime entries. *)
+
+val dir : t -> string
+
+val find : t -> key:string -> string option
+(** Look up a key; counts a hit or a miss. *)
+
+val add : t -> key:string -> string -> unit
+(** Publish a payload atomically (write-temporary-then-rename), then
+    apply the eviction cap.  Does not touch the hit/miss counters. *)
+
+val find_or_add : t -> key:string -> (unit -> string) -> string * bool
+(** [find_or_add t ~key f] returns [(payload, was_hit)].  On a miss the
+    payload is computed with [f] and published.  No in-flight
+    deduplication at the disk level: concurrent computers of one key
+    write identical bytes (the in-memory compile cache already
+    deduplicates the expensive work). *)
+
+val entries : t -> int
+(** Entry files currently on disk. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Zero the counters; entries stay on disk. *)
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; [0.] when no traffic was recorded. *)
+
+val wipe : t -> unit
+(** Remove every entry of the current version (counters untouched,
+    except that nothing counts as an eviction). *)
+
+val stats_to_json : t -> Epic.Profile.Json.t
+(** [{"hits": _, "misses": _, "evictions": _, "entries": _}]. *)

@@ -19,4 +19,5 @@ let () =
       ("profile", Test_profile.suite);
       ("exec", Test_exec.suite);
       ("difftest", Test_difftest.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,272 @@
+(* Serving-daemon tests: wire-protocol round-trips for every request
+   kind, strict-parser diagnostics for malformed input, byte-identity of
+   batch responses across --jobs values, disk-cache persistence across
+   daemon restarts, the store's atomicity/eviction/versioning mechanics,
+   and the memo-cache observation API. *)
+
+module P = Epic_serve.Protocol
+module Server = Epic_serve.Server
+module Store = Epic_serve.Store
+module Config = Epic.Config
+module J = Epic.Profile.Json
+
+let tiny_asm = "_start:\n{ MOV r3, #42 }\n{ HALT }\n"
+
+let sha_wl = P.Src_workload { P.wl_name = "sha"; wl_params = [ ("bytes", 64) ] }
+
+let sample_requests =
+  [ P.Compile
+      { P.c_config = { Config.default with Config.n_alus = 2 };
+        c_source = sha_wl; c_opt = Epic.Toolchain.O0; c_predication = false;
+        c_unroll = 2; c_fuel = Some 100000 };
+    P.Simulate
+      { P.s_config = Config.default; s_asm = tiny_asm; s_fuel = None;
+        s_mem_bytes = 4096 };
+    P.Fault_campaign
+      { P.fc_config = { Config.default with Config.issue_width = 2 };
+        fc_source = P.Src_text "int main() { return 7; }"; fc_seed = 3;
+        fc_runs = 2; fc_targets = [ Epic.Fault.F_gpr; Epic.Fault.F_mem ];
+        fc_fuel_factor = 8 };
+    P.Fuzz_batch
+      { P.fz_seed = 5; fz_cases = 4; fz_kinds = [ Epic.Difftest.K_enc ];
+        fz_shrink = false };
+    P.Explore_slice
+      { P.ex_source = sha_wl; ex_alus = [ 1; 3 ]; ex_issues = [ 2; 4 ] };
+    P.Stats; P.Shutdown ]
+
+(* ---- protocol ----------------------------------------------------- *)
+
+let test_roundtrip () =
+  List.iteri
+    (fun i op ->
+      let r = { P.rq_id = Some i; rq_op = op } in
+      match P.request_of_line (P.to_line r) with
+      | Ok r' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %s" (P.op_name op))
+          true (P.request_equal r r')
+      | Error d ->
+        Alcotest.failf "%s failed to re-parse: %s" (P.op_name op)
+          (Epic.Diag.to_string d))
+    sample_requests;
+  (* An id-less request survives too. *)
+  match P.request_of_line (P.to_line { P.rq_id = None; rq_op = P.Stats }) with
+  | Ok r -> Alcotest.(check bool) "no id" true (r.P.rq_id = None)
+  | Error _ -> Alcotest.fail "id-less request rejected"
+
+let check_bad name line expected_code =
+  match P.request_of_line line with
+  | Ok _ -> Alcotest.failf "%s: parsed but should not" name
+  | Error d -> Alcotest.(check string) name expected_code d.Epic.Diag.code
+
+let test_malformed () =
+  check_bad "not json" "{oops" "serve/parse";
+  check_bad "unknown op" {|{"op":"teleport"}|} "serve/op";
+  check_bad "missing op" {|{"id":1}|} "serve/request";
+  check_bad "unknown field"
+    {|{"op":"compile","workload":{"name":"sha"},"volume":11}|} "serve/request";
+  check_bad "ill-typed id" {|{"id":"seven","op":"stats"}|} "serve/request";
+  check_bad "invalid config"
+    {|{"op":"compile","config":{"alus":0},"workload":{"name":"sha"}}|}
+    "serve/config";
+  check_bad "unknown custom"
+    {|{"op":"compile","config":{"custom":["WARP"]},"workload":{"name":"sha"}}|}
+    "serve/config";
+  check_bad "both sources"
+    {|{"op":"compile","source":"int main(){return 0;}","workload":{"name":"sha"}}|}
+    "serve/request";
+  check_bad "missing asm" {|{"op":"simulate"}|} "serve/request"
+
+(* Errors only detectable at evaluation time come back as ok:false
+   responses with structured diagnostics. *)
+let test_eval_errors () =
+  let t = Server.create ~jobs:1 () in
+  let lines =
+    [ {|{"id":0,"op":"compile","workload":{"name":"quicksort"}}|};
+      {|{"id":1,"op":"simulate","asm":"{ FLY b0 }"}|};
+      {|{"id":2,"op":"simulate","asm":"_start:\n{ HALT }\n","mem_bytes":-4}|} ]
+  in
+  let responses = Server.serve_strings t lines in
+  Alcotest.(check int) "three responses" 3 (List.length responses);
+  List.iter
+    (fun line ->
+      match J.parse line with
+      | Error e -> Alcotest.failf "unparseable response: %s" e
+      | Ok j ->
+        Alcotest.(check bool) "ok:false" true
+          (J.member "ok" j = Some (J.Bool false));
+        (match Option.bind (J.member "error" j) (J.member "code") with
+         | Some (J.Str code) ->
+           Alcotest.(check bool)
+             (Printf.sprintf "code %s is serve/*or asm" code)
+             true
+             (String.length code > 0)
+         | _ -> Alcotest.fail "missing error.code"))
+    responses;
+  (* The workload error specifically carries the serve/workload code. *)
+  match J.parse (List.hd responses) with
+  | Ok j ->
+    (match Option.bind (J.member "error" j) (J.member "code") with
+     | Some (J.Str c) -> Alcotest.(check string) "workload code" "serve/workload" c
+     | _ -> Alcotest.fail "missing code")
+  | Error e -> Alcotest.failf "unparseable: %s" e
+
+(* ---- determinism across jobs -------------------------------------- *)
+
+let work_batch () =
+  let reqs =
+    List.mapi
+      (fun i op -> { P.rq_id = Some i; rq_op = op })
+      (List.filter (fun op -> not (P.is_control op)) sample_requests)
+  in
+  List.map P.to_line reqs
+
+let test_jobs_invariance () =
+  let serve jobs =
+    Server.serve_strings (Server.create ~jobs ()) (work_batch ())
+  in
+  let r1 = serve 1 in
+  let r3 = serve 3 in
+  let r4 = serve 4 in
+  Alcotest.(check (list string)) "jobs 1 = jobs 3" r1 r3;
+  Alcotest.(check (list string)) "jobs 1 = jobs 4" r1 r4;
+  List.iter
+    (fun line ->
+      match Option.bind (Result.to_option (J.parse line)) (J.member "ok") with
+      | Some (J.Bool true) -> ()
+      | _ -> Alcotest.failf "work response not ok: %s" line)
+    r1
+
+(* ---- disk persistence across restarts ----------------------------- *)
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "epic_serve_test_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm dir;
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let test_restart_persistence () =
+  with_tmpdir @@ fun dir ->
+  let batch = work_batch () in
+  let n_cacheable = List.length batch in
+  (* First daemon lifetime: all misses, entries written. *)
+  let store1 = Store.open_ dir in
+  let r1 = Server.serve_strings (Server.create ~jobs:2 ~store:store1 ()) batch in
+  let s1 = Store.stats store1 in
+  Alcotest.(check int) "first run misses" n_cacheable s1.Store.st_misses;
+  Alcotest.(check int) "first run hits" 0 s1.Store.st_hits;
+  Alcotest.(check int) "entries on disk" n_cacheable (Store.entries store1);
+  (* Second daemon lifetime (a restart): same directory, fresh handles —
+     every request is a disk hit and the bytes are identical. *)
+  let store2 = Store.open_ dir in
+  let r2 = Server.serve_strings (Server.create ~jobs:2 ~store:store2 ()) batch in
+  let s2 = Store.stats store2 in
+  Alcotest.(check int) "second run hits" n_cacheable s2.Store.st_hits;
+  Alcotest.(check int) "second run misses" 0 s2.Store.st_misses;
+  Alcotest.(check (float 1e-9)) "hit rate" 1.0 (Store.hit_rate s2);
+  Alcotest.(check (list string)) "byte-identical responses" r1 r2
+
+(* ---- store mechanics ---------------------------------------------- *)
+
+let entry_path dir key =
+  Filename.concat
+    (Filename.concat dir (Printf.sprintf "v%d" Store.format_version))
+    (Digest.to_hex (Digest.string key))
+
+let test_store_key_guard () =
+  with_tmpdir @@ fun dir ->
+  let st = Store.open_ dir in
+  Store.add st ~key:"alpha" "payload-a";
+  Alcotest.(check (option string)) "hit" (Some "payload-a")
+    (Store.find st ~key:"alpha");
+  (* A foreign file squatting on a key's digest path reads as a miss,
+     not as someone else's payload. *)
+  let oc = open_out_bin (entry_path dir "beta") in
+  output_string oc "gamma\nstolen";
+  close_out oc;
+  Alcotest.(check (option string)) "foreign file is a miss" None
+    (Store.find st ~key:"beta");
+  (* Truncated (empty) entry: also a miss. *)
+  let oc = open_out_bin (entry_path dir "delta") in
+  close_out oc;
+  Alcotest.(check (option string)) "empty file is a miss" None
+    (Store.find st ~key:"delta")
+
+let test_store_eviction () =
+  with_tmpdir @@ fun dir ->
+  let st = Store.open_ ~max_entries:2 dir in
+  Store.add st ~key:"one" "1";
+  Store.add st ~key:"two" "2";
+  Store.add st ~key:"three" "3";
+  Alcotest.(check int) "capped" 2 (Store.entries st);
+  Alcotest.(check int) "evictions counted" 1 (Store.stats st).Store.st_evictions
+
+let test_store_versioning () =
+  with_tmpdir @@ fun dir ->
+  let st = Store.open_ dir in
+  Store.add st ~key:"k" "v";
+  Alcotest.(check int) "one entry" 1 (Store.entries st);
+  (* A leftover temporary from a crashed writer is swept on open. *)
+  let tmp =
+    Filename.concat
+      (Filename.concat dir (Printf.sprintf "v%d" Store.format_version))
+      ".tmp-999-1"
+  in
+  let oc = open_out_bin tmp in
+  output_string oc "torn";
+  close_out oc;
+  (* Bumping the format version invalidates the old generation wholesale. *)
+  let st2 = Store.open_ ~version:(Store.format_version + 1) dir in
+  Alcotest.(check int) "new generation empty" 0 (Store.entries st2);
+  Alcotest.(check (option string)) "old entry gone" None (Store.find st2 ~key:"k");
+  Alcotest.(check bool) "old generation removed" false
+    (Sys.file_exists
+       (Filename.concat dir (Printf.sprintf "v%d" Store.format_version)));
+  (* Re-opening the original version again: the sweep removed it, so the
+     store is empty but usable. *)
+  let st3 = Store.open_ dir in
+  Alcotest.(check bool) "tmp swept" false (Sys.file_exists tmp);
+  Alcotest.(check (option string)) "fresh generation" None
+    (Store.find st3 ~key:"k")
+
+(* ---- memo-cache observation API ----------------------------------- *)
+
+let test_cache_snapshot_reset () =
+  let c = Epic.Exec.Cache.create ~name:"t" () in
+  ignore (Epic.Exec.Cache.find_or_add c "k" (fun () -> 1));
+  ignore (Epic.Exec.Cache.find_or_add c "k" (fun () -> 2));
+  let s = Epic.Exec.Cache.snapshot c in
+  Alcotest.(check int) "one miss" 1 s.Epic.Exec.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Epic.Exec.Cache.hits;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Epic.Exec.Cache.hit_rate s);
+  Epic.Exec.Cache.reset_stats c;
+  let s0 = Epic.Exec.Cache.snapshot c in
+  Alcotest.(check int) "counters zeroed" 0
+    (s0.Epic.Exec.Cache.hits + s0.Epic.Exec.Cache.misses);
+  (* Entries survive a counter reset: the next lookup is a pure hit. *)
+  Alcotest.(check int) "entry kept" 1
+    (Epic.Exec.Cache.find_or_add c "k" (fun () -> 3));
+  let s1 = Epic.Exec.Cache.snapshot c in
+  Alcotest.(check int) "hit after reset" 1 s1.Epic.Exec.Cache.hits;
+  Alcotest.(check int) "no miss after reset" 0 s1.Epic.Exec.Cache.misses
+
+let suite =
+  [ Alcotest.test_case "protocol round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "malformed requests" `Quick test_malformed;
+    Alcotest.test_case "evaluation errors" `Quick test_eval_errors;
+    Alcotest.test_case "jobs invariance" `Quick test_jobs_invariance;
+    Alcotest.test_case "restart persistence" `Quick test_restart_persistence;
+    Alcotest.test_case "store key guard" `Quick test_store_key_guard;
+    Alcotest.test_case "store eviction" `Quick test_store_eviction;
+    Alcotest.test_case "store versioning" `Quick test_store_versioning;
+    Alcotest.test_case "cache snapshot/reset" `Quick test_cache_snapshot_reset ]
