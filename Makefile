@@ -1,6 +1,6 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build test check bench gate baseline fuzz serve-smoke clean
+.PHONY: all build test check bench perf gate baseline fuzz serve-smoke clean
 
 all: build
 
@@ -25,9 +25,15 @@ check:
 bench:
 	dune exec bench/main.exe -- table1
 
+# Host simulator throughput per workload (machine-dependent; the gated
+# SHA probe plus the other three workloads).
+perf:
+	dune exec bench/main.exe -- perf
+
 # Benchmark-regression gate: rerun the gated experiments, then compare
-# cycle counts (exact), slice counts (exact) and campaign wall time
-# (budgeted) against the committed baseline.
+# cycle counts (exact), slice counts (exact), campaign wall time
+# (budgeted) and host sim rate (lower band, tolerance committed in the
+# baseline's meta) against the committed baseline.
 gate:
 	dune exec bench/main.exe -- table1 resources --json _build/bench_current.json
 	dune exec bin/bench_gate.exe -- BENCH_BASELINE.json _build/bench_current.json
@@ -50,7 +56,8 @@ serve-smoke:
 	dune exec bin/epicload.exe -- \
 	  --epicd _build/default/bin/epicd.exe \
 	  --cache-dir _build/serve_smoke_cache \
-	  --scenario mixed --passes 2 --slo-p95-ms 30000 --expect-hit-rate 0.9
+	  --scenario mixed --passes 2 --slo-p95-ms 30000 \
+	  --slo-ref-rate 1.0e7 --expect-hit-rate 0.9
 	@echo "serve-smoke: OK"
 
 # Refresh the committed baseline after an intentional performance change.

@@ -7,6 +7,8 @@
      dune exec bench/main.exe -- table1       -- one experiment
      dune exec bench/main.exe -- --full all   -- paper-sized inputs
      dune exec bench/main.exe -- bechamel     -- only the Bechamel suite
+     dune exec bench/main.exe -- perf         -- host sim-rate table (only
+                                                 when named: machine-dependent)
 
    Cycle counts are deterministic, so the tables need a single run; the
    Bechamel suite measures wall-clock throughput of the toolchain +
@@ -618,6 +620,20 @@ let () =
     record "inject_faults" (json_of_faults pts);
     print_inject_faults pts
   end;
+  (* Host-throughput table: machine-dependent by design, so it is only
+     printed when named explicitly — the default stdout (and "all") stay
+     byte-identical across hosts and --jobs values. *)
+  if List.mem "perf" selected then begin
+    let rows = E.sim_rate_table () in
+    hr "perf: host simulator throughput (4 ALUs, small inputs)";
+    Printf.printf "%-10s %12s %8s %14s\n" "workload" "cycles/run" "runs"
+      "sim cyc/s";
+    List.iter
+      (fun (name, (r : E.sim_rate)) ->
+        Printf.printf "%-10s %12d %8d %14.3e\n" name r.E.sr_cycles r.E.sr_runs
+          r.E.sr_cycles_per_s)
+      rows
+  end;
   if want "bechamel" then bechamel_suite ();
   match json_path with
   | None -> ()
@@ -641,6 +657,10 @@ let () =
         [
           ("jobs", J.Int jobs);
           ("sim_rate", E.sim_rate_to_json (E.sim_rate ()));
+          (* Committed alongside the baseline: bench_gate requires the
+             current run's sim rate >= baseline / this factor.  Generous
+             because CI runners and the baseline recorder differ. *)
+          ("sim_rate_tolerance", J.Float 10.0);
           ( "campaigns",
             J.List
               (List.rev_map Epic.Exec.campaign_stats_to_json !campaigns) );

@@ -7,7 +7,13 @@
    - FPGA slice counts (resources) are held to the same tolerance;
    - campaign wall time (meta.campaigns) must not exceed the baseline by
      more than --wall-tolerance x (generous by default: CI machines and
-     the baseline recorder differ).
+     the baseline recorder differ);
+   - host simulator throughput (meta.sim_rate.cycles_per_s) must stay
+     above baseline / tolerance, where the tolerance factor is committed
+     in the baseline's meta.sim_rate_tolerance (--rate-tolerance
+     overrides it; 0 disables the band).  This is the gate that fails CI
+     when the simulator's hot path regresses in wall clock even though
+     cycle counts are unchanged.
 
    Exit status: 0 = gate passed, 1 = regression, 2 = bad input.
    Improvements beyond tolerance are reported as a hint to refresh the
@@ -158,11 +164,39 @@ let gate_wall factor base cur =
   | _ ->
     print_endline "note: no campaign wall-time on both sides; skipped"
 
-let run baseline current tol wall_factor =
+(* meta.sim_rate: host simulated cycles per second, gated as a lower
+   band — current >= baseline / factor.  Unlike the cycle gates this is
+   a wall-clock measurement, so the band is a committed factor, not a
+   percentage. *)
+let gate_rate override base cur =
+  let rate doc =
+    Option.bind (J.member "meta" doc) (fun m ->
+        Option.bind (J.member "sim_rate" m) (fun r ->
+            Option.bind (J.member "cycles_per_s" r) as_float))
+  in
+  let committed =
+    Option.bind (J.member "meta" base) (fun m ->
+        Option.bind (J.member "sim_rate_tolerance" m) as_float)
+  in
+  let factor = match override with Some f -> Some f | None -> committed in
+  match (factor, rate base, rate cur) with
+  | Some f, _, _ when f <= 0.0 -> ()
+  | Some f, Some b, Some c ->
+    incr checked;
+    if c < b /. f then begin
+      incr regressions;
+      Printf.printf
+        "REGRESSION sim-rate: %.3e -> %.3e cyc/s (floor %.3e = baseline / %.1f)\n"
+        b c (b /. f) f
+    end
+  | _ -> print_endline "note: no sim-rate band on both sides; skipped"
+
+let run baseline current tol wall_factor rate_factor =
   let base = load baseline and cur = load current in
   gate_table1 tol base cur;
   gate_resources tol base cur;
   if wall_factor > 0.0 then gate_wall wall_factor base cur;
+  gate_rate rate_factor base cur;
   Printf.printf
     "bench_gate: %d comparisons, %d regression(s), %d improvement(s)\n" !checked
     !regressions !improvements;
@@ -192,9 +226,16 @@ let cmd =
            ~doc:"Allowed campaign wall-time as a multiple of the baseline \
                  (0 disables the wall-time gate).")
   in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate-tolerance" ] ~docv:"FACTOR"
+           ~doc:"Required host sim rate as baseline / $(docv).  Defaults \
+                 to the factor committed in the baseline's \
+                 meta.sim_rate_tolerance; 0 disables the band.")
+  in
   Cmd.v
     (Cmd.info "bench_gate"
        ~doc:"Compare a bench --json dump against the committed baseline")
-    Term.(const run $ baseline $ current $ tol $ wall)
+    Term.(const run $ baseline $ current $ tol $ wall $ rate)
 
 let () = exit (Cmd.eval cmd)

@@ -438,8 +438,7 @@ type sim_rate = {
   sr_cycles_per_s : float;
 }
 
-let sim_rate ?(budget_s = 0.25) () =
-  let bm = Sources.sha_benchmark ~bytes:64 () in
+let sim_rate_of ?(budget_s = 0.25) (bm : Sources.benchmark) =
   let cfg = Config.with_alus 4 in
   let a = T.compile_epic cfg ~source:bm.Sources.bm_source () in
   let cycles = (T.run_epic a).Epic_sim.stats.Epic_sim.cycles in  (* warm-up *)
@@ -455,6 +454,19 @@ let sim_rate ?(budget_s = 0.25) () =
   { sr_runs = runs; sr_cycles = cycles; sr_wall_s = wall;
     sr_cycles_per_s =
       (if wall > 0. then float_of_int total /. wall else 0.) }
+
+let sim_rate ?budget_s () =
+  sim_rate_of ?budget_s (Sources.sha_benchmark ~bytes:64 ())
+
+(* Small fixed inputs: the table is about host throughput per workload
+   shape (branchy vs ALU-dense), not about the paper's problem sizes. *)
+let sim_rate_table ?budget_s () =
+  List.map
+    (fun bm -> (bm.Sources.bm_name, sim_rate_of ?budget_s bm))
+    [ Sources.sha_benchmark ~bytes:64 ();
+      Sources.aes_benchmark ~iters:1 ();
+      Sources.dct_benchmark ~width:8 ~height:8 ();
+      Sources.dijkstra_benchmark ~nodes:6 () ]
 
 let sim_rate_to_json r =
   Epic_profile.Json.Obj

@@ -172,6 +172,12 @@ val sim_rate : ?budget_s:float -> unit -> sim_rate
 (** Host-side simulator throughput probe: compile a small fixed workload
     (SHA/64B, 4 ALUs) once, then re-simulate until [budget_s] (default
     0.25 s) of wall clock has elapsed.  Machine-dependent by design;
-    reported in [bench --json]'s meta section. *)
+    reported in [bench --json]'s meta section and gated by [bench_gate]
+    as a lower band (current >= baseline / tolerance). *)
+
+val sim_rate_table : ?budget_s:float -> unit -> (string * sim_rate) list
+(** The same probe over all four workloads (small fixed inputs, 4 ALUs):
+    the [make perf] table.  Machine-dependent, so it is only printed on
+    request — never part of the deterministic bench stdout. *)
 
 val sim_rate_to_json : sim_rate -> Epic_profile.Json.t

@@ -22,6 +22,7 @@ type epic_artifacts = {
   ea_words : int64 array;       (* encoded binary *)
   ea_sched : Sched.Sched.stats;
   ea_report : Opt.Pipeline.report;  (* per-pass pipeline report *)
+  ea_pre : Sim.Predecode.t;     (* image decoded once for the simulator *)
 }
 
 type arm_artifacts = {
@@ -178,7 +179,8 @@ let compile_epic ?(opt = O1) ?(predication = true) ?(unroll = default_unroll)
     let unit_, sched = Sched.compile_program cfg layout mir in
     let image, words = Asm.assemble cfg unit_ in
     { ea_config = cfg; ea_mir = mir; ea_layout = layout; ea_unit = unit_;
-      ea_image = image; ea_words = words; ea_sched = sched; ea_report = report }
+      ea_image = image; ea_words = words; ea_sched = sched; ea_report = report;
+      ea_pre = Sim.Predecode.of_image cfg image }
   in
   match cache with
   | Some c when cacheable pipeline ->
@@ -199,7 +201,7 @@ let entry_of (a : epic_artifacts) =
 let run_epic ?fuel ?trace ?profile (a : epic_artifacts) =
   let mem = Memmap.init_memory a.ea_layout a.ea_mir in
   let sink = Option.map Epic_profile.sink profile in
-  Sim.run ?fuel ?trace ?sink a.ea_config ~image:a.ea_image ~mem
+  Sim.run ?fuel ?trace ?sink ~pre:a.ea_pre a.ea_config ~image:a.ea_image ~mem
     ~entry:(entry_of a) ()
 
 (* Profiled run: attach a fresh recorder and return it with the result. *)
@@ -216,8 +218,8 @@ let fault_campaign ?seed ?runs ?targets ?fuel_factor ?jobs
     ?(check_golden = true) (a : epic_artifacts) =
   let mem = Memmap.init_memory a.ea_layout a.ea_mir in
   let rp =
-    Epic_fault.campaign ?seed ?runs ?targets ?fuel_factor ?jobs a.ea_config
-      ~image:a.ea_image ~mem ~entry:(entry_of a) ()
+    Epic_fault.campaign ?seed ?runs ?targets ?fuel_factor ?jobs
+      ~pre:a.ea_pre a.ea_config ~image:a.ea_image ~mem ~entry:(entry_of a) ()
   in
   if check_golden then begin
     let custom = Config.custom_eval a.ea_config in

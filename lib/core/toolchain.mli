@@ -14,6 +14,10 @@ type epic_artifacts = {
   ea_report : Epic_opt.Pipeline.report;
       (** Structured pipeline report: per-pass wall time and IR deltas,
           verifier and differential-check tallies. *)
+  ea_pre : Epic_sim.Predecode.t;
+      (** The image decoded and legality-checked once for the simulator;
+          [run_epic] and [fault_campaign] pass it as [Sim.run ~pre], so
+          repeated runs of the same artifacts never re-decode. *)
 }
 
 type arm_artifacts = {

@@ -94,8 +94,8 @@ let classify ~golden_ret ~golden_mem (r : Sim.result) =
    transient: the corrupted word lives for exactly one fetch and is
    restored on the next cycle (an SEU on the fetch path, not a stuck-at
    fault in instruction memory). *)
-let inject (cfg : Config.t) ~(image : A.image) ~mem ~entry ~fuel ~golden_ret
-    ~golden_mem (fault : fault) =
+let inject ?pre (cfg : Config.t) ~(image : A.image) ~mem ~entry ~fuel
+    ~golden_ret ~golden_mem (fault : fault) =
   let image = copy_image image in
   let mem = Bytes.copy mem in
   let table = lazy (Enc.make_table cfg) in
@@ -138,7 +138,10 @@ let inject (cfg : Config.t) ~(image : A.image) ~mem ~entry ~fuel ~golden_ret
         m.Sim.m_insts.(pos) <- Enc.decode t cfg word
     end
   in
-  let r = Sim.run ~fuel ~tamper cfg ~image ~mem ~entry () in
+  (* [copy_image] is shallow, so the slot records are physically those
+     the predecode was built from; the simulator's tamper-mode re-decode
+     contract covers the transient F_inst flips. *)
+  let r = Sim.run ~fuel ~tamper ?pre cfg ~image ~mem ~entry () in
   classify ~golden_ret ~golden_mem r
 
 (* ------------------------------------------------------------------ *)
@@ -170,9 +173,10 @@ type report = {
   rp_faults : (fault * outcome) list;
 }
 
-let golden ?fuel (cfg : Config.t) ~image ~mem ~entry =
+let golden ?fuel ?pre (cfg : Config.t) ~image ~mem ~entry =
   let g =
-    Sim.run ?fuel cfg ~image:(copy_image image) ~mem:(Bytes.copy mem) ~entry ()
+    Sim.run ?fuel ?pre cfg ~image:(copy_image image) ~mem:(Bytes.copy mem)
+      ~entry ()
   in
   (match g.Sim.trap with
    | Some t ->
@@ -202,7 +206,7 @@ let draw_fault rng (cfg : Config.t) ~issue_width ~mem_len ~golden_cycles target 
   { f_target = target; f_cycle = cycle; f_index = index; f_bit = bit }
 
 let campaign ?(seed = 1) ?(runs = 32) ?(targets = all_targets)
-    ?(fuel_factor = 4) ?(jobs = 1) (cfg : Config.t) ~(image : A.image)
+    ?(fuel_factor = 4) ?(jobs = 1) ?pre (cfg : Config.t) ~(image : A.image)
     ~(mem : Bytes.t) ~entry () =
   if seed land 0xFFFFFFFF = 0 then
     Diag.raisef ~code:"fault/seed" "campaign seed must be non-zero";
@@ -211,7 +215,12 @@ let campaign ?(seed = 1) ?(runs = 32) ?(targets = all_targets)
     Diag.raisef ~code:"fault/fuel-factor" "fuel_factor must be >= 1";
   if Bytes.length mem = 0 then
     Diag.raisef ~code:"fault/mem" "data memory is empty";
-  let g = golden cfg ~image ~mem ~entry in
+  (* Decode the image once; the golden run and every injected run (often
+     thousands, across domains) share the immutable predecode. *)
+  let pre =
+    match pre with Some p -> p | None -> Sim.Predecode.of_image cfg image
+  in
+  let g = golden ~pre cfg ~image ~mem ~entry in
   let golden_cycles = g.Sim.stats.Sim.cycles in
   let golden_ret = g.Sim.ret in
   let golden_mem = g.Sim.mem in
@@ -241,7 +250,8 @@ let campaign ?(seed = 1) ?(runs = 32) ?(targets = all_targets)
     targets;
   let outcomes =
     Epic_exec.Pool.run ~jobs (Array.length faults) (fun i ->
-        inject cfg ~image ~mem ~entry ~fuel ~golden_ret ~golden_mem faults.(i))
+        inject ~pre cfg ~image ~mem ~entry ~fuel ~golden_ret ~golden_mem
+          faults.(i))
   in
   let rows =
     List.mapi

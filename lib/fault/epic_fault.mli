@@ -47,13 +47,14 @@ val string_of_outcome : outcome -> string
 (** ["masked"], ["sdc"], ["trap:<cause>"], ["timeout"]. *)
 
 val golden :
-  ?fuel:int -> Epic_config.t -> image:Epic_asm.Aunit.image -> mem:Bytes.t ->
-  entry:int -> Epic_sim.result
+  ?fuel:int -> ?pre:Epic_sim.Predecode.t -> Epic_config.t ->
+  image:Epic_asm.Aunit.image -> mem:Bytes.t -> entry:int -> Epic_sim.result
 (** Run the program fault-free on copies of the image and memory.
     @raise Epic_diag.Error ([fault/golden-trap]) if the clean run traps —
     a campaign over a faulty program is meaningless. *)
 
 val inject :
+  ?pre:Epic_sim.Predecode.t ->
   Epic_config.t ->
   image:Epic_asm.Aunit.image ->
   mem:Bytes.t ->
@@ -66,7 +67,9 @@ val inject :
 (** Run the program once with the fault injected (on copies — the
     caller's image and memory are never mutated) and classify the
     outcome.  [fuel] is the watchdog bound; [golden_ret]/[golden_mem]
-    come from {!golden}. *)
+    come from {!golden}; [pre] is a predecode of the {e clean} image —
+    the image copy is shallow, so it still matches, and the simulator's
+    tamper-mode re-decode covers the injected flips. *)
 
 (** One line of the vulnerability table: outcome counts for one
     structure.  Counts always sum to the campaign's runs-per-target. *)
@@ -102,6 +105,7 @@ val campaign :
   ?targets:target list ->
   ?fuel_factor:int ->
   ?jobs:int ->
+  ?pre:Epic_sim.Predecode.t ->
   Epic_config.t ->
   image:Epic_asm.Aunit.image ->
   mem:Bytes.t ->

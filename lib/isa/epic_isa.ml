@@ -179,35 +179,41 @@ let eval_cmp ~width c a b =
   | C_gtu -> ua > ub
   | C_geu -> ua >= ub
 
+(* Hot path of the simulator's execute stage: no closures, no partial
+   applications — signed views and shift amounts are computed only in
+   the branches that need them. *)
 let eval_alu ~width ~custom op a b =
-  let m = Word.mask width in
+  let m v = Word.mask width v in
   let a = m a and b = m b in
-  let sa () = Word.to_signed width a and sb () = Word.to_signed width b in
-  let shift_amount = b land (Word.max_unsigned width) in
   match op with
   | ADD -> m (a + b)
   | SUB -> m (a - b)
   | MPY -> m (a * b)
   | DIV ->
-    let d = sb () in
-    if d = 0 then 0 else Word.of_signed width (sa () / d)
+    let d = Word.to_signed width b in
+    if d = 0 then 0 else Word.of_signed width (Word.to_signed width a / d)
   | REM ->
-    let d = sb () in
-    if d = 0 then a else Word.of_signed width (sa () mod d)
-  | MIN -> if sa () <= sb () then a else b
-  | MAX -> if sa () >= sb () then a else b
-  | ABS -> Word.of_signed width (abs (sa ()))
+    let d = Word.to_signed width b in
+    if d = 0 then a else Word.of_signed width (Word.to_signed width a mod d)
+  | MIN -> if Word.to_signed width a <= Word.to_signed width b then a else b
+  | MAX -> if Word.to_signed width a >= Word.to_signed width b then a else b
+  | ABS -> Word.of_signed width (abs (Word.to_signed width a))
   | AND -> a land b
   | OR -> a lor b
   | XOR -> a lxor b
   | ANDCM -> a land m (lnot b)
   | NAND -> m (lnot (a land b))
   | NOR -> m (lnot (a lor b))
-  | SHL -> if shift_amount >= width then 0 else m (a lsl shift_amount)
-  | SHR -> if shift_amount >= width then 0 else a lsr shift_amount
+  | SHL ->
+    let shift_amount = b land (Word.max_unsigned width) in
+    if shift_amount >= width then 0 else m (a lsl shift_amount)
+  | SHR ->
+    let shift_amount = b land (Word.max_unsigned width) in
+    if shift_amount >= width then 0 else a lsr shift_amount
   | SHRA ->
+    let shift_amount = b land (Word.max_unsigned width) in
     let n = if shift_amount >= width then width - 1 else shift_amount in
-    Word.of_signed width (sa () asr n)
+    Word.of_signed width (Word.to_signed width a asr n)
   | MOV -> a
   | CUSTOM name -> m (custom name a b)
   | LD _ | LDU _ | ST _ | CMPP _ | PBRR | BRU_ | BRCT | BRCF | BRL | HALT | NOP ->

@@ -25,6 +25,12 @@ type t = {
   batch_max : int;
   store : Store.t option;
   cache : Epic.Toolchain.Compile_cache.t;
+  pre_cache : Epic.Sim.Predecode.t Epic.Exec.Cache.t;
+      (* raw-asm simulate requests: config fingerprint x image digest ->
+         predecode (compile-based ops reuse the one in the artifacts) *)
+  sim_rate : Epic.Experiments.sim_rate Lazy.t;
+      (* host throughput probe: ~0.25s, forced on the first stats
+         request (the control path is sequential, so forcing is safe) *)
   t_start : float;
   mutable n_ok : int;
   mutable n_err : int;
@@ -40,6 +46,8 @@ let create ?(jobs = Epic.Exec.default_jobs ()) ?(batch_max = 64) ?store () =
   if batch_max < 1 then
     invalid_arg "Epic_serve.Server.create: batch_max must be >= 1";
   { jobs; batch_max; store; cache = Epic.Toolchain.Compile_cache.create ();
+    pre_cache = Epic.Exec.Cache.create ~name:"predecode" ();
+    sim_rate = lazy (Epic.Experiments.sim_rate ());
     t_start = Epic.Exec.now (); n_ok = 0; n_err = 0; n_disk_served = 0;
     op_counts = []; lat_ms = []; q_max = 0; batches = 0 }
 
@@ -81,13 +89,23 @@ let compile_result t (c : P.compile_req) =
       ("slices", J.Int area.Epic.Area.slices);
       ("clock_mhz", J.Float area.Epic.Area.clock_mhz) ]
 
-let simulate_result (s : P.simulate_req) =
+let simulate_result t (s : P.simulate_req) =
   if s.P.s_mem_bytes <= 0 then
     Diag.raisef ~code:"serve/request" "simulate: mem_bytes must be positive";
   let image, _words = Epic.Asm.assemble_text s.P.s_config s.P.s_asm in
+  (* One predecode per (config x instruction stream), shared across the
+     whole batch stream — a re-submitted scenario skips decode entirely. *)
+  let key =
+    Epic.Config.fingerprint s.P.s_config ^ "|"
+    ^ Epic.Sim.Predecode.image_digest image
+  in
+  let pre =
+    Epic.Exec.Cache.find_or_add t.pre_cache key (fun () ->
+        Epic.Sim.Predecode.of_image s.P.s_config image)
+  in
   let mem = Bytes.make s.P.s_mem_bytes '\000' in
   let r =
-    Epic.Sim.run ?fuel:s.P.s_fuel s.P.s_config ~image ~mem
+    Epic.Sim.run ?fuel:s.P.s_fuel ~pre s.P.s_config ~image ~mem
       ~entry:(entry_of image) ()
   in
   J.Obj
@@ -170,7 +188,7 @@ let work_payload t (op : P.op) =
   let j =
     match op with
     | P.Compile c -> compile_result t c
-    | P.Simulate s -> simulate_result s
+    | P.Simulate s -> simulate_result t s
     | P.Fault_campaign f -> fault_result t f
     | P.Fuzz_batch f -> fuzz_result f
     | P.Explore_slice e -> explore_result t e
@@ -277,6 +295,7 @@ let latency_json t =
     [ ("count", J.Int (Array.length sorted));
       ("p50_ms", J.Float (percentile sorted 50.));
       ("p95_ms", J.Float (percentile sorted 95.));
+      ("p99_ms", J.Float (percentile sorted 99.));
       ("max_ms", J.Float (if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1))) ]
 
 let stats_json t =
@@ -291,6 +310,10 @@ let stats_json t =
       ("batches", J.Int t.batches);
       ("queue_depth_max", J.Int t.q_max);
       ("disk_served", J.Int t.n_disk_served);
+      ( "sim_rate",
+        Epic.Experiments.sim_rate_to_json (Lazy.force t.sim_rate) );
+      ( "predecode_cache",
+        Epic.Exec.Cache.stats_to_json (Epic.Exec.Cache.stats t.pre_cache) );
       ( "disk_cache",
         match t.store with None -> J.Null | Some st -> Store.stats_to_json st );
       ( "compile_cache",

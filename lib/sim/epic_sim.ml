@@ -24,6 +24,7 @@ module Isa = Epic_isa
 module Config = Epic_config
 module A = Epic_asm.Aunit
 module Memmap = Epic_mir.Memmap
+module Predecode = Predecode
 
 module Diag = Epic_diag
 
@@ -155,10 +156,30 @@ let string_of_stall_cause = function
   | S_branch -> "branch"
 
 
+(* ---- two-tier execution -------------------------------------------
+
+   [run] predecodes the image (or adopts a caller-supplied
+   {!Predecode.t}) and then selects one of two cycle loops over the
+   same resolved records:
+
+   - the FAST loop, taken when no [sink]/[trace]/[tamper] hook is
+     present: no option matching and no allocation per cycle — every
+     per-cycle scratch array and accumulator is hoisted out of the
+     [while];
+   - the INSTRUMENTED loop, which adds the event stream, the trace
+     printer and the tamper hook, and — because a tamper hook may
+     rewrite instruction words in place — re-decodes any bundle whose
+     fetched slots are no longer the records the predecode was built
+     from (physical comparison per slot; untouched bundles pay one
+     pointer compare per slot).
+
+   Stats, final state and traps are bit-identical between the two loops;
+   test/test_engine.ml and the differential fuzzer hold them equal. *)
+
 (* [trace] receives one line per issued bundle: cycle, PC and the
    non-NOP operations (squashed ones bracketed).  Used by epicsim
    --trace and handy when debugging schedules. *)
-let run ?(fuel = 500_000_000) ?trace ?sink ?tamper (cfg : Config.t)
+let run ?(fuel = 500_000_000) ?trace ?sink ?tamper ?pre (cfg : Config.t)
     ~(image : A.image) ~(mem : Bytes.t) ?(entry = 0) () =
   let w = image.A.im_issue_width in
   if w <> cfg.Config.issue_width then
@@ -169,9 +190,36 @@ let run ?(fuel = 500_000_000) ?trace ?sink ?tamper (cfg : Config.t)
       "image was assembled for issue width %d, configuration has %d" w
       cfg.Config.issue_width;
   let insts = image.A.im_insts in
-  let n_bundles = Array.length insts / w in
+  let pre =
+    match pre with
+    | None -> Predecode.of_image cfg image
+    | Some p ->
+      if p.Predecode.p_w <> w then
+        fail "sim/predecode-mismatch"
+          "predecode was built for issue width %d, image has %d"
+          p.Predecode.p_w w;
+      if not (Predecode.same_config p cfg) then
+        fail "sim/predecode-mismatch"
+          "predecode was built under a different configuration";
+      (match tamper with
+       | None ->
+         if not (Predecode.matches_insts p insts) then
+           fail "sim/predecode-mismatch"
+             "predecode does not match this image's instruction stream"
+       | Some _ ->
+         (* Tampered runs legitimately diverge from the predecoded
+            stream mid-run (touched bundles are re-decoded below), but
+            the shapes must agree. *)
+         if Array.length p.Predecode.p_insts <> Array.length insts then
+           fail "sim/predecode-mismatch"
+             "predecode was built for a different image size");
+      p
+  in
+  let bundles = pre.Predecode.p_bundles in
+  let n_bundles = Array.length bundles in
   let width = cfg.Config.width in
-  let m v = Isa.Word.mask width v in
+  let msk = Isa.Word.max_unsigned width in
+  let m v = v land msk in
   let gprs = Array.make cfg.Config.n_gprs 0 in
   let preds = Array.make cfg.Config.n_preds false in
   preds.(0) <- true;
@@ -182,296 +230,508 @@ let run ?(fuel = 500_000_000) ?trace ?sink ?tamper (cfg : Config.t)
   let btr_ready = Array.make cfg.Config.n_btrs 0 in
   let st = mk_stats () in
   let custom name a b = Config.custom_eval cfg name a b in
+  (* Inline ALU evaluation over canonical (already-masked) operands,
+     dispatched on the predecoded sub-operation code — semantics
+     identical to [Isa.eval_alu], which remains the fallback for the
+     configured custom operations (their name lives in [x_op]). *)
+  let sign_bit = 1 lsl (width - 1) in
+  let modulus = 1 lsl width in
+  let ts v = if v land sign_bit <> 0 then v - modulus else v in
+  let alu_eval code op a b =
+    match code with
+    | 0 -> (a + b) land msk                                       (* ADD *)
+    | 1 -> (a - b) land msk                                       (* SUB *)
+    | 2 -> (a * b) land msk                                       (* MPY *)
+    | 3 -> let d = ts b in if d = 0 then 0 else (ts a / d) land msk
+    | 4 -> let d = ts b in if d = 0 then a else (ts a mod d) land msk
+    | 5 -> if ts a <= ts b then a else b                          (* MIN *)
+    | 6 -> if ts a >= ts b then a else b                          (* MAX *)
+    | 7 -> abs (ts a) land msk                                    (* ABS *)
+    | 8 -> a land b
+    | 9 -> a lor b
+    | 10 -> a lxor b
+    | 11 -> a land lnot b                                         (* ANDCM *)
+    | 12 -> lnot (a land b) land msk                              (* NAND *)
+    | 13 -> lnot (a lor b) land msk                               (* NOR *)
+    | 14 -> if b >= width then 0 else (a lsl b) land msk          (* SHL *)
+    | 15 -> if b >= width then 0 else a lsr b                     (* SHR *)
+    | 16 ->
+      let n = if b >= width then width - 1 else b in
+      ts a asr n land msk                                         (* SHRA *)
+    | 17 -> a                                                     (* MOV *)
+    | _ -> Isa.eval_alu ~width ~custom op a b                     (* CUSTOM *)
+  in
   let mem_len = Bytes.length mem in
-  let check_addr a n op =
-    if a < 0 || a + n > mem_len then
-      trap_ T_mem_bounds "%s: address %#x out of bounds (cycle %d)" op a st.cycles
-  in
-  (* Decode-stage validation: before issue, every fetched operation must
-     be implemented by the configured datapath and name only registers
-     that exist.  A clean image always passes (the assembler enforces the
-     same constraints), so this changes nothing for normal runs; it turns
-     corrupted instruction words — e.g. injected bit flips that decode to
-     junk indices or to the ILLEGAL marker — into architectural traps
-     instead of array-bounds crashes. *)
-  let check_inst pc slot (i : Isa.inst) =
-    if not (Config.op_supported cfg i.Isa.op) then
-      trap_ T_illegal_op "illegal or unimplemented operation %s (pc %d slot %d)"
-        (Isa.string_of_opcode i.Isa.op) pc slot;
-    let check_reg (file, idx) =
-      let limit =
-        match (file : Isa.regfile) with
-        | Isa.R_gpr -> cfg.Config.n_gprs
-        | Isa.R_pred -> cfg.Config.n_preds
-        | Isa.R_btr -> cfg.Config.n_btrs
-      in
-      if idx < 0 || idx >= limit then
-        trap_ T_illegal_op "%s register index %d out of range (pc %d slot %d, %s)"
-          (match file with Isa.R_gpr -> "GPR" | Isa.R_pred -> "predicate" | Isa.R_btr -> "BTR")
-          idx pc slot
-          (Isa.string_of_opcode i.Isa.op)
-    in
-    List.iter check_reg (Isa.reads i);
-    List.iter check_reg (Isa.writes i)
-  in
+  let budget = cfg.Config.rf_port_budget in
+  let fwd = cfg.Config.forwarding in
+  let bubbles = cfg.Config.pipeline_stages - 1 in
   let halted = ref false in
   let ret = ref 0 in
   let pc = ref entry in
   let now = ref 0 in
-  let latency op = Config.latency cfg op in
-  (* One fetched operation, pre-decoded operand values filled per cycle. *)
-  let bundle = Array.make w Isa.nop in
   let trap_info = ref None in
+  (* Per-cycle scratch, hoisted so the fast loop never allocates. *)
+  let vals1 = Array.make w 0 and vals2 = Array.make w 0 in
+  let enabled = Array.make w false in
+  let branch_pred = Array.make w true in
+  let ready_cycle = ref 0 in
+  let port_ops = ref 0 in
+  let next_pc = ref 0 in
+  let taken = ref false in
+  (* The shared cycle body, phases in the exact order of the original
+     single loop.  [b] is the current bundle's predecode. *)
   (try
-  while not !halted do
-    if !now > fuel then trap_ T_fuel "out of fuel after %d cycles" fuel;
-    if !pc < 0 || !pc >= n_bundles then
-      trap_ T_bad_pc "PC %d outside code (cycle %d)" !pc st.cycles;
-    (match tamper with
-     | Some f ->
-       f { m_gprs = gprs; m_preds = preds; m_btrs = btrs; m_mem = mem;
-           m_insts = insts; m_issue_width = w; m_pc = !pc; m_cycle = !now }
-     | None -> ());
-    for k = 0 to w - 1 do
-      bundle.(k) <- insts.((!pc * w) + k);
-      if bundle.(k).Isa.op <> Isa.NOP then check_inst !pc k bundle.(k)
-    done;
-    (* ---- readiness: stall the whole bundle until every source (and
-       guard) of every operation is available. *)
-    let ready_cycle = ref 0 in
-    for k = 0 to w - 1 do
-      let i = bundle.(k) in
-      List.iter
-        (fun (file, idx) ->
-          let r =
-            match (file : Isa.regfile) with
-            | Isa.R_gpr -> gpr_ready.(idx)
-            | Isa.R_pred -> pred_ready.(idx)
-            | Isa.R_btr -> btr_ready.(idx)
-          in
-          if r > !ready_cycle then ready_cycle := r)
-        (Isa.reads i)
-    done;
-    if !ready_cycle > !now then begin
-      (match sink with
-       | Some f ->
-         f (Ev_stall { at = !now; pc = !pc; cause = S_operand;
-                       cycles = !ready_cycle - !now })
-       | None -> ());
-      st.operand_stalls <- st.operand_stalls + (!ready_cycle - !now);
-      st.cycles <- st.cycles + (!ready_cycle - !now);
-      now := !ready_cycle
-    end;
-    (* ---- register-file port accounting.  A GPR read whose value became
-       ready exactly this cycle is forwarded (free) when forwarding is
-       enabled; every other GPR read and every GPR write costs one port
-       operation on the quad-pumped controller. *)
-    let port_ops = ref 0 in
-    for k = 0 to w - 1 do
-      let i = bundle.(k) in
-      List.iter
-        (fun (file, idx) ->
-          match (file : Isa.regfile) with
-          | Isa.R_gpr ->
-            let forwarded = cfg.Config.forwarding && gpr_ready.(idx) = !now && !now > 0 in
-            if not forwarded then incr port_ops
-          | Isa.R_pred | Isa.R_btr -> ())
-        (Isa.reads i);
-      List.iter
-        (fun (file, idx) ->
-          ignore idx;
-          match (file : Isa.regfile) with
-          | Isa.R_gpr -> incr port_ops
-          | Isa.R_pred | Isa.R_btr -> ())
-        (Isa.writes i)
-    done;
-    let budget = cfg.Config.rf_port_budget in
-    if !port_ops > budget then begin
-      let extra = ((!port_ops + budget - 1) / budget) - 1 in
-      (match sink with
-       | Some f when extra > 0 ->
-         f (Ev_stall { at = !now; pc = !pc; cause = S_port; cycles = extra })
-       | _ -> ());
-      st.port_stalls <- st.port_stalls + extra;
-      st.cycles <- st.cycles + extra;
-      now := !now + extra
-    end;
-    (* ---- phase 1: read all sources (register reads happen at issue). *)
-    let src_val (s : Isa.src) =
-      match s with Isa.Sreg r -> gprs.(r) | Isa.Simm v -> m v
-    in
-    let vals1 = Array.make w 0 and vals2 = Array.make w 0 in
-    let enabled = Array.make w false in
-    for k = 0 to w - 1 do
-      let i = bundle.(k) in
-      vals1.(k) <- src_val i.Isa.src1;
-      vals2.(k) <- src_val i.Isa.src2;
-      enabled.(k) <- i.Isa.guard = 0 || preds.(i.Isa.guard)
-    done;
-    (* Predicate operand of conditional branches is read at issue too. *)
-    let branch_pred = Array.make w true in
-    for k = 0 to w - 1 do
-      let i = bundle.(k) in
-      match i.Isa.op with
-      | Isa.BRCT | Isa.BRCF ->
-        (match i.Isa.src2 with
-         | Isa.Simm p when p >= 0 && p < cfg.Config.n_preds -> branch_pred.(k) <- preds.(p)
-         | Isa.Simm p -> trap_ T_illegal_op "branch predicate index %d out of range" p
-         | Isa.Sreg _ -> trap_ T_illegal_op "branch predicate operand must be a literal index")
-      | _ -> ()
-    done;
-    (* ---- phase 2: execute and write back. *)
-    let cycle = !now in
-    let write_gpr r v lat =
-      if r <> 0 then begin
-        gprs.(r) <- m v;
-        gpr_ready.(r) <- cycle + lat
-      end
-    in
-    let next_pc = ref (!pc + 1) in
-    let taken = ref false in
-    (* Per-slot outcome, recorded only when a sink is listening. *)
-    let slots =
-      match sink with Some _ -> Some (Array.make w Sl_empty) | None -> None
-    in
-    let set_slot k s = match slots with Some a -> a.(k) <- s | None -> () in
-    for k = 0 to w - 1 do
-         if !taken then begin
-           let op = bundle.(k).Isa.op in
-           if op <> Isa.NOP then set_slot k (Sl_shadowed op)
+     match trace, sink, tamper with
+     | None, None, None ->
+       (* ================= FAST LOOP ================================ *)
+       while not !halted do
+         if !now > fuel then trap_ T_fuel "out of fuel after %d cycles" fuel;
+         let pcv = !pc in
+         if pcv < 0 || pcv >= n_bundles then
+           trap_ T_bad_pc "PC %d outside code (cycle %d)" pcv st.cycles;
+         let b = Array.unsafe_get bundles pcv in
+         (match b.Predecode.b_fetch_trap with
+          | Some msg -> raise (Trap (T_illegal_op, msg))
+          | None -> ());
+         (* readiness: stall the whole bundle until every source (and
+            guard) of every operation is available. *)
+         let rg = b.Predecode.b_rg in
+         let rp = b.Predecode.b_rp in
+         let rb = b.Predecode.b_rb in
+         ready_cycle := 0;
+         for j = 0 to Array.length rg - 1 do
+           let r = Array.unsafe_get gpr_ready (Array.unsafe_get rg j) in
+           if r > !ready_cycle then ready_cycle := r
+         done;
+         for j = 0 to Array.length rp - 1 do
+           let r = Array.unsafe_get pred_ready (Array.unsafe_get rp j) in
+           if r > !ready_cycle then ready_cycle := r
+         done;
+         for j = 0 to Array.length rb - 1 do
+           let r = Array.unsafe_get btr_ready (Array.unsafe_get rb j) in
+           if r > !ready_cycle then ready_cycle := r
+         done;
+         if !ready_cycle > !now then begin
+           st.operand_stalls <- st.operand_stalls + (!ready_cycle - !now);
+           st.cycles <- st.cycles + (!ready_cycle - !now);
+           now := !ready_cycle
+         end;
+         (* register-file port accounting: a forwarded GPR read is free,
+            every other GPR read and every GPR write costs one port. *)
+         port_ops := b.Predecode.b_wg;
+         if fwd then begin
+           let nowv = !now in
+           for j = 0 to Array.length rg - 1 do
+             let fwd_hit =
+               Array.unsafe_get gpr_ready (Array.unsafe_get rg j) = nowv
+               && nowv > 0
+             in
+             if not fwd_hit then incr port_ops
+           done
          end
-         else begin
-           let i = bundle.(k) in
-           let op = i.Isa.op in
-           if op = Isa.NOP then st.nops <- st.nops + 1
+         else port_ops := !port_ops + Array.length rg;
+         if !port_ops > budget then begin
+           let extra = ((!port_ops + budget - 1) / budget) - 1 in
+           st.port_stalls <- st.port_stalls + extra;
+           st.cycles <- st.cycles + extra;
+           now := !now + extra
+         end;
+         (* phase 1: read all sources (register reads happen at issue). *)
+         let slots = b.Predecode.b_slots in
+         for k = 0 to w - 1 do
+           let s = Array.unsafe_get slots k in
+           let r1 = s.Predecode.x_s1r in
+           Array.unsafe_set vals1 k
+             (if r1 >= 0 then Array.unsafe_get gprs r1 else s.Predecode.x_s1v);
+           let r2 = s.Predecode.x_s2r in
+           Array.unsafe_set vals2 k
+             (if r2 >= 0 then Array.unsafe_get gprs r2 else s.Predecode.x_s2v);
+           let g = s.Predecode.x_guard in
+           Array.unsafe_set enabled k (g = 0 || Array.unsafe_get preds g);
+           (* Conditional branches also read their branch predicate at
+              issue ([x_bp] is -1 exactly when [b_p1_trap] is set, which
+              raises below before the value could be consumed). *)
+           let bp = s.Predecode.x_bp in
+           if s.Predecode.x_kind = 7 (* k_brc *) && bp >= 0 then
+             Array.unsafe_set branch_pred k (Array.unsafe_get preds bp)
+         done;
+         (match b.Predecode.b_p1_trap with
+          | Some msg -> raise (Trap (T_illegal_op, msg))
+          | None -> ());
+         (* phase 2: execute and write back. *)
+         let cycle = !now in
+         next_pc := pcv + 1;
+         taken := false;
+         for k = 0 to w - 1 do
+           if not !taken then begin
+             let s = Array.unsafe_get slots k in
+             let kind = s.Predecode.x_kind in
+             if kind = 0 (* k_nop *) then st.nops <- st.nops + 1
+             else if not (Array.unsafe_get enabled k) then begin
+               st.squashed <- st.squashed + 1;
+               st.ops <- st.ops + 1
+             end
+             else begin
+               st.ops <- st.ops + 1;
+               (match s.Predecode.x_unit with
+                | 0 -> st.alu_ops <- st.alu_ops + 1
+                | 1 -> st.lsu_ops <- st.lsu_ops + 1
+                | 2 -> st.cmpu_ops <- st.cmpu_ops + 1
+                | 3 -> st.bru_ops <- st.bru_ops + 1
+                | _ -> ());
+               if kind = 1 (* k_alu *) then begin
+                 let v =
+                   alu_eval s.Predecode.x_alu s.Predecode.x_op
+                     (Array.unsafe_get vals1 k) (Array.unsafe_get vals2 k)
+                 in
+                 let d = s.Predecode.x_dst1 in
+                 if d <> 0 then begin
+                   gprs.(d) <- m v;
+                   gpr_ready.(d) <- cycle + s.Predecode.x_lat
+                 end
+               end
+               else if kind = 2 (* k_ld *) then begin
+                 let ea = m (Array.unsafe_get vals1 k + Array.unsafe_get vals2 k) in
+                 if ea < 0 || ea + s.Predecode.x_bytes > mem_len then
+                   trap_ T_mem_bounds "load: address %#x out of bounds (cycle %d)"
+                     ea st.cycles;
+                 st.mem_reads <- st.mem_reads + 1;
+                 let v =
+                   Memmap.read ~size:s.Predecode.x_size ~ext:s.Predecode.x_ext
+                     mem ea
+                 in
+                 let d = s.Predecode.x_dst1 in
+                 if d <> 0 then begin
+                   gprs.(d) <- m v;
+                   gpr_ready.(d) <- cycle + s.Predecode.x_lat
+                 end
+               end
+               else if kind = 3 (* k_st *) then begin
+                 let ea = m (Array.unsafe_get vals1 k + s.Predecode.x_stoff) in
+                 if ea < 0 || ea + s.Predecode.x_bytes > mem_len then
+                   trap_ T_mem_bounds "store: address %#x out of bounds (cycle %d)"
+                     ea st.cycles;
+                 st.mem_writes <- st.mem_writes + 1;
+                 Memmap.write ~size:s.Predecode.x_size mem ea
+                   (Array.unsafe_get vals2 k)
+               end
+               else if kind = 4 (* k_cmpp *) then begin
+                 let t =
+                   Isa.eval_cmp ~width s.Predecode.x_cond
+                     (Array.unsafe_get vals1 k) (Array.unsafe_get vals2 k)
+                 in
+                 let d1 = s.Predecode.x_dst1 in
+                 if d1 <> 0 then begin
+                   preds.(d1) <- t;
+                   pred_ready.(d1) <- cycle + s.Predecode.x_lat
+                 end;
+                 let d2 = s.Predecode.x_dst2 in
+                 if d2 <> 0 then begin
+                   preds.(d2) <- not t;
+                   pred_ready.(d2) <- cycle + s.Predecode.x_lat
+                 end
+               end
+               else if kind = 5 (* k_pbrr *) then begin
+                 btrs.(s.Predecode.x_dst1) <- Array.unsafe_get vals1 k;
+                 btr_ready.(s.Predecode.x_dst1) <- cycle + s.Predecode.x_lat
+               end
+               else if kind = 6 (* k_bru *) then begin
+                 let bi = s.Predecode.x_btr in
+                 if bi >= 0 then begin next_pc := btrs.(bi); taken := true end
+                 else trap_ T_illegal_op "BRU operand must be a BTR index"
+               end
+               else if kind = 7 (* k_brc *) then begin
+                 if Array.unsafe_get branch_pred k = s.Predecode.x_want then begin
+                   let bi = s.Predecode.x_btr in
+                   if bi >= 0 then begin next_pc := btrs.(bi); taken := true end
+                   else trap_ T_illegal_op "branch operand must be a BTR index"
+                 end
+               end
+               else if kind = 8 (* k_brl *) then begin
+                 let bi = s.Predecode.x_btr in
+                 if bi >= 0 then begin
+                   let d = s.Predecode.x_dst1 in
+                   if d <> 0 then begin
+                     gprs.(d) <- m (pcv + 1);
+                     gpr_ready.(d) <- cycle + s.Predecode.x_lat
+                   end;
+                   next_pc := btrs.(bi);
+                   taken := true
+                 end
+                 else trap_ T_illegal_op "BRL operand must be a BTR index"
+               end
+               else begin (* k_halt *)
+                 halted := true;
+                 ret := gprs.(3);
+                 taken := true
+               end
+             end
+           end
+         done;
+         st.bundles <- st.bundles + 1;
+         st.cycles <- st.cycles + 1;
+         now := !now + 1;
+         if !taken && not !halted && bubbles > 0 then begin
+           st.branch_bubbles <- st.branch_bubbles + bubbles;
+           st.cycles <- st.cycles + bubbles;
+           now := !now + bubbles
+         end;
+         pc := !next_pc
+       done
+     | _ ->
+       (* ================= INSTRUMENTED LOOP ======================== *)
+       (* Same phases over the same predecode, plus the event sink, the
+          trace printer and the tamper hook.  With a tamper hook the
+          instruction stream may be rewritten under us, so each fetch
+          compares the live slots against the records the predecode was
+          built from and re-decodes the bundle when they differ —
+          injected corruption is decoded fresh, restored slots go back
+          to the predecoded fast path. *)
+       let psrc = pre.Predecode.p_insts in
+       let fetch_bundle pcv =
+         match tamper with
+         | None -> bundles.(pcv)
+         | Some _ ->
+           let base = pcv * w in
+           let clean = ref true in
+           for k = 0 to w - 1 do
+             if not (insts.(base + k) == psrc.(base + k)) then clean := false
+           done;
+           if !clean then bundles.(pcv)
+           else Predecode.decode_bundle cfg insts pcv w
+       in
+       while not !halted do
+         if !now > fuel then trap_ T_fuel "out of fuel after %d cycles" fuel;
+         if !pc < 0 || !pc >= n_bundles then
+           trap_ T_bad_pc "PC %d outside code (cycle %d)" !pc st.cycles;
+         (match tamper with
+          | Some f ->
+            f { m_gprs = gprs; m_preds = preds; m_btrs = btrs; m_mem = mem;
+                m_insts = insts; m_issue_width = w; m_pc = !pc; m_cycle = !now }
+          | None -> ());
+         let pcv = !pc in
+         let b = fetch_bundle pcv in
+         (match b.Predecode.b_fetch_trap with
+          | Some msg -> raise (Trap (T_illegal_op, msg))
+          | None -> ());
+         let rg = b.Predecode.b_rg in
+         let rp = b.Predecode.b_rp in
+         let rb = b.Predecode.b_rb in
+         ready_cycle := 0;
+         for j = 0 to Array.length rg - 1 do
+           let r = gpr_ready.(rg.(j)) in
+           if r > !ready_cycle then ready_cycle := r
+         done;
+         for j = 0 to Array.length rp - 1 do
+           let r = pred_ready.(rp.(j)) in
+           if r > !ready_cycle then ready_cycle := r
+         done;
+         for j = 0 to Array.length rb - 1 do
+           let r = btr_ready.(rb.(j)) in
+           if r > !ready_cycle then ready_cycle := r
+         done;
+         if !ready_cycle > !now then begin
+           (match sink with
+            | Some f ->
+              f (Ev_stall { at = !now; pc = pcv; cause = S_operand;
+                            cycles = !ready_cycle - !now })
+            | None -> ());
+           st.operand_stalls <- st.operand_stalls + (!ready_cycle - !now);
+           st.cycles <- st.cycles + (!ready_cycle - !now);
+           now := !ready_cycle
+         end;
+         port_ops := b.Predecode.b_wg;
+         if fwd then begin
+           let nowv = !now in
+           for j = 0 to Array.length rg - 1 do
+             let fwd_hit = gpr_ready.(rg.(j)) = nowv && nowv > 0 in
+             if not fwd_hit then incr port_ops
+           done
+         end
+         else port_ops := !port_ops + Array.length rg;
+         if !port_ops > budget then begin
+           let extra = ((!port_ops + budget - 1) / budget) - 1 in
+           (match sink with
+            | Some f when extra > 0 ->
+              f (Ev_stall { at = !now; pc = pcv; cause = S_port; cycles = extra })
+            | _ -> ());
+           st.port_stalls <- st.port_stalls + extra;
+           st.cycles <- st.cycles + extra;
+           now := !now + extra
+         end;
+         let slots = b.Predecode.b_slots in
+         for k = 0 to w - 1 do
+           let s = slots.(k) in
+           let r1 = s.Predecode.x_s1r in
+           vals1.(k) <- (if r1 >= 0 then gprs.(r1) else s.Predecode.x_s1v);
+           let r2 = s.Predecode.x_s2r in
+           vals2.(k) <- (if r2 >= 0 then gprs.(r2) else s.Predecode.x_s2v);
+           let g = s.Predecode.x_guard in
+           enabled.(k) <- (g = 0 || preds.(g));
+           let bp = s.Predecode.x_bp in
+           if s.Predecode.x_kind = 7 (* k_brc *) && bp >= 0 then
+             branch_pred.(k) <- preds.(bp)
+         done;
+         (match b.Predecode.b_p1_trap with
+          | Some msg -> raise (Trap (T_illegal_op, msg))
+          | None -> ());
+         let cycle = !now in
+         next_pc := pcv + 1;
+         taken := false;
+         (* Per-slot outcome, recorded only when a sink is listening. *)
+         let ev_slots =
+           match sink with Some _ -> Some (Array.make w Sl_empty) | None -> None
+         in
+         let set_slot k s = match ev_slots with Some a -> a.(k) <- s | None -> () in
+         for k = 0 to w - 1 do
+           let s = slots.(k) in
+           let kind = s.Predecode.x_kind in
+           if !taken then begin
+             if kind <> 0 then set_slot k (Sl_shadowed s.Predecode.x_op)
+           end
+           else if kind = 0 then st.nops <- st.nops + 1
            else if not enabled.(k) then begin
-             set_slot k (Sl_squashed op);
+             set_slot k (Sl_squashed s.Predecode.x_op);
              st.squashed <- st.squashed + 1;
              st.ops <- st.ops + 1
            end
            else begin
-             set_slot k (Sl_op op);
+             set_slot k (Sl_op s.Predecode.x_op);
              st.ops <- st.ops + 1;
-             (match Isa.unit_of op with
-              | Isa.U_alu -> st.alu_ops <- st.alu_ops + 1
-              | Isa.U_lsu -> st.lsu_ops <- st.lsu_ops + 1
-              | Isa.U_cmpu -> st.cmpu_ops <- st.cmpu_ops + 1
-              | Isa.U_bru -> st.bru_ops <- st.bru_ops + 1
-              | Isa.U_none -> ());
-             match op with
-             | Isa.ADD | Isa.SUB | Isa.MPY | Isa.DIV | Isa.REM | Isa.MIN
-             | Isa.MAX | Isa.ABS | Isa.AND | Isa.OR | Isa.XOR | Isa.ANDCM
-             | Isa.NAND | Isa.NOR | Isa.SHL | Isa.SHR | Isa.SHRA | Isa.MOV
-             | Isa.CUSTOM _ ->
-               let v = Isa.eval_alu ~width ~custom op vals1.(k) vals2.(k) in
-               write_gpr i.Isa.dst1 v (latency op)
-             | Isa.LD mw | Isa.LDU mw ->
+             (match s.Predecode.x_unit with
+              | 0 -> st.alu_ops <- st.alu_ops + 1
+              | 1 -> st.lsu_ops <- st.lsu_ops + 1
+              | 2 -> st.cmpu_ops <- st.cmpu_ops + 1
+              | 3 -> st.bru_ops <- st.bru_ops + 1
+              | _ -> ());
+             if kind = 1 then begin
+               let v =
+                 alu_eval s.Predecode.x_alu s.Predecode.x_op vals1.(k) vals2.(k)
+               in
+               let d = s.Predecode.x_dst1 in
+               if d <> 0 then begin
+                 gprs.(d) <- m v;
+                 gpr_ready.(d) <- cycle + s.Predecode.x_lat
+               end
+             end
+             else if kind = 2 then begin
                let ea = m (vals1.(k) + vals2.(k)) in
-               let bytes = Isa.bytes_of_mem_width mw in
-               check_addr ea bytes "load";
+               if ea < 0 || ea + s.Predecode.x_bytes > mem_len then
+                 trap_ T_mem_bounds "load: address %#x out of bounds (cycle %d)"
+                   ea st.cycles;
                st.mem_reads <- st.mem_reads + 1;
-               let size = match mw with
-                 | Isa.M_byte -> Epic_mir.Ir.I8
-                 | Isa.M_half -> Epic_mir.Ir.I16
-                 | Isa.M_word -> Epic_mir.Ir.I32
+               let v =
+                 Memmap.read ~size:s.Predecode.x_size ~ext:s.Predecode.x_ext
+                   mem ea
                in
-               let ext = match op with Isa.LD _ -> Epic_mir.Ir.Sx | _ -> Epic_mir.Ir.Zx in
-               let v = Memmap.read ~size ~ext mem ea in
-               write_gpr i.Isa.dst1 (m v) (latency op)
-             | Isa.ST mw ->
-               let bytes = Isa.bytes_of_mem_width mw in
-               let ea = m (vals1.(k) + (i.Isa.dst1 * bytes)) in
-               check_addr ea bytes "store";
+               let d = s.Predecode.x_dst1 in
+               if d <> 0 then begin
+                 gprs.(d) <- m v;
+                 gpr_ready.(d) <- cycle + s.Predecode.x_lat
+               end
+             end
+             else if kind = 3 then begin
+               let ea = m (vals1.(k) + s.Predecode.x_stoff) in
+               if ea < 0 || ea + s.Predecode.x_bytes > mem_len then
+                 trap_ T_mem_bounds "store: address %#x out of bounds (cycle %d)"
+                   ea st.cycles;
                st.mem_writes <- st.mem_writes + 1;
-               let size = match mw with
-                 | Isa.M_byte -> Epic_mir.Ir.I8
-                 | Isa.M_half -> Epic_mir.Ir.I16
-                 | Isa.M_word -> Epic_mir.Ir.I32
-               in
-               Memmap.write ~size mem ea vals2.(k)
-             | Isa.CMPP c ->
-               let t = Isa.eval_cmp ~width c vals1.(k) vals2.(k) in
-               if i.Isa.dst1 <> 0 then begin
-                 preds.(i.Isa.dst1) <- t;
-                 pred_ready.(i.Isa.dst1) <- cycle + latency op
+               Memmap.write ~size:s.Predecode.x_size mem ea vals2.(k)
+             end
+             else if kind = 4 then begin
+               let t = Isa.eval_cmp ~width s.Predecode.x_cond vals1.(k) vals2.(k) in
+               let d1 = s.Predecode.x_dst1 in
+               if d1 <> 0 then begin
+                 preds.(d1) <- t;
+                 pred_ready.(d1) <- cycle + s.Predecode.x_lat
                end;
-               if i.Isa.dst2 <> 0 then begin
-                 preds.(i.Isa.dst2) <- not t;
-                 pred_ready.(i.Isa.dst2) <- cycle + latency op
+               let d2 = s.Predecode.x_dst2 in
+               if d2 <> 0 then begin
+                 preds.(d2) <- not t;
+                 pred_ready.(d2) <- cycle + s.Predecode.x_lat
                end
-             | Isa.PBRR ->
-               btrs.(i.Isa.dst1) <- vals1.(k);
-               btr_ready.(i.Isa.dst1) <- cycle + latency op
-             | Isa.BRU_ ->
-               (match i.Isa.src1 with
-                | Isa.Simm b -> next_pc := btrs.(b); taken := true
-                | Isa.Sreg _ -> trap_ T_illegal_op "BRU operand must be a BTR index")
-             | Isa.BRCT | Isa.BRCF ->
-               let want = op = Isa.BRCT in
-               if branch_pred.(k) = want then begin
-                 (match i.Isa.src1 with
-                  | Isa.Simm b -> next_pc := btrs.(b); taken := true
-                  | Isa.Sreg _ -> trap_ T_illegal_op "branch operand must be a BTR index")
+             end
+             else if kind = 5 then begin
+               btrs.(s.Predecode.x_dst1) <- vals1.(k);
+               btr_ready.(s.Predecode.x_dst1) <- cycle + s.Predecode.x_lat
+             end
+             else if kind = 6 then begin
+               let bi = s.Predecode.x_btr in
+               if bi >= 0 then begin next_pc := btrs.(bi); taken := true end
+               else trap_ T_illegal_op "BRU operand must be a BTR index"
+             end
+             else if kind = 7 then begin
+               if branch_pred.(k) = s.Predecode.x_want then begin
+                 let bi = s.Predecode.x_btr in
+                 if bi >= 0 then begin next_pc := btrs.(bi); taken := true end
+                 else trap_ T_illegal_op "branch operand must be a BTR index"
                end
-             | Isa.BRL ->
-               (match i.Isa.src1 with
-                | Isa.Simm b ->
-                  write_gpr i.Isa.dst1 (!pc + 1) (latency op);
-                  next_pc := btrs.(b);
-                  taken := true
-                | Isa.Sreg _ -> trap_ T_illegal_op "BRL operand must be a BTR index")
-             | Isa.HALT ->
+             end
+             else if kind = 8 then begin
+               let bi = s.Predecode.x_btr in
+               if bi >= 0 then begin
+                 let d = s.Predecode.x_dst1 in
+                 if d <> 0 then begin
+                   gprs.(d) <- m (pcv + 1);
+                   gpr_ready.(d) <- cycle + s.Predecode.x_lat
+                 end;
+                 next_pc := btrs.(bi);
+                 taken := true
+               end
+               else trap_ T_illegal_op "BRL operand must be a BTR index"
+             end
+             else begin (* k_halt *)
                halted := true;
                ret := gprs.(3);
                taken := true
-             | Isa.NOP -> ()
+             end
            end
-         end
-       done;
-    (match trace with
-     | Some ppf ->
-       Format.fprintf ppf "%8d  pc=%-6d" !now !pc;
-       for k = 0 to w - 1 do
-         let i = bundle.(k) in
-         if i.Isa.op <> Isa.NOP then
-           if enabled.(k) then Format.fprintf ppf " | %a" Isa.pp_inst i
-           else Format.fprintf ppf " | [%a]" Isa.pp_inst i
-       done;
-       Format.fprintf ppf "@."
-     | None -> ());
-    (match sink, slots with
-     | Some f, Some a ->
-       f (Ev_issue { at = cycle; pc = !pc; slots = a; next_pc = !next_pc;
-                     taken = !taken })
-     | _ -> ());
-    st.bundles <- st.bundles + 1;
-    st.cycles <- st.cycles + 1;
-    now := !now + 1;
-    if !taken && not !halted then begin
-      (* Taken branch: refill the front of the pipeline — one bubble per
-         stage before execute (1 in the paper's 2-stage prototype). *)
-      let bubbles = cfg.Config.pipeline_stages - 1 in
-      (match sink with
-       | Some f when bubbles > 0 ->
-         f (Ev_stall { at = !now; pc = !pc; cause = S_branch; cycles = bubbles })
-       | _ -> ());
-      st.branch_bubbles <- st.branch_bubbles + bubbles;
-      st.cycles <- st.cycles + bubbles;
-      now := !now + bubbles
-    end;
-    pc := !next_pc
-  done
-  with Trap (cause, msg) ->
-    (* Graceful termination: freeze the architectural state, record the
-       fault, and fall through to the normal result path.  [ret] reflects
-       r3 at the trap so partial results remain observable. *)
-    ret := gprs.(3);
-    trap_info :=
-      Some { tr_cause = cause; tr_pc = !pc; tr_cycle = st.cycles; tr_message = msg });
+         done;
+         (match trace with
+          | Some ppf ->
+            Format.fprintf ppf "%8d  pc=%-6d" !now pcv;
+            for k = 0 to w - 1 do
+              let i = insts.((pcv * w) + k) in
+              if i.Isa.op <> Isa.NOP then
+                if enabled.(k) then Format.fprintf ppf " | %a" Isa.pp_inst i
+                else Format.fprintf ppf " | [%a]" Isa.pp_inst i
+            done;
+            Format.fprintf ppf "@."
+          | None -> ());
+         (match sink, ev_slots with
+          | Some f, Some a ->
+            f (Ev_issue { at = cycle; pc = pcv; slots = a; next_pc = !next_pc;
+                          taken = !taken })
+          | _ -> ());
+         st.bundles <- st.bundles + 1;
+         st.cycles <- st.cycles + 1;
+         now := !now + 1;
+         if !taken && not !halted then begin
+           (* Taken branch: refill the front of the pipeline — one bubble
+              per stage before execute (1 in the paper's 2-stage
+              prototype). *)
+           (match sink with
+            | Some f when bubbles > 0 ->
+              f (Ev_stall { at = !now; pc = pcv; cause = S_branch;
+                            cycles = bubbles })
+            | _ -> ());
+           st.branch_bubbles <- st.branch_bubbles + bubbles;
+           st.cycles <- st.cycles + bubbles;
+           now := !now + bubbles
+         end;
+         pc := !next_pc
+       done
+   with Trap (cause, msg) ->
+     (* Graceful termination: freeze the architectural state, record the
+        fault, and fall through to the normal result path.  [ret] reflects
+        r3 at the trap so partial results remain observable. *)
+     ret := gprs.(3);
+     trap_info :=
+       Some { tr_cause = cause; tr_pc = !pc; tr_cycle = st.cycles; tr_message = msg });
   { ret = !ret; stats = st; mem; gprs; trap = !trap_info }
 
-let run_exn ?fuel ?trace ?sink ?tamper cfg ~image ~mem ?entry () =
-  let r = run ?fuel ?trace ?sink ?tamper cfg ~image ~mem ?entry () in
+let run_exn ?fuel ?trace ?sink ?tamper ?pre cfg ~image ~mem ?entry () =
+  let r = run ?fuel ?trace ?sink ?tamper ?pre cfg ~image ~mem ?entry () in
   match r.trap with
   | None -> r
   | Some t ->

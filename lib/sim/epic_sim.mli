@@ -150,11 +150,78 @@ type event =
 
 val string_of_stall_cause : stall_cause -> string
 
+(** {1 Predecode: the first tier of the two-tier engine}
+
+    {!run} decodes and legality-checks each image {e once} per
+    (image x config) into flat resolved op records — int-coded dispatch
+    classes, flattened read/write register sets, resolved latencies —
+    and the cycle loops consume only those.  Callers that re-simulate
+    the same image many times (fault campaigns, the serving daemon, DSE
+    sweeps) should build the predecode once with {!Predecode.of_image}
+    (or obtain it from {!Epic_exec.Cache} keyed by
+    [Epic_config.fingerprint] x {!Predecode.image_digest}) and pass it
+    as [run ~pre].
+
+    Legality checks move to predecode time, but the trap taxonomy for
+    corrupted images is preserved exactly: failures are {e recorded},
+    not raised, and the simulator raises them at the original program
+    points (fetch / issue / execute), so a bundle that is never reached
+    never traps.
+
+    A predecode is immutable and holds no mutable simulator state: like
+    the image itself it may be shared across concurrent domains.
+    [run ~pre] rejects (with [Sim_error], code [sim/predecode-mismatch])
+    a predecode built for a different instruction stream, issue width or
+    configuration.  Runs with a [tamper] hook re-decode any bundle whose
+    fetched slots are no longer the records the predecode was built from
+    (physical per-slot comparison), so fault injection still sees raw
+    instruction words. *)
+
+module Predecode : sig
+  type t
+  (** A fully resolved (image x config) decode. *)
+
+  val of_image : Epic_config.t -> Epic_asm.Aunit.image -> t
+  (** Decode and legality-check every bundle of [image].  Never raises
+      on illegal content — failures are deferred to the run that reaches
+      them. *)
+
+  val image_digest : Epic_asm.Aunit.image -> string
+  (** Content digest of the instruction stream, for cache keying by
+      (config fingerprint x image). *)
+
+  val n_bundles : t -> int
+
+  val issue_width : t -> int
+
+  val fetch_trap : t -> int -> string option
+  (** [fetch_trap t pc] is the decode-stage failure the simulator will
+      raise (as [T_illegal_op]) when bundle [pc] is fetched, if any. *)
+
+  val bundle_reads : t -> int -> int list * int list * int list
+  (** Flattened (GPR, predicate, BTR) read indices of a bundle,
+      multiplicity preserved — equals the concatenation of
+      [Epic_isa.reads] over the bundle's slots (introspection for
+      tests). *)
+
+  val gpr_write_ports : t -> int -> int
+  (** GPR write-port count of a bundle — equals the GPR entries of
+      [Epic_isa.writes] over its slots. *)
+
+  val slot_latency : t -> bundle:int -> slot:int -> int
+  (** Resolved result latency, i.e. [Epic_config.latency]. *)
+
+  val slot_kind : t -> bundle:int -> slot:int -> string
+  (** Dispatch class: ["nop"], ["alu"], ["load"], ["store"], ["cmpp"],
+      ["pbrr"], ["bru"], ["brc"], ["brl"] or ["halt"]. *)
+end
+
 val run :
   ?fuel:int ->
   ?trace:Format.formatter ->
   ?sink:(event -> unit) ->
   ?tamper:(machine -> unit) ->
+  ?pre:Predecode.t ->
   Epic_config.t ->
   image:Epic_asm.Aunit.image ->
   mem:Bytes.t ->
@@ -167,16 +234,20 @@ val run :
     live operations, squashed ones bracketed); [sink] receives the
     structured event stream (see above; no overhead when absent);
     [tamper] is called once per cycle with the mutable {!machine} view
-    (fault injection; no overhead when absent); [entry] is the starting
-    bundle index (default 0, where the toolchain places [_start]).
-    Architectural faults are returned in [result.trap]; only API misuse
-    raises {!Sim_error}. *)
+    (fault injection; no overhead when absent); [pre] is a predecode of
+    exactly this image under exactly this configuration (built fresh
+    when absent — pass it to amortise decode across repeated runs);
+    [entry] is the starting bundle index (default 0, where the toolchain
+    places [_start]).  Without [trace]/[sink]/[tamper] the cycle loop
+    allocates nothing per cycle.  Architectural faults are returned in
+    [result.trap]; only API misuse raises {!Sim_error}. *)
 
 val run_exn :
   ?fuel:int ->
   ?trace:Format.formatter ->
   ?sink:(event -> unit) ->
   ?tamper:(machine -> unit) ->
+  ?pre:Predecode.t ->
   Epic_config.t ->
   image:Epic_asm.Aunit.image ->
   mem:Bytes.t ->

@@ -20,4 +20,5 @@ let () =
       ("exec", Test_exec.suite);
       ("difftest", Test_difftest.suite);
       ("serve", Test_serve.suite);
+      ("engine", Test_engine.suite);
     ]
