@@ -1,6 +1,7 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build test check bench perf gate baseline fuzz serve-smoke clean
+.PHONY: all build test check bench perf gate baseline fuzz serve-smoke \
+	chaos-smoke clean
 
 all: build
 
@@ -20,6 +21,7 @@ check:
 	  -o _build/check_trace.json
 	dune exec bench/main.exe -- inject-faults --quick
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
 	@echo "make check: OK"
 
 bench:
@@ -59,6 +61,21 @@ serve-smoke:
 	  --scenario mixed --passes 2 --slo-p95-ms 30000 \
 	  --slo-ref-rate 1.0e7 --expect-hit-rate 0.9
 	@echo "serve-smoke: OK"
+
+# Fault-injection campaign against the real daemon: seeded (so a failure
+# replays exactly) and wall-clock-cheap (a few seconds warm).  Each
+# injection — torn writes, bit flips, garbage/oversized frames, a
+# slow-loris client, blown deadlines, SIGKILL and restart — must leave
+# the daemon serving byte-identical responses from a >= 90%-warm cache.
+# The JSON report lands in _build/chaos_report.json for CI to archive.
+chaos-smoke:
+	dune build bin/epicd.exe bin/epicload.exe
+	rm -rf _build/chaos_smoke_cache
+	dune exec bin/epicload.exe -- --chaos --chaos-seed 0 \
+	  --epicd _build/default/bin/epicd.exe \
+	  --cache-dir _build/chaos_smoke_cache \
+	  --chaos-report _build/chaos_report.json --jobs 2
+	@echo "chaos-smoke: OK"
 
 # Refresh the committed baseline after an intentional performance change.
 baseline:

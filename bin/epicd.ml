@@ -17,14 +17,16 @@
 
 open Cmdliner
 
-let run socket cache_dir cache_entries batch_max jobs =
+let run socket cache_dir cache_entries batch_max queue_max deadline_ms jobs =
   Cli_common.handle_errors @@ fun () ->
   let store =
     Option.map
       (fun dir -> Epic_serve.Store.open_ ?max_entries:cache_entries dir)
       cache_dir
   in
-  let t = Epic_serve.Server.create ~jobs ~batch_max ?store () in
+  let t =
+    Epic_serve.Server.create ~jobs ~batch_max ~queue_max ?deadline_ms ?store ()
+  in
   let stop =
     match socket with
     | Some path ->
@@ -66,11 +68,26 @@ let cmd =
            ~doc:"Dispatch at most $(docv) queued requests to the domain pool \
                  at once.")
   in
+  let queue_max =
+    Arg.(value & opt int 256
+         & info [ "queue-max" ] ~docv:"N"
+           ~doc:"Admission high-water mark: when $(docv) requests are already \
+                 queued, further work is shed immediately with a \
+                 $(i,serve/overload) error instead of growing the queue.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Default per-request deadline in milliseconds, applied to \
+                 requests that do not set their own $(i,deadline_ms) field.  \
+                 Work past its deadline is abandoned with a \
+                 $(i,serve/deadline) error (default: no deadline).")
+  in
   Cmd.v
     (Cmd.info "epicd"
        ~doc:"Serve EPIC compile-and-simulate requests over newline-delimited \
              JSON")
     Term.(const run $ socket $ cache_dir $ cache_entries $ batch_max
-          $ Cli_common.jobs_term)
+          $ queue_max $ deadline_ms $ Cli_common.jobs_term)
 
 let () = exit (Cmd.eval cmd)

@@ -109,10 +109,11 @@ let pass_in_process ~jobs ~cache_dir lines =
 (* Spawn the daemon binary in pipe mode.  The scenario is a few KB of
    requests — far below the pipe buffer — so writing it whole before
    draining responses cannot deadlock. *)
-let pass_spawn ~jobs ~cache_dir bin lines =
+let pass_spawn ?(extra_args = []) ~jobs ~cache_dir bin lines =
   let args =
     [ bin; "--jobs"; string_of_int jobs ]
     @ (match cache_dir with None -> [] | Some d -> [ "--cache-dir"; d ])
+    @ extra_args
   in
   (* cloexec, so the daemon inherits only the dup2'd stdin/stdout: were
      it to keep a copy of req_w, it would never see EOF on its input. *)
@@ -202,14 +203,164 @@ let pp_dist d =
 (* Option.bind with the arguments in reading order. *)
 let ( =<< ) f x = Option.bind x f
 
+(* ------------------------------------------------------------------ *)
+(* Overload scenario: a burst against a deliberately tiny admission
+   queue.  The first wave must shed (the point of the test); a retry
+   loop with deterministic exponential backoff resends exactly the shed
+   requests until everything has been answered.  Zero lost requests and
+   at least one shed are both hard objectives. *)
+
+let run_overload ~cache_dir ~epicd_bin ~retries ~retry_base_ms ~retry_seed
+    ~jobs =
+  let queue_max = 4 in
+  let ops = compile_grid @ extras in
+  let send_wave =
+    match epicd_bin with
+    | Some bin ->
+      fun lines ->
+        pass_spawn ~jobs ~cache_dir bin lines
+          ~extra_args:[ "--queue-max"; string_of_int queue_max ]
+    | None ->
+      (* One long-lived server across the waves: sheds accumulate in its
+         stats, and retries hit its in-memory caches even without a
+         cache directory. *)
+      let store = Option.map Epic_serve.Store.open_ cache_dir in
+      let t =
+        Epic_serve.Server.create ~jobs ~queue_max ?store ()
+      in
+      fun lines -> Epic_serve.Server.serve_strings t lines
+  in
+  let got = Hashtbl.create 16 in
+  let sheds = ref 0 in
+  let pending = ref (List.mapi (fun i op -> (i, op)) ops) in
+  let attempt = ref 0 in
+  while !pending <> [] && !attempt <= retries do
+    incr attempt;
+    if !attempt > 1 then begin
+      let delay =
+        Epic.Exec.Backoff.delay_ms ~base_ms:retry_base_ms ~seed:retry_seed
+          ~key:0 ~attempt:(!attempt - 1) ()
+      in
+      Unix.sleepf (delay /. 1000.)
+    end;
+    let lines =
+      List.map
+        (fun (i, op) ->
+          P.to_line { P.rq_id = Some i; rq_deadline_ms = None; rq_op = op })
+        !pending
+    in
+    let responses = send_wave lines in
+    List.iter
+      (fun line ->
+        match Result.to_option (J.parse line) with
+        | None -> failwith (Printf.sprintf "unparseable response: %s" line)
+        | Some j ->
+          let id =
+            match J.member "id" j with Some (J.Int i) -> Some i | _ -> None
+          in
+          let ok =
+            match J.member "ok" j with Some (J.Bool b) -> b | _ -> false
+          in
+          let code =
+            match J.member "code" =<< J.member "error" j with
+            | Some (J.Str c) -> Some c
+            | _ -> None
+          in
+          match (id, ok, code) with
+          | Some i, true, _ -> Hashtbl.replace got i line
+          | Some _, false, Some "serve/overload" -> incr sheds
+          | _, false, _ ->
+            failwith (Printf.sprintf "unexpected error response: %s" line)
+          | None, true, _ -> ())
+      responses;
+    let before = List.length !pending in
+    pending := List.filter (fun (i, _) -> not (Hashtbl.mem got i)) !pending;
+    Printf.printf
+      "overload wave %d: %d sent, %d answered, %d shed so far\n%!" !attempt
+      before
+      (before - List.length !pending)
+      !sheds
+  done;
+  let lost = List.length !pending in
+  if lost > 0 then begin
+    Printf.eprintf
+      "epicload: FAIL: %d request(s) lost after %d wave(s) of retries\n" lost
+      !attempt;
+    exit 1
+  end;
+  if !sheds = 0 then begin
+    Printf.eprintf
+      "epicload: FAIL: overload scenario never shed — burst too small for \
+       queue-max %d\n"
+      queue_max;
+    exit 1
+  end;
+  Printf.printf
+    "epicload: overload OK (%d requests, %d shed then retried to completion \
+     in %d wave(s), 0 lost)\n"
+    (List.length ops) !sheds !attempt
+
+(* ------------------------------------------------------------------ *)
+(* Chaos mode: hand over to the seeded injection campaign in
+   Epic_serve.Chaos, which drives the real daemon binary over pipes. *)
+
+let run_chaos ~cache_dir ~epicd_bin ~seed ~report_file ~jobs =
+  let bin =
+    match epicd_bin with
+    | Some b -> b
+    | None -> failwith "--chaos requires --epicd BIN (it drives the real daemon)"
+  in
+  let cache_dir =
+    match cache_dir with
+    | Some d -> d
+    | None ->
+      failwith "--chaos requires --cache-dir DIR (the directory is wiped)"
+  in
+  let report = Epic_serve.Chaos.run ~jobs ~seed ~bin ~cache_dir () in
+  let json = J.to_string (Epic_serve.Chaos.report_to_json report) in
+  (match report_file with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc json;
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "chaos: report written to %s\n" path);
+  if report.Epic_serve.Chaos.r_ok then
+    Printf.printf "epicload: chaos OK (seed %d, %d injections survived)\n" seed
+      (List.length report.Epic_serve.Chaos.r_injections)
+  else begin
+    Printf.eprintf "epicload: FAIL: chaos campaign (seed %d):\n%s\n" seed json;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let run scenario passes cache_dir epicd_bin connect slo_p95 slo_ref_rate
-    expect_hit jobs =
+    expect_hit deadline_ms retries retry_base_ms retry_seed chaos chaos_seed
+    chaos_report jobs =
   Cli_common.handle_errors @@ fun () ->
   if passes < 1 then failwith "--passes must be >= 1";
   if epicd_bin <> None && connect <> None then
     failwith "--epicd and --connect are mutually exclusive";
+  if chaos then run_chaos ~cache_dir ~epicd_bin ~seed:chaos_seed
+      ~report_file:chaos_report ~jobs
+  else if scenario = "overload" then begin
+    if connect <> None then
+      failwith "--scenario overload drives its own daemon; drop --connect";
+    run_overload ~cache_dir ~epicd_bin ~retries ~retry_base_ms ~retry_seed
+      ~jobs
+  end
+  else begin
   let ops = scenario_ops scenario @ [ P.Stats ] in
-  let reqs = List.mapi (fun i op -> { P.rq_id = Some i; rq_op = op }) ops in
+  let reqs =
+    List.mapi
+      (fun i op ->
+        { P.rq_id = Some i;
+          rq_deadline_ms = (if P.is_control op then None else deadline_ms);
+          rq_op = op })
+      ops
+  in
   let lines = List.map P.to_line reqs in
   let control =
     List.map (fun r -> P.is_control r.P.rq_op) reqs
@@ -299,13 +450,14 @@ let run scenario passes cache_dir epicd_bin connect slo_p95 slo_ref_rate
        | Some r -> Printf.sprintf ", disk hit rate %.0f%%" (100. *. r)
        | None -> "")
   done;
-  match List.rev !failures with
-  | [] ->
-    Printf.printf "epicload: %s x%d OK (%d requests per pass)\n" scenario
-      passes (List.length lines)
-  | fs ->
-    List.iter (Printf.eprintf "epicload: FAIL: %s\n") fs;
-    exit 1
+  (match List.rev !failures with
+   | [] ->
+     Printf.printf "epicload: %s x%d OK (%d requests per pass)\n" scenario
+       passes (List.length lines)
+   | fs ->
+     List.iter (Printf.eprintf "epicload: FAIL: %s\n") fs;
+     exit 1)
+  end
 
 let cmd =
   let scenario =
@@ -313,7 +465,9 @@ let cmd =
          & info [ "scenario" ] ~docv:"NAME"
            ~doc:"Traffic shape: mixed (compile grid + simulate, \
                  fault-campaign, explore-slice), bursty (mixed with stats \
-                 barriers every 4 requests), or compile-heavy.")
+                 barriers every 4 requests), compile-heavy, or overload (a \
+                 burst against a tiny admission queue, retried with seeded \
+                 exponential backoff until zero requests are lost).")
   in
   let passes =
     Arg.(value & opt int 2
@@ -359,11 +513,59 @@ let cmd =
            ~doc:"Minimum disk-cache hit rate (0-1) required of every pass \
                  after the first.")
   in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Stamp every work request with this per-request deadline; \
+                 the daemon abandons work past it with a \
+                 $(i,serve/deadline) error.")
+  in
+  let retries =
+    Arg.(value & opt int 5
+         & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry waves allowed in the overload scenario before shed \
+                 requests count as lost.")
+  in
+  let retry_base_ms =
+    Arg.(value & opt float 25.
+         & info [ "retry-base-ms" ] ~docv:"MS"
+           ~doc:"Base delay of the exponential backoff between retry waves \
+                 (doubled each wave, with deterministic seeded jitter, \
+                 capped at 2 s).")
+  in
+  let retry_seed =
+    Arg.(value & opt int 0
+         & info [ "retry-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the backoff jitter; the same seed replays the same \
+                 delays.")
+  in
+  let chaos =
+    Arg.(value & flag
+         & info [ "chaos" ]
+           ~doc:"Run the seeded chaos campaign instead of a load scenario: \
+                 torn writes, bit flips, garbage and oversized frames, a \
+                 slow-loris client, blown deadlines, and a kill-and-restart, \
+                 each followed by byte-identity and cache-recovery checks.  \
+                 Requires --epicd and --cache-dir (the directory is wiped).")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 0
+         & info [ "chaos-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the chaos campaign; every injected fault is a pure \
+                 function of it.")
+  in
+  let chaos_report =
+    Arg.(value & opt (some string) None
+         & info [ "chaos-report" ] ~docv:"FILE"
+           ~doc:"Write the chaos campaign's JSON report to $(docv).")
+  in
   Cmd.v
     (Cmd.info "epicload"
        ~doc:"Generate load against epicd and assert its service-level \
              objectives")
     Term.(const run $ scenario $ passes $ cache_dir $ epicd_bin $ connect
-          $ slo $ slo_ref_rate $ expect_hit $ Cli_common.jobs_term)
+          $ slo $ slo_ref_rate $ expect_hit $ deadline_ms $ retries
+          $ retry_base_ms $ retry_seed $ chaos $ chaos_seed $ chaos_report
+          $ Cli_common.jobs_term)
 
 let () = exit (Cmd.eval cmd)

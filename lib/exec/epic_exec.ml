@@ -198,3 +198,36 @@ let campaign_stats_to_json cs =
           (List.map
              (fun (name, s) -> (name, Cache.stats_to_json s))
              cs.cs_caches) ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Retry backoff *)
+
+module Backoff = struct
+  (* Deterministic exponential backoff: clients that retry a shed or
+     timed-out request must not retry in lockstep (they would overload
+     the server again at the same instant), yet campaign tools must stay
+     reproducible.  The jitter is therefore a pure function of
+     (seed, key, attempt) — splitmix-style integer mixing — so a seeded
+     run always sleeps the same amounts, while distinct request keys
+     spread out within each attempt's window. *)
+
+  let mix seed key attempt =
+    let h = ref (seed lxor (key * 0x9e3779b9) lxor (attempt * 0x85ebca6b)) in
+    h := !h lxor (!h lsr 16);
+    h := !h * 0x21f0aaad land max_int;
+    h := !h lxor (!h lsr 15);
+    h := !h * 0x735a2d97 land max_int;
+    h := !h lxor (!h lsr 15);
+    !h land max_int
+
+  let delay_ms ?(base_ms = 25.) ?(cap_ms = 2_000.) ~seed ~key ~attempt () =
+    if attempt < 1 then 0.
+    else
+      let window = Float.min cap_ms (base_ms *. Float.pow 2. (float_of_int (attempt - 1))) in
+      (* Full jitter: uniform in (0, window], never 0 so a retry always
+         yields the CPU to the server at least briefly. *)
+      let u =
+        float_of_int (1 + (mix seed key attempt mod 1_000_000)) /. 1_000_000.
+      in
+      window *. u
+end

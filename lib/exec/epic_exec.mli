@@ -83,6 +83,28 @@ module Cache : sig
   val stats_to_json : stats -> Epic_profile.Json.t
 end
 
+module Backoff : sig
+  (** Deterministic retry backoff for clients of an overloaded service
+      (the [epicload] retry policy, the chaos harness).  Exponential
+      windows with {e seeded} full jitter: the delay is a pure function
+      of [(seed, key, attempt)], so replayed campaigns sleep identical
+      amounts while distinct request keys de-synchronise within each
+      window. *)
+
+  val delay_ms :
+    ?base_ms:float ->
+    ?cap_ms:float ->
+    seed:int ->
+    key:int ->
+    attempt:int ->
+    unit ->
+    float
+  (** Delay before retry number [attempt] (1-based; [attempt <= 0] is
+      [0.]) of request [key].  The window doubles per attempt from
+      [base_ms] (default 25) and is capped at [cap_ms] (default 2000);
+      the returned delay is uniform in (0, window]. *)
+end
+
 (** {1 Campaign reporting}
 
     Wall-time and cache-effectiveness observability for the campaign

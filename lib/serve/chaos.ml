@@ -1,0 +1,722 @@
+(* Chaos harness for the serving stack: inject faults at every seam the
+   daemon is supposed to survive — corrupt cache entries on disk,
+   garbage and oversized frames on the wire, clients that dribble bytes,
+   handlers that blow their deadline, the daemon itself killed and
+   restarted — and assert after {e every} injection that the daemon is
+   still up, work responses are byte-identical to a clean run, and the
+   store recovers its warm-hit rate.
+
+   Everything is seeded: which entries are corrupted, where they are
+   truncated, which bits flip, what the garbage frames contain are all
+   pure functions of [seed], so a failing campaign replays exactly.
+
+   The harness drives the real [epicd] binary over pipes (the same
+   transport as `make serve-smoke`), because the failure modes under
+   test — kill -9 mid-flight, partial frames, a dead peer — only exist
+   across a process boundary.  [Epicload]'s [--chaos] flag is the CLI
+   entry point; `make chaos-smoke` wires a seeded campaign into CI. *)
+
+module P = Protocol
+module J = Epic.Profile.Json
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic PRNG (splitmix-style, same family as Epic.Difftest) *)
+
+module Prng = struct
+  type t = { mutable state : int }
+
+  let create seed = { state = (seed * 0x9e3779b9) lor 1 }
+
+  let next t =
+    let z = ref (t.state + 0x9e3779b9) in
+    t.state <- !z;
+    z := (!z lxor (!z lsr 16)) * 0x21f0aaad land max_int;
+    z := (!z lxor (!z lsr 15)) * 0x735a2d97 land max_int;
+    (!z lxor (!z lsr 15)) land max_int
+
+  let below t n = if n <= 0 then 0 else next t mod n
+
+  (* Deterministic sample of [k] distinct elements, order-stable. *)
+  let pick t k xs =
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let k = min k n in
+    for i = 0 to k - 1 do
+      let j = i + below t (n - i) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.to_list (Array.sub arr 0 k)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Disk-level fault injection against a store directory *)
+
+module Corrupt = struct
+  let entry_dir root =
+    Filename.concat root (Printf.sprintf "v%d" Store.format_version)
+
+  (* Published entries, name-sorted so seeded choices are stable. *)
+  let entries root =
+    match Sys.readdir (entry_dir root) with
+    | exception Sys_error _ -> []
+    | names ->
+      Array.to_list names
+      |> List.filter (fun n -> n <> "" && n.[0] <> '.')
+      |> List.sort compare
+      |> List.map (Filename.concat (entry_dir root))
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+
+  let write_file path s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+
+  (* Offset of the first payload byte: one past the second newline
+     (key line, checksum line).  None if the file has no payload
+     region — already truncated below the header. *)
+  let payload_start s =
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      (match String.index_from_opt s (i + 1) '\n' with
+       | None -> None
+       | Some j when j + 1 < String.length s -> Some (j + 1)
+       | Some _ -> None)
+
+  (* Simulate a torn write published by a non-atomic filesystem (or a
+     kill inside the rename window): truncate the entry to a prefix.
+     With [~keep:0] the file becomes empty; otherwise the header is kept
+     intact and the payload is cut short, so the checksum — not the key
+     guard — must catch it. *)
+  let truncate_entry prng path ~keep_header =
+    let s = read_file path in
+    if not keep_header then begin
+      write_file path "";
+      "truncated to 0 bytes"
+    end
+    else
+      match payload_start s with
+      | None ->
+        write_file path "";
+        "no payload region; truncated to 0 bytes"
+      | Some start ->
+        let payload_len = String.length s - start in
+        let keep = start + Prng.below prng payload_len in
+        write_file path (String.sub s 0 keep);
+        Printf.sprintf "truncated %d -> %d bytes" (String.length s) keep
+
+  (* Flip one seeded bit inside the payload region. *)
+  let flip_bit prng path =
+    let s = read_file path in
+    match payload_start s with
+    | None -> "no payload region; left as-is"
+    | Some start ->
+      let i = start + Prng.below prng (String.length s - start) in
+      let bit = Prng.below prng 8 in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code s.[i] lxor (1 lsl bit)));
+      write_file path (Bytes.to_string b);
+      Printf.sprintf "flipped bit %d of byte %d" bit i
+
+  (* A crashed writer's leftover: a plausible temporary that the next
+     open must sweep. *)
+  let plant_tmp root =
+    let path = Filename.concat (entry_dir root) ".tmp-99999-1" in
+    write_file path "key line without its payload";
+    path
+end
+
+(* ------------------------------------------------------------------ *)
+(* Wire-level garbage *)
+
+module Frames = struct
+  let binary prng n =
+    String.init n (fun _ ->
+        (* Any byte but newline (frames are lines). *)
+        match Char.chr (Prng.below prng 256) with '\n' -> '\x00' | c -> c)
+
+  let oversized () = String.make (P.max_line_bytes + 1) 'x'
+
+  let garbage prng =
+    [ ("not-json", "{this is not json");
+      ("binary", binary prng 64);
+      ("oversized", oversized ()) ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Driving a real daemon over pipes *)
+
+module Proc = struct
+  type t = {
+    pid : int;
+    req_fd : Unix.file_descr;   (* raw, so partial frames are possible *)
+    resp_ic : in_channel;
+    mutable req_open : bool;
+  }
+
+  let spawn bin args =
+    let req_r, req_w = Unix.pipe ~cloexec:true () in
+    let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+    let pid =
+      Unix.create_process bin
+        (Array.of_list (bin :: args))
+        req_r resp_w Unix.stderr
+    in
+    Unix.close req_r;
+    Unix.close resp_w;
+    { pid; req_fd = req_w; resp_ic = Unix.in_channel_of_descr resp_r;
+      req_open = true }
+
+  let send_raw p s =
+    let n = String.length s in
+    let rec go off =
+      if off < n then
+        match Unix.write_substring p.req_fd s off (n - off) with
+        | w -> go (off + w)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+
+  let send_line p line =
+    send_raw p line;
+    send_raw p "\n"
+
+  let recv p =
+    match input_line p.resp_ic with
+    | line -> Some line
+    | exception End_of_file -> None
+
+  let recv_n p n =
+    let rec go acc k =
+      if k = 0 then List.rev acc
+      else
+        match recv p with
+        | None -> List.rev acc
+        | Some l -> go (l :: acc) (k - 1)
+    in
+    go [] n
+
+  let close_input p =
+    if p.req_open then begin
+      p.req_open <- false;
+      try Unix.close p.req_fd with Unix.Unix_error (_, _, _) -> ()
+    end
+
+  (* Graceful end of a pass: EOF on the daemon's stdin, drain any
+     remaining responses, reap.  Returns (remaining lines, exit ok). *)
+  let finish p =
+    close_input p;
+    let rec drain acc =
+      match recv p with None -> List.rev acc | Some l -> drain (l :: acc)
+    in
+    let rest = drain [] in
+    close_in_noerr p.resp_ic;
+    let ok =
+      match Unix.waitpid [] p.pid with
+      | _, Unix.WEXITED 0 -> true
+      | _ -> false
+    in
+    (rest, ok)
+
+  let kill p =
+    (try Unix.kill p.pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
+    close_input p;
+    close_in_noerr p.resp_ic;
+    ignore (Unix.waitpid [] p.pid)
+
+  let alive p =
+    match Unix.waitpid [ Unix.WNOHANG ] p.pid with
+    | 0, _ -> true
+    | _ -> false
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false
+end
+
+(* ------------------------------------------------------------------ *)
+(* The campaign *)
+
+type injection = {
+  in_kind : string;          (* torn-write | bit-flip | ... *)
+  in_detail : string;        (* what exactly was injected *)
+  in_survived : bool;        (* daemon completed the pass and exited 0 *)
+  in_identical : bool;       (* work responses byte-identical to clean *)
+  in_recovered : bool;       (* follow-up warm pass >= min hit rate *)
+  in_hit_rate : float;       (* of the follow-up warm pass *)
+  in_failures : string list; (* empty = injection fully survived *)
+}
+
+type report = {
+  r_seed : int;
+  r_requests : int;          (* work requests per pass *)
+  r_injections : injection list;
+  r_ok : bool;
+}
+
+let injection_to_json i =
+  J.Obj
+    [ ("kind", J.Str i.in_kind);
+      ("detail", J.Str i.in_detail);
+      ("survived", J.Bool i.in_survived);
+      ("identical", J.Bool i.in_identical);
+      ("recovered", J.Bool i.in_recovered);
+      ("hit_rate", J.Float i.in_hit_rate);
+      ("failures", J.List (List.map (fun f -> J.Str f) i.in_failures)) ]
+
+let report_to_json r =
+  J.Obj
+    [ ("seed", J.Int r.r_seed);
+      ("requests_per_pass", J.Int r.r_requests);
+      ("injections", J.List (List.map injection_to_json r.r_injections));
+      ("ok", J.Bool r.r_ok) ]
+
+(* --- the base scenario: small, fully cacheable, deterministic ------ *)
+
+let wl name params =
+  P.Src_workload { P.wl_name = name; wl_params = List.sort compare params }
+
+let gcd_asm =
+  ";; gcd(r12, r13) by repeated remainder, result in r3\n\
+   _start:\n\
+   { MOV r1, #4096 ; MOV r12, #1071 ; MOV r13, #462 ; PBRR b0, @loop }\n\
+   loop:\n\
+   { CMPP.NE p1, p2, r13, #0 ; PBRR b1, @done }\n\
+   { BRCT #1, #2 }\n\
+   { REM r14, r12, r13 }\n\
+   { MOV r12, r13 ; MOV r13, r14 }\n\
+   { BRU #0 }\n\
+   done:\n\
+   { MOV r3, r12 }\n\
+   { STW r1, #2, r3 }\n\
+   { HALT }\n"
+
+(* A program that never halts: the fuel-based deadline's worst case. *)
+let spin_asm = "_start:\n{ PBRR b0, @spin }\nspin:\n{ BRU #0 }\n"
+
+let compile cfg src =
+  P.Compile
+    { P.c_config = cfg; c_source = src; c_opt = Epic.Toolchain.O1;
+      c_predication = true; c_unroll = Epic.Toolchain.default_unroll;
+      c_fuel = None }
+
+let base_ops =
+  let cfgs =
+    List.map
+      (fun n -> { Epic.Config.default with Epic.Config.n_alus = n })
+      [ 2; 3 ]
+  in
+  List.concat_map
+    (fun c ->
+      List.map (compile c)
+        [ wl "sha" [ ("bytes", 64) ];
+          wl "dct" [ ("width", 8); ("height", 8) ];
+          wl "dijkstra" [ ("nodes", 6) ] ])
+    cfgs
+  @ [ P.Simulate
+        { P.s_config = Epic.Config.default; s_asm = gcd_asm; s_fuel = None;
+          s_mem_bytes = 65536 } ]
+
+let stats_id = 99
+
+let base_lines =
+  let work =
+    List.mapi
+      (fun i op ->
+        P.to_line { P.rq_id = Some i; rq_deadline_ms = None; rq_op = op })
+      base_ops
+  in
+  work
+  @ [ P.to_line { P.rq_id = Some stats_id; rq_deadline_ms = None; rq_op = P.Stats } ]
+
+let n_work = List.length base_ops
+
+(* --- response probing ---------------------------------------------- *)
+
+let id_of line =
+  match Option.bind (Result.to_option (J.parse line)) (J.member "id") with
+  | Some (J.Int i) -> Some i
+  | _ -> None
+
+let is_ok line =
+  match Option.bind (Result.to_option (J.parse line)) (J.member "ok") with
+  | Some (J.Bool b) -> b
+  | _ -> false
+
+let error_code line =
+  match
+    Option.bind
+      (Option.bind (Result.to_option (J.parse line)) (J.member "error"))
+      (J.member "code")
+  with
+  | Some (J.Str c) -> Some c
+  | _ -> None
+
+let stats_member path line =
+  match J.parse line with
+  | Error _ -> None
+  | Ok j ->
+    List.fold_left (fun j k -> Option.bind j (J.member k)) (Some j)
+      ("result" :: path)
+
+let stats_num path line =
+  match stats_member path line with
+  | Some (J.Int i) -> Some (float_of_int i)
+  | Some (J.Float f) -> Some f
+  | _ -> None
+
+(* Work responses of one pass, keyed by id and sorted — the comparison
+   basis for byte-identity.  Only the base scenario's ids count: stats
+   responses are machine-dependent and injection probes (ids >= 100)
+   carry their own assertions. *)
+let work_responses lines =
+  List.filter_map
+    (fun l ->
+      match id_of l with
+      | Some i when i >= 0 && i < n_work -> Some (i, l)
+      | _ -> None)
+    lines
+  |> List.sort compare
+
+(* --- one pass over a fresh daemon ---------------------------------- *)
+
+type pass = {
+  p_responses : string list;  (* everything the daemon answered *)
+  p_exit_ok : bool;
+  p_stats : string option;    (* the stats response, if seen *)
+}
+
+let run_pass ~bin ~daemon_args lines =
+  let p = Proc.spawn bin daemon_args in
+  List.iter (Proc.send_line p) lines;
+  let responses = Proc.recv_n p (List.length lines) in
+  let rest, exit_ok = Proc.finish p in
+  let responses = responses @ rest in
+  let stats =
+    List.find_opt (fun l -> id_of l = Some stats_id) responses
+  in
+  { p_responses = responses; p_exit_ok = exit_ok; p_stats = stats }
+
+let hit_rate_of pass =
+  match pass.p_stats with
+  | None -> 0.
+  | Some s ->
+    (match
+       (stats_num [ "disk_cache"; "hits" ] s,
+        stats_num [ "disk_cache"; "misses" ] s)
+     with
+     | Some h, Some m when h +. m > 0. -> h /. (h +. m)
+     | _ -> 0.)
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  bin : string;                (* the epicd binary *)
+  cache_dir : string;
+  jobs : int;
+  min_hit_rate : float;
+  verbose : bool;
+  mutable golden : (int * string) list;
+}
+
+let daemon_args ?(extra = []) t =
+  [ "--jobs"; string_of_int t.jobs; "--cache-dir"; t.cache_dir ] @ extra
+
+let say t fmt =
+  Printf.ksprintf
+    (fun m -> if t.verbose then Printf.printf "chaos: %s\n%!" m)
+    fmt
+
+(* Assert the three invariants of one injection: the daemon survived
+   the pass that ran {e with} the injected fault, its work responses
+   match the golden run, and a follow-up warm pass recovers the disk
+   hit rate. *)
+let assess t ~kind ~detail (pass : pass) =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if not pass.p_exit_ok then fail "daemon did not exit cleanly";
+  let work = work_responses pass.p_responses in
+  if List.length work <> n_work then
+    fail "expected %d work responses, got %d" n_work (List.length work);
+  List.iter
+    (fun (i, l) -> if not (is_ok l) then fail "response %d not ok: %s" i l)
+    work;
+  let identical = work = t.golden in
+  if not identical then fail "work responses differ from the clean run";
+  (* Recovery: one more pass, everything from disk. *)
+  let recovery = run_pass ~bin:t.bin ~daemon_args:(daemon_args t) base_lines in
+  let rate = hit_rate_of recovery in
+  let recovered = recovery.p_exit_ok && rate >= t.min_hit_rate in
+  if not recovered then
+    fail "recovery pass hit rate %.2f below %.2f" rate t.min_hit_rate;
+  if work_responses recovery.p_responses <> t.golden then
+    fail "recovery pass responses differ from the clean run";
+  { in_kind = kind; in_detail = detail;
+    in_survived = pass.p_exit_ok;
+    in_identical = identical;
+    in_recovered = recovered;
+    in_hit_rate = rate;
+    in_failures = List.rev !failures }
+
+(* --- injections ---------------------------------------------------- *)
+
+let inject_torn_writes t prng =
+  let victims = Prng.pick prng 2 (Corrupt.entries t.cache_dir) in
+  let details =
+    List.mapi
+      (fun i path ->
+        Printf.sprintf "%s: %s" (Filename.basename path)
+          (Corrupt.truncate_entry prng path ~keep_header:(i > 0)))
+      victims
+  in
+  let detail = String.concat "; " details in
+  say t "torn-write: %s" detail;
+  let pass = run_pass ~bin:t.bin ~daemon_args:(daemon_args t) base_lines in
+  let a = assess t ~kind:"torn-write" ~detail pass in
+  (* The header-intact truncation must have been caught by the checksum
+     and quarantined (the empty file too); both recomputed. *)
+  let quarantined =
+    match pass.p_stats with
+    | Some s -> stats_num [ "disk_cache"; "quarantined" ] s
+    | None -> None
+  in
+  match quarantined with
+  | Some q when q >= float_of_int (List.length victims) -> a
+  | q ->
+    { a with
+      in_failures =
+        Printf.sprintf "expected >= %d quarantined entries, stats said %s"
+          (List.length victims)
+          (match q with None -> "nothing" | Some q -> string_of_float q)
+        :: a.in_failures }
+
+let inject_bit_flips t prng =
+  let victims = Prng.pick prng 2 (Corrupt.entries t.cache_dir) in
+  let details =
+    List.map
+      (fun path ->
+        Printf.sprintf "%s: %s" (Filename.basename path)
+          (Corrupt.flip_bit prng path))
+      victims
+  in
+  let detail = String.concat "; " details in
+  say t "bit-flip: %s" detail;
+  let pass = run_pass ~bin:t.bin ~daemon_args:(daemon_args t) base_lines in
+  assess t ~kind:"bit-flip" ~detail pass
+
+let inject_garbage_frames t prng =
+  let garbage = Frames.garbage prng in
+  (* Interleave: garbage, then the whole base scenario, garbage ids are
+     absent (unparseable) so they never collide with work ids. *)
+  let lines = List.map snd garbage @ base_lines in
+  say t "garbage-frames: %s"
+    (String.concat ", " (List.map fst garbage));
+  let p = Proc.spawn t.bin (daemon_args t) in
+  List.iter (Proc.send_line p) lines;
+  let responses = Proc.recv_n p (List.length lines) in
+  let rest, exit_ok = Proc.finish p in
+  let responses = responses @ rest in
+  let pass =
+    { p_responses = responses; p_exit_ok = exit_ok;
+      p_stats = List.find_opt (fun l -> id_of l = Some stats_id) responses }
+  in
+  let a =
+    assess t ~kind:"garbage-frames"
+      ~detail:(String.concat ", " (List.map fst garbage))
+      pass
+  in
+  (* Every garbage frame must have been answered with a structured
+     error — the daemon neither died nor went silent. *)
+  let error_lines =
+    List.filter (fun l -> id_of l = None && not (is_ok l)) responses
+  in
+  let codes = List.filter_map error_code error_lines in
+  let expect_code c =
+    if not (List.mem c codes) then
+      Some (Printf.sprintf "no %s error for the matching garbage frame" c)
+    else None
+  in
+  let missing =
+    List.filter_map expect_code [ "serve/parse"; "serve/oversized" ]
+  in
+  { a with in_failures = a.in_failures @ missing }
+
+let inject_slow_loris t _prng =
+  say t "slow-loris: dribbling the first request byte group by byte group";
+  let p = Proc.spawn t.bin (daemon_args t) in
+  (match base_lines with
+   | first :: rest ->
+     let half = String.length first / 2 in
+     Proc.send_raw p (String.sub first 0 half);
+     Unix.sleepf 0.3;
+     Proc.send_raw p (String.sub first half (String.length first - half));
+     Proc.send_raw p "\n";
+     List.iter (Proc.send_line p) rest
+   | [] -> ());
+  let responses = Proc.recv_n p (List.length base_lines) in
+  let rest, exit_ok = Proc.finish p in
+  let pass =
+    { p_responses = responses @ rest; p_exit_ok = exit_ok;
+      p_stats =
+        List.find_opt (fun l -> id_of l = Some stats_id) (responses @ rest) }
+  in
+  assess t ~kind:"slow-loris" ~detail:"first frame split with a 300 ms stall"
+    pass
+
+let inject_deadline t _prng =
+  (* Three probes ahead of the normal pass:
+     - deadline_ms 0: expired before dispatch, the wall-clock path;
+     - a non-halting program under a small deadline: the fuel path;
+     - the same program with explicit tight fuel and no deadline: a
+       legitimate, cacheable fuel-trap {e result}, proving the two are
+       distinguished. *)
+  let sim ?deadline ?fuel () =
+    P.to_line
+      { P.rq_id = Some (100 + (match deadline with Some _ -> 0 | None -> 1));
+        rq_deadline_ms = deadline;
+        rq_op =
+          P.Simulate
+            { P.s_config = Epic.Config.default; s_asm = spin_asm;
+              s_fuel = fuel; s_mem_bytes = 4096 } }
+  in
+  let probe0 =
+    P.to_line
+      { P.rq_id = Some 102; rq_deadline_ms = Some 0;
+        rq_op = List.hd base_ops }
+  in
+  let probes = [ probe0; sim ~deadline:50 (); sim ~fuel:1000 () ] in
+  say t "deadline: expired-on-arrival, fuel-capped spin, legitimate fuel trap";
+  let lines = probes @ base_lines in
+  let p = Proc.spawn t.bin (daemon_args t) in
+  List.iter (Proc.send_line p) lines;
+  let responses = Proc.recv_n p (List.length lines) in
+  let rest, exit_ok = Proc.finish p in
+  let responses = responses @ rest in
+  let pass =
+    { p_responses = responses; p_exit_ok = exit_ok;
+      p_stats = List.find_opt (fun l -> id_of l = Some stats_id) responses }
+  in
+  let a =
+    assess t ~kind:"deadline"
+      ~detail:"deadline_ms=0 compile; 50 ms deadline on a non-halting \
+               simulate; fuel=1000 control"
+      pass
+  in
+  let find i = List.find_opt (fun l -> id_of l = Some i) responses in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (match find 102 with
+   | Some l when error_code l = Some "serve/deadline" -> ()
+   | Some l -> fail "deadline_ms=0 request was not shed: %s" l
+   | None -> fail "no response to the deadline_ms=0 request");
+  (match find 100 with
+   | Some l when error_code l = Some "serve/deadline" -> ()
+   | Some l -> fail "fuel-capped spin did not report serve/deadline: %s" l
+   | None -> fail "no response to the fuel-capped spin");
+  (match find 101 with
+   | Some l when is_ok l -> ()
+   | Some l -> fail "legitimate fuel trap was not an ok result: %s" l
+   | None -> fail "no response to the fuel-trap control");
+  (match pass.p_stats with
+   | Some s
+     when (match stats_num [ "deadline_timeouts" ] s with
+           | Some n -> n >= 2.
+           | None -> false) ->
+     ()
+   | _ -> fail "stats did not report >= 2 deadline timeouts");
+  { a with in_failures = a.in_failures @ List.rev !failures }
+
+let inject_kill_restart t _prng =
+  say t "kill-restart: SIGKILL after the first response";
+  let p = Proc.spawn t.bin (daemon_args t) in
+  List.iter (Proc.send_line p) base_lines;
+  (* Let it answer something, then pull the rug. *)
+  let first = Proc.recv p in
+  Proc.kill p;
+  let alive = Proc.alive p in
+  (* The temporary a killed writer would have left behind — planted
+     after the kill so the {e restarted} open is the one that sweeps. *)
+  let tmp = Corrupt.plant_tmp t.cache_dir in
+  (* The restarted daemon must sweep the planted temporary and serve the
+     full scenario from the surviving entries. *)
+  let pass = run_pass ~bin:t.bin ~daemon_args:(daemon_args t) base_lines in
+  let a =
+    assess t ~kind:"kill-restart"
+      ~detail:"SIGKILL mid-pass with a planted crashed-writer temporary"
+      pass
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if first = None then fail "daemon answered nothing before the kill";
+  if alive then fail "daemon survived SIGKILL?";
+  (match pass.p_stats with
+   | Some s
+     when (match stats_num [ "disk_cache"; "swept" ] s with
+           | Some n -> n >= 1.
+           | None -> false) ->
+     ()
+   | _ -> fail "restarted daemon did not report sweeping the temporary");
+  if Sys.file_exists tmp then fail "planted temporary still on disk";
+  { a with in_failures = a.in_failures @ List.rev !failures }
+
+(* --- campaign ------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error (_, _, _) -> ())
+  | _ -> (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let run ?(jobs = 2) ?(min_hit_rate = 0.9) ?(seed = 0) ?(verbose = true)
+    ~bin ~cache_dir () =
+  let t =
+    { bin; cache_dir; jobs; min_hit_rate; verbose; golden = [] }
+  in
+  let prng = Prng.create seed in
+  rm_rf cache_dir;
+  (* Clean run: establishes the golden responses and fills the cache. *)
+  say t "clean run (%d work requests)" n_work;
+  let clean = run_pass ~bin ~daemon_args:(daemon_args t) base_lines in
+  t.golden <- work_responses clean.p_responses;
+  let clean_inj =
+    let failures = ref [] in
+    if not clean.p_exit_ok then
+      failures := "clean run: daemon did not exit cleanly" :: !failures;
+    if List.length t.golden <> n_work then
+      failures :=
+        Printf.sprintf "clean run: expected %d work responses, got %d" n_work
+          (List.length t.golden)
+        :: !failures;
+    List.iter
+      (fun (i, l) ->
+        if not (is_ok l) then
+          failures := Printf.sprintf "clean run: response %d not ok" i :: !failures)
+      t.golden;
+    { in_kind = "clean"; in_detail = "no fault injected (golden run)";
+      in_survived = clean.p_exit_ok; in_identical = true;
+      in_recovered = true; in_hit_rate = 0.; in_failures = List.rev !failures }
+  in
+  let injections =
+    if clean_inj.in_failures <> [] then [ clean_inj ]
+    else
+      clean_inj
+      :: List.map
+           (fun f -> f t prng)
+           [ inject_torn_writes; inject_bit_flips; inject_garbage_frames;
+             inject_slow_loris; inject_deadline; inject_kill_restart ]
+  in
+  let ok = List.for_all (fun i -> i.in_failures = []) injections in
+  List.iter
+    (fun i ->
+      say t "%-14s %s%s" i.in_kind
+        (if i.in_failures = [] then "OK" else "FAIL")
+        (match i.in_failures with
+         | [] -> ""
+         | fs -> ": " ^ String.concat "; " fs))
+    injections;
+  { r_seed = seed; r_requests = n_work; r_injections = injections; r_ok = ok }

@@ -84,7 +84,20 @@ type op =
   | Stats
   | Shutdown
 
-type request = { rq_id : int option; rq_op : op }
+type request = {
+  rq_id : int option;
+  rq_deadline_ms : int option;
+      (* client-requested deadline for work requests; [None] defers to
+         the server default.  Never part of the cache key: a deadline
+         changes whether a result is produced, not what it is. *)
+  rq_op : op;
+}
+
+(* One request is one line; a line longer than this is rejected with
+   [serve/oversized] before parsing, so a runaway or malicious client
+   cannot balloon the daemon's memory.  The raw-fd reader enforces the
+   same bound while buffering (it stops retaining bytes beyond it). *)
+let max_line_bytes = 1 lsl 20
 
 let op_name = function
   | Compile _ -> "compile"
@@ -356,6 +369,12 @@ let request_of_json j =
   try
     let cu = cursor ~where:"request" j in
     let id = Option.map (as_int ~where:"id") (take cu "id") in
+    let deadline =
+      match Option.map (as_int ~where:"deadline_ms") (take cu "deadline_ms") with
+      | Some ms when ms < 0 ->
+        badf ~code:"serve/request" "deadline_ms: must be >= 0, got %d" ms
+      | d -> d
+    in
     let name =
       match take cu "op" with
       | Some j -> as_str ~where:"op" j
@@ -363,13 +382,20 @@ let request_of_json j =
     in
     let op = op_of_cursor cu name in
     finish cu;
-    Ok { rq_id = id; rq_op = op }
+    Ok { rq_id = id; rq_deadline_ms = deadline; rq_op = op }
   with Bad d -> Error d
 
 let request_of_line line =
-  match J.parse line with
-  | Error e -> Error (Diag.v ~code:"serve/parse" ("invalid JSON: " ^ e))
-  | Ok j -> request_of_json j
+  if String.length line > max_line_bytes then
+    Error
+      (Diag.v ~code:"serve/oversized"
+         ~context:[ ("max_line_bytes", string_of_int max_line_bytes) ]
+         (Printf.sprintf "request line exceeds the %d-byte frame limit"
+            max_line_bytes))
+  else
+    match J.parse line with
+    | Error e -> Error (Diag.v ~code:"serve/parse" ("invalid JSON: " ^ e))
+    | Ok j -> request_of_json j
 
 (* ------------------------------------------------------------------ *)
 (* Request serialisation (the load generator and the round-trip tests) *)
@@ -412,8 +438,14 @@ let json_of_source = function
         (("name", J.Str w.wl_name)
          :: List.map (fun (k, v) -> (k, J.Int v)) w.wl_params) )
 
-let to_json { rq_id; rq_op } =
+let to_json { rq_id; rq_deadline_ms; rq_op } =
   let id = match rq_id with None -> [] | Some i -> [ ("id", J.Int i) ] in
+  let id =
+    id
+    @ match rq_deadline_ms with
+      | None -> []
+      | Some ms -> [ ("deadline_ms", J.Int ms) ]
+  in
   let fields =
     match rq_op with
     | Compile c ->
@@ -484,7 +516,10 @@ let op_equal a b =
   | Stats, Stats | Shutdown, Shutdown -> true
   | _ -> false
 
-let request_equal a b = a.rq_id = b.rq_id && op_equal a.rq_op b.rq_op
+let request_equal a b =
+  a.rq_id = b.rq_id
+  && a.rq_deadline_ms = b.rq_deadline_ms
+  && op_equal a.rq_op b.rq_op
 
 (* ------------------------------------------------------------------ *)
 (* Cache keys: every parameter that can change the serialised result.

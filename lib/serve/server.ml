@@ -23,6 +23,12 @@ module Diag = Epic.Diag
 type t = {
   jobs : int;
   batch_max : int;
+  queue_max : int;            (* admission high-water mark: shed beyond *)
+  deadline_ms : int option;   (* server default per-request deadline *)
+  deadline_cycles_per_ms : int;
+      (* fuel budget implied by one wall millisecond of deadline — a
+         conservative host-independent constant, NOT the live sim-rate
+         probe, so whether a run is capped never depends on the machine *)
   store : Store.t option;
   cache : Epic.Toolchain.Compile_cache.t;
   pre_cache : Epic.Sim.Predecode.t Epic.Exec.Cache.t;
@@ -35,23 +41,106 @@ type t = {
   mutable n_ok : int;
   mutable n_err : int;
   mutable n_disk_served : int;      (* ok responses spliced from disk *)
+  mutable n_admitted : int;         (* work requests accepted for service *)
+  mutable n_shed : int;             (* work requests rejected on overload *)
+  mutable n_deadline : int;         (* requests that missed their deadline *)
   mutable op_counts : (string * int) list;
   mutable lat_ms : float list;      (* per work request, service+wait *)
   mutable q_max : int;              (* deepest batch seen *)
   mutable batches : int;
 }
 
-let create ?(jobs = Epic.Exec.default_jobs ()) ?(batch_max = 64) ?store () =
+let create ?(jobs = Epic.Exec.default_jobs ()) ?(batch_max = 64)
+    ?(queue_max = 256) ?deadline_ms ?(deadline_cycles_per_ms = 10_000) ?store
+    () =
   if jobs < 1 then invalid_arg "Epic_serve.Server.create: jobs must be >= 1";
   if batch_max < 1 then
     invalid_arg "Epic_serve.Server.create: batch_max must be >= 1";
-  { jobs; batch_max; store; cache = Epic.Toolchain.Compile_cache.create ();
+  if queue_max < 1 then
+    invalid_arg "Epic_serve.Server.create: queue_max must be >= 1";
+  (match deadline_ms with
+   | Some ms when ms < 0 ->
+     invalid_arg "Epic_serve.Server.create: deadline_ms must be >= 0"
+   | _ -> ());
+  if deadline_cycles_per_ms < 1 then
+    invalid_arg "Epic_serve.Server.create: deadline_cycles_per_ms must be >= 1";
+  { jobs; batch_max; queue_max; deadline_ms; deadline_cycles_per_ms; store;
+    cache = Epic.Toolchain.Compile_cache.create ();
     pre_cache = Epic.Exec.Cache.create ~name:"predecode" ();
     sim_rate = lazy (Epic.Experiments.sim_rate ());
     t_start = Epic.Exec.now (); n_ok = 0; n_err = 0; n_disk_served = 0;
+    n_admitted = 0; n_shed = 0; n_deadline = 0;
     op_counts = []; lat_ms = []; q_max = 0; batches = 0 }
 
 let store t = t.store
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines.
+
+   A work request's deadline is the client's [deadline_ms] if given,
+   else the server default; [None] means unbounded.  Enforcement has
+   three layers, none of which can leave a wall-clock value in a
+   response (responses stay byte-deterministic):
+
+   1. a wall-clock check when the request is dispatched to a pool
+      domain — a request that spent its whole budget queueing is
+      answered [serve/deadline] without doing any work;
+   2. a fuel cap on simulations: the deadline converts to a cycle
+      budget ([deadline_cycles_per_ms] per millisecond, a fixed
+      conservative constant) and a run that traps on fuel it would not
+      otherwise have been given is reported as [serve/deadline] — and
+      crucially never written to the cache, since the cap is a policy
+      choice, not part of the result;
+   3. wall-clock checks between the points of multi-point requests
+      (explore-slice), the "between batch items" granularity.
+
+   Timed-out requests get an error response like any other failure; the
+   rest of the batch is unaffected. *)
+
+exception Deadline_exceeded of int  (* the deadline, in ms *)
+
+let deadline_diag ms =
+  Diag.v ~code:"serve/deadline"
+    ~context:[ ("deadline_ms", string_of_int ms) ]
+    (Printf.sprintf "request exceeded its %d ms deadline" ms)
+
+type dl = {
+  dl_ms : int option;        (* effective deadline *)
+  dl_expires : float option; (* absolute wall-clock expiry *)
+}
+
+let no_deadline = { dl_ms = None; dl_expires = None }
+
+let deadline_of t ~enq (req_ms : int option) =
+  match (match req_ms with Some _ -> req_ms | None -> t.deadline_ms) with
+  | None -> no_deadline
+  | Some ms ->
+    { dl_ms = Some ms; dl_expires = Some (enq +. (float_of_int ms /. 1e3)) }
+
+let check_deadline dl =
+  match dl with
+  | { dl_ms = Some ms; dl_expires = Some e } when Epic.Exec.now () >= e ->
+    raise (Deadline_exceeded ms)
+  | _ -> ()
+
+(* Run a simulation under the deadline's fuel budget.  If the caller's
+   own fuel (or the simulator default) is already tighter than the
+   deadline's cycle budget, the run is untouched — its fuel trap, if
+   any, is a legitimate, cacheable result.  Only when the deadline
+   tightens the budget does a fuel trap mean "deadline exceeded". *)
+let run_fueled t dl ~user_fuel (run : int option -> Epic.Sim.result) =
+  match dl.dl_ms with
+  | None -> run user_fuel
+  | Some ms ->
+    let cap = ms * t.deadline_cycles_per_ms in
+    let own = match user_fuel with Some f -> f | None -> Epic.Sim.default_fuel in
+    if own <= cap then run user_fuel
+    else
+      let r = run (Some cap) in
+      (match r.Epic.Sim.trap with
+       | Some { Epic.Sim.tr_cause = Epic.Sim.T_fuel; _ } ->
+         raise (Deadline_exceeded ms)
+       | _ -> r)
 
 (* ------------------------------------------------------------------ *)
 (* Result payload builders: deterministic functions of the request —
@@ -68,13 +157,17 @@ let entry_of (image : Epic.Asm.Aunit.image) =
   | Some e -> e
   | None -> 0
 
-let compile_result t (c : P.compile_req) =
+let compile_result t dl (c : P.compile_req) =
   let source = P.resolve_source c.P.c_source in
   let a =
     Epic.Toolchain.compile_epic ~opt:c.P.c_opt ~predication:c.P.c_predication
       ~unroll:c.P.c_unroll ~cache:t.cache c.P.c_config ~source ()
   in
-  let r = Epic.Toolchain.run_epic ?fuel:c.P.c_fuel a in
+  check_deadline dl;
+  let r =
+    run_fueled t dl ~user_fuel:c.P.c_fuel (fun fuel ->
+        Epic.Toolchain.run_epic ?fuel a)
+  in
   let area = Epic.Area.estimate c.P.c_config in
   J.Obj
     [ ("ret", J.Int r.Epic.Sim.ret);
@@ -89,7 +182,7 @@ let compile_result t (c : P.compile_req) =
       ("slices", J.Int area.Epic.Area.slices);
       ("clock_mhz", J.Float area.Epic.Area.clock_mhz) ]
 
-let simulate_result t (s : P.simulate_req) =
+let simulate_result t dl (s : P.simulate_req) =
   if s.P.s_mem_bytes <= 0 then
     Diag.raisef ~code:"serve/request" "simulate: mem_bytes must be positive";
   let image, _words = Epic.Asm.assemble_text s.P.s_config s.P.s_asm in
@@ -105,8 +198,9 @@ let simulate_result t (s : P.simulate_req) =
   in
   let mem = Bytes.make s.P.s_mem_bytes '\000' in
   let r =
-    Epic.Sim.run ?fuel:s.P.s_fuel ~pre s.P.s_config ~image ~mem
-      ~entry:(entry_of image) ()
+    run_fueled t dl ~user_fuel:s.P.s_fuel (fun fuel ->
+        Epic.Sim.run ?fuel ~pre s.P.s_config ~image ~mem
+          ~entry:(entry_of image) ())
   in
   J.Obj
     [ ("ret", J.Int r.Epic.Sim.ret);
@@ -148,13 +242,16 @@ let fuzz_result (f : P.fuzz_req) =
                    ("detail", J.Str f.Epic.Difftest.f_detail) ])
              r.Epic.Difftest.r_findings) ) ]
 
-let explore_result t (e : P.explore_req) =
+let explore_result t dl (e : P.explore_req) =
   let source = P.resolve_source e.P.ex_source in
   let points =
     List.concat_map
       (fun issue ->
         List.map
           (fun alus ->
+            (* The between-items deadline check of a multi-point
+               request: an expired slice stops before its next point. *)
+            check_deadline dl;
             let cfg =
               { Epic.Config.default with Epic.Config.n_alus = alus;
                 issue_width = issue }
@@ -184,14 +281,14 @@ let explore_result t (e : P.explore_req) =
   in
   J.Obj [ ("points", J.List points) ]
 
-let work_payload t (op : P.op) =
+let work_payload t dl (op : P.op) =
   let j =
     match op with
-    | P.Compile c -> compile_result t c
-    | P.Simulate s -> simulate_result t s
+    | P.Compile c -> compile_result t dl c
+    | P.Simulate s -> simulate_result t dl s
     | P.Fault_campaign f -> fault_result t f
     | P.Fuzz_batch f -> fuzz_result f
-    | P.Explore_slice e -> explore_result t e
+    | P.Explore_slice e -> explore_result t dl e
     | P.Stats | P.Shutdown -> assert false
   in
   J.to_string j
@@ -220,6 +317,7 @@ type queued = {
   qu_line_no : int;                           (* for unparseable requests *)
   qu_req : (P.request, Diag.t) result;
   qu_enq : float;
+  qu_dl : dl;                                 (* resolved deadline *)
 }
 
 type evaluated = {
@@ -227,26 +325,36 @@ type evaluated = {
   ev_op : string;
   ev_ok : bool;
   ev_disk : bool;
+  ev_deadline : bool; (* the error was a missed deadline *)
   ev_ms : float;
 }
 
 let eval t (q : queued) : evaluated =
-  let finish ~op ~ok ~disk line =
+  let finish ?(deadline = false) ~op ~ok ~disk line =
     { ev_line = line; ev_op = op; ev_ok = ok; ev_disk = disk;
-      ev_ms = (Epic.Exec.now () -. q.qu_enq) *. 1e3 }
+      ev_deadline = deadline; ev_ms = (Epic.Exec.now () -. q.qu_enq) *. 1e3 }
   in
   match q.qu_req with
   | Error d ->
     finish ~op:"invalid" ~ok:false ~disk:false (P.error_response ~id:None d)
-  | Ok { P.rq_id = id; rq_op = op } ->
+  | Ok { P.rq_id = id; rq_op = op; _ } ->
     let opn = P.op_name op in
     (match
+       (* The dispatch-time wall-clock check: a request whose whole
+          budget was spent queueing is answered without doing work.  A
+          timed-out computation is never cached — [find_or_add]'s
+          producer raising leaves no entry behind. *)
+       check_deadline q.qu_dl;
        match (t.store, P.cache_key op) with
-       | Some st, Some key -> Store.find_or_add st ~key (fun () -> work_payload t op)
-       | _ -> (work_payload t op, false)
+       | Some st, Some key ->
+         Store.find_or_add st ~key (fun () -> work_payload t q.qu_dl op)
+       | _ -> (work_payload t q.qu_dl op, false)
      with
      | payload, disk ->
        finish ~op:opn ~ok:true ~disk (P.ok_response ~id ~result:payload)
+     | exception Deadline_exceeded ms ->
+       finish ~op:opn ~ok:false ~disk:false ~deadline:true
+         (P.error_response ~id (deadline_diag ms))
      | exception e ->
        (match diag_of_exn e with
         | Some d -> finish ~op:opn ~ok:false ~disk:false (P.error_response ~id d)
@@ -261,6 +369,7 @@ let bump t op =
 let record t (e : evaluated) =
   if e.ev_ok then t.n_ok <- t.n_ok + 1 else t.n_err <- t.n_err + 1;
   if e.ev_disk then t.n_disk_served <- t.n_disk_served + 1;
+  if e.ev_deadline then t.n_deadline <- t.n_deadline + 1;
   bump t e.ev_op;
   t.lat_ms <- e.ev_ms :: t.lat_ms
 
@@ -309,6 +418,12 @@ let stats_json t =
       ("latency", latency_json t);
       ("batches", J.Int t.batches);
       ("queue_depth_max", J.Int t.q_max);
+      ("queue_max", J.Int t.queue_max);
+      ("admitted", J.Int t.n_admitted);
+      ("shed", J.Int t.n_shed);
+      ("deadline_timeouts", J.Int t.n_deadline);
+      ( "deadline_ms",
+        match t.deadline_ms with None -> J.Null | Some ms -> J.Int ms );
       ("disk_served", J.Int t.n_disk_served);
       ( "sim_rate",
         Epic.Experiments.sim_rate_to_json (Lazy.force t.sim_rate) );
@@ -335,6 +450,16 @@ type io = {
 
 type stop = Eof | Shutdown_requested
 
+let overload_diag t ~depth =
+  Diag.v ~code:"serve/overload"
+    ~context:
+      [ ("queue_depth", string_of_int depth);
+        ("queue_max", string_of_int t.queue_max) ]
+    (Printf.sprintf
+       "admission queue full (%d queued, high-water mark %d); back off and \
+        retry"
+       depth t.queue_max)
+
 let serve t io : stop =
   let emit line = io.emit line in
   let rec loop queue depth =
@@ -346,18 +471,40 @@ let serve t io : stop =
       let enq = Epic.Exec.now () in
       let req = P.request_of_line line in
       (match req with
-       | Ok { P.rq_id = id; rq_op = P.Stats } ->
+       | Ok { P.rq_id = id; rq_op = P.Stats; _ } ->
          flush_batch t emit queue;
          bump t "stats";
          emit (P.ok_response ~id ~result:(J.to_string (stats_json t)));
          loop [] 0
-       | Ok { P.rq_id = id; rq_op = P.Shutdown } ->
+       | Ok { P.rq_id = id; rq_op = P.Shutdown; _ } ->
          flush_batch t emit queue;
          bump t "shutdown";
          emit (P.ok_response ~id ~result:(J.to_string (summary_json t)));
          Shutdown_requested
+       | _ when depth >= t.queue_max ->
+         (* Overload shedding: above the high-water mark every new work
+            request (or unparseable line) is rejected {e immediately} —
+            ahead of the queued work, out of request order, which is
+            why responses carry ids — so a client learns to back off in
+            microseconds instead of waiting behind the queue it is
+            trying to add to. *)
+         t.n_shed <- t.n_shed + 1;
+         bump t "shed";
+         let id = match req with Ok r -> r.P.rq_id | Error _ -> None in
+         emit (P.error_response ~id (overload_diag t ~depth));
+         loop queue depth
        | _ ->
-         let queue = { qu_line_no = depth; qu_req = req; qu_enq = enq } :: queue in
+         t.n_admitted <- t.n_admitted + 1;
+         let dl =
+           deadline_of t ~enq
+             (match req with
+              | Ok r -> r.P.rq_deadline_ms
+              | Error _ -> None)
+         in
+         let queue =
+           { qu_line_no = depth; qu_req = req; qu_enq = enq; qu_dl = dl }
+           :: queue
+         in
          let depth = depth + 1 in
          if depth >= t.batch_max || not (io.pending ()) then begin
            flush_batch t emit queue;
@@ -398,9 +545,18 @@ module Line_reader = struct
     chunk : Bytes.t;
     mutable buf : Buffer.t;
     mutable eof : bool;
+    max_line : int;
+    mutable over : string option;
+        (* Some prefix: the current line blew past [max_line]; the
+           prefix (max_line + 1 bytes, enough for the serve/oversized
+           verdict) is retained and everything else is discarded until
+           the terminating newline.  Bounds memory at ~max_line + one
+           chunk no matter what a client streams at us. *)
   }
 
-  let create fd = { fd; chunk = Bytes.create 65536; buf = Buffer.create 65536; eof = false }
+  let create ?(max_line = P.max_line_bytes) fd =
+    { fd; chunk = Bytes.create 65536; buf = Buffer.create 65536; eof = false;
+      max_line; over = None }
 
   let refill r =
     match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
@@ -423,21 +579,48 @@ module Line_reader = struct
       Some line
     | None -> None
 
-  let rec next_line r =
-    match take_line r with
-    | Some line -> Some line
+  (* In discard mode: drop buffered bytes up to (and including) the next
+     newline; returns true once the oversized line has ended. *)
+  let drop_to_newline r =
+    let s = Buffer.contents r.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      r.buf <- Buffer.create 65536;
+      Buffer.add_string r.buf (String.sub s (i + 1) (String.length s - i - 1));
+      true
     | None ->
-      if r.eof then
-        if Buffer.length r.buf > 0 then begin
-          let line = Buffer.contents r.buf in
-          Buffer.clear r.buf;
-          Some line
-        end
-        else None
-      else begin
-        refill r;
-        next_line r
-      end
+      Buffer.clear r.buf;
+      false
+
+  let rec next_line r =
+    match r.over with
+    | Some prefix ->
+      if drop_to_newline r then begin r.over <- None; Some prefix end
+      else if r.eof then begin r.over <- None; Some prefix end
+      else begin refill r; next_line r end
+    | None ->
+      (match take_line r with
+       | Some line -> Some line
+       | None ->
+         if Buffer.length r.buf > r.max_line then begin
+           (* The line is already over the frame limit; keep just enough
+              bytes to prove it and shed the rest as it streams in. *)
+           r.over <-
+             Some (String.sub (Buffer.contents r.buf) 0 (r.max_line + 1));
+           Buffer.clear r.buf;
+           next_line r
+         end
+         else if r.eof then
+           if Buffer.length r.buf > 0 then begin
+             let line = Buffer.contents r.buf in
+             Buffer.clear r.buf;
+             Some line
+           end
+           else None
+         else begin
+           refill r;
+           next_line r
+         end)
 
   (* A complete buffered line, or bytes already readable on the fd:
      either way the serve loop should keep queueing before it flushes. *)
@@ -465,8 +648,17 @@ let run_pipe t ~in_fd ~out : stop = serve t (io_of_fd in_fd out)
 
 (* Unix-socket mode: connections are accepted one at a time; the
    requests of a connection fan out over the pool exactly as in pipe
-   mode.  A shutdown request stops the daemon after answering. *)
+   mode.  A shutdown request stops the daemon after answering.
+
+   A broken client must not take the daemon down with it: SIGPIPE is
+   ignored for the process (a write to a dead peer then surfaces as
+   EPIPE / [Sys_error] instead of a fatal signal), and any connection
+   error — the peer resetting mid-request, vanishing before reading its
+   responses — is logged to stderr and the accept loop continues.  Only
+   non-I/O exceptions (daemon bugs) still propagate. *)
 let run_socket t ~path : stop =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
   Unix.bind sock (Unix.ADDR_UNIX path);
@@ -474,7 +666,22 @@ let run_socket t ~path : stop =
   let rec accept_loop () =
     let conn, _ = Unix.accept sock in
     let oc = Unix.out_channel_of_descr conn in
-    let stop = try serve t (io_of_fd conn oc) with e -> Unix.close conn; raise e in
+    let stop =
+      match serve t (io_of_fd conn oc) with
+      | stop -> stop
+      | exception
+          (( Unix.Unix_error
+               ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN
+                 | Unix.ETIMEDOUT ),
+                 _, _ )
+           | Sys_error _ ) as e) ->
+        Printf.eprintf "epicd: dropping client after connection error: %s\n%!"
+          (Printexc.to_string e);
+        Eof
+      | exception e ->
+        (try Unix.close conn with Unix.Unix_error (_, _, _) -> ());
+        raise e
+    in
     (try flush oc with Sys_error _ -> ());
     (try Unix.close conn with Unix.Unix_error (_, _, _) -> ());
     match stop with Eof -> accept_loop () | Shutdown_requested -> Shutdown_requested

@@ -1,19 +1,29 @@
 (* Persistent on-disk artifact cache: key -> payload files under a
-   versioned directory, published atomically via rename.  See the .mli
-   for the layout, versioning and concurrency story. *)
+   versioned directory, published atomically via rename, verified by a
+   payload checksum on every read.  See the .mli for the layout,
+   versioning, integrity and concurrency story. *)
 
-let format_version = 1
+let format_version = 2
 
-type stats = { st_hits : int; st_misses : int; st_evictions : int }
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+  st_quarantined : int;
+  st_swept : int;
+}
 
 type t = {
   root : string;             (* user-supplied directory *)
   entry_dir : string;        (* root/v<version> *)
+  quarantine_dir : string;   (* root/quarantine *)
   max_entries : int option;
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable quarantined : int; (* corrupt entries moved aside *)
+  mutable swept : int;       (* crashed-writer temporaries removed *)
   mutable tmp_seq : int;     (* per-process unique temp names *)
 }
 
@@ -33,11 +43,34 @@ let rec rm_rf path =
 
 let is_entry name = name <> "" && name.[0] <> '.'
 
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Crashed-writer sweep: remove dot-prefixed temporaries from the entry
+   directory.  Runs at open (including the open that performs a version
+   bump) and on demand via {!sweep}. *)
+let sweep_dir entry_dir =
+  match Sys.readdir entry_dir with
+  | exception Sys_error _ -> 0
+  | names ->
+    Array.fold_left
+      (fun n name ->
+        if not (is_entry name) && name <> "." && name <> ".." then
+          match Unix.unlink (Filename.concat entry_dir name) with
+          | () -> n + 1
+          | exception Unix.Unix_error (_, _, _) -> n
+        else n)
+      0 names
+
 let open_ ?(version = format_version) ?max_entries root =
   let entry_dir = Filename.concat root (Printf.sprintf "v%d" version) in
+  let quarantine_dir = Filename.concat root "quarantine" in
   mkdir_p entry_dir;
-  (* Invalidate other format versions wholesale, and sweep temporaries a
-     crashed writer may have left behind. *)
+  (* Invalidate other format versions wholesale.  A crash mid-removal
+     leaves a partial generation; the next open simply resumes the
+     removal, so partially-deleted generations cannot be read from
+     (they are never the current entry_dir) and do not survive. *)
   Array.iter
     (fun name ->
       let path = Filename.concat root name in
@@ -46,16 +79,18 @@ let open_ ?(version = format_version) ?max_entries root =
          && Sys.is_directory path
       then rm_rf path)
     (Sys.readdir root);
-  Array.iter
-    (fun name ->
-      if not (is_entry name) && name <> "." && name <> ".." then
-        try Unix.unlink (Filename.concat entry_dir name)
-        with Unix.Unix_error (_, _, _) -> ())
-    (Sys.readdir entry_dir);
-  { root; entry_dir; max_entries; mutex = Mutex.create ();
-    hits = 0; misses = 0; evictions = 0; tmp_seq = 0 }
+  let swept = sweep_dir entry_dir in
+  { root; entry_dir; quarantine_dir; max_entries; mutex = Mutex.create ();
+    hits = 0; misses = 0; evictions = 0; quarantined = 0; swept;
+    tmp_seq = 0 }
 
 let dir t = t.root
+let quarantine_dir t = t.quarantine_dir
+
+let sweep t =
+  let n = sweep_dir t.entry_dir in
+  locked t (fun () -> t.swept <- t.swept + n);
+  n
 
 let path_of_key t key =
   Filename.concat t.entry_dir (Digest.to_hex (Digest.string key))
@@ -64,22 +99,38 @@ let path_of_key t key =
    escaped so it is newline-free and comparable byte-for-byte. *)
 let key_line key = String.escaped key
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let checksum_line payload = "md5:" ^ Digest.to_hex (Digest.string payload)
+
+(* What a read of an entry file can conclude.  [Foreign] (a key-line
+   mismatch: digest collision or a foreign file squatting on the path)
+   is a plain miss — recomputing overwrites it harmlessly.  [Corrupt]
+   covers everything structurally broken: truncation before or inside
+   the header, a malformed checksum line, or a checksum mismatch
+   (torn write published by a non-atomic filesystem, bit rot, manual
+   tampering).  Corrupt entries are quarantined, never served. *)
+type verdict = Absent | Foreign | Corrupt of string | Valid of string
 
 let read_entry path ~key =
   match open_in_bin path with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> Absent
   | ic ->
     Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
     (match input_line ic with
-     | exception End_of_file -> None
-     | line when line <> key_line key -> None  (* collision or foreign file *)
+     | exception End_of_file -> Corrupt "empty entry file"
+     | line when line <> key_line key -> Foreign
      | _ ->
-       let pos = pos_in ic in
-       let len = in_channel_length ic - pos in
-       if len < 0 then None else Some (really_input_string ic len))
+       (match input_line ic with
+        | exception End_of_file -> Corrupt "truncated before checksum line"
+        | sum when String.length sum < 5 || String.sub sum 0 4 <> "md5:" ->
+          Corrupt "malformed checksum line"
+        | sum ->
+          let pos = pos_in ic in
+          let len = in_channel_length ic - pos in
+          if len < 0 then Corrupt "negative payload length"
+          else
+            let payload = really_input_string ic len in
+            if checksum_line payload = sum then Valid payload
+            else Corrupt "payload checksum mismatch"))
 
 let entry_names t =
   match Sys.readdir t.entry_dir with
@@ -87,6 +138,32 @@ let entry_names t =
   | exception Sys_error _ -> []
 
 let entries t = List.length (entry_names t)
+
+let quarantined_entries t =
+  match Sys.readdir t.quarantine_dir with
+  | names -> List.length (List.filter is_entry (Array.to_list names))
+  | exception Sys_error _ -> 0
+
+(* Move a corrupt entry aside for post-mortem instead of serving or
+   deleting it.  The destination name keeps the entry digest and gains a
+   uniquifying suffix, so repeated corruption of one path never clobbers
+   earlier evidence.  Falls back to deletion when rename fails (e.g. the
+   quarantine directory is unwritable): a corrupt entry must never stay
+   on its key's path. *)
+let quarantine t path reason =
+  mkdir_p t.quarantine_dir;
+  let base = Filename.basename path in
+  let seq = locked t (fun () -> t.tmp_seq <- t.tmp_seq + 1; t.tmp_seq) in
+  let dest =
+    Filename.concat t.quarantine_dir
+      (Printf.sprintf "%s.%d-%d" base (Unix.getpid ()) seq)
+  in
+  (match Unix.rename path dest with
+   | () -> ()
+   | exception Unix.Unix_error (_, _, _) ->
+     (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ()));
+  locked t (fun () -> t.quarantined <- t.quarantined + 1);
+  ignore reason
 
 (* Oldest-mtime first; ties broken by name so eviction order is stable
    within one second. *)
@@ -131,6 +208,8 @@ let add t ~key payload =
   (try
      output_string oc (key_line key);
      output_char oc '\n';
+     output_string oc (checksum_line payload);
+     output_char oc '\n';
      output_string oc payload;
      close_out oc
    with e -> close_out_noerr oc; (try Unix.unlink tmp with _ -> ()); raise e);
@@ -138,11 +217,16 @@ let add t ~key payload =
   evict_over_cap t
 
 let find t ~key =
-  match read_entry (path_of_key t key) ~key with
-  | Some payload ->
+  let path = path_of_key t key in
+  match read_entry path ~key with
+  | Valid payload ->
     locked t (fun () -> t.hits <- t.hits + 1);
     Some payload
-  | None ->
+  | Absent | Foreign ->
+    locked t (fun () -> t.misses <- t.misses + 1);
+    None
+  | Corrupt reason ->
+    quarantine t path reason;
     locked t (fun () -> t.misses <- t.misses + 1);
     None
 
@@ -154,15 +238,55 @@ let find_or_add t ~key f =
     add t ~key payload;
     (payload, false)
 
+(* Integrity scrub: re-read every entry against its own embedded key
+   line and checksum.  The key line is self-describing (an escaped copy
+   of the key), so verification needs no key list: unescape it and check
+   the file sits on its key's digest path.  Anything broken is
+   quarantined.  Counters other than [quarantined] are untouched. *)
+let verify t =
+  List.fold_left
+    (fun bad name ->
+      let path = Filename.concat t.entry_dir name in
+      match open_in_bin path with
+      | exception Sys_error _ -> bad
+      | ic ->
+        let header =
+          Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+          match input_line ic with
+          | exception End_of_file -> Error "empty entry file"
+          | key_esc ->
+            (match Scanf.unescaped key_esc with
+             | exception Scanf.Scan_failure _ -> Error "unparseable key line"
+             | key -> Ok key)
+        in
+        (match header with
+         | Error reason -> quarantine t path reason; bad + 1
+         | Ok key ->
+           if Filename.basename (path_of_key t key) <> name then begin
+             quarantine t path "entry not on its key's path"; bad + 1
+           end
+           else
+             (match read_entry path ~key with
+              | Valid _ -> bad
+              | Absent -> bad (* raced with an eviction; nothing to do *)
+              | Foreign ->
+                (* Unreachable in practice: the key line just matched. *)
+                quarantine t path "unstable key line"; bad + 1
+              | Corrupt reason -> quarantine t path reason; bad + 1)))
+    0 (entry_names t)
+
 let stats t =
   locked t (fun () ->
-      { st_hits = t.hits; st_misses = t.misses; st_evictions = t.evictions })
+      { st_hits = t.hits; st_misses = t.misses; st_evictions = t.evictions;
+        st_quarantined = t.quarantined; st_swept = t.swept })
 
 let reset_stats t =
   locked t (fun () ->
       t.hits <- 0;
       t.misses <- 0;
-      t.evictions <- 0)
+      t.evictions <- 0;
+      t.quarantined <- 0;
+      t.swept <- 0)
 
 let hit_rate s =
   let total = s.st_hits + s.st_misses in
@@ -181,4 +305,6 @@ let stats_to_json t =
     [ ("hits", Epic.Profile.Json.Int s.st_hits);
       ("misses", Epic.Profile.Json.Int s.st_misses);
       ("evictions", Epic.Profile.Json.Int s.st_evictions);
+      ("quarantined", Epic.Profile.Json.Int s.st_quarantined);
+      ("swept", Epic.Profile.Json.Int s.st_swept);
       ("entries", Epic.Profile.Json.Int (entries t)) ]

@@ -9,16 +9,30 @@
 
     {b Layout and versioning.}  Entries live under
     [dir/v<version>/<md5(key)>]; the first line of an entry file is the
-    (escaped) key, the rest is the payload.  The key line guards against
-    digest collisions and foreign files: a mismatch reads as a miss.
-    Opening a store removes entry directories of {e other} format
-    versions, so bumping {!format_version} (or passing a new [version])
-    invalidates every stale entry at once.
+    (escaped) key, the second is an [md5:<hex>] checksum of the payload,
+    the rest is the payload.  The key line guards against digest
+    collisions and foreign files: a mismatch reads as a miss.  Opening a
+    store removes entry directories of {e other} format versions, so
+    bumping {!format_version} (or passing a new [version]) invalidates
+    every stale entry at once; a crash mid-removal just resumes at the
+    next open (a partially-deleted generation is never the current entry
+    directory).
+
+    {b Integrity and quarantine.}  Every read verifies the payload
+    against the embedded checksum.  A structurally broken entry —
+    truncated, bit-flipped, checksum mismatch — is {e quarantined}:
+    moved to [dir/quarantine/] (uniquified name, for post-mortem),
+    counted in {!stats}, and reported as a miss so the caller recomputes
+    and republishes.  The daemon therefore never serves corrupt bytes
+    and never dies on them.  {!verify} is the eager variant: a full
+    scrub of the current generation.
 
     {b Atomicity.}  Writes go to a hidden temporary file in the same
     directory and are published with [Unix.rename], which is atomic on
     POSIX: a reader sees either no entry or a complete one, never a torn
-    write.  Leftover temporaries from a crashed writer are swept on open.
+    write.  Leftover temporaries from a crashed writer are swept on open
+    (including a version-bump open) and on demand via {!sweep}; the
+    sweep count is part of {!stats}.
 
     {b Concurrency.}  One [t]'s counters are mutex-protected, so
     {!find_or_add} may be called from every domain of a batch at once.
@@ -29,25 +43,32 @@
 type t
 
 val format_version : int
-(** Current on-disk format version; baked into the entry directory name. *)
+(** Current on-disk format version; baked into the entry directory name.
+    Version 2 added the per-entry payload checksum line. *)
 
 type stats = {
   st_hits : int;
   st_misses : int;        (** Includes corrupt / mismatched entries. *)
   st_evictions : int;     (** Entries removed by the [max_entries] cap. *)
+  st_quarantined : int;   (** Corrupt entries moved to [quarantine/]. *)
+  st_swept : int;         (** Crashed-writer temporaries removed. *)
 }
 
 val open_ : ?version:int -> ?max_entries:int -> string -> t
 (** [open_ dir] creates [dir] (and parents) if needed, sweeps stale
-    version directories and leftover temporaries, and returns a handle.
-    [version] defaults to {!format_version}; [max_entries] (default
-    unlimited) caps the entry count — adding beyond it evicts the
-    oldest-mtime entries. *)
+    version directories and leftover temporaries (the sweep count seeds
+    [st_swept]), and returns a handle.  [version] defaults to
+    {!format_version}; [max_entries] (default unlimited) caps the entry
+    count — adding beyond it evicts the oldest-mtime entries. *)
 
 val dir : t -> string
 
+val quarantine_dir : t -> string
+(** [dir/quarantine]; created lazily by the first quarantine. *)
+
 val find : t -> key:string -> string option
-(** Look up a key; counts a hit or a miss. *)
+(** Look up a key; counts a hit or a miss.  A corrupt entry is
+    quarantined and counts as a miss. *)
 
 val add : t -> key:string -> string -> unit
 (** Publish a payload atomically (write-temporary-then-rename), then
@@ -60,8 +81,23 @@ val find_or_add : t -> key:string -> (unit -> string) -> string * bool
     write identical bytes (the in-memory compile cache already
     deduplicates the expensive work). *)
 
+val verify : t -> int
+(** Scrub every entry of the current generation: re-check the key line
+    (entries must sit on their own key's digest path) and the payload
+    checksum, quarantining anything broken.  Returns the number of
+    entries quarantined.  Hit/miss counters are untouched. *)
+
+val sweep : t -> int
+(** Remove crashed-writer temporaries from the entry directory now
+    (also done automatically at open).  Returns the number removed and
+    adds it to [st_swept]. *)
+
 val entries : t -> int
 (** Entry files currently on disk. *)
+
+val quarantined_entries : t -> int
+(** Files currently in the quarantine directory (cumulative across
+    store lifetimes, unlike the [st_quarantined] counter). *)
 
 val stats : t -> stats
 val reset_stats : t -> unit
@@ -75,4 +111,5 @@ val wipe : t -> unit
     except that nothing counts as an eviction). *)
 
 val stats_to_json : t -> Epic.Profile.Json.t
-(** [{"hits": _, "misses": _, "evictions": _, "entries": _}]. *)
+(** [{"hits": _, "misses": _, "evictions": _, "quarantined": _,
+    "swept": _, "entries": _}]. *)

@@ -179,7 +179,9 @@ let string_of_stall_cause = function
 (* [trace] receives one line per issued bundle: cycle, PC and the
    non-NOP operations (squashed ones bracketed).  Used by epicsim
    --trace and handy when debugging schedules. *)
-let run ?(fuel = 500_000_000) ?trace ?sink ?tamper ?pre (cfg : Config.t)
+let default_fuel = 500_000_000
+
+let run ?(fuel = default_fuel) ?trace ?sink ?tamper ?pre (cfg : Config.t)
     ~(image : A.image) ~(mem : Bytes.t) ?(entry = 0) () =
   let w = image.A.im_issue_width in
   if w <> cfg.Config.issue_width then

@@ -216,6 +216,12 @@ module Predecode : sig
       ["pbrr"], ["bru"], ["brc"], ["brl"] or ["halt"]. *)
 end
 
+val default_fuel : int
+(** The cycle budget {!run} applies when [fuel] is absent (5*10^8).
+    Exposed so callers that {e tighten} the budget — the serving
+    daemon's fuel-based deadlines — can tell whether a cap they computed
+    is below what the simulator would have used anyway. *)
+
 val run :
   ?fuel:int ->
   ?trace:Format.formatter ->

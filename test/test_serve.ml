@@ -39,7 +39,7 @@ let sample_requests =
 let test_roundtrip () =
   List.iteri
     (fun i op ->
-      let r = { P.rq_id = Some i; rq_op = op } in
+      let r = { P.rq_id = Some i; rq_deadline_ms = None; rq_op = op } in
       match P.request_of_line (P.to_line r) with
       | Ok r' ->
         Alcotest.(check bool)
@@ -50,7 +50,7 @@ let test_roundtrip () =
           (Epic.Diag.to_string d))
     sample_requests;
   (* An id-less request survives too. *)
-  match P.request_of_line (P.to_line { P.rq_id = None; rq_op = P.Stats }) with
+  match P.request_of_line (P.to_line { P.rq_id = None; rq_deadline_ms = None; rq_op = P.Stats }) with
   | Ok r -> Alcotest.(check bool) "no id" true (r.P.rq_id = None)
   | Error _ -> Alcotest.fail "id-less request rejected"
 
@@ -116,7 +116,7 @@ let test_eval_errors () =
 let work_batch () =
   let reqs =
     List.mapi
-      (fun i op -> { P.rq_id = Some i; rq_op = op })
+      (fun i op -> { P.rq_id = Some i; rq_deadline_ms = None; rq_op = op })
       (List.filter (fun op -> not (P.is_control op)) sample_requests)
   in
   List.map P.to_line reqs
@@ -239,6 +239,314 @@ let test_store_versioning () =
   Alcotest.(check (option string)) "fresh generation" None
     (Store.find st3 ~key:"k")
 
+(* ---- store integrity: checksums, quarantine, scrub ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_store_integrity () =
+  with_tmpdir @@ fun dir ->
+  let st = Store.open_ dir in
+  Store.add st ~key:"alpha" "payload-alpha";
+  Store.add st ~key:"beta" "payload-beta";
+  (* Bit rot: flip one payload bit; the checksum must catch it and the
+     entry must be quarantined, never served. *)
+  let pa = entry_path dir "alpha" in
+  let s = read_file pa in
+  let i = String.length s - 3 in
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  write_file pa (Bytes.to_string b);
+  Alcotest.(check (option string)) "flipped entry is a miss" None
+    (Store.find st ~key:"alpha");
+  Alcotest.(check int) "quarantine counted" 1
+    (Store.stats st).Store.st_quarantined;
+  Alcotest.(check int) "moved to quarantine/" 1 (Store.quarantined_entries st);
+  Alcotest.(check bool) "off its key's path" false (Sys.file_exists pa);
+  (* Torn write: header intact, payload cut short. *)
+  let pb = entry_path dir "beta" in
+  let sb = read_file pb in
+  write_file pb (String.sub sb 0 (String.length sb - 4));
+  Alcotest.(check (option string)) "truncated entry is a miss" None
+    (Store.find st ~key:"beta");
+  Alcotest.(check int) "second quarantine" 2
+    (Store.stats st).Store.st_quarantined;
+  (* Recomputation republishes on the same path and hits again. *)
+  Store.add st ~key:"alpha" "payload-alpha";
+  Alcotest.(check (option string)) "recomputed entry hits"
+    (Some "payload-alpha")
+    (Store.find st ~key:"alpha")
+
+let test_store_verify () =
+  with_tmpdir @@ fun dir ->
+  let st = Store.open_ dir in
+  Store.add st ~key:"one" "1111";
+  Store.add st ~key:"two" "2222";
+  Store.add st ~key:"three" "3333";
+  Alcotest.(check int) "clean scrub finds nothing" 0 (Store.verify st);
+  let p = entry_path dir "two" in
+  let s = read_file p in
+  write_file p (String.sub s 0 (String.length s - 2));
+  Alcotest.(check int) "scrub quarantines the bad entry" 1 (Store.verify st);
+  Alcotest.(check int) "survivors stay on disk" 2 (Store.entries st);
+  Alcotest.(check (option string)) "survivor still hits" (Some "1111")
+    (Store.find st ~key:"one")
+
+let test_store_swept () =
+  with_tmpdir @@ fun dir ->
+  let st = Store.open_ dir in
+  Store.add st ~key:"k" "v";
+  (* A crashed writer's temporary in a {e new} format generation must be
+     swept by the open that performs the version bump. *)
+  let next = Store.format_version + 1 in
+  let vdir = Filename.concat dir (Printf.sprintf "v%d" next) in
+  Unix.mkdir vdir 0o755;
+  write_file (Filename.concat vdir ".tmp-1-1") "torn";
+  let st2 = Store.open_ ~version:next dir in
+  Alcotest.(check int) "bump open sweeps" 1 (Store.stats st2).Store.st_swept;
+  Alcotest.(check int) "nothing left to sweep" 0 (Store.sweep st2);
+  (* The sweep count is part of the stats JSON. *)
+  (match J.member "swept" (Store.stats_to_json st2) with
+   | Some (J.Int 1) -> ()
+   | _ -> Alcotest.fail "stats JSON lacks the swept count")
+
+(* ---- protocol limits ---------------------------------------------- *)
+
+let test_oversized () =
+  (* One byte over the limit: rejected with the dedicated code. *)
+  check_bad "over the line limit"
+    (String.make (P.max_line_bytes + 1) 'x')
+    "serve/oversized";
+  (* Exactly at the limit: admitted past the length check (this junk
+     then fails as a plain parse error, not as oversized). *)
+  match P.request_of_line (String.make P.max_line_bytes 'x') with
+  | Error d ->
+    Alcotest.(check string) "at the limit is not oversized" "serve/parse"
+      d.Epic.Diag.code
+  | Ok _ -> Alcotest.fail "junk line parsed"
+
+(* End-to-end through the bounded pipe reader: an oversized frame gets a
+   structured error and the daemon keeps serving the same connection. *)
+let test_oversized_pipe () =
+  with_tmpdir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let input = Filename.concat dir "input" in
+  let oc = open_out_bin input in
+  output_string oc (String.make (P.max_line_bytes + 100) 'z');
+  output_char oc '\n';
+  output_string oc {|{"id":7,"op":"stats"}|};
+  output_char oc '\n';
+  close_out oc;
+  let fd = Unix.openfile input [ Unix.O_RDONLY ] 0 in
+  let out_path = Filename.concat dir "out" in
+  let out = open_out out_path in
+  let t = Server.create ~jobs:1 () in
+  let stop = Server.run_pipe t ~in_fd:fd ~out in
+  close_out out;
+  Unix.close fd;
+  Alcotest.(check bool) "served to EOF" true (stop = Server.Eof);
+  let ic = open_in out_path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  (match Option.bind (Result.to_option (J.parse l1)) (J.member "error") with
+   | Some e ->
+     Alcotest.(check bool) "oversized code" true
+       (J.member "code" e = Some (J.Str "serve/oversized"))
+   | None -> Alcotest.failf "expected an error response, got %s" l1);
+  match Result.to_option (J.parse l2) with
+  | Some j ->
+    Alcotest.(check bool) "stats answered after the oversized frame" true
+      (J.member "ok" j = Some (J.Bool true) && J.member "id" j = Some (J.Int 7))
+  | None -> Alcotest.failf "unparseable second response: %s" l2
+
+(* ---- deadlines ---------------------------------------------------- *)
+
+let spin_asm = "_start:\n{ PBRR b0, @spin }\nspin:\n{ BRU #0 }\n"
+
+let sim_line ?dl ?fuel ~id asm =
+  P.to_line
+    { P.rq_id = Some id; rq_deadline_ms = dl;
+      rq_op =
+        P.Simulate
+          { P.s_config = Config.default; s_asm = asm; s_fuel = fuel;
+            s_mem_bytes = 4096 } }
+
+let response_code line =
+  Option.bind
+    (Option.bind (Result.to_option (J.parse line)) (J.member "error"))
+    (J.member "code")
+
+let response_ok line =
+  match Option.bind (Result.to_option (J.parse line)) (J.member "ok") with
+  | Some (J.Bool b) -> b
+  | _ -> false
+
+let test_deadline () =
+  let t = Server.create ~jobs:1 () in
+  let one line = List.hd (Server.serve_strings t [ line ]) in
+  (* Already expired on arrival: shed before any work happens. *)
+  Alcotest.(check bool) "deadline_ms=0 times out" true
+    (response_code (one (sim_line ~dl:0 ~id:0 tiny_asm))
+     = Some (J.Str "serve/deadline"));
+  (* A non-halting program cannot outlive its deadline: the fuel cap
+     derived from the deadline stops it and reports the timeout. *)
+  Alcotest.(check bool) "spin under a 50 ms deadline times out" true
+    (response_code (one (sim_line ~dl:50 ~id:1 spin_asm))
+     = Some (J.Str "serve/deadline"));
+  (* An explicitly requested tight fuel budget is a legitimate result,
+     not a timeout — even under a deadline, because the deadline did not
+     tighten the budget. *)
+  Alcotest.(check bool) "explicit fuel trap is ok" true
+    (response_ok (one (sim_line ~fuel:1000 ~id:2 spin_asm)));
+  Alcotest.(check bool) "explicit fuel trap under a deadline is ok" true
+    (response_ok (one (sim_line ~dl:50 ~fuel:1000 ~id:3 spin_asm)));
+  (* A generous deadline on a terminating program changes nothing. *)
+  Alcotest.(check bool) "generous deadline is ok" true
+    (response_ok (one (sim_line ~dl:60000 ~id:4 tiny_asm)));
+  (* The timeouts were counted. *)
+  let stats =
+    one (P.to_line { P.rq_id = Some 9; rq_deadline_ms = None; rq_op = P.Stats })
+  in
+  match
+    Option.bind
+      (Option.bind (Result.to_option (J.parse stats)) (J.member "result"))
+      (J.member "deadline_timeouts")
+  with
+  | Some (J.Int n) -> Alcotest.(check int) "two timeouts counted" 2 n
+  | _ -> Alcotest.fail "stats lack deadline_timeouts"
+
+(* The server-wide default deadline applies to requests that set none. *)
+let test_deadline_server_default () =
+  let t = Server.create ~jobs:1 ~deadline_ms:0 () in
+  let r = List.hd (Server.serve_strings t [ sim_line ~id:0 tiny_asm ]) in
+  Alcotest.(check bool) "server default enforced" true
+    (response_code r = Some (J.Str "serve/deadline"))
+
+(* ---- overload shedding -------------------------------------------- *)
+
+let test_overload_shedding () =
+  let lines =
+    List.map
+      (fun i -> sim_line ~id:i (Printf.sprintf "_start:\n{ MOV r3, #%d }\n{ HALT }\n" i))
+      [ 0; 1; 2; 3; 4; 5 ]
+    @ [ P.to_line { P.rq_id = Some 9; rq_deadline_ms = None; rq_op = P.Stats } ]
+  in
+  let serve () =
+    Server.serve_strings (Server.create ~jobs:2 ~queue_max:2 ()) lines
+  in
+  let rs = serve () in
+  Alcotest.(check int) "every request answered" 7 (List.length rs);
+  let shed =
+    List.filter (fun l -> response_code l = Some (J.Str "serve/overload")) rs
+  in
+  let ok = List.filter response_ok rs in
+  Alcotest.(check int) "four shed" 4 (List.length shed);
+  Alcotest.(check int) "two served plus stats" 3 (List.length ok);
+  (* Shed responses carry the request id and the queue state. *)
+  (match Result.to_option (J.parse (List.hd shed)) with
+   | Some j ->
+     Alcotest.(check bool) "shed response has an id" true
+       (J.member "id" j <> None && J.member "id" j <> Some J.Null)
+   | None -> Alcotest.fail "unparseable shed response");
+  (* The stats response reports the admission counters. *)
+  let stats = List.find (fun l -> not (response_ok l = false)) (List.rev rs) in
+  (match
+     Option.bind (Result.to_option (J.parse stats)) (J.member "result")
+   with
+   | Some r ->
+     Alcotest.(check bool) "shed counter" true (J.member "shed" r = Some (J.Int 4));
+     Alcotest.(check bool) "admitted counter" true
+       (J.member "admitted" r = Some (J.Int 2))
+   | None -> Alcotest.fail "unparseable stats");
+  (* Shedding is deterministic on the in-memory transport (the stats
+     response is excluded: it embeds wall-clock measurements). *)
+  let work l =
+    match Option.bind (Result.to_option (J.parse l)) (J.member "id") with
+    | Some (J.Int 9) -> false
+    | _ -> true
+  in
+  Alcotest.(check (list string)) "deterministic under overload"
+    (List.filter work rs)
+    (List.filter work (serve ()))
+
+(* ---- retry backoff ------------------------------------------------ *)
+
+let test_backoff () =
+  let d = Epic.Exec.Backoff.delay_ms ~seed:7 ~key:3 ~attempt:4 () in
+  Alcotest.(check (float 1e-9)) "deterministic"
+    d
+    (Epic.Exec.Backoff.delay_ms ~seed:7 ~key:3 ~attempt:4 ());
+  Alcotest.(check bool) "seed changes the jitter" true
+    (d <> Epic.Exec.Backoff.delay_ms ~seed:8 ~key:3 ~attempt:4 ());
+  Alcotest.(check (float 1e-9)) "attempt 0 is immediate" 0.
+    (Epic.Exec.Backoff.delay_ms ~seed:7 ~key:3 ~attempt:0 ());
+  for attempt = 1 to 20 do
+    let v = Epic.Exec.Backoff.delay_ms ~seed:1 ~key:1 ~attempt () in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d in (0, window]" attempt)
+      true
+      (v > 0.
+       && v <= Float.min 2000. (25. *. Float.pow 2. (float_of_int (attempt - 1))))
+  done
+
+(* ---- socket resilience -------------------------------------------- *)
+
+let test_socket_resilience () =
+  with_tmpdir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "sock" in
+  let t = Server.create ~jobs:1 () in
+  let srv = Domain.spawn (fun () -> Server.run_socket t ~path) in
+  let rec await n =
+    if Sys.file_exists path then ()
+    else if n = 0 then Alcotest.fail "socket never appeared"
+    else (Unix.sleepf 0.02; await (n - 1))
+  in
+  await 250;
+  let connect () =
+    let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect s (Unix.ADDR_UNIX path);
+    s
+  in
+  (* Client 1 connects and slams the door without a word. *)
+  Unix.close (connect ());
+  (* Client 2 leaves a partial frame and disconnects before reading the
+     response: the daemon's write hits a dead peer and must not die. *)
+  let c2 = connect () in
+  ignore (Unix.write_substring c2 "{oops" 0 5);
+  Unix.close c2;
+  (* Client 3 is a well-behaved session: the daemon must still serve it
+     and honour its shutdown. *)
+  let c3 = connect () in
+  let oc = Unix.out_channel_of_descr c3 in
+  output_string oc "{\"id\":1,\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n";
+  flush oc;
+  Unix.shutdown c3 Unix.SHUTDOWN_SEND;
+  let ic = Unix.in_channel_of_descr c3 in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = read [] in
+  (try Unix.close c3 with Unix.Unix_error (_, _, _) -> ());
+  (match responses with
+   | stats :: _ ->
+     Alcotest.(check bool) "stats served after rude clients" true
+       (response_ok stats)
+   | [] -> Alcotest.fail "no response on the surviving connection");
+  let stop = Domain.join srv in
+  Alcotest.(check bool) "daemon honoured shutdown" true
+    (stop = Server.Shutdown_requested)
+
 (* ---- memo-cache observation API ----------------------------------- *)
 
 let test_cache_snapshot_reset () =
@@ -269,4 +577,14 @@ let suite =
     Alcotest.test_case "store key guard" `Quick test_store_key_guard;
     Alcotest.test_case "store eviction" `Quick test_store_eviction;
     Alcotest.test_case "store versioning" `Quick test_store_versioning;
+    Alcotest.test_case "store integrity quarantine" `Quick test_store_integrity;
+    Alcotest.test_case "store verify scrub" `Quick test_store_verify;
+    Alcotest.test_case "store swept counter" `Quick test_store_swept;
+    Alcotest.test_case "oversized frames" `Quick test_oversized;
+    Alcotest.test_case "oversized frame on a pipe" `Quick test_oversized_pipe;
+    Alcotest.test_case "deadlines" `Quick test_deadline;
+    Alcotest.test_case "server default deadline" `Quick test_deadline_server_default;
+    Alcotest.test_case "overload shedding" `Quick test_overload_shedding;
+    Alcotest.test_case "retry backoff" `Quick test_backoff;
+    Alcotest.test_case "socket resilience" `Quick test_socket_resilience;
     Alcotest.test_case "cache snapshot/reset" `Quick test_cache_snapshot_reset ]
