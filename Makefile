@@ -1,7 +1,7 @@
 # Convenience targets; everything is driven by dune underneath.
 
 .PHONY: all build test check bench perf gate baseline fuzz serve-smoke \
-	chaos-smoke clean
+	chaos-smoke explore-smoke clean
 
 all: build
 
@@ -22,6 +22,7 @@ check:
 	dune exec bench/main.exe -- inject-faults --quick
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) explore-smoke
 	@echo "make check: OK"
 
 bench:
@@ -76,6 +77,34 @@ chaos-smoke:
 	  --cache-dir _build/chaos_smoke_cache \
 	  --chaos-report _build/chaos_report.json --jobs 2
 	@echo "chaos-smoke: OK"
+
+# Design-space exploration smoke: a seeded campaign over the small
+# workload variants, run cold at --jobs 4 and warm at --jobs 1 against
+# the same disk cache.  The frontier document and the stdout report must
+# be byte-identical across the two runs (jobs-invariance AND cold/warm
+# identity in one comparison), the warm pass must hit the disk cache at
+# >= 90%, and at least one discovered multi-op candidate (a GEN_xxxxxx
+# custom instruction) must appear on a frontier.  CI raises the budget
+# via EXPLORE_BUDGET.
+EXPLORE_BUDGET ?= 600
+
+explore-smoke:
+	dune build bin/epic_explore.exe
+	rm -rf _build/explore_smoke_cache
+	dune exec bin/epic_explore.exe -- --small \
+	  --budget $(EXPLORE_BUDGET) --seed 1 --jobs 4 \
+	  --cache-dir _build/explore_smoke_cache \
+	  --json _build/explore_cold.json > _build/explore_cold.txt
+	dune exec bin/epic_explore.exe -- --small \
+	  --budget $(EXPLORE_BUDGET) --seed 1 --jobs 1 \
+	  --cache-dir _build/explore_smoke_cache \
+	  --json _build/explore_warm.json \
+	  --stats-json _build/explore_stats.json \
+	  --expect-hit-rate 0.9 > _build/explore_warm.txt
+	cmp _build/explore_cold.json _build/explore_warm.json
+	cmp _build/explore_cold.txt _build/explore_warm.txt
+	grep -q "GEN_" _build/explore_cold.txt
+	@echo "explore-smoke: OK"
 
 # Refresh the committed baseline after an intentional performance change.
 baseline:

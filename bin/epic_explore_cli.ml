@@ -1,0 +1,299 @@
+(* epic_explore: production-scale design-space exploration.
+
+   Sweeps the configuration axes of the customisable processor (ALUs,
+   issue width, register files, immediate payload, pipeline depth) x
+   candidate custom-instruction sets discovered by the MIR
+   dataflow-subgraph enumerator, costs each point with the calibrated
+   area/clock model plus a cycle-level simulation, prunes dominated
+   points through an incremental Pareto archive, and persists point
+   evaluations in the same on-disk store epicd uses (--cache-dir), so
+   repeated campaigns hit disk instead of the compiler.
+
+   Determinism: stdout and the --json document are byte-identical for
+   every --jobs value and for cold vs warm caches; wall time, hit rates
+   and wave progress go to stderr (and --stats-json). *)
+
+open Cmdliner
+
+module C = Epic_explore.Campaign
+module Pareto = Epic_explore.Pareto
+module S = Epic.Workloads.Sources
+module Store = Epic_serve.Store
+module Json = Epic.Profile.Json
+
+let axis_conv ~flag s =
+  match
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+    |> List.map int_of_string_opt |> List.map Option.to_list |> List.concat
+  with
+  | [] -> failwith (Printf.sprintf "%s: expected a comma-separated int list" flag)
+  | l -> l
+
+let axis_term name doc =
+  Arg.(value & opt (some string) None & info [ name ] ~docv:"LIST" ~doc)
+
+(* A user-supplied source becomes a one-workload campaign; the expected
+   return value is taken from the MIR reference interpreter, the same
+   oracle the pass manager trusts. *)
+let benchmark_of_file path =
+  let source = Cli_common.read_file path in
+  let program = Epic.Opt.for_epic (Epic.Cfront.compile source) in
+  let expected =
+    (Epic.Interp.run program ~entry:"main").Epic.Interp.ret land 0xFFFFFFFF
+  in
+  { S.bm_name = Filename.remove_extension (Filename.basename path);
+    bm_source = source; bm_expected = expected;
+    bm_description = "user workload " ^ path }
+
+let small_workloads () =
+  [ S.sha_benchmark ~bytes:64 ();
+    S.aes_benchmark ~iters:4 ();
+    S.dct_benchmark ~width:16 ~height:16 ();
+    S.dijkstra_benchmark ~nodes:12 () ]
+
+let cand_names (cands : Epic.Custom_gen.candidate list) k =
+  if k = 0 then "-"
+  else
+    String.concat ","
+      (List.filteri (fun i _ -> i < k) cands
+       |> List.map (fun (c : Epic.Custom_gen.candidate) -> c.Epic.Custom_gen.cg_name))
+
+let print_frontiers (r : C.result) =
+  Printf.printf
+    "campaign: grid %d, sampled %d, evaluated %d, pruned %d, invalid %d, \
+     errors %d\n"
+    r.C.r_grid r.C.r_sampled r.C.r_counts.C.c_evaluated
+    r.C.r_counts.C.c_pruned r.C.r_counts.C.c_invalid r.C.r_counts.C.c_errors;
+  List.iter
+    (fun (wname, points) ->
+      let cands =
+        Option.value ~default:[] (List.assoc_opt wname r.C.r_candidates)
+      in
+      Printf.printf "\n== %s: %d candidate(s), %d Pareto-optimal design(s) ==\n"
+        wname (List.length cands) (List.length points);
+      List.iter
+        (fun (c : Epic.Custom_gen.candidate) ->
+          Printf.printf "  candidate %-12s %s\n" c.Epic.Custom_gen.cg_name
+            (Epic.Custom_gen.expr_to_string c.Epic.Custom_gen.cg_expr))
+        cands;
+      Printf.printf "%8s %6s %7s %9s %10s  %-5s %-6s %-5s %-6s %-5s %-8s %-7s %s\n"
+        "slices" "BRAMs" "MHz" "cycles" "time(ms)" "alus" "issue" "gprs"
+        "preds" "btrs" "payload" "stages" "candidates";
+      List.iter
+        (fun (pt : C.eval Pareto.point) ->
+          let e = pt.Pareto.pt_data in
+          let p = e.C.e_point in
+          let cycles =
+            match e.C.e_outcome with C.Measured n -> n | C.Failed _ -> 0
+          in
+          Printf.printf
+            "%8d %6d %7.1f %9d %10.4f  %-5d %-6d %-5d %-6d %-5d %-8d %-7d %s\n"
+            e.C.e_slices e.C.e_brams e.C.e_clock cycles pt.Pareto.pt_time
+            p.C.p_alus p.C.p_issue p.C.p_gprs p.C.p_preds p.C.p_btrs
+            p.C.p_payload p.C.p_stages
+            (cand_names cands p.C.p_cands))
+        points)
+    r.C.r_archives
+
+let write_file path body =
+  let oc = open_out_bin path in
+  output_string oc body;
+  output_char oc '\n';
+  close_out oc
+
+let run input budget seed wave no_prune candidates max_ops cache_dir
+    cache_entries resume small alus issues gprs preds btrs payloads stages
+    max_alus sweep_issue json_out stats_out expect_hit_rate jobs =
+  Cli_common.handle_errors @@ fun () ->
+  let workloads =
+    match input with
+    | Some path -> [ benchmark_of_file path ]
+    | None -> if small then small_workloads () else S.all ()
+  in
+  let d = C.default_axes in
+  let axis flag override legacy current =
+    match (override, legacy) with
+    | Some s, _ -> axis_conv ~flag s
+    | None, Some l -> l
+    | None, None -> current
+  in
+  let axes =
+    { C.ax_alus =
+        axis "alus" alus
+          (Option.map (fun n -> List.init n (fun i -> i + 1)) max_alus)
+          d.C.ax_alus;
+      ax_issues =
+        axis "issues" issues
+          (if sweep_issue then Some [ 1; 2; 4 ] else None)
+          d.C.ax_issues;
+      ax_gprs = axis "gprs" gprs None d.C.ax_gprs;
+      ax_preds = axis "preds" preds None d.C.ax_preds;
+      ax_btrs = axis "btrs" btrs None d.C.ax_btrs;
+      ax_payloads = axis "payloads" payloads None d.C.ax_payloads;
+      ax_stages = axis "stages" stages None d.C.ax_stages }
+  in
+  let opts =
+    { C.o_budget = budget; o_seed = seed; o_jobs = jobs; o_wave = wave;
+      o_prune = not no_prune; o_max_cands = candidates; o_max_ops = max_ops;
+      o_cache_dir = cache_dir; o_cache_entries = cache_entries;
+      o_resume = resume; o_workloads = workloads; o_axes = axes }
+  in
+  let result, cs =
+    Epic.Exec.run_campaign ~label:"epic_explore" ~jobs
+      ~notes:(fun (r : C.result) ->
+        [ ("pruned", r.C.r_counts.C.c_pruned);
+          ("invalid", r.C.r_counts.C.c_invalid);
+          ("errors", r.C.r_counts.C.c_errors) ])
+      ~tasks:(fun (r : C.result) -> r.C.r_counts.C.c_evaluated)
+      (fun () -> C.run ~progress:prerr_endline opts)
+  in
+  print_frontiers result;
+  (match json_out with
+   | Some path -> write_file path (Json.to_string result.C.r_doc)
+   | None -> ());
+  (* Volatile observability: wall time and store traffic never enter
+     stdout or the frontier document. *)
+  let store_stats =
+    Option.map (fun st -> (Store.stats st, Store.stats_to_json st))
+      result.C.r_store
+  in
+  (match stats_out with
+   | Some path ->
+     let doc =
+       Json.Obj
+         ([ ("campaign", Epic.Exec.campaign_stats_to_json cs) ]
+          @ (match store_stats with
+             | Some (s, j) ->
+               [ ("store", j);
+                 ("store_hit_rate", Json.Float (Store.hit_rate s)) ]
+             | None -> []))
+     in
+     write_file path (Json.to_string doc)
+   | None -> ());
+  (match (expect_hit_rate, store_stats) with
+   | Some want, Some (s, _) ->
+     let got = Store.hit_rate s in
+     if got < want then begin
+       Printf.eprintf
+         "error: store hit rate %.3f below the required %.3f (hits=%d \
+          misses=%d)\n"
+         got want s.Store.st_hits s.Store.st_misses;
+       exit 1
+     end
+     else
+       Printf.eprintf "store hit rate %.3f (>= %.3f required)\n" got want
+   | Some _, None ->
+     Printf.eprintf "error: --expect-hit-rate requires --cache-dir\n";
+     exit 1
+   | None, _ -> ())
+
+let cmd =
+  let input =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+           ~doc:"Explore a single EPIC-C source instead of the built-in \
+                 benchmark suite (expected result taken from the MIR \
+                 reference interpreter).")
+  in
+  let budget =
+    Arg.(value & opt int 10_000
+         & info [ "budget" ] ~docv:"N"
+           ~doc:"Design points to evaluate; when the grid is larger it is \
+                 sampled deterministically (see --seed).")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"Sampling seed (with --budget).")
+  in
+  let wave =
+    Arg.(value & opt int 256
+         & info [ "wave" ] ~docv:"N"
+           ~doc:"Points per pruning wave: dominance decisions use the \
+                 archive frozen at the previous wave boundary, keeping \
+                 output byte-identical for any --jobs.")
+  in
+  let no_prune =
+    Arg.(value & flag
+         & info [ "no-prune" ]
+           ~doc:"Disable the heuristic lower-bound cut (exact sweep: every \
+                 sampled valid point is evaluated).")
+  in
+  let candidates =
+    Arg.(value & opt int 3
+         & info [ "candidates" ] ~docv:"K"
+           ~doc:"Custom-instruction candidates per workload; prefixes of \
+                 the ranked list (0..K) form the candidate axis.")
+  in
+  let max_ops =
+    Arg.(value & opt int 3
+         & info [ "max-ops" ] ~docv:"N"
+           ~doc:"Largest fused subgraph a candidate may cover.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist point evaluations in the on-disk store (shared \
+                 with epicd); warm re-runs hit disk instead of the \
+                 compiler.")
+  in
+  let cache_entries =
+    Arg.(value & opt (some int) None
+         & info [ "cache-entries" ] ~docv:"N"
+           ~doc:"Cap the store's entry count (oldest evicted).")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+           ~doc:"Resume an interrupted campaign from the manifest in \
+                 --cache-dir (parameters must match).")
+  in
+  let small =
+    Arg.(value & flag
+         & info [ "small" ]
+           ~doc:"Use reduced workload sizes (CI smoke budget).")
+  in
+  let ax name doc = axis_term name doc in
+  let max_alus =
+    Arg.(value & opt (some int) None
+         & info [ "max-alus" ] ~docv:"N" ~doc:"Shorthand: sweep 1..N ALUs.")
+  in
+  let sweep_issue =
+    Arg.(value & flag
+         & info [ "sweep-issue" ]
+           ~doc:"Shorthand: sweep issue widths 1, 2, 4.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the frontier document (deterministic: byte-identical \
+                 for any --jobs and cold vs warm caches).")
+  in
+  let stats_out =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write volatile campaign statistics (wall time, store hit \
+                 rates).")
+  in
+  let expect_hit_rate =
+    Arg.(value & opt (some float) None
+         & info [ "expect-hit-rate" ] ~docv:"RATE"
+           ~doc:"Exit non-zero unless the store hit rate reaches RATE \
+                 (the CI warm-cache gate).")
+  in
+  Cmd.v
+    (Cmd.info "epic_explore"
+       ~doc:"Explore performance/area trade-offs of EPIC designs")
+    Term.(const run $ input $ budget $ seed $ wave $ no_prune $ candidates
+          $ max_ops $ cache_dir $ cache_entries $ resume $ small
+          $ ax "alus" "ALU counts to sweep (comma-separated)."
+          $ ax "issues" "Issue widths to sweep."
+          $ ax "gprs" "GPR file sizes to sweep."
+          $ ax "preds" "Predicate file sizes to sweep."
+          $ ax "btrs" "Branch-target file sizes to sweep."
+          $ ax "payloads" "Immediate payload widths (src_bits) to sweep."
+          $ ax "stages" "Pipeline depths to sweep."
+          $ max_alus $ sweep_issue $ json_out $ stats_out $ expect_hit_rate
+          $ Cli_common.jobs_term)
+
+let () = exit (Cmd.eval cmd)

@@ -193,6 +193,35 @@ let compile_epic ?(opt = O1) ?(predication = true) ?(unroll = default_unroll)
     Epic_exec.Cache.find_or_add c.Compile_cache.epic_art key build
   | _ -> build ()
 
+(* Backend-only compile from an already-optimised (and possibly
+   rewritten) MIR program — the entry point of the design-space explorer,
+   whose candidate rewrites happen at the MIR level and so cannot go
+   through [compile_epic]'s source front-end.  The backend mutates the
+   program it compiles, so the caller's program is copied first.  [key]
+   must identify the MIR (the explorer uses the workload digest plus the
+   canonical candidate expressions); the cache key extends it with the
+   config fingerprint, the same discipline as [compile_epic]. *)
+let compile_epic_mir ?mem_bytes ?cache ~key (cfg : Config.t) ~mir () =
+  let cfg = Config.validate_exn cfg in
+  let build () =
+    let mir = Opt.Common.copy_program mir in
+    let layout = Memmap.layout ?mem_bytes mir in
+    let unit_, sched = Sched.compile_program cfg layout mir in
+    let image, words = Asm.assemble cfg unit_ in
+    { ea_config = cfg; ea_mir = mir; ea_layout = layout; ea_unit = unit_;
+      ea_image = image; ea_words = words; ea_sched = sched;
+      ea_report = Opt.Pipeline.empty_report;
+      ea_pre = Sim.Predecode.of_image cfg image }
+  in
+  match cache with
+  | Some c ->
+    let key =
+      Printf.sprintf "mir|%s|cfg=%s|mb=%s" key (Config.fingerprint cfg)
+        (match mem_bytes with None -> "-" | Some b -> string_of_int b)
+    in
+    Epic_exec.Cache.find_or_add c.Compile_cache.epic_art key build
+  | None -> build ()
+
 let entry_of (a : epic_artifacts) =
   match List.assoc_opt "_start" a.ea_image.Asm.Aunit.im_symbols with
   | Some e -> e

@@ -110,6 +110,19 @@ val compile_epic :
     @raise Epic_asm.Asm_error, @raise Epic_opt.Pipeline.Error,
     @raise Invalid_argument as appropriate. *)
 
+val compile_epic_mir :
+  ?mem_bytes:int -> ?cache:Compile_cache.t -> key:string -> Epic_config.t ->
+  mir:Epic_mir.Ir.program -> unit -> epic_artifacts
+(** Backend-only compile from an already-optimised MIR program (layout ->
+    scheduling -> assembly -> predecode), for callers that rewrite MIR
+    directly — the design-space explorer fuses candidate custom
+    instructions into MIR and cannot go through the source front-end.
+    The program is copied before the backend mutates it.  [key] must
+    uniquely identify the MIR contents; with [cache] the artifacts are
+    memoised under [key x config fingerprint], the same discipline as
+    {!compile_epic}.  The pipeline report is
+    {!Epic_opt.Pipeline.empty_report} (no passes run here). *)
+
 val run_epic :
   ?fuel:int -> ?trace:Format.formatter -> ?profile:Epic_profile.t ->
   epic_artifacts -> Epic_sim.result

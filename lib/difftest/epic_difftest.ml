@@ -1140,7 +1140,7 @@ let fuzz ?jobs ?(shrink = true) ?(kinds = default_kinds) ~seed ~cases () : repor
       cs_jobs = (match jobs with Some j when j > 0 -> j | _ -> Exec.default_jobs ());
       cs_tasks = cases;
       cs_wall_s = Exec.now () -. t0;
-      cs_caches = [] }
+      cs_caches = []; cs_notes = [] }
   in
   { r_cases = cases;
     r_mir = count K_mir;

@@ -157,6 +157,7 @@ type campaign_stats = {
   cs_tasks : int;
   cs_wall_s : float;
   cs_caches : (string * Cache.stats) list;
+  cs_notes : (string * int) list;
 }
 
 let now () = Unix.gettimeofday ()
@@ -170,19 +171,24 @@ let pp_campaign_stats ppf cs =
     (fun (name, (s : Cache.stats)) ->
       Format.fprintf ppf "; %s %d/%d hits" name s.Cache.hits
         (s.Cache.hits + s.Cache.misses))
-    cs.cs_caches
+    cs.cs_caches;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "; %s %d" name v)
+    cs.cs_notes
 
 (* The stats-on-stderr convention in one place: stdout stays
    byte-identical across --jobs values; wall time and cache traffic go
    to stderr.  Cache counters are read after [f] so a campaign's own
    compiles are included. *)
-let run_campaign ?(quiet = false) ~label ~jobs ?caches ~tasks f =
+let run_campaign ?(quiet = false) ~label ~jobs ?caches ?(notes = fun _ -> [])
+    ~tasks f =
   let t0 = now () in
   let result = f () in
   let cs =
     { cs_label = label; cs_jobs = jobs; cs_tasks = tasks result;
       cs_wall_s = now () -. t0;
-      cs_caches = (match caches with None -> [] | Some g -> g ()) }
+      cs_caches = (match caches with None -> [] | Some g -> g ());
+      cs_notes = notes result }
   in
   if not quiet then Format.eprintf "%a@." pp_campaign_stats cs;
   (result, cs)
@@ -197,7 +203,9 @@ let campaign_stats_to_json cs =
         Json.Obj
           (List.map
              (fun (name, s) -> (name, Cache.stats_to_json s))
-             cs.cs_caches) ) ]
+             cs.cs_caches) );
+      ( "notes",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) cs.cs_notes) ) ]
 
 (* ------------------------------------------------------------------ *)
 (* Retry backoff *)

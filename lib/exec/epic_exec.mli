@@ -117,6 +117,9 @@ type campaign_stats = {
   cs_tasks : int;                       (** Independent jobs executed. *)
   cs_wall_s : float;                    (** Wall-clock seconds. *)
   cs_caches : (string * Cache.stats) list;  (** Per-cache hit/miss counts. *)
+  cs_notes : (string * int) list;
+      (** Campaign-specific counters appended to the stats line (e.g. the
+          explorer's skipped-invalid and pruned point counts). *)
 }
 
 val now : unit -> float
@@ -132,12 +135,13 @@ val run_campaign :
   label:string ->
   jobs:int ->
   ?caches:(unit -> (string * Cache.stats) list) ->
+  ?notes:('a -> (string * int) list) ->
   tasks:('a -> int) ->
   (unit -> 'a) ->
   'a * campaign_stats
 (** The campaign convention shared by every CLI and the bench harness:
     time [f ()] on the wall clock, read the cache counters {e after} it
-    finishes ([caches], default none), derive the task count from the
-    result, and — unless [quiet] — print the one-line
-    {!pp_campaign_stats} summary to {b stderr}, so stdout stays
-    byte-identical across [--jobs] values. *)
+    finishes ([caches], default none), derive the task count and any
+    extra counters ([notes], default none) from the result, and — unless
+    [quiet] — print the one-line {!pp_campaign_stats} summary to
+    {b stderr}, so stdout stays byte-identical across [--jobs] values. *)

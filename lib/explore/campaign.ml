@@ -1,0 +1,734 @@
+(* The design-space exploration campaign: configuration axes x candidate
+   custom-instruction sets, costed by the calibrated area/clock model and
+   the cycle-level simulator, pruned incrementally by a Pareto archive
+   ({!Pareto}) plus a cheap lower-bound cut, and persisted through the
+   serving daemon's on-disk {!Epic_serve.Store}.
+
+   Determinism contract (the explore-smoke CI gate): stdout and the
+   [--json] frontier document are byte-identical for any [--jobs] value
+   and for cold vs warm caches.  The campaign therefore runs in {e
+   waves}: pruning decisions for a wave use only the archive and
+   best-cycle state frozen at the end of the previous wave, evaluations
+   fan out over {!Epic_exec.Pool} (index-ordered results), and the
+   archive is folded in canonical point order.  Volatile observability —
+   wall time, hit rates — never enters the document; it goes to stderr
+   via {!Epic_exec.run_campaign} and the optional [--stats-json].
+
+   The lower-bound cut is a {e heuristic}: a point is skipped when even
+   an optimistic execution time (90 % of the best cycle count seen so
+   far for the workload, at this configuration's clock) is already
+   weakly dominated by the archive.  More resources occasionally cost
+   cycles (deeper pipelines pay refill), so [--no-prune] disables the
+   cut for exact sweeps; skip decisions depend only on frozen wave
+   state, so either mode is deterministic. *)
+
+module Config = Epic_config
+module Area = Epic_area
+module S = Epic_workloads.Sources
+module CG = Epic.Custom_gen
+module Json = Epic_profile.Json
+module Store = Epic_serve.Store
+module Exec = Epic_exec
+module Sim = Epic_sim
+module Toolchain = Epic.Toolchain
+
+(* ------------------------------------------------------------------ *)
+(* The swept space.                                                    *)
+
+type axes = {
+  ax_alus : int list;
+  ax_issues : int list;
+  ax_gprs : int list;      (* <= 64: dst_bits = 6 caps the file *)
+  ax_preds : int list;
+  ax_btrs : int list;
+  ax_payloads : int list;  (* src_bits — immediate payload width *)
+  ax_stages : int list;    (* pipeline depth, 2-4 *)
+}
+
+(* Defaults span the paper's published 1-4-ALU sweep plus every
+   customisation axis the config header exposes.  src_bits = 20 at
+   4-issue exceeds the memory-bandwidth constraint on purpose: the grid
+   deliberately contains invalid corners so their count is visible on
+   the campaign stats line. *)
+let default_axes = {
+  ax_alus = [ 1; 2; 3; 4 ];
+  ax_issues = [ 1; 2; 3; 4 ];
+  ax_gprs = [ 32; 48; 64 ];
+  ax_preds = [ 16; 32 ];
+  ax_btrs = [ 8; 16 ];
+  ax_payloads = [ 12; 16; 20 ];
+  ax_stages = [ 2; 3; 4 ];
+}
+
+type point = {
+  p_workload : string;
+  p_cands : int;    (* candidate-set prefix length, 0 = base ISA *)
+  p_alus : int;
+  p_issue : int;
+  p_gprs : int;
+  p_preds : int;
+  p_btrs : int;
+  p_payload : int;
+  p_stages : int;
+}
+
+type options = {
+  o_budget : int;          (* points to evaluate (grid sampled if larger) *)
+  o_seed : int;            (* sampling seed *)
+  o_jobs : int;            (* 0 = Epic_exec.default_jobs *)
+  o_wave : int;            (* points per wave (pruning granularity) *)
+  o_prune : bool;          (* lower-bound cut on/off *)
+  o_max_cands : int;       (* candidate prefixes swept: 0..max_cands *)
+  o_max_ops : int;         (* max fused operations per candidate *)
+  o_cache_dir : string option;
+  o_cache_entries : int option;
+  o_resume : bool;         (* restore wave progress from the manifest *)
+  o_workloads : S.benchmark list;
+  o_axes : axes;
+}
+
+let default_options = {
+  o_budget = 10_000;
+  o_seed = 1;
+  o_jobs = 0;
+  o_wave = 256;
+  o_prune = true;
+  o_max_cands = 3;
+  o_max_ops = 3;
+  o_cache_dir = None;
+  o_cache_entries = None;
+  o_resume = false;
+  o_workloads = S.all ();
+  o_axes = default_axes;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-point evaluation record (the Pareto payload).                   *)
+
+type outcome = Measured of int | Failed of string
+
+type eval = {
+  e_point : point;
+  e_slices : int;
+  e_brams : int;
+  e_mults : int;
+  e_clock : float;   (* achieved clock (MHz) from the area model *)
+  e_outcome : outcome;
+}
+
+let time_ms ~cycles ~clock = float_of_int cycles /. (clock *. 1000.)
+
+type counts = {
+  mutable c_evaluated : int;   (* measured (computed or cache hit) *)
+  mutable c_pruned : int;      (* skipped by the lower-bound cut *)
+  mutable c_invalid : int;     (* rejected by Config.validate *)
+  mutable c_errors : int;      (* valid config, failed compile/run *)
+  mutable c_kept : int;        (* archive verdicts over measured points *)
+  mutable c_dominated : int;
+  mutable c_duplicates : int;
+}
+
+let zero_counts () =
+  { c_evaluated = 0; c_pruned = 0; c_invalid = 0; c_errors = 0; c_kept = 0;
+    c_dominated = 0; c_duplicates = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Workload preparation: front-compile once, enumerate candidates once,
+   pre-build the rewritten program for every candidate prefix. *)
+
+type prepared = {
+  w_bm : S.benchmark;
+  w_digest : string;                       (* md5 of the source *)
+  w_cands : CG.candidate list;             (* ranked, <= max_cands *)
+  w_progs : (Epic_mir.Ir.program * string) array;
+      (* index = prefix length; program + candidate-set digest *)
+}
+
+let md5 s = Digest.to_hex (Digest.string s)
+
+let rec prefix n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: prefix (n - 1) rest
+
+let prepare ~max_cands ~max_ops (bm : S.benchmark) =
+  let program = Epic_opt.for_epic (Epic_cfront.compile bm.S.bm_source) in
+  let cands = Subgraph.enumerate ~max_ops ~top:max_cands program in
+  let progs =
+    Array.init
+      (List.length cands + 1)
+      (fun k ->
+        let chosen = prefix k cands in
+        let digest =
+          if k = 0 then "-"
+          else
+            md5
+              (String.concat ";"
+                 (List.map
+                    (fun (c : CG.candidate) -> CG.expr_to_string c.CG.cg_expr)
+                    chosen))
+        in
+        if k = 0 then (program, digest)
+        else (fst (Subgraph.apply program chosen), digest))
+  in
+  { w_bm = bm; w_digest = md5 bm.S.bm_source; w_cands = cands;
+    w_progs = progs }
+
+let config_of (w : prepared) (p : point) =
+  let base =
+    { Config.default with
+      n_alus = p.p_alus; issue_width = p.p_issue; n_gprs = p.p_gprs;
+      n_preds = p.p_preds; n_btrs = p.p_btrs; src_bits = p.p_payload;
+      pipeline_stages = p.p_stages }
+  in
+  List.fold_left
+    (fun cfg c -> Config.add_custom_op cfg (CG.to_custom_op c))
+    base
+    (prefix p.p_cands w.w_cands)
+
+(* ------------------------------------------------------------------ *)
+(* The grid, in canonical order (workload-major, then candidate prefix,
+   then each axis in the order given).  Sampling, pruning and archive
+   folding all follow this order — the root of byte-identical output. *)
+
+let grid (o : options) (ws : prepared list) =
+  let ax = o.o_axes in
+  let points = ref [] in
+  List.iter
+    (fun w ->
+      for k = 0 to Array.length w.w_progs - 1 do
+        List.iter (fun alus ->
+        List.iter (fun issue ->
+        List.iter (fun gprs ->
+        List.iter (fun preds ->
+        List.iter (fun btrs ->
+        List.iter (fun payload ->
+        List.iter (fun stages ->
+          points :=
+            { p_workload = w.w_bm.S.bm_name; p_cands = k; p_alus = alus;
+              p_issue = issue; p_gprs = gprs; p_preds = preds; p_btrs = btrs;
+              p_payload = payload; p_stages = stages }
+            :: !points)
+          ax.ax_stages) ax.ax_payloads) ax.ax_btrs) ax.ax_preds)
+          ax.ax_gprs) ax.ax_issues) ax.ax_alus
+      done)
+    ws;
+  Array.of_list (List.rev !points)
+
+(* Seeded sampling without replacement: partial Fisher-Yates driven by a
+   splitmix-style mixer, selected indices re-sorted into canonical
+   order.  A pure function of (seed, budget, n). *)
+let mix64 (x : int64) =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let sample ~seed ~budget n =
+  if budget >= n then Array.init n (fun i -> i)
+  else begin
+    let a = Array.init n (fun i -> i) in
+    let state = ref (Int64.of_int ((seed * 2) + 1)) in
+    let rand_below m =
+      state := Int64.add !state 0x9E3779B97F4A7C15L;
+      Int64.to_int
+        (Int64.rem
+           (Int64.logand (mix64 !state) Int64.max_int)
+           (Int64.of_int m))
+    in
+    for i = 0 to budget - 1 do
+      let j = i + rand_below (n - i) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    let chosen = Array.sub a 0 budget in
+    Array.sort compare chosen;
+    chosen
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Point evaluation through the disk store.  The payload is a tiny
+   deterministic JSON document; cold and warm runs therefore agree
+   byte-for-byte.  Errors are cached too — they are deterministic
+   functions of the inputs, so recomputing them would only waste the
+   warm pass. *)
+
+let payload_of_outcome = function
+  | Measured cycles -> Json.to_string (Json.Obj [ ("cycles", Json.Int cycles) ])
+  | Failed msg -> Json.to_string (Json.Obj [ ("error", Json.Str msg) ])
+
+let outcome_of_payload s =
+  match Json.parse s with
+  | Ok j -> (
+    match Json.member "cycles" j with
+    | Some (Json.Int n) -> Measured n
+    | _ -> (
+      match Json.member "error" j with
+      | Some (Json.Str e) -> Failed e
+      | _ -> Failed "malformed cache payload"))
+  | Error e -> Failed ("malformed cache payload: " ^ e)
+
+(* Same key discipline as epicd ({!Epic_serve.Protocol.cache_key}):
+   operation | config fingerprint | source digest | parameters.  The
+   fingerprint covers every architectural field including the custom
+   operations; the candidate digest additionally pins their exact
+   expressions (names hash only 24 bits of them). *)
+let store_key (w : prepared) (cfg : Config.t) ~cdigest =
+  Printf.sprintf "explore-point|v1|%s|src=%s|cands=%s"
+    (Config.fingerprint cfg) w.w_digest cdigest
+
+let compute_outcome (w : prepared) (cfg : Config.t) ~key (mir : Epic_mir.Ir.program) =
+  try
+    let a = Toolchain.compile_epic_mir ~key cfg ~mir () in
+    let r = Toolchain.run_epic a in
+    match r.Sim.trap with
+    | Some t -> Failed (Format.asprintf "trap: %a" Sim.pp_trap t)
+    | None ->
+      if r.Sim.ret <> w.w_bm.S.bm_expected land 0xFFFFFFFF then
+        Failed
+          (Printf.sprintf "wrong result: %#x, expected %#x" r.Sim.ret
+             (w.w_bm.S.bm_expected land 0xFFFFFFFF))
+      else Measured r.Sim.stats.Sim.cycles
+  with
+  | Epic_asm.Asm_error d -> Failed ("asm: " ^ Epic_diag.to_string d)
+  | Epic_diag.Error d -> Failed (Epic_diag.to_string d)
+  | Failure m | Invalid_argument m -> Failed m
+  | e -> Failed (Printexc.to_string e)
+
+let evaluate ?store (w : prepared) (p : point) =
+  let cfg = config_of w p in
+  let area = Area.estimate cfg in
+  let mir, cdigest = w.w_progs.(p.p_cands) in
+  let key = store_key w cfg ~cdigest in
+  let payload =
+    match store with
+    | Some st ->
+      fst (Store.find_or_add st ~key (fun () ->
+               payload_of_outcome (compute_outcome w cfg ~key mir)))
+    | None -> payload_of_outcome (compute_outcome w cfg ~key mir)
+  in
+  { e_point = p; e_slices = area.Area.slices; e_brams = area.Area.brams;
+    e_mults = area.Area.multipliers; e_clock = area.Area.clock_mhz;
+    e_outcome = outcome_of_payload payload }
+
+(* ------------------------------------------------------------------ *)
+(* Campaign manifest: wave-granular progress persisted next to the
+   store's entry directory (atomic tmp+rename, like the store's own
+   writes), so an interrupted campaign resumes at the last completed
+   wave under [--resume] — archives, best-cycle table and counters are
+   restored instead of re-read point by point.  The manifest is bound to
+   a digest of every parameter that shapes the campaign; resuming with
+   different parameters is an error, not silent corruption. *)
+
+let params_digest (o : options) (ws : prepared list) =
+  let ax = o.o_axes in
+  let ints l = String.concat "," (List.map string_of_int l) in
+  md5
+    (String.concat "|"
+       ([ string_of_int o.o_budget; string_of_int o.o_seed;
+          string_of_int o.o_wave; string_of_bool o.o_prune;
+          string_of_int o.o_max_cands; string_of_int o.o_max_ops;
+          ints ax.ax_alus; ints ax.ax_issues; ints ax.ax_gprs;
+          ints ax.ax_preds; ints ax.ax_btrs; ints ax.ax_payloads;
+          ints ax.ax_stages ]
+       @ List.concat_map
+           (fun w -> [ w.w_digest; snd w.w_progs.(Array.length w.w_progs - 1) ])
+           ws))
+
+let point_to_json (p : point) =
+  Json.Obj
+    [ ("workload", Json.Str p.p_workload); ("cands", Json.Int p.p_cands);
+      ("alus", Json.Int p.p_alus); ("issue", Json.Int p.p_issue);
+      ("gprs", Json.Int p.p_gprs); ("preds", Json.Int p.p_preds);
+      ("btrs", Json.Int p.p_btrs); ("payload", Json.Int p.p_payload);
+      ("stages", Json.Int p.p_stages) ]
+
+let point_of_json j =
+  let int k =
+    match Json.member k j with
+    | Some (Json.Int n) -> n
+    | _ -> invalid_arg ("explore manifest: missing field " ^ k)
+  in
+  let str k =
+    match Json.member k j with
+    | Some (Json.Str s) -> s
+    | _ -> invalid_arg ("explore manifest: missing field " ^ k)
+  in
+  { p_workload = str "workload"; p_cands = int "cands"; p_alus = int "alus";
+    p_issue = int "issue"; p_gprs = int "gprs"; p_preds = int "preds";
+    p_btrs = int "btrs"; p_payload = int "payload"; p_stages = int "stages" }
+
+let manifest_path store =
+  Filename.concat (Store.dir store) "explore-manifest.json"
+
+let write_manifest store ~params ~waves_done ~counts ~cbest ~archives =
+  let c = counts in
+  let doc =
+    Json.Obj
+      [ ("params", Json.Str params);
+        ("waves_done", Json.Int waves_done);
+        ( "counts",
+          Json.Obj
+            [ ("evaluated", Json.Int c.c_evaluated);
+              ("pruned", Json.Int c.c_pruned);
+              ("invalid", Json.Int c.c_invalid);
+              ("errors", Json.Int c.c_errors);
+              ("kept", Json.Int c.c_kept);
+              ("dominated", Json.Int c.c_dominated);
+              ("duplicates", Json.Int c.c_duplicates) ] );
+        ( "cbest",
+          Json.Obj
+            (List.map (fun (wname, n) -> (wname, Json.Int n)) cbest) );
+        ( "archives",
+          Json.Obj
+            (List.map
+               (fun (wname, (points : eval Pareto.point list)) ->
+                 ( wname,
+                   Json.List
+                     (List.map
+                        (fun (pt : eval Pareto.point) ->
+                          let cycles =
+                            match pt.Pareto.pt_data.e_outcome with
+                            | Measured n -> n
+                            | Failed _ -> 0
+                          in
+                          Json.Obj
+                            [ ("point", point_to_json pt.Pareto.pt_data.e_point);
+                              ("cycles", Json.Int cycles) ])
+                        points) ))
+               archives) ) ]
+  in
+  let path = manifest_path store in
+  let tmp = Filename.concat (Store.dir store) ".explore-manifest.tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+(* Restore an archive point: times and areas are recomputed from the
+   stored cycle count and config, never parsed from floats, so the
+   restored archive is bit-identical to the one the interrupted campaign
+   held. *)
+let load_manifest store ~params (ws : prepared list) =
+  let path = manifest_path store in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    match Json.parse body with
+    | Error e ->
+      Epic_diag.raisef ~code:"explore/manifest-corrupt"
+        "cannot parse campaign manifest %s: %s" path e
+    | Ok doc ->
+      (match Json.member "params" doc with
+       | Some (Json.Str p) when p = params -> ()
+       | _ ->
+         Epic_diag.raisef ~code:"explore/manifest-mismatch"
+           "manifest %s was written by a campaign with different \
+            parameters; rerun without --resume (or remove the file)"
+           path);
+      let int_field j k =
+        match Json.member k j with Some (Json.Int n) -> n | _ -> 0
+      in
+      let waves_done = int_field doc "waves_done" in
+      let counts = zero_counts () in
+      (match Json.member "counts" doc with
+       | Some cj ->
+         counts.c_evaluated <- int_field cj "evaluated";
+         counts.c_pruned <- int_field cj "pruned";
+         counts.c_invalid <- int_field cj "invalid";
+         counts.c_errors <- int_field cj "errors";
+         counts.c_kept <- int_field cj "kept";
+         counts.c_dominated <- int_field cj "dominated";
+         counts.c_duplicates <- int_field cj "duplicates"
+       | None -> ());
+      let cbest =
+        match Json.member "cbest" doc with
+        | Some (Json.Obj kvs) ->
+          List.filter_map
+            (function name, Json.Int n -> Some (name, n) | _ -> None)
+            kvs
+        | _ -> []
+      in
+      let archives =
+        match Json.member "archives" doc with
+        | Some (Json.Obj kvs) ->
+          List.filter_map
+            (fun (wname, aj) ->
+              match (List.find_opt (fun w -> w.w_bm.S.bm_name = wname) ws, aj)
+              with
+              | Some w, Json.List pts ->
+                let evals =
+                  List.map
+                    (fun pj ->
+                      let p =
+                        match Json.member "point" pj with
+                        | Some j -> point_of_json j
+                        | None -> invalid_arg "explore manifest: missing point"
+                      in
+                      let cycles = int_field pj "cycles" in
+                      let area = Area.estimate (config_of w p) in
+                      let e =
+                        { e_point = p; e_slices = area.Area.slices;
+                          e_brams = area.Area.brams;
+                          e_mults = area.Area.multipliers;
+                          e_clock = area.Area.clock_mhz;
+                          e_outcome = Measured cycles }
+                      in
+                      { Pareto.pt_cost = e.e_slices;
+                        pt_time = time_ms ~cycles ~clock:e.e_clock;
+                        pt_data = e })
+                    pts
+                in
+                Some (wname, Pareto.of_list evals)
+              | _ -> None)
+            kvs
+        | _ -> []
+      in
+      Some (waves_done, counts, cbest, archives)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The campaign proper.                                                *)
+
+type result = {
+  r_doc : Json.t;   (* the deterministic frontier document (--json) *)
+  r_archives : (string * eval Pareto.point list) list;
+  r_candidates : (string * CG.candidate list) list;
+  r_counts : counts;
+  r_grid : int;
+  r_sampled : int;
+  r_waves : int;
+  r_resumed_waves : int;
+  r_store : Store.t option;
+}
+
+let frontier_doc (o : options) (ws : prepared list) ~counts ~grid_n ~sampled_n
+    archives =
+  let ax = o.o_axes in
+  let ints l = Json.List (List.map (fun i -> Json.Int i) l) in
+  let c = counts in
+  Json.Obj
+    [ ( "campaign",
+        Json.Obj
+          [ ("budget", Json.Int o.o_budget); ("seed", Json.Int o.o_seed);
+            ("grid", Json.Int grid_n); ("sampled", Json.Int sampled_n);
+            ("wave", Json.Int o.o_wave); ("prune", Json.Bool o.o_prune);
+            ("max_cands", Json.Int o.o_max_cands);
+            ("max_ops", Json.Int o.o_max_ops);
+            ( "axes",
+              Json.Obj
+                [ ("alus", ints ax.ax_alus); ("issues", ints ax.ax_issues);
+                  ("gprs", ints ax.ax_gprs); ("preds", ints ax.ax_preds);
+                  ("btrs", ints ax.ax_btrs); ("payloads", ints ax.ax_payloads);
+                  ("stages", ints ax.ax_stages) ] ) ] );
+      ( "workloads",
+        Json.List
+          (List.map
+             (fun w ->
+               let wname = w.w_bm.S.bm_name in
+               let archive =
+                 Option.value ~default:Pareto.empty
+                   (List.assoc_opt wname archives)
+               in
+               Json.Obj
+                 [ ("name", Json.Str wname);
+                   ("source_digest", Json.Str w.w_digest);
+                   ( "candidates",
+                     Json.List
+                       (List.map
+                          (fun (cand : CG.candidate) ->
+                            Json.Obj
+                              [ ("name", Json.Str cand.CG.cg_name);
+                                ( "expr",
+                                  Json.Str (CG.expr_to_string cand.CG.cg_expr)
+                                );
+                                ("ops", Json.Int cand.CG.cg_ops);
+                                ("inputs", Json.Int cand.CG.cg_inputs);
+                                ("saved_ops", Json.Int cand.CG.cg_saved_ops) ])
+                          w.w_cands) );
+                   ( "frontier",
+                     Json.List
+                       (List.map
+                          (fun (pt : eval Pareto.point) ->
+                            let e = pt.Pareto.pt_data in
+                            let p = e.e_point in
+                            let cycles =
+                              match e.e_outcome with
+                              | Measured n -> n
+                              | Failed _ -> 0
+                            in
+                            Json.Obj
+                              [ ("slices", Json.Int e.e_slices);
+                                ("brams", Json.Int e.e_brams);
+                                ("multipliers", Json.Int e.e_mults);
+                                ("clock_mhz", Json.Float e.e_clock);
+                                ("cycles", Json.Int cycles);
+                                ("time_ms", Json.Float pt.Pareto.pt_time);
+                                ("alus", Json.Int p.p_alus);
+                                ("issue", Json.Int p.p_issue);
+                                ("gprs", Json.Int p.p_gprs);
+                                ("preds", Json.Int p.p_preds);
+                                ("btrs", Json.Int p.p_btrs);
+                                ("payload", Json.Int p.p_payload);
+                                ("stages", Json.Int p.p_stages);
+                                ( "candidates",
+                                  Json.List
+                                    (List.map
+                                       (fun (cand : CG.candidate) ->
+                                         Json.Str cand.CG.cg_name)
+                                       (prefix p.p_cands w.w_cands)) ) ])
+                          (Pareto.points archive)) ) ])
+             ws) );
+      ( "stats",
+        Json.Obj
+          [ ("evaluated", Json.Int c.c_evaluated);
+            ("pruned", Json.Int c.c_pruned);
+            ("invalid", Json.Int c.c_invalid);
+            ("errors", Json.Int c.c_errors);
+            ("kept", Json.Int c.c_kept);
+            ("dominated", Json.Int c.c_dominated);
+            ("duplicates", Json.Int c.c_duplicates) ] ) ]
+
+let run ?(progress = fun (_ : string) -> ()) (o : options) =
+  let store =
+    Option.map
+      (fun dir -> Store.open_ ?max_entries:o.o_cache_entries dir)
+      o.o_cache_dir
+  in
+  let ws =
+    List.map (prepare ~max_cands:o.o_max_cands ~max_ops:o.o_max_ops)
+      o.o_workloads
+  in
+  let find_w name = List.find (fun w -> w.w_bm.S.bm_name = name) ws in
+  let points = grid o ws in
+  let grid_n = Array.length points in
+  let chosen = sample ~seed:o.o_seed ~budget:o.o_budget grid_n in
+  let sampled_n = Array.length chosen in
+  let params = params_digest o ws in
+  let counts = ref (zero_counts ()) in
+  let archives = Hashtbl.create 8 in    (* workload -> eval Pareto.t *)
+  let cbest = Hashtbl.create 8 in       (* workload -> best cycles *)
+  let resumed_waves =
+    match store with
+    | Some st when o.o_resume -> (
+      match load_manifest st ~params ws with
+      | None -> 0
+      | Some (waves_done, cts, cb, archs) ->
+        counts := cts;
+        List.iter (fun (n, v) -> Hashtbl.replace cbest n v) cb;
+        List.iter (fun (n, a) -> Hashtbl.replace archives n a) archs;
+        waves_done)
+    | _ -> 0
+  in
+  let archive_of name =
+    Option.value ~default:Pareto.empty (Hashtbl.find_opt archives name)
+  in
+  let n_waves = (sampled_n + o.o_wave - 1) / o.o_wave in
+  for wave = resumed_waves to n_waves - 1 do
+    let lo = wave * o.o_wave in
+    let hi = min sampled_n (lo + o.o_wave) in
+    (* Triage against the archive state frozen at the end of the
+       previous wave: invalid points are counted out, the lower-bound
+       cut skips points whose optimistic time is already dominated. *)
+    let c = !counts in
+    let batch = ref [] in
+    for i = hi - 1 downto lo do
+      let p = points.(chosen.(i)) in
+      let w = find_w p.p_workload in
+      let cfg = config_of w p in
+      match Config.validate cfg with
+      | Error _ -> c.c_invalid <- c.c_invalid + 1
+      | Ok () ->
+        let skip =
+          o.o_prune
+          && (match Hashtbl.find_opt cbest p.p_workload with
+              | None -> false
+              | Some best ->
+                let area = Area.estimate cfg in
+                let lb =
+                  0.9
+                  *. time_ms ~cycles:best ~clock:area.Area.clock_mhz
+                in
+                Pareto.covers (archive_of p.p_workload)
+                  ~cost:area.Area.slices ~time:lb)
+        in
+        if skip then c.c_pruned <- c.c_pruned + 1
+        else batch := (w, p) :: !batch
+    done;
+    (* Fan the wave out; results come back in batch order regardless of
+       [jobs] (Epic_exec.Pool's contract). *)
+    let evals =
+      Exec.Pool.map
+        ~jobs:(if o.o_jobs > 0 then o.o_jobs else Exec.default_jobs ())
+        (fun (w, p) -> evaluate ?store w p)
+        !batch
+    in
+    (* Fold in canonical order. *)
+    List.iter
+      (fun e ->
+        c.c_evaluated <- c.c_evaluated + 1;
+        match e.e_outcome with
+        | Failed _ -> c.c_errors <- c.c_errors + 1
+        | Measured cycles ->
+          let wname = e.e_point.p_workload in
+          (match Hashtbl.find_opt cbest wname with
+           | Some best when best <= cycles -> ()
+           | _ -> Hashtbl.replace cbest wname cycles);
+          let pt =
+            { Pareto.pt_cost = e.e_slices;
+              pt_time = time_ms ~cycles ~clock:e.e_clock; pt_data = e }
+          in
+          let archive, verdict = Pareto.add (archive_of wname) pt in
+          Hashtbl.replace archives wname archive;
+          (match verdict with
+           | Pareto.Kept -> c.c_kept <- c.c_kept + 1
+           | Pareto.Dominated -> c.c_dominated <- c.c_dominated + 1
+           | Pareto.Duplicate -> c.c_duplicates <- c.c_duplicates + 1))
+      evals;
+    (match store with
+     | Some st ->
+       write_manifest st ~params ~waves_done:(wave + 1) ~counts:c
+         ~cbest:
+           (List.filter_map
+              (fun w ->
+                Option.map
+                  (fun v -> (w.w_bm.S.bm_name, v))
+                  (Hashtbl.find_opt cbest w.w_bm.S.bm_name))
+              ws)
+         ~archives:
+           (List.filter_map
+              (fun w ->
+                Option.map
+                  (fun a -> (w.w_bm.S.bm_name, Pareto.points a))
+                  (Hashtbl.find_opt archives w.w_bm.S.bm_name))
+              ws)
+     | None -> ());
+    progress
+      (Printf.sprintf "wave %d/%d: %d evaluated, %d pruned, %d invalid"
+         (wave + 1) n_waves c.c_evaluated c.c_pruned c.c_invalid)
+  done;
+  let archive_list =
+    List.map
+      (fun w ->
+        (w.w_bm.S.bm_name, Pareto.points (archive_of w.w_bm.S.bm_name)))
+      ws
+  in
+  { r_doc =
+      frontier_doc o ws ~counts:!counts ~grid_n ~sampled_n
+        (List.map
+           (fun w ->
+             (w.w_bm.S.bm_name, archive_of w.w_bm.S.bm_name))
+           ws);
+    r_archives = archive_list;
+    r_candidates = List.map (fun w -> (w.w_bm.S.bm_name, w.w_cands)) ws;
+    r_counts = !counts;
+    r_grid = grid_n;
+    r_sampled = sampled_n;
+    r_waves = n_waves;
+    r_resumed_waves = min resumed_waves n_waves;
+    r_store = store }

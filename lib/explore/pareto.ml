@@ -1,0 +1,79 @@
+(* Incremental Pareto archive over (cost, time) — the dominance filter of
+   the design-space explorer.  The archive replaces the old O(n^2)
+   post-filter in epic_explore: points are folded in one at a time, each
+   insertion costs O(frontier), and the archive is at all times exactly
+   the Pareto frontier of the points inserted so far (minimal AND
+   complete — asserted against the brute-force filter by the qcheck
+   property suite).
+
+   Dominance is weak with tie-breaking towards the incumbent: a point
+   equal to an archived point on both objectives is a duplicate and is
+   rejected (the first-inserted representative survives), which fixes the
+   old filter's bug of letting equal-cost duplicates both through. *)
+
+type 'a point = {
+  pt_cost : int;    (* first objective: FPGA slices (minimise) *)
+  pt_time : float;  (* second objective: execution time in ms (minimise) *)
+  pt_data : 'a;     (* carried payload, never inspected *)
+}
+
+(* A point [a] weakly dominates [b]: no worse on either objective.
+   Equality on both counts as dominating, so duplicates are rejected. *)
+let dominates ~cost ~time (p : 'a point) =
+  p.pt_cost <= cost && p.pt_time <= time
+
+(* Strict dominance, used to discard incumbents: the newcomer must be
+   strictly better on at least one objective (a newcomer equal to an
+   incumbent was already rejected as a duplicate). *)
+let strictly_dominates ~cost ~time (p : 'a point) =
+  cost <= p.pt_cost && time <= p.pt_time
+  && (cost < p.pt_cost || time < p.pt_time)
+
+(* Invariant: sorted by cost strictly increasing, time strictly
+   decreasing — mutually non-dominated by construction. *)
+type 'a t = { points : 'a point list; size : int }
+
+let empty = { points = []; size = 0 }
+let size t = t.size
+let points t = t.points
+
+type verdict = Kept | Dominated | Duplicate
+
+(* Insert one point.  Returns the updated archive and what happened:
+   [Kept] (now on the frontier, possibly displacing incumbents),
+   [Dominated] (a strictly better archived point exists) or [Duplicate]
+   (an archived point ties on both objectives). *)
+let add (t : 'a t) (p : 'a point) =
+  let cost = p.pt_cost and time = p.pt_time in
+  if
+    List.exists
+      (fun q -> q.pt_cost = cost && q.pt_time = time)
+      t.points
+  then (t, Duplicate)
+  else if List.exists (dominates ~cost ~time) t.points then (t, Dominated)
+  else
+    let survivors =
+      List.filter (fun q -> not (strictly_dominates ~cost ~time q)) t.points
+    in
+    let rec insert = function
+      | [] -> [ p ]
+      | q :: rest ->
+        if cost < q.pt_cost || (cost = q.pt_cost && time < q.pt_time) then
+          p :: q :: rest
+        else q :: insert rest
+    in
+    let points = insert survivors in
+    ({ points; size = List.length points }, Kept)
+
+(* Would a point at (cost, time) be rejected?  The cheap lower-bound cut
+   of the campaign driver asks this with [time] an optimistic bound: if
+   even the bound is dominated, the real point cannot reach the frontier
+   and its compilation is skipped. *)
+let covers (t : 'a t) ~cost ~time =
+  List.exists (dominates ~cost ~time) t.points
+
+(* Reference implementation: the brute-force dominance filter with
+   duplicate removal, in the archive's canonical order.  The qcheck suite
+   checks [of_list] and [add]-folding agree on random point sets. *)
+let of_list (ps : 'a point list) =
+  List.fold_left (fun t p -> fst (add t p)) empty ps

@@ -1,0 +1,434 @@
+(* Candidate custom instructions by dataflow-subgraph enumeration.
+
+   Generalises {!Epic.Custom_gen} (single-use expression trees, the flow
+   that rediscovers SHA-256's rotates) to {e convex connected subgraphs}
+   of the per-block dataflow DAG, the formulation of the
+   application-specific instruction-set literature (Atasu/Kavvadias):
+
+   - nodes are fusable single-cycle ALU operations (unguarded [Bin]s);
+   - an interior value may feed {e several} consumers inside the
+     subgraph (DAG sharing, not just trees), but never a consumer
+     outside it — the custom-operation slot has one output port;
+   - external operands are at most [max_inputs] distinct registers (the
+     slot has two input ports); embedded constants are free;
+   - convexity — no dataflow path leaving the subgraph and re-entering —
+     falls out of the single-output rule: interior values cannot escape,
+     every chain inside the subgraph ends at the root, and all nodes
+     precede the root in block order.  {!convex} re-checks it
+     explicitly; the qcheck suite asserts it on random programs.
+
+   Isomorphic candidates are folded by {e structural hashing}: each
+   subgraph is canonicalised (commutative operands sorted by shape,
+   external inputs numbered by first occurrence in the canonical
+   traversal) and keyed by the printed expression, so a pattern that
+   appears under different register names — or with commuted operands —
+   is evaluated once per campaign rather than once per occurrence. *)
+
+module Ir = Epic_mir.Ir
+module CG = Epic.Custom_gen
+module Interp = Epic_mir.Interp
+
+(* One concrete occurrence of a candidate inside a block. *)
+type occurrence = {
+  oc_root : int;                (* block index of the root instruction *)
+  oc_nodes : int list;          (* sorted indices of all fused nodes (incl. root) *)
+  oc_expr : CG.expr;            (* canonical expression *)
+  oc_args : Ir.operand array;   (* bindings for X 0 / X 1 (length 2) *)
+}
+
+let fusable = function
+  | Ir.Add | Ir.Sub | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Shr | Ir.Shra
+  | Ir.Min | Ir.Max -> true
+  | Ir.Mul | Ir.Div | Ir.Rem -> false
+
+let commutative = function
+  | Ir.Add | Ir.Mul | Ir.And | Ir.Or | Ir.Xor | Ir.Min | Ir.Max -> true
+  | Ir.Sub | Ir.Div | Ir.Rem | Ir.Shl | Ir.Shr | Ir.Shra -> false
+
+(* GPR use counts over the whole function (guard uses are predicates and
+   do not contribute).  An interior node may only be fused if every one
+   of its uses — anywhere in the function — lies inside the subgraph. *)
+let function_use_counts (f : Ir.func) =
+  let counts = Hashtbl.create 64 in
+  let bump (cls, v) =
+    if cls = Ir.Cgpr then
+      Hashtbl.replace counts v
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter (fun i -> List.iter bump (Ir.uses_of_inst i)) b.Ir.b_insts;
+      List.iter bump (Ir.uses_of_term b.Ir.b_term))
+    f.Ir.f_blocks;
+  counts
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalisation: raw per-node expressions carry external inputs
+   tagged by their register; commutative operands are then sorted by an
+   input-blind shape string; finally externals are numbered by first
+   occurrence in the canonical traversal. *)
+
+type pexpr =
+  | PX of int                       (* external input, tagged by vreg *)
+  | PC of int                       (* embedded constant *)
+  | POp of Ir.binop * pexpr * pexpr
+
+(* Register-blind shape, the sort key for commutative operand pairs: two
+   operands that differ only in which external register feeds them
+   compare equal and keep their original order (a deterministic
+   tie-break). *)
+let rec shape = function
+  | PX _ -> "x"
+  | PC v -> Printf.sprintf "#%d" v
+  | POp (op, a, b) ->
+    Printf.sprintf "%s(%s,%s)" (Ir.string_of_binop op) (shape a) (shape b)
+
+let rec normalise = function
+  | (PX _ | PC _) as e -> e
+  | POp (op, a, b) ->
+    let a = normalise a and b = normalise b in
+    if commutative op && shape b < shape a then POp (op, b, a)
+    else POp (op, a, b)
+
+(* Number external inputs in traversal order and produce the final
+   candidate expression plus the argument bindings. *)
+let to_expr (p : pexpr) =
+  let order = ref [] in
+  let index r =
+    match List.assoc_opt r !order with
+    | Some i -> i
+    | None ->
+      let i = List.length !order in
+      order := !order @ [ (r, i) ];
+      i
+  in
+  let rec go = function
+    | PX r -> CG.X (index r)
+    | PC v -> CG.C v
+    | POp (op, a, b) ->
+      let a = go a in
+      let b = go b in
+      CG.Op (op, a, b)
+  in
+  let e = go p in
+  (e, List.map fst !order)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration inside one block. *)
+
+let block_occurrences ~(func : Ir.func) ?(max_ops = 3) ?(max_inputs = 2)
+    (b : Ir.block) =
+  let insts = Array.of_list b.Ir.b_insts in
+  let n = Array.length insts in
+  let use_counts = function_use_counts func in
+  let eligible k =
+    match (insts.(k).Ir.kind, insts.(k).Ir.guard) with
+    | Ir.Bin (op, _, _, _), None -> fusable op
+    | _ -> false
+  in
+  (* def_once.(v) = Some k iff vreg v is defined exactly once in this
+     block, by the eligible node k.  Single definition means an internal
+     producer-consumer edge can never be invalidated by a redefinition. *)
+  let def_once = Hashtbl.create 16 in
+  Array.iteri
+    (fun k (i : Ir.inst) ->
+      List.iter
+        (fun (cls, v) ->
+          if cls = Ir.Cgpr then
+            if Hashtbl.mem def_once v then Hashtbl.replace def_once v None
+            else Hashtbl.replace def_once v (if eligible k then Some k else None))
+        (Ir.defs_of_inst i))
+    insts;
+  let producer v =
+    match Hashtbl.find_opt def_once v with Some (Some k) -> Some k | _ -> None
+  in
+  let defs_gpr k =
+    List.filter_map
+      (fun (cls, v) -> if cls = Ir.Cgpr then Some v else None)
+      (Ir.defs_of_inst insts.(k))
+  in
+  let def_of k = match defs_gpr k with [ d ] -> d | _ -> -1 in
+  (* Is register [r] (re)defined at any index in (lo, hi)? *)
+  let redefined r lo hi =
+    let hit = ref false in
+    for k = lo + 1 to hi - 1 do
+      if List.mem r (defs_gpr k) then hit := true
+    done;
+    !hit
+  in
+  let operands k =
+    match insts.(k).Ir.kind with
+    | Ir.Bin (op, _, a, b) -> (op, a, b)
+    | _ -> invalid_arg "Subgraph.operands: not a Bin"
+  in
+  let occs = ref [] in
+  for root = n - 1 downto 0 do
+    if eligible root then begin
+      (* Bounded backward cone of eligible producers. *)
+      let cone = ref [] in
+      let rec grow k =
+        let _, a, b = operands k in
+        List.iter
+          (fun (o : Ir.operand) ->
+            match o with
+            | Ir.Imm _ -> ()
+            | Ir.Reg r ->
+              (match producer r with
+               | Some d when d < k && not (List.mem d !cone) ->
+                 if List.length !cone < 12 then begin
+                   cone := d :: !cone;
+                   grow d
+                 end
+               | _ -> ()))
+          [ a; b ]
+      in
+      grow root;
+      let cone = List.sort compare !cone in
+      (* Every subset of the cone of size < max_ops, plus the root. *)
+      let rec subsets acc budget = function
+        | [] -> [ acc ]
+        | d :: rest ->
+          if budget = 0 then [ acc ]
+          else subsets acc budget rest @ subsets (d :: acc) (budget - 1) rest
+      in
+      let candidate_sets = subsets [] (max_ops - 1) cone in
+      let seen_exprs = ref [] in
+      List.iter
+        (fun interior ->
+          if interior <> [] then begin
+            let nodes = List.sort compare (root :: interior) in
+            let in_s k = List.mem k nodes in
+            (* Single output port: every use of an interior value — in
+               this block, other blocks, terminators — must be a node of
+               the subgraph. *)
+            let uses_inside v =
+              List.fold_left
+                (fun acc k ->
+                  let _, a, b = operands k in
+                  List.fold_left
+                    (fun acc (o : Ir.operand) ->
+                      match o with Ir.Reg r when r = v -> acc + 1 | _ -> acc)
+                    acc [ a; b ])
+                0 nodes
+            in
+            let closed =
+              List.for_all
+                (fun u ->
+                  let d = def_of u in
+                  let total =
+                    Option.value ~default:0 (Hashtbl.find_opt use_counts d)
+                  in
+                  total > 0 && uses_inside d = total)
+                interior
+            in
+            (* External operands must be stable: the hardware reads them
+               when the root issues, so no redefinition may sit between
+               the fused reader and the root. *)
+            let stable =
+              List.for_all
+                (fun u ->
+                  let _, a, b = operands u in
+                  List.for_all
+                    (fun (o : Ir.operand) ->
+                      match o with
+                      | Ir.Imm _ -> true
+                      | Ir.Reg r ->
+                        (match producer r with
+                         | Some d when d < u && in_s d -> true  (* internal edge *)
+                         | _ -> not (redefined r u (root + 1))))
+                    [ a; b ])
+                nodes
+            in
+            if closed && stable then begin
+              (* Build the canonical expression; count external inputs. *)
+              let rec pexpr_of k =
+                let op, a, b = operands k in
+                let conv (o : Ir.operand) =
+                  match o with
+                  | Ir.Imm v -> PC v
+                  | Ir.Reg r ->
+                    (match producer r with
+                     | Some d when d < k && in_s d -> pexpr_of d
+                     | _ -> PX r)
+                in
+                POp (op, conv a, conv b)
+              in
+              let expr, ext = to_expr (normalise (pexpr_of root)) in
+              let n_ext = List.length ext in
+              if n_ext >= 1 && n_ext <= max_inputs then begin
+                let key = CG.expr_to_string expr in
+                (* One occurrence per (root, canonical expr). *)
+                if not (List.mem key !seen_exprs) then begin
+                  seen_exprs := key :: !seen_exprs;
+                  let args = Array.make 2 (Ir.Imm 0) in
+                  List.iteri (fun i r -> args.(i) <- Ir.Reg r) ext;
+                  occs :=
+                    { oc_root = root; oc_nodes = nodes; oc_expr = expr;
+                      oc_args = args }
+                    :: !occs
+                end
+              end
+            end
+          end)
+        candidate_sets
+    end
+  done;
+  !occs
+
+(* Explicit convexity check (tests): along the dataflow edges of the
+   block, no path from a subgraph node may re-enter the subgraph through
+   an outside node. *)
+let convex (b : Ir.block) (nodes : int list) =
+  let insts = Array.of_list b.Ir.b_insts in
+  let n = Array.length insts in
+  let in_s k = List.mem k nodes in
+  (* taint.(v) = the value of vreg v currently derives from the subgraph
+     through at least one outside node. *)
+  let escaped = Hashtbl.create 16 in     (* vreg -> true *)
+  let defined_by_s = Hashtbl.create 16 in
+  let violation = ref false in
+  for k = 0 to n - 1 do
+    let i = insts.(k) in
+    let reads_escaped =
+      List.exists
+        (fun (cls, v) ->
+          cls = Ir.Cgpr && Hashtbl.find_opt escaped v = Some true)
+        (Ir.uses_of_inst i)
+    in
+    let reads_s =
+      List.exists
+        (fun (cls, v) ->
+          cls = Ir.Cgpr && Hashtbl.find_opt defined_by_s v = Some true)
+        (Ir.uses_of_inst i)
+    in
+    if in_s k && reads_escaped then violation := true;
+    List.iter
+      (fun (cls, v) ->
+        if cls = Ir.Cgpr then
+          if in_s k then begin
+            Hashtbl.replace defined_by_s v true;
+            Hashtbl.replace escaped v false
+          end
+          else begin
+            Hashtbl.replace escaped v (reads_s || reads_escaped);
+            Hashtbl.replace defined_by_s v false
+          end)
+      (Ir.defs_of_inst i)
+  done;
+  not !violation
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program identification with structural folding. *)
+
+let count_ops e =
+  let rec go = function
+    | CG.X _ | CG.C _ -> 0
+    | CG.Op (_, a, b) -> 1 + go a + go b
+  in
+  go e
+
+let name_of_expr e =
+  let s = CG.expr_to_string e in
+  Printf.sprintf "GEN_%06X" (Hashtbl.hash s land 0xFFFFFF)
+
+let enumerate ?(max_ops = 3) ?(max_inputs = 2) ?(top = 5) ?(entry = "main")
+    ?custom (p : Ir.program) =
+  let profile = (Interp.run ?custom p ~entry).Interp.block_counts in
+  let weight fname bid =
+    Option.value ~default:0 (Hashtbl.find_opt profile (fname, bid))
+  in
+  let table : (string, CG.expr * int * int * int * int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          let w = weight f.Ir.f_name b.Ir.b_id in
+          List.iter
+            (fun occ ->
+              let key = CG.expr_to_string occ.oc_expr in
+              let fused = List.length occ.oc_nodes in
+              let saved = fused - 1 in
+              let _, st, dy, sv, _ =
+                Option.value ~default:(occ.oc_expr, 0, 0, 0, fused)
+                  (Hashtbl.find_opt table key)
+              in
+              Hashtbl.replace table key
+                (occ.oc_expr, st + 1, dy + w, sv + (saved * w), fused))
+            (block_occurrences ~func:f ~max_ops ~max_inputs b))
+        f.Ir.f_blocks)
+    p.Ir.p_funcs;
+  Hashtbl.fold
+    (fun _key (expr, st, dy, sv, fused) acc ->
+      let inputs =
+        let rec go = function
+          | CG.X k -> k + 1
+          | CG.C _ -> 0
+          | CG.Op (_, a, b) -> max (go a) (go b)
+        in
+        go expr
+      in
+      { CG.cg_name = name_of_expr expr;
+        cg_expr = expr;
+        cg_inputs = max 1 inputs;
+        cg_ops = max fused (count_ops expr);
+        cg_static = st;
+        cg_dynamic = dy;
+        cg_saved_ops = sv }
+      :: acc)
+    table []
+  |> List.filter (fun (c : CG.candidate) -> c.CG.cg_saved_ops > 0)
+  |> List.sort (fun (a : CG.candidate) (b : CG.candidate) ->
+         match compare b.CG.cg_saved_ops a.CG.cg_saved_ops with
+         | 0 -> compare a.CG.cg_name b.CG.cg_name  (* deterministic ties *)
+         | c -> c)
+  |> List.filteri (fun i _ -> i < top)
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting a candidate set into a program copy. *)
+
+let apply_one (p : Ir.program) (c : CG.candidate) =
+  let rewritten = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          let occs =
+            block_occurrences ~func:f ~max_ops:(max 2 c.CG.cg_ops) b
+            |> List.filter (fun o ->
+                   CG.expr_to_string o.oc_expr = CG.expr_to_string c.CG.cg_expr)
+          in
+          if occs <> [] then begin
+            let insts = Array.of_list b.Ir.b_insts in
+            List.iter
+              (fun occ ->
+                match insts.(occ.oc_root).Ir.kind with
+                | Ir.Bin (_, d, _, _) ->
+                  insts.(occ.oc_root) <-
+                    Ir.no_guard
+                      (Ir.Custom (c.CG.cg_name, d, occ.oc_args.(0),
+                                  occ.oc_args.(1)));
+                  incr rewritten
+                | _ -> ())
+              occs;
+            b.Ir.b_insts <- Array.to_list insts
+          end)
+        f.Ir.f_blocks)
+    p.Ir.p_funcs;
+  !rewritten
+
+(* Rewrite every candidate of [cands] (in order) into a copy of [p];
+   fused producers fall to dead-code elimination after each candidate so
+   later candidates see a clean program.  Returns the rewritten copy and
+   the total rewrite count. *)
+let apply (p : Ir.program) (cands : CG.candidate list) =
+  let p = ref (Epic_opt.Common.copy_program p) in
+  let total = ref 0 in
+  List.iter
+    (fun c ->
+      let k = apply_one !p c in
+      if k > 0 then p := Epic_opt.Dce.run !p;
+      total := !total + k)
+    cands;
+  (!p, !total)

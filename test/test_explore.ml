@@ -1,0 +1,386 @@
+(* Design-space exploration tests: the Pareto archive against the
+   brute-force dominance filter (qcheck), structural properties of the
+   subgraph candidate enumerator (convexity, port limits, semantic
+   preservation of rewrites), area-model monotonicity along the explored
+   axes, backend-only compilation, and the campaign driver's determinism
+   contract (jobs-invariance, cold-vs-warm byte identity, warm hit rate,
+   manifest resume). *)
+
+module Pareto = Epic_explore.Pareto
+module Subgraph = Epic_explore.Subgraph
+module C = Epic_explore.Campaign
+module CG = Epic.Custom_gen
+module Config = Epic.Config
+module Area = Epic.Area
+module S = Epic.Workloads.Sources
+module Ir = Epic.Ir
+module Interp = Epic.Interp
+module Store = Epic_serve.Store
+module Rng = Epic.Difftest.Rng
+module Json = Epic.Profile.Json
+
+(* ------------------------------------------------------------------ *)
+(* Pareto archive vs the brute-force filter.                           *)
+
+(* Reference: distinct (cost, time) pairs not strictly dominated by any
+   other point, in (cost, time) order — on a frontier cost determines
+   time, so this is the archive's canonical order too. *)
+let brute_frontier pairs =
+  let distinct = List.sort_uniq compare pairs in
+  List.filter
+    (fun (c, t) ->
+      not
+        (List.exists
+           (fun (c', t') -> c' <= c && t' <= t && (c' < c || t' < t))
+           distinct))
+    distinct
+
+let archive_pairs t =
+  List.map
+    (fun (p : unit Pareto.point) -> (p.Pareto.pt_cost, p.Pareto.pt_time))
+    (Pareto.points t)
+
+let gen_pairs =
+  (* Small ranges on purpose: collisions and exact duplicates must be
+     common, they are the historical bug. *)
+  QCheck.(list_of_size (Gen.int_range 0 40)
+            (pair (int_range 0 12) (int_range 0 12)))
+
+let prop_archive_matches_brute =
+  QCheck.Test.make ~name:"archive = brute-force frontier (minimal+complete)"
+    ~count:500 gen_pairs
+    (fun raw ->
+      let pairs = List.map (fun (c, t) -> (c, float_of_int t)) raw in
+      let archive =
+        Pareto.of_list
+          (List.map
+             (fun (c, t) ->
+               { Pareto.pt_cost = c; pt_time = t; pt_data = () })
+             pairs)
+      in
+      archive_pairs archive = brute_frontier pairs)
+
+let prop_archive_order_invariant =
+  QCheck.Test.make ~name:"archive independent of insertion order" ~count:200
+    QCheck.(pair gen_pairs small_int)
+    (fun (raw, seed) ->
+      let pairs = List.map (fun (c, t) -> (c, float_of_int t)) raw in
+      let points =
+        List.map
+          (fun (c, t) -> { Pareto.pt_cost = c; pt_time = t; pt_data = () })
+          pairs
+      in
+      let rng = Rng.create seed in
+      let shuffled =
+        List.map (fun p -> (Rng.int rng 1_000_000, p)) points
+        |> List.sort compare |> List.map snd
+      in
+      archive_pairs (Pareto.of_list points)
+      = archive_pairs (Pareto.of_list shuffled))
+
+let test_duplicate_dedup () =
+  (* The old epic_explore O(n^2) filter let equal-cost duplicates both
+     through; the archive must keep exactly one. *)
+  let p cost time = { Pareto.pt_cost = cost; pt_time = time; pt_data = () } in
+  let a, v1 = Pareto.add Pareto.empty (p 100 2.0) in
+  let a, v2 = Pareto.add a (p 100 2.0) in
+  Alcotest.(check bool) "first kept" true (v1 = Pareto.Kept);
+  Alcotest.(check bool) "second is duplicate" true (v2 = Pareto.Duplicate);
+  Alcotest.(check int) "one survivor" 1 (Pareto.size a)
+
+let test_covers () =
+  let p cost time = { Pareto.pt_cost = cost; pt_time = time; pt_data = () } in
+  let a = Pareto.of_list [ p 10 5.0; p 20 2.0 ] in
+  Alcotest.(check bool) "dominated point covered" true
+    (Pareto.covers a ~cost:25 ~time:2.5);
+  Alcotest.(check bool) "improving point not covered" false
+    (Pareto.covers a ~cost:5 ~time:9.0)
+
+(* ------------------------------------------------------------------ *)
+(* Subgraph enumeration: structural properties.                        *)
+
+let distinct_inputs (e : CG.expr) =
+  let rec go acc = function
+    | CG.X k -> if List.mem k acc then acc else k :: acc
+    | CG.C _ -> acc
+    | CG.Op (_, a, b) -> go (go acc a) b
+  in
+  List.length (go [] e)
+
+let check_block_occurrences ~max_ops (f : Ir.func) (b : Ir.block) =
+  let n = List.length b.Ir.b_insts in
+  List.for_all
+    (fun (o : Subgraph.occurrence) ->
+      let sizes_ok =
+        List.length o.Subgraph.oc_nodes <= max_ops
+        && List.length o.Subgraph.oc_nodes >= 2
+        && List.for_all (fun k -> k >= 0 && k < n) o.Subgraph.oc_nodes
+        && List.mem o.Subgraph.oc_root o.Subgraph.oc_nodes
+      in
+      let ports_ok =
+        let d = distinct_inputs o.Subgraph.oc_expr in
+        d >= 1 && d <= 2
+      in
+      sizes_ok && ports_ok && Subgraph.convex b o.Subgraph.oc_nodes)
+    (Subgraph.block_occurrences ~func:f ~max_ops b)
+
+let prop_occurrences_convex_random =
+  QCheck.Test.make
+    ~name:"random MIR: occurrences convex, sized, within port limits"
+    ~count:150
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = Epic.Difftest.gen_mir_program rng in
+      List.for_all
+        (fun (f : Ir.func) ->
+          List.for_all (check_block_occurrences ~max_ops:4 f) f.Ir.f_blocks)
+        p.Ir.p_funcs)
+
+let workload_programs () =
+  List.map
+    (fun (bm : S.benchmark) ->
+      (bm, Epic.Opt.for_epic (Epic.Cfront.compile bm.S.bm_source)))
+    [ S.sha_benchmark ~bytes:64 (); S.dct_benchmark ~width:8 ~height:8 () ]
+
+let test_workload_occurrences () =
+  List.iter
+    (fun ((bm : S.benchmark), p) ->
+      List.iter
+        (fun (f : Ir.func) ->
+          List.iter
+            (fun b ->
+              Alcotest.(check bool)
+                (bm.S.bm_name ^ ": occurrence properties hold")
+                true
+                (check_block_occurrences ~max_ops:3 f b))
+            f.Ir.f_blocks)
+        p.Ir.p_funcs)
+    (workload_programs ())
+
+let test_sha_finds_rotr () =
+  let _, p = List.hd (workload_programs ()) in
+  let cands = Subgraph.enumerate ~max_ops:3 ~top:8 p in
+  let is_rotr (c : CG.candidate) =
+    match c.CG.cg_expr with
+    | CG.Op (Ir.Or, CG.Op (Ir.Shl, CG.X 0, CG.C a), CG.Op (Ir.Shr, CG.X 0, CG.C b))
+      -> a + b = 32
+    | _ -> false
+  in
+  Alcotest.(check bool) "a rotate pattern is discovered" true
+    (List.exists is_rotr cands);
+  List.iter
+    (fun (c : CG.candidate) ->
+      Alcotest.(check bool) "multi-op candidates only" true (c.CG.cg_ops >= 2))
+    cands
+
+let test_rewrite_preserves_semantics () =
+  List.iter
+    (fun ((bm : S.benchmark), p) ->
+      let cands = Subgraph.enumerate ~max_ops:3 ~top:3 p in
+      let p', rewritten = Subgraph.apply p cands in
+      if cands <> [] then
+        Alcotest.(check bool)
+          (bm.S.bm_name ^ ": at least one site rewritten")
+          true (rewritten > 0);
+      let custom name a b =
+        match
+          List.find_opt (fun (c : CG.candidate) -> c.CG.cg_name = name) cands
+        with
+        | Some c -> (CG.to_custom_op c).Config.cop_semantics ~width:32 a b
+        | None -> Alcotest.failf "unknown custom op %s" name
+      in
+      let r0 = Interp.run p ~entry:"main" in
+      let r1 = Interp.run ~custom p' ~entry:"main" in
+      Alcotest.(check int)
+        (bm.S.bm_name ^ ": rewritten program computes the same result")
+        r0.Interp.ret r1.Interp.ret;
+      Alcotest.(check bool)
+        (bm.S.bm_name ^ ": rewriting shortens the dynamic instruction count")
+        true
+        (r1.Interp.dyn_insts <= r0.Interp.dyn_insts))
+    (workload_programs ())
+
+let prop_rewrite_preserves_random =
+  QCheck.Test.make ~name:"random MIR: candidate rewrites preserve the result"
+    ~count:75
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = Epic.Difftest.gen_mir_program rng in
+      match Interp.run p ~entry:"main" with
+      | exception _ -> true  (* program the interpreter rejects: vacuous *)
+      | r0 -> (
+        let cands = Subgraph.enumerate ~max_ops:3 ~top:3 p in
+        let p', _ = Subgraph.apply p cands in
+        let custom name a b =
+          match
+            List.find_opt (fun (c : CG.candidate) -> c.CG.cg_name = name) cands
+          with
+          | Some c -> (CG.to_custom_op c).Config.cop_semantics ~width:32 a b
+          | None -> failwith ("unknown custom op " ^ name)
+        in
+        match Interp.run ~custom p' ~entry:"main" with
+        | exception _ -> false
+        | r1 -> r1.Interp.ret = r0.Interp.ret))
+
+(* ------------------------------------------------------------------ *)
+(* Area-model monotonicity along the campaign's pruning axes (the ALU
+   axis is covered in test_area.ml).                                   *)
+
+let prop_monotone_in_issue =
+  QCheck.Test.make ~name:"slices monotone in issue width" ~count:60
+    QCheck.(pair (int_range 1 3) (int_range 1 4))
+    (fun (issue, alus) ->
+      let cfg i = { Config.default with Config.issue_width = i; n_alus = alus } in
+      (Area.estimate (cfg issue)).Area.slices
+      <= (Area.estimate (cfg (issue + 1))).Area.slices)
+
+let prop_monotone_alus_any_issue =
+  QCheck.Test.make ~name:"slices monotone in ALUs at every issue width"
+    ~count:60
+    QCheck.(pair (int_range 1 6) (int_range 1 4))
+    (fun (alus, issue) ->
+      let cfg a = { Config.default with Config.n_alus = a; issue_width = issue } in
+      (Area.estimate (cfg alus)).Area.slices
+      <= (Area.estimate (cfg (alus + 1))).Area.slices)
+
+(* ------------------------------------------------------------------ *)
+(* Backend-only compilation.                                           *)
+
+let test_compile_epic_mir () =
+  let bm = S.sha_benchmark ~bytes:64 () in
+  let cfg = Config.default in
+  let a1 = Epic.Toolchain.compile_epic cfg ~source:bm.S.bm_source () in
+  let mir = Epic.Opt.for_epic (Epic.Cfront.compile bm.S.bm_source) in
+  let a2 = Epic.Toolchain.compile_epic_mir ~key:"test-sha" cfg ~mir () in
+  let r1 = Epic.Toolchain.run_epic a1 in
+  let r2 = Epic.Toolchain.run_epic a2 in
+  Alcotest.(check int) "same result" r1.Epic.Sim.ret r2.Epic.Sim.ret;
+  Alcotest.(check int) "same cycle count" r1.Epic.Sim.stats.Epic.Sim.cycles
+    r2.Epic.Sim.stats.Epic.Sim.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Campaign driver: determinism, persistence, resume.                  *)
+
+let tmp_dir name =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "epic-explore-test-%s-%d" name (Unix.getpid ()))
+  in
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir));
+  dir
+
+let small_campaign ?(budget = 48) ?(resume = false) ~jobs ~dir () =
+  { C.o_budget = budget; o_seed = 7; o_jobs = jobs; o_wave = 16;
+    o_prune = true; o_max_cands = 2; o_max_ops = 3; o_cache_dir = Some dir;
+    o_cache_entries = None; o_resume = resume;
+    o_workloads = [ S.sha_benchmark ~bytes:64 () ];
+    o_axes =
+      { C.ax_alus = [ 1; 2 ]; ax_issues = [ 1; 4 ]; ax_gprs = [ 64 ];
+        ax_preds = [ 32 ]; ax_btrs = [ 16 ]; ax_payloads = [ 16 ];
+        ax_stages = [ 2; 4 ] } }
+
+let test_campaign_deterministic () =
+  let dir = tmp_dir "det" in
+  let r1 = C.run (small_campaign ~jobs:2 ~dir ()) in
+  let d1 = Json.to_string r1.C.r_doc in
+  (match r1.C.r_store with Some st -> Store.reset_stats st | None -> ());
+  (* Warm, different job count: byte-identical document, >= 90 % disk
+     hits (the explore-smoke CI gate, asserted here without the CLI). *)
+  let r2 = C.run (small_campaign ~jobs:1 ~dir ()) in
+  let d2 = Json.to_string r2.C.r_doc in
+  Alcotest.(check string) "cold jobs=2 and warm jobs=1 agree byte-for-byte" d1
+    d2;
+  (match r2.C.r_store with
+   | Some st ->
+     let s = Store.stats st in
+     Alcotest.(check bool)
+       (Printf.sprintf "warm hit rate %.3f >= 0.9" (Store.hit_rate s))
+       true
+       (Store.hit_rate s >= 0.9)
+   | None -> Alcotest.fail "store expected");
+  Alcotest.(check bool) "something was evaluated" true
+    (r1.C.r_counts.C.c_evaluated > 0);
+  Alcotest.(check bool) "a frontier exists" true
+    (List.exists (fun (_, pts) -> pts <> []) r1.C.r_archives);
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+let test_campaign_frontier_has_candidates () =
+  let dir = tmp_dir "cand" in
+  let r = C.run (small_campaign ~jobs:2 ~dir ()) in
+  let with_cands =
+    List.exists
+      (fun (_, pts) ->
+        List.exists
+          (fun (pt : C.eval Pareto.point) ->
+            pt.Pareto.pt_data.C.e_point.C.p_cands > 0)
+          pts)
+      r.C.r_archives
+  in
+  Alcotest.(check bool)
+    "a discovered multi-op candidate appears on the frontier" true with_cands;
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+let test_campaign_resume () =
+  let dir = tmp_dir "resume" in
+  let r1 = C.run (small_campaign ~jobs:2 ~dir ()) in
+  let d1 = Json.to_string r1.C.r_doc in
+  (* Resuming a completed campaign restores everything from the manifest
+     without evaluating a single point. *)
+  let r2 = C.run (small_campaign ~resume:true ~jobs:1 ~dir ()) in
+  Alcotest.(check string) "resumed frontier is byte-identical" d1
+    (Json.to_string r2.C.r_doc);
+  Alcotest.(check int) "all waves restored" r2.C.r_waves r2.C.r_resumed_waves;
+  (* Resuming with different campaign parameters must refuse, not
+     silently mix archives. *)
+  (match
+     C.run
+       (small_campaign ~budget:12 ~resume:true ~jobs:1 ~dir ())
+   with
+   | exception Epic.Diag.Error _ -> ()
+   | _ -> Alcotest.fail "parameter mismatch must raise");
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+let test_campaign_counts_invalid () =
+  (* src_bits = 20 at 4-issue exceeds the fetch-bandwidth constraint:
+     the campaign must count those points as invalid, not error out. *)
+  let dir = tmp_dir "invalid" in
+  let opts =
+    { (small_campaign ~jobs:2 ~dir ()) with
+      C.o_axes =
+        { C.ax_alus = [ 1 ]; ax_issues = [ 4 ]; ax_gprs = [ 64 ];
+          ax_preds = [ 32 ]; ax_btrs = [ 16 ]; ax_payloads = [ 16; 20 ];
+          ax_stages = [ 2 ] };
+      o_max_cands = 0; o_budget = 10 }
+  in
+  let r = C.run opts in
+  Alcotest.(check int) "invalid corner counted" 1 r.C.r_counts.C.c_invalid;
+  Alcotest.(check int) "valid corner evaluated" 1 r.C.r_counts.C.c_evaluated;
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_archive_matches_brute;
+    QCheck_alcotest.to_alcotest prop_archive_order_invariant;
+    Alcotest.test_case "equal duplicates deduped" `Quick test_duplicate_dedup;
+    Alcotest.test_case "covers = dominance query" `Quick test_covers;
+    QCheck_alcotest.to_alcotest prop_occurrences_convex_random;
+    Alcotest.test_case "workload occurrence properties" `Quick
+      test_workload_occurrences;
+    Alcotest.test_case "sha rediscovers a rotate" `Quick test_sha_finds_rotr;
+    Alcotest.test_case "rewrites preserve semantics" `Quick
+      test_rewrite_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_rewrite_preserves_random;
+    QCheck_alcotest.to_alcotest prop_monotone_in_issue;
+    QCheck_alcotest.to_alcotest prop_monotone_alus_any_issue;
+    Alcotest.test_case "compile_epic_mir matches compile_epic" `Quick
+      test_compile_epic_mir;
+    Alcotest.test_case "campaign: jobs + cold/warm determinism" `Slow
+      test_campaign_deterministic;
+    Alcotest.test_case "campaign: candidates reach the frontier" `Slow
+      test_campaign_frontier_has_candidates;
+    Alcotest.test_case "campaign: manifest resume" `Slow test_campaign_resume;
+    Alcotest.test_case "campaign: invalid points counted" `Quick
+      test_campaign_counts_invalid;
+  ]

@@ -21,4 +21,5 @@ let () =
       ("difftest", Test_difftest.suite);
       ("serve", Test_serve.suite);
       ("engine", Test_engine.suite);
+      ("explore", Test_explore.suite);
     ]
