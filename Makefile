@@ -53,14 +53,35 @@ fuzz:
 # fails unless every request succeeds, the second pass is byte-identical
 # and >= 90% disk hits, and the daemon's reported p95 latency meets the
 # SLO — the full service acceptance gate in one command.
+#
+# Then the concurrent gate: one socket daemon (--max-conns 8), the same
+# scenario replayed by 4 clients at once.  epicload fails unless every
+# client gets every response back in request order and byte-identical to
+# the others, the warm pass stays byte-identical and >= 90% disk hits,
+# and the daemon reports dedup_hits > 0 (identical in-flight requests
+# were collapsed across connections).  The final stats snapshot lands in
+# _build/serve_smoke_stats.json for CI to archive.
 serve-smoke:
 	dune build bin/epicd.exe bin/epicload.exe
-	rm -rf _build/serve_smoke_cache
+	rm -rf _build/serve_smoke_cache _build/serve_smoke_conc_cache
+	rm -f _build/serve_smoke.sock _build/serve_smoke_stats.json
 	dune exec bin/epicload.exe -- \
 	  --epicd _build/default/bin/epicd.exe \
 	  --cache-dir _build/serve_smoke_cache \
 	  --scenario mixed --passes 2 --slo-p95-ms 30000 \
 	  --slo-ref-rate 1.0e7 --expect-hit-rate 0.9
+	_build/default/bin/epicd.exe --socket _build/serve_smoke.sock \
+	  --max-conns 8 --jobs 2 --cache-dir _build/serve_smoke_conc_cache & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+	  [ -S _build/serve_smoke.sock ] && break; sleep 0.1; \
+	done; \
+	_build/default/bin/epicload.exe \
+	  --connect _build/serve_smoke.sock --clients 4 \
+	  --scenario mixed --passes 2 --slo-p95-ms 30000 \
+	  --slo-ref-rate 1.0e7 --expect-hit-rate 0.9 \
+	  --stats-json _build/serve_smoke_stats.json; \
+	st=$$?; kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; exit $$st
 	@echo "serve-smoke: OK"
 
 # Fault-injection campaign against the real daemon: seeded (so a failure

@@ -17,7 +17,8 @@
 
 open Cmdliner
 
-let run socket cache_dir cache_entries batch_max queue_max deadline_ms jobs =
+let run socket max_conns cache_dir cache_entries batch_max queue_max
+    deadline_ms jobs =
   Cli_common.handle_errors @@ fun () ->
   let store =
     Option.map
@@ -30,8 +31,9 @@ let run socket cache_dir cache_entries batch_max queue_max deadline_ms jobs =
   let stop =
     match socket with
     | Some path ->
-      Printf.eprintf "epicd: listening on %s (%d domain(s))\n%!" path jobs;
-      Epic_serve.Server.run_socket t ~path
+      Printf.eprintf "epicd: listening on %s (%d domain(s), %d connection(s))\n%!"
+        path jobs max_conns;
+      Epic_serve.Server.run_socket ~max_conns t ~path
     | None -> Epic_serve.Server.run_pipe t ~in_fd:Unix.stdin ~out:stdout
   in
   ignore (stop : Epic_serve.Server.stop);
@@ -45,8 +47,16 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "socket" ] ~docv:"PATH"
            ~doc:"Listen on a Unix domain socket instead of stdin/stdout. \
-                 Connections are served one at a time; a shutdown request \
-                 stops the daemon.")
+                 A shutdown request stops the daemon; see $(b,--max-conns) \
+                 for concurrent connections.")
+  in
+  let max_conns =
+    Arg.(value & opt int 8
+         & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Serve up to $(docv) socket connections concurrently over one \
+                 shared worker pool, with cross-client deduplication of \
+                 identical in-flight requests.  With 1, connections are \
+                 accepted strictly one at a time.  Ignored in pipe mode.")
   in
   let cache_dir =
     Arg.(value & opt (some string) None
@@ -87,7 +97,7 @@ let cmd =
     (Cmd.info "epicd"
        ~doc:"Serve EPIC compile-and-simulate requests over newline-delimited \
              JSON")
-    Term.(const run $ socket $ cache_dir $ cache_entries $ batch_max
-          $ queue_max $ deadline_ms $ Cli_common.jobs_term)
+    Term.(const run $ socket $ max_conns $ cache_dir $ cache_entries
+          $ batch_max $ queue_max $ deadline_ms $ Cli_common.jobs_term)
 
 let () = exit (Cmd.eval cmd)

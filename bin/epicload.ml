@@ -198,6 +198,12 @@ let pp_dist d =
   Printf.sprintf "p50/p95/p99/max %s/%s/%s/%s ms" (f d.l_p50) (f d.l_p95)
     (f d.l_p99) (f d.l_max)
 
+(* A single numeric field out of a stats response line. *)
+let stat_field line path =
+  match J.parse line with
+  | Error _ -> None
+  | Ok j -> as_num (mem ("result" :: path) j)
+
 (* ------------------------------------------------------------------ *)
 
 (* Option.bind with the arguments in reading order. *)
@@ -335,12 +341,54 @@ let run_chaos ~cache_dir ~epicd_bin ~seed ~report_file ~jobs =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent clients: N threads replay the same scenario against one
+   socket daemon.  A start barrier makes the identical request streams
+   actually overlap, which is what exercises the daemon's cross-client
+   in-flight deduplication rather than its disk cache. *)
 
-let run scenario passes cache_dir epicd_bin connect slo_p95 slo_ref_rate
-    expect_hit deadline_ms retries retry_base_ms retry_seed chaos chaos_seed
-    chaos_report jobs =
+let run_clients ~path ~clients lines =
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let go = ref false in
+  let results = Array.make clients None in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            Mutex.lock mu;
+            while not !go do
+              Condition.wait cv mu
+            done;
+            Mutex.unlock mu;
+            results.(i) <-
+              Some
+                (match pass_connect path lines with
+                 | r -> Ok r
+                 | exception e -> Error e))
+          ())
+  in
+  Mutex.lock mu;
+  go := true;
+  Condition.broadcast cv;
+  Mutex.unlock mu;
+  List.iter Thread.join threads;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok r) -> r
+       | Some (Error e) -> raise e
+       | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+
+let run scenario passes clients cache_dir epicd_bin connect slo_p95
+    slo_ref_rate expect_hit deadline_ms retries retry_base_ms retry_seed chaos
+    chaos_seed chaos_report stats_json jobs =
   Cli_common.handle_errors @@ fun () ->
   if passes < 1 then failwith "--passes must be >= 1";
+  if clients < 1 then failwith "--clients must be >= 1";
+  if clients > 1 && connect = None then
+    failwith "--clients > 1 drives concurrent socket connections; it requires \
+              --connect";
   if epicd_bin <> None && connect <> None then
     failwith "--epicd and --connect are mutually exclusive";
   if chaos then run_chaos ~cache_dir ~epicd_bin ~seed:chaos_seed
@@ -365,44 +413,101 @@ let run scenario passes cache_dir epicd_bin connect slo_p95 slo_ref_rate
   let control =
     List.map (fun r -> P.is_control r.P.rq_op) reqs
   in
+  let work_ids =
+    List.filter_map
+      (fun r -> if P.is_control r.P.rq_op then None else r.P.rq_id)
+      reqs
+  in
   let run_pass () =
     match (epicd_bin, connect) with
-    | Some bin, _ -> pass_spawn ~jobs ~cache_dir bin lines
-    | None, Some path -> pass_connect path lines
-    | None, None -> pass_in_process ~jobs ~cache_dir lines
+    | Some bin, _ -> [ pass_spawn ~jobs ~cache_dir bin lines ]
+    | None, Some path ->
+      if clients > 1 then run_clients ~path ~clients lines
+      else [ pass_connect path lines ]
+    | None, None -> [ pass_in_process ~jobs ~cache_dir lines ]
   in
   let failures = ref [] in
   let fail fmt = Format.kasprintf (fun m -> failures := m :: !failures) fmt in
-  let work_of responses =
+  let work_of ~client responses =
     (* Responses arrive in request order, so the control mask applies
        positionally. *)
     if List.length responses <> List.length control then
-      fail "expected %d responses, got %d" (List.length control)
+      fail "client %d: expected %d responses, got %d (lost requests)" client
+        (List.length control)
         (List.length responses);
     List.filteri
       (fun i _ -> not (try List.nth control i with _ -> true))
       responses
   in
   let baseline = ref [] in
+  let last_stats = ref None in
   (* In connect mode the daemon survives across passes, so its stats
      counters are cumulative: track the previous pass's disk totals and
      assert on the delta. *)
   let prev_disk = ref (0., 0.) in
   for pass = 1 to passes do
     let t0 = Epic.Exec.now () in
-    let responses = run_pass () in
+    let per_client = run_pass () in
     let wall = Epic.Exec.now () -. t0 in
-    let work = work_of responses in
+    let works = List.mapi (fun ci r -> work_of ~client:ci r) per_client in
     List.iteri
-      (fun i line ->
-        match J.member "ok" =<< Result.to_option (J.parse line) with
-        | Some (J.Bool true) -> ()
-        | _ -> fail "pass %d: work response %d not ok: %s" pass i line)
-      work;
+      (fun ci work ->
+        List.iteri
+          (fun i line ->
+            match J.member "ok" =<< Result.to_option (J.parse line) with
+            | Some (J.Bool true) -> ()
+            | _ ->
+              fail "pass %d client %d: work response %d not ok: %s" pass ci i
+                line)
+          work;
+        (* Per-connection ordering: every client's response ids must be
+           the request ids, in request order. *)
+        let got_ids =
+          List.map
+            (fun line ->
+              match J.member "id" =<< Result.to_option (J.parse line) with
+              | Some (J.Int i) -> Some i
+              | _ -> None)
+            work
+        in
+        if got_ids <> List.map Option.some work_ids then
+          fail "pass %d client %d: response ids out of request order" pass ci)
+      works;
+    let work = match works with w :: _ -> w | [] -> [] in
+    List.iteri
+      (fun ci w ->
+        if ci > 0 && w <> work then
+          fail
+            "pass %d: client %d responses differ from client 0 (determinism \
+             violation)"
+            pass ci)
+      works;
+    (* With one client the scenario's trailing stats barrier doubles as
+       the probe; with several, each client got its own stats response
+       (excluded from byte-identity), so a dedicated control connection
+       reads the daemon-wide totals after the pass. *)
+    let stats_line =
+      if clients > 1 then
+        match connect with
+        | Some path ->
+          let l =
+            P.to_line
+              { P.rq_id = Some 999_999; rq_deadline_ms = None; rq_op = P.Stats }
+          in
+          (match List.rev (pass_connect path [ l ]) with
+           | last :: _ -> Some last
+           | [] -> None)
+        | None -> None
+      else
+        match List.rev (List.concat per_client) with
+        | last :: _ -> Some last
+        | [] -> None
+    in
+    last_stats := stats_line;
     let dist, hits, misses, rate =
-      match List.rev responses with
-      | last :: _ -> parse_stats last
-      | [] ->
+      match stats_line with
+      | Some last -> parse_stats last
+      | None ->
         ( { l_p50 = None; l_p95 = None; l_p99 = None; l_max = None },
           None, None, None )
     in
@@ -441,8 +546,10 @@ let run scenario passes cache_dir epicd_bin connect slo_p95 slo_ref_rate
     if pass = 1 then baseline := work
     else if work <> !baseline then
       fail "pass %d: responses differ from pass 1 (determinism violation)" pass;
-    Printf.printf "pass %d: %d responses in %.2f s, %s%s%s\n%!" pass
-      (List.length responses) wall (pp_dist dist)
+    Printf.printf "pass %d: %d responses%s in %.2f s, %s%s%s\n%!" pass
+      (List.fold_left (fun n r -> n + List.length r) 0 per_client)
+      (if clients > 1 then Printf.sprintf " across %d clients" clients else "")
+      wall (pp_dist dist)
       (match rate with
        | Some m -> Printf.sprintf ", host %.2e cyc/s" m
        | None -> "")
@@ -450,10 +557,32 @@ let run scenario passes cache_dir epicd_bin connect slo_p95 slo_ref_rate
        | Some r -> Printf.sprintf ", disk hit rate %.0f%%" (100. *. r)
        | None -> "")
   done;
+  (* Overlapping identical streams must collapse: if N barrier-started
+     clients replaying the same scenario never shared one in-flight
+     evaluation, the concurrent path is not actually concurrent. *)
+  (if clients > 1 then
+     match Option.bind !last_stats (fun l -> stat_field l [ "dedup_hits" ]) with
+     | Some d when d > 0. ->
+       Printf.printf "epicload: %d in-flight dedup hits across %d clients\n"
+         (int_of_float d) clients
+     | Some _ ->
+       fail "no in-flight dedup hits across %d concurrent clients" clients
+     | None -> fail "stats response carries no dedup_hits field");
+  (match (stats_json, !last_stats) with
+   | Some file, Some line ->
+     let oc = open_out file in
+     output_string oc line;
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "epicload: stats written to %s\n" file
+   | Some _, None -> fail "no stats response to write"
+   | None, _ -> ());
   (match List.rev !failures with
    | [] ->
-     Printf.printf "epicload: %s x%d OK (%d requests per pass)\n" scenario
-       passes (List.length lines)
+     Printf.printf "epicload: %s x%d%s OK (%d requests per pass)\n" scenario
+       passes
+       (if clients > 1 then Printf.sprintf " x%d clients" clients else "")
+       (List.length lines)
    | fs ->
      List.iter (Printf.eprintf "epicload: FAIL: %s\n") fs;
      exit 1)
@@ -474,6 +603,15 @@ let cmd =
          & info [ "passes" ] ~docv:"N"
            ~doc:"Replay the scenario $(docv) times; passes after the first \
                  must be byte-identical and (with a cache) mostly disk hits.")
+  in
+  let clients =
+    Arg.(value & opt int 1
+         & info [ "clients" ] ~docv:"N"
+           ~doc:"Replay each pass from $(docv) concurrent socket clients \
+                 (requires --connect and a daemon started with \
+                 $(b,--max-conns) >= $(docv)).  All clients must receive \
+                 complete, identical, in-order response streams, and the \
+                 daemon must report in-flight dedup hits.")
   in
   let cache_dir =
     Arg.(value & opt (some string) None
@@ -559,13 +697,19 @@ let cmd =
          & info [ "chaos-report" ] ~docv:"FILE"
            ~doc:"Write the chaos campaign's JSON report to $(docv).")
   in
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the final stats response (one JSON line) to $(docv) — \
+                 the CI artifact.")
+  in
   Cmd.v
     (Cmd.info "epicload"
        ~doc:"Generate load against epicd and assert its service-level \
              objectives")
-    Term.(const run $ scenario $ passes $ cache_dir $ epicd_bin $ connect
-          $ slo $ slo_ref_rate $ expect_hit $ deadline_ms $ retries
+    Term.(const run $ scenario $ passes $ clients $ cache_dir $ epicd_bin
+          $ connect $ slo $ slo_ref_rate $ expect_hit $ deadline_ms $ retries
           $ retry_base_ms $ retry_seed $ chaos $ chaos_seed $ chaos_report
-          $ Cli_common.jobs_term)
+          $ stats_json $ Cli_common.jobs_term)
 
 let () = exit (Cmd.eval cmd)

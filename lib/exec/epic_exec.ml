@@ -149,6 +149,87 @@ module Cache = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Persistent worker pool.
+
+   Pool.run spawns domains per call, which is right for campaigns (one
+   big fan-out, then done) but wrong for a server: a long-lived daemon
+   dispatching small batches would pay domain startup on every batch.
+   Workq keeps [jobs] domains alive for the lifetime of the queue; any
+   thread may submit thunks, and idle workers pick them up in FIFO
+   order.  Completion is the submitter's business (the thunk writes to
+   a completion cell and signals its own condition variable), which is
+   what lets one queue serve many independent submitters — the
+   concurrent daemon's connections — without the queue knowing about
+   response routing. *)
+
+module Workq = struct
+  type t = {
+    mu : Mutex.t;
+    cond : Condition.t;          (* a task arrived, or stop was set *)
+    tasks : (unit -> unit) Queue.t;
+    mutable stop : bool;
+    mutable live : int;          (* submitted, not yet finished *)
+    mutable workers : unit Domain.t list;
+  }
+
+  let rec worker t =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.tasks && not t.stop do
+      Condition.wait t.cond t.mu
+    done;
+    if Queue.is_empty t.tasks then Mutex.unlock t.mu (* stop, queue drained *)
+    else begin
+      let task = Queue.pop t.tasks in
+      Mutex.unlock t.mu;
+      (* A task must handle its own exceptions (the daemon's tasks
+         resolve their completion cell with the exception); a raise
+         escaping here would silently kill a worker, so the last-resort
+         catch keeps the pool at full strength no matter what. *)
+      (try task () with _ -> ());
+      Mutex.lock t.mu;
+      t.live <- t.live - 1;
+      Mutex.unlock t.mu;
+      worker t
+    end
+
+  let create ?jobs () =
+    let jobs = match jobs with None -> default_jobs () | Some j -> j in
+    if jobs < 1 then invalid_arg "Epic_exec.Workq.create: jobs must be >= 1";
+    let t =
+      { mu = Mutex.create (); cond = Condition.create ();
+        tasks = Queue.create (); stop = false; live = 0; workers = [] }
+    in
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let submit t task =
+    Mutex.lock t.mu;
+    if t.stop then begin
+      Mutex.unlock t.mu;
+      invalid_arg "Epic_exec.Workq.submit: queue is shut down"
+    end;
+    t.live <- t.live + 1;
+    Queue.push task t.tasks;
+    Condition.signal t.cond;
+    Mutex.unlock t.mu
+
+  let live t =
+    Mutex.lock t.mu;
+    let n = t.live in
+    Mutex.unlock t.mu;
+    n
+
+  (* Graceful: pending tasks still run; workers exit once the queue is
+     empty. *)
+  let shutdown t =
+    Mutex.lock t.mu;
+    t.stop <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.workers
+end
+
+(* ------------------------------------------------------------------ *)
 (* Campaign reporting.                                                 *)
 
 type campaign_stats = {

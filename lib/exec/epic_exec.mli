@@ -83,6 +83,39 @@ module Cache : sig
   val stats_to_json : stats -> Epic_profile.Json.t
 end
 
+module Workq : sig
+  (** A {e persistent} worker pool: [jobs] domains that outlive any one
+      fan-out.  {!Pool} spawns domains per call — right for campaigns,
+      wrong for a long-running daemon dispatching small batches.  Any
+      thread (systhread or domain) may {!submit} thunks; idle workers
+      execute them in FIFO submission order.  Completion signalling is
+      the submitter's job: a task typically writes a completion cell and
+      signals the submitter's own condition variable, which is what lets
+      one queue serve many independent submitters (the concurrent
+      daemon's connections) without the queue knowing about response
+      routing.
+
+      Tasks must not let exceptions escape (the pool swallows them as a
+      last resort so a worker can never die); wrap the real work and
+      route failures through the completion cell. *)
+
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** Spawn [jobs] (default {!default_jobs}) worker domains.
+      @raise Invalid_argument on [jobs < 1]. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a task.  @raise Invalid_argument after {!shutdown}. *)
+
+  val live : t -> int
+  (** Tasks submitted but not yet finished (queued + running). *)
+
+  val shutdown : t -> unit
+  (** Graceful stop: pending tasks still run, workers exit once the
+      queue drains, and every worker domain is joined. *)
+end
+
 module Backoff : sig
   (** Deterministic retry backoff for clients of an overloaded service
       (the [epicload] retry policy, the chaos harness).  Exponential

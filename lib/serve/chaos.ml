@@ -662,6 +662,109 @@ let inject_kill_restart t _prng =
   if Sys.file_exists tmp then fail "planted temporary still on disk";
   { a with in_failures = a.in_failures @ List.rev !failures }
 
+(* --- concurrent-socket injection ----------------------------------- *)
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* The daemon binds its socket after it starts; retry the dial until it
+   is there. *)
+let rec connect_retry path tries =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect sock (Unix.ADDR_UNIX path) with
+  | () -> sock
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+    when tries > 0 ->
+    (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+    Unix.sleepf 0.05;
+    connect_retry path (tries - 1)
+
+let read_to_eof fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = read [] in
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  responses
+
+let socket_request_lines sock lines =
+  let oc = Unix.out_channel_of_descr sock in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+  flush oc;
+  Unix.shutdown sock Unix.SHUTDOWN_SEND;
+  read_to_eof sock
+
+(* Multi-connection mode under an abrupt mid-request disconnect: client
+   A sends half a frame and vanishes while client B — on its own
+   connection of the same daemon — replays the whole base scenario.  B
+   must receive complete, golden-identical responses; A's corpse must
+   cost the daemon nothing; a control connection then shuts the daemon
+   down cleanly. *)
+let inject_conn_drop t _prng =
+  say t "conn-drop: abrupt mid-request disconnect beside a live connection";
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "epicd-chaos-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+  let p =
+    Proc.spawn t.bin
+      (daemon_args t ~extra:[ "--socket"; path; "--max-conns"; "4" ])
+  in
+  (* Client A: half of the first frame, then silence. *)
+  let a = connect_retry path 100 in
+  (match base_lines with
+   | first :: _ -> send_all a (String.sub first 0 (String.length first / 2))
+   | [] -> ());
+  (* Client B: the full scenario on a second connection. *)
+  let b = connect_retry path 10 in
+  let b_oc = Unix.out_channel_of_descr b in
+  List.iter (fun l -> output_string b_oc l; output_char b_oc '\n') base_lines;
+  flush b_oc;
+  Unix.shutdown b Unix.SHUTDOWN_SEND;
+  (* While the daemon grinds B's requests, A drops mid-frame. *)
+  Unix.sleepf 0.05;
+  (try Unix.close a with Unix.Unix_error (_, _, _) -> ());
+  let b_responses = read_to_eof b in
+  (* Control connection: clean shutdown must still work. *)
+  let shutdown_id = 103 in
+  let control =
+    socket_request_lines (connect_retry path 10)
+      [ P.to_line
+          { P.rq_id = Some shutdown_id; rq_deadline_ms = None;
+            rq_op = P.Shutdown } ]
+  in
+  let rest, exit_ok = Proc.finish p in
+  let responses = b_responses @ control @ rest in
+  let pass =
+    { p_responses = responses; p_exit_ok = exit_ok;
+      p_stats = List.find_opt (fun l -> id_of l = Some stats_id) responses }
+  in
+  let a' =
+    assess t ~kind:"conn-drop"
+      ~detail:"half a frame then an abrupt close, beside a full replay on a \
+               second connection"
+      pass
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (match List.find_opt (fun l -> id_of l = Some shutdown_id) control with
+   | Some l when is_ok l -> ()
+   | Some l -> fail "shutdown request not answered ok: %s" l
+   | None -> fail "no response to the shutdown request");
+  (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+  { a' with in_failures = a'.in_failures @ List.rev !failures }
+
 (* --- campaign ------------------------------------------------------ *)
 
 let rec rm_rf path =
@@ -708,7 +811,8 @@ let run ?(jobs = 2) ?(min_hit_rate = 0.9) ?(seed = 0) ?(verbose = true)
       :: List.map
            (fun f -> f t prng)
            [ inject_torn_writes; inject_bit_flips; inject_garbage_frames;
-             inject_slow_loris; inject_deadline; inject_kill_restart ]
+             inject_slow_loris; inject_deadline; inject_conn_drop;
+             inject_kill_restart ]
   in
   let ok = List.for_all (fun i -> i.in_failures = []) injections in
   List.iter

@@ -20,6 +20,116 @@ module J = Epic.Profile.Json
 module P = Protocol
 module Diag = Epic.Diag
 
+(* ------------------------------------------------------------------ *)
+(* Bounded latency reservoir.
+
+   A long-lived daemon must not grow a per-request latency list without
+   bound.  The reservoir keeps a fixed-capacity sample: the first [cap]
+   observations fill it, after which observation [n] replaces a slot
+   with probability cap/(n+1) — algorithm R, except the "random" index
+   is a pure integer mix of the observation count, so two daemons
+   serving the same request stream keep identical samples.  Percentiles
+   degrade gracefully from exact (below the cap) to sampled. *)
+
+module Reservoir = struct
+  type t = {
+    cap : int;
+    sample : float array;
+    mutable n : int;               (* total observations, unbounded *)
+  }
+
+  let default_cap = 4096
+
+  let create ?(cap = default_cap) () =
+    if cap < 1 then invalid_arg "Reservoir.create: cap must be >= 1";
+    { cap; sample = Array.make cap 0.; n = 0 }
+
+  (* Splitmix-style finaliser: deterministic stand-in for randomness. *)
+  let mix k =
+    let z = ref ((k + 0x9e3779b9) land max_int) in
+    z := (!z lxor (!z lsr 16)) * 0x21f0aaad land max_int;
+    z := (!z lxor (!z lsr 15)) * 0x735a2d97 land max_int;
+    (!z lxor (!z lsr 15)) land max_int
+
+  let add t v =
+    (if t.n < t.cap then t.sample.(t.n) <- v
+     else
+       let i = mix t.n mod (t.n + 1) in
+       if i < t.cap then t.sample.(i) <- v);
+    t.n <- t.n + 1
+
+  let count t = t.n
+  let cap t = t.cap
+  let sampled t = min t.n t.cap
+  let snapshot t = Array.sub t.sample 0 (sampled t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cross-client in-flight deduplication.
+
+   The disk store already collapses {e repeated} requests; this table
+   collapses {e concurrent} ones.  Keyed by {!Protocol.cache_key}: the
+   first evaluator of a key (the leader) registers an entry, computes,
+   resolves, and removes the entry; anyone who finds the entry in
+   between waits for the leader's outcome and shares it — bytes
+   identical, work done once.  The entry is removed {e before} waiters
+   wake (they hold their own reference), so a key's table lifetime is
+   exactly the leader's evaluation.
+
+   Failures are shared too: a result payload is a deterministic
+   function of the request, and so is the exception it raises instead —
+   except for outcomes the [retry] predicate rejects (deadline misses:
+   the leader's budget is its own policy, not a property of the
+   request), where the waiter re-runs the protocol and typically
+   becomes the next leader. *)
+
+module Dedup = struct
+  type outcome = D_ok of string * bool | D_exn of exn
+
+  type entry = { mutable out : outcome option; cond : Condition.t }
+
+  type t = { mu : Mutex.t; tbl : (string, entry) Hashtbl.t }
+
+  let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64 }
+
+  (* [run t ~retry ~on_hit key f] returns [(payload, disk, shared)];
+     [on_hit] fires once per response actually shared from a leader. *)
+  let rec run t ~retry ~on_hit key (f : unit -> string * bool) =
+    Mutex.lock t.mu;
+    match Hashtbl.find_opt t.tbl key with
+    | None ->
+      let e = { out = None; cond = Condition.create () } in
+      Hashtbl.add t.tbl key e;
+      Mutex.unlock t.mu;
+      let o = (match f () with p, d -> D_ok (p, d) | exception x -> D_exn x) in
+      Mutex.lock t.mu;
+      e.out <- Some o;
+      Hashtbl.remove t.tbl key;
+      Condition.broadcast e.cond;
+      Mutex.unlock t.mu;
+      (match o with D_ok (p, d) -> (p, d, false) | D_exn x -> raise x)
+    | Some e ->
+      let rec await () =
+        match e.out with
+        | None ->
+          Condition.wait e.cond t.mu;
+          await ()
+        | Some o -> o
+      in
+      let o = await () in
+      Mutex.unlock t.mu;
+      (match o with
+       | D_ok (p, _disk) ->
+         (* Shared, not read from disk by {e this} request: the disk
+            flag stays with the leader so stats don't double-count. *)
+         on_hit ();
+         (p, false, true)
+       | D_exn x when retry x -> run t ~retry ~on_hit key f
+       | D_exn x ->
+         on_hit ();
+         raise x)
+end
+
 type t = {
   jobs : int;
   batch_max : int;
@@ -38,15 +148,26 @@ type t = {
       (* host throughput probe: ~0.25s, forced on the first stats
          request (the control path is sequential, so forcing is safe) *)
   t_start : float;
+  stat_mu : Mutex.t;
+      (* guards every mutable counter below plus the latency reservoir —
+         in concurrent socket mode they are touched from every reader
+         thread and every pool worker *)
+  probe_mu : Mutex.t;
+      (* serialises forcing the sim_rate probe: [Lazy.force] is not
+         safe to race, and concurrent stats requests would *)
+  dedup : Dedup.t;
   mutable n_ok : int;
   mutable n_err : int;
   mutable n_disk_served : int;      (* ok responses spliced from disk *)
   mutable n_admitted : int;         (* work requests accepted for service *)
   mutable n_shed : int;             (* work requests rejected on overload *)
   mutable n_deadline : int;         (* requests that missed their deadline *)
+  mutable n_dedup : int;            (* responses shared from an in-flight twin *)
+  mutable n_fanout : int;           (* requests granted intra-request jobs > 1 *)
+  mutable outstanding : int;        (* work dispatched but not yet completed *)
   mutable op_counts : (string * int) list;
-  mutable lat_ms : float list;      (* per work request, service+wait *)
-  mutable q_max : int;              (* deepest batch seen *)
+  lat : Reservoir.t;                (* per work request, service+wait, bounded *)
+  mutable q_max : int;              (* deepest batch / in-flight depth seen *)
   mutable batches : int;
 }
 
@@ -68,11 +189,19 @@ let create ?(jobs = Epic.Exec.default_jobs ()) ?(batch_max = 64)
     cache = Epic.Toolchain.Compile_cache.create ();
     pre_cache = Epic.Exec.Cache.create ~name:"predecode" ();
     sim_rate = lazy (Epic.Experiments.sim_rate ());
-    t_start = Epic.Exec.now (); n_ok = 0; n_err = 0; n_disk_served = 0;
-    n_admitted = 0; n_shed = 0; n_deadline = 0;
-    op_counts = []; lat_ms = []; q_max = 0; batches = 0 }
+    t_start = Epic.Exec.now ();
+    stat_mu = Mutex.create (); probe_mu = Mutex.create ();
+    dedup = Dedup.create ();
+    n_ok = 0; n_err = 0; n_disk_served = 0;
+    n_admitted = 0; n_shed = 0; n_deadline = 0; n_dedup = 0; n_fanout = 0;
+    outstanding = 0;
+    op_counts = []; lat = Reservoir.create (); q_max = 0; batches = 0 }
 
 let store t = t.store
+
+let locked t f =
+  Mutex.lock t.stat_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.stat_mu) f
 
 (* ------------------------------------------------------------------ *)
 (* Deadlines.
@@ -207,20 +336,20 @@ let simulate_result t dl (s : P.simulate_req) =
       ("trap", json_of_trap r.Epic.Sim.trap);
       ("stats", Epic.Profile.stats_to_json r.Epic.Sim.stats) ]
 
-let fault_result t (f : P.fault_req) =
+let fault_result t ~jobs (f : P.fault_req) =
   let source = P.resolve_source f.P.fc_source in
   let a =
     Epic.Toolchain.compile_epic ~cache:t.cache f.P.fc_config ~source ()
   in
   let rp =
-    Epic.Toolchain.fault_campaign ~seed:f.P.fc_seed ~runs:f.P.fc_runs
+    Epic.Toolchain.fault_campaign ~jobs ~seed:f.P.fc_seed ~runs:f.P.fc_runs
       ~targets:f.P.fc_targets ~fuel_factor:f.P.fc_fuel_factor a
   in
   Epic.Fault.report_to_json rp
 
-let fuzz_result (f : P.fuzz_req) =
+let fuzz_result ~jobs (f : P.fuzz_req) =
   let r =
-    Epic.Difftest.fuzz ~jobs:1 ~shrink:f.P.fz_shrink ~kinds:f.P.fz_kinds
+    Epic.Difftest.fuzz ~jobs ~shrink:f.P.fz_shrink ~kinds:f.P.fz_kinds
       ~seed:f.P.fz_seed ~cases:f.P.fz_cases ()
   in
   J.Obj
@@ -281,13 +410,28 @@ let explore_result t dl (e : P.explore_req) =
   in
   J.Obj [ ("points", J.List points) ]
 
-let work_payload t dl (op : P.op) =
+(* Adaptive intra-request fan-out.  Fault campaigns and fuzz batches are
+   internally parallel and documented byte-identical for any jobs value
+   (pre-drawn PRNG streams) — so when such a request is effectively
+   alone (nothing else in flight), serialising it inside the batch
+   wastes the whole pool.  The policy: alone on a multi-job server, the
+   request gets the full pool; under load it runs on one domain and
+   request-level parallelism does the work.  The decision is taken at
+   production time, so a cached or deduplicated response never pays it,
+   and either way the bytes match. *)
+let intra_jobs t (op : P.op) =
+  match op with
+  | (P.Fault_campaign _ | P.Fuzz_batch _) when t.jobs > 1 ->
+    if locked t (fun () -> t.outstanding) <= 1 then t.jobs else 1
+  | _ -> 1
+
+let work_payload t dl ~jobs (op : P.op) =
   let j =
     match op with
     | P.Compile c -> compile_result t dl c
     | P.Simulate s -> simulate_result t dl s
-    | P.Fault_campaign f -> fault_result t f
-    | P.Fuzz_batch f -> fuzz_result f
+    | P.Fault_campaign f -> fault_result t ~jobs f
+    | P.Fuzz_batch f -> fuzz_result ~jobs f
     | P.Explore_slice e -> explore_result t dl e
     | P.Stats | P.Shutdown -> assert false
   in
@@ -325,33 +469,59 @@ type evaluated = {
   ev_op : string;
   ev_ok : bool;
   ev_disk : bool;
+  ev_dedup : bool;    (* shared from a concurrent identical request *)
+  ev_fanout : bool;   (* produced with intra-request jobs > 1 *)
   ev_deadline : bool; (* the error was a missed deadline *)
   ev_ms : float;
 }
 
 let eval t (q : queued) : evaluated =
-  let finish ?(deadline = false) ~op ~ok ~disk line =
+  let finish ?(deadline = false) ?(dedup = false) ?(fanout = false) ~op ~ok
+      ~disk line =
     { ev_line = line; ev_op = op; ev_ok = ok; ev_disk = disk;
-      ev_deadline = deadline; ev_ms = (Epic.Exec.now () -. q.qu_enq) *. 1e3 }
+      ev_dedup = dedup; ev_fanout = fanout; ev_deadline = deadline;
+      ev_ms = (Epic.Exec.now () -. q.qu_enq) *. 1e3 }
   in
   match q.qu_req with
   | Error d ->
     finish ~op:"invalid" ~ok:false ~disk:false (P.error_response ~id:None d)
   | Ok { P.rq_id = id; rq_op = op; _ } ->
     let opn = P.op_name op in
+    let fanned = ref false in
+    (* The fan-out decision happens only when the payload is actually
+       produced — a disk hit or a dedup share never records one. *)
+    let produce () =
+      let jobs = intra_jobs t op in
+      if jobs > 1 then begin
+        fanned := true;
+        locked t (fun () -> t.n_fanout <- t.n_fanout + 1)
+      end;
+      work_payload t q.qu_dl ~jobs op
+    in
+    let produce_stored () =
+      match (t.store, P.cache_key op) with
+      | Some st, Some key -> Store.find_or_add st ~key produce
+      | _ -> (produce (), false)
+    in
     (match
        (* The dispatch-time wall-clock check: a request whose whole
           budget was spent queueing is answered without doing work.  A
           timed-out computation is never cached — [find_or_add]'s
           producer raising leaves no entry behind. *)
        check_deadline q.qu_dl;
-       match (t.store, P.cache_key op) with
-       | Some st, Some key ->
-         Store.find_or_add st ~key (fun () -> work_payload t q.qu_dl op)
-       | _ -> (work_payload t q.qu_dl op, false)
+       match P.cache_key op with
+       | Some key ->
+         Dedup.run t.dedup
+           ~retry:(function Deadline_exceeded _ -> true | _ -> false)
+           ~on_hit:(fun () -> locked t (fun () -> t.n_dedup <- t.n_dedup + 1))
+           key produce_stored
+       | None ->
+         let payload, disk = produce_stored () in
+         (payload, disk, false)
      with
-     | payload, disk ->
-       finish ~op:opn ~ok:true ~disk (P.ok_response ~id ~result:payload)
+     | payload, disk, dedup ->
+       finish ~op:opn ~ok:true ~disk ~dedup ~fanout:!fanned
+         (P.ok_response ~id ~result:payload)
      | exception Deadline_exceeded ms ->
        finish ~op:opn ~ok:false ~disk:false ~deadline:true
          (P.error_response ~id (deadline_diag ms))
@@ -360,28 +530,42 @@ let eval t (q : queued) : evaluated =
         | Some d -> finish ~op:opn ~ok:false ~disk:false (P.error_response ~id d)
         | None -> raise e))
 
-let bump t op =
+(* Callers hold [stat_mu]. *)
+let bump_counter t op =
   t.op_counts <-
     (match List.assoc_opt op t.op_counts with
      | None -> (op, 1) :: t.op_counts
      | Some n -> (op, n + 1) :: List.remove_assoc op t.op_counts)
 
+let bump t op = locked t (fun () -> bump_counter t op)
+
 let record t (e : evaluated) =
-  if e.ev_ok then t.n_ok <- t.n_ok + 1 else t.n_err <- t.n_err + 1;
-  if e.ev_disk then t.n_disk_served <- t.n_disk_served + 1;
-  if e.ev_deadline then t.n_deadline <- t.n_deadline + 1;
-  bump t e.ev_op;
-  t.lat_ms <- e.ev_ms :: t.lat_ms
+  locked t (fun () ->
+      if e.ev_ok then t.n_ok <- t.n_ok + 1 else t.n_err <- t.n_err + 1;
+      if e.ev_disk then t.n_disk_served <- t.n_disk_served + 1;
+      if e.ev_deadline then t.n_deadline <- t.n_deadline + 1;
+      (* dedup / fan-out are counted at evaluation time, where they are
+         decided — [ev_dedup]/[ev_fanout] exist for the transcript. *)
+      bump_counter t e.ev_op;
+      Reservoir.add t.lat e.ev_ms)
 
 let flush_batch t emit = function
   | [] -> ()
   | queue ->
     let arr = Array.of_list (List.rev queue) in
     let n = Array.length arr in
-    t.q_max <- max t.q_max n;
-    t.batches <- t.batches + 1;
+    locked t (fun () ->
+        t.q_max <- max t.q_max n;
+        t.batches <- t.batches + 1;
+        t.outstanding <- t.outstanding + n);
     let results =
-      Epic.Exec.Pool.run ~jobs:t.jobs n (fun i -> eval t arr.(i))
+      Epic.Exec.Pool.run ~jobs:t.jobs n (fun i ->
+          let e = eval t arr.(i) in
+          (* Completion feeds the fan-out policy: once the rest of the
+             batch drains, a late fault/fuzz item may still get the
+             pool. *)
+          locked t (fun () -> t.outstanding <- t.outstanding - 1);
+          e)
     in
     Array.iter
       (fun e ->
@@ -397,17 +581,35 @@ let percentile sorted p =
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
 
+(* Percentiles come from the bounded reservoir: exact below the cap,
+   sampled beyond it; [count] stays the true total so throughput math is
+   unaffected, and [sampled]/[reservoir_cap] make the bound visible. *)
 let latency_json t =
-  let sorted = Array.of_list t.lat_ms in
+  let sorted = Reservoir.snapshot t.lat in
   Array.sort compare sorted;
   J.Obj
-    [ ("count", J.Int (Array.length sorted));
+    [ ("count", J.Int (Reservoir.count t.lat));
+      ("sampled", J.Int (Reservoir.sampled t.lat));
+      ("reservoir_cap", J.Int (Reservoir.cap t.lat));
       ("p50_ms", J.Float (percentile sorted 50.));
       ("p95_ms", J.Float (percentile sorted 95.));
       ("p99_ms", J.Float (percentile sorted 99.));
       ("max_ms", J.Float (if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1))) ]
 
+(* The ~0.25s throughput probe is forced outside [stat_mu] (workers must
+   not stall on a stats request) but under its own lock: concurrent
+   stats requests racing [Lazy.force] would be undefined behaviour. *)
+let sim_rate_json t =
+  Mutex.lock t.probe_mu;
+  let r = (try Ok (Lazy.force t.sim_rate) with e -> Error e) in
+  Mutex.unlock t.probe_mu;
+  match r with
+  | Ok v -> Epic.Experiments.sim_rate_to_json v
+  | Error e -> raise e
+
 let stats_json t =
+  let sim_rate = sim_rate_json t in
+  locked t @@ fun () ->
   J.Obj
     [ ("uptime_s", J.Float (Epic.Exec.now () -. t.t_start));
       ("jobs", J.Int t.jobs);
@@ -421,12 +623,14 @@ let stats_json t =
       ("queue_max", J.Int t.queue_max);
       ("admitted", J.Int t.n_admitted);
       ("shed", J.Int t.n_shed);
+      ("in_flight", J.Int t.outstanding);
+      ("dedup_hits", J.Int t.n_dedup);
+      ("intra_fanout", J.Int t.n_fanout);
       ("deadline_timeouts", J.Int t.n_deadline);
       ( "deadline_ms",
         match t.deadline_ms with None -> J.Null | Some ms -> J.Int ms );
       ("disk_served", J.Int t.n_disk_served);
-      ( "sim_rate",
-        Epic.Experiments.sim_rate_to_json (Lazy.force t.sim_rate) );
+      ("sim_rate", sim_rate);
       ( "predecode_cache",
         Epic.Exec.Cache.stats_to_json (Epic.Exec.Cache.stats t.pre_cache) );
       ( "disk_cache",
@@ -488,13 +692,14 @@ let serve t io : stop =
             why responses carry ids — so a client learns to back off in
             microseconds instead of waiting behind the queue it is
             trying to add to. *)
-         t.n_shed <- t.n_shed + 1;
-         bump t "shed";
+         locked t (fun () ->
+             t.n_shed <- t.n_shed + 1;
+             bump_counter t "shed");
          let id = match req with Ok r -> r.P.rq_id | Error _ -> None in
          emit (P.error_response ~id (overload_diag t ~depth));
          loop queue depth
        | _ ->
-         t.n_admitted <- t.n_admitted + 1;
+         locked t (fun () -> t.n_admitted <- t.n_admitted + 1);
          let dl =
            deadline_of t ~enq
              (match req with
@@ -646,23 +851,213 @@ let io_of_fd in_fd oc =
 
 let run_pipe t ~in_fd ~out : stop = serve t (io_of_fd in_fd out)
 
-(* Unix-socket mode: connections are accepted one at a time; the
-   requests of a connection fan out over the pool exactly as in pipe
-   mode.  A shutdown request stops the daemon after answering.
+(* ------------------------------------------------------------------ *)
+(* Concurrent serving: one reader per connection over a shared pool.
+
+   [serve] batches because it owns the whole pool for one client.  With
+   many clients the pool must be shared, so the unit of dispatch shrinks
+   from "batch" to "request": each admitted request gets a completion
+   cell (FIFO per connection) and a task on the shared {!Epic.Exec.Workq};
+   responses are emitted strictly in cell order, which keeps a
+   connection's response stream byte-identical to sequential mode for
+   any [--jobs] (shedding aside — admission compares the {e global}
+   in-flight count against [queue_max], since the queue being protected
+   is the shared one).  Control requests flush only their own
+   connection's in-flight work, then answer inline; cross-client
+   coincidences of the same request are collapsed by the dedup table
+   inside [eval]. *)
+
+type cell = { mutable c_out : (evaluated, exn) result option }
+
+let serve_shared t ~(pool : Epic.Exec.Workq.t) io : stop =
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let inflight : cell Queue.t = Queue.create () in
+  let await cell =
+    Mutex.lock mu;
+    while cell.c_out = None do
+      Condition.wait cond mu
+    done;
+    let r = Option.get cell.c_out in
+    Mutex.unlock mu;
+    r
+  in
+  let flush () =
+    while not (Queue.is_empty inflight) do
+      match await (Queue.pop inflight) with
+      | Ok e ->
+        record t e;
+        io.emit e.ev_line
+      | Error x -> raise x
+    done
+  in
+  let submit q =
+    let cell = { c_out = None } in
+    Queue.push cell inflight;
+    Epic.Exec.Workq.submit pool (fun () ->
+        let r = (match eval t q with e -> Ok e | exception x -> Error x) in
+        locked t (fun () -> t.outstanding <- t.outstanding - 1);
+        Mutex.lock mu;
+        cell.c_out <- Some r;
+        Condition.broadcast cond;
+        Mutex.unlock mu)
+  in
+  let rec loop () =
+    match io.next_line () with
+    | None ->
+      flush ();
+      Eof
+    | Some line ->
+      let enq = Epic.Exec.now () in
+      let req = P.request_of_line line in
+      (match req with
+       | Ok { P.rq_id = id; rq_op = P.Stats; _ } ->
+         flush ();
+         bump t "stats";
+         io.emit (P.ok_response ~id ~result:(J.to_string (stats_json t)));
+         loop ()
+       | Ok { P.rq_id = id; rq_op = P.Shutdown; _ } ->
+         flush ();
+         bump t "shutdown";
+         io.emit (P.ok_response ~id ~result:(J.to_string (summary_json t)));
+         Shutdown_requested
+       | _ ->
+         let depth = locked t (fun () -> t.outstanding) in
+         if depth >= t.queue_max then begin
+           locked t (fun () ->
+               t.n_shed <- t.n_shed + 1;
+               bump_counter t "shed");
+           let id = match req with Ok r -> r.P.rq_id | Error _ -> None in
+           io.emit (P.error_response ~id (overload_diag t ~depth));
+           loop ()
+         end
+         else begin
+           locked t (fun () ->
+               t.n_admitted <- t.n_admitted + 1;
+               t.outstanding <- t.outstanding + 1;
+               t.q_max <- max t.q_max t.outstanding);
+           let dl =
+             deadline_of t ~enq
+               (match req with
+                | Ok r -> r.P.rq_deadline_ms
+                | Error _ -> None)
+           in
+           submit { qu_line_no = 0; qu_req = req; qu_enq = enq; qu_dl = dl };
+           if Queue.length inflight >= t.batch_max || not (io.pending ()) then
+             flush ();
+           loop ()
+         end)
+  in
+  loop ()
+
+(* Acceptor for multi-connection mode.  The accept loop polls with a
+   short select timeout so it notices the stop flag; each connection
+   runs its reader on a systhread (cheap blocking I/O — the heavy work
+   lives on the pool's domains).  Shutdown drain: the connection that
+   received the shutdown request answers it, then EOFs every peer's
+   read side ([SHUTDOWN_RECEIVE] wakes a blocked read); peers flush
+   their queued work — every admitted request is still answered — and
+   exit on end-of-input.  In this mode a non-I/O exception costs the
+   connection, never the daemon. *)
+let run_socket_concurrent t ~sock ~max_conns : stop =
+  let pool = Epic.Exec.Workq.create ~jobs:t.jobs () in
+  let reg_mu = Mutex.create () in
+  let conns : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 16 in
+  let stop_flag = ref false in
+  let next_id = ref 0 in
+  let threads : Thread.t list ref = ref [] in
+  let with_reg f =
+    Mutex.lock reg_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock reg_mu) f
+  in
+  let eof_peers_locked () =
+    Hashtbl.iter
+      (fun _ fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error (_, _, _) -> ())
+      conns
+  in
+  let handle cid conn =
+    let oc = Unix.out_channel_of_descr conn in
+    let stop =
+      match serve_shared t ~pool (io_of_fd conn oc) with
+      | stop -> stop
+      | exception
+          (( Unix.Unix_error
+               ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN
+                 | Unix.ETIMEDOUT ),
+                 _, _ )
+           | Sys_error _ ) as e) ->
+        Printf.eprintf "epicd: dropping client after connection error: %s\n%!"
+          (Printexc.to_string e);
+        Eof
+      | exception e ->
+        Printf.eprintf "epicd: dropping client after handler error: %s\n%!"
+          (Printexc.to_string e);
+        Eof
+    in
+    (try flush oc with Sys_error _ -> ());
+    with_reg (fun () ->
+        Hashtbl.remove conns cid;
+        match stop with
+        | Shutdown_requested ->
+          stop_flag := true;
+          eof_peers_locked ()
+        | Eof -> ());
+    try Unix.close conn with Unix.Unix_error (_, _, _) -> ()
+  in
+  let stopping () = with_reg (fun () -> !stop_flag) in
+  let rec accept_loop () =
+    if stopping () then ()
+    else if with_reg (fun () -> Hashtbl.length conns) >= max_conns then begin
+      (* At capacity: let dial-ins wait in the listen backlog. *)
+      Unix.sleepf 0.02;
+      accept_loop ()
+    end
+    else
+      match Unix.select [ sock ] [] [] 0.05 with
+      | [], _, _ -> accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | _ ->
+        (match Unix.accept sock with
+         | conn, _ ->
+           incr next_id;
+           let cid = !next_id in
+           with_reg (fun () -> Hashtbl.replace conns cid conn);
+           threads := Thread.create (handle cid) conn :: !threads;
+           accept_loop ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ())
+  in
+  accept_loop ();
+  (* A connection accepted in the same instant the stop flag was set
+     missed the peer drain above — EOF it here before joining. *)
+  with_reg eof_peers_locked;
+  List.iter Thread.join !threads;
+  Epic.Exec.Workq.shutdown pool;
+  Shutdown_requested
+
+(* Unix-socket mode.  With [max_conns = 1] (the default) connections
+   are accepted strictly one at a time and each is served by the
+   batching [serve] loop, exactly as before; with [max_conns > 1] up to
+   that many connections are served concurrently over one shared worker
+   pool ([run_socket_concurrent]).  A shutdown request stops the daemon
+   after answering.
 
    A broken client must not take the daemon down with it: SIGPIPE is
    ignored for the process (a write to a dead peer then surfaces as
    EPIPE / [Sys_error] instead of a fatal signal), and any connection
    error — the peer resetting mid-request, vanishing before reading its
-   responses — is logged to stderr and the accept loop continues.  Only
-   non-I/O exceptions (daemon bugs) still propagate. *)
-let run_socket t ~path : stop =
+   responses — is logged to stderr and the accept loop continues.  In
+   sequential mode non-I/O exceptions (daemon bugs) still propagate. *)
+let run_socket ?(max_conns = 1) t ~path : stop =
+  if max_conns < 1 then
+    invalid_arg "Epic_serve.Server.run_socket: max_conns must be >= 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
   Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 16;
+  Unix.listen sock (max 16 max_conns);
   let rec accept_loop () =
     let conn, _ = Unix.accept sock in
     let oc = Unix.out_channel_of_descr conn in
@@ -690,4 +1085,6 @@ let run_socket t ~path : stop =
     ~finally:(fun () ->
       (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
       try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
-    accept_loop
+    (fun () ->
+      if max_conns = 1 then accept_loop ()
+      else run_socket_concurrent t ~sock ~max_conns)

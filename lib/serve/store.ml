@@ -220,6 +220,12 @@ let find t ~key =
   let path = path_of_key t key in
   match read_entry path ~key with
   | Valid payload ->
+    (* Eviction is oldest-mtime-first, so a hit must refresh the entry's
+       mtime or the hottest entries are exactly the ones evicted under
+       sustained traffic.  [utimes 0 0] means "now"; best-effort — a
+       read-only cache directory still serves hits, it just cannot
+       remember recency. *)
+    (try Unix.utimes path 0.0 0.0 with Unix.Unix_error (_, _, _) -> ());
     locked t (fun () -> t.hits <- t.hits + 1);
     Some payload
   | Absent | Foreign ->

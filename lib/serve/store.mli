@@ -68,7 +68,9 @@ val quarantine_dir : t -> string
 
 val find : t -> key:string -> string option
 (** Look up a key; counts a hit or a miss.  A corrupt entry is
-    quarantined and counts as a miss. *)
+    quarantined and counts as a miss.  A hit refreshes the entry's mtime
+    (best-effort) so the oldest-mtime eviction order approximates LRU
+    rather than insertion order. *)
 
 val add : t -> key:string -> string -> unit
 (** Publish a payload atomically (write-temporary-then-rename), then

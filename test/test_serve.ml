@@ -547,6 +547,336 @@ let test_socket_resilience () =
   Alcotest.(check bool) "daemon honoured shutdown" true
     (stop = Server.Shutdown_requested)
 
+(* ---- bounded latency reservoir ------------------------------------ *)
+
+let test_latency_reservoir () =
+  let feed r =
+    for i = 1 to 1000 do
+      Server.Reservoir.add r (float_of_int i)
+    done
+  in
+  let r = Server.Reservoir.create ~cap:8 () in
+  feed r;
+  Alcotest.(check int) "count is the true total" 1000
+    (Server.Reservoir.count r);
+  Alcotest.(check int) "sample bounded by cap" 8 (Server.Reservoir.sampled r);
+  let snap = Server.Reservoir.snapshot r in
+  Alcotest.(check int) "snapshot is the sample" 8 (Array.length snap);
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "sampled value came from the stream" true
+        (v >= 1. && v <= 1000.))
+    snap;
+  (* Replacement is seeded, not random: identical streams keep identical
+     samples. *)
+  let r2 = Server.Reservoir.create ~cap:8 () in
+  feed r2;
+  Alcotest.(check (list (float 1e-9))) "deterministic replacement"
+    (Array.to_list snap)
+    (Array.to_list (Server.Reservoir.snapshot r2));
+  (* Below the cap the sample is exact. *)
+  let small = Server.Reservoir.create ~cap:8 () in
+  List.iter (Server.Reservoir.add small) [ 3.; 1.; 2. ];
+  Alcotest.(check (list (float 1e-9))) "exact below the cap" [ 3.; 1.; 2. ]
+    (Array.to_list (Server.Reservoir.snapshot small));
+  (* The daemon's stats advertise the bound. *)
+  let t = Server.create ~jobs:1 () in
+  let rs =
+    Server.serve_strings t
+      [ sim_line ~id:0 tiny_asm;
+        P.to_line { P.rq_id = Some 1; rq_deadline_ms = None; rq_op = P.Stats } ]
+  in
+  let stats = List.nth rs 1 in
+  let field path =
+    List.fold_left
+      (fun j k -> Option.bind j (J.member k))
+      (Result.to_option (J.parse stats))
+      path
+  in
+  (match field [ "result"; "latency"; "reservoir_cap" ] with
+   | Some (J.Int cap) -> Alcotest.(check bool) "cap advertised" true (cap > 0)
+   | _ -> Alcotest.fail "stats lack latency.reservoir_cap");
+  match field [ "result"; "latency"; "sampled" ] with
+  | Some (J.Int 1) -> ()
+  | _ -> Alcotest.fail "stats lack latency.sampled"
+
+(* ---- LRU-ish eviction: hits refresh mtime -------------------------- *)
+
+let test_store_hit_refreshes_mtime () =
+  with_tmpdir @@ fun dir ->
+  let st = Store.open_ ~max_entries:2 dir in
+  Store.add st ~key:"hot" "H";
+  Store.add st ~key:"cold" "C";
+  (* Age both entries into the past; only the hit refreshes one. *)
+  let past = Unix.gettimeofday () -. 3600. in
+  Unix.utimes (entry_path dir "hot") past past;
+  Unix.utimes (entry_path dir "cold") past past;
+  Alcotest.(check (option string)) "hot entry hit" (Some "H")
+    (Store.find st ~key:"hot");
+  (* Eviction pressure: one entry must go — the cold one, not the one
+     that was just served. *)
+  Store.add st ~key:"newcomer" "N";
+  Alcotest.(check int) "capped" 2 (Store.entries st);
+  Alcotest.(check int) "one eviction" 1 (Store.stats st).Store.st_evictions;
+  Alcotest.(check (option string)) "repeatedly-hit entry survived" (Some "H")
+    (Store.find st ~key:"hot");
+  Alcotest.(check (option string)) "stale entry evicted" None
+    (Store.find st ~key:"cold")
+
+(* ---- in-flight dedup table ----------------------------------------- *)
+
+let no_retry : exn -> bool = fun _ -> false
+
+let test_dedup_inflight () =
+  let d = Server.Dedup.create () in
+  let hits = ref 0 in
+  let leader = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        leader :=
+          Some
+            (Server.Dedup.run d ~retry:no_retry
+               ~on_hit:(fun () -> ())
+               "k"
+               (fun () ->
+                 Unix.sleepf 0.2;
+                 ("payload", true))))
+      ()
+  in
+  Unix.sleepf 0.05;
+  (* A second evaluator of the same key while the first is in flight:
+     must wait and share, never recompute. *)
+  let p, disk, shared =
+    Server.Dedup.run d ~retry:no_retry
+      ~on_hit:(fun () -> incr hits)
+      "k"
+      (fun () -> Alcotest.fail "waiter recomputed the payload")
+  in
+  Thread.join th;
+  Alcotest.(check string) "shared the leader's payload" "payload" p;
+  Alcotest.(check bool) "waiter does not claim the disk hit" false disk;
+  Alcotest.(check bool) "marked as shared" true shared;
+  Alcotest.(check int) "one dedup hit" 1 !hits;
+  (match !leader with
+   | Some ("payload", true, false) -> ()
+   | _ -> Alcotest.fail "leader outcome wrong");
+  (* The entry's lifetime is the leader's evaluation: afterwards the key
+     is free and a new request computes afresh. *)
+  let p2, _, shared2 =
+    Server.Dedup.run d ~retry:no_retry
+      ~on_hit:(fun () -> ())
+      "k"
+      (fun () -> ("fresh", false))
+  in
+  Alcotest.(check string) "key free after resolution" "fresh" p2;
+  Alcotest.(check bool) "not shared" false shared2;
+  (* Failures are shared too: deterministic errors are one evaluation. *)
+  let th2 =
+    Thread.create
+      (fun () ->
+        match
+          Server.Dedup.run d ~retry:no_retry
+            ~on_hit:(fun () -> ())
+            "boom"
+            (fun () ->
+              Unix.sleepf 0.2;
+              failwith "deterministic failure")
+        with
+        | _ -> ()
+        | exception Failure _ -> ())
+      ()
+  in
+  Unix.sleepf 0.05;
+  (match
+     Server.Dedup.run d ~retry:no_retry
+       ~on_hit:(fun () -> incr hits)
+       "boom"
+       (fun () -> Alcotest.fail "waiter recomputed the failure")
+   with
+   | _ -> Alcotest.fail "leader failure was not shared"
+   | exception Failure m ->
+     Alcotest.(check string) "shared exception" "deterministic failure" m);
+  Thread.join th2
+
+(* ---- adaptive intra-request fan-out -------------------------------- *)
+
+let stats_field line path =
+  List.fold_left
+    (fun j k -> Option.bind j (J.member k))
+    (Result.to_option (J.parse line))
+    ("result" :: path)
+
+let test_adaptive_fanout () =
+  let big_ops =
+    [ P.Fuzz_batch
+        { P.fz_seed = 5; fz_cases = 4; fz_kinds = [ Epic.Difftest.K_enc ];
+          fz_shrink = false };
+      P.Fault_campaign
+        { P.fc_config = { Config.default with Config.issue_width = 2 };
+          fc_source = P.Src_text "int main() { return 7; }"; fc_seed = 3;
+          fc_runs = 2; fc_targets = [ Epic.Fault.F_gpr; Epic.Fault.F_mem ];
+          fc_fuel_factor = 8 } ]
+  in
+  let lines =
+    List.mapi
+      (fun i op -> P.to_line { P.rq_id = Some i; rq_deadline_ms = None; rq_op = op })
+      big_ops
+  in
+  let stats_line =
+    P.to_line { P.rq_id = Some 9; rq_deadline_ms = None; rq_op = P.Stats }
+  in
+  let serve jobs =
+    let t = Server.create ~jobs () in
+    (* One request per serve call: each arrives on an idle daemon. *)
+    let work = List.concat_map (fun l -> Server.serve_strings t [ l ]) lines in
+    let stats = List.hd (Server.serve_strings t [ stats_line ]) in
+    (work, stats)
+  in
+  let w1, s1 = serve 1 in
+  let w4, s4 = serve 4 in
+  (* The fix for the hardwired ~jobs:1: alone on an idle multi-job
+     daemon, fault/fuzz requests must fan out over the pool... *)
+  (match stats_field s4 [ "intra_fanout" ] with
+   | Some (J.Int n) ->
+     Alcotest.(check int) "both big requests fanned out on jobs=4" 2 n
+   | _ -> Alcotest.fail "stats lack intra_fanout");
+  (match stats_field s1 [ "intra_fanout" ] with
+   | Some (J.Int 0) -> ()
+   | _ -> Alcotest.fail "jobs=1 daemon must not report fan-out");
+  (* ...while staying byte-identical to the serialised result. *)
+  Alcotest.(check (list string)) "fanned-out responses byte-identical" w1 w4;
+  List.iter
+    (fun l -> Alcotest.(check bool) "response ok" true (response_ok l))
+    w4
+
+(* ---- concurrent socket serving ------------------------------------- *)
+
+let test_socket_concurrent () =
+  with_tmpdir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "sock" in
+  let t = Server.create ~jobs:2 () in
+  let srv = Domain.spawn (fun () -> Server.run_socket ~max_conns:8 t ~path) in
+  let rec await n =
+    if Sys.file_exists path then ()
+    else if n = 0 then Alcotest.fail "socket never appeared"
+    else (Unix.sleepf 0.02; await (n - 1))
+  in
+  await 250;
+  let connect () =
+    let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect s (Unix.ADDR_UNIX path);
+    s
+  in
+  let request_lines sock lines =
+    let oc = Unix.out_channel_of_descr sock in
+    List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+    flush oc;
+    Unix.shutdown sock Unix.SHUTDOWN_SEND;
+    let ic = Unix.in_channel_of_descr sock in
+    let rec read acc =
+      match input_line ic with
+      | l -> read (l :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let rs = read [] in
+    (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+    rs
+  in
+  (* Every client sends the same expensive requests (they should overlap
+     and collapse in flight) plus one request of its own. *)
+  let shared_ops =
+    [ P.Compile
+        { P.c_config = { Config.default with Config.n_alus = 3 };
+          c_source = sha_wl; c_opt = Epic.Toolchain.O1; c_predication = true;
+          c_unroll = Epic.Toolchain.default_unroll; c_fuel = None };
+      P.Explore_slice
+        { P.ex_source = sha_wl; ex_alus = [ 1; 2 ]; ex_issues = [ 4 ] } ]
+  in
+  let n_shared = List.length shared_ops in
+  let lines_for ci =
+    List.mapi
+      (fun i op -> P.to_line { P.rq_id = Some i; rq_deadline_ms = None; rq_op = op })
+      shared_ops
+    @ [ sim_line ~id:n_shared
+          (Printf.sprintf "_start:\n{ MOV r3, #%d }\n{ HALT }\n" (ci + 1)) ]
+  in
+  let n_clients = 3 in
+  let results = Array.make n_clients [] in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let go = ref false in
+  let client ci =
+    Mutex.lock mu;
+    while not !go do
+      Condition.wait cv mu
+    done;
+    Mutex.unlock mu;
+    results.(ci) <- request_lines (connect ()) (lines_for ci)
+  in
+  let ths = List.init n_clients (fun ci -> Thread.create client ci) in
+  Mutex.lock mu;
+  go := true;
+  Condition.broadcast cv;
+  Mutex.unlock mu;
+  (* A rude client drops mid-frame while the others are in flight: the
+     daemon must shrug and keep serving them. *)
+  let rude = connect () in
+  ignore (Unix.write_substring rude {|{"id":0,"op":"comp|} 0 18);
+  Unix.sleepf 0.05;
+  Unix.close rude;
+  List.iter Thread.join ths;
+  (* Per-connection: complete, ok, and in request order. *)
+  Array.iteri
+    (fun ci rs ->
+      Alcotest.(check int)
+        (Printf.sprintf "client %d: all requests answered" ci)
+        (n_shared + 1) (List.length rs);
+      List.iteri
+        (fun i l ->
+          Alcotest.(check bool)
+            (Printf.sprintf "client %d response %d ok" ci i)
+            true (response_ok l);
+          match Option.bind (Result.to_option (J.parse l)) (J.member "id") with
+          | Some (J.Int id) ->
+            Alcotest.(check int)
+              (Printf.sprintf "client %d response %d in order" ci i)
+              i id
+          | _ -> Alcotest.failf "client %d response %d has no id" ci i)
+        rs)
+    results;
+  (* The shared requests must come back byte-identical on every
+     connection. *)
+  let shared ci = List.filteri (fun i _ -> i < n_shared) results.(ci) in
+  for ci = 1 to n_clients - 1 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "client %d shared responses = client 0" ci)
+      (shared 0) (shared ci)
+  done;
+  (* Control connection: overlapping identical requests were collapsed,
+     and shutdown still works. *)
+  let ctl =
+    request_lines (connect ())
+      [ P.to_line { P.rq_id = Some 90; rq_deadline_ms = None; rq_op = P.Stats };
+        P.to_line
+          { P.rq_id = Some 91; rq_deadline_ms = None; rq_op = P.Shutdown } ]
+  in
+  (match ctl with
+   | [ stats; bye ] ->
+     Alcotest.(check bool) "stats ok" true (response_ok stats);
+     Alcotest.(check bool) "shutdown ok" true (response_ok bye);
+     (match stats_field stats [ "dedup_hits" ] with
+      | Some (J.Int n) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "dedup hits > 0 (got %d)" n)
+          true (n > 0)
+      | _ -> Alcotest.fail "stats lack dedup_hits")
+   | rs -> Alcotest.failf "control connection got %d responses" (List.length rs));
+  let stop = Domain.join srv in
+  Alcotest.(check bool) "daemon honoured shutdown" true
+    (stop = Server.Shutdown_requested)
+
 (* ---- memo-cache observation API ----------------------------------- *)
 
 let test_cache_snapshot_reset () =
@@ -587,4 +917,12 @@ let suite =
     Alcotest.test_case "overload shedding" `Quick test_overload_shedding;
     Alcotest.test_case "retry backoff" `Quick test_backoff;
     Alcotest.test_case "socket resilience" `Quick test_socket_resilience;
+    Alcotest.test_case "latency reservoir" `Quick test_latency_reservoir;
+    Alcotest.test_case "store hit refreshes mtime" `Quick
+      test_store_hit_refreshes_mtime;
+    Alcotest.test_case "in-flight dedup table" `Quick test_dedup_inflight;
+    Alcotest.test_case "adaptive intra-request fan-out" `Quick
+      test_adaptive_fanout;
+    Alcotest.test_case "concurrent socket serving" `Quick
+      test_socket_concurrent;
     Alcotest.test_case "cache snapshot/reset" `Quick test_cache_snapshot_reset ]
